@@ -1,0 +1,235 @@
+//! Criterion microbenchmarks: real wall-time of the engine primitives
+//! and of the four join algorithms (simulated time is what the figures
+//! report; these benches track the simulator's own speed).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use tq_bench::{build_db, run_join_cell};
+use tq_index::BTreeIndex;
+use tq_objstore::{record, AttrType, ObjectHeader, Rid, Schema, Value};
+use tq_pagestore::{
+    CacheConfig, CostModel, FileId, LruCache, PageId, SlottedPage, StorageStack, PAGE_SIZE,
+};
+use tq_query::{JoinAlgo, JoinOptions};
+use tq_workload::{DbShape, Organization};
+
+fn bench_slotted_page(c: &mut Criterion) {
+    c.bench_function("page/insert_40B_until_full", |b| {
+        let rec = [7u8; 40];
+        b.iter_batched(
+            SlottedPage::new,
+            |mut page| {
+                while page.insert(&rec, PAGE_SIZE).is_some() {}
+                black_box(page.live_records())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("page/read_slot", |b| {
+        let mut page = SlottedPage::new();
+        let mut slots = Vec::new();
+        while let Some(s) = page.insert(&[1u8; 40], PAGE_SIZE) {
+            slots.push(s);
+        }
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % slots.len();
+            black_box(page.read(slots[i]))
+        })
+    });
+}
+
+fn bench_lru(c: &mut Criterion) {
+    c.bench_function("lru/touch_insert_8k", |b| {
+        let mut lru: LruCache<u64> = LruCache::new(8192);
+        for k in 0..8192u64 {
+            lru.insert(k);
+        }
+        let mut x = 0x9E3779B97F4A7C15u64;
+        b.iter(|| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let k = x % 16384;
+            if !lru.touch(k) {
+                lru.insert(k);
+            }
+        })
+    });
+}
+
+fn patient_schema() -> (Schema, Vec<Value>) {
+    let mut schema = Schema::new();
+    let provider = schema.add_class("Provider", vec![("name", AttrType::Str)]);
+    schema.add_class(
+        "Patient",
+        vec![
+            ("name", AttrType::Str),
+            ("mrn", AttrType::Int),
+            ("age", AttrType::Int),
+            ("sex", AttrType::Char),
+            ("random_integer", AttrType::Int),
+            ("num", AttrType::Int),
+            ("primary_care_provider", AttrType::Ref(provider)),
+        ],
+    );
+    let values = vec![
+        Value::Str("pat-123456......".into()),
+        Value::Int(123_456),
+        Value::Int(42),
+        Value::Char(b'F'),
+        Value::Int(777),
+        Value::Int(999_999),
+        Value::Ref(Rid::new(
+            PageId {
+                file: FileId(0),
+                page_no: 17,
+            },
+            3,
+        )),
+    ];
+    (schema, values)
+}
+
+fn bench_record_codec(c: &mut Criterion) {
+    let (schema, values) = patient_schema();
+    let class = schema.class_by_name("Patient").unwrap();
+    let header = ObjectHeader::new(class, true);
+    let bytes = record::encode(schema.class(class), &header, &values);
+    c.bench_function("record/encode_patient", |b| {
+        b.iter(|| black_box(record::encode(schema.class(class), &header, &values)))
+    });
+    c.bench_function("record/decode_patient", |b| {
+        b.iter(|| black_box(record::decode(schema.class(class), &bytes).unwrap()))
+    });
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let entries: Vec<(i64, Rid)> = (0..100_000i64)
+        .map(|i| {
+            (
+                i,
+                Rid::new(
+                    PageId {
+                        file: FileId(0),
+                        page_no: (i / 50) as u32,
+                    },
+                    (i % 50) as u16,
+                ),
+            )
+        })
+        .collect();
+    c.bench_function("btree/bulk_build_100k", |b| {
+        b.iter_batched(
+            || StorageStack::new(CostModel::free(), CacheConfig::default()),
+            |mut stack| black_box(BTreeIndex::bulk_build(&mut stack, 1, "i", true, &entries)),
+            BatchSize::LargeInput,
+        )
+    });
+    c.bench_function("btree/range_scan_10k_of_100k", |b| {
+        let mut stack = StorageStack::new(CostModel::free(), CacheConfig::default());
+        let tree = BTreeIndex::bulk_build(&mut stack, 1, "i", true, &entries);
+        b.iter(|| {
+            let mut cursor = tree.range(&mut stack, 40_000, 49_999);
+            let mut n = 0;
+            while cursor.next(&mut stack).is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+}
+
+fn bench_oql(c: &mut Criterion) {
+    let text = "select [p.name, pa.age] from p in Providers, pa in p.clients \
+                where pa.mrn < 200000 and p.upin < 200";
+    c.bench_function("oql/parse_join_query", |b| {
+        b.iter(|| black_box(tq_query::oql::parse(text).unwrap()))
+    });
+}
+
+fn bench_swap_and_spill(c: &mut Criterion) {
+    c.bench_function("swap/touch_oversized_region", |b| {
+        let mut sim = tq_query::SwapSim::new(64 << 20, 32 << 20);
+        let mut x = 1u64;
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            black_box(sim.touch(x))
+        })
+    });
+    c.bench_function("spill/write_read_10k_pairs", |b| {
+        let pairs: Vec<(i64, Rid)> = (0..10_000i64)
+            .map(|i| {
+                (
+                    i,
+                    Rid::new(
+                        PageId {
+                            file: FileId(0),
+                            page_no: i as u32,
+                        },
+                        0,
+                    ),
+                )
+            })
+            .collect();
+        b.iter_batched(
+            || {
+                let mut stack = StorageStack::new(CostModel::free(), CacheConfig::default());
+                let f = stack.create_file("spill");
+                (stack, f)
+            },
+            |(mut stack, f)| {
+                let mut w = tq_query::join::spill::SpillWriter::new(f);
+                for &(k, r) in &pairs {
+                    w.push(&mut stack, k, r);
+                }
+                let run = w.finish(&mut stack);
+                black_box(run.read_all(&mut stack).len())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_joins(c: &mut Criterion) {
+    // Wall time of a full cold join on a 1/2000-scale 1:3 database.
+    let mut db = build_db(DbShape::Db2, Organization::ClassClustered, 2000);
+    let mut group = c.benchmark_group("join_wall_time_scale_1_2000");
+    group.sample_size(20);
+    for algo in JoinAlgo::all() {
+        group.bench_function(algo.label(), |b| {
+            b.iter(|| {
+                black_box(run_join_cell(
+                    &mut db,
+                    algo,
+                    50,
+                    50,
+                    &JoinOptions::default(),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_database_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build_wall_time");
+    group.sample_size(10);
+    group.bench_function("db2_scale_1_2000", |b| {
+        b.iter(|| black_box(build_db(DbShape::Db2, Organization::ClassClustered, 2000)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_slotted_page,
+    bench_lru,
+    bench_record_codec,
+    bench_btree,
+    bench_oql,
+    bench_swap_and_spill,
+    bench_joins,
+    bench_database_build
+);
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! Regenerates the paper's Figure 6 (selection I/O, index vs scan).
+//!
+//! `TQ_SCALE=n` divides the database size (default: paper scale).
+
+fn main() {
+    let scale = tq_bench::scale_from_env();
+    let fig = tq_bench::figures::fig06::run(scale);
+    println!("{}", tq_bench::figures::fig06::print(&fig));
+    println!("{}", tq_statsdb::export::to_csv(fig.stats.all()));
+}

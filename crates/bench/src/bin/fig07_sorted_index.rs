@@ -1,0 +1,8 @@
+//! Regenerates the paper's Figure 7 (sorted unclustered index vs no
+//! index) and the Figure 9 cost decomposition.
+
+fn main() {
+    let scale = tq_bench::scale_from_env();
+    let fig = tq_bench::figures::fig07::run(scale);
+    println!("{}", tq_bench::figures::fig07::print(&fig));
+}

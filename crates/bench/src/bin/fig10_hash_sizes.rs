@@ -1,0 +1,9 @@
+//! Regenerates the paper's Figure 10 (hash-table sizes). Pass
+//! `--measure` to also run the joins and report executor table sizes.
+
+fn main() {
+    let scale = tq_bench::scale_from_env();
+    let measure = std::env::args().any(|a| a == "--measure");
+    let fig = tq_bench::figures::fig10::run(scale, measure);
+    println!("{}", tq_bench::figures::fig10::print(&fig));
+}

@@ -1,0 +1,39 @@
+//! Regenerates one of the paper's join figures (11-14, or the
+//! random-organization tables summarized in Figure 15).
+//!
+//! Usage: fig11_14_joins [--db db1|db2] [--org class|random|comp]
+
+use tq_workload::{DbShape, Organization};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let arg = |name: &str, default: &str| -> String {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    };
+    let shape = match arg("--db", "db1").as_str() {
+        "db1" => DbShape::Db1,
+        "db2" => DbShape::Db2,
+        other => {
+            eprintln!("unknown --db {other:?} (use db1|db2)");
+            std::process::exit(2);
+        }
+    };
+    let org = match arg("--org", "class").as_str() {
+        "class" => Organization::ClassClustered,
+        "random" => Organization::Randomized,
+        "comp" | "composition" => Organization::Composition,
+        "assoc" | "assoc-ordered" => Organization::AssociationOrdered,
+        other => {
+            eprintln!("unknown --org {other:?} (use class|random|comp|assoc)");
+            std::process::exit(2);
+        }
+    };
+    let scale = tq_bench::scale_from_env();
+    let fig = tq_bench::figures::joins::run_join_figure(shape, org, scale);
+    println!("{}", tq_bench::figures::joins::print_join_figure(&fig));
+    println!("{}", tq_statsdb::export::to_csv(fig.stats.all()));
+}

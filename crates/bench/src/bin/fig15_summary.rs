@@ -1,0 +1,11 @@
+//! Regenerates the paper's Figure 15 (winning algorithms) — runs all
+//! six underlying join figures (3 organizations x 2 databases).
+
+fn main() {
+    let scale = tq_bench::scale_from_env();
+    let fig = tq_bench::figures::fig15::run(scale);
+    for f in &fig.figures {
+        println!("{}", tq_bench::figures::joins::print_join_figure(f));
+    }
+    println!("{}", tq_bench::figures::fig15::print(&fig));
+}

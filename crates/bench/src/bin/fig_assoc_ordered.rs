@@ -1,0 +1,8 @@
+//! Extension experiment: the §5.3 association-ordered organization —
+//! the paper's prediction, tested.
+
+fn main() {
+    let scale = tq_bench::scale_from_env().max(10);
+    let fig = tq_bench::figures::assoc::run(scale);
+    println!("{}", tq_bench::figures::assoc::print(&fig));
+}

@@ -1,0 +1,8 @@
+//! The paper's original goal, realized: elicit the cost model from
+//! benchmark runs by regression (§2's plan with Yves Lechevallier).
+
+fn main() {
+    let scale = tq_bench::scale_from_env().max(50);
+    let fit = tq_bench::analysis::run(scale);
+    println!("{}", tq_bench::analysis::print(&fit));
+}

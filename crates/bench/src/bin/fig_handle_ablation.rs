@@ -1,0 +1,8 @@
+//! The section 4.4 ablation: the paper's proposed handle improvements,
+//! measured.
+
+fn main() {
+    let scale = tq_bench::scale_from_env();
+    let a = tq_bench::figures::handles::run_ablation(scale);
+    println!("{}", tq_bench::figures::handles::print_ablation(&a));
+}

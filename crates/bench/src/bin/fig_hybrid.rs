@@ -1,0 +1,8 @@
+//! Extension experiment: hybrid hashing on the paper's swap-bound
+//! cells (the untested fix the paper calls for in §5.1/§6).
+
+fn main() {
+    let scale = tq_bench::scale_from_env().max(10);
+    let fig = tq_bench::figures::hybrid::run(scale);
+    println!("{}", tq_bench::figures::hybrid::print(&fig));
+}

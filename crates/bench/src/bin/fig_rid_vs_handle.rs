@@ -1,0 +1,8 @@
+//! Regenerates the section 4.1 experiment: hash tables keyed on Rids
+//! vs Handles.
+
+fn main() {
+    let scale = tq_bench::scale_from_env();
+    let r = tq_bench::figures::handles::run_rid_vs_handle(scale);
+    println!("{}", tq_bench::figures::handles::print_rid_vs_handle(&r));
+}

@@ -1,0 +1,8 @@
+//! Extension experiment: cold vs warm executions (the paper ran only
+//! cold ones).
+
+fn main() {
+    let scale = tq_bench::scale_from_env().max(10);
+    let fig = tq_bench::figures::warm::run(scale);
+    println!("{}", tq_bench::figures::warm::print(&fig));
+}

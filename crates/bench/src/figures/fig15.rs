@@ -1,0 +1,140 @@
+//! Figure 15: summarizing results — winning algorithms across all
+//! three physical organizations and both databases.
+
+use crate::figures::joins::{run_join_figure, JoinFigure, CELLS};
+use crate::paper::FIG15_WINNERS;
+use tq_query::JoinAlgo;
+use tq_workload::{DbShape, Organization};
+
+/// One regenerated Figure 15 row.
+#[derive(Clone, Copy, Debug)]
+pub struct Row {
+    /// Database shape.
+    pub shape: DbShape,
+    /// Selectivity on patients / providers, percent.
+    pub pat: u32,
+    /// Selectivity on providers, percent.
+    pub prov: u32,
+    /// `(winner, secs)` under the randomized organization.
+    pub random: (JoinAlgo, f64),
+    /// `(winner, secs)` under class clustering.
+    pub class: (JoinAlgo, f64),
+    /// `(winner, secs)` under composition clustering.
+    pub composition: (JoinAlgo, f64),
+}
+
+/// The regenerated summary plus the six underlying figures.
+pub struct Fig15 {
+    /// Eight rows (2 shapes × 4 selectivity cells).
+    pub rows: Vec<Row>,
+    /// The six detailed figures (keyed by shape/org inside).
+    pub figures: Vec<JoinFigure>,
+    /// Scale divisor used.
+    pub scale: u32,
+}
+
+/// Runs all six join figures (3 organizations × 2 shapes) and
+/// summarizes the winners.
+pub fn run(scale: u32) -> Fig15 {
+    let mut figures = Vec::new();
+    for shape in [DbShape::Db1, DbShape::Db2] {
+        for org in Organization::all() {
+            eprintln!("== {shape:?} / {org:?} ==");
+            figures.push(run_join_figure(shape, org, scale));
+        }
+    }
+    let fig_of = |shape: DbShape, org: Organization| {
+        figures
+            .iter()
+            .find(|f| f.shape == shape && f.org == org)
+            .expect("all six figures ran")
+    };
+    let mut rows = Vec::new();
+    for shape in [DbShape::Db1, DbShape::Db2] {
+        for (pat, prov) in CELLS {
+            rows.push(Row {
+                shape,
+                pat,
+                prov,
+                random: fig_of(shape, Organization::Randomized).winner(pat, prov),
+                class: fig_of(shape, Organization::ClassClustered).winner(pat, prov),
+                composition: fig_of(shape, Organization::Composition).winner(pat, prov),
+            });
+        }
+    }
+    Fig15 {
+        rows,
+        figures,
+        scale,
+    }
+}
+
+/// How many of the 24 winner cells agree with the paper.
+pub fn winner_agreement(fig: &Fig15) -> (usize, usize) {
+    let mut agree = 0;
+    let mut total = 0;
+    for row in &fig.rows {
+        let paper = FIG15_WINNERS
+            .iter()
+            .find(|p| p.shape == row.shape && p.pat == row.pat && p.prov == row.prov)
+            .expect("paper row");
+        for (ours, theirs) in [
+            (row.random.0, paper.random.0),
+            (row.class.0, paper.class.0),
+            (row.composition.0, paper.composition.0),
+        ] {
+            total += 1;
+            if ours == theirs {
+                agree += 1;
+            }
+        }
+    }
+    (agree, total)
+}
+
+/// Prints the summary in the paper's layout.
+pub fn print(fig: &Fig15) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    writeln!(out, "Figure 15: Summarizing Results: Winning Algorithms").unwrap();
+    if fig.scale > 1 {
+        writeln!(out, "  (measured at scale 1/{})", fig.scale).unwrap();
+    }
+    writeln!(
+        out,
+        "  rel      sel.pat sel.prov |  random org        |  class cluster     |  composition"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "                            |  ours    paper     |  ours    paper     |  ours    paper"
+    )
+    .unwrap();
+    for row in &fig.rows {
+        let paper = FIG15_WINNERS
+            .iter()
+            .find(|p| p.shape == row.shape && p.pat == row.pat && p.prov == row.prov)
+            .expect("paper row");
+        let rel = match row.shape {
+            DbShape::Db1 => "1:1000",
+            DbShape::Db2 => "1:3",
+        };
+        writeln!(
+            out,
+            "  {:<7} {:>7} {:>8} |  {:<7} {:<9} |  {:<7} {:<9} |  {:<7} {:<9}",
+            rel,
+            row.pat,
+            row.prov,
+            row.random.0.label(),
+            paper.random.0.label(),
+            row.class.0.label(),
+            paper.class.0.label(),
+            row.composition.0.label(),
+            paper.composition.0.label(),
+        )
+        .unwrap();
+    }
+    let (agree, total) = winner_agreement(fig);
+    writeln!(out, "  winner agreement with the paper: {agree}/{total}").unwrap();
+    out
+}

@@ -1,0 +1,167 @@
+//! Figures 11–14: the join-algorithm comparison tables.
+
+use crate::harness::{build_db, run_join_cell, stat_record};
+use crate::paper;
+use tq_query::{JoinAlgo, JoinOptions};
+use tq_statsdb::{Filter, StatsDb};
+use tq_workload::{Database, DbShape, Organization};
+
+/// The four selectivity combinations of Figures 11–14:
+/// `(patient %, provider %)`.
+pub const CELLS: [(u32, u32); 4] = [(10, 10), (10, 90), (90, 10), (90, 90)];
+
+/// One regenerated join figure.
+pub struct JoinFigure {
+    /// Database shape.
+    pub shape: DbShape,
+    /// Physical organization.
+    pub org: Organization,
+    /// Scale divisor used.
+    pub scale: u32,
+    /// Every measured run, stored the §3.3 way.
+    pub stats: StatsDb,
+}
+
+impl JoinFigure {
+    /// Measured ranking for one `(pat, prov)` cell, fastest first —
+    /// queried back from the stats database.
+    pub fn ranking(&self, pat: u32, prov: u32) -> Vec<(JoinAlgo, f64)> {
+        let filter = Filter::any()
+            .selectivity("Patient", pat)
+            .selectivity("Provider", prov);
+        self.stats
+            .ranking(&filter)
+            .into_iter()
+            .map(|s| {
+                let algo = JoinAlgo::all()
+                    .into_iter()
+                    .find(|a| a.label() == s.algo)
+                    .expect("known algorithm");
+                (algo, s.elapsed_time)
+            })
+            .collect()
+    }
+
+    /// The measured winner of a cell.
+    pub fn winner(&self, pat: u32, prov: u32) -> (JoinAlgo, f64) {
+        self.ranking(pat, prov)[0]
+    }
+}
+
+/// Runs all 16 measurements of one join figure (4 algorithms × 4
+/// selectivity cells) on a freshly built database.
+pub fn run_join_figure(shape: DbShape, org: Organization, scale: u32) -> JoinFigure {
+    let mut db = build_db(shape, org, scale);
+    run_join_figure_on(&mut db, scale)
+}
+
+/// Like [`run_join_figure`], reusing an existing database.
+pub fn run_join_figure_on(db: &mut Database, scale: u32) -> JoinFigure {
+    let mut stats = StatsDb::new();
+    for (pat, prov) in CELLS {
+        for algo in JoinAlgo::all() {
+            let cell = run_join_cell(db, algo, pat, prov, &JoinOptions::default());
+            stats.insert(stat_record(db, &cell, pat, prov));
+            eprintln!(
+                "  ({pat:>2},{prov:>2}) {:<6} {:>12.2}s  results={} io={} swap={}",
+                algo.label(),
+                cell.secs,
+                cell.results,
+                cell.io.d2sc_read_pages,
+                cell.report.swap_faults,
+            );
+        }
+    }
+    JoinFigure {
+        shape: db.config.shape,
+        org: db.config.organization,
+        scale,
+        stats,
+    }
+}
+
+/// Prints the figure in the paper's layout (ranked, with time ratios),
+/// paper numbers alongside when published.
+pub fn print_join_figure(fig: &JoinFigure) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let caption = match (fig.shape, fig.org) {
+        (DbShape::Db1, Organization::ClassClustered) => {
+            "Figure 11: One file per Class, 2x10^3 Providers, 2x10^6 Patients"
+        }
+        (DbShape::Db2, Organization::ClassClustered) => {
+            "Figure 12: One file per Class, 10^6 Providers, 3x10^6 Patients"
+        }
+        (DbShape::Db1, Organization::Composition) => {
+            "Figure 13: Composition Cluster, 2x10^3 Providers, 2x10^6 Patients"
+        }
+        (DbShape::Db2, Organization::Composition) => {
+            "Figure 14: Composition Cluster, 10^6 Providers, 3x10^6 Patients"
+        }
+        (DbShape::Db1, Organization::Randomized) => {
+            "Random file, 2x10^3 Providers, 2x10^6 Patients (summarized in Fig 15)"
+        }
+        (DbShape::Db2, Organization::Randomized) => {
+            "Random file, 10^6 Providers, 3x10^6 Patients (summarized in Fig 15)"
+        }
+        (DbShape::Db1, Organization::AssociationOrdered) => {
+            "Association-ordered class files (extension of paper §5.3), 2x10^3 Providers, 2x10^6 Patients"
+        }
+        (DbShape::Db2, Organization::AssociationOrdered) => {
+            "Association-ordered class files (extension of paper §5.3), 10^6 Providers, 3x10^6 Patients"
+        }
+    };
+    writeln!(out, "{caption}").unwrap();
+    if fig.scale > 1 {
+        writeln!(
+            out,
+            "  (measured at scale 1/{}; paper columns are full scale)",
+            fig.scale
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "  sel.pat  sel.prov  algo     ratio   measured(s)   paper(s)  paper-ratio"
+    )
+    .unwrap();
+    let paper_cells = paper::join_figure(fig.shape, fig.org);
+    for (pat, prov) in CELLS {
+        let ranked = fig.ranking(pat, prov);
+        let best = ranked[0].1;
+        let paper_cell =
+            paper_cells.and_then(|cells| cells.iter().find(|c| c.pat == pat && c.prov == prov));
+        for (i, (algo, secs)) in ranked.iter().enumerate() {
+            let paper_entry = paper_cell.map(|c| c.ranked[i]);
+            let (paper_secs, paper_ratio) = match paper_cell.zip(paper_entry) {
+                Some((c, _)) => {
+                    // Paper value for *this* algorithm (not this rank).
+                    let p = c.ranked.iter().find(|(a, _)| a == algo).unwrap().1;
+                    (format!("{p:>9.2}"), format!("{:.2}", p / c.ranked[0].1))
+                }
+                None => ("        -".to_string(), "-".to_string()),
+            };
+            writeln!(
+                out,
+                "  {:>6}  {:>8}  {:<6} {:>6.2}  {:>12.2}  {}  {:>6}",
+                if i == 0 {
+                    pat.to_string()
+                } else {
+                    String::new()
+                },
+                if i == 0 {
+                    prov.to_string()
+                } else {
+                    String::new()
+                },
+                algo.label(),
+                secs / best,
+                secs,
+                paper_secs,
+                paper_ratio,
+            )
+            .unwrap();
+        }
+    }
+    out
+}

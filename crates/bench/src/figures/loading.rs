@@ -1,0 +1,129 @@
+//! §3.2: the bulk-loading pitfalls ("our first 4M-object load took 12
+//! hours; it should take about one").
+
+use tq_pagestore::CacheConfig;
+use tq_workload::{load_experiment, DbShape, IndexTiming, LoadOptions, LoadReport};
+
+/// One loading configuration and its outcome.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Configuration label.
+    pub label: &'static str,
+    /// The knobs.
+    pub options: LoadOptions,
+    /// The outcome.
+    pub report: LoadReport,
+}
+
+/// The regenerated experiment.
+pub struct LoadingFigure {
+    /// Sweep rows, from naive to tuned.
+    pub rows: Vec<Row>,
+    /// Scale divisor used.
+    pub scale: u32,
+}
+
+/// One cumulative tuning step: a label and the knob it turns.
+type Step = (&'static str, Box<dyn Fn(&mut LoadOptions)>);
+
+/// Runs the loading sweep: the naive configuration, then each fix
+/// applied cumulatively, ending at the tuned configuration.
+pub fn run(scale: u32) -> LoadingFigure {
+    let shape = DbShape::Db2;
+    let steps: Vec<Step> = vec![
+        (
+            "naive: log on, 100/commit, 4MB caches, rescan join, index after",
+            Box::new(|_: &mut LoadOptions| {}),
+        ),
+        (
+            "+ stop re-running the wiring join",
+            Box::new(|o: &mut LoadOptions| {
+                o.join_rescan_on_commit = false;
+            }),
+        ),
+        (
+            "+ commit every 10,000 objects",
+            Box::new(|o: &mut LoadOptions| {
+                o.commit_every = 10_000;
+            }),
+        ),
+        (
+            "+ transaction-off mode (no log)",
+            Box::new(|o: &mut LoadOptions| {
+                o.transaction_off = true;
+            }),
+        ),
+        (
+            "+ 32MB client cache",
+            Box::new(|o: &mut LoadOptions| {
+                o.cache = CacheConfig::paper_default();
+            }),
+        ),
+        (
+            "+ index headroom at creation (tuned)",
+            Box::new(|o: &mut LoadOptions| {
+                o.index_timing = IndexTiming::HeadroomAtCreate;
+            }),
+        ),
+    ];
+    let mut options = LoadOptions::naive(shape, scale);
+    let mut rows = Vec::new();
+    for (label, apply) in steps {
+        apply(&mut options);
+        let report = load_experiment(&options);
+        eprintln!(
+            "  {label:<55} {:>10.1}s  ({} writes, {} log, {} reloc)",
+            report.elapsed_secs, report.pages_written, report.log_pages_written, report.relocated
+        );
+        rows.push(Row {
+            label,
+            options: options.clone(),
+            report,
+        });
+    }
+    LoadingFigure { rows, scale }
+}
+
+/// Prints the sweep.
+pub fn print(fig: &LoadingFigure) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Section 3.2: loading the 1:3 database — from twelve hours to one"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  (scale 1/{}, {} objects)",
+        fig.scale, fig.rows[0].report.objects
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  configuration                                            elapsed      writes    log-writes   widened   relocated"
+    )
+    .unwrap();
+    for r in &fig.rows {
+        writeln!(
+            out,
+            "  {:<55} {:>9.1}s  {:>9}  {:>10}  {:>8}  {:>9}",
+            r.label,
+            r.report.elapsed_secs,
+            r.report.pages_written,
+            r.report.log_pages_written,
+            r.report.widened,
+            r.report.relocated,
+        )
+        .unwrap();
+    }
+    let naive = fig.rows.first().unwrap().report.elapsed_secs;
+    let tuned = fig.rows.last().unwrap().report.elapsed_secs;
+    writeln!(
+        out,
+        "  speedup: {:.1}x (the paper went from 12 hours to ~1)",
+        naive / tuned
+    )
+    .unwrap();
+    out
+}

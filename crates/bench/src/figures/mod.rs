@@ -1,0 +1,12 @@
+//! One module per regenerated table/figure.
+
+pub mod assoc;
+pub mod fig06;
+pub mod fig07;
+pub mod fig10;
+pub mod fig15;
+pub mod handles;
+pub mod hybrid;
+pub mod joins;
+pub mod loading;
+pub mod warm;

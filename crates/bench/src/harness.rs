@@ -1,0 +1,271 @@
+//! Shared machinery for the figure-regeneration binaries.
+
+use tq_query::estimator::PhysicalProfile;
+use tq_query::join::{run_join, JoinContext, JoinOptions, JoinReport};
+use tq_query::{JoinAlgo, ResultMode, TreeJoinSpec};
+use tq_statsdb::{ExtentDesc, QueryDesc, Stat, SystemDesc};
+use tq_workload::{
+    build, patient_attr, provider_attr, BuildConfig, Database, DbShape, Organization,
+};
+
+/// Reads the scale divisor from `TQ_SCALE` (default 1 = paper scale).
+///
+/// A set-but-unparseable value is a hard error: silently falling back
+/// to paper scale would launch a multi-minute run the user did not
+/// ask for.
+pub fn scale_from_env() -> u32 {
+    match std::env::var("TQ_SCALE") {
+        Err(_) => 1,
+        Ok(raw) => match raw.parse::<u32>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("TQ_SCALE must be a positive integer, got {raw:?}");
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
+/// Builds the database for a figure, honouring `TQ_SCALE`.
+pub fn build_db(shape: DbShape, org: Organization, scale: u32) -> Database {
+    let cfg = if scale <= 1 {
+        BuildConfig::paper(shape, org)
+    } else {
+        BuildConfig::scaled(shape, org, scale)
+    };
+    eprintln!(
+        "building {:?} / {:?} at scale 1/{} ({} providers)...",
+        shape,
+        org,
+        scale.max(1),
+        cfg.provider_count()
+    );
+    build(&cfg)
+}
+
+/// The paper's §5 join at the given selectivities.
+pub fn join_spec(db: &Database, pat_pct: u32, prov_pct: u32) -> TreeJoinSpec {
+    TreeJoinSpec {
+        parents: "Providers".into(),
+        children: "Patients".into(),
+        parent_key: provider_attr::UPIN,
+        parent_set: provider_attr::CLIENTS,
+        child_key: patient_attr::MRN,
+        child_parent: patient_attr::PCP,
+        parent_project: provider_attr::NAME,
+        child_project: patient_attr::AGE,
+        parent_key_limit: db.provider_selectivity_key(prov_pct),
+        child_key_limit: db.patient_selectivity_key(pat_pct),
+        result_mode: ResultMode::Transient,
+    }
+}
+
+/// The estimator's view of a database.
+pub fn physical_profile(db: &Database) -> PhysicalProfile {
+    let disk = db.store.stack().disk();
+    let (parent_pages, child_pages) = match db.config.organization {
+        Organization::ClassClustered | Organization::AssociationOrdered => {
+            let p = disk.file_len(disk.file_by_name("providers").expect("providers file"));
+            let c = disk.file_len(disk.file_by_name("patients").expect("patients file"));
+            (p as u64, c as u64)
+        }
+        _ => {
+            let shared = disk.file_len(disk.file_by_name("objects").expect("objects file")) as u64;
+            (shared, shared)
+        }
+    };
+    let overflow_pages_per_parent = match db.config.shape {
+        DbShape::Db1 => {
+            let ovf = disk
+                .file_by_name("clients.overflow")
+                .map(|f| disk.file_len(f) as f64)
+                .unwrap_or(0.0);
+            ovf / db.provider_count as f64
+        }
+        DbShape::Db2 => 0.0,
+    };
+    PhysicalProfile {
+        parents_total: db.provider_count,
+        children_total: db.patient_count,
+        parent_scan_pages: parent_pages,
+        child_scan_pages: child_pages,
+        parent_index_clustered: db.idx_provider_upin.clustered,
+        child_index_clustered: db.idx_patient_mrn.clustered,
+        composition: db.config.organization == Organization::Composition,
+        mean_fanout: db.patient_count as f64 / db.provider_count as f64,
+        overflow_pages_per_parent,
+        client_cache_pages: db.config.cache.client_pages as u64,
+    }
+}
+
+/// One measured join run.
+#[derive(Clone, Debug)]
+pub struct JoinCell {
+    /// The algorithm.
+    pub algo: JoinAlgo,
+    /// Simulated elapsed seconds (cold run).
+    pub secs: f64,
+    /// Result tuples.
+    pub results: u64,
+    /// Executor report.
+    pub report: JoinReport,
+    /// I/O counters for the run.
+    pub io: tq_pagestore::IoStats,
+}
+
+/// Runs one cold join measurement (the paper's protocol: server
+/// shutdown before every run).
+pub fn run_join_cell(
+    db: &mut Database,
+    algo: JoinAlgo,
+    pat_pct: u32,
+    prov_pct: u32,
+    opts: &JoinOptions,
+) -> JoinCell {
+    let spec = join_spec(db, pat_pct, prov_pct);
+    let parent_index = db.idx_provider_upin.clone();
+    let child_index = db.idx_patient_mrn.clone();
+    let (report, secs) = db.measure_cold(|db| {
+        let mut ctx = JoinContext {
+            store: &mut db.store,
+            parent_index: &parent_index,
+            child_index: &child_index,
+        };
+        run_join(algo, &mut ctx, &spec, opts, false)
+    });
+    JoinCell {
+        algo,
+        secs,
+        results: report.results,
+        io: db.store.stats(),
+        report,
+    }
+}
+
+/// Runs a *warm* join measurement: one cold run primes the caches
+/// (discarded), then the same join is measured again without a server
+/// restart. The paper measured everything cold; warm runs show how
+/// much of each algorithm's cost the caches can absorb (I/O) and how
+/// much they cannot (handle CPU — the §4 lesson).
+pub fn run_join_cell_warm(
+    db: &mut Database,
+    algo: JoinAlgo,
+    pat_pct: u32,
+    prov_pct: u32,
+    opts: &JoinOptions,
+) -> JoinCell {
+    let spec = join_spec(db, pat_pct, prov_pct);
+    let parent_index = db.idx_provider_upin.clone();
+    let child_index = db.idx_patient_mrn.clone();
+    // Prime.
+    let _ = run_join_cell(db, algo, pat_pct, prov_pct, opts);
+    // Measure warm: reset metrics only, keep residency.
+    db.store.reset_metrics();
+    let report = {
+        let mut ctx = JoinContext {
+            store: &mut db.store,
+            parent_index: &parent_index,
+            child_index: &child_index,
+        };
+        run_join(algo, &mut ctx, &spec, opts, false)
+    };
+    db.store.end_of_query();
+    JoinCell {
+        algo,
+        secs: db.store.clock().elapsed_secs(),
+        results: report.results,
+        io: db.store.stats(),
+        report,
+    }
+}
+
+/// Converts a measured cell into a Figure 3 `Stat` record.
+pub fn stat_record(db: &Database, cell: &JoinCell, pat_pct: u32, prov_pct: u32) -> Stat {
+    let spec = join_spec(db, pat_pct, prov_pct);
+    Stat {
+        numtest: 0, // assigned by the StatsDb
+        query: QueryDesc {
+            cold: true,
+            projection_type: "[p.name, pa.age]".into(),
+            selectivities: vec![("Patient".into(), pat_pct), ("Provider".into(), prov_pct)],
+            text: format!(
+                "select [p.name, pa.age] from p in Providers, pa in p.clients \
+                 where pa.mrn < {} and p.upin < {}",
+                spec.child_key_limit, spec.parent_key_limit
+            ),
+        },
+        database: vec![
+            ExtentDesc {
+                classname: "Provider".into(),
+                size: db.provider_count,
+                associations: vec![("Patient".into(), db.config.shape.mean_fanout())],
+            },
+            ExtentDesc {
+                classname: "Patient".into(),
+                size: db.patient_count,
+                associations: vec![],
+            },
+        ],
+        cluster: db.config.organization.label().into(),
+        algo: cell.algo.label().into(),
+        system: SystemDesc {
+            server_cache_kb: (db.config.cache.server_pages * 4) as u64,
+            client_cache_kb: (db.config.cache.client_pages * 4) as u64,
+            same_workstation: true,
+        },
+        cc_pagefaults: cell.io.client_misses,
+        elapsed_time: cell.secs,
+        rpcs_number: cell.io.sc2cc_read_pages,
+        rpcs_total_mb: cell.io.rpc_total_bytes() as f64 / 1e6,
+        d2sc_read_pages: cell.io.d2sc_read_pages,
+        sc2cc_read_pages: cell.io.sc2cc_read_pages,
+        cc_miss_rate: cell.io.client_miss_rate(),
+        sc_miss_rate: cell.io.server_miss_rate(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_reflects_the_database() {
+        let db = build_db(DbShape::Db2, Organization::ClassClustered, 1000);
+        let p = physical_profile(&db);
+        assert_eq!(p.parents_total, 1000);
+        assert!(p.parent_index_clustered);
+        assert!(p.child_index_clustered);
+        assert!(!p.composition);
+        assert!(p.parent_scan_pages > 0 && p.child_scan_pages > 0);
+        let comp = build_db(DbShape::Db2, Organization::Composition, 1000);
+        let pc = physical_profile(&comp);
+        assert!(pc.composition);
+        assert!(!pc.child_index_clustered);
+        assert_eq!(pc.parent_scan_pages, pc.child_scan_pages);
+    }
+
+    #[test]
+    fn cells_convert_to_stat_records() {
+        let mut db = build_db(DbShape::Db2, Organization::ClassClustered, 1000);
+        let cell = run_join_cell(&mut db, JoinAlgo::Phj, 10, 90, &Default::default());
+        assert!(cell.results > 0);
+        assert!(cell.secs > 0.0);
+        let stat = stat_record(&db, &cell, 10, 90);
+        assert_eq!(stat.algo, "PHJ");
+        assert_eq!(stat.cluster, "class");
+        assert_eq!(stat.query.selectivity_on("Patient"), Some(10));
+        assert!(stat.query.text.contains("select"));
+        assert!(stat.d2sc_read_pages > 0);
+    }
+
+    #[test]
+    fn db1_profile_has_overflow_pages() {
+        let db = build_db(DbShape::Db1, Organization::ClassClustered, 200);
+        let p = physical_profile(&db);
+        assert!(
+            p.overflow_pages_per_parent > 1.0,
+            "1:1000 client sets overflow ({} pages/parent)",
+            p.overflow_pages_per_parent
+        );
+    }
+}

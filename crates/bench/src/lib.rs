@@ -1,0 +1,18 @@
+//! # tq-bench — figure and table regeneration
+//!
+//! One module (and one binary) per table/figure of the paper's
+//! evaluation; see `DESIGN.md` for the experiment index. Each figure
+//! runs the real engine under the paper's measurement protocol (cold
+//! caches, Figure 3 counters), stores every run in a
+//! [`StatsDb`](tq_statsdb::StatsDb), and prints its table by *querying
+//! the stats database* — the §3.3 methodology, practiced.
+//!
+//! Set `TQ_SCALE=n` to divide object counts (and cache sizes, keeping
+//! ratios) by `n`; the default is paper scale.
+
+pub mod analysis;
+pub mod figures;
+pub mod harness;
+pub mod paper;
+
+pub use harness::{build_db, join_spec, physical_profile, run_join_cell, scale_from_env, JoinCell};

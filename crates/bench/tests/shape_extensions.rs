@@ -1,0 +1,83 @@
+//! Shape tests for the extension experiments: hybrid hashing (§5.1's
+//! untested fix) and the association-ordered organization (§5.3's
+//! proposal).
+
+use tq_bench::figures::{assoc, hybrid};
+
+/// Hybrid hashing removes every swap fault and beats the plain variant
+/// by a wide margin on the swap-bound cells.
+#[test]
+fn hybrid_hashing_rescues_the_swap_cells() {
+    let fig = hybrid::run(100);
+    for row in &fig.rows {
+        assert!(row.plain.1 > 0, "{}: the plain cell must swap", row.label);
+        assert!(row.hybrid.1 > 1, "{}: hybrid must partition", row.label);
+        assert!(
+            row.hybrid.0 < row.plain.0 / 2.0,
+            "{}: hybrid {:.1}s vs plain {:.1}s",
+            row.label,
+            row.hybrid.0,
+            row.plain.0
+        );
+    }
+    // In the class-clustered Figure 12 cell, hybrid hashing reclaims
+    // the win from navigation (the paper's conjecture).
+    let class_cells: Vec<_> = fig
+        .rows
+        .iter()
+        .filter(|r| r.label.contains("class"))
+        .collect();
+    assert!(!class_cells.is_empty());
+    for row in class_cells {
+        assert!(
+            row.hybrid.0 < row.best_navigation_secs,
+            "{}: hybrid {:.1}s must beat navigation {:.1}s",
+            row.label,
+            row.hybrid.0,
+            row.best_navigation_secs
+        );
+    }
+}
+
+/// The association-ordered organization behaves as the paper predicts:
+/// selections like class clustering, navigation like composition.
+#[test]
+fn association_ordered_matches_the_papers_prediction() {
+    let fig = assoc::run(100);
+    // Selections: like class (within 25%), far better than raw
+    // composition would be without the shared-file discount.
+    let sel_ratio = fig.assoc.selection_secs / fig.class.selection_secs;
+    assert!(
+        (0.8..1.25).contains(&sel_ratio),
+        "selection must match class clustering ({sel_ratio:.2}x)"
+    );
+    // NL: like composition (and far better than class).
+    assert!(
+        fig.assoc.nl_secs < 2.0 * fig.composition.nl_secs,
+        "NL assoc {:.1}s vs composition {:.1}s",
+        fig.assoc.nl_secs,
+        fig.composition.nl_secs
+    );
+    assert!(
+        fig.assoc.nl_secs < fig.class.nl_secs / 3.0,
+        "NL assoc {:.1}s vs class {:.1}s",
+        fig.assoc.nl_secs,
+        fig.class.nl_secs
+    );
+    // NOJOIN keeps most of the composition advantage over class.
+    assert!(
+        fig.assoc.nojoin_secs < fig.class.nojoin_secs,
+        "NOJOIN assoc {:.1}s vs class {:.1}s",
+        fig.assoc.nojoin_secs,
+        fig.class.nojoin_secs
+    );
+    // Hash joins sit much nearer class clustering than NL-under-class
+    // style penalties: no worse than half the composition overhead
+    // beyond class.
+    assert!(
+        fig.assoc.phj_secs < fig.composition.phj_secs,
+        "PHJ assoc {:.1}s vs composition {:.1}s",
+        fig.assoc.phj_secs,
+        fig.composition.phj_secs
+    );
+}

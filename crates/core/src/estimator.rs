@@ -1,0 +1,472 @@
+//! Analytic cost estimation — the cost model the authors set out to
+//! build (§1: "(i) defining an accurate cost model and (ii) improving
+//! its search strategy").
+//!
+//! The formulas mirror the mechanics of the executor: sequential and
+//! random page reads through a finite client cache, rid-sorted index
+//! scans, per-object handle CPU, hash build/probe CPU, result
+//! construction, and paging when an operator's hash table exceeds the
+//! memory budget. They are *adequate for choosing plans*, which is the
+//! paper's bar, not cycle-accurate.
+
+use crate::join::hash_table_bytes;
+use crate::spec::JoinAlgo;
+use tq_pagestore::CostModel;
+
+/// Physical facts the estimator needs about one 1-N tree.
+#[derive(Clone, Copy, Debug)]
+pub struct PhysicalProfile {
+    /// Parent-extent cardinality.
+    pub parents_total: u64,
+    /// Child-extent cardinality.
+    pub children_total: u64,
+    /// Pages a full pass over the parents touches (for shared files —
+    /// random/composition — this is the whole file).
+    pub parent_scan_pages: u64,
+    /// Pages a full pass over the children touches.
+    pub child_scan_pages: u64,
+    /// Is the parent key index clustered (key order = physical order)?
+    pub parent_index_clustered: bool,
+    /// Is the child key index clustered?
+    pub child_index_clustered: bool,
+    /// Children placed adjacent to their parent (composition
+    /// clustering)?
+    pub composition: bool,
+    /// Mean children per parent.
+    pub mean_fanout: f64,
+    /// Overflow rid-run pages per parent's child set (0 when sets are
+    /// inline).
+    pub overflow_pages_per_parent: f64,
+    /// Client cache capacity in pages.
+    pub client_cache_pages: u64,
+}
+
+impl PhysicalProfile {
+    /// Estimated join result cardinality at the given selectivities
+    /// (fractions in `0..=1`). The predicates are independent: the
+    /// three organizations store the same logical database.
+    pub fn result_cardinality(&self, parent_sel: f64, child_sel: f64) -> f64 {
+        parent_sel * child_sel * self.children_total as f64
+    }
+}
+
+/// An estimated cost.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostEstimate {
+    /// Estimated elapsed seconds.
+    pub secs: f64,
+    /// Estimated operator hash-table bytes (0 for navigation).
+    pub table_bytes: u64,
+}
+
+fn secs(nanos: u64) -> f64 {
+    nanos as f64 / 1e9
+}
+
+/// Pages of index leaves returning `entries` rids (250 entries/leaf).
+fn index_leaf_pages(entries: f64) -> f64 {
+    (entries / 250.0).ceil()
+}
+
+/// Expected distinct pages hit by `accesses` uniform random accesses
+/// over `pages` pages (coupon-collector approximation).
+fn distinct_pages(accesses: f64, pages: f64) -> f64 {
+    if pages <= 0.0 {
+        return 0.0;
+    }
+    pages * (1.0 - (-accesses / pages).exp())
+}
+
+/// Expected physical reads for `accesses` random accesses over `pages`
+/// pages through a `cache`-page LRU: first touches plus re-reads at the
+/// steady-state miss rate.
+fn random_reads(accesses: f64, pages: f64, cache: f64) -> f64 {
+    if pages <= cache {
+        return distinct_pages(accesses, pages);
+    }
+    let hit = cache / pages;
+    let first_pass = distinct_pages(accesses, pages).min(pages);
+    let rereads = (accesses - first_pass).max(0.0) * (1.0 - hit);
+    first_pass + rereads
+}
+
+/// Cost components shared by the estimators.
+struct Env<'a> {
+    m: &'a CostModel,
+    cache: f64,
+}
+
+impl Env<'_> {
+    fn seq_read(&self, pages: f64) -> f64 {
+        pages * secs(self.m.read_page_sequential + self.m.rpc_per_page)
+    }
+
+    fn rand_read(&self, pages: f64) -> f64 {
+        pages * secs(self.m.read_page_random + self.m.rpc_per_page)
+    }
+
+    /// One selected-prefix pass when the index is clustered: a
+    /// sequential read of the selected fraction of the region.
+    /// Otherwise a rid-sorted fetch of `count` objects scattered over
+    /// `pages`: every page holding a selected object, read once, in
+    /// physical order (dense runs stream; sparse ones seek).
+    fn index_driven_scan(&self, clustered: bool, sel: f64, count: f64, pages: f64) -> f64 {
+        if clustered {
+            return self.seq_read(sel * pages);
+        }
+        let touched = distinct_pages(count, pages);
+        let density = count / pages.max(1.0);
+        let seq_fraction = density.min(1.0);
+        touched
+            * (seq_fraction * secs(self.m.read_page_sequential + self.m.rpc_per_page)
+                + (1.0 - seq_fraction) * secs(self.m.read_page_random + self.m.rpc_per_page))
+    }
+
+    /// Full handle life cycle per scanned object.
+    fn handle_scan(&self, objects: f64) -> f64 {
+        objects * secs(self.m.handle_alloc + self.m.handle_unref + self.m.handle_free)
+    }
+
+    fn attr(&self, count: f64) -> f64 {
+        count * secs(self.m.attr_get)
+    }
+
+    fn result_build(&self, tuples: f64) -> f64 {
+        // Join results project two attributes and append transiently.
+        tuples * secs(self.m.result_append_transient + 2 * self.m.attr_get)
+    }
+
+    fn sort(&self, n: f64) -> f64 {
+        if n > 1.0 {
+            n * n.log2() * secs(self.m.sort_compare)
+        } else {
+            0.0
+        }
+    }
+
+    fn swap_cost(&self, table_bytes: u64, touches: f64) -> f64 {
+        let budget = self.m.operator_memory_budget;
+        if table_bytes <= budget {
+            return 0.0;
+        }
+        let fault_rate = 1.0 - budget as f64 / table_bytes as f64;
+        touches * fault_rate * secs(self.m.swap_fault)
+    }
+}
+
+/// Estimates one join algorithm's cost at the given selectivities
+/// (fractions in `0..=1`).
+pub fn estimate_join(
+    algo: JoinAlgo,
+    profile: &PhysicalProfile,
+    model: &CostModel,
+    parent_sel: f64,
+    child_sel: f64,
+) -> CostEstimate {
+    let p = profile;
+    let e = Env {
+        m: model,
+        cache: p.client_cache_pages as f64,
+    };
+    let sp = parent_sel * p.parents_total as f64; // selected parents
+    let sc = child_sel * p.children_total as f64; // selected children
+    let results = p.result_cardinality(parent_sel, child_sel);
+    // PHJ tables match the paper's Figure 10 approximation; CHJ
+    // directories are demand-allocated, so size by the *distinct*
+    // parents the selected children touch.
+    let table_bytes = match algo {
+        JoinAlgo::Chj => {
+            let distinct_parents =
+                p.parents_total as f64 * (1.0 - (1.0 - child_sel).powf(p.mean_fanout));
+            (60.0 * distinct_parents + 8.0 * sc) as u64
+        }
+        _ => hash_table_bytes(algo, p.parents_total, sp as u64, sc as u64),
+    };
+
+    // Index leaf I/O for the selected ranges (sequential leaf chains).
+    let parent_leaves = e.seq_read(index_leaf_pages(sp));
+    let child_leaves = e.seq_read(index_leaf_pages(sc));
+
+    let secs_total = match algo {
+        JoinAlgo::Nl => {
+            // Parents via their index (NL cannot sort: navigation).
+            let io_parents = if p.parent_index_clustered {
+                e.seq_read(parent_sel * p.parent_scan_pages as f64)
+            } else {
+                e.rand_read(random_reads(sp, p.parent_scan_pages as f64, e.cache))
+            };
+            let child_accesses = sp * p.mean_fanout;
+            // Children via the set attribute: adjacent under
+            // composition (covered by the parent pass), random I/O
+            // otherwise, plus overflow rid-run pages.
+            let io_children = if p.composition {
+                0.0
+            } else {
+                e.rand_read(random_reads(
+                    child_accesses,
+                    p.child_scan_pages as f64,
+                    e.cache,
+                )) + e.rand_read(sp * p.overflow_pages_per_parent)
+            };
+            let cpu = e.handle_scan(sp + child_accesses)
+                + e.attr(sp) // set attribute
+                + child_accesses * secs(e.m.attr_get + e.m.compare)
+                + e.result_build(results);
+            parent_leaves + io_parents + io_children + cpu
+        }
+        JoinAlgo::Nojoin => {
+            let io_children = e.index_driven_scan(
+                p.child_index_clustered,
+                child_sel,
+                sc,
+                p.child_scan_pages as f64,
+            );
+            // Parents: adjacent under composition (the sorted child
+            // pass brings them in); random otherwise.
+            let io_parents = if p.composition {
+                0.0
+            } else {
+                e.rand_read(random_reads(sc, p.parent_scan_pages as f64, e.cache))
+            };
+            let distinct_parents = (p.parents_total as f64).min(sc);
+            let cpu = e.sort(sc)
+                + e.handle_scan(sc + distinct_parents)
+                + (sc - distinct_parents).max(0.0)
+                    * secs(e.m.handle_touch + e.m.handle_unref)
+                + e.attr(sc) // back reference
+                + sc * secs(e.m.attr_get + e.m.compare) // parent key test
+                + e.result_build(results);
+            child_leaves + io_children + io_parents + cpu
+        }
+        JoinAlgo::Phj | JoinAlgo::Chj => {
+            let io = e.index_driven_scan(
+                p.parent_index_clustered,
+                parent_sel,
+                sp,
+                p.parent_scan_pages as f64,
+            ) + e.index_driven_scan(
+                p.child_index_clustered,
+                child_sel,
+                sc,
+                p.child_scan_pages as f64,
+            );
+            let (inserts, probes) = if algo == JoinAlgo::Phj {
+                (sp, sc)
+            } else {
+                (sc, sp)
+            };
+            let cpu = e.sort(sp)
+                + e.sort(sc)
+                + e.handle_scan(sp + sc)
+                + e.attr(sp + 2.0 * sc) // projections + back references
+                + inserts * secs(e.m.hash_insert)
+                + probes * secs(e.m.hash_probe)
+                + e.result_build(results);
+            parent_leaves + child_leaves + io + cpu + e.swap_cost(table_bytes, sp + sc)
+        }
+    };
+    CostEstimate {
+        secs: secs_total,
+        table_bytes,
+    }
+}
+
+/// Selection access paths for [`estimate_selection`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SelectPath {
+    /// Full sequential scan.
+    SeqScan,
+    /// Unsorted (key-order) index scan.
+    IndexScan,
+    /// Rid-sorted index scan (Figure 8 right).
+    SortedIndexScan,
+}
+
+/// Estimates a selection over `total` objects in `pages` pages with an
+/// unclustered index, at selectivity `sel` (fraction).
+pub fn estimate_selection(
+    path: SelectPath,
+    total: u64,
+    pages: u64,
+    cache_pages: u64,
+    model: &CostModel,
+    sel: f64,
+) -> f64 {
+    let e = Env {
+        m: model,
+        cache: cache_pages as f64,
+    };
+    let n = total as f64;
+    let selected = sel * n;
+    let result = selected * secs(model.result_append_persistent + model.attr_get);
+    match path {
+        SelectPath::SeqScan => {
+            e.seq_read(pages as f64)
+                + e.handle_scan(n)
+                + n * secs(model.compare + model.attr_get)
+                + result
+        }
+        SelectPath::IndexScan => {
+            e.seq_read(index_leaf_pages(selected))
+                + e.rand_read(random_reads(selected, pages as f64, e.cache))
+                + e.handle_scan(selected)
+                + result
+        }
+        SelectPath::SortedIndexScan => {
+            e.seq_read(index_leaf_pages(selected))
+                + e.index_driven_scan(false, sel, selected, pages as f64)
+                + e.sort(selected)
+                + e.handle_scan(selected)
+                + result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db1_class() -> PhysicalProfile {
+        PhysicalProfile {
+            parents_total: 2_000,
+            children_total: 2_000_000,
+            parent_scan_pages: 70,
+            child_scan_pages: 33_000,
+            parent_index_clustered: true,
+            child_index_clustered: true,
+            composition: false,
+            mean_fanout: 1_000.0,
+            overflow_pages_per_parent: 2.0,
+            client_cache_pages: 8_192,
+        }
+    }
+
+    fn db2_class() -> PhysicalProfile {
+        PhysicalProfile {
+            parents_total: 1_000_000,
+            children_total: 3_000_000,
+            parent_scan_pages: 33_000,
+            child_scan_pages: 49_000,
+            parent_index_clustered: true,
+            child_index_clustered: true,
+            composition: false,
+            mean_fanout: 3.0,
+            overflow_pages_per_parent: 0.0,
+            client_cache_pages: 8_192,
+        }
+    }
+
+    /// Composition: shared file, mrn index no longer clustered.
+    fn comp(mut p: PhysicalProfile) -> PhysicalProfile {
+        let shared = p.parent_scan_pages + p.child_scan_pages;
+        p.parent_scan_pages = shared;
+        p.child_scan_pages = shared;
+        p.composition = true;
+        p.child_index_clustered = false;
+        p.overflow_pages_per_parent = 0.0;
+        p
+    }
+
+    fn est(algo: JoinAlgo, p: &PhysicalProfile, sp: f64, sc: f64) -> f64 {
+        estimate_join(algo, p, &CostModel::sparc20(), sp, sc).secs
+    }
+
+    #[test]
+    fn class_1to1000_hash_wins_nl_dreadful() {
+        // Paper Figure 11 at (pat 10, prov 90): PHJ/CHJ best, NL ~80x.
+        let p = db1_class();
+        let phj = est(JoinAlgo::Phj, &p, 0.9, 0.1);
+        let nl = est(JoinAlgo::Nl, &p, 0.9, 0.1);
+        let nojoin = est(JoinAlgo::Nojoin, &p, 0.9, 0.1);
+        assert!(nojoin < 2.0 * phj, "NOJOIN stays comparable (paper: 1.24x)");
+        assert!(nl > 20.0 * phj, "NL {nl:.0}s vs PHJ {phj:.0}s");
+    }
+
+    #[test]
+    fn class_1to3_nojoin_dreadful_until_swap() {
+        let p = db2_class();
+        // (10, 10): hash joins beat navigation by a lot (Figure 12).
+        assert!(est(JoinAlgo::Phj, &p, 0.1, 0.1) * 3.0 < est(JoinAlgo::Nojoin, &p, 0.1, 0.1));
+        // (90, 90): tables outgrow memory; NOJOIN wins (Figure 12).
+        let nojoin = est(JoinAlgo::Nojoin, &p, 0.9, 0.9);
+        let phj = est(JoinAlgo::Phj, &p, 0.9, 0.9);
+        let chj = est(JoinAlgo::Chj, &p, 0.9, 0.9);
+        assert!(nojoin < phj, "NOJOIN {nojoin:.0}s vs PHJ {phj:.0}s");
+        assert!(phj < chj, "PHJ swaps less than CHJ");
+    }
+
+    #[test]
+    fn composition_makes_navigation_win() {
+        // Paper Figures 13/14: NL wins every cell except DB2 (pat 10,
+        // prov 90), where NOJOIN wins.
+        for (sp, sc) in [(0.1, 0.1), (0.1, 0.9), (0.9, 0.9)] {
+            for p in [comp(db1_class()), comp(db2_class())] {
+                let nl = est(JoinAlgo::Nl, &p, sp, sc);
+                let phj = est(JoinAlgo::Phj, &p, sp, sc);
+                assert!(
+                    nl < phj,
+                    "composition ({sp},{sc}): NL {nl:.0}s must beat PHJ {phj:.0}s"
+                );
+            }
+        }
+        // The Figure 14 row-2 exception: 90% of providers, 10% of
+        // patients — walking 90% of the file to navigate loses to the
+        // child-side scan.
+        let p = comp(db2_class());
+        let nojoin = est(JoinAlgo::Nojoin, &p, 0.9, 0.1);
+        let nl = est(JoinAlgo::Nl, &p, 0.9, 0.1);
+        assert!(nojoin < nl, "NOJOIN {nojoin:.0}s vs NL {nl:.0}s");
+    }
+
+    #[test]
+    fn result_cardinality_is_independent() {
+        let p = db1_class();
+        assert!((p.result_cardinality(0.1, 0.9) - 180_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn selection_sorted_index_beats_both_at_all_selectivities() {
+        // Paper Figure 7.
+        let m = CostModel::sparc20();
+        for sel in [0.1, 0.3, 0.6, 0.9] {
+            let sorted = estimate_selection(
+                SelectPath::SortedIndexScan,
+                2_000_000,
+                33_000,
+                8_192,
+                &m,
+                sel,
+            );
+            let seq = estimate_selection(SelectPath::SeqScan, 2_000_000, 33_000, 8_192, &m, sel);
+            assert!(
+                sorted < seq,
+                "sel {sel}: sorted {sorted:.0}s vs scan {seq:.0}s"
+            );
+        }
+        // And the naive index scan loses to the full scan at high
+        // selectivity (Figure 6's threshold).
+        let idx90 = estimate_selection(SelectPath::IndexScan, 2_000_000, 33_000, 8_192, &m, 0.9);
+        let seq90 = estimate_selection(SelectPath::SeqScan, 2_000_000, 33_000, 8_192, &m, 0.9);
+        assert!(idx90 > seq90);
+        let idx001 = estimate_selection(SelectPath::IndexScan, 2_000_000, 33_000, 8_192, &m, 0.001);
+        let seq001 = estimate_selection(SelectPath::SeqScan, 2_000_000, 33_000, 8_192, &m, 0.001);
+        assert!(idx001 < seq001);
+    }
+
+    #[test]
+    fn random_org_slower_than_class_same_winner() {
+        // Paper §5.2: storing objects randomly multiplies time by
+        // 1.5-2x but favours the same algorithms.
+        let class = db1_class();
+        let mut random = db1_class();
+        let shared = random.parent_scan_pages + random.child_scan_pages;
+        random.parent_scan_pages = shared;
+        random.child_scan_pages = shared;
+        random.parent_index_clustered = false;
+        random.child_index_clustered = false;
+        let c = est(JoinAlgo::Phj, &class, 0.1, 0.1);
+        let r = est(JoinAlgo::Phj, &random, 0.1, 0.1);
+        assert!(r > 1.3 * c, "random {r:.0}s vs class {c:.0}s");
+        assert!(r < 6.0 * c);
+    }
+}

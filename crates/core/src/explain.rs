@@ -1,0 +1,110 @@
+//! Cost breakdowns — the paper's Figure 9 analysis, mechanized.
+//!
+//! Figure 9 decomposes the difference between the standard scan and the
+//! sorted index scan into I/O and CPU terms. The simulated clock keeps
+//! those tallies; [`CostBreakdown`] snapshots them and
+//! [`CostBreakdown::diff`] prints where two plans' time went.
+
+use std::fmt;
+use tq_pagestore::SimClock;
+
+/// Seconds spent per cost category.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CostBreakdown {
+    /// Disk I/O time.
+    pub io_secs: f64,
+    /// Client↔server page shipping time.
+    pub rpc_secs: f64,
+    /// CPU time (handles, predicates, hashing, sorting, results).
+    pub cpu_secs: f64,
+    /// Operator-memory swap time.
+    pub swap_secs: f64,
+}
+
+impl CostBreakdown {
+    /// Snapshot of a clock's tallies.
+    pub fn from_clock(clock: &SimClock) -> Self {
+        Self {
+            io_secs: clock.io_time() as f64 / 1e9,
+            rpc_secs: clock.rpc_time() as f64 / 1e9,
+            cpu_secs: clock.cpu_time() as f64 / 1e9,
+            swap_secs: clock.swap_time() as f64 / 1e9,
+        }
+    }
+
+    /// Total seconds.
+    pub fn total(&self) -> f64 {
+        self.io_secs + self.rpc_secs + self.cpu_secs + self.swap_secs
+    }
+
+    /// Component-wise `self - other` (positive where `self` spent
+    /// more) — the Figure 9 "cost difference" view.
+    pub fn diff(&self, other: &CostBreakdown) -> CostBreakdown {
+        CostBreakdown {
+            io_secs: self.io_secs - other.io_secs,
+            rpc_secs: self.rpc_secs - other.rpc_secs,
+            cpu_secs: self.cpu_secs - other.cpu_secs,
+            swap_secs: self.swap_secs - other.swap_secs,
+        }
+    }
+}
+
+impl fmt::Display for CostBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "total {:>9.2}s = io {:>9.2}s + rpc {:>7.2}s + cpu {:>8.2}s + swap {:>8.2}s",
+            self.total(),
+            self.io_secs,
+            self.rpc_secs,
+            self.cpu_secs,
+            self.swap_secs
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tq_pagestore::{CostModel, CpuEvent};
+
+    #[test]
+    fn breakdown_tracks_clock_categories() {
+        let m = CostModel::sparc20();
+        let mut clock = SimClock::new();
+        clock.charge_read(&m, false);
+        clock.charge_rpc(&m);
+        clock.charge(&m, CpuEvent::HandleAlloc, 100);
+        clock.charge(&m, CpuEvent::SwapFault, 2);
+        let b = CostBreakdown::from_clock(&clock);
+        assert!((b.io_secs - 0.01).abs() < 1e-9);
+        assert!(b.rpc_secs > 0.0);
+        assert!(b.cpu_secs > 0.0);
+        assert!((b.swap_secs - 0.04).abs() < 1e-9);
+        assert!((b.total() - clock.elapsed_secs()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diff_is_component_wise() {
+        let a = CostBreakdown {
+            io_secs: 5.0,
+            rpc_secs: 1.0,
+            cpu_secs: 2.0,
+            swap_secs: 0.0,
+        };
+        let b = CostBreakdown {
+            io_secs: 3.0,
+            rpc_secs: 2.0,
+            cpu_secs: 2.0,
+            swap_secs: 1.0,
+        };
+        let d = a.diff(&b);
+        assert_eq!(d.io_secs, 2.0);
+        assert_eq!(d.rpc_secs, -1.0);
+        assert_eq!(d.cpu_secs, 0.0);
+        assert_eq!(d.swap_secs, -1.0);
+        let shown = format!("{a}");
+        assert!(shown.contains("total"));
+        assert!(shown.contains("io"));
+    }
+}

@@ -1,0 +1,127 @@
+//! CHJ — hash the children and join (paper §5.1).
+//!
+//! ```text
+//! hash all patients whose mrn < k1 by their primary care provider
+//! For all providers whose upin < k2            /* index scan */
+//!     get the corresponding patient information in the hash table
+//!     add f(p,pa) to the result
+//! ```
+//!
+//! "A slight variation of the pointer-based join of [Shekita & Carey]":
+//! because no hybrid hashing is used, the provider collection is
+//! scanned *sequentially* rather than accessed randomly per hash-table
+//! occurrence. Same index/sequentiality profile as PHJ, but the table
+//! holds children — "potentially 3 to 1000 times more elements". The
+//! table is directory-organized by parent: 60 bytes per parent slot
+//! (sized by parent cardinality) plus 8 bytes per selected child
+//! (Figure 10) — "too large in the 1:3 case whatever the selectivity on
+//! Patients is".
+
+use super::{
+    emit, gather_index_rids, int_attr, rid_hash, JoinContext, JoinOptions, JoinReport,
+    TreeJoinSpec, CHJ_CHILD_ENTRY_BYTES, CHJ_PARENT_SLOT_BYTES, HANDLE_ENTRY_EXTRA_BYTES,
+};
+use crate::spec::HashKeyMode;
+use crate::swap::SwapSim;
+use std::collections::HashMap;
+use tq_objstore::Rid;
+use tq_pagestore::CpuEvent;
+
+pub(super) fn run(
+    ctx: &mut JoinContext<'_>,
+    spec: &TreeJoinSpec,
+    opts: &JoinOptions,
+    collect: bool,
+) -> JoinReport {
+    let mut report = JoinReport {
+        pairs: collect.then(Vec::new),
+        ..Default::default()
+    };
+    let parent_class = ctx.store.collection(&spec.parents).class;
+    let child_class = ctx.store.collection(&spec.children).class;
+    let parents_total = ctx.store.collection(&spec.parents).run.count;
+    let child_entry_bytes = CHJ_CHILD_ENTRY_BYTES
+        + match opts.hash_key {
+            HashKeyMode::Rid => 0,
+            HashKeyMode::Handle => HANDLE_ENTRY_EXTRA_BYTES,
+        };
+    let budget = ctx.store.stack().model().operator_memory_budget;
+
+    // Build: parent slots are demand-allocated as children arrive
+    // (the paper's Figure 10 sizes the directory pessimistically by
+    // the full parent cardinality — an *approximation*; the executor
+    // only pays for parents that actually hold selected children).
+    let _ = parents_total;
+    let mut table: HashMap<Rid, Vec<i64>> = HashMap::new();
+    let mut swap = SwapSim::new(0, budget);
+    let mut inserted_children = 0u64;
+    let children = gather_index_rids(
+        ctx.store,
+        ctx.child_index,
+        spec.child_key_limit,
+        opts.sort_index_rids,
+    );
+    for (child_key, crid) in children {
+        let child = ctx.store.fetch(crid);
+        report.children_scanned += 1;
+        if child.object.header.is_deleted() {
+            ctx.store.unref(child.rid);
+            continue;
+        }
+        ctx.store.charge_attr_access(child_class, spec.child_parent);
+        ctx.store
+            .charge_attr_access(child_class, spec.child_project);
+        let prid = child.object.values[spec.child_parent]
+            .as_ref_rid()
+            .expect("child parent reference");
+        table.entry(prid).or_default().push(child_key);
+        inserted_children += 1;
+        ctx.store.charge(CpuEvent::HashInsert, 1);
+        if opts.hash_key == HashKeyMode::Handle {
+            ctx.store.charge(CpuEvent::HandleAlloc, 1);
+        }
+        swap.grow_to(
+            CHJ_PARENT_SLOT_BYTES * table.len() as u64 + inserted_children * child_entry_bytes,
+        );
+        if swap.touch(rid_hash(prid)) {
+            ctx.store.charge(CpuEvent::SwapFault, 1);
+        }
+        ctx.store.unref(child.rid);
+    }
+    report.hash_table_bytes =
+        CHJ_PARENT_SLOT_BYTES * table.len() as u64 + inserted_children * child_entry_bytes;
+
+    // Probe: scan selected parents sequentially.
+    let parents = gather_index_rids(
+        ctx.store,
+        ctx.parent_index,
+        spec.parent_key_limit,
+        opts.sort_index_rids,
+    );
+    for (_pkey, prid) in parents {
+        let parent = ctx.store.fetch(prid);
+        report.parents_scanned += 1;
+        if parent.object.header.is_deleted() {
+            ctx.store.unref(parent.rid);
+            continue;
+        }
+        ctx.store
+            .charge_attr_access(parent_class, spec.parent_project);
+        let parent_key = int_attr(&parent.object, spec.parent_key);
+        ctx.store.charge(CpuEvent::HashProbe, 1);
+        if swap.touch(rid_hash(parent.rid)) {
+            ctx.store.charge(CpuEvent::SwapFault, 1);
+        }
+        if let Some(child_keys) = table.get(&parent.rid) {
+            for &child_key in child_keys {
+                emit(ctx.store, spec, &mut report, parent_key, child_key);
+            }
+        }
+        ctx.store.unref(parent.rid);
+    }
+    report.swap_faults = swap.faults();
+    if opts.hash_key == HashKeyMode::Handle {
+        ctx.store.charge(CpuEvent::HandleFree, inserted_children);
+    }
+    report
+}

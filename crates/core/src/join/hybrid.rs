@@ -1,0 +1,259 @@
+//! Hybrid hash joins — the optimization the paper names but never
+//! tested (§5.1: "We did not consider hybrid hashing — their citation 17 — to optimize
+//! this"; conclusion: "the second point indicates the need for hybrid
+//! hashing").
+//!
+//! When the build side outgrows the operator memory budget, the plain
+//! PHJ/CHJ tables page catastrophically (the Figure 12 (90,90)
+//! inversion). Hybrid hashing partitions both sides by a hash of the
+//! join rid so that **every partition's table fits in memory**:
+//! partition 0 is built and probed in memory on the fly; partitions
+//! `1..P` spill `(key, rid)` pairs to temporary files — sequential,
+//! charged I/O — and join pairwise afterwards. No swap faults, ever.
+//!
+//! The implementation is shared by both hash joins:
+//! [`BuildSide::Parents`] gives hybrid-PHJ, [`BuildSide::Children`]
+//! hybrid-CHJ.
+
+use super::spill::{SpillRun, SpillWriter};
+use super::{
+    emit, gather_index_rids, rid_hash, JoinContext, JoinOptions, JoinReport, TreeJoinSpec,
+    CHJ_CHILD_ENTRY_BYTES, CHJ_PARENT_SLOT_BYTES, PHJ_ENTRY_BYTES,
+};
+use std::collections::HashMap;
+use tq_objstore::Rid;
+use tq_pagestore::CpuEvent;
+
+/// Which side the hash table is built on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BuildSide {
+    /// Hash the (selected) parents; probe with the children — PHJ.
+    Parents,
+    /// Hash the (selected) children by their parent; probe with the
+    /// parents — CHJ.
+    Children,
+}
+
+/// Partition of a rid. Uses the high hash bits so it stays independent
+/// of any in-memory bucketing of the same hash.
+fn partition_of(rid: Rid, partitions: u32) -> u32 {
+    if partitions <= 1 {
+        0
+    } else {
+        ((rid_hash(rid) >> 32) % partitions as u64) as u32
+    }
+}
+
+/// Picks a partition count such that each partition's build table fits
+/// comfortably (80%) inside the memory budget.
+fn partition_count(table_bytes: u64, budget: u64) -> u32 {
+    let usable = (budget as f64 * 0.8).max(1.0);
+    (table_bytes as f64 / usable).ceil().max(1.0) as u32
+}
+
+struct Spills {
+    build: Vec<SpillWriter>,
+    probe: Vec<SpillWriter>,
+    files: Vec<tq_pagestore::FileId>,
+}
+
+fn make_spills(ctx: &mut JoinContext<'_>, partitions: u32) -> Spills {
+    let mut build = Vec::new();
+    let mut probe = Vec::new();
+    let mut files = Vec::new();
+    for p in 1..partitions {
+        let bf = ctx.store.create_file(format!("spill.build.{p}"));
+        let pf = ctx.store.create_file(format!("spill.probe.{p}"));
+        build.push(SpillWriter::new(bf));
+        probe.push(SpillWriter::new(pf));
+        files.push(bf);
+        files.push(pf);
+    }
+    Spills {
+        build,
+        probe,
+        files,
+    }
+}
+
+/// Runs the hybrid hash join.
+pub(super) fn run(
+    ctx: &mut JoinContext<'_>,
+    spec: &TreeJoinSpec,
+    opts: &JoinOptions,
+    side: BuildSide,
+    collect: bool,
+) -> JoinReport {
+    let mut report = JoinReport {
+        pairs: collect.then(Vec::new),
+        ..Default::default()
+    };
+    let parent_class = ctx.store.collection(&spec.parents).class;
+    let child_class = ctx.store.collection(&spec.children).class;
+    let budget = ctx.store.stack().model().operator_memory_budget;
+
+    // --- Build phase -------------------------------------------------
+    // Gather the build side's (key, rid) stream and size the partitions
+    // from its exact cardinality.
+    let build_pairs = match side {
+        BuildSide::Parents => gather_index_rids(
+            ctx.store,
+            ctx.parent_index,
+            spec.parent_key_limit,
+            opts.sort_index_rids,
+        ),
+        BuildSide::Children => gather_index_rids(
+            ctx.store,
+            ctx.child_index,
+            spec.child_key_limit,
+            opts.sort_index_rids,
+        ),
+    };
+    let table_bytes = match side {
+        BuildSide::Parents => PHJ_ENTRY_BYTES * build_pairs.len() as u64,
+        // Pessimistic: every child could touch a distinct parent slot.
+        BuildSide::Children => {
+            (CHJ_PARENT_SLOT_BYTES + CHJ_CHILD_ENTRY_BYTES) * build_pairs.len() as u64
+        }
+    };
+    let partitions = partition_count(table_bytes, budget);
+    report.partitions = partitions;
+    let mut spills = make_spills(ctx, partitions);
+
+    // The in-memory (partition 0) table: join-rid -> payload keys.
+    let mut mem: HashMap<Rid, Vec<i64>> = HashMap::new();
+    for (key, rid) in build_pairs {
+        // Fetch the build object (its projected attribute travels with
+        // the entry, as in the plain algorithms).
+        let fetched = ctx.store.fetch(rid);
+        if fetched.object.header.is_deleted() {
+            ctx.store.unref(fetched.rid);
+            continue;
+        }
+        match side {
+            BuildSide::Parents => {
+                report.parents_scanned += 1;
+                ctx.store
+                    .charge_attr_access(parent_class, spec.parent_project);
+                let p = partition_of(fetched.rid, partitions);
+                ctx.store.charge(CpuEvent::HashInsert, 1);
+                if p == 0 {
+                    mem.entry(fetched.rid).or_default().push(key);
+                } else {
+                    spills.build[p as usize - 1].push(ctx.store.stack_mut(), key, fetched.rid);
+                }
+            }
+            BuildSide::Children => {
+                report.children_scanned += 1;
+                ctx.store.charge_attr_access(child_class, spec.child_parent);
+                ctx.store
+                    .charge_attr_access(child_class, spec.child_project);
+                let prid = fetched.object.values[spec.child_parent]
+                    .as_ref_rid()
+                    .expect("child parent reference");
+                let p = partition_of(prid, partitions);
+                ctx.store.charge(CpuEvent::HashInsert, 1);
+                if p == 0 {
+                    mem.entry(prid).or_default().push(key);
+                } else {
+                    spills.build[p as usize - 1].push(ctx.store.stack_mut(), key, prid);
+                }
+            }
+        }
+        ctx.store.unref(fetched.rid);
+    }
+
+    // --- Probe phase (streaming) --------------------------------------
+    let probe_pairs = match side {
+        BuildSide::Parents => gather_index_rids(
+            ctx.store,
+            ctx.child_index,
+            spec.child_key_limit,
+            opts.sort_index_rids,
+        ),
+        BuildSide::Children => gather_index_rids(
+            ctx.store,
+            ctx.parent_index,
+            spec.parent_key_limit,
+            opts.sort_index_rids,
+        ),
+    };
+    for (key, rid) in probe_pairs {
+        let fetched = ctx.store.fetch(rid);
+        if fetched.object.header.is_deleted() {
+            ctx.store.unref(fetched.rid);
+            continue;
+        }
+        let join_rid = match side {
+            BuildSide::Parents => {
+                report.children_scanned += 1;
+                ctx.store.charge_attr_access(child_class, spec.child_parent);
+                ctx.store
+                    .charge_attr_access(child_class, spec.child_project);
+                fetched.object.values[spec.child_parent]
+                    .as_ref_rid()
+                    .expect("child parent reference")
+            }
+            BuildSide::Children => {
+                report.parents_scanned += 1;
+                ctx.store
+                    .charge_attr_access(parent_class, spec.parent_project);
+                fetched.rid
+            }
+        };
+        let p = partition_of(join_rid, partitions);
+        if p == 0 {
+            ctx.store.charge(CpuEvent::HashProbe, 1);
+            if let Some(payloads) = mem.get(&join_rid) {
+                for &payload in payloads.iter() {
+                    match side {
+                        BuildSide::Parents => emit(ctx.store, spec, &mut report, payload, key),
+                        BuildSide::Children => emit(ctx.store, spec, &mut report, key, payload),
+                    }
+                }
+            }
+        } else {
+            spills.probe[p as usize - 1].push(ctx.store.stack_mut(), key, join_rid);
+        }
+        ctx.store.unref(fetched.rid);
+    }
+    report.hash_table_bytes = table_bytes.min(budget);
+    drop(mem);
+
+    // --- Spilled partitions, pairwise ----------------------------------
+    let build_runs: Vec<SpillRun> = spills
+        .build
+        .drain(..)
+        .map(|w| w.finish(ctx.store.stack_mut()))
+        .collect();
+    let probe_runs: Vec<SpillRun> = spills
+        .probe
+        .drain(..)
+        .map(|w| w.finish(ctx.store.stack_mut()))
+        .collect();
+    for (build_run, probe_run) in build_runs.iter().zip(&probe_runs) {
+        report.spill_pages += (build_run.pages + probe_run.pages) as u64;
+        let mut table: HashMap<Rid, Vec<i64>> = HashMap::new();
+        for (key, join_rid) in build_run.read_all(ctx.store.stack_mut()) {
+            ctx.store.charge(CpuEvent::HashInsert, 1);
+            table.entry(join_rid).or_default().push(key);
+        }
+        for (key, join_rid) in probe_run.read_all(ctx.store.stack_mut()) {
+            ctx.store.charge(CpuEvent::HashProbe, 1);
+            if let Some(payloads) = table.get(&join_rid) {
+                for &payload in payloads.iter() {
+                    match side {
+                        BuildSide::Parents => emit(ctx.store, spec, &mut report, payload, key),
+                        BuildSide::Children => emit(ctx.store, spec, &mut report, key, payload),
+                    }
+                }
+            }
+        }
+    }
+
+    // Release the spill space.
+    for f in spills.files {
+        ctx.store.stack_mut().truncate_file(f);
+    }
+    report
+}

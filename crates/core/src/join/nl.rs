@@ -1,0 +1,66 @@
+//! NL — parent-to-child navigation (paper §5.1).
+//!
+//! ```text
+//! For all providers p whose upin < k2          /* index scan */
+//!     For all clients pa of p                  /* navigation */
+//!         if pa.mrn < k1 add f(p,pa) to the result
+//! ```
+//!
+//! Only the parent index is usable ("a big handicap since the
+//! collection of patients is the largest of the two"). Parents arrive
+//! sequentially; children are reached through the set attribute —
+//! random I/O under class or random clustering, sequential under
+//! composition clustering. Large (overflow) client sets add their own
+//! rid-run page reads.
+
+use super::{emit, int_attr, JoinContext, JoinReport, TreeJoinSpec};
+use tq_pagestore::CpuEvent;
+
+pub(super) fn run(ctx: &mut JoinContext<'_>, spec: &TreeJoinSpec, collect: bool) -> JoinReport {
+    let mut report = JoinReport {
+        pairs: collect.then(Vec::new),
+        ..Default::default()
+    };
+    let parent_class = ctx.store.collection(&spec.parents).class;
+    let child_class = ctx.store.collection(&spec.children).class;
+    let mut parents = ctx.parent_index.range(
+        ctx.store.stack_mut(),
+        i64::MIN + 1,
+        spec.parent_key_limit - 1,
+    );
+    while let Some((parent_key, prid)) = parents.next(ctx.store.stack_mut()) {
+        let parent = ctx.store.fetch(prid);
+        report.parents_scanned += 1;
+        if parent.object.header.is_deleted() {
+            ctx.store.unref(parent.rid);
+            continue;
+        }
+        ctx.store.charge_attr_access(parent_class, spec.parent_set);
+        let set = parent.object.values[spec.parent_set]
+            .as_set()
+            .expect("parent set attribute")
+            .clone();
+        let mut members = ctx.store.set_cursor(&set);
+        while let Some(crid) = members.next(ctx.store.stack_mut()) {
+            let child = ctx.store.fetch(crid);
+            report.children_scanned += 1;
+            if child.object.header.is_deleted() {
+                ctx.store.unref(child.rid);
+                continue;
+            }
+            ctx.store.charge_attr_access(child_class, spec.child_key);
+            ctx.store.charge(CpuEvent::Compare, 1);
+            let child_key = int_attr(&child.object, spec.child_key);
+            if child_key < spec.child_key_limit {
+                ctx.store
+                    .charge_attr_access(parent_class, spec.parent_project);
+                ctx.store
+                    .charge_attr_access(child_class, spec.child_project);
+                emit(ctx.store, spec, &mut report, parent_key, child_key);
+            }
+            ctx.store.unref(child.rid);
+        }
+        ctx.store.unref(parent.rid);
+    }
+    report
+}

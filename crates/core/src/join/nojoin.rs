@@ -1,0 +1,71 @@
+//! NOJOIN — child-to-parent navigation (paper §5.1).
+//!
+//! ```text
+//! For all patients whose mrn < k1              /* index scan */
+//!     get the patient primary care provider p  /* navigation */
+//!     if p.upin < k2 add f(p,pa) to the result
+//! ```
+//!
+//! Only the child index is usable, "but this time it is that of the
+//! largest collection so the handicap is less". The parent condition
+//! is re-tested once per child (up to fan-out times per parent), and
+//! parent accesses are random under class/random clustering — but a
+//! hot parent's handle and page stay cached while its children stream
+//! by, which is what makes NOJOIN competitive in the 1:1000 database.
+
+use super::{
+    emit, gather_index_rids, int_attr, JoinContext, JoinOptions, JoinReport, TreeJoinSpec,
+};
+use tq_pagestore::CpuEvent;
+
+pub(super) fn run(
+    ctx: &mut JoinContext<'_>,
+    spec: &TreeJoinSpec,
+    opts: &JoinOptions,
+    collect: bool,
+) -> JoinReport {
+    let mut report = JoinReport {
+        pairs: collect.then(Vec::new),
+        ..Default::default()
+    };
+    let parent_class = ctx.store.collection(&spec.parents).class;
+    let child_class = ctx.store.collection(&spec.children).class;
+    let children = gather_index_rids(
+        ctx.store,
+        ctx.child_index,
+        spec.child_key_limit,
+        opts.sort_index_rids,
+    );
+    for (child_key, crid) in children {
+        let child = ctx.store.fetch(crid);
+        report.children_scanned += 1;
+        if child.object.header.is_deleted() {
+            ctx.store.unref(child.rid);
+            continue;
+        }
+        ctx.store.charge_attr_access(child_class, spec.child_parent);
+        let prid = child.object.values[spec.child_parent]
+            .as_ref_rid()
+            .expect("child parent reference");
+        let parent = ctx.store.fetch(prid);
+        report.parents_scanned += 1;
+        if parent.object.header.is_deleted() {
+            ctx.store.unref(parent.rid);
+            ctx.store.unref(child.rid);
+            continue;
+        }
+        ctx.store.charge_attr_access(parent_class, spec.parent_key);
+        ctx.store.charge(CpuEvent::Compare, 1);
+        let parent_key = int_attr(&parent.object, spec.parent_key);
+        if parent_key < spec.parent_key_limit {
+            ctx.store
+                .charge_attr_access(parent_class, spec.parent_project);
+            ctx.store
+                .charge_attr_access(child_class, spec.child_project);
+            emit(ctx.store, spec, &mut report, parent_key, child_key);
+        }
+        ctx.store.unref(parent.rid);
+        ctx.store.unref(child.rid);
+    }
+    report
+}

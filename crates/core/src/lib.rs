@@ -1,0 +1,35 @@
+//! # tq-query — queries over trees
+//!
+//! The core of the `treequery` reproduction of *Benchmarking Queries
+//! over Trees* (SIGMOD 2000): the query algorithms whose behaviour the
+//! paper measures, an analytic cost estimator, a heuristic and a
+//! cost-based planner (the thing the authors set out to build), and a
+//! small OQL front end for the query fragment the paper exercises.
+//!
+//! * [`select`] — sequential scan, index scan, and the Figure 8
+//!   *sorted* index scan over a single collection.
+//! * [`join`] — NL, NOJOIN, PHJ and CHJ over a 1-N tree (§5.1),
+//!   including the Figure 10 hash-table sizing and the swap behaviour
+//!   that inverts Figure 12's 90/90 cell.
+//! * [`swap`] — the operator-memory paging simulation.
+//! * [`estimator`] / [`planner`] — analytic costs and plan choice.
+//! * [`maintenance`] — header-driven index maintenance on updates
+//!   (the §4.4 retiring-doctor scenario).
+//! * [`oql`] — `select … from … where …` parsing and compilation.
+
+pub mod engine;
+pub mod estimator;
+pub mod explain;
+pub mod join;
+pub mod maintenance;
+pub mod oql;
+pub mod planner;
+pub mod select;
+pub mod spec;
+pub mod swap;
+
+pub use engine::{Engine, EngineError, QueryOutcome};
+pub use join::{hash_table_bytes, run_join, JoinContext, JoinOptions, JoinReport};
+pub use select::{index_scan, seq_scan, sorted_index_scan, SelectReport};
+pub use spec::{AttrPredicate, CmpOp, HashKeyMode, JoinAlgo, ResultMode, Selection, TreeJoinSpec};
+pub use swap::SwapSim;

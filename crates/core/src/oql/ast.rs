@@ -1,0 +1,143 @@
+//! Abstract syntax for the OQL fragment.
+
+use crate::spec::CmpOp;
+use std::fmt;
+
+/// A dotted path `var.attr`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Path {
+    /// Range variable.
+    pub var: String,
+    /// Attribute name.
+    pub attr: String,
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.var, self.attr)
+    }
+}
+
+/// Where a range variable draws its elements from.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Source {
+    /// A named collection (`Providers`).
+    Collection(String),
+    /// A set-valued attribute of an earlier variable (`p.clients`).
+    Path(Path),
+}
+
+/// One `var in source` clause.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Binding {
+    /// The variable.
+    pub var: String,
+    /// Its source.
+    pub source: Source,
+}
+
+/// One `path op number` predicate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Pred {
+    /// Left-hand path.
+    pub path: Path,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Right-hand integer literal.
+    pub value: i64,
+}
+
+/// A parsed query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Query {
+    /// Projected paths (one, or a bracketed tuple).
+    pub projection: Vec<Path>,
+    /// Range bindings, in order.
+    pub bindings: Vec<Binding>,
+    /// Conjunctive predicates.
+    pub predicates: Vec<Pred>,
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "select ")?;
+        if self.projection.len() == 1 {
+            write!(f, "{}", self.projection[0])?;
+        } else {
+            write!(f, "[")?;
+            for (i, p) in self.projection.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{p}")?;
+            }
+            write!(f, "]")?;
+        }
+        write!(f, " from ")?;
+        for (i, b) in self.bindings.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match &b.source {
+                Source::Collection(c) => write!(f, "{} in {c}", b.var)?,
+                Source::Path(p) => write!(f, "{} in {p}", b.var)?,
+            }
+        }
+        if !self.predicates.is_empty() {
+            write!(f, " where ")?;
+            for (i, p) in self.predicates.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " and ")?;
+                }
+                write!(f, "{} {} {}", p.path, p.op.symbol(), p.value)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trips_shape() {
+        let q = Query {
+            projection: vec![
+                Path {
+                    var: "p".into(),
+                    attr: "name".into(),
+                },
+                Path {
+                    var: "pa".into(),
+                    attr: "age".into(),
+                },
+            ],
+            bindings: vec![
+                Binding {
+                    var: "p".into(),
+                    source: Source::Collection("Providers".into()),
+                },
+                Binding {
+                    var: "pa".into(),
+                    source: Source::Path(Path {
+                        var: "p".into(),
+                        attr: "clients".into(),
+                    }),
+                },
+            ],
+            predicates: vec![Pred {
+                path: Path {
+                    var: "pa".into(),
+                    attr: "mrn".into(),
+                },
+                op: CmpOp::Lt,
+                value: 10,
+            }],
+        };
+        assert_eq!(
+            q.to_string(),
+            "select [p.name, pa.age] from p in Providers, pa in p.clients where pa.mrn < 10"
+        );
+    }
+}

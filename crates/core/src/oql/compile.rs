@@ -1,0 +1,411 @@
+//! Name resolution and lowering: AST → executable query spec.
+
+use super::ast::{Query, Source};
+use super::parser::{parse, ParseError};
+use crate::spec::{CmpOp, ResultMode, Selection, TreeJoinSpec};
+use std::fmt;
+use tq_objstore::{AttrId, AttrType, ClassId, ObjectStore};
+
+/// A compiled query, ready for the planner/executor.
+#[derive(Clone, Debug)]
+pub enum CompiledQuery {
+    /// Single-collection selection.
+    Selection(Selection),
+    /// 1-N tree join.
+    TreeJoin(TreeJoinSpec),
+}
+
+/// Compilation errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompileError {
+    /// The text did not parse.
+    Parse(ParseError),
+    /// No collection with this name.
+    UnknownCollection(String),
+    /// No such attribute on the bound class.
+    UnknownAttr {
+        /// Class name.
+        class: String,
+        /// Attribute name.
+        attr: String,
+    },
+    /// Unbound range variable in a path.
+    UnknownVar(String),
+    /// The fragment doesn't cover this query shape.
+    Unsupported(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Parse(e) => write!(f, "{e}"),
+            CompileError::UnknownCollection(c) => write!(f, "unknown collection `{c}`"),
+            CompileError::UnknownAttr { class, attr } => {
+                write!(f, "class `{class}` has no attribute `{attr}`")
+            }
+            CompileError::UnknownVar(v) => write!(f, "unbound variable `{v}`"),
+            CompileError::Unsupported(m) => write!(f, "unsupported query: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<ParseError> for CompileError {
+    fn from(e: ParseError) -> Self {
+        CompileError::Parse(e)
+    }
+}
+
+fn resolve_attr(store: &ObjectStore, class: ClassId, attr: &str) -> Result<AttrId, CompileError> {
+    store
+        .schema()
+        .class(class)
+        .attr_id(attr)
+        .ok_or_else(|| CompileError::UnknownAttr {
+            class: store.schema().class(class).name.clone(),
+            attr: attr.to_string(),
+        })
+}
+
+/// Finds the collection (by name) whose members are of `class`.
+fn collection_of_class(store: &ObjectStore, class: ClassId) -> Option<String> {
+    store
+        .collection_names()
+        .into_iter()
+        .find(|n| store.collection(n).class == class)
+        .map(str::to_string)
+}
+
+/// Compiles a parsed query against the store's schema and catalog.
+pub fn compile(store: &ObjectStore, query: &Query) -> Result<CompiledQuery, CompileError> {
+    match query.bindings.len() {
+        1 => compile_selection(store, query),
+        2 => compile_join(store, query),
+        n => Err(CompileError::Unsupported(format!(
+            "{n} range bindings (1 or 2 supported)"
+        ))),
+    }
+}
+
+/// Parses and compiles in one step.
+pub fn compile_str(store: &ObjectStore, text: &str) -> Result<CompiledQuery, CompileError> {
+    let q = parse(text)?;
+    compile(store, &q)
+}
+
+fn compile_selection(store: &ObjectStore, query: &Query) -> Result<CompiledQuery, CompileError> {
+    let binding = &query.bindings[0];
+    let Source::Collection(coll_name) = &binding.source else {
+        return Err(CompileError::Unsupported(
+            "a single binding must range over a named collection".into(),
+        ));
+    };
+    let info = store
+        .try_collection(coll_name)
+        .ok_or_else(|| CompileError::UnknownCollection(coll_name.clone()))?;
+    if query.predicates.is_empty() {
+        return Err(CompileError::Unsupported(
+            "selections take at least one predicate".into(),
+        ));
+    }
+    // Resolve every conjunct; the first becomes the primary (access
+    // path) predicate, the rest are residuals. The planner may
+    // re-promote an indexed one with `Selection::promote`.
+    let mut resolved = Vec::with_capacity(query.predicates.len());
+    for pred in &query.predicates {
+        if pred.path.var != binding.var {
+            return Err(CompileError::UnknownVar(pred.path.var.clone()));
+        }
+        let attr = resolve_attr(store, info.class, &pred.path.attr)?;
+        if store.schema().class(info.class).attrs[attr].ty != AttrType::Int {
+            return Err(CompileError::Unsupported(format!(
+                "predicate attribute `{}` must be an integer",
+                pred.path.attr
+            )));
+        }
+        resolved.push(crate::spec::AttrPredicate {
+            attr,
+            cmp: pred.op,
+            key: pred.value,
+        });
+    }
+    let primary = resolved.remove(0);
+    let (attr, pred) = (primary.attr, &query.predicates[0]);
+    if query.projection.len() != 1 {
+        return Err(CompileError::Unsupported(
+            "selections project exactly one attribute".into(),
+        ));
+    }
+    let proj = &query.projection[0];
+    if proj.var != binding.var {
+        return Err(CompileError::UnknownVar(proj.var.clone()));
+    }
+    let project = resolve_attr(store, info.class, &proj.attr)?;
+    Ok(CompiledQuery::Selection(Selection {
+        collection: coll_name.clone(),
+        attr,
+        cmp: pred.op,
+        key: pred.value,
+        residual: resolved,
+        project,
+        result_mode: ResultMode::Persistent,
+    }))
+}
+
+fn compile_join(store: &ObjectStore, query: &Query) -> Result<CompiledQuery, CompileError> {
+    let (pb, cb) = (&query.bindings[0], &query.bindings[1]);
+    let Source::Collection(parents_name) = &pb.source else {
+        return Err(CompileError::Unsupported(
+            "the first binding must range over a named collection".into(),
+        ));
+    };
+    let parents = store
+        .try_collection(parents_name)
+        .ok_or_else(|| CompileError::UnknownCollection(parents_name.clone()))?;
+    let Source::Path(set_path) = &cb.source else {
+        return Err(CompileError::Unsupported(
+            "the second binding must range over a set attribute of the first".into(),
+        ));
+    };
+    if set_path.var != pb.var {
+        return Err(CompileError::UnknownVar(set_path.var.clone()));
+    }
+    let parent_set = resolve_attr(store, parents.class, &set_path.attr)?;
+    let AttrType::SetRef(child_class) = store.schema().class(parents.class).attrs[parent_set].ty
+    else {
+        return Err(CompileError::Unsupported(format!(
+            "`{}.{}` is not a set of objects",
+            pb.var, set_path.attr
+        )));
+    };
+    let children_name = collection_of_class(store, child_class).ok_or_else(|| {
+        CompileError::Unsupported(format!(
+            "no named collection holds class `{}`",
+            store.schema().class(child_class).name
+        ))
+    })?;
+
+    // The child's back reference to the parent.
+    let child_parent = store
+        .schema()
+        .class(child_class)
+        .attrs
+        .iter()
+        .position(|a| a.ty == AttrType::Ref(parents.class))
+        .ok_or_else(|| {
+            CompileError::Unsupported(format!(
+                "class `{}` has no reference back to `{}`",
+                store.schema().class(child_class).name,
+                store.schema().class(parents.class).name
+            ))
+        })?;
+
+    // Predicates: exactly one per side, both `<`.
+    if query.predicates.len() != 2 {
+        return Err(CompileError::Unsupported(
+            "tree joins take exactly two predicates".into(),
+        ));
+    }
+    let mut parent_pred = None;
+    let mut child_pred = None;
+    for pred in &query.predicates {
+        if pred.op != CmpOp::Lt {
+            return Err(CompileError::Unsupported(
+                "tree-join predicates must use `<`".into(),
+            ));
+        }
+        if pred.path.var == pb.var {
+            parent_pred = Some(pred);
+        } else if pred.path.var == cb.var {
+            child_pred = Some(pred);
+        } else {
+            return Err(CompileError::UnknownVar(pred.path.var.clone()));
+        }
+    }
+    let (Some(pp), Some(cp)) = (parent_pred, child_pred) else {
+        return Err(CompileError::Unsupported(
+            "tree joins need one predicate per side".into(),
+        ));
+    };
+    let parent_key = resolve_attr(store, parents.class, &pp.path.attr)?;
+    let child_key = resolve_attr(store, child_class, &cp.path.attr)?;
+
+    // Projection: [p.x, pa.y].
+    if query.projection.len() != 2
+        || query.projection[0].var != pb.var
+        || query.projection[1].var != cb.var
+    {
+        return Err(CompileError::Unsupported(
+            "tree joins project `[parent.attr, child.attr]`".into(),
+        ));
+    }
+    let parent_project = resolve_attr(store, parents.class, &query.projection[0].attr)?;
+    let child_project = resolve_attr(store, child_class, &query.projection[1].attr)?;
+
+    Ok(CompiledQuery::TreeJoin(TreeJoinSpec {
+        parents: parents_name.clone(),
+        children: children_name,
+        parent_key,
+        parent_set,
+        child_key,
+        child_parent,
+        parent_project,
+        child_project,
+        parent_key_limit: pp.value,
+        child_key_limit: cp.value,
+        result_mode: ResultMode::Transient,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tq_objstore::{Schema, Value};
+    use tq_pagestore::{CacheConfig, CostModel, StorageStack};
+
+    /// A minimal Derby-shaped store (no data needed for compilation,
+    /// but collections must exist).
+    fn derby_store() -> ObjectStore {
+        let mut schema = Schema::new();
+        let provider = schema.add_class(
+            "Provider",
+            vec![
+                ("name", AttrType::Str),
+                ("upin", AttrType::Int),
+                ("clients", AttrType::SetRef(ClassId(1))),
+            ],
+        );
+        let patient = schema.add_class(
+            "Patient",
+            vec![
+                ("name", AttrType::Str),
+                ("mrn", AttrType::Int),
+                ("age", AttrType::Int),
+                ("num", AttrType::Int),
+                ("primary_care_provider", AttrType::Ref(provider)),
+            ],
+        );
+        let stack = StorageStack::new(CostModel::free(), CacheConfig::default());
+        let mut store = ObjectStore::new(schema, stack);
+        let pf = store.create_file("providers");
+        let af = store.create_file("patients");
+        let p0 = store.insert(
+            pf,
+            provider,
+            &[
+                Value::Str("d".into()),
+                Value::Int(0),
+                Value::Set(tq_objstore::SetValue::Inline(vec![])),
+            ],
+            true,
+        );
+        let a0 = store.insert(
+            af,
+            patient,
+            &[
+                Value::Str("p".into()),
+                Value::Int(0),
+                Value::Int(30),
+                Value::Int(5),
+                Value::Ref(p0),
+            ],
+            true,
+        );
+        store.create_collection("Providers", provider, &[p0]);
+        store.create_collection("Patients", patient, &[a0]);
+        store
+    }
+
+    #[test]
+    fn compiles_the_selection() {
+        let store = derby_store();
+        let q = compile_str(
+            &store,
+            "select pa.age from pa in Patients where pa.num > 100",
+        )
+        .unwrap();
+        match q {
+            CompiledQuery::Selection(s) => {
+                assert_eq!(s.collection, "Patients");
+                assert_eq!(s.cmp, CmpOp::Gt);
+                assert_eq!(s.key, 100);
+                // num is attr 3, age is attr 2 in this test schema.
+                assert_eq!(s.attr, 3);
+                assert_eq!(s.project, 2);
+            }
+            other => panic!("expected selection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compiles_the_paper_join() {
+        let store = derby_store();
+        let q = compile_str(
+            &store,
+            "select [p.name, pa.age] from p in Providers, pa in p.clients \
+             where pa.mrn < 1000 and p.upin < 10",
+        )
+        .unwrap();
+        match q {
+            CompiledQuery::TreeJoin(j) => {
+                assert_eq!(j.parents, "Providers");
+                assert_eq!(j.children, "Patients");
+                assert_eq!(j.parent_key_limit, 10);
+                assert_eq!(j.child_key_limit, 1000);
+                assert_eq!(j.parent_set, 2);
+                assert_eq!(j.child_parent, 4);
+            }
+            other => panic!("expected join, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn predicate_order_does_not_matter() {
+        let store = derby_store();
+        let q = compile_str(
+            &store,
+            "select [p.name, pa.age] from p in Providers, pa in p.clients \
+             where p.upin < 10 and pa.mrn < 1000",
+        )
+        .unwrap();
+        assert!(matches!(q, CompiledQuery::TreeJoin(_)));
+    }
+
+    #[test]
+    fn good_errors() {
+        let store = derby_store();
+        let cases = [
+            (
+                "select x.a from x in Nurses where x.a < 1",
+                "unknown collection",
+            ),
+            (
+                "select pa.age from pa in Patients where pa.ssn < 1",
+                "no attribute",
+            ),
+            (
+                "select pa.age from pa in Patients where q.num < 1",
+                "unbound variable",
+            ),
+            (
+                "select pa.name from pa in Patients where pa.name < 1",
+                "must be an integer",
+            ),
+            (
+                "select [p.name, pa.age] from p in Providers, pa in p.clients \
+                 where pa.mrn < 1 and p.upin >= 1",
+                "must use `<`",
+            ),
+            (
+                "select [p.name, pa.age] from p in Providers, pa in q.clients \
+                 where pa.mrn < 1 and p.upin < 1",
+                "unbound variable",
+            ),
+        ];
+        for (text, needle) in cases {
+            let err = compile_str(&store, text).unwrap_err().to_string();
+            assert!(err.contains(needle), "{text}: {err}");
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Tokenizer for the OQL fragment.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Token {
+    /// Keyword or identifier (`select`, `Providers`, `mrn`, …).
+    Ident(String),
+    /// Integer literal.
+    Number(i64),
+    /// One of `. , [ ] < <= > >= =`.
+    Symbol(&'static str),
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Number(n) => write!(f, "{n}"),
+            Token::Symbol(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// A lexing error: the offending character and its byte offset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// Unexpected character.
+    pub ch: char,
+    /// Byte offset in the input.
+    pub at: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unexpected character {:?} at byte {}", self.ch, self.at)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes `input`. Identifiers are `[A-Za-z_][A-Za-z0-9_]*`;
+/// numbers are decimal, optionally with `_` separators.
+pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            'A'..='Z' | 'a'..='z' | '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && matches!(bytes[i] as char, 'A'..='Z' | 'a'..='z' | '0'..='9' | '_')
+                {
+                    i += 1;
+                }
+                out.push(Token::Ident(input[start..i].to_string()));
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && matches!(bytes[i] as char, '0'..='9' | '_') {
+                    i += 1;
+                }
+                let digits: String = input[start..i].chars().filter(|&c| c != '_').collect();
+                let n = digits
+                    .parse::<i64>()
+                    .map_err(|_| LexError { ch: c, at: start })?;
+                out.push(Token::Number(n));
+            }
+            '.' => {
+                out.push(Token::Symbol("."));
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Symbol(","));
+                i += 1;
+            }
+            '[' => {
+                out.push(Token::Symbol("["));
+                i += 1;
+            }
+            ']' => {
+                out.push(Token::Symbol("]"));
+                i += 1;
+            }
+            '<' | '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] as char == '=' {
+                    out.push(Token::Symbol(if c == '<' { "<=" } else { ">=" }));
+                    i += 2;
+                } else {
+                    out.push(Token::Symbol(if c == '<' { "<" } else { ">" }));
+                    i += 1;
+                }
+            }
+            '=' => {
+                out.push(Token::Symbol("="));
+                i += 1;
+            }
+            other => return Err(LexError { ch: other, at: i }),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_the_paper_query() {
+        let toks = lex(
+            "select [p.name, pa.age] from p in Providers, pa in p.clients \
+                        where pa.mrn < 200_000 and p.upin <= 200",
+        )
+        .unwrap();
+        assert!(toks.contains(&Token::Ident("select".into())));
+        assert!(toks.contains(&Token::Symbol("[")));
+        assert!(toks.contains(&Token::Number(200_000)));
+        assert!(toks.contains(&Token::Symbol("<=")));
+        let rendered: Vec<String> = toks.iter().map(|t| t.to_string()).collect();
+        assert_eq!(&rendered[0], "select");
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let toks = lex("< <= > >= =").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Symbol("<"),
+                Token::Symbol("<="),
+                Token::Symbol(">"),
+                Token::Symbol(">="),
+                Token::Symbol("="),
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let err = lex("select ?").unwrap_err();
+        assert_eq!(err.ch, '?');
+        assert_eq!(err.at, 7);
+        assert!(err.to_string().contains("unexpected"));
+    }
+}

@@ -1,0 +1,26 @@
+//! A front end for the OQL fragment the paper exercises.
+//!
+//! O2 was "the only [commercial object database] featuring the
+//! full-fledged OQL" (§2); rebuilding all of OQL is out of scope, but
+//! the two query shapes the paper measures parse and compile here:
+//!
+//! ```text
+//! select pa.age from pa in Patients where pa.num > 100000
+//!
+//! select [p.name, pa.age]
+//! from p in Providers, pa in p.clients
+//! where pa.mrn < 200000 and p.upin < 200
+//! ```
+//!
+//! Pipeline: [`lexer`] → [`parser`] (AST in [`ast`]) → [`compile`]
+//! (name resolution against the schema, producing a
+//! [`Selection`](crate::spec::Selection) or a
+//! [`TreeJoinSpec`](crate::spec::TreeJoinSpec) for the planner).
+
+pub mod ast;
+pub mod compile;
+pub mod lexer;
+pub mod parser;
+
+pub use compile::{compile, compile_str, CompileError, CompiledQuery};
+pub use parser::parse;

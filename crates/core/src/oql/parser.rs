@@ -1,0 +1,246 @@
+//! Recursive-descent parser for the OQL fragment.
+
+use super::ast::{Binding, Path, Pred, Query, Source};
+use super::lexer::{lex, Token};
+use crate::spec::CmpOp;
+use std::fmt;
+
+/// A parse error with a human-readable message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser {
+    tokens: Vec<Token>,
+    at: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.at)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.at).cloned();
+        if t.is_some() {
+            self.at += 1;
+        }
+        t
+    }
+
+    fn err(&self, want: &str) -> ParseError {
+        match self.peek() {
+            Some(t) => ParseError(format!("expected {want}, found {t:?}")),
+            None => ParseError(format!("expected {want}, found end of query")),
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            _ => {
+                self.at = self.at.saturating_sub(1);
+                Err(self.err(what))
+            }
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw) => {
+                self.at += 1;
+                Ok(())
+            }
+            _ => Err(self.err(&format!("keyword `{kw}`"))),
+        }
+    }
+
+    fn is_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn symbol(&mut self, sym: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(Token::Symbol(s)) if *s == sym => {
+                self.at += 1;
+                Ok(())
+            }
+            _ => Err(self.err(&format!("`{sym}`"))),
+        }
+    }
+
+    fn is_symbol(&self, sym: &str) -> bool {
+        matches!(self.peek(), Some(Token::Symbol(s)) if *s == sym)
+    }
+
+    fn path(&mut self) -> Result<Path, ParseError> {
+        let var = self.ident("a range variable")?;
+        self.symbol(".")?;
+        let attr = self.ident("an attribute name")?;
+        Ok(Path { var, attr })
+    }
+
+    fn projection(&mut self) -> Result<Vec<Path>, ParseError> {
+        if self.is_symbol("[") {
+            self.symbol("[")?;
+            let mut out = vec![self.path()?];
+            while self.is_symbol(",") {
+                self.symbol(",")?;
+                out.push(self.path()?);
+            }
+            self.symbol("]")?;
+            Ok(out)
+        } else {
+            Ok(vec![self.path()?])
+        }
+    }
+
+    fn binding(&mut self) -> Result<Binding, ParseError> {
+        let var = self.ident("a range variable")?;
+        self.keyword("in")?;
+        let first = self.ident("a collection or variable")?;
+        let source = if self.is_symbol(".") {
+            self.symbol(".")?;
+            let attr = self.ident("a set attribute")?;
+            Source::Path(Path { var: first, attr })
+        } else {
+            Source::Collection(first)
+        };
+        Ok(Binding { var, source })
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp, ParseError> {
+        let op = match self.peek() {
+            Some(Token::Symbol("<")) => CmpOp::Lt,
+            Some(Token::Symbol("<=")) => CmpOp::Le,
+            Some(Token::Symbol(">")) => CmpOp::Gt,
+            Some(Token::Symbol(">=")) => CmpOp::Ge,
+            Some(Token::Symbol("=")) => CmpOp::Eq,
+            _ => return Err(self.err("a comparison operator")),
+        };
+        self.at += 1;
+        Ok(op)
+    }
+
+    fn predicate(&mut self) -> Result<Pred, ParseError> {
+        let path = self.path()?;
+        let op = self.cmp_op()?;
+        match self.next() {
+            Some(Token::Number(value)) => Ok(Pred { path, op, value }),
+            _ => {
+                self.at = self.at.saturating_sub(1);
+                Err(self.err("an integer literal"))
+            }
+        }
+    }
+
+    fn query(&mut self) -> Result<Query, ParseError> {
+        self.keyword("select")?;
+        let projection = self.projection()?;
+        self.keyword("from")?;
+        let mut bindings = vec![self.binding()?];
+        while self.is_symbol(",") {
+            self.symbol(",")?;
+            bindings.push(self.binding()?);
+        }
+        let mut predicates = Vec::new();
+        if self.is_keyword("where") {
+            self.keyword("where")?;
+            predicates.push(self.predicate()?);
+            while self.is_keyword("and") {
+                self.keyword("and")?;
+                predicates.push(self.predicate()?);
+            }
+        }
+        if let Some(t) = self.peek() {
+            return Err(ParseError(format!("trailing input starting at {t:?}")));
+        }
+        Ok(Query {
+            projection,
+            bindings,
+            predicates,
+        })
+    }
+}
+
+/// Parses one query.
+pub fn parse(input: &str) -> Result<Query, ParseError> {
+    let tokens = lex(input).map_err(|e| ParseError(e.to_string()))?;
+    Parser { tokens, at: 0 }.query()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_join_query() {
+        let q = parse(
+            "select [p.name, pa.age] from p in Providers, pa in p.clients \
+             where pa.mrn < 200000 and p.upin < 200",
+        )
+        .unwrap();
+        assert_eq!(q.projection.len(), 2);
+        assert_eq!(q.bindings.len(), 2);
+        assert_eq!(q.predicates.len(), 2);
+        assert_eq!(q.bindings[0].var, "p");
+        assert_eq!(
+            q.bindings[1].source,
+            Source::Path(Path {
+                var: "p".into(),
+                attr: "clients".into()
+            })
+        );
+        assert_eq!(q.predicates[0].op, CmpOp::Lt);
+        assert_eq!(q.predicates[0].value, 200_000);
+    }
+
+    #[test]
+    fn parses_the_selection_query() {
+        let q = parse("select pa.age from pa in Patients where pa.num > 1_000").unwrap();
+        assert_eq!(q.projection.len(), 1);
+        assert_eq!(q.bindings.len(), 1);
+        assert_eq!(q.bindings[0].source, Source::Collection("Patients".into()));
+        assert_eq!(q.predicates[0].op, CmpOp::Gt);
+    }
+
+    #[test]
+    fn parses_without_where() {
+        let q = parse("select x.a from x in Xs").unwrap();
+        assert!(q.predicates.is_empty());
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert!(parse("SELECT x.a FROM x IN Xs WHERE x.b < 1").is_ok());
+    }
+
+    #[test]
+    fn round_trips_through_display() {
+        let text = "select [p.name, pa.age] from p in Providers, pa in p.clients \
+                    where pa.mrn < 10 and p.upin < 2";
+        let q = parse(text).unwrap();
+        assert_eq!(parse(&q.to_string()).unwrap(), q);
+    }
+
+    #[test]
+    fn error_messages_point_at_the_problem() {
+        let e = parse("select . from x in Xs").unwrap_err();
+        assert!(e.to_string().contains("range variable"), "{e}");
+        let e = parse("select from x in Xs").unwrap_err();
+        assert!(e.to_string().contains("expected `.`"), "{e}");
+        let e = parse("select x.a from x in Xs where x.b ! 3").unwrap_err();
+        assert!(e.to_string().contains("unexpected character"), "{e}");
+        let e = parse("select x.a from x in Xs where x.b < y").unwrap_err();
+        assert!(e.to_string().contains("integer literal"), "{e}");
+        let e = parse("select x.a from x in Xs extra").unwrap_err();
+        assert!(e.to_string().contains("trailing"), "{e}");
+    }
+}

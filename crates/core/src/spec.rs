@@ -1,0 +1,249 @@
+//! Query specifications: what to run, independent of how.
+//!
+//! The paper's §5 query is
+//!
+//! ```text
+//! select f(p,pa)
+//! from p in Providers, pa in p.clients
+//! where pa.mrn < k1 and p.upin < k2
+//! ```
+//!
+//! [`TreeJoinSpec`] captures that shape generically — a 1-N tree
+//! (parents with a set of children, children with a back reference)
+//! plus two key predicates and a two-attribute projection. The §4
+//! selection experiments are [`Selection`]s.
+
+use tq_objstore::AttrId;
+
+/// Comparison operator of a key predicate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `attr < key`
+    Lt,
+    /// `attr <= key`
+    Le,
+    /// `attr > key`
+    Gt,
+    /// `attr >= key`
+    Ge,
+    /// `attr == key`
+    Eq,
+}
+
+impl CmpOp {
+    /// Evaluates the predicate.
+    pub fn eval(&self, attr: i64, key: i64) -> bool {
+        match self {
+            CmpOp::Lt => attr < key,
+            CmpOp::Le => attr <= key,
+            CmpOp::Gt => attr > key,
+            CmpOp::Ge => attr >= key,
+            CmpOp::Eq => attr == key,
+        }
+    }
+
+    /// The inclusive key range `[lo, hi]` selected from an index, given
+    /// the domain `[domain_lo, domain_hi]`.
+    pub fn index_range(&self, key: i64, domain_lo: i64, domain_hi: i64) -> (i64, i64) {
+        match self {
+            CmpOp::Lt => (domain_lo, key - 1),
+            CmpOp::Le => (domain_lo, key),
+            CmpOp::Gt => (key + 1, domain_hi),
+            CmpOp::Ge => (key, domain_hi),
+            CmpOp::Eq => (key, key),
+        }
+    }
+
+    /// Parseable symbol.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "=",
+        }
+    }
+}
+
+/// How result elements are materialized.
+///
+/// The paper's §4.2 selections construct a *persistent-capable*
+/// collection in standard transaction mode (startlingly expensive:
+/// ~0.6 ms per element); the §5 joins stream tuples to the caller.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResultMode {
+    /// Standard transaction mode collection building.
+    Persistent,
+    /// Cursor-style transient results.
+    Transient,
+}
+
+/// One residual predicate: applied after the object is fetched.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AttrPredicate {
+    /// Attribute (must be `Int`).
+    pub attr: AttrId,
+    /// Operator.
+    pub cmp: CmpOp,
+    /// Key.
+    pub key: i64,
+}
+
+impl AttrPredicate {
+    /// Evaluates against an attribute value.
+    pub fn eval(&self, value: i64) -> bool {
+        self.cmp.eval(value, self.key)
+    }
+}
+
+/// A single-collection selection with projection:
+/// `select <project> from x in <collection> where x.<attr> <cmp> <key>
+/// [and ...]`.
+///
+/// The *primary* predicate (`attr`/`cmp`/`key`) drives the access path
+/// (it is the one an index can serve); `residual` predicates are
+/// evaluated per fetched object. [`Selection::promote`] re-chooses the
+/// primary — the planner uses it to put an indexed attribute first.
+#[derive(Clone, Debug)]
+pub struct Selection {
+    /// Collection to scan.
+    pub collection: String,
+    /// Primary predicate attribute (must be `Int`).
+    pub attr: AttrId,
+    /// Primary predicate operator.
+    pub cmp: CmpOp,
+    /// Primary predicate key.
+    pub key: i64,
+    /// Conjunctive residual predicates.
+    pub residual: Vec<AttrPredicate>,
+    /// Projected attribute.
+    pub project: AttrId,
+    /// Result materialization mode.
+    pub result_mode: ResultMode,
+}
+
+impl Selection {
+    /// Makes the residual predicate on `attr` the primary one (the old
+    /// primary becomes residual). No-op when `attr` is already primary
+    /// or not present.
+    pub fn promote(&mut self, attr: AttrId) {
+        if self.attr == attr {
+            return;
+        }
+        if let Some(at) = self.residual.iter().position(|p| p.attr == attr) {
+            let p = self.residual.remove(at);
+            self.residual.push(AttrPredicate {
+                attr: self.attr,
+                cmp: self.cmp,
+                key: self.key,
+            });
+            self.attr = p.attr;
+            self.cmp = p.cmp;
+            self.key = p.key;
+        }
+    }
+}
+
+/// A 1-N tree join with two key predicates and a two-attribute
+/// projection (`f(p, pa) = [p.<parent_project>, pa.<child_project>]`).
+#[derive(Clone, Debug)]
+pub struct TreeJoinSpec {
+    /// Parent collection name (e.g. `"Providers"`).
+    pub parents: String,
+    /// Child collection name (e.g. `"Patients"`).
+    pub children: String,
+    /// Parent key attribute (`upin`).
+    pub parent_key: AttrId,
+    /// Parent's set-of-children attribute (`clients`).
+    pub parent_set: AttrId,
+    /// Child key attribute (`mrn`).
+    pub child_key: AttrId,
+    /// Child's back reference to its parent (`primary_care_provider`).
+    pub child_parent: AttrId,
+    /// Projected parent attribute (`name`).
+    pub parent_project: AttrId,
+    /// Projected child attribute (`age`).
+    pub child_project: AttrId,
+    /// Parent predicate: `parent_key < parent_key_limit`.
+    pub parent_key_limit: i64,
+    /// Child predicate: `child_key < child_key_limit`.
+    pub child_key_limit: i64,
+    /// Result materialization mode.
+    pub result_mode: ResultMode,
+}
+
+/// The four join algorithms of §5.1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum JoinAlgo {
+    /// Parent-to-child navigation.
+    Nl,
+    /// Child-to-parent navigation (the join hidden in the pattern).
+    Nojoin,
+    /// Hash the parents and join.
+    Phj,
+    /// Hash the children and join (pointer-based join variant).
+    Chj,
+}
+
+impl JoinAlgo {
+    /// The paper's name for the algorithm.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JoinAlgo::Nl => "NL",
+            JoinAlgo::Nojoin => "NOJOIN",
+            JoinAlgo::Phj => "PHJ",
+            JoinAlgo::Chj => "CHJ",
+        }
+    }
+
+    /// All four, in the paper's presentation order.
+    pub fn all() -> [JoinAlgo; 4] {
+        [JoinAlgo::Nl, JoinAlgo::Nojoin, JoinAlgo::Phj, JoinAlgo::Chj]
+    }
+}
+
+/// What operator hash tables key on (§4.1: "Hash table: Rids or
+/// Handles?").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum HashKeyMode {
+    /// Key on 8-byte physical rids (cheap; the paper's conclusion).
+    #[default]
+    Rid,
+    /// Key on full Handles: each entry materializes a 60-byte handle
+    /// that lives as long as the table.
+    Handle,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_eval() {
+        assert!(CmpOp::Lt.eval(1, 2));
+        assert!(!CmpOp::Lt.eval(2, 2));
+        assert!(CmpOp::Le.eval(2, 2));
+        assert!(CmpOp::Gt.eval(3, 2));
+        assert!(!CmpOp::Ge.eval(1, 2));
+        assert!(CmpOp::Eq.eval(2, 2));
+    }
+
+    #[test]
+    fn index_ranges_are_inclusive_and_equivalent_to_eval() {
+        for cmp in [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq] {
+            let (lo, hi) = cmp.index_range(5, 0, 10);
+            for v in 0..=10i64 {
+                let in_range = v >= lo && v <= hi;
+                assert_eq!(in_range, cmp.eval(v, 5), "{cmp:?} at {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(JoinAlgo::Nl.label(), "NL");
+        assert_eq!(JoinAlgo::all().len(), 4);
+        assert_eq!(CmpOp::Ge.symbol(), ">=");
+    }
+}

@@ -1,0 +1,181 @@
+//! Integration: the engine façade — OQL in, planned execution out.
+
+use tq_query::engine::{Engine, EngineError, QueryOutcome};
+use tq_query::estimator::SelectPath;
+use tq_query::planner::Strategy;
+use tq_query::JoinAlgo;
+use tq_workload::{
+    build, patient_attr, provider_attr, BuildConfig, Database, DbShape, Organization,
+};
+
+/// Wraps a workload database into an engine with its three indexes
+/// registered.
+fn engine_for(db: Database) -> Engine {
+    let Database {
+        store,
+        derby,
+        idx_provider_upin,
+        idx_patient_mrn,
+        idx_patient_num,
+        ..
+    } = db;
+    let mut engine = Engine::new(store);
+    engine.register_index(idx_provider_upin, derby.provider, provider_attr::UPIN);
+    engine.register_index(idx_patient_mrn, derby.patient, patient_attr::MRN);
+    engine.register_index(idx_patient_num, derby.patient, patient_attr::NUM);
+    engine
+}
+
+fn class_db(scale: u32) -> Engine {
+    engine_for(build(&BuildConfig::scaled(
+        DbShape::Db2,
+        Organization::ClassClustered,
+        scale,
+    )))
+}
+
+#[test]
+fn selection_plans_the_sorted_index_scan() {
+    let mut e = class_db(500);
+    let n = e.store().collection("Patients").run.count;
+    let out = e
+        .run(
+            &format!("select pa.age from pa in Patients where pa.num < {}", n / 2),
+            Strategy::CostBased,
+        )
+        .unwrap();
+    let QueryOutcome::Selection { path, report, secs } = out else {
+        panic!("expected a selection");
+    };
+    assert_eq!(path, SelectPath::SortedIndexScan, "the Figure 7 lesson");
+    assert!(secs > 0.0);
+    let frac = report.selected as f64 / n as f64;
+    assert!((0.4..0.6).contains(&frac));
+}
+
+#[test]
+fn conjunctive_selection_promotes_the_indexed_predicate() {
+    let mut e = class_db(500);
+    let n = e.store().collection("Patients").run.count as i64;
+    // `age` has no index; `num` does. The compiler put `age` primary
+    // (first in the text); the engine must promote `num`.
+    let out = e
+        .run(
+            &format!(
+                "select pa.mrn from pa in Patients where pa.age < 50 and pa.num < {}",
+                n / 10
+            ),
+            Strategy::CostBased,
+        )
+        .unwrap();
+    let QueryOutcome::Selection { path, report, .. } = out else {
+        panic!("expected a selection");
+    };
+    assert_ne!(path, SelectPath::SeqScan, "the num index must be used");
+    // Both predicates applied: roughly (50/97) * (1/10) of patients.
+    let frac = report.selected as f64 / n as f64;
+    assert!(
+        (0.02..0.09).contains(&frac),
+        "conjunction must filter: {frac}"
+    );
+}
+
+#[test]
+fn conjunctive_results_match_across_strategies() {
+    let mut e = class_db(500);
+    let n = e.store().collection("Patients").run.count as i64;
+    let q = format!(
+        "select pa.mrn from pa in Patients where pa.num < {} and pa.age >= 30",
+        n / 3
+    );
+    let cost = e.run(&q, Strategy::CostBased).unwrap().results();
+    let heuristic = e.run(&q, Strategy::Heuristic).unwrap().results();
+    assert_eq!(cost, heuristic, "plans must not change answers");
+    assert!(cost > 0);
+}
+
+#[test]
+fn join_is_planned_per_organization() {
+    // Class clustering at low selectivity: a hash join.
+    let mut e = class_db(500);
+    let (p, c) = {
+        let p = e.store().collection("Providers").run.count as i64;
+        let c = e.store().collection("Patients").run.count as i64;
+        (p, c)
+    };
+    let q = format!(
+        "select [p.name, pa.age] from p in Providers, pa in p.clients \
+         where pa.mrn < {} and p.upin < {}",
+        c / 10,
+        p / 10
+    );
+    let out = e.run(&q, Strategy::CostBased).unwrap();
+    let QueryOutcome::Join { algo, report, .. } = out else {
+        panic!("expected a join");
+    };
+    assert!(matches!(algo, JoinAlgo::Phj | JoinAlgo::Chj), "{algo:?}");
+    assert!(report.results > 0);
+
+    // Composition clustering: the engine detects adjacency and navigates.
+    let mut e = engine_for(build(&BuildConfig::scaled(
+        DbShape::Db2,
+        Organization::Composition,
+        500,
+    )));
+    let out = e.run(&q, Strategy::CostBased).unwrap();
+    let QueryOutcome::Join { algo, .. } = out else {
+        panic!("expected a join");
+    };
+    assert_eq!(algo, JoinAlgo::Nl, "composition detected -> navigation");
+}
+
+#[test]
+fn planned_joins_and_selections_return_correct_counts() {
+    let mut e = class_db(1000);
+    let (p, c) = {
+        let p = e.store().collection("Providers").run.count as i64;
+        let c = e.store().collection("Patients").run.count as i64;
+        (p, c)
+    };
+    let q = format!(
+        "select [p.name, pa.age] from p in Providers, pa in p.clients \
+         where pa.mrn < {} and p.upin < {}",
+        c / 2,
+        p / 2
+    );
+    let cost = e.run(&q, Strategy::CostBased).unwrap().results();
+    let heur = e.run(&q, Strategy::Heuristic).unwrap().results();
+    assert_eq!(cost, heur);
+    let expect = (c as f64 / 2.0) * 0.5;
+    let ratio = cost as f64 / expect;
+    assert!((0.8..1.25).contains(&ratio), "{cost} vs ~{expect}");
+}
+
+#[test]
+fn missing_index_is_reported() {
+    let db = build(&BuildConfig::scaled(
+        DbShape::Db2,
+        Organization::ClassClustered,
+        1000,
+    ));
+    let derby = db.derby.clone();
+    let upin_idx = db.idx_provider_upin.clone();
+    let mut engine = Engine::new(db.store);
+    engine.register_index(upin_idx, derby.provider, provider_attr::UPIN);
+    let err = engine
+        .run(
+            "select [p.name, pa.age] from p in Providers, pa in p.clients \
+             where pa.mrn < 10 and p.upin < 10",
+            Strategy::CostBased,
+        )
+        .unwrap_err();
+    assert!(matches!(err, EngineError::MissingIndex(_)), "{err}");
+    // Compile errors pass through too.
+    let err = engine
+        .run(
+            "select x.a from x in Nowhere where x.a < 1",
+            Strategy::CostBased,
+        )
+        .unwrap_err();
+    assert!(matches!(err, EngineError::Compile(_)), "{err}");
+}

@@ -1,0 +1,146 @@
+//! Integration: hybrid hashing — correctness and the no-swap property.
+
+use tq_query::join::{run_join, JoinContext, JoinOptions};
+use tq_query::{JoinAlgo, ResultMode, TreeJoinSpec};
+use tq_workload::{build, patient_attr, provider_attr, BuildConfig, DbShape, Organization};
+
+fn spec(db: &tq_workload::Database, pat: u32, prov: u32) -> TreeJoinSpec {
+    TreeJoinSpec {
+        parents: "Providers".into(),
+        children: "Patients".into(),
+        parent_key: provider_attr::UPIN,
+        parent_set: provider_attr::CLIENTS,
+        child_key: patient_attr::MRN,
+        child_parent: patient_attr::PCP,
+        parent_project: provider_attr::NAME,
+        child_project: patient_attr::AGE,
+        parent_key_limit: db.provider_selectivity_key(prov),
+        child_key_limit: db.patient_selectivity_key(pat),
+        result_mode: ResultMode::Transient,
+    }
+}
+
+fn run(
+    db: &mut tq_workload::Database,
+    algo: JoinAlgo,
+    s: &TreeJoinSpec,
+    opts: &JoinOptions,
+) -> (tq_query::JoinReport, f64) {
+    let parent_index = db.idx_provider_upin.clone();
+    let child_index = db.idx_patient_mrn.clone();
+    let s = s.clone();
+    let opts = *opts;
+    db.measure_cold(move |db| {
+        let mut ctx = JoinContext {
+            store: &mut db.store,
+            parent_index: &parent_index,
+            child_index: &child_index,
+        };
+        run_join(algo, &mut ctx, &s, &opts, true)
+    })
+}
+
+/// Hybrid and plain joins produce identical results in every cell of
+/// the 1:3 database (the one whose tables outgrow memory).
+#[test]
+fn hybrid_matches_plain_results() {
+    let mut db = build(&BuildConfig::scaled(
+        DbShape::Db2,
+        Organization::ClassClustered,
+        500,
+    ));
+    let plain = JoinOptions::default();
+    let hybrid = JoinOptions {
+        hybrid_hashing: true,
+        ..JoinOptions::default()
+    };
+    for algo in [JoinAlgo::Phj, JoinAlgo::Chj] {
+        for (pat, prov) in [(10, 10), (90, 90), (10, 90)] {
+            let s = spec(&db, pat, prov);
+            let (mut a, _) = run(&mut db, algo, &s, &plain);
+            let (mut b, _) = run(&mut db, algo, &s, &hybrid);
+            let (pa, pb) = (a.pairs.take().unwrap(), b.pairs.take().unwrap());
+            let mut pa = pa;
+            let mut pb = pb;
+            pa.sort_unstable();
+            pb.sort_unstable();
+            assert_eq!(pa, pb, "{algo:?} at ({pat},{prov})");
+            assert_eq!(a.results, b.results);
+        }
+    }
+}
+
+/// When the plain table swaps, the hybrid variant partitions instead:
+/// zero faults, bounded spill I/O, and a large speedup.
+#[test]
+fn hybrid_eliminates_swap() {
+    // 1:3 at (90,90): the Figure 12 swap cell.
+    let mut db = build(&BuildConfig::scaled(
+        DbShape::Db2,
+        Organization::ClassClustered,
+        100,
+    ));
+    let s = spec(&db, 90, 90);
+    let (plain_report, plain_secs) = run(&mut db, JoinAlgo::Phj, &s, &JoinOptions::default());
+    assert!(
+        plain_report.swap_faults > 0,
+        "the cell must swap without hybrid hashing"
+    );
+    let hybrid = JoinOptions {
+        hybrid_hashing: true,
+        ..JoinOptions::default()
+    };
+    let (hybrid_report, hybrid_secs) = run(&mut db, JoinAlgo::Phj, &s, &hybrid);
+    assert_eq!(hybrid_report.swap_faults, 0, "hybrid never faults");
+    assert!(hybrid_report.partitions > 1);
+    assert!(hybrid_report.spill_pages > 0);
+    assert!(
+        hybrid_secs < plain_secs / 2.0,
+        "hybrid {hybrid_secs:.1}s vs plain {plain_secs:.1}s"
+    );
+}
+
+/// Within budget, hybrid degenerates to one partition and costs about
+/// the same as the plain join.
+#[test]
+fn hybrid_degenerates_gracefully_when_memory_suffices() {
+    let mut db = build(&BuildConfig::scaled(
+        DbShape::Db2,
+        Organization::ClassClustered,
+        500,
+    ));
+    let s = spec(&db, 10, 10);
+    let hybrid = JoinOptions {
+        hybrid_hashing: true,
+        ..JoinOptions::default()
+    };
+    let (report, hybrid_secs) = run(&mut db, JoinAlgo::Phj, &s, &hybrid);
+    assert_eq!(report.partitions, 1);
+    assert_eq!(report.spill_pages, 0);
+    let (_, plain_secs) = run(&mut db, JoinAlgo::Phj, &s, &JoinOptions::default());
+    let ratio = hybrid_secs / plain_secs;
+    assert!(
+        (0.9..1.1).contains(&ratio),
+        "one-partition hybrid should cost like plain ({ratio:.2}x)"
+    );
+}
+
+/// Spill files are reclaimed after the join (no page leak across runs).
+#[test]
+fn spill_space_is_reclaimed() {
+    let mut db = build(&BuildConfig::scaled(
+        DbShape::Db2,
+        Organization::ClassClustered,
+        100,
+    ));
+    let s = spec(&db, 90, 90);
+    let hybrid = JoinOptions {
+        hybrid_hashing: true,
+        ..JoinOptions::default()
+    };
+    let before = db.store.stack().disk().total_pages();
+    let (report, _) = run(&mut db, JoinAlgo::Chj, &s, &hybrid);
+    assert!(report.spill_pages > 0);
+    let after = db.store.stack().disk().total_pages();
+    assert_eq!(before, after, "spill pages must be truncated away");
+}

@@ -1,0 +1,204 @@
+//! Property tests: every join algorithm (plus hybrid and sort-merge
+//! variants) against a brute-force oracle, over randomized tree shapes
+//! built directly on the object store.
+
+use proptest::prelude::*;
+use tq_index::BTreeIndex;
+use tq_objstore::{AttrType, ClassId, ObjectStore, Rid, Schema, SetValue, Value};
+use tq_pagestore::{CacheConfig, CostModel, StorageStack};
+use tq_query::join::{run_join, smj, JoinContext, JoinOptions};
+use tq_query::{HashKeyMode, JoinAlgo, ResultMode, TreeJoinSpec};
+
+const P_KEY: usize = 0; // parent key attr
+const P_SET: usize = 1;
+const C_KEY: usize = 0; // child key attr
+const C_PARENT: usize = 1;
+
+struct Tree {
+    store: ObjectStore,
+    parent_index: BTreeIndex,
+    child_index: BTreeIndex,
+    /// (parent_key, child_key) ground truth.
+    edges: Vec<(i64, i64)>,
+}
+
+/// Builds a little tree: `fanouts[i]` children under parent `i`, child
+/// keys drawn from `child_keys` (arbitrary, possibly duplicated).
+fn build_tree(fanouts: &[u8], child_keys: &[i16]) -> Tree {
+    let mut schema = Schema::new();
+    let parent = schema.add_class(
+        "P",
+        vec![("k", AttrType::Int), ("kids", AttrType::SetRef(ClassId(1)))],
+    );
+    let child = schema.add_class(
+        "C",
+        vec![("k", AttrType::Int), ("up", AttrType::Ref(parent))],
+    );
+    // Tiny caches: force real cache behaviour even on small data.
+    let stack = StorageStack::new(
+        CostModel::sparc20(),
+        CacheConfig {
+            client_pages: 8,
+            server_pages: 4,
+        },
+    );
+    let mut store = ObjectStore::new(schema, stack);
+    let file = store.create_file("objects");
+
+    let mut parent_rids = Vec::new();
+    let mut child_rids: Vec<(i64, Rid)> = Vec::new();
+    let mut edges = Vec::new();
+    let mut next_child = 0usize;
+    for (i, &f) in fanouts.iter().enumerate() {
+        let kids_placeholder = SetValue::Inline(vec![Rid::nil(); f as usize]);
+        let prid = store.insert(
+            file,
+            parent,
+            &[Value::Int(i as i32), Value::Set(kids_placeholder)],
+            true,
+        );
+        let mut kids = Vec::new();
+        for _ in 0..f {
+            let ck = child_keys[next_child % child_keys.len()] as i64;
+            next_child += 1;
+            let crid = store.insert(
+                file,
+                child,
+                &[Value::Int(ck as i32), Value::Ref(prid)],
+                true,
+            );
+            kids.push(crid);
+            child_rids.push((ck, crid));
+            edges.push((i as i64, ck));
+        }
+        store.update(
+            prid,
+            &[Value::Int(i as i32), Value::Set(SetValue::Inline(kids))],
+        );
+        parent_rids.push(prid);
+    }
+    store.create_collection("Ps", parent, &parent_rids);
+    store.create_collection(
+        "Cs",
+        child,
+        &child_rids.iter().map(|&(_, r)| r).collect::<Vec<_>>(),
+    );
+    let p_entries: Vec<(i64, Rid)> = parent_rids
+        .iter()
+        .enumerate()
+        .map(|(i, &r)| (i as i64, r))
+        .collect();
+    let parent_index = BTreeIndex::bulk_build(store.stack_mut(), 1, "pi", true, &p_entries);
+    let mut c_entries = child_rids.clone();
+    c_entries.sort_unstable_by_key(|&(k, _)| k);
+    let child_index = BTreeIndex::bulk_build(store.stack_mut(), 2, "ci", false, &c_entries);
+    store.cold_restart();
+    store.reset_metrics();
+    Tree {
+        store,
+        parent_index,
+        child_index,
+        edges,
+    }
+}
+
+fn spec(k_parent: i64, k_child: i64) -> TreeJoinSpec {
+    TreeJoinSpec {
+        parents: "Ps".into(),
+        children: "Cs".into(),
+        parent_key: P_KEY,
+        parent_set: P_SET,
+        child_key: C_KEY,
+        child_parent: C_PARENT,
+        parent_project: P_KEY,
+        child_project: C_KEY,
+        parent_key_limit: k_parent,
+        child_key_limit: k_child,
+        result_mode: ResultMode::Transient,
+    }
+}
+
+fn oracle(edges: &[(i64, i64)], k_parent: i64, k_child: i64) -> Vec<(i64, i64)> {
+    let mut v: Vec<(i64, i64)> = edges
+        .iter()
+        .copied()
+        .filter(|&(p, c)| p < k_parent && c < k_child)
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// All algorithms and option combinations equal the oracle.
+    #[test]
+    fn joins_equal_oracle(
+        fanouts in proptest::collection::vec(0u8..6, 1..30),
+        child_keys in proptest::collection::vec(-20i16..20, 1..40),
+        k_parent in -2i64..32,
+        k_child in -25i64..25,
+    ) {
+        let mut t = build_tree(&fanouts, &child_keys);
+        let want = oracle(&t.edges, k_parent, k_child);
+        let s = spec(k_parent, k_child);
+        let option_sets = [
+            JoinOptions::default(),
+            JoinOptions { sort_index_rids: false, ..JoinOptions::default() },
+            JoinOptions { hash_key: HashKeyMode::Handle, ..JoinOptions::default() },
+            JoinOptions { hybrid_hashing: true, ..JoinOptions::default() },
+        ];
+        for opts in option_sets {
+            for algo in JoinAlgo::all() {
+                let mut ctx = JoinContext {
+                    store: &mut t.store,
+                    parent_index: &t.parent_index,
+                    child_index: &t.child_index,
+                };
+                let report = run_join(algo, &mut ctx, &s, &opts, true);
+                t.store.end_of_query();
+                let mut got = report.pairs.unwrap();
+                got.sort_unstable();
+                prop_assert_eq!(&got, &want, "{:?} with {:?}", algo, opts);
+            }
+            // The resurrected sort-merge join too.
+            let mut ctx = JoinContext {
+                store: &mut t.store,
+                parent_index: &t.parent_index,
+                child_index: &t.child_index,
+            };
+            let report = smj::run(&mut ctx, &s, &opts, true);
+            t.store.end_of_query();
+            let mut got = report.pairs.unwrap();
+            got.sort_unstable();
+            prop_assert_eq!(&got, &want, "SMJ with {:?}", opts);
+        }
+    }
+
+    /// Handle accounting balances across any join: after end_of_query,
+    /// nothing stays pinned.
+    #[test]
+    fn no_handle_leaks(
+        fanouts in proptest::collection::vec(0u8..5, 1..15),
+        k_child in 0i64..20,
+    ) {
+        let mut t = build_tree(&fanouts, &[1, 5, 9, 13]);
+        let s = spec(fanouts.len() as i64, k_child);
+        for algo in JoinAlgo::all() {
+            let mut ctx = JoinContext {
+                store: &mut t.store,
+                parent_index: &t.parent_index,
+                child_index: &t.child_index,
+            };
+            let _ = run_join(algo, &mut ctx, &s, &JoinOptions::default(), false);
+            t.store.end_of_query();
+            let h = t.store.handle_stats();
+            // A revival reuses an existing handle, so the teardown
+            // invariant is frees == allocations (once drained).
+            prop_assert_eq!(h.allocations, h.frees,
+                "{:?}: every allocated handle must be torn down exactly once", algo);
+            prop_assert_eq!(h.unrefs, h.allocations + h.touches + h.revivals,
+                "{:?}: every pin must be dropped", algo);
+        }
+    }
+}

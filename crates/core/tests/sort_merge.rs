@@ -1,0 +1,113 @@
+//! Integration: the resurrected sort-merge pointer join — correct, and
+//! worse than hashing where the paper said it was.
+
+use tq_query::join::{run_join, smj, JoinContext, JoinOptions};
+use tq_query::{JoinAlgo, ResultMode, TreeJoinSpec};
+use tq_workload::{build, patient_attr, provider_attr, BuildConfig, DbShape, Organization};
+
+fn spec(db: &tq_workload::Database, pat: u32, prov: u32) -> TreeJoinSpec {
+    TreeJoinSpec {
+        parents: "Providers".into(),
+        children: "Patients".into(),
+        parent_key: provider_attr::UPIN,
+        parent_set: provider_attr::CLIENTS,
+        child_key: patient_attr::MRN,
+        child_parent: patient_attr::PCP,
+        parent_project: provider_attr::NAME,
+        child_project: patient_attr::AGE,
+        parent_key_limit: db.provider_selectivity_key(prov),
+        child_key_limit: db.patient_selectivity_key(pat),
+        result_mode: ResultMode::Transient,
+    }
+}
+
+fn run_smj(db: &mut tq_workload::Database, s: &TreeJoinSpec) -> (tq_query::JoinReport, f64) {
+    let parent_index = db.idx_provider_upin.clone();
+    let child_index = db.idx_patient_mrn.clone();
+    let s = s.clone();
+    db.measure_cold(move |db| {
+        let mut ctx = JoinContext {
+            store: &mut db.store,
+            parent_index: &parent_index,
+            child_index: &child_index,
+        };
+        smj::run(&mut ctx, &s, &JoinOptions::default(), true)
+    })
+}
+
+fn run_algo(
+    db: &mut tq_workload::Database,
+    algo: JoinAlgo,
+    s: &TreeJoinSpec,
+) -> (tq_query::JoinReport, f64) {
+    let parent_index = db.idx_provider_upin.clone();
+    let child_index = db.idx_patient_mrn.clone();
+    let s = s.clone();
+    db.measure_cold(move |db| {
+        let mut ctx = JoinContext {
+            store: &mut db.store,
+            parent_index: &parent_index,
+            child_index: &child_index,
+        };
+        run_join(algo, &mut ctx, &s, &JoinOptions::default(), true)
+    })
+}
+
+#[test]
+fn smj_matches_hash_join_results() {
+    for org in Organization::all() {
+        let mut db = build(&BuildConfig::scaled(DbShape::Db2, org, 1000));
+        for (pat, prov) in [(10, 90), (90, 10), (50, 50)] {
+            let s = spec(&db, pat, prov);
+            let (smj_report, _) = run_smj(&mut db, &s);
+            let (phj_report, _) = run_algo(&mut db, JoinAlgo::Phj, &s);
+            let mut a = smj_report.pairs.unwrap();
+            let mut b = phj_report.pairs.unwrap();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "{org:?} ({pat},{prov})");
+        }
+    }
+}
+
+/// The paper's reason for dropping sort-based joins: on the cells they
+/// measured (tables within memory), hashing wins.
+#[test]
+fn smj_loses_to_hashing_when_memory_suffices() {
+    let mut db = build(&BuildConfig::scaled(
+        DbShape::Db2,
+        Organization::ClassClustered,
+        200,
+    ));
+    let s = spec(&db, 90, 10);
+    let (smj_report, smj_secs) = run_smj(&mut db, &s);
+    let (phj_report, phj_secs) = run_algo(&mut db, JoinAlgo::Phj, &s);
+    assert_eq!(phj_report.swap_faults, 0, "a no-swap cell");
+    assert!(
+        smj_secs > phj_secs,
+        "SMJ {smj_secs:.2}s must lose to PHJ {phj_secs:.2}s (the paper dropped it)"
+    );
+    // The child sort spilled: its input exceeds the scaled budget.
+    assert!(smj_report.spill_pages > 0);
+    assert_eq!(smj_report.swap_faults, 0, "merge join never pages a table");
+}
+
+/// But like hybrid hashing, SMJ is immune to the (90,90) swap collapse
+/// — the branch the authors dropped would have won those cells too.
+#[test]
+fn smj_survives_the_swap_cell() {
+    let mut db = build(&BuildConfig::scaled(
+        DbShape::Db2,
+        Organization::ClassClustered,
+        100,
+    ));
+    let s = spec(&db, 90, 90);
+    let (phj_report, phj_secs) = run_algo(&mut db, JoinAlgo::Phj, &s);
+    assert!(phj_report.swap_faults > 0);
+    let (smj_report, smj_secs) = run_smj(&mut db, &s);
+    assert_eq!(smj_report.results, phj_report.results);
+    assert!(
+        smj_secs < phj_secs / 2.0,
+        "SMJ {smj_secs:.1}s vs swapping PHJ {phj_secs:.1}s"
+    );
+}

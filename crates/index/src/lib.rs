@@ -1,0 +1,25 @@
+//! # tq-index — B+-tree indexes over object collections
+//!
+//! O2-style value indexes: a B+-tree mapping an integer key attribute
+//! to the [`Rid`](tq_objstore::Rid)s of the objects carrying that key.
+//! Index nodes live in their own page file and are read **through the
+//! same [`StorageStack`](tq_pagestore::StorageStack)** as data pages,
+//! so index I/O shows up in the paper's counters (the Figure 6 effect:
+//! above a selectivity threshold, an unclustered index scan reads
+//! *more* pages than a full scan, because it reads the whole collection
+//! *and* the index).
+//!
+//! An index is *clustered* when key order matches the physical order of
+//! the indexed objects (the paper's §5 join indexes on `mrn`/`upin`,
+//! which equal creation order) and *unclustered* otherwise (the §4.2
+//! index on the random key `num`). Clustering is a property of the
+//! data, not the tree: the flag is declared by the creator and consumed
+//! by the query planner.
+//!
+//! The leaves store only object identifiers, "i.e., no object
+//! properties" (§5), exactly like the paper's indexes.
+
+pub mod node;
+pub mod tree;
+
+pub use tree::{BTreeIndex, IndexCursor};

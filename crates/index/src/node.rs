@@ -1,0 +1,186 @@
+//! B+-tree node serialization.
+//!
+//! One node per page, stored as the page's record 0:
+//!
+//! ```text
+//! leaf:      [ 0u8 | next_leaf u32 | count u16 | count × (key i64, rid 8B) ]
+//! internal:  [ 1u8 | count u16 | count × key i64 | (count+1) × child u32 ]
+//! ```
+//!
+//! `next_leaf == u32::MAX` terminates the leaf chain. Child pointers
+//! are page numbers within the index file.
+
+use tq_objstore::{Rid, RID_BYTES};
+
+/// No-next-leaf sentinel.
+pub const NO_LEAF: u32 = u32::MAX;
+
+/// Maximum entries per leaf (16 bytes each; fits a 4 KB page with
+/// header slack).
+pub const LEAF_CAPACITY: usize = 250;
+
+/// Maximum keys per internal node (8-byte key + 4-byte child each).
+pub const INTERNAL_CAPACITY: usize = 250;
+
+/// A decoded B+-tree node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Node {
+    /// Leaf: sorted `(key, rid)` entries plus the next-leaf link.
+    Leaf {
+        /// Sorted entries (duplicate keys allowed).
+        entries: Vec<(i64, Rid)>,
+        /// Page number of the next leaf, or [`NO_LEAF`].
+        next: u32,
+    },
+    /// Internal: `keys[i]` separates `children[i]` (keys below `keys[i]`)
+    /// from `children[i+1]` (keys at or above `keys[i]`).
+    Internal {
+        /// Separator keys.
+        keys: Vec<i64>,
+        /// Child page numbers (`keys.len() + 1` of them).
+        children: Vec<u32>,
+    },
+}
+
+impl Node {
+    /// Serializes the node.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Node::Leaf { entries, next } => {
+                assert!(entries.len() <= LEAF_CAPACITY);
+                let mut out = Vec::with_capacity(7 + entries.len() * 16);
+                out.push(0u8);
+                out.extend_from_slice(&next.to_le_bytes());
+                out.extend_from_slice(&(entries.len() as u16).to_le_bytes());
+                for (k, r) in entries {
+                    out.extend_from_slice(&k.to_le_bytes());
+                    out.extend_from_slice(&r.encode());
+                }
+                out
+            }
+            Node::Internal { keys, children } => {
+                assert!(keys.len() <= INTERNAL_CAPACITY);
+                assert_eq!(children.len(), keys.len() + 1, "internal node shape");
+                let mut out = Vec::with_capacity(3 + keys.len() * 12 + 4);
+                out.push(1u8);
+                out.extend_from_slice(&(keys.len() as u16).to_le_bytes());
+                for k in keys {
+                    out.extend_from_slice(&k.to_le_bytes());
+                }
+                for c in children {
+                    out.extend_from_slice(&c.to_le_bytes());
+                }
+                out
+            }
+        }
+    }
+
+    /// Deserializes a node. Panics on malformed bytes (index pages are
+    /// engine-internal; corruption is a bug, not input).
+    pub fn decode(bytes: &[u8]) -> Node {
+        match bytes[0] {
+            0 => {
+                let next = u32::from_le_bytes(bytes[1..5].try_into().unwrap());
+                let count = u16::from_le_bytes(bytes[5..7].try_into().unwrap()) as usize;
+                let mut entries = Vec::with_capacity(count);
+                let mut at = 7;
+                for _ in 0..count {
+                    let k = i64::from_le_bytes(bytes[at..at + 8].try_into().unwrap());
+                    let r = Rid::decode(&bytes[at + 8..at + 8 + RID_BYTES]);
+                    entries.push((k, r));
+                    at += 8 + RID_BYTES;
+                }
+                Node::Leaf { entries, next }
+            }
+            1 => {
+                let count = u16::from_le_bytes(bytes[1..3].try_into().unwrap()) as usize;
+                let mut keys = Vec::with_capacity(count);
+                let mut at = 3;
+                for _ in 0..count {
+                    keys.push(i64::from_le_bytes(bytes[at..at + 8].try_into().unwrap()));
+                    at += 8;
+                }
+                let mut children = Vec::with_capacity(count + 1);
+                for _ in 0..=count {
+                    children.push(u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()));
+                    at += 4;
+                }
+                Node::Internal { keys, children }
+            }
+            t => panic!("unknown node tag {t}"),
+        }
+    }
+
+    /// Entry/key count.
+    pub fn len(&self) -> usize {
+        match self {
+            Node::Leaf { entries, .. } => entries.len(),
+            Node::Internal { keys, .. } => keys.len(),
+        }
+    }
+
+    /// True when the node holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tq_pagestore::{FileId, PageId};
+
+    fn rid(n: u32) -> Rid {
+        Rid::new(
+            PageId {
+                file: FileId(3),
+                page_no: n,
+            },
+            (n % 5) as u16,
+        )
+    }
+
+    #[test]
+    fn leaf_round_trip() {
+        let node = Node::Leaf {
+            entries: (0..LEAF_CAPACITY as i64)
+                .map(|i| (i * 3, rid(i as u32)))
+                .collect(),
+            next: 42,
+        };
+        let bytes = node.encode();
+        assert!(bytes.len() < 4080, "full leaf must fit a page");
+        assert_eq!(Node::decode(&bytes), node);
+    }
+
+    #[test]
+    fn internal_round_trip() {
+        let node = Node::Internal {
+            keys: (0..INTERNAL_CAPACITY as i64).collect(),
+            children: (0..=INTERNAL_CAPACITY as u32).collect(),
+        };
+        let bytes = node.encode();
+        assert!(bytes.len() < 4080, "full internal node must fit a page");
+        assert_eq!(Node::decode(&bytes), node);
+    }
+
+    #[test]
+    fn empty_leaf() {
+        let node = Node::Leaf {
+            entries: vec![],
+            next: NO_LEAF,
+        };
+        assert!(node.is_empty());
+        assert_eq!(Node::decode(&node.encode()), node);
+    }
+
+    #[test]
+    #[should_panic(expected = "internal node shape")]
+    fn malformed_internal_panics() {
+        Node::Internal {
+            keys: vec![1, 2],
+            children: vec![0, 1],
+        }
+        .encode();
+    }
+}

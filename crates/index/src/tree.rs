@@ -1,0 +1,604 @@
+//! The B+-tree proper: bulk build, incremental insert, range scans.
+
+use crate::node::{Node, INTERNAL_CAPACITY, LEAF_CAPACITY, NO_LEAF};
+use tq_objstore::Rid;
+use tq_pagestore::{FileId, PageId, StorageStack, PAGE_SIZE};
+
+/// A B+-tree index over an integer key attribute.
+///
+/// Created either by [`BTreeIndex::bulk_build`] (sorted input, packed
+/// leaves — the "create the index once the collection is populated"
+/// path) or [`BTreeIndex::new_empty`] + [`BTreeIndex::insert`]
+/// (index-first loading). Tree metadata lives in this struct; node
+/// pages live in `file` and are accessed through the shared
+/// [`StorageStack`], so every index page read is charged I/O.
+#[derive(Clone, Debug)]
+pub struct BTreeIndex {
+    /// Index id recorded in member objects' headers.
+    pub id: u16,
+    /// Page file holding the nodes.
+    pub file: FileId,
+    /// True when key order matches the indexed objects' physical order.
+    pub clustered: bool,
+    root: u32,
+    height: u32,
+    entry_count: u64,
+}
+
+fn write_node(stack: &mut StorageStack, pid: PageId, node: &Node) {
+    let bytes = node.encode();
+    stack.write_page(pid, |p| {
+        if p.slot_count() == 0 {
+            p.insert(&bytes, PAGE_SIZE)
+                .expect("node fits an empty page");
+        } else {
+            assert!(p.update(0, &bytes), "node must fit its page");
+        }
+    });
+}
+
+fn read_node(stack: &mut StorageStack, file: FileId, page_no: u32) -> Node {
+    let page = stack.read_page(PageId { file, page_no });
+    Node::decode(page.read(0).expect("index page holds a node"))
+}
+
+impl BTreeIndex {
+    /// Creates an empty tree (a single empty leaf) in a fresh file.
+    pub fn new_empty(
+        stack: &mut StorageStack,
+        id: u16,
+        name: impl Into<String>,
+        clustered: bool,
+    ) -> Self {
+        let file = stack.create_file(name);
+        let pid = stack.allocate_page(file);
+        write_node(
+            stack,
+            pid,
+            &Node::Leaf {
+                entries: vec![],
+                next: NO_LEAF,
+            },
+        );
+        Self {
+            id,
+            file,
+            clustered,
+            root: pid.page_no,
+            height: 1,
+            entry_count: 0,
+        }
+    }
+
+    /// Bulk-builds a packed tree from entries **sorted by key** (ties
+    /// in any order). This is the paper's recommended post-load index
+    /// creation path.
+    ///
+    /// Panics if the input is unsorted.
+    pub fn bulk_build(
+        stack: &mut StorageStack,
+        id: u16,
+        name: impl Into<String>,
+        clustered: bool,
+        entries: &[(i64, Rid)],
+    ) -> Self {
+        assert!(
+            entries.windows(2).all(|w| w[0].0 <= w[1].0),
+            "bulk_build requires key-sorted input"
+        );
+        let file = stack.create_file(name);
+        if entries.is_empty() {
+            let pid = stack.allocate_page(file);
+            write_node(
+                stack,
+                pid,
+                &Node::Leaf {
+                    entries: vec![],
+                    next: NO_LEAF,
+                },
+            );
+            return Self {
+                id,
+                file,
+                clustered,
+                root: pid.page_no,
+                height: 1,
+                entry_count: 0,
+            };
+        }
+        // Leaves, left to right. Chunks are allocated first so each
+        // leaf can point at its successor.
+        let chunks: Vec<&[(i64, Rid)]> = entries.chunks(LEAF_CAPACITY).collect();
+        let leaf_pages: Vec<PageId> = chunks.iter().map(|_| stack.allocate_page(file)).collect();
+        let mut level: Vec<(i64, u32)> = Vec::with_capacity(chunks.len());
+        for (i, chunk) in chunks.iter().enumerate() {
+            let next = leaf_pages.get(i + 1).map(|p| p.page_no).unwrap_or(NO_LEAF);
+            write_node(
+                stack,
+                leaf_pages[i],
+                &Node::Leaf {
+                    entries: chunk.to_vec(),
+                    next,
+                },
+            );
+            level.push((chunk[0].0, leaf_pages[i].page_no));
+        }
+        // Internal levels until one node remains.
+        let mut height = 1;
+        while level.len() > 1 {
+            height += 1;
+            let mut next_level = Vec::with_capacity(level.len() / INTERNAL_CAPACITY + 1);
+            for group in level.chunks(INTERNAL_CAPACITY + 1) {
+                let pid = stack.allocate_page(file);
+                let keys: Vec<i64> = group[1..].iter().map(|&(k, _)| k).collect();
+                let children: Vec<u32> = group.iter().map(|&(_, c)| c).collect();
+                write_node(stack, pid, &Node::Internal { keys, children });
+                next_level.push((group[0].0, pid.page_no));
+            }
+            level = next_level;
+        }
+        Self {
+            id,
+            file,
+            clustered,
+            root: level[0].1,
+            height,
+            entry_count: entries.len() as u64,
+        }
+    }
+
+    /// Number of entries.
+    pub fn entry_count(&self) -> u64 {
+        self.entry_count
+    }
+
+    /// Tree height (1 = root is a leaf).
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Inserts one `(key, rid)` entry, splitting nodes as needed.
+    pub fn insert(&mut self, stack: &mut StorageStack, key: i64, rid: Rid) {
+        if let Some((sep, right)) = self.insert_into(stack, self.root, key, rid) {
+            // Root split: grow a new root.
+            let pid = stack.allocate_page(self.file);
+            write_node(
+                stack,
+                pid,
+                &Node::Internal {
+                    keys: vec![sep],
+                    children: vec![self.root, right],
+                },
+            );
+            self.root = pid.page_no;
+            self.height += 1;
+        }
+        self.entry_count += 1;
+    }
+
+    /// Recursive insert; returns `(separator, new_right_page)` when the
+    /// child at `page_no` split.
+    fn insert_into(
+        &mut self,
+        stack: &mut StorageStack,
+        page_no: u32,
+        key: i64,
+        rid: Rid,
+    ) -> Option<(i64, u32)> {
+        match read_node(stack, self.file, page_no) {
+            Node::Leaf { mut entries, next } => {
+                let at = entries.partition_point(|&(k, _)| k <= key);
+                entries.insert(at, (key, rid));
+                if entries.len() <= LEAF_CAPACITY {
+                    write_node(
+                        stack,
+                        PageId {
+                            file: self.file,
+                            page_no,
+                        },
+                        &Node::Leaf { entries, next },
+                    );
+                    return None;
+                }
+                // Split.
+                let right_entries = entries.split_off(entries.len() / 2);
+                let sep = right_entries[0].0;
+                let right_pid = stack.allocate_page(self.file);
+                write_node(
+                    stack,
+                    right_pid,
+                    &Node::Leaf {
+                        entries: right_entries,
+                        next,
+                    },
+                );
+                write_node(
+                    stack,
+                    PageId {
+                        file: self.file,
+                        page_no,
+                    },
+                    &Node::Leaf {
+                        entries,
+                        next: right_pid.page_no,
+                    },
+                );
+                Some((sep, right_pid.page_no))
+            }
+            Node::Internal {
+                mut keys,
+                mut children,
+            } => {
+                let slot = keys.partition_point(|&k| k <= key);
+                let split = self.insert_into(stack, children[slot], key, rid)?;
+                let (sep, right) = split;
+                keys.insert(slot, sep);
+                children.insert(slot + 1, right);
+                if keys.len() <= INTERNAL_CAPACITY {
+                    write_node(
+                        stack,
+                        PageId {
+                            file: self.file,
+                            page_no,
+                        },
+                        &Node::Internal { keys, children },
+                    );
+                    return None;
+                }
+                // Split internal: middle key moves up.
+                let mid = keys.len() / 2;
+                let up_key = keys[mid];
+                let right_keys = keys.split_off(mid + 1);
+                keys.pop(); // up_key
+                let right_children = children.split_off(mid + 1);
+                let right_pid = stack.allocate_page(self.file);
+                write_node(
+                    stack,
+                    right_pid,
+                    &Node::Internal {
+                        keys: right_keys,
+                        children: right_children,
+                    },
+                );
+                write_node(
+                    stack,
+                    PageId {
+                        file: self.file,
+                        page_no,
+                    },
+                    &Node::Internal { keys, children },
+                );
+                Some((up_key, right_pid.page_no))
+            }
+        }
+    }
+
+    /// Opens a cursor over keys in `lo ..= hi` (inclusive range,
+    /// ascending). Descending the tree charges the node-page reads.
+    pub fn range(&self, stack: &mut StorageStack, lo: i64, hi: i64) -> IndexCursor {
+        let mut page_no = self.root;
+        loop {
+            match read_node(stack, self.file, page_no) {
+                Node::Internal { keys, children } => {
+                    // Lower-bound descent: duplicates of `lo` may sit
+                    // left of an equal separator (splits don't respect
+                    // duplicate runs), so take the leftmost candidate
+                    // child; the leaf chain covers the rest.
+                    let slot = keys.partition_point(|&k| k < lo);
+                    page_no = children[slot];
+                }
+                Node::Leaf { entries, next } => {
+                    let start = entries.partition_point(|&(k, _)| k < lo);
+                    return IndexCursor {
+                        file: self.file,
+                        hi,
+                        entries,
+                        at: start,
+                        next_leaf: next,
+                        done: false,
+                    };
+                }
+            }
+        }
+    }
+
+    /// Cursor over the whole index in key order.
+    pub fn scan_all(&self, stack: &mut StorageStack) -> IndexCursor {
+        self.range(stack, i64::MIN, i64::MAX)
+    }
+
+    /// Removes one `(key, rid)` entry. Returns `true` when found.
+    ///
+    /// Deletion is lazy (no node merging): leaves may go underfull,
+    /// which is standard practice for workloads where deletes are rare
+    /// relative to scans. Empty leaves stay in the chain and cost one
+    /// page read to skip.
+    pub fn remove(&mut self, stack: &mut StorageStack, key: i64, rid: Rid) -> bool {
+        // Lower-bound descent (duplicates may sit left of an equal
+        // separator), then walk the leaf chain while keys match.
+        let mut page_no = self.root;
+        while let Node::Internal { keys, children } = read_node(stack, self.file, page_no) {
+            let slot = keys.partition_point(|&k| k < key);
+            page_no = children[slot];
+        }
+        loop {
+            let node = read_node(stack, self.file, page_no);
+            let Node::Leaf { mut entries, next } = node else {
+                unreachable!("leaf chain links only leaves");
+            };
+            if let Some(at) = entries.iter().position(|&(k, r)| k == key && r == rid) {
+                entries.remove(at);
+                write_node(
+                    stack,
+                    PageId {
+                        file: self.file,
+                        page_no,
+                    },
+                    &Node::Leaf { entries, next },
+                );
+                self.entry_count -= 1;
+                return true;
+            }
+            // Stop once the chain has moved past `key`.
+            if entries.last().is_some_and(|&(k, _)| k > key) || next == crate::node::NO_LEAF {
+                return false;
+            }
+            page_no = next;
+        }
+    }
+
+    /// Re-keys one entry: removes `(old_key, rid)` and inserts
+    /// `(new_key, new_rid)` — the index-maintenance step for an object
+    /// update (possibly relocated). Returns `false` when the old entry
+    /// was absent (nothing is inserted then).
+    pub fn reinsert(
+        &mut self,
+        stack: &mut StorageStack,
+        old_key: i64,
+        rid: Rid,
+        new_key: i64,
+        new_rid: Rid,
+    ) -> bool {
+        if !self.remove(stack, old_key, rid) {
+            return false;
+        }
+        self.insert(stack, new_key, new_rid);
+        true
+    }
+
+    /// All rids for `key` (point lookup convenience).
+    pub fn lookup(&self, stack: &mut StorageStack, key: i64) -> Vec<Rid> {
+        let mut cursor = self.range(stack, key, key);
+        let mut out = Vec::new();
+        while let Some((_, rid)) = cursor.next(stack) {
+            out.push(rid);
+        }
+        out
+    }
+}
+
+/// Streaming cursor over an index range.
+///
+/// Holds the current leaf's entries decoded in memory (the leaf is
+/// effectively pinned while scanned); crossing to the next leaf is one
+/// (charged) page read.
+#[derive(Clone, Debug)]
+pub struct IndexCursor {
+    file: FileId,
+    hi: i64,
+    entries: Vec<(i64, Rid)>,
+    at: usize,
+    next_leaf: u32,
+    done: bool,
+}
+
+impl IndexCursor {
+    /// Next `(key, rid)` in ascending key order, or `None` past `hi`.
+    pub fn next(&mut self, stack: &mut StorageStack) -> Option<(i64, Rid)> {
+        loop {
+            if self.done {
+                return None;
+            }
+            if self.at < self.entries.len() {
+                let (k, r) = self.entries[self.at];
+                if k > self.hi {
+                    self.done = true;
+                    return None;
+                }
+                self.at += 1;
+                return Some((k, r));
+            }
+            if self.next_leaf == NO_LEAF {
+                self.done = true;
+                return None;
+            }
+            match read_node(stack, self.file, self.next_leaf) {
+                Node::Leaf { entries, next } => {
+                    self.entries = entries;
+                    self.at = 0;
+                    self.next_leaf = next;
+                }
+                Node::Internal { .. } => unreachable!("leaf chain links only leaves"),
+            }
+        }
+    }
+
+    /// Drains the cursor into a vector.
+    pub fn collect_all(mut self, stack: &mut StorageStack) -> Vec<(i64, Rid)> {
+        let mut out = Vec::new();
+        while let Some(e) = self.next(stack) {
+            out.push(e);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tq_pagestore::{CacheConfig, CostModel};
+
+    fn stack() -> StorageStack {
+        StorageStack::new(CostModel::free(), CacheConfig::default())
+    }
+
+    fn rid(n: u32) -> Rid {
+        Rid::new(
+            PageId {
+                file: FileId(0),
+                page_no: n / 50,
+            },
+            (n % 50) as u16,
+        )
+    }
+
+    #[test]
+    fn bulk_build_and_full_scan() {
+        let mut s = stack();
+        let entries: Vec<(i64, Rid)> = (0..1000).map(|i| (i * 2, rid(i as u32))).collect();
+        let t = BTreeIndex::bulk_build(&mut s, 1, "idx", true, &entries);
+        assert_eq!(t.entry_count(), 1000);
+        assert!(t.height() >= 2);
+        assert_eq!(t.scan_all(&mut s).collect_all(&mut s), entries);
+    }
+
+    #[test]
+    fn range_scan_inclusive_bounds() {
+        let mut s = stack();
+        let entries: Vec<(i64, Rid)> = (0..500).map(|i| (i, rid(i as u32))).collect();
+        let t = BTreeIndex::bulk_build(&mut s, 1, "idx", true, &entries);
+        let got = t.range(&mut s, 100, 199).collect_all(&mut s);
+        assert_eq!(got.len(), 100);
+        assert_eq!(got.first().unwrap().0, 100);
+        assert_eq!(got.last().unwrap().0, 199);
+    }
+
+    #[test]
+    fn empty_tree_and_empty_range() {
+        let mut s = stack();
+        let t = BTreeIndex::bulk_build(&mut s, 1, "idx", false, &[]);
+        assert_eq!(t.entry_count(), 0);
+        assert!(t.scan_all(&mut s).collect_all(&mut s).is_empty());
+        let t2 = BTreeIndex::bulk_build(&mut s, 2, "idx2", false, &[(5, rid(1))]);
+        assert!(t2.range(&mut s, 10, 20).collect_all(&mut s).is_empty());
+        assert!(t2.range(&mut s, 0, 4).collect_all(&mut s).is_empty());
+    }
+
+    #[test]
+    fn duplicate_keys_all_returned() {
+        let mut s = stack();
+        let entries: Vec<(i64, Rid)> = (0..600).map(|i| (i / 3, rid(i as u32))).collect();
+        let t = BTreeIndex::bulk_build(&mut s, 1, "idx", false, &entries);
+        assert_eq!(t.lookup(&mut s, 7).len(), 3);
+        assert_eq!(t.range(&mut s, 0, 9).collect_all(&mut s).len(), 30);
+    }
+
+    #[test]
+    fn incremental_insert_matches_bulk() {
+        let mut s = stack();
+        // Pseudo-random insertion order.
+        let mut keys: Vec<i64> = (0..3000).collect();
+        let mut x = 0x9E3779B97F4A7C15u64;
+        for i in (1..keys.len()).rev() {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            keys.swap(i, (x % (i as u64 + 1)) as usize);
+        }
+        let mut t = BTreeIndex::new_empty(&mut s, 1, "inc", false);
+        for &k in &keys {
+            t.insert(&mut s, k, rid(k as u32));
+        }
+        assert_eq!(t.entry_count(), 3000);
+        let got = t.scan_all(&mut s).collect_all(&mut s);
+        assert_eq!(got.len(), 3000);
+        assert!(got.windows(2).all(|w| w[0].0 <= w[1].0), "sorted output");
+        for (k, r) in got {
+            assert_eq!(r, rid(k as u32), "payload follows key");
+        }
+        // Spot-check ranges against the definition.
+        assert_eq!(t.range(&mut s, 1000, 1999).collect_all(&mut s).len(), 1000);
+    }
+
+    #[test]
+    fn insert_after_bulk_build() {
+        let mut s = stack();
+        let entries: Vec<(i64, Rid)> = (0..1000).map(|i| (i * 2, rid(i as u32))).collect();
+        let mut t = BTreeIndex::bulk_build(&mut s, 1, "idx", false, &entries);
+        for i in 0..1000 {
+            t.insert(&mut s, i * 2 + 1, rid(5000 + i as u32));
+        }
+        let got = t.scan_all(&mut s).collect_all(&mut s);
+        assert_eq!(got.len(), 2000);
+        assert!(got.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn bulk_build_rejects_unsorted() {
+        let mut s = stack();
+        BTreeIndex::bulk_build(&mut s, 1, "idx", false, &[(2, rid(0)), (1, rid(1))]);
+    }
+
+    #[test]
+    fn remove_deletes_exactly_one_entry() {
+        let mut s = stack();
+        let entries: Vec<(i64, Rid)> = (0..600).map(|i| (i / 3, rid(i as u32))).collect();
+        let mut t = BTreeIndex::bulk_build(&mut s, 1, "idx", false, &entries);
+        assert_eq!(t.lookup(&mut s, 50).len(), 3);
+        assert!(t.remove(&mut s, 50, rid(151)));
+        assert_eq!(t.lookup(&mut s, 50).len(), 2);
+        assert!(!t.remove(&mut s, 50, rid(151)), "already gone");
+        assert!(!t.remove(&mut s, 9999, rid(0)), "absent key");
+        assert_eq!(t.entry_count(), 599);
+        // The rest of the index is untouched.
+        assert_eq!(t.scan_all(&mut s).collect_all(&mut s).len(), 599);
+    }
+
+    #[test]
+    fn remove_across_leaf_boundaries() {
+        let mut s = stack();
+        // One key duplicated enough to span multiple leaves.
+        let mut entries: Vec<(i64, Rid)> = (0..400).map(|i| (7, rid(i as u32))).collect();
+        entries.extend((0..200).map(|i| (9, rid(1000 + i as u32))));
+        let mut t = BTreeIndex::bulk_build(&mut s, 1, "idx", false, &entries);
+        // The victim sits in a later leaf of the duplicate run.
+        assert!(t.remove(&mut s, 7, rid(399)));
+        assert_eq!(t.lookup(&mut s, 7).len(), 399);
+        assert_eq!(t.lookup(&mut s, 9).len(), 200);
+    }
+
+    #[test]
+    fn reinsert_moves_an_entry() {
+        let mut s = stack();
+        let entries: Vec<(i64, Rid)> = (0..100).map(|i| (i, rid(i as u32))).collect();
+        let mut t = BTreeIndex::bulk_build(&mut s, 1, "idx", false, &entries);
+        assert!(t.reinsert(&mut s, 10, rid(10), 500, rid(77)));
+        assert!(t.lookup(&mut s, 10).is_empty());
+        assert_eq!(t.lookup(&mut s, 500), vec![rid(77)]);
+        assert_eq!(t.entry_count(), 100);
+        assert!(
+            !t.reinsert(&mut s, 10, rid(10), 600, rid(78)),
+            "stale old key"
+        );
+        assert!(t.lookup(&mut s, 600).is_empty(), "no insert on failure");
+    }
+
+    #[test]
+    fn index_reads_are_charged_io() {
+        let mut s = StorageStack::new(CostModel::sparc20(), CacheConfig::default());
+        let entries: Vec<(i64, Rid)> = (0..10_000).map(|i| (i, rid(i as u32))).collect();
+        let t = BTreeIndex::bulk_build(&mut s, 1, "idx", true, &entries);
+        s.cold_restart();
+        s.reset_metrics();
+        let got = t.scan_all(&mut s).collect_all(&mut s);
+        assert_eq!(got.len(), 10_000);
+        let reads = s.stats().d2sc_read_pages;
+        // 10k entries / 250 per leaf = 40 leaves + root path.
+        assert!(
+            (40..=45).contains(&reads),
+            "full index scan should read ~41 pages, read {reads}"
+        );
+        assert!(s.clock().elapsed() > 0);
+    }
+}

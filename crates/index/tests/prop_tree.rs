@@ -1,0 +1,127 @@
+//! Property tests: the B+-tree against a `BTreeMap` reference model.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use tq_index::BTreeIndex;
+use tq_objstore::Rid;
+use tq_pagestore::{CacheConfig, CostModel, FileId, PageId, StorageStack};
+
+fn stack() -> StorageStack {
+    StorageStack::new(CostModel::free(), CacheConfig::default())
+}
+
+fn rid(n: u32) -> Rid {
+    Rid::new(
+        PageId {
+            file: FileId(0),
+            page_no: n,
+        },
+        0,
+    )
+}
+
+fn model_range(model: &BTreeMap<i64, Vec<u32>>, lo: i64, hi: i64) -> Vec<(i64, u32)> {
+    model
+        .range(lo..=hi)
+        .flat_map(|(&k, v)| v.iter().map(move |&n| (k, n)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Incremental inserts agree with a BTreeMap on every range query.
+    #[test]
+    fn inserts_match_model(
+        keys in proptest::collection::vec(-50i64..50, 1..600),
+        ranges in proptest::collection::vec((-60i64..60, -60i64..60), 1..10),
+    ) {
+        let mut s = stack();
+        let mut tree = BTreeIndex::new_empty(&mut s, 1, "t", false);
+        let mut model: BTreeMap<i64, Vec<u32>> = BTreeMap::new();
+        for (i, &k) in keys.iter().enumerate() {
+            tree.insert(&mut s, k, rid(i as u32));
+            model.entry(k).or_default().push(i as u32);
+        }
+        prop_assert_eq!(tree.entry_count(), keys.len() as u64);
+        for (a, b) in ranges {
+            let (lo, hi) = (a.min(b), a.max(b));
+            let got: Vec<(i64, u32)> = tree
+                .range(&mut s, lo, hi)
+                .collect_all(&mut s)
+                .into_iter()
+                .map(|(k, r)| (k, r.page.page_no))
+                .collect();
+            let mut want = model_range(&model, lo, hi);
+            // The tree may return equal keys in any insertion order.
+            let mut got_sorted = got.clone();
+            got_sorted.sort_unstable();
+            want.sort_unstable();
+            prop_assert_eq!(got_sorted, want);
+            // But keys themselves must be ascending.
+            prop_assert!(got.windows(2).all(|w| w[0].0 <= w[1].0));
+        }
+    }
+
+    /// Random interleaving of inserts and removes agrees with the model.
+    #[test]
+    fn removes_match_model(
+        ops in proptest::collection::vec((any::<bool>(), -30i64..30, 0u32..50), 1..400),
+    ) {
+        let mut s = stack();
+        let mut tree = BTreeIndex::new_empty(&mut s, 1, "t", false);
+        let mut model: Vec<(i64, u32)> = Vec::new();
+        for (is_insert, k, n) in ops {
+            if is_insert {
+                tree.insert(&mut s, k, rid(n));
+                model.push((k, n));
+            } else {
+                let expect = model.iter().position(|&(mk, mn)| mk == k && mn == n);
+                let got = tree.remove(&mut s, k, rid(n));
+                prop_assert_eq!(got, expect.is_some(), "remove ({},{})", k, n);
+                if let Some(at) = expect {
+                    model.remove(at);
+                }
+            }
+            prop_assert_eq!(tree.entry_count() as usize, model.len());
+        }
+        let mut got: Vec<(i64, u32)> = tree
+            .scan_all(&mut s)
+            .collect_all(&mut s)
+            .into_iter()
+            .map(|(k, r)| (k, r.page.page_no))
+            .collect();
+        got.sort_unstable();
+        model.sort_unstable();
+        prop_assert_eq!(got, model);
+    }
+
+    /// Bulk build equals incremental insert of the same entries.
+    #[test]
+    fn bulk_equals_incremental(mut keys in proptest::collection::vec(-1000i64..1000, 1..800)) {
+        let mut s = stack();
+        let mut entries: Vec<(i64, Rid)> =
+            keys.iter().enumerate().map(|(i, &k)| (k, rid(i as u32))).collect();
+        entries.sort_by_key(|&(k, _)| k);
+        let bulk = BTreeIndex::bulk_build(&mut s, 1, "b", false, &entries);
+        let mut inc = BTreeIndex::new_empty(&mut s, 2, "i", false);
+        keys.sort_unstable();
+        for (i, &k) in keys.iter().enumerate() {
+            let _ = i;
+            inc.insert(&mut s, k, rid(0));
+        }
+        let bulk_keys: Vec<i64> = bulk
+            .scan_all(&mut s)
+            .collect_all(&mut s)
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        let inc_keys: Vec<i64> = inc
+            .scan_all(&mut s)
+            .collect_all(&mut s)
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        prop_assert_eq!(bulk_keys, inc_keys);
+    }
+}

@@ -1,0 +1,279 @@
+//! In-memory object representatives ("Handles").
+//!
+//! The paper's §4 diagnosis: every object touched in client memory gets
+//! a ~60-byte *Handle* — flags, class-info pointer, index-list pointer,
+//! pin count, version pointer, schema-history info — that must be
+//! "allocated, updated and freed whenever necessary", and this CPU cost
+//! dominates cold associative scans. O2 mitigates repeat access by
+//! *delaying* handle destruction "as much as possible".
+//!
+//! [`HandleTable`] models exactly that: a pin-counted live map plus a
+//! bounded delayed-free (zombie) pool. It reports *what happened* on
+//! each operation ([`GetOutcome`], free counts) so the
+//! [`ObjectStore`](crate::store::ObjectStore) can charge the matching
+//! [`CpuEvent`](tq_pagestore::CpuEvent)s:
+//!
+//! * first get of an object → `HandleAlloc`
+//! * get while live or zombied → `HandleTouch`
+//! * unref → `HandleUnref` (pin drop only)
+//! * zombie-pool eviction → `HandleFree` (the deferred teardown)
+//!
+//! so a one-pass scan pays alloc + unref + free per object
+//! (the paper's ~0.125 ms), while repeated navigation to a hot parent
+//! pays only touches.
+
+use crate::rid::Rid;
+use std::collections::HashMap;
+use tq_pagestore::LruCache;
+
+/// Simulated size of one full object handle (paper §4.4: "the structure
+/// takes 60 Bytes of memory").
+pub const HANDLE_BYTES: u64 = 60;
+
+/// Default capacity of the delayed-free pool.
+pub const DEFAULT_ZOMBIE_CAPACITY: usize = 4096;
+
+/// What a [`HandleTable::get`] did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GetOutcome {
+    /// A fresh handle was allocated.
+    Allocated,
+    /// The handle was live (pinned); its pin count was bumped.
+    Touched,
+    /// The handle sat in the delayed-free pool and was revived.
+    Revived,
+}
+
+/// Cumulative handle-traffic statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HandleStats {
+    /// Fresh allocations.
+    pub allocations: u64,
+    /// Re-pins of live handles.
+    pub touches: u64,
+    /// Revivals from the delayed-free pool.
+    pub revivals: u64,
+    /// Pin drops.
+    pub unrefs: u64,
+    /// Actual teardowns (delayed-free evictions + explicit drain).
+    pub frees: u64,
+    /// High-water mark of simultaneously existing handles
+    /// (live + zombie).
+    pub peak_handles: u64,
+}
+
+impl HandleStats {
+    /// Simulated peak memory the handles occupied.
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak_handles * HANDLE_BYTES
+    }
+}
+
+/// The handle table: pin-counted live handles plus a delayed-free pool.
+pub struct HandleTable {
+    live: HashMap<Rid, u32>,
+    zombies: LruCache<Rid>,
+    stats: HandleStats,
+}
+
+impl Default for HandleTable {
+    fn default() -> Self {
+        Self::new(DEFAULT_ZOMBIE_CAPACITY)
+    }
+}
+
+impl HandleTable {
+    /// Creates a table whose delayed-free pool holds up to
+    /// `zombie_capacity` unpinned handles before real frees happen.
+    pub fn new(zombie_capacity: usize) -> Self {
+        Self {
+            live: HashMap::new(),
+            zombies: LruCache::new(zombie_capacity),
+            stats: HandleStats::default(),
+        }
+    }
+
+    fn note_peak(&mut self) {
+        let now = (self.live.len() + self.zombies.len()) as u64;
+        if now > self.stats.peak_handles {
+            self.stats.peak_handles = now;
+        }
+    }
+
+    /// Pins `rid`, reporting how the handle was obtained.
+    pub fn get(&mut self, rid: Rid) -> GetOutcome {
+        if let Some(pins) = self.live.get_mut(&rid) {
+            *pins += 1;
+            self.stats.touches += 1;
+            return GetOutcome::Touched;
+        }
+        if self.zombies.remove(&rid) {
+            self.live.insert(rid, 1);
+            self.stats.revivals += 1;
+            return GetOutcome::Revived;
+        }
+        self.live.insert(rid, 1);
+        self.stats.allocations += 1;
+        self.note_peak();
+        GetOutcome::Allocated
+    }
+
+    /// Drops one pin. When the pin count reaches zero the handle moves
+    /// to the delayed-free pool; returns the number of handles whose
+    /// teardown this triggered (0 or 1 — a pool eviction).
+    ///
+    /// Panics on unref of a handle that was never pinned: that is a
+    /// query-operator bug, not a data condition.
+    pub fn unref(&mut self, rid: Rid) -> u64 {
+        self.stats.unrefs += 1;
+        let pins = self
+            .live
+            .get_mut(&rid)
+            .unwrap_or_else(|| panic!("unref of unpinned handle {rid:?}"));
+        *pins -= 1;
+        if *pins > 0 {
+            return 0;
+        }
+        self.live.remove(&rid);
+        if self.zombies.capacity() == 0 {
+            self.stats.frees += 1;
+            return 1;
+        }
+        match self.zombies.insert(rid) {
+            Some(_evicted) => {
+                self.stats.frees += 1;
+                self.note_peak();
+                1
+            }
+            None => {
+                self.note_peak();
+                0
+            }
+        }
+    }
+
+    /// Tears down every unpinned handle (end of query / transaction).
+    /// Returns the number of frees performed.
+    pub fn drain_zombies(&mut self) -> u64 {
+        let n = self.zombies.len() as u64;
+        self.zombies.clear();
+        self.stats.frees += n;
+        n
+    }
+
+    /// Currently pinned handles.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Handles parked in the delayed-free pool.
+    pub fn zombie_count(&self) -> usize {
+        self.zombies.len()
+    }
+
+    /// True if `rid` currently has a pinned handle.
+    pub fn is_pinned(&self, rid: Rid) -> bool {
+        self.live.contains_key(&rid)
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> HandleStats {
+        self.stats
+    }
+
+    /// Simulated bytes of handle memory right now.
+    pub fn current_bytes(&self) -> u64 {
+        (self.live.len() + self.zombies.len()) as u64 * HANDLE_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tq_pagestore::{FileId, PageId};
+
+    fn rid(n: u32) -> Rid {
+        Rid::new(
+            PageId {
+                file: FileId(0),
+                page_no: n,
+            },
+            0,
+        )
+    }
+
+    #[test]
+    fn scan_pattern_alloc_unref_then_pool() {
+        let mut t = HandleTable::new(2);
+        assert_eq!(t.get(rid(1)), GetOutcome::Allocated);
+        assert_eq!(t.unref(rid(1)), 0, "goes to pool, no teardown yet");
+        assert_eq!(t.live_count(), 0);
+        assert_eq!(t.zombie_count(), 1);
+        // Two more distinct objects overflow the 2-slot pool.
+        t.get(rid(2));
+        assert_eq!(t.unref(rid(2)), 0);
+        t.get(rid(3));
+        assert_eq!(t.unref(rid(3)), 1, "pool eviction frees rid 1");
+        assert_eq!(t.stats().frees, 1);
+    }
+
+    #[test]
+    fn navigation_pattern_touches_hot_handle() {
+        let mut t = HandleTable::new(8);
+        assert_eq!(t.get(rid(9)), GetOutcome::Allocated);
+        for _ in 0..100 {
+            assert_eq!(t.get(rid(9)), GetOutcome::Touched);
+            t.unref(rid(9));
+        }
+        t.unref(rid(9));
+        assert_eq!(t.get(rid(9)), GetOutcome::Revived);
+        let s = t.stats();
+        assert_eq!(s.allocations, 1);
+        assert_eq!(s.touches, 100);
+        assert_eq!(s.revivals, 1);
+    }
+
+    #[test]
+    fn pin_counting_keeps_handle_live() {
+        let mut t = HandleTable::new(4);
+        t.get(rid(5));
+        t.get(rid(5));
+        t.unref(rid(5));
+        assert!(t.is_pinned(rid(5)), "one pin remains");
+        t.unref(rid(5));
+        assert!(!t.is_pinned(rid(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "unref of unpinned handle")]
+    fn unref_without_get_panics() {
+        let mut t = HandleTable::new(4);
+        t.unref(rid(1));
+    }
+
+    #[test]
+    fn zero_capacity_pool_frees_immediately() {
+        let mut t = HandleTable::new(0);
+        t.get(rid(1));
+        assert_eq!(t.unref(rid(1)), 1);
+        assert_eq!(t.stats().frees, 1);
+        assert_eq!(t.get(rid(1)), GetOutcome::Allocated, "nothing to revive");
+    }
+
+    #[test]
+    fn drain_and_memory_accounting() {
+        let mut t = HandleTable::new(16);
+        for i in 0..10 {
+            t.get(rid(i));
+        }
+        assert_eq!(t.current_bytes(), 10 * HANDLE_BYTES);
+        for i in 0..10 {
+            t.unref(rid(i));
+        }
+        assert_eq!(t.zombie_count(), 10);
+        assert_eq!(t.drain_zombies(), 10);
+        assert_eq!(t.current_bytes(), 0);
+        assert_eq!(t.stats().peak_handles, 10);
+        assert_eq!(t.stats().peak_bytes(), 600);
+    }
+}

@@ -1,0 +1,115 @@
+//! Runtime attribute values.
+
+use crate::rid::Rid;
+use tq_pagestore::FileId;
+
+/// A set-of-references attribute value.
+///
+/// The paper (§2): "collections whose size is over 4K (the size of a
+/// page) are always stored in a separate file". Small sets are inlined
+/// in the owning record; large ones live as a run of rid-list pages in
+/// an overflow file and the record stores only a descriptor.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SetValue {
+    /// Members stored inside the owning record.
+    Inline(Vec<Rid>),
+    /// Members stored as `count` rids packed into pages
+    /// `first_page ..` of `file`.
+    Overflow {
+        /// Overflow rid-list file.
+        file: FileId,
+        /// First page of the contiguous run.
+        first_page: u32,
+        /// Number of member rids.
+        count: u32,
+    },
+}
+
+impl SetValue {
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        match self {
+            SetValue::Inline(v) => v.len(),
+            SetValue::Overflow { count, .. } => *count as usize,
+        }
+    }
+
+    /// True when the set has no members.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// An attribute value. Variants correspond 1:1 to
+/// [`AttrType`](crate::schema::AttrType).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Value {
+    /// 32-bit integer.
+    Int(i32),
+    /// Single character.
+    Char(u8),
+    /// String (a separate literal record in O2 — reading it costs a
+    /// literal handle).
+    Str(String),
+    /// Object reference; [`Rid::nil`] encodes the ODMG `nil`.
+    Ref(Rid),
+    /// Set of references.
+    Set(SetValue),
+}
+
+impl Value {
+    /// Integer payload, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i32> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// String payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Reference payload, if this is a `Ref`.
+    pub fn as_ref_rid(&self) -> Option<Rid> {
+        match self {
+            Value::Ref(r) => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// Set payload, if this is a `Set`.
+    pub fn as_set(&self) -> Option<&SetValue> {
+        match self {
+            Value::Set(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Str("x".into()).as_int(), None);
+        assert_eq!(Value::Str("x".into()).as_str(), Some("x"));
+        let r = Rid::nil();
+        assert_eq!(Value::Ref(r).as_ref_rid(), Some(r));
+        let s = SetValue::Inline(vec![]);
+        assert!(Value::Set(s.clone()).as_set().unwrap().is_empty());
+        assert_eq!(s.len(), 0);
+        let big = SetValue::Overflow {
+            file: FileId(1),
+            first_page: 0,
+            count: 1000,
+        };
+        assert_eq!(big.len(), 1000);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests: record encoding round-trips arbitrary schemas and
+//! values.
+
+use proptest::prelude::*;
+use tq_objstore::{record, AttrType, ClassId, ObjectHeader, Rid, Schema, SetValue, Value};
+use tq_pagestore::{FileId, PageId};
+
+/// An arbitrary attribute type (references point at class 0).
+fn attr_type() -> impl Strategy<Value = AttrType> {
+    prop_oneof![
+        Just(AttrType::Int),
+        Just(AttrType::Char),
+        Just(AttrType::Str),
+        Just(AttrType::Ref(ClassId(0))),
+        Just(AttrType::SetRef(ClassId(0))),
+    ]
+}
+
+fn arb_rid() -> impl Strategy<Value = Rid> {
+    (0u32..1000, 0u32..100_000, 0u16..200).prop_map(|(f, p, s)| {
+        Rid::new(
+            PageId {
+                file: FileId(f),
+                page_no: p,
+            },
+            s,
+        )
+    })
+}
+
+/// A value matching an attribute type.
+fn value_for(ty: AttrType) -> BoxedStrategy<Value> {
+    match ty {
+        AttrType::Int => any::<i32>().prop_map(Value::Int).boxed(),
+        AttrType::Char => any::<u8>().prop_map(Value::Char).boxed(),
+        AttrType::Str => "[ -~]{0,60}".prop_map(Value::Str).boxed(),
+        AttrType::Ref(_) => {
+            prop_oneof![arb_rid().prop_map(Value::Ref), Just(Value::Ref(Rid::nil())),].boxed()
+        }
+        AttrType::SetRef(_) => prop_oneof![
+            proptest::collection::vec(arb_rid(), 0..12)
+                .prop_map(|v| Value::Set(SetValue::Inline(v))),
+            (0u32..1000, 0u32..100_000, 0u32..5000).prop_map(|(f, p, c)| Value::Set(
+                SetValue::Overflow {
+                    file: FileId(f),
+                    first_page: p,
+                    count: c,
+                }
+            )),
+        ]
+        .boxed(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn encode_decode_round_trips(
+        types in proptest::collection::vec(attr_type(), 0..10),
+        headroom in any::<bool>(),
+        index_ids in proptest::collection::vec(0u16..100, 0..8),
+        seed in any::<u64>(),
+    ) {
+        // Build the schema and a matching value vector.
+        let mut schema = Schema::new();
+        let class = schema.add_class(
+            "T",
+            types
+                .iter()
+                .enumerate()
+                .map(|(i, &ty)| (Box::leak(format!("a{i}").into_boxed_str()) as &str, ty))
+                .collect(),
+        );
+        let mut runner = proptest::test_runner::TestRunner::deterministic();
+        let _ = seed;
+        let values: Vec<Value> = types
+            .iter()
+            .map(|&ty| {
+                value_for(ty)
+                    .new_tree(&mut runner)
+                    .expect("value strategy")
+                    .current()
+            })
+            .collect();
+        let mut header = ObjectHeader::new(class, headroom);
+        if headroom {
+            for id in &index_ids {
+                header.add_index(*id);
+            }
+        }
+        let bytes = record::encode(schema.class(class), &header, &values);
+        let decoded = record::decode(schema.class(class), &bytes).expect("round trip");
+        prop_assert_eq!(&decoded.values, &values);
+        prop_assert_eq!(decoded.header.class, class);
+        if headroom {
+            // Duplicates collapse; order is preserved.
+            let mut expect = Vec::new();
+            for id in &index_ids {
+                if !expect.contains(id) {
+                    expect.push(*id);
+                }
+            }
+            prop_assert_eq!(&decoded.header.index_ids, &expect);
+        } else {
+            prop_assert!(decoded.header.index_ids.is_empty());
+        }
+        // Class peeking agrees without a full decode.
+        prop_assert_eq!(record::peek_class(&bytes).unwrap(), class);
+        // Truncations never panic: they error or (for prefixes that
+        // happen to align) decode to something structurally valid.
+        for cut in 0..bytes.len() {
+            let _ = record::decode(schema.class(class), &bytes[..cut]);
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! The simulated disk: named files of slotted pages.
+//!
+//! The paper's databases live in a handful of files ("Doctors file",
+//! "Patients file", index files, an overflow file for large sets —
+//! Figure 2). A [`Disk`] holds those files entirely in memory and
+//! counts physical page reads and writes; latency is charged separately
+//! by the [`CostModel`](crate::cost::CostModel) when the
+//! [`StorageStack`](crate::stack::StorageStack) decides an access
+//! actually reaches the disk (i.e. misses both caches).
+
+use crate::page::{PageId, SlottedPage};
+use std::fmt;
+
+/// Identifies one file on the disk.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileId(pub u32);
+
+impl fmt::Debug for FileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+struct File {
+    name: String,
+    pages: Vec<SlottedPage>,
+}
+
+/// An in-memory disk: an ordered set of named page files.
+#[derive(Default)]
+pub struct Disk {
+    files: Vec<File>,
+    physical_reads: u64,
+    physical_writes: u64,
+}
+
+impl Disk {
+    /// Creates an empty disk.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a new empty file and returns its id.
+    pub fn create_file(&mut self, name: impl Into<String>) -> FileId {
+        let id = FileId(self.files.len() as u32);
+        self.files.push(File {
+            name: name.into(),
+            pages: Vec::new(),
+        });
+        id
+    }
+
+    /// Looks a file up by name (files are few; linear scan).
+    pub fn file_by_name(&self, name: &str) -> Option<FileId> {
+        self.files
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FileId(i as u32))
+    }
+
+    /// The name a file was created with.
+    pub fn file_name(&self, file: FileId) -> &str {
+        &self.files[file.0 as usize].name
+    }
+
+    /// Number of pages currently allocated to `file`.
+    pub fn file_len(&self, file: FileId) -> u32 {
+        self.files[file.0 as usize].pages.len() as u32
+    }
+
+    /// Total pages across all files.
+    pub fn total_pages(&self) -> u64 {
+        self.files.iter().map(|f| f.pages.len() as u64).sum()
+    }
+
+    /// Appends a fresh empty page to `file` and returns its id.
+    ///
+    /// Allocation itself is not an I/O; the first write to the page is.
+    pub fn allocate_page(&mut self, file: FileId) -> PageId {
+        let f = &mut self.files[file.0 as usize];
+        let page_no = f.pages.len() as u32;
+        f.pages.push(SlottedPage::new());
+        PageId { file, page_no }
+    }
+
+    /// Physical read access. Counts one disk read.
+    pub(crate) fn read(&mut self, pid: PageId) -> &SlottedPage {
+        self.physical_reads += 1;
+        &self.files[pid.file.0 as usize].pages[pid.page_no as usize]
+    }
+
+    /// Physical write access. Counts one disk write.
+    pub(crate) fn write(&mut self, pid: PageId) -> &mut SlottedPage {
+        self.physical_writes += 1;
+        &mut self.files[pid.file.0 as usize].pages[pid.page_no as usize]
+    }
+
+    /// Access without counting — used by cache tiers once residency has
+    /// been established and charged, and by tests/debug dumps.
+    pub fn peek(&self, pid: PageId) -> &SlottedPage {
+        &self.files[pid.file.0 as usize].pages[pid.page_no as usize]
+    }
+
+    /// Mutable access without counting (see [`Disk::peek`]).
+    pub(crate) fn peek_mut(&mut self, pid: PageId) -> &mut SlottedPage {
+        &mut self.files[pid.file.0 as usize].pages[pid.page_no as usize]
+    }
+
+    /// Drops all pages of `file` (spill/temporary files between runs).
+    /// The file id stays valid; its length returns to zero. The caller
+    /// must purge any cached residency for the dropped pages.
+    pub(crate) fn truncate_file(&mut self, file: FileId) -> u32 {
+        let f = &mut self.files[file.0 as usize];
+        let n = f.pages.len() as u32;
+        f.pages.clear();
+        n
+    }
+
+    /// Physical page reads performed so far.
+    pub fn physical_reads(&self) -> u64 {
+        self.physical_reads
+    }
+
+    /// Physical page writes performed so far.
+    pub fn physical_writes(&self) -> u64 {
+        self.physical_writes
+    }
+}
+
+impl fmt::Debug for Disk {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut d = f.debug_struct("Disk");
+        d.field("reads", &self.physical_reads)
+            .field("writes", &self.physical_writes);
+        for file in &self.files {
+            d.field(&file.name, &file.pages.len());
+        }
+        d.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_and_find_files() {
+        let mut d = Disk::new();
+        let a = d.create_file("doctors");
+        let b = d.create_file("patients");
+        assert_ne!(a, b);
+        assert_eq!(d.file_by_name("doctors"), Some(a));
+        assert_eq!(d.file_by_name("patients"), Some(b));
+        assert_eq!(d.file_by_name("nurses"), None);
+        assert_eq!(d.file_name(b), "patients");
+    }
+
+    #[test]
+    fn allocate_grows_file() {
+        let mut d = Disk::new();
+        let f = d.create_file("x");
+        assert_eq!(d.file_len(f), 0);
+        let p0 = d.allocate_page(f);
+        let p1 = d.allocate_page(f);
+        assert_eq!((p0.page_no, p1.page_no), (0, 1));
+        assert_eq!(d.file_len(f), 2);
+        assert_eq!(d.total_pages(), 2);
+    }
+
+    #[test]
+    fn read_write_counters() {
+        let mut d = Disk::new();
+        let f = d.create_file("x");
+        let pid = d.allocate_page(f);
+        assert_eq!(d.physical_reads(), 0);
+        d.write(pid).insert(b"abc", crate::page::PAGE_SIZE);
+        assert_eq!(d.physical_writes(), 1);
+        assert_eq!(d.read(pid).read(0).unwrap(), b"abc");
+        assert_eq!(d.physical_reads(), 1);
+        // peek does not count.
+        assert_eq!(d.peek(pid).read(0).unwrap(), b"abc");
+        assert_eq!(d.physical_reads(), 1);
+    }
+}

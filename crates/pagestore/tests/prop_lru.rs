@@ -1,0 +1,85 @@
+//! Property tests: the O(1) LRU against a VecDeque reference model.
+
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use tq_pagestore::LruCache;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Touch(u8),
+    Insert(u8),
+    Remove(u8),
+    Clear,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => any::<u8>().prop_map(|k| Op::Touch(k % 32)),
+        4 => any::<u8>().prop_map(|k| Op::Insert(k % 32)),
+        1 => any::<u8>().prop_map(|k| Op::Remove(k % 32)),
+        1 => Just(Op::Clear),
+    ]
+}
+
+/// The reference: front of the deque is MRU.
+struct Model {
+    order: VecDeque<u8>,
+    cap: usize,
+}
+
+impl Model {
+    fn touch(&mut self, k: u8) -> bool {
+        if let Some(pos) = self.order.iter().position(|&x| x == k) {
+            self.order.remove(pos);
+            self.order.push_front(k);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn insert(&mut self, k: u8) -> Option<u8> {
+        if self.touch(k) || self.cap == 0 {
+            return None;
+        }
+        let evicted = if self.order.len() == self.cap {
+            self.order.pop_back()
+        } else {
+            None
+        };
+        self.order.push_front(k);
+        evicted
+    }
+
+    fn remove(&mut self, k: u8) -> bool {
+        if let Some(pos) = self.order.iter().position(|&x| x == k) {
+            self.order.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lru_matches_model(cap in 0usize..12, ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let mut lru = LruCache::new(cap);
+        let mut model = Model { order: VecDeque::new(), cap };
+        for op in ops {
+            match op {
+                Op::Touch(k) => prop_assert_eq!(lru.touch(k), model.touch(k)),
+                Op::Insert(k) => prop_assert_eq!(lru.insert(k), model.insert(k)),
+                Op::Remove(k) => prop_assert_eq!(lru.remove(&k), model.remove(k)),
+                Op::Clear => {
+                    lru.clear();
+                    model.order.clear();
+                }
+            }
+            prop_assert_eq!(lru.len(), model.order.len());
+            prop_assert_eq!(lru.keys_mru_to_lru(), Vec::from(model.order.clone()));
+        }
+    }
+}

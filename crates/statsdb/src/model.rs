@@ -1,0 +1,177 @@
+//! The Figure 3 result schema, as Rust records.
+//!
+//! Field names follow the paper's `class Stat` / `class Query` /
+//! `class Extent` / `class System` (§3.3, Figure 3) with Rust casing.
+//! One deliberate deviation: the paper's `Query.selectivity` is a
+//! single integer; our join experiments select on *two* extents, so
+//! [`QueryDesc::selectivities`] is a list of `(extent, percent)` pairs
+//! (the paper's own Figures 11–14 are keyed that way).
+
+/// Describes one extent of the database an experiment ran against
+/// (paper `class Extent`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExtentDesc {
+    /// The extent is on this class.
+    pub classname: String,
+    /// Cardinality of the extent.
+    pub size: u64,
+    /// Associations to other extents: `(extent classname, link ratio)`
+    /// — e.g. `("Patient", 1000)` for the 1:1000 database.
+    pub associations: Vec<(String, u32)>,
+}
+
+/// Describes the query an experiment ran (paper `class Query`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryDesc {
+    /// Was the query evaluated after a server shutdown?
+    pub cold: bool,
+    /// Projection type (e.g. `"[p.name, pa.age]"`).
+    pub projection_type: String,
+    /// Selectivity on each queried extent, in percent.
+    pub selectivities: Vec<(String, u32)>,
+    /// The text of the query.
+    pub text: String,
+}
+
+impl QueryDesc {
+    /// Selectivity on a given extent, if recorded.
+    pub fn selectivity_on(&self, extent: &str) -> Option<u32> {
+        self.selectivities
+            .iter()
+            .find(|(e, _)| e == extent)
+            .map(|&(_, s)| s)
+    }
+}
+
+/// Describes the system configuration (paper `class System`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SystemDesc {
+    /// Server cache size in KB.
+    pub server_cache_kb: u64,
+    /// Client cache size in KB.
+    pub client_cache_kb: u64,
+    /// Do the client and the server run on the same device?
+    pub same_workstation: bool,
+}
+
+impl SystemDesc {
+    /// The paper's measurement configuration: 4 MB server cache, 32 MB
+    /// client cache, one workstation.
+    pub fn paper_default() -> Self {
+        Self {
+            server_cache_kb: 4 * 1024,
+            client_cache_kb: 32 * 1024,
+            same_workstation: true,
+        }
+    }
+}
+
+/// One experiment's record (paper `class Stat`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Stat {
+    /// Experiment number (assigned by the [`StatsDb`](crate::StatsDb)).
+    pub numtest: u64,
+    /// The query.
+    pub query: QueryDesc,
+    /// The database: its extents.
+    pub database: Vec<ExtentDesc>,
+    /// Clustering strategy (`"class"`, `"random"`, `"composition"`).
+    pub cluster: String,
+    /// Algorithm (`"NL"`, `"NOJOIN"`, `"PHJ"`, `"CHJ"`, `"SeqScan"`, …).
+    pub algo: String,
+    /// System configuration.
+    pub system: SystemDesc,
+    /// Number of page faults in the client cache.
+    pub cc_pagefaults: u64,
+    /// Elapsed time between the beginning and the end of the query, in
+    /// seconds.
+    pub elapsed_time: f64,
+    /// Number of RPCs between the client cache and the server cache.
+    pub rpcs_number: u64,
+    /// Total size (in MB) of the messages between client and server.
+    pub rpcs_total_mb: f64,
+    /// Pages read from disk to the server cache.
+    pub d2sc_read_pages: u64,
+    /// Pages read from the server cache to the client cache.
+    pub sc2cc_read_pages: u64,
+    /// Miss rate (percent) in the client cache.
+    pub cc_miss_rate: f64,
+    /// Miss rate (percent) in the server cache.
+    pub sc_miss_rate: f64,
+}
+
+impl Stat {
+    /// Name of the database as figure captions use it: the provider
+    /// extent size and link ratio, e.g. `"10^6 providers 1:3"`.
+    pub fn database_label(&self) -> String {
+        let provider = self.database.iter().find(|e| !e.associations.is_empty());
+        match provider {
+            Some(p) => {
+                let ratio = p.associations.first().map(|&(_, r)| r).unwrap_or(0);
+                format!("{} providers 1:{}", p.size, ratio)
+            }
+            None => "unknown".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+
+    pub(crate) fn sample_stat(numtest: u64, algo: &str, elapsed: f64) -> Stat {
+        Stat {
+            numtest,
+            query: QueryDesc {
+                cold: true,
+                projection_type: "[p.name, pa.age]".into(),
+                selectivities: vec![("Patient".into(), 10), ("Provider".into(), 90)],
+                text: "select ...".into(),
+            },
+            database: vec![
+                ExtentDesc {
+                    classname: "Provider".into(),
+                    size: 2000,
+                    associations: vec![("Patient".into(), 1000)],
+                },
+                ExtentDesc {
+                    classname: "Patient".into(),
+                    size: 2_000_000,
+                    associations: vec![],
+                },
+            ],
+            cluster: "class".into(),
+            algo: algo.into(),
+            system: SystemDesc::paper_default(),
+            cc_pagefaults: 123,
+            elapsed_time: elapsed,
+            rpcs_number: 456,
+            rpcs_total_mb: 1.78,
+            d2sc_read_pages: 400,
+            sc2cc_read_pages: 456,
+            cc_miss_rate: 12.5,
+            sc_miss_rate: 99.0,
+        }
+    }
+
+    #[test]
+    fn selectivity_lookup() {
+        let s = sample_stat(1, "PHJ", 10.0);
+        assert_eq!(s.query.selectivity_on("Patient"), Some(10));
+        assert_eq!(s.query.selectivity_on("Provider"), Some(90));
+        assert_eq!(s.query.selectivity_on("Nurse"), None);
+    }
+
+    #[test]
+    fn database_label() {
+        let s = sample_stat(1, "PHJ", 10.0);
+        assert_eq!(s.database_label(), "2000 providers 1:1000");
+    }
+
+    #[test]
+    fn paper_default_system() {
+        let sys = SystemDesc::paper_default();
+        assert_eq!(sys.client_cache_kb, 32768);
+        assert!(sys.same_workstation);
+    }
+}

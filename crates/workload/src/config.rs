@@ -1,0 +1,188 @@
+//! Database build configuration.
+
+use tq_pagestore::{CacheConfig, CostModel};
+
+/// The two database shapes of the paper (§2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DbShape {
+    /// 2,000 providers, ~1,000 patients each (≈2 M patients). Client
+    /// sets overflow to a separate file (they exceed one page).
+    Db1,
+    /// 1,000,000 providers, ~3 patients each (≈3 M patients). Client
+    /// sets are stored inline.
+    Db2,
+}
+
+impl DbShape {
+    /// Provider count at scale 1.
+    pub fn providers(&self) -> u64 {
+        match self {
+            DbShape::Db1 => 2_000,
+            DbShape::Db2 => 1_000_000,
+        }
+    }
+
+    /// Mean patients per provider.
+    pub fn mean_fanout(&self) -> u32 {
+        match self {
+            DbShape::Db1 => 1_000,
+            DbShape::Db2 => 3,
+        }
+    }
+
+    /// Figure-caption label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DbShape::Db1 => "2x10^3 Providers, 2x10^6 Patients (1:1000)",
+            DbShape::Db2 => "10^6 Providers, 3x10^6 Patients (1:3)",
+        }
+    }
+}
+
+/// The three physical organizations of Figure 2, plus the §5.3
+/// alternative the paper proposes but does not build.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Organization {
+    /// One file per class; relationship randomized.
+    ClassClustered,
+    /// All objects in one file, creation order randomized.
+    Randomized,
+    /// Patients stored next to their provider.
+    Composition,
+    /// §5.3 (after Carey & Lapis): one file per class, but patients
+    /// ordered by their association — "the first objects in the
+    /// patients file would be patients of the first doctor in the
+    /// providers file". The paper predicts selections and hash joins
+    /// behave like class clustering while NL/NOJOIN keep their
+    /// composition-clustering advantage.
+    AssociationOrdered,
+}
+
+impl Organization {
+    /// The `cluster` string recorded in `tq_statsdb` Stat records
+    /// and used by figure captions.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Organization::ClassClustered => "class",
+            Organization::Randomized => "random",
+            Organization::Composition => "composition",
+            Organization::AssociationOrdered => "assoc-ordered",
+        }
+    }
+
+    /// The paper's three organizations, in presentation order.
+    pub fn all() -> [Organization; 3] {
+        [
+            Organization::ClassClustered,
+            Organization::Randomized,
+            Organization::Composition,
+        ]
+    }
+
+    /// The paper's three plus the §5.3 association-ordered extension.
+    pub fn all_extended() -> [Organization; 4] {
+        [
+            Organization::ClassClustered,
+            Organization::Randomized,
+            Organization::Composition,
+            Organization::AssociationOrdered,
+        ]
+    }
+}
+
+/// Everything needed to build one database.
+#[derive(Clone, Debug)]
+pub struct BuildConfig {
+    /// Which of the two paper databases.
+    pub shape: DbShape,
+    /// Physical organization.
+    pub organization: Organization,
+    /// Divisor on the provider count (1 = paper scale). Fan-out is part
+    /// of the shape and is *not* scaled.
+    pub scale: u32,
+    /// RNG seed (fan-outs, relationship randomization, `num`,
+    /// `random_integer`).
+    pub seed: u64,
+    /// Reserve index headroom in object headers at creation (the
+    /// measured databases were created this way; setting `false`
+    /// reproduces the §3.2 widening storm on first index creation).
+    pub index_headroom: bool,
+    /// Also record index membership in every object header after
+    /// building the three indexes. Faithful but slow; the query
+    /// experiments don't depend on it.
+    pub register_memberships: bool,
+    /// Cache configuration for the store.
+    pub cache: CacheConfig,
+    /// Cost model for the store.
+    pub cost_model: CostModel,
+}
+
+impl BuildConfig {
+    /// Paper-scale configuration for a shape/organization.
+    pub fn paper(shape: DbShape, organization: Organization) -> Self {
+        Self {
+            shape,
+            organization,
+            scale: 1,
+            seed: 0x5EED_0002,
+            index_headroom: true,
+            register_memberships: false,
+            cache: CacheConfig::paper_default(),
+            cost_model: CostModel::sparc20(),
+        }
+    }
+
+    /// A scaled-down configuration for tests: provider count divided by
+    /// `scale`, caches divided to match (so cache-vs-database ratios —
+    /// which drive every interesting effect — are preserved).
+    pub fn scaled(shape: DbShape, organization: Organization, scale: u32) -> Self {
+        assert!(scale >= 1);
+        let base = CacheConfig::paper_default();
+        let mut cfg = Self::paper(shape, organization);
+        cfg.scale = scale;
+        cfg.cache = CacheConfig {
+            client_pages: (base.client_pages / scale as usize).max(16),
+            server_pages: (base.server_pages / scale as usize).max(4),
+        };
+        // Scale the operator memory budget with the data too (the
+        // floor only guards degenerate scales; keeping the ratio is
+        // what preserves the paper's swap crossovers).
+        cfg.cost_model.operator_memory_budget =
+            (cfg.cost_model.operator_memory_budget / scale as u64).max(128 << 10);
+        cfg
+    }
+
+    /// Providers after scaling.
+    pub fn provider_count(&self) -> u64 {
+        (self.shape.providers() / self.scale as u64).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_paper() {
+        assert_eq!(DbShape::Db1.providers(), 2_000);
+        assert_eq!(DbShape::Db1.mean_fanout(), 1_000);
+        assert_eq!(DbShape::Db2.providers(), 1_000_000);
+        assert_eq!(DbShape::Db2.mean_fanout(), 3);
+    }
+
+    #[test]
+    fn scaled_config_divides_counts_and_caches() {
+        let cfg = BuildConfig::scaled(DbShape::Db2, Organization::ClassClustered, 100);
+        assert_eq!(cfg.provider_count(), 10_000);
+        assert_eq!(cfg.cache.client_pages, 81);
+        assert_eq!(cfg.cache.server_pages, 10);
+        assert!(cfg.cost_model.operator_memory_budget >= 128 << 10);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Organization::ClassClustered.label(), "class");
+        assert_eq!(Organization::all().len(), 3);
+        assert!(DbShape::Db1.label().contains("1:1000"));
+    }
+}

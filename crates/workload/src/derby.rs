@@ -1,0 +1,116 @@
+//! The Derby-derived schema (paper Figure 1).
+
+use tq_objstore::{AttrType, ClassId, Schema};
+
+/// Attribute positions in class `Provider`.
+pub mod provider_attr {
+    /// `name: string`
+    pub const NAME: usize = 0;
+    /// `upin: integer` — the provider's relative position on disk.
+    pub const UPIN: usize = 1;
+    /// `address: string`
+    pub const ADDRESS: usize = 2;
+    /// `specialty: string`
+    pub const SPECIALTY: usize = 3;
+    /// `office: string`
+    pub const OFFICE: usize = 4;
+    /// `clients: set(Patient)`
+    pub const CLIENTS: usize = 5;
+}
+
+/// Attribute positions in class `Patient`.
+pub mod patient_attr {
+    /// `name: string`
+    pub const NAME: usize = 0;
+    /// `mrn: integer` — assigned at creation (see crate docs).
+    pub const MRN: usize = 1;
+    /// `age: integer`
+    pub const AGE: usize = 2;
+    /// `sex: char`
+    pub const SEX: usize = 3;
+    /// `random_integer: integer` — uniform in `1 ..= #providers`
+    /// (the paper's lrand48-filled join attribute).
+    pub const RANDOM_INTEGER: usize = 4;
+    /// `num: integer` — uniform random; the unclustered-index key of
+    /// the §4.2 selection experiments.
+    pub const NUM: usize = 5;
+    /// `primary_care_provider: Provider`
+    pub const PCP: usize = 6;
+}
+
+/// The schema plus the two class ids.
+#[derive(Clone, Debug)]
+pub struct DerbySchema {
+    /// The schema object.
+    pub schema: Schema,
+    /// Class `Provider`.
+    pub provider: ClassId,
+    /// Class `Patient`.
+    pub patient: ClassId,
+}
+
+impl DerbySchema {
+    /// Builds the Figure 1 schema.
+    pub fn new() -> Self {
+        let mut schema = Schema::new();
+        // Patient gets id 1; Provider's clients set forward-references it.
+        let provider = schema.add_class(
+            "Provider",
+            vec![
+                ("name", AttrType::Str),
+                ("upin", AttrType::Int),
+                ("address", AttrType::Str),
+                ("specialty", AttrType::Str),
+                ("office", AttrType::Str),
+                ("clients", AttrType::SetRef(ClassId(1))),
+            ],
+        );
+        let patient = schema.add_class(
+            "Patient",
+            vec![
+                ("name", AttrType::Str),
+                ("mrn", AttrType::Int),
+                ("age", AttrType::Int),
+                ("sex", AttrType::Char),
+                ("random_integer", AttrType::Int),
+                ("num", AttrType::Int),
+                ("primary_care_provider", AttrType::Ref(provider)),
+            ],
+        );
+        Self {
+            schema,
+            provider,
+            patient,
+        }
+    }
+}
+
+impl Default for DerbySchema {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_and_attrs_line_up() {
+        let d = DerbySchema::new();
+        assert_eq!(d.schema.class_by_name("Provider"), Some(d.provider));
+        assert_eq!(d.schema.class_by_name("Patient"), Some(d.patient));
+        let p = d.schema.class(d.provider);
+        assert_eq!(p.attr_id("upin"), Some(provider_attr::UPIN));
+        assert_eq!(p.attr_id("clients"), Some(provider_attr::CLIENTS));
+        let pa = d.schema.class(d.patient);
+        assert_eq!(pa.attr_id("mrn"), Some(patient_attr::MRN));
+        assert_eq!(pa.attr_id("num"), Some(patient_attr::NUM));
+        assert_eq!(pa.attr_id("primary_care_provider"), Some(patient_attr::PCP));
+        // The clients set references Patient.
+        assert_eq!(
+            p.attrs[provider_attr::CLIENTS].ty,
+            AttrType::SetRef(d.patient)
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! # tq-workload — the paper's databases
+//!
+//! The Derby-derived schema of the paper's Figure 1 (providers and
+//! patients), generators for its two database shapes —
+//!
+//! * **DB1**: 2,000 providers × ~1,000 patients each (~2 M patients)
+//! * **DB2**: 1,000,000 providers × ~3 patients each (~3 M patients)
+//!
+//! — in the three physical organizations of Figure 2 (one file per
+//! class / one randomized file / composition clustering), plus the
+//! §3.2 bulk-loading experiment with all its pitfalls (commit batch
+//! size, transaction-off mode, cache sizing, index-before vs.
+//! index-after loading).
+//!
+//! A [`BuildConfig::scale`] divisor shrinks object counts (and,
+//! proportionally, cache sizes if asked) so tests and CI run in
+//! milliseconds while the figure harness runs at paper scale.
+//!
+//! ## A note on `mrn` and physical order
+//!
+//! The three organizations are "three physical representation of the
+//! same databases" (paper §2): one logical database — `upin`/`mrn`
+//! ids, the randomized association, `num` values — rendered in three
+//! placements (think dump/reload). Consequences: under class
+//! clustering, patients are created in `mrn` order, so the `mrn`
+//! index is clustered (the paper's §5 statement); under composition
+//! placement (and the randomized file), `mrn` keeps its logical value
+//! while placement follows the provider (or chance), so the `mrn`
+//! index is *unclustered* there. The join algorithms compensate by
+//! rid-sorting index results (`JoinOptions::sort_index_rids`), which
+//! is what makes the paper's "patients are always accessed
+//! sequentially" true in every organization.
+
+pub mod builder;
+pub mod config;
+pub mod derby;
+pub mod loading;
+
+pub use builder::{build, Database};
+pub use config::{BuildConfig, DbShape, Organization};
+pub use derby::{patient_attr, provider_attr, DerbySchema};
+pub use loading::{load_experiment, IndexTiming, LoadOptions, LoadReport};

@@ -1,0 +1,114 @@
+//! §3.3, practiced: "Large Benchmark Equals Many Numbers: Why Not Use
+//! a Database?"
+//!
+//! Runs a small sweep, stores every run in the Figure 3 stats
+//! database, then answers questions by *querying the results* and
+//! exports gnuplot/CSV data — the authors' own workflow after they
+//! stopped grepping loose files.
+//!
+//! ```sh
+//! cargo run --release --example benchmarkers_notebook
+//! ```
+
+use treequery::query::join::{run_join, JoinContext, JoinOptions};
+use treequery::query::{JoinAlgo, ResultMode, TreeJoinSpec};
+use treequery::statsdb::export::{to_csv, to_gnuplot};
+use treequery::statsdb::{ExtentDesc, Filter, QueryDesc, Stat, StatsDb, SystemDesc};
+use treequery::workload::{build, patient_attr, provider_attr, BuildConfig, DbShape, Organization};
+
+fn main() {
+    let mut stats = StatsDb::new();
+    // Sweep: two organizations x four algorithms x three selectivities.
+    for org in [Organization::ClassClustered, Organization::Composition] {
+        let mut db = build(&BuildConfig::scaled(DbShape::Db2, org, 500));
+        for pat in [10u32, 50, 90] {
+            let spec = TreeJoinSpec {
+                parents: "Providers".into(),
+                children: "Patients".into(),
+                parent_key: provider_attr::UPIN,
+                parent_set: provider_attr::CLIENTS,
+                child_key: patient_attr::MRN,
+                child_parent: patient_attr::PCP,
+                parent_project: provider_attr::NAME,
+                child_project: patient_attr::AGE,
+                parent_key_limit: db.provider_selectivity_key(50),
+                child_key_limit: db.patient_selectivity_key(pat),
+                result_mode: ResultMode::Transient,
+            };
+            for algo in JoinAlgo::all() {
+                let parent_index = db.idx_provider_upin.clone();
+                let child_index = db.idx_patient_mrn.clone();
+                let s = spec.clone();
+                let (_, secs) = db.measure_cold(move |db| {
+                    let mut ctx = JoinContext {
+                        store: &mut db.store,
+                        parent_index: &parent_index,
+                        child_index: &child_index,
+                    };
+                    run_join(algo, &mut ctx, &s, &JoinOptions::default(), false)
+                });
+                let io = db.store.stats();
+                stats.insert(Stat {
+                    numtest: 0,
+                    query: QueryDesc {
+                        cold: true,
+                        projection_type: "[p.name, pa.age]".into(),
+                        selectivities: vec![("Patient".into(), pat), ("Provider".into(), 50)],
+                        text: "select f(p,pa) from p in Providers, pa in p.clients ...".into(),
+                    },
+                    database: vec![ExtentDesc {
+                        classname: "Provider".into(),
+                        size: db.provider_count,
+                        associations: vec![("Patient".into(), 3)],
+                    }],
+                    cluster: org.label().into(),
+                    algo: algo.label().into(),
+                    system: SystemDesc::paper_default(),
+                    cc_pagefaults: io.client_misses,
+                    elapsed_time: secs,
+                    rpcs_number: io.sc2cc_read_pages,
+                    rpcs_total_mb: io.rpc_total_bytes() as f64 / 1e6,
+                    d2sc_read_pages: io.d2sc_read_pages,
+                    sc2cc_read_pages: io.sc2cc_read_pages,
+                    cc_miss_rate: io.client_miss_rate(),
+                    sc_miss_rate: io.server_miss_rate(),
+                });
+            }
+        }
+    }
+    println!(
+        "stored {} experiments; now ask the database:\n",
+        stats.len()
+    );
+
+    // Q1: who wins under each organization at 50% patient selectivity?
+    for cluster in ["class", "composition"] {
+        let w = stats
+            .winner(&Filter::any().cluster(cluster).selectivity("Patient", 50))
+            .expect("runs exist");
+        println!(
+            "  fastest under {cluster:<12}: {:<6} at {:.2}s",
+            w.algo, w.elapsed_time
+        );
+    }
+
+    // Q2: how does NL degrade with patient selectivity under class
+    // clustering? (a gnuplot series, straight from the database)
+    let nl_runs = stats.select(&Filter::any().algo("NL").cluster("class"));
+    println!("\n  gnuplot data (NL, class cluster):");
+    let dat = to_gnuplot(
+        nl_runs,
+        |s| s.algo.clone(),
+        |s| s.query.selectivity_on("Patient").unwrap_or(0) as f64,
+    );
+    for line in dat.lines().take(5) {
+        println!("    {line}");
+    }
+
+    // Q3: everything, as CSV (first three lines).
+    println!("\n  CSV export:");
+    for line in to_csv(stats.all()).lines().take(3) {
+        println!("    {line}");
+    }
+    println!("    ... ({} rows)", stats.len());
+}

@@ -1,0 +1,161 @@
+//! The §4.4 motivating scenario, end to end: a doctor retires.
+//!
+//! "Suppose that we have a collection containing all patients living
+//! in Paris, indexed by their primary care provider attribute. Now,
+//! suppose that one doctor retires and that we want to assign 'nil'
+//! to all his/her patients (some of whom live in Paris). How will the
+//! system know which index to update unless each patient carries that
+//! information?"
+//!
+//! This example builds the clinic database, declares a Paris
+//! sub-collection with its own index, retires one doctor, and shows
+//! the header-driven maintenance doing exactly the right amount of
+//! work: the Paris index is updated only for the retiree's Parisian
+//! patients, and never consulted for the rest.
+//!
+//! ```sh
+//! cargo run --release --example doctor_retires
+//! ```
+
+use treequery::index::BTreeIndex;
+use treequery::objstore::{Rid, Value};
+use treequery::query::maintenance::{update_with_indexes, MaintainedIndex};
+use treequery::workload::{build, patient_attr, provider_attr, BuildConfig, DbShape, Organization};
+
+fn main() {
+    // A scaled 1:3 clinic with index memberships recorded in headers.
+    let mut cfg = BuildConfig::scaled(DbShape::Db2, Organization::ClassClustered, 500);
+    cfg.register_memberships = true;
+    let mut db = build(&cfg);
+    println!(
+        "clinic: {} providers, {} patients",
+        db.provider_count, db.patient_count
+    );
+
+    // Every 7th patient "lives in Paris"; index them by age (index 10).
+    let mut patients = Vec::new();
+    let mut cursor = db.store.collection_cursor("Patients");
+    while let Some(rid) = cursor.next(db.store.stack_mut()) {
+        patients.push(rid);
+    }
+    let paris: Vec<Rid> = patients.iter().copied().step_by(7).collect();
+    let mut paris_entries: Vec<(i64, Rid)> = paris
+        .iter()
+        .map(|&rid| {
+            let p = db.store.fetch(rid);
+            let age = p.object.values[patient_attr::AGE].as_int().unwrap() as i64;
+            db.store.unref(p.rid);
+            (age, rid)
+        })
+        .collect();
+    paris_entries.sort_unstable_by_key(|&(k, _)| k);
+    db.store
+        .create_collection("ParisPatients", db.derby.patient, &paris);
+    let mut idx_paris_age = BTreeIndex::bulk_build(
+        db.store.stack_mut(),
+        10,
+        "idx.paris.age",
+        false,
+        &paris_entries,
+    );
+    let report = db.store.register_index_on_collection("ParisPatients", 10);
+    println!(
+        "ParisPatients: {} members, index 10 registered in their headers ({} relocations)",
+        paris.len(),
+        report.relocated
+    );
+
+    // Find a retiring doctor with at least one Parisian patient.
+    let paris_set: std::collections::HashSet<Rid> = paris.iter().copied().collect();
+    let mut c = db.store.collection_cursor("Providers");
+    let mut retiree = None;
+    let mut affected = Vec::new();
+    let mut doc_no = 0;
+    while let Some(rid) = c.next(db.store.stack_mut()) {
+        let doc = db.store.fetch(rid);
+        let clients = doc.object.values[provider_attr::CLIENTS]
+            .as_set()
+            .unwrap()
+            .clone();
+        db.store.unref(doc.rid);
+        let mut members = db.store.set_cursor(&clients);
+        let mut list = Vec::new();
+        while let Some(m) = members.next(db.store.stack_mut()) {
+            list.push(m);
+        }
+        if list.iter().any(|m| paris_set.contains(m)) {
+            retiree = Some(rid);
+            affected = list;
+            break;
+        }
+        doc_no += 1;
+    }
+    let _retiree = retiree.expect("some doctor treats a Parisian");
+    let parisians = affected.iter().filter(|m| paris_set.contains(m)).count();
+    println!(
+        "\ndoctor #{doc_no} retires; {} patients get pcp = nil and an annual age bump \
+         ({parisians} of them live in Paris)",
+        affected.len()
+    );
+
+    // Retire: pcp -> nil, age += 1. The mrn index (id 2) and num index
+    // (id 3) keys don't change; the Paris age index (id 10) must be
+    // re-keyed — but only for patients whose header lists it.
+    let mut idx_mrn = db.idx_patient_mrn.clone();
+    let mut idx_num = db.idx_patient_num.clone();
+    let mut total_updated = 0;
+    let mut total_skipped = 0;
+    for rid in &affected {
+        let old = db.store.fetch(*rid);
+        let mut values = old.object.values.clone();
+        let canonical = old.rid;
+        db.store.unref(canonical);
+        values[patient_attr::PCP] = Value::Ref(Rid::nil());
+        let age = values[patient_attr::AGE].as_int().unwrap();
+        values[patient_attr::AGE] = Value::Int(age + 1);
+        let mut registry = [
+            MaintainedIndex {
+                index: &mut idx_mrn,
+                key_attr: patient_attr::MRN,
+            },
+            MaintainedIndex {
+                index: &mut idx_num,
+                key_attr: patient_attr::NUM,
+            },
+            MaintainedIndex {
+                index: &mut idx_paris_age,
+                key_attr: patient_attr::AGE,
+            },
+        ];
+        let r = update_with_indexes(&mut db.store, &mut registry, canonical, &values);
+        total_updated += r.indexes_updated;
+        total_skipped += r.indexes_skipped;
+    }
+    println!(
+        "maintenance: {total_updated} index entries re-keyed, \
+         {total_skipped} registry consultations skipped via headers"
+    );
+
+    // Verify: no Paris-index entry still references a retired patient
+    // under its old age, and the nil assignments took.
+    let mut dangling = 0;
+    for rid in &affected {
+        let p = db.store.fetch(*rid);
+        assert!(p.object.values[patient_attr::PCP]
+            .as_ref_rid()
+            .unwrap()
+            .is_nil());
+        let age = p.object.values[patient_attr::AGE].as_int().unwrap() as i64;
+        let old_age = age - 1;
+        if idx_paris_age
+            .lookup(db.store.stack_mut(), old_age)
+            .contains(&p.rid)
+        {
+            dangling += 1;
+        }
+        db.store.unref(p.rid);
+    }
+    println!("verification: pcp nil everywhere, {dangling} dangling Paris-index entries");
+    assert_eq!(dangling, 0);
+    println!("\nthe header index list did its job — O(own indexes), not O(all indexes).");
+}

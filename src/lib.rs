@@ -1,0 +1,7 @@
+//! Facade crate re-exporting the treequery workspace.
+pub use tq_index as index;
+pub use tq_objstore as objstore;
+pub use tq_pagestore as pagestore;
+pub use tq_query as query;
+pub use tq_statsdb as statsdb;
+pub use tq_workload as workload;

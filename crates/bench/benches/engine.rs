@@ -1,9 +1,14 @@
-//! Criterion microbenchmarks: real wall-time of the engine primitives
-//! and of the four join algorithms (simulated time is what the figures
-//! report; these benches track the simulator's own speed).
+//! Microbenchmarks: real wall-time of the engine primitives and of the
+//! four join algorithms (simulated time is what the figures report;
+//! these benches track the simulator's own speed).
+//!
+//! Criterion is unavailable in the offline build environment, so this
+//! is a self-contained harness: each benchmark runs a short warmup,
+//! then enough iterations to fill ~0.2 s, and reports mean wall time
+//! per iteration. Run with `cargo bench -p tq-bench`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 use tq_bench::{build_db, run_join_cell};
 use tq_index::BTreeIndex;
 use tq_objstore::{record, AttrType, ObjectHeader, Rid, Schema, Value};
@@ -13,48 +18,64 @@ use tq_pagestore::{
 use tq_query::{JoinAlgo, JoinOptions};
 use tq_workload::{DbShape, Organization};
 
-fn bench_slotted_page(c: &mut Criterion) {
-    c.bench_function("page/insert_40B_until_full", |b| {
-        let rec = [7u8; 40];
-        b.iter_batched(
-            SlottedPage::new,
-            |mut page| {
-                while page.insert(&rec, PAGE_SIZE).is_some() {}
-                black_box(page.live_records())
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    c.bench_function("page/read_slot", |b| {
+/// Times `f` adaptively and prints one result line.
+fn bench(name: &str, mut f: impl FnMut()) {
+    // Warmup + calibration: how many iterations fit 50 ms?
+    let start = Instant::now();
+    let mut calib = 0u64;
+    while start.elapsed() < Duration::from_millis(50) {
+        f();
+        calib += 1;
+    }
+    let iters = calib.clamp(1, 1_000_000) * 4;
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per_iter = start.elapsed().as_secs_f64() / iters as f64;
+    let (value, unit) = if per_iter >= 1e-3 {
+        (per_iter * 1e3, "ms")
+    } else if per_iter >= 1e-6 {
+        (per_iter * 1e6, "µs")
+    } else {
+        (per_iter * 1e9, "ns")
+    };
+    println!("{name:<40} {value:>10.3} {unit}/iter  ({iters} iters)");
+}
+
+fn bench_slotted_page() {
+    let rec = [7u8; 40];
+    bench("page/insert_40B_until_full", || {
         let mut page = SlottedPage::new();
-        let mut slots = Vec::new();
-        while let Some(s) = page.insert(&[1u8; 40], PAGE_SIZE) {
-            slots.push(s);
-        }
-        let mut i = 0;
-        b.iter(|| {
-            i = (i + 1) % slots.len();
-            black_box(page.read(slots[i]))
-        })
+        while page.insert(&rec, PAGE_SIZE).is_some() {}
+        black_box(page.live_records());
+    });
+    let mut page = SlottedPage::new();
+    let mut slots = Vec::new();
+    while let Some(s) = page.insert(&[1u8; 40], PAGE_SIZE) {
+        slots.push(s);
+    }
+    let mut i = 0;
+    bench("page/read_slot", || {
+        i = (i + 1) % slots.len();
+        black_box(page.read(slots[i]));
     });
 }
 
-fn bench_lru(c: &mut Criterion) {
-    c.bench_function("lru/touch_insert_8k", |b| {
-        let mut lru: LruCache<u64> = LruCache::new(8192);
-        for k in 0..8192u64 {
+fn bench_lru() {
+    let mut lru: LruCache<u64> = LruCache::new(8192);
+    for k in 0..8192u64 {
+        lru.insert(k);
+    }
+    let mut x = 0x9E3779B97F4A7C15u64;
+    bench("lru/touch_insert_8k", || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let k = x % 16384;
+        if !lru.touch(k) {
             lru.insert(k);
         }
-        let mut x = 0x9E3779B97F4A7C15u64;
-        b.iter(|| {
-            x ^= x << 13;
-            x ^= x >> 7;
-            x ^= x << 17;
-            let k = x % 16384;
-            if !lru.touch(k) {
-                lru.insert(k);
-            }
-        })
     });
 }
 
@@ -91,20 +112,20 @@ fn patient_schema() -> (Schema, Vec<Value>) {
     (schema, values)
 }
 
-fn bench_record_codec(c: &mut Criterion) {
+fn bench_record_codec() {
     let (schema, values) = patient_schema();
     let class = schema.class_by_name("Patient").unwrap();
     let header = ObjectHeader::new(class, true);
     let bytes = record::encode(schema.class(class), &header, &values);
-    c.bench_function("record/encode_patient", |b| {
-        b.iter(|| black_box(record::encode(schema.class(class), &header, &values)))
+    bench("record/encode_patient", || {
+        black_box(record::encode(schema.class(class), &header, &values));
     });
-    c.bench_function("record/decode_patient", |b| {
-        b.iter(|| black_box(record::decode(schema.class(class), &bytes).unwrap()))
+    bench("record/decode_patient", || {
+        black_box(record::decode(schema.class(class), &bytes).unwrap());
     });
 }
 
-fn bench_btree(c: &mut Criterion) {
+fn bench_btree() {
     let entries: Vec<(i64, Rid)> = (0..100_000i64)
         .map(|i| {
             (
@@ -119,117 +140,92 @@ fn bench_btree(c: &mut Criterion) {
             )
         })
         .collect();
-    c.bench_function("btree/bulk_build_100k", |b| {
-        b.iter_batched(
-            || StorageStack::new(CostModel::free(), CacheConfig::default()),
-            |mut stack| black_box(BTreeIndex::bulk_build(&mut stack, 1, "i", true, &entries)),
-            BatchSize::LargeInput,
-        )
-    });
-    c.bench_function("btree/range_scan_10k_of_100k", |b| {
+    bench("btree/bulk_build_100k", || {
         let mut stack = StorageStack::new(CostModel::free(), CacheConfig::default());
-        let tree = BTreeIndex::bulk_build(&mut stack, 1, "i", true, &entries);
-        b.iter(|| {
-            let mut cursor = tree.range(&mut stack, 40_000, 49_999);
-            let mut n = 0;
-            while cursor.next(&mut stack).is_some() {
-                n += 1;
-            }
-            black_box(n)
-        })
+        black_box(BTreeIndex::bulk_build(&mut stack, 1, "i", true, &entries));
+    });
+    let mut stack = StorageStack::new(CostModel::free(), CacheConfig::default());
+    let tree = BTreeIndex::bulk_build(&mut stack, 1, "i", true, &entries);
+    bench("btree/range_scan_10k_of_100k", || {
+        let mut cursor = tree.range(&mut stack, 40_000, 49_999);
+        let mut n = 0;
+        while cursor.next(&mut stack).is_some() {
+            n += 1;
+        }
+        black_box(n);
     });
 }
 
-fn bench_oql(c: &mut Criterion) {
+fn bench_oql() {
     let text = "select [p.name, pa.age] from p in Providers, pa in p.clients \
                 where pa.mrn < 200000 and p.upin < 200";
-    c.bench_function("oql/parse_join_query", |b| {
-        b.iter(|| black_box(tq_query::oql::parse(text).unwrap()))
+    bench("oql/parse_join_query", || {
+        black_box(tq_query::oql::parse(text).unwrap());
     });
 }
 
-fn bench_swap_and_spill(c: &mut Criterion) {
-    c.bench_function("swap/touch_oversized_region", |b| {
-        let mut sim = tq_query::SwapSim::new(64 << 20, 32 << 20);
-        let mut x = 1u64;
-        b.iter(|| {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-            black_box(sim.touch(x))
+fn bench_swap_and_spill() {
+    let mut sim = tq_query::SwapSim::new(64 << 20, 32 << 20);
+    let mut x = 1u64;
+    bench("swap/touch_oversized_region", || {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        black_box(sim.touch(x));
+    });
+    let pairs: Vec<(i64, Rid)> = (0..10_000i64)
+        .map(|i| {
+            (
+                i,
+                Rid::new(
+                    PageId {
+                        file: FileId(0),
+                        page_no: i as u32,
+                    },
+                    0,
+                ),
+            )
         })
-    });
-    c.bench_function("spill/write_read_10k_pairs", |b| {
-        let pairs: Vec<(i64, Rid)> = (0..10_000i64)
-            .map(|i| {
-                (
-                    i,
-                    Rid::new(
-                        PageId {
-                            file: FileId(0),
-                            page_no: i as u32,
-                        },
-                        0,
-                    ),
-                )
-            })
-            .collect();
-        b.iter_batched(
-            || {
-                let mut stack = StorageStack::new(CostModel::free(), CacheConfig::default());
-                let f = stack.create_file("spill");
-                (stack, f)
-            },
-            |(mut stack, f)| {
-                let mut w = tq_query::join::spill::SpillWriter::new(f);
-                for &(k, r) in &pairs {
-                    w.push(&mut stack, k, r);
-                }
-                let run = w.finish(&mut stack);
-                black_box(run.read_all(&mut stack).len())
-            },
-            BatchSize::LargeInput,
-        )
+        .collect();
+    bench("spill/write_read_10k_pairs", || {
+        let mut stack = StorageStack::new(CostModel::free(), CacheConfig::default());
+        let f = stack.create_file("spill");
+        let mut w = tq_query::join::spill::SpillWriter::new(f);
+        for &(k, r) in &pairs {
+            w.push(&mut stack, k, r);
+        }
+        let run = w.finish(&mut stack);
+        black_box(run.read_all(&mut stack).len());
     });
 }
 
-fn bench_joins(c: &mut Criterion) {
+fn bench_joins() {
     // Wall time of a full cold join on a 1/2000-scale 1:3 database.
     let mut db = build_db(DbShape::Db2, Organization::ClassClustered, 2000);
-    let mut group = c.benchmark_group("join_wall_time_scale_1_2000");
-    group.sample_size(20);
     for algo in JoinAlgo::all() {
-        group.bench_function(algo.label(), |b| {
-            b.iter(|| {
-                black_box(run_join_cell(
-                    &mut db,
-                    algo,
-                    50,
-                    50,
-                    &JoinOptions::default(),
-                ))
-            })
+        bench(&format!("join_wall_time_scale_1_2000/{}", algo.label()), || {
+            black_box(run_join_cell(
+                &mut db,
+                algo,
+                50,
+                50,
+                &JoinOptions::default(),
+            ));
         });
     }
-    group.finish();
 }
 
-fn bench_database_build(c: &mut Criterion) {
-    let mut group = c.benchmark_group("build_wall_time");
-    group.sample_size(10);
-    group.bench_function("db2_scale_1_2000", |b| {
-        b.iter(|| black_box(build_db(DbShape::Db2, Organization::ClassClustered, 2000)))
+fn bench_database_build() {
+    bench("build_wall_time/db2_scale_1_2000", || {
+        black_box(build_db(DbShape::Db2, Organization::ClassClustered, 2000));
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_slotted_page,
-    bench_lru,
-    bench_record_codec,
-    bench_btree,
-    bench_oql,
-    bench_swap_and_spill,
-    bench_joins,
-    bench_database_build
-);
-criterion_main!(benches);
+fn main() {
+    bench_slotted_page();
+    bench_lru();
+    bench_record_codec();
+    bench_btree();
+    bench_oql();
+    bench_swap_and_spill();
+    bench_joins();
+    bench_database_build();
+}

@@ -3,8 +3,8 @@
 //! `TQ_SCALE=n` divides the database size (default: paper scale).
 
 fn main() {
-    let scale = tq_bench::scale_from_env();
-    let fig = tq_bench::figures::fig06::run(scale);
+    let (scale, jobs) = tq_bench::env_config_or_exit();
+    let fig = tq_bench::figures::fig06::run(scale, jobs);
     println!("{}", tq_bench::figures::fig06::print(&fig));
     println!("{}", tq_statsdb::export::to_csv(fig.stats.all()));
 }

@@ -2,7 +2,7 @@
 //! index) and the Figure 9 cost decomposition.
 
 fn main() {
-    let scale = tq_bench::scale_from_env();
-    let fig = tq_bench::figures::fig07::run(scale);
+    let (scale, jobs) = tq_bench::env_config_or_exit();
+    let fig = tq_bench::figures::fig07::run(scale, jobs);
     println!("{}", tq_bench::figures::fig07::print(&fig));
 }

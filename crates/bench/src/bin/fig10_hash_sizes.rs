@@ -2,8 +2,8 @@
 //! `--measure` to also run the joins and report executor table sizes.
 
 fn main() {
-    let scale = tq_bench::scale_from_env();
+    let (scale, jobs) = tq_bench::env_config_or_exit();
     let measure = std::env::args().any(|a| a == "--measure");
-    let fig = tq_bench::figures::fig10::run(scale, measure);
+    let fig = tq_bench::figures::fig10::run(scale, measure, jobs);
     println!("{}", tq_bench::figures::fig10::print(&fig));
 }

@@ -32,8 +32,8 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let scale = tq_bench::scale_from_env();
-    let fig = tq_bench::figures::joins::run_join_figure(shape, org, scale);
+    let (scale, jobs) = tq_bench::env_config_or_exit();
+    let fig = tq_bench::figures::joins::run_join_figure(shape, org, scale, jobs);
     println!("{}", tq_bench::figures::joins::print_join_figure(&fig));
     println!("{}", tq_statsdb::export::to_csv(fig.stats.all()));
 }

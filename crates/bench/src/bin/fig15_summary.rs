@@ -2,8 +2,8 @@
 //! six underlying join figures (3 organizations x 2 databases).
 
 fn main() {
-    let scale = tq_bench::scale_from_env();
-    let fig = tq_bench::figures::fig15::run(scale);
+    let (scale, jobs) = tq_bench::env_config_or_exit();
+    let fig = tq_bench::figures::fig15::run(scale, jobs);
     for f in &fig.figures {
         println!("{}", tq_bench::figures::joins::print_join_figure(f));
     }

@@ -2,7 +2,7 @@
 //! the paper's prediction, tested.
 
 fn main() {
-    let scale = tq_bench::scale_from_env().max(10);
-    let fig = tq_bench::figures::assoc::run(scale);
+    let (scale, jobs) = tq_bench::env_config_or_exit();
+    let fig = tq_bench::figures::assoc::run(scale.max(10), jobs);
     println!("{}", tq_bench::figures::assoc::print(&fig));
 }

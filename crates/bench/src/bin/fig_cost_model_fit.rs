@@ -2,7 +2,8 @@
 //! benchmark runs by regression (§2's plan with Yves Lechevallier).
 
 fn main() {
-    let scale = tq_bench::scale_from_env().max(50);
+    let (scale, _jobs) = tq_bench::env_config_or_exit();
+    let scale = scale.max(50);
     let fit = tq_bench::analysis::run(scale);
     println!("{}", tq_bench::analysis::print(&fit));
 }

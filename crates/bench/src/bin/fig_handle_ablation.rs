@@ -2,7 +2,7 @@
 //! measured.
 
 fn main() {
-    let scale = tq_bench::scale_from_env();
-    let a = tq_bench::figures::handles::run_ablation(scale);
+    let (scale, jobs) = tq_bench::env_config_or_exit();
+    let a = tq_bench::figures::handles::run_ablation(scale, jobs);
     println!("{}", tq_bench::figures::handles::print_ablation(&a));
 }

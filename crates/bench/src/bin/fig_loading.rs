@@ -1,7 +1,8 @@
 //! Regenerates the section 3.2 loading experiment (12 hours -> 1).
 
 fn main() {
-    let scale = tq_bench::scale_from_env().max(10);
+    let (scale, _jobs) = tq_bench::env_config_or_exit();
+    let scale = scale.max(10);
     let fig = tq_bench::figures::loading::run(scale);
     println!("{}", tq_bench::figures::loading::print(&fig));
 }

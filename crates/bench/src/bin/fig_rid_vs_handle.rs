@@ -2,7 +2,7 @@
 //! vs Handles.
 
 fn main() {
-    let scale = tq_bench::scale_from_env();
-    let r = tq_bench::figures::handles::run_rid_vs_handle(scale);
+    let (scale, jobs) = tq_bench::env_config_or_exit();
+    let r = tq_bench::figures::handles::run_rid_vs_handle(scale, jobs);
     println!("{}", tq_bench::figures::handles::print_rid_vs_handle(&r));
 }

@@ -2,7 +2,7 @@
 //! cold ones).
 
 fn main() {
-    let scale = tq_bench::scale_from_env().max(10);
-    let fig = tq_bench::figures::warm::run(scale);
+    let (scale, jobs) = tq_bench::env_config_or_exit();
+    let fig = tq_bench::figures::warm::run(scale.max(10), jobs);
     println!("{}", tq_bench::figures::warm::print(&fig));
 }

@@ -9,6 +9,7 @@
 //! the prediction.
 
 use crate::harness::{build_db, run_join_cell};
+use crate::parallel::run_cells;
 use tq_query::spec::{CmpOp, ResultMode, Selection};
 use tq_query::{seq_scan, JoinAlgo, JoinOptions};
 use tq_workload::{patient_attr, Database, DbShape, Organization};
@@ -38,37 +39,53 @@ pub struct AssocFigure {
     pub scale: u32,
 }
 
-fn measure(db: &mut Database) -> OrgRow {
+/// The four workloads measured under every organization.
+fn measurements(master: &Database, jobs: usize) -> OrgRow {
     let sel = Selection {
         collection: "Patients".into(),
         attr: patient_attr::MRN,
         cmp: CmpOp::Lt,
         residual: vec![],
-        key: db.patient_selectivity_key(50),
+        key: master.patient_selectivity_key(50),
         project: patient_attr::AGE,
         result_mode: ResultMode::Transient,
     };
-    let (_, selection_secs) = db.measure_cold(|db| seq_scan(&mut db.store, &sel, false));
-    let phj_secs = run_join_cell(db, JoinAlgo::Phj, 10, 10, &JoinOptions::default()).secs;
-    let nl_secs = run_join_cell(db, JoinAlgo::Nl, 10, 10, &JoinOptions::default()).secs;
-    let nojoin_secs = run_join_cell(db, JoinAlgo::Nojoin, 10, 10, &JoinOptions::default()).secs;
+    let cells: Vec<Box<dyn FnOnce() -> f64 + Send + '_>> = vec![
+        Box::new(|| {
+            let mut db = master.clone();
+            db.measure_cold(|db| seq_scan(&mut db.store, &sel, false)).1
+        }),
+        Box::new(|| {
+            let mut db = master.clone();
+            run_join_cell(&mut db, JoinAlgo::Phj, 10, 10, &JoinOptions::default()).secs
+        }),
+        Box::new(|| {
+            let mut db = master.clone();
+            run_join_cell(&mut db, JoinAlgo::Nl, 10, 10, &JoinOptions::default()).secs
+        }),
+        Box::new(|| {
+            let mut db = master.clone();
+            run_join_cell(&mut db, JoinAlgo::Nojoin, 10, 10, &JoinOptions::default()).secs
+        }),
+    ];
+    let secs = run_cells(cells, jobs);
     OrgRow {
-        selection_secs,
-        phj_secs,
-        nl_secs,
-        nojoin_secs,
+        selection_secs: secs[0],
+        phj_secs: secs[1],
+        nl_secs: secs[2],
+        nojoin_secs: secs[3],
     }
 }
 
 /// Runs the comparison on the 1:3 database.
-pub fn run(scale: u32) -> AssocFigure {
-    let mut class = build_db(DbShape::Db2, Organization::ClassClustered, scale);
-    let mut comp = build_db(DbShape::Db2, Organization::Composition, scale);
-    let mut assoc = build_db(DbShape::Db2, Organization::AssociationOrdered, scale);
+pub fn run(scale: u32, jobs: usize) -> AssocFigure {
+    let class = build_db(DbShape::Db2, Organization::ClassClustered, scale);
+    let comp = build_db(DbShape::Db2, Organization::Composition, scale);
+    let assoc = build_db(DbShape::Db2, Organization::AssociationOrdered, scale);
     AssocFigure {
-        class: measure(&mut class),
-        composition: measure(&mut comp),
-        assoc: measure(&mut assoc),
+        class: measurements(&class, jobs),
+        composition: measurements(&comp, jobs),
+        assoc: measurements(&assoc, jobs),
         scale,
     }
 }

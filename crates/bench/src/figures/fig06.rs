@@ -9,6 +9,7 @@
 //! than once.
 
 use crate::harness::build_db;
+use crate::parallel::run_cells;
 use tq_query::spec::{CmpOp, ResultMode, Selection};
 use tq_query::{index_scan, seq_scan};
 use tq_statsdb::{ExtentDesc, QueryDesc, Stat, StatsDb, SystemDesc};
@@ -86,34 +87,48 @@ fn stat(db: &Database, algo: &str, permille: u32, secs: f64) -> Stat {
     }
 }
 
-/// Runs the figure.
-pub fn run(scale: u32) -> Fig06 {
-    let mut db = build_db(DbShape::Db1, Organization::ClassClustered, scale);
+/// Runs the figure, one worker job per selectivity.
+pub fn run(scale: u32, jobs: usize) -> Fig06 {
+    let master = build_db(DbShape::Db1, Organization::ClassClustered, scale);
     let mut rows = Vec::new();
     let mut stats = StatsDb::new();
-    for permille in SELECTIVITIES_PERMILLE {
-        let sel = selection(&db, permille);
-        let num_idx = db.idx_patient_num.clone();
-        let (report_idx, index_secs) =
-            db.measure_cold(|db| index_scan(&mut db.store, &num_idx, &sel, false));
-        let index_pages = db.store.stats().d2sc_read_pages;
-        stats.insert(stat(&db, "IndexScan", permille, index_secs));
-        let (report_seq, scan_secs) = db.measure_cold(|db| seq_scan(&mut db.store, &sel, false));
-        let scan_pages = db.store.stats().d2sc_read_pages;
-        stats.insert(stat(&db, "SeqScan", permille, scan_secs));
-        assert_eq!(report_idx.selected, report_seq.selected);
+    let cells: Vec<_> = SELECTIVITIES_PERMILLE
+        .iter()
+        .map(|&permille| {
+            let master = &master;
+            move || {
+                let mut db = master.clone();
+                let sel = selection(&db, permille);
+                let num_idx = db.idx_patient_num.clone();
+                let (report_idx, index_secs) =
+                    db.measure_cold(|db| index_scan(&mut db.store, &num_idx, &sel, false));
+                let index_pages = db.store.stats().d2sc_read_pages;
+                let index_stat = stat(&db, "IndexScan", permille, index_secs);
+                let (report_seq, scan_secs) =
+                    db.measure_cold(|db| seq_scan(&mut db.store, &sel, false));
+                let scan_pages = db.store.stats().d2sc_read_pages;
+                let scan_stat = stat(&db, "SeqScan", permille, scan_secs);
+                assert_eq!(report_idx.selected, report_seq.selected);
+                let row = Row {
+                    permille,
+                    index_pages,
+                    index_secs,
+                    scan_pages,
+                    scan_secs,
+                    selected: report_idx.selected,
+                };
+                (row, index_stat, scan_stat)
+            }
+        })
+        .collect();
+    for (row, index_stat, scan_stat) in run_cells(cells, jobs) {
+        stats.insert(index_stat);
+        stats.insert(scan_stat);
         eprintln!(
-            "  {:>5}‰  index {index_pages:>8} pages {index_secs:>10.2}s   scan {scan_pages:>8} pages {scan_secs:>10.2}s",
-            permille
+            "  {:>5}‰  index {:>8} pages {:>10.2}s   scan {:>8} pages {:>10.2}s",
+            row.permille, row.index_pages, row.index_secs, row.scan_pages, row.scan_secs
         );
-        rows.push(Row {
-            permille,
-            index_pages,
-            index_secs,
-            scan_pages,
-            scan_secs,
-            selected: report_idx.selected,
-        });
+        rows.push(row);
     }
     Fig06 { rows, scale, stats }
 }

@@ -8,6 +8,7 @@
 
 use crate::harness::build_db;
 use crate::paper::FIG7_SORTED_VS_NOINDEX;
+use crate::parallel::run_cells;
 use tq_query::explain::CostBreakdown;
 use tq_query::spec::{CmpOp, ResultMode, Selection};
 use tq_query::{seq_scan, sorted_index_scan};
@@ -50,30 +51,39 @@ fn selection(db: &Database, pct: u32) -> Selection {
     }
 }
 
-/// Runs the figure.
-pub fn run(scale: u32) -> Fig07 {
-    let mut db = build_db(DbShape::Db1, Organization::ClassClustered, scale);
-    let mut rows = Vec::new();
-    for pct in [10u32, 30, 60, 90] {
-        let sel = selection(&db, pct);
-        let num_idx = db.idx_patient_num.clone();
-        let (report, sorted_secs) =
-            db.measure_cold(|db| sorted_index_scan(&mut db.store, &num_idx, &sel, false));
-        let sorted_breakdown = CostBreakdown::from_clock(db.store.clock());
-        let (_, scan_secs) = db.measure_cold(|db| seq_scan(&mut db.store, &sel, false));
-        let scan_breakdown = CostBreakdown::from_clock(db.store.clock());
+/// Runs the figure, one worker job per selectivity.
+pub fn run(scale: u32, jobs: usize) -> Fig07 {
+    let master = build_db(DbShape::Db1, Organization::ClassClustered, scale);
+    let cells: Vec<_> = [10u32, 30, 60, 90]
+        .iter()
+        .map(|&pct| {
+            let master = &master;
+            move || {
+                let mut db = master.clone();
+                let sel = selection(&db, pct);
+                let num_idx = db.idx_patient_num.clone();
+                let (report, sorted_secs) =
+                    db.measure_cold(|db| sorted_index_scan(&mut db.store, &num_idx, &sel, false));
+                let sorted_breakdown = CostBreakdown::from_clock(db.store.clock());
+                let (_, scan_secs) = db.measure_cold(|db| seq_scan(&mut db.store, &sel, false));
+                let scan_breakdown = CostBreakdown::from_clock(db.store.clock());
+                Row {
+                    pct,
+                    sorted_secs,
+                    sorted_breakdown,
+                    scan_secs,
+                    scan_breakdown,
+                    rids_sorted: report.rids_sorted,
+                }
+            }
+        })
+        .collect();
+    let rows = run_cells(cells, jobs);
+    for r in &rows {
         eprintln!(
-            "  {pct:>2}%  sorted {sorted_secs:>10.2}s   scan {scan_secs:>10.2}s   ({} rids sorted)",
-            report.rids_sorted
+            "  {:>2}%  sorted {:>10.2}s   scan {:>10.2}s   ({} rids sorted)",
+            r.pct, r.sorted_secs, r.scan_secs, r.rids_sorted
         );
-        rows.push(Row {
-            pct,
-            sorted_secs,
-            sorted_breakdown,
-            scan_secs,
-            scan_breakdown,
-            rids_sorted: report.rids_sorted,
-        });
     }
     Fig07 { rows, scale }
 }

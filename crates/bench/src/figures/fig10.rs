@@ -2,6 +2,7 @@
 
 use crate::harness::{build_db, run_join_cell};
 use crate::paper::FIG10_HASH_SIZES;
+use crate::parallel::run_cells;
 use tq_query::{hash_table_bytes, JoinAlgo};
 use tq_workload::{DbShape, Organization};
 
@@ -37,43 +38,57 @@ pub struct Fig10 {
     pub scale: u32,
 }
 
-/// Runs the figure. With `measure` set, actually executes the joins
-/// (at `scale`) and reports the executor's table sizes too.
-pub fn run(scale: u32, measure: bool) -> Fig10 {
-    let mut rows = Vec::new();
-    let mut db1 = measure.then(|| build_db(DbShape::Db1, Organization::ClassClustered, scale));
-    let mut db2 = measure.then(|| build_db(DbShape::Db2, Organization::ClassClustered, scale));
-    for (algo, providers, fanout, pat, prov, paper_mb) in FIG10_HASH_SIZES {
-        let children = providers * fanout as u64;
-        let formula_mb = hash_table_bytes(
-            algo,
-            providers,
-            providers * prov as u64 / 100,
-            children * pat as u64 / 100,
-        ) as f64
-            / 1e6;
-        let (measured_mb, swap_faults) = match (fanout, db1.as_mut(), db2.as_mut()) {
-            (1_000, Some(db), _) | (3, _, Some(db)) => {
-                let cell = run_join_cell(db, algo, pat, prov, &Default::default());
-                (
-                    Some(cell.report.hash_table_bytes as f64 / 1e6),
-                    Some(cell.report.swap_faults),
-                )
+/// Runs the figure, one worker job per row. With `measure` set,
+/// actually executes the joins (at `scale`, each on its own clone of
+/// the master database) and reports the executor's table sizes too.
+pub fn run(scale: u32, measure: bool, jobs: usize) -> Fig10 {
+    let db1 = measure.then(|| build_db(DbShape::Db1, Organization::ClassClustered, scale));
+    let db2 = measure.then(|| build_db(DbShape::Db2, Organization::ClassClustered, scale));
+    let cells: Vec<_> = FIG10_HASH_SIZES
+        .into_iter()
+        .map(|(algo, providers, fanout, pat, prov, paper_mb)| {
+            let db1 = db1.as_ref();
+            let db2 = db2.as_ref();
+            move || {
+                let children = providers * fanout as u64;
+                let formula_mb = hash_table_bytes(
+                    algo,
+                    providers,
+                    providers * prov as u64 / 100,
+                    children * pat as u64 / 100,
+                ) as f64
+                    / 1e6;
+                let master = match fanout {
+                    1_000 => db1,
+                    3 => db2,
+                    _ => None,
+                };
+                let (measured_mb, swap_faults) = match master {
+                    Some(master) => {
+                        let mut db = master.clone();
+                        let cell = run_join_cell(&mut db, algo, pat, prov, &Default::default());
+                        (
+                            Some(cell.report.hash_table_bytes as f64 / 1e6),
+                            Some(cell.report.swap_faults),
+                        )
+                    }
+                    None => (None, None),
+                };
+                Row {
+                    algo,
+                    providers,
+                    fanout,
+                    pat,
+                    prov,
+                    paper_mb,
+                    formula_mb,
+                    measured_mb,
+                    swap_faults,
+                }
             }
-            _ => (None, None),
-        };
-        rows.push(Row {
-            algo,
-            providers,
-            fanout,
-            pat,
-            prov,
-            paper_mb,
-            formula_mb,
-            measured_mb,
-            swap_faults,
-        });
-    }
+        })
+        .collect();
+    let rows = run_cells(cells, jobs);
     Fig10 { rows, scale }
 }
 

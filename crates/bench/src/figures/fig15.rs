@@ -34,13 +34,15 @@ pub struct Fig15 {
 }
 
 /// Runs all six join figures (3 organizations × 2 shapes) and
-/// summarizes the winners.
-pub fn run(scale: u32) -> Fig15 {
+/// summarizes the winners. The figures run one after another (each
+/// needs its own built database); `jobs` parallelizes the 16 cells
+/// inside each figure.
+pub fn run(scale: u32, jobs: usize) -> Fig15 {
     let mut figures = Vec::new();
     for shape in [DbShape::Db1, DbShape::Db2] {
         for org in Organization::all() {
             eprintln!("== {shape:?} / {org:?} ==");
-            figures.push(run_join_figure(shape, org, scale));
+            figures.push(run_join_figure(shape, org, scale, jobs));
         }
     }
     let fig_of = |shape: DbShape, org: Organization| {

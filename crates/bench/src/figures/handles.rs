@@ -9,6 +9,7 @@
 //!   [`CostModel::sparc20_improved_handles`].
 
 use crate::harness::{build_db, run_join_cell};
+use crate::parallel::run_cells;
 use tq_pagestore::CostModel;
 use tq_query::join::JoinOptions;
 use tq_query::spec::{CmpOp, ResultMode, Selection};
@@ -26,20 +27,29 @@ pub struct RidVsHandle {
     pub scale: u32,
 }
 
-/// Runs the §4.1 experiment on the 1:1000 database at (90, 90).
-pub fn run_rid_vs_handle(scale: u32) -> RidVsHandle {
-    let mut db = build_db(DbShape::Db1, Organization::ClassClustered, scale);
-    let mut once = |mode: HashKeyMode| {
-        let opts = JoinOptions {
-            hash_key: mode,
-            ..JoinOptions::default()
-        };
-        let cell = run_join_cell(&mut db, JoinAlgo::Chj, 90, 90, &opts);
-        (cell.secs, cell.report.hash_table_bytes as f64 / 1e6)
-    };
+/// Runs the §4.1 experiment on the 1:1000 database at (90, 90), the
+/// two key modes as two worker jobs.
+pub fn run_rid_vs_handle(scale: u32, jobs: usize) -> RidVsHandle {
+    let master = build_db(DbShape::Db1, Organization::ClassClustered, scale);
+    let cells: Vec<_> = [HashKeyMode::Rid, HashKeyMode::Handle]
+        .iter()
+        .map(|&mode| {
+            let master = &master;
+            move || {
+                let mut db = master.clone();
+                let opts = JoinOptions {
+                    hash_key: mode,
+                    ..JoinOptions::default()
+                };
+                let cell = run_join_cell(&mut db, JoinAlgo::Chj, 90, 90, &opts);
+                (cell.secs, cell.report.hash_table_bytes as f64 / 1e6)
+            }
+        })
+        .collect();
+    let measured = run_cells(cells, jobs);
     RidVsHandle {
-        rid: once(HashKeyMode::Rid),
-        handle: once(HashKeyMode::Handle),
+        rid: measured[0],
+        handle: measured[1],
         scale,
     }
 }
@@ -92,57 +102,62 @@ pub struct HandleAblation {
     pub scale: u32,
 }
 
-/// Runs the ablation.
-pub fn run_ablation(scale: u32) -> HandleAblation {
-    let mut rows = Vec::new();
-    for improved in [false, true] {
-        let mut db = build_db(DbShape::Db1, Organization::ClassClustered, scale);
-        if improved {
-            db.store
-                .stack_mut()
-                .set_model(CostModel::sparc20_improved_handles());
-        }
-        // Workload 1: the Figure 7 no-index scan at 90% (handle-bound).
-        let sel = Selection {
-            collection: "Patients".into(),
-            attr: patient_attr::NUM,
-            cmp: CmpOp::Lt,
-            key: db.num_selectivity_key(90),
-            residual: vec![],
-            project: patient_attr::AGE,
-            result_mode: ResultMode::Persistent,
-        };
-        let (_, scan_secs) = db.measure_cold(|db| seq_scan(&mut db.store, &sel, false));
-        // Workload 2: the sorted index scan at 90%.
-        let num_idx = db.idx_patient_num.clone();
-        let (_, sorted_secs) =
-            db.measure_cold(|db| sorted_index_scan(&mut db.store, &num_idx, &sel, false));
-        // Workload 3: the Figure 11 (90,90) NOJOIN (navigation-heavy).
-        let cell = run_join_cell(&mut db, JoinAlgo::Nojoin, 90, 90, &JoinOptions::default());
-        for (label, secs) in [
-            ("Fig 7 no-index scan, 90% selectivity", scan_secs),
-            ("Fig 7 sorted index scan, 90% selectivity", sorted_secs),
-            ("Fig 11 NOJOIN (90,90)", cell.secs),
-        ] {
-            match rows
-                .iter_mut()
-                .find(|r: &&mut AblationRow| r.label == label)
-            {
-                Some(row) => {
-                    if improved {
-                        row.improved_secs = secs;
-                    } else {
-                        row.legacy_secs = secs;
-                    }
+/// Runs the ablation: the legacy and improved handle regimes as two
+/// worker jobs over clones of one master database.
+pub fn run_ablation(scale: u32, jobs: usize) -> HandleAblation {
+    let master = build_db(DbShape::Db1, Organization::ClassClustered, scale);
+    let regimes: Vec<_> = [false, true]
+        .iter()
+        .map(|&improved| {
+            let master = &master;
+            move || {
+                let mut db = master.clone();
+                if improved {
+                    db.store
+                        .stack_mut()
+                        .set_model(CostModel::sparc20_improved_handles());
                 }
-                None => rows.push(AblationRow {
-                    label,
-                    legacy_secs: if improved { 0.0 } else { secs },
-                    improved_secs: if improved { secs } else { 0.0 },
-                }),
+                // Workload 1: the Figure 7 no-index scan at 90%
+                // (handle-bound).
+                let sel = Selection {
+                    collection: "Patients".into(),
+                    attr: patient_attr::NUM,
+                    cmp: CmpOp::Lt,
+                    key: db.num_selectivity_key(90),
+                    residual: vec![],
+                    project: patient_attr::AGE,
+                    result_mode: ResultMode::Persistent,
+                };
+                let (_, scan_secs) = db.measure_cold(|db| seq_scan(&mut db.store, &sel, false));
+                // Workload 2: the sorted index scan at 90%.
+                let num_idx = db.idx_patient_num.clone();
+                let (_, sorted_secs) =
+                    db.measure_cold(|db| sorted_index_scan(&mut db.store, &num_idx, &sel, false));
+                // Workload 3: the Figure 11 (90,90) NOJOIN
+                // (navigation-heavy).
+                let cell =
+                    run_join_cell(&mut db, JoinAlgo::Nojoin, 90, 90, &JoinOptions::default());
+                [
+                    ("Fig 7 no-index scan, 90% selectivity", scan_secs),
+                    ("Fig 7 sorted index scan, 90% selectivity", sorted_secs),
+                    ("Fig 11 NOJOIN (90,90)", cell.secs),
+                ]
             }
-        }
-    }
+        })
+        .collect();
+    let measured = run_cells(regimes, jobs);
+    let [legacy, improved] = measured.as_slice() else {
+        unreachable!("two regimes");
+    };
+    let rows = legacy
+        .iter()
+        .zip(improved.iter())
+        .map(|(&(label, legacy_secs), &(_, improved_secs))| AblationRow {
+            label,
+            legacy_secs,
+            improved_secs,
+        })
+        .collect();
     HandleAblation { rows, scale }
 }
 

@@ -8,6 +8,7 @@
 //! memory.
 
 use crate::harness::{build_db, run_join_cell};
+use crate::parallel::run_cells;
 use tq_query::{JoinAlgo, JoinOptions};
 use tq_workload::{DbShape, Organization};
 
@@ -35,9 +36,9 @@ pub struct HybridFigure {
     pub scale: u32,
 }
 
-/// Runs the experiment on the paper's swap-bound cells.
-pub fn run(scale: u32) -> HybridFigure {
-    let mut rows = Vec::new();
+/// Runs the experiment on the paper's swap-bound cells, one worker
+/// job per cell.
+pub fn run(scale: u32, jobs: usize) -> HybridFigure {
     let cells: [(DbShape, Organization, u32, u32, JoinAlgo); 3] = [
         // Figure 12 (90,90): PHJ and CHJ both swap; NOJOIN wins.
         (
@@ -63,44 +64,56 @@ pub fn run(scale: u32) -> HybridFigure {
             JoinAlgo::Phj,
         ),
     ];
-    let mut last_key: Option<(DbShape, Organization)> = None;
-    let mut db = None;
-    for (shape, org, pat, prov, algo) in cells {
-        if last_key != Some((shape, org)) {
-            db = Some(build_db(shape, org, scale));
-            last_key = Some((shape, org));
+    // One master per distinct (shape, org), built up front in cell
+    // order (each job clones the master it needs).
+    let mut masters: Vec<((DbShape, Organization), tq_workload::Database)> = Vec::new();
+    for (shape, org, ..) in cells {
+        if !masters.iter().any(|(k, _)| *k == (shape, org)) {
+            masters.push(((shape, org), build_db(shape, org, scale)));
         }
-        let db = db.as_mut().unwrap();
-        let plain = run_join_cell(db, algo, pat, prov, &JoinOptions::default());
-        let hybrid_opts = JoinOptions {
-            hybrid_hashing: true,
-            ..JoinOptions::default()
-        };
-        let hybrid = run_join_cell(db, algo, pat, prov, &hybrid_opts);
-        assert_eq!(
-            plain.results, hybrid.results,
-            "hybrid must not change answers"
-        );
-        let nl = run_join_cell(db, JoinAlgo::Nl, pat, prov, &JoinOptions::default());
-        let nojoin = run_join_cell(db, JoinAlgo::Nojoin, pat, prov, &JoinOptions::default());
-        rows.push(Row {
-            label: format!("{} / {} ({pat},{prov})", shape.label(), org.label()),
-            algo,
-            plain: (plain.secs, plain.report.swap_faults),
-            hybrid: (
-                hybrid.secs,
-                hybrid.report.partitions,
-                hybrid.report.spill_pages,
-            ),
-            best_navigation_secs: nl.secs.min(nojoin.secs),
-        });
+    }
+    let cell_jobs: Vec<_> = cells
+        .into_iter()
+        .map(|(shape, org, pat, prov, algo)| {
+            let master = &masters
+                .iter()
+                .find(|(k, _)| *k == (shape, org))
+                .expect("master built above")
+                .1;
+            move || {
+                let mut db = master.clone();
+                let plain = run_join_cell(&mut db, algo, pat, prov, &JoinOptions::default());
+                let hybrid_opts = JoinOptions {
+                    hybrid_hashing: true,
+                    ..JoinOptions::default()
+                };
+                let hybrid = run_join_cell(&mut db, algo, pat, prov, &hybrid_opts);
+                assert_eq!(
+                    plain.results, hybrid.results,
+                    "hybrid must not change answers"
+                );
+                let nl = run_join_cell(&mut db, JoinAlgo::Nl, pat, prov, &JoinOptions::default());
+                let nojoin =
+                    run_join_cell(&mut db, JoinAlgo::Nojoin, pat, prov, &JoinOptions::default());
+                Row {
+                    label: format!("{} / {} ({pat},{prov})", shape.label(), org.label()),
+                    algo,
+                    plain: (plain.secs, plain.report.swap_faults),
+                    hybrid: (
+                        hybrid.secs,
+                        hybrid.report.partitions,
+                        hybrid.report.spill_pages,
+                    ),
+                    best_navigation_secs: nl.secs.min(nojoin.secs),
+                }
+            }
+        })
+        .collect();
+    let rows = run_cells(cell_jobs, jobs);
+    for r in &rows {
         eprintln!(
-            "  {algo:?} plain {:.1}s ({} faults) -> hybrid {:.1}s ({} parts, {} spill pages)",
-            plain.secs,
-            plain.report.swap_faults,
-            hybrid.secs,
-            hybrid.report.partitions,
-            hybrid.report.spill_pages
+            "  {:?} plain {:.1}s ({} faults) -> hybrid {:.1}s ({} parts, {} spill pages)",
+            r.algo, r.plain.0, r.plain.1, r.hybrid.0, r.hybrid.1, r.hybrid.2
         );
     }
     HybridFigure { rows, scale }

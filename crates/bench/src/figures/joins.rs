@@ -2,6 +2,7 @@
 
 use crate::harness::{build_db, run_join_cell, stat_record};
 use crate::paper;
+use crate::parallel::run_cells;
 use tq_query::{JoinAlgo, JoinOptions};
 use tq_statsdb::{Filter, StatsDb};
 use tq_workload::{Database, DbShape, Organization};
@@ -49,28 +50,40 @@ impl JoinFigure {
 }
 
 /// Runs all 16 measurements of one join figure (4 algorithms × 4
-/// selectivity cells) on a freshly built database.
-pub fn run_join_figure(shape: DbShape, org: Organization, scale: u32) -> JoinFigure {
-    let mut db = build_db(shape, org, scale);
-    run_join_figure_on(&mut db, scale)
+/// selectivity cells) on a freshly built database, fanning the cells
+/// across `jobs` workers.
+pub fn run_join_figure(shape: DbShape, org: Organization, scale: u32, jobs: usize) -> JoinFigure {
+    let db = build_db(shape, org, scale);
+    run_join_figure_on(&db, scale, jobs)
 }
 
-/// Like [`run_join_figure`], reusing an existing database.
-pub fn run_join_figure_on(db: &mut Database, scale: u32) -> JoinFigure {
+/// Like [`run_join_figure`], reusing an existing database as the
+/// master: every cell measures its own clone, so the master is left
+/// untouched and cells are order-independent.
+pub fn run_join_figure_on(db: &Database, scale: u32, jobs: usize) -> JoinFigure {
     let mut stats = StatsDb::new();
-    for (pat, prov) in CELLS {
-        for algo in JoinAlgo::all() {
-            let cell = run_join_cell(db, algo, pat, prov, &JoinOptions::default());
-            stats.insert(stat_record(db, &cell, pat, prov));
-            eprintln!(
-                "  ({pat:>2},{prov:>2}) {:<6} {:>12.2}s  results={} io={} swap={}",
-                algo.label(),
-                cell.secs,
-                cell.results,
-                cell.io.d2sc_read_pages,
-                cell.report.swap_faults,
-            );
-        }
+    let cells: Vec<_> = CELLS
+        .iter()
+        .flat_map(|&(pat, prov)| JoinAlgo::all().into_iter().map(move |algo| (pat, prov, algo)))
+        .map(|(pat, prov, algo)| {
+            move || {
+                let mut db = db.clone();
+                let cell = run_join_cell(&mut db, algo, pat, prov, &JoinOptions::default());
+                let stat = stat_record(&db, &cell, pat, prov);
+                (pat, prov, cell, stat)
+            }
+        })
+        .collect();
+    for (pat, prov, cell, stat) in run_cells(cells, jobs) {
+        stats.insert(stat);
+        eprintln!(
+            "  ({pat:>2},{prov:>2}) {:<6} {:>12.2}s  results={} io={} swap={}",
+            cell.algo.label(),
+            cell.secs,
+            cell.results,
+            cell.io.d2sc_read_pages,
+            cell.report.swap_faults,
+        );
     }
     JoinFigure {
         shape: db.config.shape,

@@ -7,6 +7,7 @@
 //! algorithms stay expensive even when every page is resident.
 
 use crate::harness::{run_join_cell, run_join_cell_warm};
+use crate::parallel::run_cells;
 use tq_query::{JoinAlgo, JoinOptions};
 use tq_workload::{build, BuildConfig, DbShape, Organization};
 
@@ -37,33 +38,42 @@ pub struct WarmFigure {
 /// database, so warm residency is actually possible — with both scaled
 /// together (the figure harness default) nothing ever stays warm and
 /// the comparison is vacuous.
-pub fn run(scale: u32) -> WarmFigure {
+pub fn run(scale: u32, jobs: usize) -> WarmFigure {
     let mut cfg = BuildConfig::scaled(DbShape::Db2, Organization::ClassClustered, scale);
     cfg.cache = tq_pagestore::CacheConfig::paper_default();
-    let mut db = build(&cfg);
-    let mut rows = Vec::new();
-    for cell in [(10u32, 10u32), (90, 90)] {
-        for algo in JoinAlgo::all() {
-            let cold = run_join_cell(&mut db, algo, cell.0, cell.1, &JoinOptions::default());
-            let warm = run_join_cell_warm(&mut db, algo, cell.0, cell.1, &JoinOptions::default());
-            assert_eq!(cold.results, warm.results);
-            eprintln!(
-                "  ({},{}) {:<6} cold {:>9.1}s/{:>7} pages   warm {:>9.1}s/{:>7} pages",
-                cell.0,
-                cell.1,
-                algo.label(),
-                cold.secs,
-                cold.io.d2sc_read_pages,
-                warm.secs,
-                warm.io.d2sc_read_pages
-            );
-            rows.push(Row {
-                cell,
-                algo,
-                cold: (cold.secs, cold.io.d2sc_read_pages),
-                warm: (warm.secs, warm.io.d2sc_read_pages),
-            });
-        }
+    let master = build(&cfg);
+    let cells: Vec<_> = [(10u32, 10u32), (90, 90)]
+        .iter()
+        .flat_map(|&cell| JoinAlgo::all().into_iter().map(move |algo| (cell, algo)))
+        .map(|(cell, algo)| {
+            let master = &master;
+            move || {
+                let mut db = master.clone();
+                let cold = run_join_cell(&mut db, algo, cell.0, cell.1, &JoinOptions::default());
+                let warm =
+                    run_join_cell_warm(&mut db, algo, cell.0, cell.1, &JoinOptions::default());
+                assert_eq!(cold.results, warm.results);
+                Row {
+                    cell,
+                    algo,
+                    cold: (cold.secs, cold.io.d2sc_read_pages),
+                    warm: (warm.secs, warm.io.d2sc_read_pages),
+                }
+            }
+        })
+        .collect();
+    let rows = run_cells(cells, jobs);
+    for r in &rows {
+        eprintln!(
+            "  ({},{}) {:<6} cold {:>9.1}s/{:>7} pages   warm {:>9.1}s/{:>7} pages",
+            r.cell.0,
+            r.cell.1,
+            r.algo.label(),
+            r.cold.0,
+            r.cold.1,
+            r.warm.0,
+            r.warm.1
+        );
     }
     WarmFigure { rows, scale }
 }

@@ -12,16 +12,35 @@ use tq_workload::{
 ///
 /// A set-but-unparseable value is a hard error: silently falling back
 /// to paper scale would launch a multi-minute run the user did not
-/// ask for.
-pub fn scale_from_env() -> u32 {
-    match std::env::var("TQ_SCALE") {
-        Err(_) => 1,
+/// ask for. The error is returned (not exited on) so library callers
+/// and tests stay testable; the figure binaries report it and exit 2.
+pub fn scale_from_env() -> Result<u32, String> {
+    positive_from_env("TQ_SCALE", 1, "the figure scale divisor")
+}
+
+/// Reads the worker count from `TQ_JOBS`.
+///
+/// Defaults to the machine's available parallelism; `1` runs every
+/// cell inline on the main thread (the exact pre-parallel behaviour).
+/// Cells are deterministic either way — any value produces
+/// byte-identical figures.
+pub fn jobs_from_env() -> Result<usize, String> {
+    let default = std::thread::available_parallelism()
+        .map(|n| n.get() as u32)
+        .unwrap_or(1);
+    positive_from_env("TQ_JOBS", default, "the figure worker count").map(|n| n as usize)
+}
+
+/// Shared parser: a positive integer from `var`, or `default` when
+/// unset.
+fn positive_from_env(var: &str, default: u32, what: &str) -> Result<u32, String> {
+    match std::env::var(var) {
+        Err(_) => Ok(default),
         Ok(raw) => match raw.parse::<u32>() {
-            Ok(n) if n >= 1 => n,
-            _ => {
-                eprintln!("TQ_SCALE must be a positive integer, got {raw:?}");
-                std::process::exit(2);
-            }
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(format!(
+                "{var} ({what}) must be a positive integer, got {raw:?}"
+            )),
         },
     }
 }

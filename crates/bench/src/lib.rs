@@ -14,5 +14,23 @@ pub mod analysis;
 pub mod figures;
 pub mod harness;
 pub mod paper;
+pub mod parallel;
 
-pub use harness::{build_db, join_spec, physical_profile, run_join_cell, scale_from_env, JoinCell};
+pub use harness::{
+    build_db, jobs_from_env, join_spec, physical_profile, run_join_cell, scale_from_env, JoinCell,
+};
+pub use parallel::run_cells;
+
+/// Reads `TQ_SCALE` and `TQ_JOBS`, exiting with status 2 on a bad
+/// value — the standard prologue of every figure binary.
+pub fn env_config_or_exit() -> (u32, usize) {
+    let scale = scale_from_env().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let jobs = jobs_from_env().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    (scale, jobs)
+}

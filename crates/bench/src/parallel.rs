@@ -1,0 +1,143 @@
+//! A deterministic worker pool for figure cells.
+//!
+//! Every figure is a grid of independent cold-run measurements; each
+//! cell simulates its own machine (a cloned [`Database`] with its own
+//! disk, caches and clock), so cells can run on any thread in any
+//! order without changing a single simulated number. [`run_cells`]
+//! fans the cells across `worker_count` threads and re-collects the
+//! results *in job order*, so the printed tables and the stored
+//! [`Stat`](tq_statsdb::Stat) records are byte-identical to a serial
+//! run at any `TQ_JOBS` value.
+//!
+//! [`Database`]: tq_workload::Database
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Runs every job and returns the results in job order.
+///
+/// With `worker_count <= 1` (or fewer than two jobs) the jobs run
+/// inline on the calling thread — the exact serial behaviour, no
+/// threads spawned. Otherwise `min(worker_count, jobs.len())` scoped
+/// threads pull jobs from a shared counter and send `(index, result)`
+/// pairs through a channel; the caller reorders them, so scheduling
+/// can never leak into the output.
+///
+/// A panicking job panics the caller (propagated by
+/// [`std::thread::scope`] when the worker is joined).
+pub fn run_cells<J, T>(jobs: Vec<J>, worker_count: usize) -> Vec<T>
+where
+    J: FnOnce() -> T + Send,
+    T: Send,
+{
+    if worker_count <= 1 || jobs.len() <= 1 {
+        return jobs.into_iter().map(|job| job()).collect();
+    }
+    let n = jobs.len();
+    // Cells behind Options so each worker can move its job out.
+    let cells: Vec<std::sync::Mutex<Option<J>>> = jobs
+        .into_iter()
+        .map(|job| std::sync::Mutex::new(Some(job)))
+        .collect();
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut workers = Vec::new();
+        for _ in 0..worker_count.min(n) {
+            let tx = tx.clone();
+            let next = &next;
+            let cells = &cells;
+            workers.push(scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= cells.len() {
+                    break;
+                }
+                let job = cells[i].lock().unwrap().take().expect("job claimed once");
+                // A send can only fail if the receiver is gone, which
+                // means another worker panicked; stop quietly — the
+                // join below re-raises that panic.
+                if tx.send((i, job())).is_err() {
+                    break;
+                }
+            }));
+        }
+        drop(tx);
+        for (i, value) in rx {
+            results[i] = Some(value);
+        }
+        // Join explicitly so a panicking cell re-raises with its own
+        // message (the scope's automatic join would replace it with a
+        // generic one).
+        for worker in workers {
+            if let Err(payload) = worker.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every job reported"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_job_list_is_fine() {
+        let out: Vec<u32> = run_cells(Vec::<Box<dyn FnOnce() -> u32 + Send>>::new(), 4);
+        assert!(out.is_empty());
+        let out: Vec<u32> = run_cells(Vec::<Box<dyn FnOnce() -> u32 + Send>>::new(), 1);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn results_come_back_in_job_order() {
+        for workers in [1usize, 2, 3, 8, 64] {
+            let jobs: Vec<_> = (0..17u64)
+                .map(|i| {
+                    move || {
+                        // Stagger finish times so out-of-order arrival
+                        // actually happens under multiple workers.
+                        std::thread::sleep(std::time::Duration::from_millis((17 - i) % 5));
+                        i * i
+                    }
+                })
+                .collect();
+            let out = run_cells(jobs, workers);
+            assert_eq!(out, (0..17u64).map(|i| i * i).collect::<Vec<_>>(), "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn more_workers_than_jobs() {
+        let jobs: Vec<_> = (0..3u32).map(|i| move || i + 100).collect();
+        assert_eq!(run_cells(jobs, 32), vec![100, 101, 102]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell 2 exploded")]
+    fn worker_panics_propagate() {
+        let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> = (0..4u32)
+            .map(|i| {
+                Box::new(move || {
+                    if i == 2 {
+                        panic!("cell 2 exploded");
+                    }
+                    i
+                }) as Box<dyn FnOnce() -> u32 + Send>
+            })
+            .collect();
+        let _ = run_cells(jobs, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "inline panic")]
+    fn inline_panics_propagate_too() {
+        let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> =
+            vec![Box::new(|| panic!("inline panic"))];
+        let _ = run_cells(jobs, 1);
+    }
+}

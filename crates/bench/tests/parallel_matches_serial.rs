@@ -1,0 +1,60 @@
+//! The parallel figure harness must be invisible in the numbers:
+//! running the same figure serially and across workers yields
+//! bit-identical `Stat` records (simulated seconds are `f64`-equal,
+//! every I/O counter matches exactly).
+
+use tq_bench::figures::{fig06, joins};
+use tq_bench::{jobs_from_env, scale_from_env};
+use tq_workload::{DbShape, Organization};
+
+#[test]
+fn join_figure_stats_identical_at_any_worker_count() {
+    let db = tq_bench::build_db(DbShape::Db2, Organization::ClassClustered, 1000);
+    let serial = joins::run_join_figure_on(&db, 1000, 1);
+    let parallel = joins::run_join_figure_on(&db, 1000, 4);
+    assert_eq!(serial.stats.len(), 16);
+    // Bit-identical records: elapsed simulated time, page counts, miss
+    // rates, numtest assignment — everything.
+    assert_eq!(serial.stats.all(), parallel.stats.all());
+    // And the printed table is byte-identical too.
+    assert_eq!(
+        joins::print_join_figure(&serial),
+        joins::print_join_figure(&parallel)
+    );
+}
+
+#[test]
+fn fig06_rows_identical_at_any_worker_count() {
+    let serial = fig06::run(2000, 1);
+    let parallel = fig06::run(2000, 3);
+    assert_eq!(serial.stats.all(), parallel.stats.all());
+    assert_eq!(fig06::print(&serial), fig06::print(&parallel));
+}
+
+/// `TQ_SCALE`/`TQ_JOBS` parsing: defaults when unset, `Err` (not a
+/// process exit) on garbage. One test owns both variables so no other
+/// test in this binary races the environment.
+#[test]
+fn env_knobs_parse_or_error() {
+    for var in ["TQ_SCALE", "TQ_JOBS"] {
+        std::env::remove_var(var);
+    }
+    assert_eq!(scale_from_env(), Ok(1));
+    assert!(jobs_from_env().unwrap() >= 1);
+
+    std::env::set_var("TQ_SCALE", "250");
+    assert_eq!(scale_from_env(), Ok(250));
+    std::env::set_var("TQ_SCALE", "0");
+    assert!(scale_from_env().unwrap_err().contains("TQ_SCALE"));
+    std::env::set_var("TQ_SCALE", "lots");
+    assert!(scale_from_env().unwrap_err().contains("positive integer"));
+
+    std::env::set_var("TQ_JOBS", "8");
+    assert_eq!(jobs_from_env(), Ok(8));
+    std::env::set_var("TQ_JOBS", "-3");
+    assert!(jobs_from_env().unwrap_err().contains("TQ_JOBS"));
+
+    for var in ["TQ_SCALE", "TQ_JOBS"] {
+        std::env::remove_var(var);
+    }
+}

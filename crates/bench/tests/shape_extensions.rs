@@ -8,7 +8,7 @@ use tq_bench::figures::{assoc, hybrid};
 /// by a wide margin on the swap-bound cells.
 #[test]
 fn hybrid_hashing_rescues_the_swap_cells() {
-    let fig = hybrid::run(100);
+    let fig = hybrid::run(100, 1);
     for row in &fig.rows {
         assert!(row.plain.1 > 0, "{}: the plain cell must swap", row.label);
         assert!(row.hybrid.1 > 1, "{}: hybrid must partition", row.label);
@@ -43,7 +43,7 @@ fn hybrid_hashing_rescues_the_swap_cells() {
 /// selections like class clustering, navigation like composition.
 #[test]
 fn association_ordered_matches_the_papers_prediction() {
-    let fig = assoc::run(100);
+    let fig = assoc::run(100, 1);
     // Selections: like class (within 25%), far better than raw
     // composition would be without the shared-file discount.
     let sel_ratio = fig.assoc.selection_secs / fig.class.selection_secs;

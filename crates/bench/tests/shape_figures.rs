@@ -14,7 +14,7 @@ use tq_workload::{DbShape, Organization};
 /// Figure 6: the unclustered-index crossover sits at low selectivity.
 #[test]
 fn fig06_index_crossover_at_low_selectivity() {
-    let fig = fig06::run(100);
+    let fig = fig06::run(100, 1);
     // Below the crossover the index reads fewer pages; above, more.
     let crossover = fig06::crossover_permille(&fig)
         .expect("the index must start losing on pages at some selectivity");
@@ -35,7 +35,7 @@ fn fig06_index_crossover_at_low_selectivity() {
 /// every selectivity from 10% to 90%.
 #[test]
 fn fig07_sorted_index_always_wins() {
-    let fig = fig07::run(100);
+    let fig = fig07::run(100, 1);
     for row in &fig.rows {
         assert!(
             row.sorted_secs < row.scan_secs,
@@ -56,7 +56,7 @@ fn fig07_sorted_index_always_wins() {
 /// comparable; NL dreadful.
 #[test]
 fn fig11_class_1to1000_shape() {
-    let fig = joins::run_join_figure(DbShape::Db1, Organization::ClassClustered, 50);
+    let fig = joins::run_join_figure(DbShape::Db1, Organization::ClassClustered, 50, 1);
     for (pat, prov) in joins::CELLS {
         let ranked = fig.ranking(pat, prov);
         let best = ranked[0].1;
@@ -91,7 +91,7 @@ fn fig11_class_1to1000_shape() {
 /// selectivities; at (90,90) the tables swap and NOJOIN wins.
 #[test]
 fn fig12_class_1to3_shape() {
-    let fig = joins::run_join_figure(DbShape::Db2, Organization::ClassClustered, 100);
+    let fig = joins::run_join_figure(DbShape::Db2, Organization::ClassClustered, 100, 1);
     // (10,10): hash joins far ahead of navigation.
     let ranked = fig.ranking(10, 10);
     assert!(matches!(ranked[0].0, JoinAlgo::Phj | JoinAlgo::Chj));
@@ -111,11 +111,11 @@ fn fig12_class_1to3_shape() {
 /// everywhere; the Fig 14 (10,90) exception goes to NOJOIN.
 #[test]
 fn fig13_14_composition_shape() {
-    let db1 = joins::run_join_figure(DbShape::Db1, Organization::Composition, 50);
+    let db1 = joins::run_join_figure(DbShape::Db1, Organization::Composition, 50, 1);
     for (pat, prov) in [(10, 10), (90, 10)] {
         assert_eq!(db1.winner(pat, prov).0, JoinAlgo::Nl, "db1 ({pat},{prov})");
     }
-    let db2 = joins::run_join_figure(DbShape::Db2, Organization::Composition, 100);
+    let db2 = joins::run_join_figure(DbShape::Db2, Organization::Composition, 100, 1);
     for (pat, prov) in [(10, 10), (90, 10), (90, 90)] {
         assert_eq!(db2.winner(pat, prov).0, JoinAlgo::Nl, "db2 ({pat},{prov})");
     }
@@ -134,8 +134,8 @@ fn fig13_14_composition_shape() {
 /// but crowns the same kind of winner.
 #[test]
 fn random_org_slower_same_winners() {
-    let class = joins::run_join_figure(DbShape::Db2, Organization::ClassClustered, 200);
-    let random = joins::run_join_figure(DbShape::Db2, Organization::Randomized, 200);
+    let class = joins::run_join_figure(DbShape::Db2, Organization::ClassClustered, 200, 1);
+    let random = joins::run_join_figure(DbShape::Db2, Organization::Randomized, 200, 1);
     let (cw, ct) = class.winner(10, 10);
     let (rw, rt) = random.winner(10, 10);
     assert!(matches!(cw, JoinAlgo::Phj | JoinAlgo::Chj));

@@ -157,14 +157,15 @@ impl Engine {
         kept as f64 / count as f64
     }
 
-    /// Pages of the data file holding a collection's members (derived
-    /// from its first member's rid).
-    fn data_pages(&mut self, collection: &str) -> u64 {
-        let mut cursor = self.store.collection_cursor(collection);
-        match cursor.next(self.store.stack_mut()) {
-            Some(rid) => self.store.stack().disk().file_len(rid.page.file) as u64,
-            None => 0,
-        }
+    /// Data pages a scan of the collection touches, from the catalog.
+    ///
+    /// This must be the collection's *own* page count, not its file's:
+    /// under composition clustering both classes share one file, and
+    /// charging the parent scan with the children's pages (or vice
+    /// versa) made the planner believe every scan costs the whole
+    /// file.
+    fn data_pages(&self, collection: &str) -> u64 {
+        self.store.collection(collection).data_pages
     }
 
     /// Detects composition placement by sampling: are parents' first

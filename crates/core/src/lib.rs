@@ -33,3 +33,20 @@ pub use join::{hash_table_bytes, run_join, JoinContext, JoinOptions, JoinReport}
 pub use select::{index_scan, seq_scan, sorted_index_scan, SelectReport};
 pub use spec::{AttrPredicate, CmpOp, HashKeyMode, JoinAlgo, ResultMode, Selection, TreeJoinSpec};
 pub use swap::SwapSim;
+
+#[cfg(test)]
+mod thread_safety {
+    use super::*;
+
+    /// Compile-time proof that a whole engine (store + indexes +
+    /// planner) can move to a worker thread.
+    #[test]
+    fn engine_is_send_and_sync() {
+        fn assert_send<T: Send>() {}
+        fn assert_sync<T: Sync>() {}
+        assert_send::<Engine>();
+        assert_sync::<Engine>();
+        assert_send::<JoinReport>();
+        assert_send::<SelectReport>();
+    }
+}

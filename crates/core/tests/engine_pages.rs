@@ -1,0 +1,179 @@
+//! Regression: the engine's per-collection page counts under shared
+//! files.
+//!
+//! `Engine::data_pages` used to report the whole data *file's* length
+//! as a collection's scan pages. Under composition clustering both
+//! classes live in one file, so the planner believed a scan of the
+//! (small) parent collection cost as much as scanning every child too
+//! — inflating both sides of every `choose_join` estimate. The count
+//! now comes from the catalog: the distinct pages actually holding the
+//! collection's members.
+
+use tq_index::BTreeIndex;
+use tq_objstore::{AttrType, ClassId, ObjectStore, Rid, Schema, SetValue, Value};
+use tq_pagestore::{CacheConfig, CostModel, StorageStack};
+use tq_query::engine::Engine;
+use tq_query::{ResultMode, TreeJoinSpec};
+
+/// Builds a composition-clustered store: each parent is appended
+/// immediately followed by its (padded, page-filling) children, all in
+/// one shared file — parents end up on a small fraction of the pages.
+fn composition_engine(parents: usize, fanout: usize) -> (Engine, Vec<Rid>, Vec<Rid>) {
+    let mut schema = Schema::new();
+    let parent = schema.add_class(
+        "P",
+        vec![("k", AttrType::Int), ("kids", AttrType::SetRef(ClassId(1)))],
+    );
+    let child = schema.add_class(
+        "C",
+        vec![
+            ("k", AttrType::Int),
+            ("pad", AttrType::Str),
+            ("up", AttrType::Ref(parent)),
+        ],
+    );
+    let stack = StorageStack::new(CostModel::sparc20(), CacheConfig::default());
+    let mut store = ObjectStore::new(schema, stack);
+    let file = store.create_file("objects");
+    let pad = "x".repeat(200);
+    let mut parent_rids = Vec::new();
+    let mut child_rids = Vec::new();
+    let mut next_child_key = 0i32;
+    for i in 0..parents {
+        let placeholder = SetValue::Inline(vec![Rid::nil(); fanout]);
+        let prid = store.insert(
+            file,
+            parent,
+            &[Value::Int(i as i32), Value::Set(placeholder)],
+            true,
+        );
+        let mut kids = Vec::new();
+        for _ in 0..fanout {
+            let crid = store.insert(
+                file,
+                child,
+                &[
+                    Value::Int(next_child_key),
+                    Value::Str(pad.clone()),
+                    Value::Ref(prid),
+                ],
+                true,
+            );
+            next_child_key += 1;
+            kids.push(crid);
+            child_rids.push(crid);
+        }
+        store.update(
+            prid,
+            &[Value::Int(i as i32), Value::Set(SetValue::Inline(kids))],
+        );
+        parent_rids.push(prid);
+    }
+    store.create_collection("Ps", parent, &parent_rids);
+    store.create_collection("Cs", child, &child_rids);
+    let p_entries: Vec<(i64, Rid)> = parent_rids
+        .iter()
+        .enumerate()
+        .map(|(i, &r)| (i as i64, r))
+        .collect();
+    let parent_index = BTreeIndex::bulk_build(store.stack_mut(), 1, "pi", true, &p_entries);
+    let c_entries: Vec<(i64, Rid)> = child_rids
+        .iter()
+        .enumerate()
+        .map(|(i, &r)| (i as i64, r))
+        .collect();
+    let child_index = BTreeIndex::bulk_build(store.stack_mut(), 2, "ci", false, &c_entries);
+    let mut engine = Engine::new(store);
+    engine.register_index(parent_index, parent, 0);
+    engine.register_index(child_index, child, 0);
+    (engine, parent_rids, child_rids)
+}
+
+fn distinct_pages(rids: &[Rid]) -> u64 {
+    let mut pages: Vec<_> = rids.iter().map(|r| r.page).collect();
+    pages.sort_unstable();
+    pages.dedup();
+    pages.len() as u64
+}
+
+#[test]
+fn composition_join_profile_counts_each_collections_own_pages() {
+    let (mut engine, parent_rids, child_rids) = composition_engine(24, 40);
+    let spec = TreeJoinSpec {
+        parents: "Ps".into(),
+        children: "Cs".into(),
+        parent_key: 0,
+        parent_set: 1,
+        child_key: 0,
+        child_parent: 2,
+        parent_project: 0,
+        child_project: 0,
+        parent_key_limit: 24,
+        child_key_limit: 24 * 40,
+        result_mode: ResultMode::Transient,
+    };
+    let profile = engine.profile_for(&spec).expect("profile");
+    assert!(profile.composition, "the layout must read as composition");
+
+    let file = parent_rids[0].page.file;
+    let file_pages = engine.store().stack().disk().file_len(file) as u64;
+    let parent_pages = distinct_pages(&parent_rids);
+    let child_pages = distinct_pages(&child_rids);
+
+    // The ground truth: the catalog-derived counts match the rids.
+    assert_eq!(profile.parent_scan_pages, parent_pages);
+    assert_eq!(profile.child_scan_pages, child_pages);
+
+    // The regression: the parent side used to be charged the whole
+    // shared file. With 40 padded children per parent, parents occupy
+    // only a sliver of it.
+    assert!(
+        profile.parent_scan_pages < file_pages / 2,
+        "parent scan {} pages must be far below the shared file's {}",
+        profile.parent_scan_pages,
+        file_pages
+    );
+    // And neither side exceeds the file it lives in.
+    assert!(profile.child_scan_pages <= file_pages);
+}
+
+#[test]
+fn class_clustered_profile_is_unchanged_by_the_fix() {
+    // Separate files per class: the collection's own pages and its
+    // file are the same thing (modulo fill slack), so the fix must not
+    // move these numbers materially.
+    use tq_workload::{build, BuildConfig, DbShape, Organization};
+    use tq_workload::{patient_attr, provider_attr};
+    let db = build(&BuildConfig::scaled(
+        DbShape::Db2,
+        Organization::ClassClustered,
+        1000,
+    ));
+    let derby = db.derby.clone();
+    let (upin, mrn) = (db.idx_provider_upin.clone(), db.idx_patient_mrn.clone());
+    let mut engine = Engine::new(db.store);
+    engine.register_index(upin, derby.provider, provider_attr::UPIN);
+    engine.register_index(mrn, derby.patient, patient_attr::MRN);
+    let spec = TreeJoinSpec {
+        parents: "Providers".into(),
+        children: "Patients".into(),
+        parent_key: provider_attr::UPIN,
+        parent_set: provider_attr::CLIENTS,
+        child_key: patient_attr::MRN,
+        child_parent: patient_attr::PCP,
+        parent_project: provider_attr::NAME,
+        child_project: patient_attr::AGE,
+        parent_key_limit: 100,
+        child_key_limit: 300,
+        result_mode: ResultMode::Transient,
+    };
+    let profile = engine.profile_for(&spec).expect("profile");
+    let disk = engine.store().stack().disk();
+    let p_file = disk.file_len(disk.file_by_name("providers").unwrap()) as u64;
+    let c_file = disk.file_len(disk.file_by_name("patients").unwrap()) as u64;
+    assert!(profile.parent_scan_pages <= p_file);
+    assert!(profile.child_scan_pages <= c_file);
+    // Within a page of the file size: only trailing slack differs.
+    assert!(p_file - profile.parent_scan_pages <= 1);
+    assert!(c_file - profile.child_scan_pages <= 1);
+}

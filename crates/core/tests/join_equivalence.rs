@@ -63,10 +63,16 @@ fn all_algorithms_agree_everywhere() {
 
 #[test]
 fn result_cardinality_tracks_selectivities() {
+    // Scale 100 (~25k patients), not smaller: the (10,10) cell's
+    // cardinality is a sum of ~n/100 near-Bernoulli terms, so its
+    // relative standard deviation is ~sqrt(100/n) — at scale 500 that
+    // is ~13% and the 0.8..1.25 band is barely 2 sigma wide, making
+    // the test a coin flip over the RNG stream. At this scale the
+    // band is >3 sigma.
     let mut db = build(&BuildConfig::scaled(
         DbShape::Db2,
         Organization::ClassClustered,
-        500,
+        100,
     ));
     let n = db.patient_count as f64;
     for (pat, prov) in [(10, 10), (50, 50), (90, 90), (10, 90)] {

@@ -1,13 +1,14 @@
-//! Property tests: every join algorithm (plus hybrid and sort-merge
-//! variants) against a brute-force oracle, over randomized tree shapes
-//! built directly on the object store.
+//! Randomized model tests: every join algorithm (plus hybrid and
+//! sort-merge variants) against a brute-force oracle, over randomized
+//! tree shapes built directly on the object store. Deterministically
+//! seeded.
 
-use proptest::prelude::*;
 use tq_index::BTreeIndex;
 use tq_objstore::{AttrType, ClassId, ObjectStore, Rid, Schema, SetValue, Value};
 use tq_pagestore::{CacheConfig, CostModel, StorageStack};
 use tq_query::join::{run_join, smj, JoinContext, JoinOptions};
 use tq_query::{HashKeyMode, JoinAlgo, ResultMode, TreeJoinSpec};
+use tq_simrng::SimRng;
 
 const P_KEY: usize = 0; // parent key attr
 const P_SET: usize = 1;
@@ -128,25 +129,36 @@ fn oracle(edges: &[(i64, i64)], k_parent: i64, k_child: i64) -> Vec<(i64, i64)> 
     v
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// All algorithms and option combinations equal the oracle.
-    #[test]
-    fn joins_equal_oracle(
-        fanouts in proptest::collection::vec(0u8..6, 1..30),
-        child_keys in proptest::collection::vec(-20i16..20, 1..40),
-        k_parent in -2i64..32,
-        k_child in -25i64..25,
-    ) {
+/// All algorithms and option combinations equal the oracle.
+#[test]
+fn joins_equal_oracle() {
+    for case in 0..48u64 {
+        let mut rng = SimRng::seed_from_u64(0x0A1C_1E00 + case);
+        let fanouts: Vec<u8> = (0..1 + rng.index(29))
+            .map(|_| rng.below(6) as u8)
+            .collect();
+        let child_keys: Vec<i16> = (0..1 + rng.index(39))
+            .map(|_| rng.range_i64(-20, 19) as i16)
+            .collect();
+        let k_parent = rng.range_i64(-2, 31);
+        let k_child = rng.range_i64(-25, 24);
         let mut t = build_tree(&fanouts, &child_keys);
         let want = oracle(&t.edges, k_parent, k_child);
         let s = spec(k_parent, k_child);
         let option_sets = [
             JoinOptions::default(),
-            JoinOptions { sort_index_rids: false, ..JoinOptions::default() },
-            JoinOptions { hash_key: HashKeyMode::Handle, ..JoinOptions::default() },
-            JoinOptions { hybrid_hashing: true, ..JoinOptions::default() },
+            JoinOptions {
+                sort_index_rids: false,
+                ..JoinOptions::default()
+            },
+            JoinOptions {
+                hash_key: HashKeyMode::Handle,
+                ..JoinOptions::default()
+            },
+            JoinOptions {
+                hybrid_hashing: true,
+                ..JoinOptions::default()
+            },
         ];
         for opts in option_sets {
             for algo in JoinAlgo::all() {
@@ -159,7 +171,7 @@ proptest! {
                 t.store.end_of_query();
                 let mut got = report.pairs.unwrap();
                 got.sort_unstable();
-                prop_assert_eq!(&got, &want, "{:?} with {:?}", algo, opts);
+                assert_eq!(&got, &want, "{algo:?} with {opts:?}");
             }
             // The resurrected sort-merge join too.
             let mut ctx = JoinContext {
@@ -171,17 +183,21 @@ proptest! {
             t.store.end_of_query();
             let mut got = report.pairs.unwrap();
             got.sort_unstable();
-            prop_assert_eq!(&got, &want, "SMJ with {:?}", opts);
+            assert_eq!(&got, &want, "SMJ with {opts:?}");
         }
     }
+}
 
-    /// Handle accounting balances across any join: after end_of_query,
-    /// nothing stays pinned.
-    #[test]
-    fn no_handle_leaks(
-        fanouts in proptest::collection::vec(0u8..5, 1..15),
-        k_child in 0i64..20,
-    ) {
+/// Handle accounting balances across any join: after end_of_query,
+/// nothing stays pinned.
+#[test]
+fn no_handle_leaks() {
+    for case in 0..48u64 {
+        let mut rng = SimRng::seed_from_u64(0x1EA6_0000 + case);
+        let fanouts: Vec<u8> = (0..1 + rng.index(14))
+            .map(|_| rng.below(5) as u8)
+            .collect();
+        let k_child = rng.range_i64(0, 19);
         let mut t = build_tree(&fanouts, &[1, 5, 9, 13]);
         let s = spec(fanouts.len() as i64, k_child);
         for algo in JoinAlgo::all() {
@@ -195,10 +211,15 @@ proptest! {
             let h = t.store.handle_stats();
             // A revival reuses an existing handle, so the teardown
             // invariant is frees == allocations (once drained).
-            prop_assert_eq!(h.allocations, h.frees,
-                "{:?}: every allocated handle must be torn down exactly once", algo);
-            prop_assert_eq!(h.unrefs, h.allocations + h.touches + h.revivals,
-                "{:?}: every pin must be dropped", algo);
+            assert_eq!(
+                h.allocations, h.frees,
+                "{algo:?}: every allocated handle must be torn down exactly once"
+            );
+            assert_eq!(
+                h.unrefs,
+                h.allocations + h.touches + h.revivals,
+                "{algo:?}: every pin must be dropped"
+            );
         }
     }
 }

@@ -23,3 +23,18 @@ pub mod node;
 pub mod tree;
 
 pub use tree::{BTreeIndex, IndexCursor};
+
+#[cfg(test)]
+mod thread_safety {
+    use super::*;
+
+    /// Compile-time proof that indexes can be cloned onto worker
+    /// threads alongside their store.
+    #[test]
+    fn btree_index_is_send_and_sync() {
+        fn assert_send<T: Send>() {}
+        fn assert_sync<T: Sync>() {}
+        assert_send::<BTreeIndex>();
+        assert_sync::<BTreeIndex>();
+    }
+}

@@ -1,10 +1,11 @@
-//! Property tests: the B+-tree against a `BTreeMap` reference model.
+//! Randomized model tests: the B+-tree against a `BTreeMap` reference
+//! model. Deterministically seeded.
 
-use proptest::prelude::*;
 use std::collections::BTreeMap;
 use tq_index::BTreeIndex;
 use tq_objstore::Rid;
 use tq_pagestore::{CacheConfig, CostModel, FileId, PageId, StorageStack};
+use tq_simrng::SimRng;
 
 fn stack() -> StorageStack {
     StorageStack::new(CostModel::free(), CacheConfig::default())
@@ -27,15 +28,17 @@ fn model_range(model: &BTreeMap<i64, Vec<u32>>, lo: i64, hi: i64) -> Vec<(i64, u
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Incremental inserts agree with a BTreeMap on every range query.
-    #[test]
-    fn inserts_match_model(
-        keys in proptest::collection::vec(-50i64..50, 1..600),
-        ranges in proptest::collection::vec((-60i64..60, -60i64..60), 1..10),
-    ) {
+/// Incremental inserts agree with a BTreeMap on every range query.
+#[test]
+fn inserts_match_model() {
+    for case in 0..64u64 {
+        let mut rng = SimRng::seed_from_u64(0x7EE0_0000 + case);
+        let keys: Vec<i64> = (0..1 + rng.index(599))
+            .map(|_| rng.range_i64(-50, 49))
+            .collect();
+        let ranges: Vec<(i64, i64)> = (0..1 + rng.index(9))
+            .map(|_| (rng.range_i64(-60, 59), rng.range_i64(-60, 59)))
+            .collect();
         let mut s = stack();
         let mut tree = BTreeIndex::new_empty(&mut s, 1, "t", false);
         let mut model: BTreeMap<i64, Vec<u32>> = BTreeMap::new();
@@ -43,7 +46,7 @@ proptest! {
             tree.insert(&mut s, k, rid(i as u32));
             model.entry(k).or_default().push(i as u32);
         }
-        prop_assert_eq!(tree.entry_count(), keys.len() as u64);
+        assert_eq!(tree.entry_count(), keys.len() as u64);
         for (a, b) in ranges {
             let (lo, hi) = (a.min(b), a.max(b));
             let got: Vec<(i64, u32)> = tree
@@ -57,17 +60,21 @@ proptest! {
             let mut got_sorted = got.clone();
             got_sorted.sort_unstable();
             want.sort_unstable();
-            prop_assert_eq!(got_sorted, want);
+            assert_eq!(got_sorted, want);
             // But keys themselves must be ascending.
-            prop_assert!(got.windows(2).all(|w| w[0].0 <= w[1].0));
+            assert!(got.windows(2).all(|w| w[0].0 <= w[1].0));
         }
     }
+}
 
-    /// Random interleaving of inserts and removes agrees with the model.
-    #[test]
-    fn removes_match_model(
-        ops in proptest::collection::vec((any::<bool>(), -30i64..30, 0u32..50), 1..400),
-    ) {
+/// Random interleaving of inserts and removes agrees with the model.
+#[test]
+fn removes_match_model() {
+    for case in 0..64u64 {
+        let mut rng = SimRng::seed_from_u64(0x4E30_0000 + case);
+        let ops: Vec<(bool, i64, u32)> = (0..1 + rng.index(399))
+            .map(|_| (rng.bool(), rng.range_i64(-30, 29), rng.range_u32(0, 49)))
+            .collect();
         let mut s = stack();
         let mut tree = BTreeIndex::new_empty(&mut s, 1, "t", false);
         let mut model: Vec<(i64, u32)> = Vec::new();
@@ -78,12 +85,12 @@ proptest! {
             } else {
                 let expect = model.iter().position(|&(mk, mn)| mk == k && mn == n);
                 let got = tree.remove(&mut s, k, rid(n));
-                prop_assert_eq!(got, expect.is_some(), "remove ({},{})", k, n);
+                assert_eq!(got, expect.is_some(), "remove ({k},{n})");
                 if let Some(at) = expect {
                     model.remove(at);
                 }
             }
-            prop_assert_eq!(tree.entry_count() as usize, model.len());
+            assert_eq!(tree.entry_count() as usize, model.len());
         }
         let mut got: Vec<(i64, u32)> = tree
             .scan_all(&mut s)
@@ -93,21 +100,29 @@ proptest! {
             .collect();
         got.sort_unstable();
         model.sort_unstable();
-        prop_assert_eq!(got, model);
+        assert_eq!(got, model);
     }
+}
 
-    /// Bulk build equals incremental insert of the same entries.
-    #[test]
-    fn bulk_equals_incremental(mut keys in proptest::collection::vec(-1000i64..1000, 1..800)) {
+/// Bulk build equals incremental insert of the same entries.
+#[test]
+fn bulk_equals_incremental() {
+    for case in 0..64u64 {
+        let mut rng = SimRng::seed_from_u64(0xB01C_0000 + case);
+        let mut keys: Vec<i64> = (0..1 + rng.index(799))
+            .map(|_| rng.range_i64(-1000, 999))
+            .collect();
         let mut s = stack();
-        let mut entries: Vec<(i64, Rid)> =
-            keys.iter().enumerate().map(|(i, &k)| (k, rid(i as u32))).collect();
+        let mut entries: Vec<(i64, Rid)> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (k, rid(i as u32)))
+            .collect();
         entries.sort_by_key(|&(k, _)| k);
         let bulk = BTreeIndex::bulk_build(&mut s, 1, "b", false, &entries);
         let mut inc = BTreeIndex::new_empty(&mut s, 2, "i", false);
         keys.sort_unstable();
-        for (i, &k) in keys.iter().enumerate() {
-            let _ = i;
+        for &k in keys.iter() {
             inc.insert(&mut s, k, rid(0));
         }
         let bulk_keys: Vec<i64> = bulk
@@ -122,6 +137,6 @@ proptest! {
             .into_iter()
             .map(|(k, _)| k)
             .collect();
-        prop_assert_eq!(bulk_keys, inc_keys);
+        assert_eq!(bulk_keys, inc_keys);
     }
 }

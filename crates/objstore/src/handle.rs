@@ -70,6 +70,7 @@ impl HandleStats {
 }
 
 /// The handle table: pin-counted live handles plus a delayed-free pool.
+#[derive(Clone)]
 pub struct HandleTable {
     live: HashMap<Rid, u32>,
     zombies: LruCache<Rid>,

@@ -38,3 +38,20 @@ pub use store::{
     CollectionInfo, Fetched, ObjectStore, SetCursor, WideningReport, DEFAULT_FILL_LIMIT,
 };
 pub use value::{SetValue, Value};
+
+#[cfg(test)]
+mod thread_safety {
+    use super::*;
+
+    /// Compile-time proof that a store clone can run on a worker
+    /// thread (per-cell figure measurements).
+    #[test]
+    fn object_store_is_send_and_sync() {
+        fn assert_send<T: Send>() {}
+        fn assert_sync<T: Sync>() {}
+        assert_send::<ObjectStore>();
+        assert_sync::<ObjectStore>();
+        assert_send::<HandleTable>();
+        assert_send::<Schema>();
+    }
+}

@@ -41,6 +41,11 @@ pub struct CollectionInfo {
     pub class: ClassId,
     /// Backing rid run.
     pub run: RidRun,
+    /// Distinct data pages holding the members at creation time — what
+    /// a full scan of *this* collection touches. Under shared-file
+    /// organizations (composition, randomized) this is smaller than the
+    /// file's page count, which also holds the other class's objects.
+    pub data_pages: u64,
 }
 
 /// Outcome of [`ObjectStore::register_index_on_collection`].
@@ -64,6 +69,11 @@ pub struct Fetched {
 }
 
 /// The object store.
+///
+/// `Clone` duplicates the entire simulated client/server/disk state;
+/// clones evolve independently (used for per-cell measurements on
+/// worker threads).
+#[derive(Clone)]
 pub struct ObjectStore {
     stack: StorageStack,
     schema: Schema,
@@ -333,8 +343,20 @@ impl ObjectStore {
         );
         let file = self.stack.create_file(format!("{name}.coll"));
         let run = ridlist::write_run(&mut self.stack, file, rids);
-        self.collections
-            .insert(name.to_string(), CollectionInfo { class, run });
+        let data_pages = {
+            let mut pages: Vec<PageId> = rids.iter().map(|r| r.page).collect();
+            pages.sort_unstable();
+            pages.dedup();
+            pages.len() as u64
+        };
+        self.collections.insert(
+            name.to_string(),
+            CollectionInfo {
+                class,
+                run,
+                data_pages,
+            },
+        );
     }
 
     /// Looks a collection up; panics with the name when absent (see

@@ -1,67 +1,80 @@
-//! Property tests: record encoding round-trips arbitrary schemas and
-//! values.
+//! Randomized model tests: record encoding round-trips arbitrary
+//! schemas and values. Deterministically seeded.
 
-use proptest::prelude::*;
 use tq_objstore::{record, AttrType, ClassId, ObjectHeader, Rid, Schema, SetValue, Value};
 use tq_pagestore::{FileId, PageId};
+use tq_simrng::SimRng;
 
 /// An arbitrary attribute type (references point at class 0).
-fn attr_type() -> impl Strategy<Value = AttrType> {
-    prop_oneof![
-        Just(AttrType::Int),
-        Just(AttrType::Char),
-        Just(AttrType::Str),
-        Just(AttrType::Ref(ClassId(0))),
-        Just(AttrType::SetRef(ClassId(0))),
-    ]
-}
-
-fn arb_rid() -> impl Strategy<Value = Rid> {
-    (0u32..1000, 0u32..100_000, 0u16..200).prop_map(|(f, p, s)| {
-        Rid::new(
-            PageId {
-                file: FileId(f),
-                page_no: p,
-            },
-            s,
-        )
-    })
-}
-
-/// A value matching an attribute type.
-fn value_for(ty: AttrType) -> BoxedStrategy<Value> {
-    match ty {
-        AttrType::Int => any::<i32>().prop_map(Value::Int).boxed(),
-        AttrType::Char => any::<u8>().prop_map(Value::Char).boxed(),
-        AttrType::Str => "[ -~]{0,60}".prop_map(Value::Str).boxed(),
-        AttrType::Ref(_) => {
-            prop_oneof![arb_rid().prop_map(Value::Ref), Just(Value::Ref(Rid::nil())),].boxed()
-        }
-        AttrType::SetRef(_) => prop_oneof![
-            proptest::collection::vec(arb_rid(), 0..12)
-                .prop_map(|v| Value::Set(SetValue::Inline(v))),
-            (0u32..1000, 0u32..100_000, 0u32..5000).prop_map(|(f, p, c)| Value::Set(
-                SetValue::Overflow {
-                    file: FileId(f),
-                    first_page: p,
-                    count: c,
-                }
-            )),
-        ]
-        .boxed(),
+fn random_attr_type(rng: &mut SimRng) -> AttrType {
+    match rng.below(5) {
+        0 => AttrType::Int,
+        1 => AttrType::Char,
+        2 => AttrType::Str,
+        3 => AttrType::Ref(ClassId(0)),
+        _ => AttrType::SetRef(ClassId(0)),
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(192))]
+fn random_rid(rng: &mut SimRng) -> Rid {
+    Rid::new(
+        PageId {
+            file: FileId(rng.range_u32(0, 999)),
+            page_no: rng.range_u32(0, 99_999),
+        },
+        rng.range_u32(0, 199) as u16,
+    )
+}
 
-    #[test]
-    fn encode_decode_round_trips(
-        types in proptest::collection::vec(attr_type(), 0..10),
-        headroom in any::<bool>(),
-        index_ids in proptest::collection::vec(0u16..100, 0..8),
-        seed in any::<u64>(),
-    ) {
+/// A printable-ASCII string of length 0..60 (the original regex
+/// strategy was `[ -~]{0,60}`).
+fn random_str(rng: &mut SimRng) -> String {
+    let len = rng.index(60);
+    (0..len)
+        .map(|_| (b' ' + (rng.below(95) as u8)) as char)
+        .collect()
+}
+
+/// A value matching an attribute type.
+fn random_value_for(rng: &mut SimRng, ty: AttrType) -> Value {
+    match ty {
+        AttrType::Int => Value::Int(rng.next_u32() as i32),
+        AttrType::Char => Value::Char(rng.next_u32() as u8),
+        AttrType::Str => Value::Str(random_str(rng)),
+        AttrType::Ref(_) => {
+            if rng.bool() {
+                Value::Ref(random_rid(rng))
+            } else {
+                Value::Ref(Rid::nil())
+            }
+        }
+        AttrType::SetRef(_) => {
+            if rng.bool() {
+                let n = rng.index(12);
+                Value::Set(SetValue::Inline((0..n).map(|_| random_rid(rng)).collect()))
+            } else {
+                Value::Set(SetValue::Overflow {
+                    file: FileId(rng.range_u32(0, 999)),
+                    first_page: rng.range_u32(0, 99_999),
+                    count: rng.range_u32(0, 4999),
+                })
+            }
+        }
+    }
+}
+
+#[test]
+fn encode_decode_round_trips() {
+    for case in 0..192u64 {
+        let mut rng = SimRng::seed_from_u64(0x2EC0_2D00 + case);
+        let types: Vec<AttrType> = (0..rng.index(10))
+            .map(|_| random_attr_type(&mut rng))
+            .collect();
+        let headroom = rng.bool();
+        let index_ids: Vec<u16> = (0..rng.index(8))
+            .map(|_| rng.range_u32(0, 99) as u16)
+            .collect();
+
         // Build the schema and a matching value vector.
         let mut schema = Schema::new();
         let class = schema.add_class(
@@ -72,16 +85,9 @@ proptest! {
                 .map(|(i, &ty)| (Box::leak(format!("a{i}").into_boxed_str()) as &str, ty))
                 .collect(),
         );
-        let mut runner = proptest::test_runner::TestRunner::deterministic();
-        let _ = seed;
         let values: Vec<Value> = types
             .iter()
-            .map(|&ty| {
-                value_for(ty)
-                    .new_tree(&mut runner)
-                    .expect("value strategy")
-                    .current()
-            })
+            .map(|&ty| random_value_for(&mut rng, ty))
             .collect();
         let mut header = ObjectHeader::new(class, headroom);
         if headroom {
@@ -91,8 +97,8 @@ proptest! {
         }
         let bytes = record::encode(schema.class(class), &header, &values);
         let decoded = record::decode(schema.class(class), &bytes).expect("round trip");
-        prop_assert_eq!(&decoded.values, &values);
-        prop_assert_eq!(decoded.header.class, class);
+        assert_eq!(&decoded.values, &values);
+        assert_eq!(decoded.header.class, class);
         if headroom {
             // Duplicates collapse; order is preserved.
             let mut expect = Vec::new();
@@ -101,12 +107,12 @@ proptest! {
                     expect.push(*id);
                 }
             }
-            prop_assert_eq!(&decoded.header.index_ids, &expect);
+            assert_eq!(&decoded.header.index_ids, &expect);
         } else {
-            prop_assert!(decoded.header.index_ids.is_empty());
+            assert!(decoded.header.index_ids.is_empty());
         }
         // Class peeking agrees without a full decode.
-        prop_assert_eq!(record::peek_class(&bytes).unwrap(), class);
+        assert_eq!(record::peek_class(&bytes).unwrap(), class);
         // Truncations never panic: they error or (for prefixes that
         // happen to align) decode to something structurally valid.
         for cut in 0..bytes.len() {

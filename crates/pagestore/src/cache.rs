@@ -15,6 +15,7 @@ use std::hash::Hash;
 
 const NIL: usize = usize::MAX;
 
+#[derive(Clone)]
 struct Node<K> {
     key: K,
     prev: usize,
@@ -25,6 +26,7 @@ struct Node<K> {
 ///
 /// Generic over the key so tests can model it with small integers; the
 /// storage stack instantiates it with [`PageId`](crate::page::PageId).
+#[derive(Clone)]
 pub struct LruCache<K: Eq + Hash + Copy> {
     // (fields below; see Debug impl at the bottom of the file)
     map: HashMap<K, usize>,

@@ -21,13 +21,14 @@ impl fmt::Debug for FileId {
     }
 }
 
+#[derive(Clone)]
 struct File {
     name: String,
     pages: Vec<SlottedPage>,
 }
 
 /// An in-memory disk: an ordered set of named page files.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct Disk {
     files: Vec<File>,
     physical_reads: u64,

@@ -40,3 +40,24 @@ pub use cost::{CostModel, CpuEvent, SimClock};
 pub use disk::{Disk, FileId};
 pub use page::{PageId, SlotId, SlottedPage, PAGE_SIZE};
 pub use stack::{CacheConfig, IoStats, StorageStack};
+
+#[cfg(test)]
+mod thread_safety {
+    use super::*;
+
+    /// Compile-time proof that a simulated machine can move to (and be
+    /// shared with) worker threads — the figure harness runs one
+    /// cloned stack per cell in parallel.
+    #[test]
+    fn storage_stack_is_send_and_sync() {
+        fn assert_send<T: Send>() {}
+        fn assert_sync<T: Sync>() {}
+        assert_send::<StorageStack>();
+        assert_sync::<StorageStack>();
+        assert_send::<Disk>();
+        assert_send::<LruCache<PageId>>();
+        assert_send::<SlottedPage>();
+        assert_send::<SimClock>();
+        assert_send::<CostModel>();
+    }
+}

@@ -126,6 +126,11 @@ fn percent(part: u64, whole: u64) -> f64 {
 
 /// The full storage stack: disk, server cache, client cache, dirty-page
 /// tracking, clock and counters.
+///
+/// `Clone` produces an independent simulated machine — the figure
+/// harness clones one loaded stack per measurement cell so cells can
+/// run on worker threads without sharing state.
+#[derive(Clone)]
 pub struct StorageStack {
     disk: Disk,
     client: LruCache<PageId>,

@@ -1,8 +1,9 @@
-//! Property tests: the O(1) LRU against a VecDeque reference model.
+//! Randomized model tests: the O(1) LRU against a VecDeque reference
+//! model. Deterministically seeded.
 
-use proptest::prelude::*;
 use std::collections::VecDeque;
 use tq_pagestore::LruCache;
+use tq_simrng::SimRng;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -12,13 +13,17 @@ enum Op {
     Clear,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        3 => any::<u8>().prop_map(|k| Op::Touch(k % 32)),
-        4 => any::<u8>().prop_map(|k| Op::Insert(k % 32)),
-        1 => any::<u8>().prop_map(|k| Op::Remove(k % 32)),
-        1 => Just(Op::Clear),
-    ]
+/// Weighted op mix mirroring the original strategy: 3 touch : 4 insert
+/// : 1 remove : 1 clear, keys confined to 0..32 so collisions are
+/// common.
+fn random_op(rng: &mut SimRng) -> Op {
+    let k = (rng.next_u32() % 32) as u8;
+    match rng.below(9) {
+        0..=2 => Op::Touch(k),
+        3..=6 => Op::Insert(k),
+        7 => Op::Remove(k),
+        _ => Op::Clear,
+    }
 }
 
 /// The reference: front of the deque is MRU.
@@ -61,25 +66,29 @@ impl Model {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn lru_matches_model(cap in 0usize..12, ops in proptest::collection::vec(op_strategy(), 1..200)) {
+#[test]
+fn lru_matches_model() {
+    for case in 0..256u64 {
+        let mut rng = SimRng::seed_from_u64(0x14B0_0000 + case);
+        let cap = rng.index(12);
+        let op_count = 1 + rng.index(199);
         let mut lru = LruCache::new(cap);
-        let mut model = Model { order: VecDeque::new(), cap };
-        for op in ops {
-            match op {
-                Op::Touch(k) => prop_assert_eq!(lru.touch(k), model.touch(k)),
-                Op::Insert(k) => prop_assert_eq!(lru.insert(k), model.insert(k)),
-                Op::Remove(k) => prop_assert_eq!(lru.remove(&k), model.remove(k)),
+        let mut model = Model {
+            order: VecDeque::new(),
+            cap,
+        };
+        for _ in 0..op_count {
+            match random_op(&mut rng) {
+                Op::Touch(k) => assert_eq!(lru.touch(k), model.touch(k)),
+                Op::Insert(k) => assert_eq!(lru.insert(k), model.insert(k)),
+                Op::Remove(k) => assert_eq!(lru.remove(&k), model.remove(k)),
                 Op::Clear => {
                     lru.clear();
                     model.order.clear();
                 }
             }
-            prop_assert_eq!(lru.len(), model.order.len());
-            prop_assert_eq!(lru.keys_mru_to_lru(), Vec::from(model.order.clone()));
+            assert_eq!(lru.len(), model.order.len());
+            assert_eq!(lru.keys_mru_to_lru(), Vec::from(model.order.clone()));
         }
     }
 }

@@ -1,8 +1,10 @@
-//! Property tests: the slotted page against a naive in-memory model.
+//! Randomized model tests: the slotted page against a naive in-memory
+//! model. Deterministically seeded (the registry-free stand-in for the
+//! original proptest suite).
 
-use proptest::prelude::*;
 use std::collections::HashMap;
 use tq_pagestore::{SlotId, SlottedPage, PAGE_SIZE};
+use tq_simrng::SimRng;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -12,38 +14,46 @@ enum Op {
     Compact,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        3 => proptest::collection::vec(any::<u8>(), 0..400).prop_map(Op::Insert),
-        1 => (0usize..64).prop_map(Op::Free),
-        2 => ((0usize..64), proptest::collection::vec(any::<u8>(), 0..400))
-            .prop_map(|(s, d)| Op::Update(s, d)),
-        1 => Just(Op::Compact),
-    ]
+fn random_bytes(rng: &mut SimRng, max_len: usize) -> Vec<u8> {
+    let len = rng.index(max_len);
+    let mut v = vec![0u8; len];
+    rng.fill_bytes(&mut v);
+    v
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// Weighted op mix mirroring the original strategy: 3 insert : 1 free
+/// : 2 update : 1 compact.
+fn random_op(rng: &mut SimRng) -> Op {
+    match rng.below(7) {
+        0..=2 => Op::Insert(random_bytes(rng, 400)),
+        3 => Op::Free(rng.index(64)),
+        4..=5 => Op::Update(rng.index(64), random_bytes(rng, 400)),
+        _ => Op::Compact,
+    }
+}
 
-    /// Applying a random op sequence keeps the page consistent with a
-    /// HashMap model, and every live record reads back verbatim.
-    #[test]
-    fn page_matches_model(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+/// Applying a random op sequence keeps the page consistent with a
+/// HashMap model, and every live record reads back verbatim.
+#[test]
+fn page_matches_model() {
+    for case in 0..256u64 {
+        let mut rng = SimRng::seed_from_u64(0x9A6E_0000 + case);
+        let op_count = 1 + rng.index(79);
         let mut page = SlottedPage::new();
         let mut model: HashMap<SlotId, Vec<u8>> = HashMap::new();
         let mut issued: Vec<SlotId> = Vec::new();
 
-        for op in ops {
-            match op {
+        for _ in 0..op_count {
+            match random_op(&mut rng) {
                 Op::Insert(data) => {
                     if let Some(slot) = page.insert(&data, PAGE_SIZE) {
                         // A granted slot must not clobber a live record.
-                        prop_assert!(!model.contains_key(&slot));
+                        assert!(!model.contains_key(&slot));
                         model.insert(slot, data);
                         issued.push(slot);
                     } else {
                         // Refusal is only legal when space is short.
-                        prop_assert!(
+                        assert!(
                             (page.free_bytes() as usize) < data.len() + 4,
                             "refused insert of {} bytes with {} free",
                             data.len(),
@@ -52,13 +62,17 @@ proptest! {
                     }
                 }
                 Op::Free(i) => {
-                    if issued.is_empty() { continue; }
+                    if issued.is_empty() {
+                        continue;
+                    }
                     let slot = issued[i % issued.len()];
                     let was_live = model.remove(&slot).is_some();
-                    prop_assert_eq!(page.free(slot), was_live);
+                    assert_eq!(page.free(slot), was_live);
                 }
                 Op::Update(i, data) => {
-                    if issued.is_empty() { continue; }
+                    if issued.is_empty() {
+                        continue;
+                    }
                     let slot = issued[i % issued.len()];
                     let ok = page.update(slot, &data);
                     match model.get_mut(&slot) {
@@ -68,38 +82,43 @@ proptest! {
                             }
                             // On failure the old record must survive.
                         }
-                        None => prop_assert!(!ok, "update of freed slot must fail"),
+                        None => assert!(!ok, "update of freed slot must fail"),
                     }
                 }
                 Op::Compact => page.compact(),
             }
             // Full cross-check after every op.
-            prop_assert_eq!(page.live_records(), model.len());
+            assert_eq!(page.live_records(), model.len());
             for (slot, data) in &model {
-                prop_assert_eq!(page.read(*slot), Some(&data[..]));
+                assert_eq!(page.read(*slot), Some(&data[..]));
             }
             // Accounting: free bytes + live bytes + slot dir = capacity.
             let live_bytes: usize = model.values().map(Vec::len).sum();
             let dir = 4 * page.slot_count() as usize;
-            prop_assert_eq!(
+            assert_eq!(
                 page.free_bytes() as usize + live_bytes + dir,
                 PAGE_SIZE - 6
             );
         }
     }
+}
 
-    /// Round trip through raw bytes preserves all records.
-    #[test]
-    fn byte_round_trip(records in proptest::collection::vec(
-        proptest::collection::vec(any::<u8>(), 0..200), 1..15))
-    {
+/// Round trip through raw bytes preserves all records.
+#[test]
+fn byte_round_trip() {
+    for case in 0..128u64 {
+        let mut rng = SimRng::seed_from_u64(0xB17E_0000 + case);
+        let record_count = 1 + rng.index(14);
+        let records: Vec<Vec<u8>> = (0..record_count)
+            .map(|_| random_bytes(&mut rng, 200))
+            .collect();
         let mut page = SlottedPage::new();
         let slots: Vec<Option<SlotId>> =
             records.iter().map(|r| page.insert(r, PAGE_SIZE)).collect();
         let copy = SlottedPage::from_bytes(Box::new(*page.as_bytes()));
         for (rec, slot) in records.iter().zip(slots) {
             if let Some(slot) = slot {
-                prop_assert_eq!(copy.read(slot), Some(&rec[..]));
+                assert_eq!(copy.read(slot), Some(&rec[..]));
             }
         }
     }

@@ -11,9 +11,7 @@ use crate::config::{BuildConfig, DbShape, Organization};
 use crate::derby::DerbySchema;
 #[cfg(test)]
 use crate::derby::{patient_attr, provider_attr};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use tq_simrng::SimRng;
 use tq_index::BTreeIndex;
 use tq_objstore::{ObjectStore, Rid, SetValue, Value};
 use tq_pagestore::StorageStack;
@@ -26,6 +24,11 @@ pub const IDX_MRN: u16 = 2;
 pub const IDX_NUM: u16 = 3;
 
 /// A fully built database: store, schema handles, indexes, counts.
+///
+/// `Clone` yields an independent copy of the whole simulated machine;
+/// the figure harness builds one master per figure and clones it per
+/// measurement cell so cells can run in parallel.
+#[derive(Clone)]
 pub struct Database {
     /// The object store (owns the storage stack and clock).
     pub store: ObjectStore,
@@ -171,7 +174,7 @@ pub fn build_with_load_knobs(config: &BuildConfig, knobs: &LoadKnobs) -> Databas
     store.stack_mut().logging_enabled = !transaction_off;
     let mut ops_since_commit = 0usize;
 
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = SimRng::seed_from_u64(config.seed);
     let p_count = config.provider_count() as usize;
     let mean = config.shape.mean_fanout();
 
@@ -180,7 +183,7 @@ pub fn build_with_load_knobs(config: &BuildConfig, knobs: &LoadKnobs) -> Databas
         .map(|_| {
             let lo = (mean / 2).max(1);
             let hi = mean + mean / 2;
-            rng.gen_range(lo..=hi.max(lo))
+            rng.range_u32(lo, hi.max(lo))
         })
         .collect();
     let n_count: usize = fanouts.iter().map(|&f| f as usize).sum();
@@ -194,7 +197,7 @@ pub fn build_with_load_knobs(config: &BuildConfig, knobs: &LoadKnobs) -> Databas
         for (i, &f) in fanouts.iter().enumerate() {
             a.extend(std::iter::repeat_n(i as u32, f as usize));
         }
-        a.shuffle(&mut rng);
+        rng.shuffle(&mut a);
         a
     };
 
@@ -212,7 +215,7 @@ pub fn build_with_load_knobs(config: &BuildConfig, knobs: &LoadKnobs) -> Databas
             let mut plan = Vec::with_capacity(p_count + n_count);
             plan.extend((0..p_count as u32).map(PlanItem::Provider));
             plan.extend((0..n_count as u32).map(PlanItem::Patient));
-            plan.shuffle(&mut rng);
+            rng.shuffle(&mut plan);
             plan
         }
         Organization::Composition => {
@@ -267,10 +270,10 @@ pub fn build_with_load_knobs(config: &BuildConfig, knobs: &LoadKnobs) -> Databas
 
     // Patient attribute material, generated in creation (mrn) order.
     let nums: Vec<i64> = (0..n_count)
-        .map(|_| rng.gen_range(0..n_count as i64))
+        .map(|_| rng.range_i64(0, n_count as i64 - 1))
         .collect();
     let random_integers: Vec<i32> = (0..n_count)
-        .map(|_| rng.gen_range(1..=p_count as i32))
+        .map(|_| rng.range_i32(1, p_count as i32))
         .collect();
 
     // Create everything. `*_rids` index by logical id; `*_order`

@@ -40,3 +40,18 @@ pub use builder::{build, Database};
 pub use config::{BuildConfig, DbShape, Organization};
 pub use derby::{patient_attr, provider_attr, DerbySchema};
 pub use loading::{load_experiment, IndexTiming, LoadOptions, LoadReport};
+
+#[cfg(test)]
+mod thread_safety {
+    use super::*;
+
+    /// Compile-time proof that a built database clone can run on a
+    /// worker thread — what the parallel figure harness does per cell.
+    #[test]
+    fn database_is_send_and_sync() {
+        fn assert_send<T: Send>() {}
+        fn assert_sync<T: Sync>() {}
+        assert_send::<Database>();
+        assert_sync::<Database>();
+    }
+}

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Full verification: build, tests, lints, and a parallel smoke figure.
+#
+# The smoke step runs one join figure at reduced scale with two
+# workers — it exercises the worker pool, the database clone path and
+# the figure printers end to end, and fails loudly if any of them
+# regress.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release, workspace) =="
+cargo build --release --workspace
+
+echo "== tests (workspace) =="
+cargo test --workspace -q
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== smoke figure (TQ_SCALE=200, TQ_JOBS=2) =="
+TQ_SCALE=200 TQ_JOBS=2 \
+    cargo run --release -p tq-bench --bin fig11_14_joins -- --db db2 --org class
+
+echo "verify: OK"

@@ -23,6 +23,26 @@ fn join_figure_stats_identical_at_any_worker_count() {
     );
 }
 
+/// The same oracle at paper-relevant scale (DB2 at 1/10 = 100k
+/// providers / 300k patients — large enough that copy-on-write
+/// snapshots, cache sizing and swap simulation all engage). Too slow
+/// for a debug-profile `cargo test`, so it is `#[ignore]`d there;
+/// `scripts/verify.sh` runs it in `--release` on every verification,
+/// which is what keeps CoW from ever silently perturbing counters.
+#[test]
+#[ignore = "paper-relevant scale: run via scripts/verify.sh (release)"]
+fn join_figure_stats_identical_at_paper_relevant_scale() {
+    let db = tq_bench::build_db(DbShape::Db2, Organization::ClassClustered, 10);
+    let serial = joins::run_join_figure_on(&db, 10, 1);
+    let parallel = joins::run_join_figure_on(&db, 10, 4);
+    assert_eq!(serial.stats.len(), 16);
+    assert_eq!(serial.stats.all(), parallel.stats.all());
+    assert_eq!(
+        joins::print_join_figure(&serial),
+        joins::print_join_figure(&parallel)
+    );
+}
+
 #[test]
 fn fig06_rows_identical_at_any_worker_count() {
     let serial = fig06::run(2000, 1);

@@ -23,7 +23,7 @@ use super::{
 };
 use crate::spec::HashKeyMode;
 use crate::swap::SwapSim;
-use std::collections::HashMap;
+use tq_fasthash::FxHashMap;
 use tq_objstore::Rid;
 use tq_pagestore::CpuEvent;
 
@@ -52,7 +52,7 @@ pub(super) fn run(
     // the full parent cardinality — an *approximation*; the executor
     // only pays for parents that actually hold selected children).
     let _ = parents_total;
-    let mut table: HashMap<Rid, Vec<i64>> = HashMap::new();
+    let mut table: FxHashMap<Rid, Vec<i64>> = FxHashMap::default();
     let mut swap = SwapSim::new(0, budget);
     let mut inserted_children = 0u64;
     let children = gather_index_rids(
@@ -65,7 +65,7 @@ pub(super) fn run(
         let child = ctx.store.fetch(crid);
         report.children_scanned += 1;
         if child.object.header.is_deleted() {
-            ctx.store.unref(child.rid);
+            ctx.store.release(child);
             continue;
         }
         ctx.store.charge_attr_access(child_class, spec.child_parent);
@@ -86,7 +86,7 @@ pub(super) fn run(
         if swap.touch(rid_hash(prid)) {
             ctx.store.charge(CpuEvent::SwapFault, 1);
         }
-        ctx.store.unref(child.rid);
+        ctx.store.release(child);
     }
     report.hash_table_bytes =
         CHJ_PARENT_SLOT_BYTES * table.len() as u64 + inserted_children * child_entry_bytes;
@@ -102,7 +102,7 @@ pub(super) fn run(
         let parent = ctx.store.fetch(prid);
         report.parents_scanned += 1;
         if parent.object.header.is_deleted() {
-            ctx.store.unref(parent.rid);
+            ctx.store.release(parent);
             continue;
         }
         ctx.store
@@ -117,7 +117,7 @@ pub(super) fn run(
                 emit(ctx.store, spec, &mut report, parent_key, child_key);
             }
         }
-        ctx.store.unref(parent.rid);
+        ctx.store.release(parent);
     }
     report.swap_faults = swap.faults();
     if opts.hash_key == HashKeyMode::Handle {

@@ -20,7 +20,7 @@ use super::{
     emit, gather_index_rids, rid_hash, JoinContext, JoinOptions, JoinReport, TreeJoinSpec,
     CHJ_CHILD_ENTRY_BYTES, CHJ_PARENT_SLOT_BYTES, PHJ_ENTRY_BYTES,
 };
-use std::collections::HashMap;
+use tq_fasthash::FxHashMap;
 use tq_objstore::Rid;
 use tq_pagestore::CpuEvent;
 
@@ -121,13 +121,13 @@ pub(super) fn run(
     let mut spills = make_spills(ctx, partitions);
 
     // The in-memory (partition 0) table: join-rid -> payload keys.
-    let mut mem: HashMap<Rid, Vec<i64>> = HashMap::new();
+    let mut mem: FxHashMap<Rid, Vec<i64>> = FxHashMap::default();
     for (key, rid) in build_pairs {
         // Fetch the build object (its projected attribute travels with
         // the entry, as in the plain algorithms).
         let fetched = ctx.store.fetch(rid);
         if fetched.object.header.is_deleted() {
-            ctx.store.unref(fetched.rid);
+            ctx.store.release(fetched);
             continue;
         }
         match side {
@@ -160,7 +160,7 @@ pub(super) fn run(
                 }
             }
         }
-        ctx.store.unref(fetched.rid);
+        ctx.store.release(fetched);
     }
 
     // --- Probe phase (streaming) --------------------------------------
@@ -181,7 +181,7 @@ pub(super) fn run(
     for (key, rid) in probe_pairs {
         let fetched = ctx.store.fetch(rid);
         if fetched.object.header.is_deleted() {
-            ctx.store.unref(fetched.rid);
+            ctx.store.release(fetched);
             continue;
         }
         let join_rid = match side {
@@ -215,7 +215,7 @@ pub(super) fn run(
         } else {
             spills.probe[p as usize - 1].push(ctx.store.stack_mut(), key, join_rid);
         }
-        ctx.store.unref(fetched.rid);
+        ctx.store.release(fetched);
     }
     report.hash_table_bytes = table_bytes.min(budget);
     drop(mem);
@@ -233,7 +233,7 @@ pub(super) fn run(
         .collect();
     for (build_run, probe_run) in build_runs.iter().zip(&probe_runs) {
         report.spill_pages += (build_run.pages + probe_run.pages) as u64;
-        let mut table: HashMap<Rid, Vec<i64>> = HashMap::new();
+        let mut table: FxHashMap<Rid, Vec<i64>> = FxHashMap::default();
         for (key, join_rid) in build_run.read_all(ctx.store.stack_mut()) {
             ctx.store.charge(CpuEvent::HashInsert, 1);
             table.entry(join_rid).or_default().push(key);

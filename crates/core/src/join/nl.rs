@@ -32,20 +32,19 @@ pub(super) fn run(ctx: &mut JoinContext<'_>, spec: &TreeJoinSpec, collect: bool)
         let parent = ctx.store.fetch(prid);
         report.parents_scanned += 1;
         if parent.object.header.is_deleted() {
-            ctx.store.unref(parent.rid);
+            ctx.store.release(parent);
             continue;
         }
         ctx.store.charge_attr_access(parent_class, spec.parent_set);
         let set = parent.object.values[spec.parent_set]
             .as_set()
-            .expect("parent set attribute")
-            .clone();
-        let mut members = ctx.store.set_cursor(&set);
+            .expect("parent set attribute");
+        let mut members = ctx.store.set_cursor(set);
         while let Some(crid) = members.next(ctx.store.stack_mut()) {
             let child = ctx.store.fetch(crid);
             report.children_scanned += 1;
             if child.object.header.is_deleted() {
-                ctx.store.unref(child.rid);
+                ctx.store.release(child);
                 continue;
             }
             ctx.store.charge_attr_access(child_class, spec.child_key);
@@ -58,9 +57,9 @@ pub(super) fn run(ctx: &mut JoinContext<'_>, spec: &TreeJoinSpec, collect: bool)
                     .charge_attr_access(child_class, spec.child_project);
                 emit(ctx.store, spec, &mut report, parent_key, child_key);
             }
-            ctx.store.unref(child.rid);
+            ctx.store.release(child);
         }
-        ctx.store.unref(parent.rid);
+        ctx.store.release(parent);
     }
     report
 }

@@ -40,7 +40,7 @@ pub(super) fn run(
         let child = ctx.store.fetch(crid);
         report.children_scanned += 1;
         if child.object.header.is_deleted() {
-            ctx.store.unref(child.rid);
+            ctx.store.release(child);
             continue;
         }
         ctx.store.charge_attr_access(child_class, spec.child_parent);
@@ -50,8 +50,8 @@ pub(super) fn run(
         let parent = ctx.store.fetch(prid);
         report.parents_scanned += 1;
         if parent.object.header.is_deleted() {
-            ctx.store.unref(parent.rid);
-            ctx.store.unref(child.rid);
+            ctx.store.release(parent);
+            ctx.store.release(child);
             continue;
         }
         ctx.store.charge_attr_access(parent_class, spec.parent_key);
@@ -64,8 +64,8 @@ pub(super) fn run(
                 .charge_attr_access(child_class, spec.child_project);
             emit(ctx.store, spec, &mut report, parent_key, child_key);
         }
-        ctx.store.unref(parent.rid);
-        ctx.store.unref(child.rid);
+        ctx.store.release(parent);
+        ctx.store.release(child);
     }
     report
 }

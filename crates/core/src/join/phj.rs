@@ -21,7 +21,7 @@ use super::{
 };
 use crate::spec::HashKeyMode;
 use crate::swap::SwapSim;
-use std::collections::HashMap;
+use tq_fasthash::FxHashMap;
 use tq_objstore::Rid;
 use tq_pagestore::CpuEvent;
 
@@ -46,7 +46,7 @@ pub(super) fn run(
 
     // Build: hash selected parents by identifier, carrying the
     // information f(p, pa) needs (the projected attribute).
-    let mut table: HashMap<Rid, i64> = HashMap::new();
+    let mut table: FxHashMap<Rid, i64> = FxHashMap::default();
     let mut swap = SwapSim::new(0, budget);
     let parents = gather_index_rids(
         ctx.store,
@@ -58,7 +58,7 @@ pub(super) fn run(
         let parent = ctx.store.fetch(prid);
         report.parents_scanned += 1;
         if parent.object.header.is_deleted() {
-            ctx.store.unref(parent.rid);
+            ctx.store.release(parent);
             continue;
         }
         ctx.store
@@ -74,7 +74,7 @@ pub(super) fn run(
         if swap.touch(rid_hash(parent.rid)) {
             ctx.store.charge(CpuEvent::SwapFault, 1);
         }
-        ctx.store.unref(parent.rid);
+        ctx.store.release(parent);
     }
     report.hash_table_bytes = table.len() as u64 * entry_bytes;
 
@@ -89,7 +89,7 @@ pub(super) fn run(
         let child = ctx.store.fetch(crid);
         report.children_scanned += 1;
         if child.object.header.is_deleted() {
-            ctx.store.unref(child.rid);
+            ctx.store.release(child);
             continue;
         }
         ctx.store.charge_attr_access(child_class, spec.child_parent);
@@ -105,7 +105,7 @@ pub(super) fn run(
                 .charge_attr_access(child_class, spec.child_project);
             emit(ctx.store, spec, &mut report, parent_key, child_key);
         }
-        ctx.store.unref(child.rid);
+        ctx.store.release(child);
     }
     report.swap_faults = swap.faults();
     if opts.hash_key == HashKeyMode::Handle {

@@ -108,13 +108,13 @@ pub fn run(
         let parent = ctx.store.fetch(prid);
         report.parents_scanned += 1;
         if parent.object.header.is_deleted() {
-            ctx.store.unref(parent.rid);
+            ctx.store.release(parent);
             continue;
         }
         ctx.store
             .charge_attr_access(parent_class, spec.parent_project);
         parent_keys.push((parent.rid, parent_key));
-        ctx.store.unref(parent.rid);
+        ctx.store.release(parent);
     }
 
     // Inner: selected children as (child_key, parent rid) pairs.
@@ -129,7 +129,7 @@ pub fn run(
         let child = ctx.store.fetch(crid);
         report.children_scanned += 1;
         if child.object.header.is_deleted() {
-            ctx.store.unref(child.rid);
+            ctx.store.release(child);
             continue;
         }
         ctx.store.charge_attr_access(child_class, spec.child_parent);
@@ -139,7 +139,7 @@ pub fn run(
             .as_ref_rid()
             .expect("child parent reference");
         child_pairs.push((child_key, prid));
-        ctx.store.unref(child.rid);
+        ctx.store.release(child);
     }
     let (sorted_children, spill_pages) = sort_by_rid_external(ctx, child_pairs, budget);
     report.spill_pages = spill_pages;

@@ -90,7 +90,7 @@ pub fn seq_scan(store: &mut ObjectStore, sel: &Selection, collect: bool) -> Sele
         let fetched = store.fetch(rid);
         report.scanned += 1;
         if fetched.object.header.is_deleted() {
-            store.unref(fetched.rid);
+            store.release(fetched);
             continue;
         }
         store.charge_attr_access(info.class, sel.attr);
@@ -103,7 +103,7 @@ pub fn seq_scan(store: &mut ObjectStore, sel: &Selection, collect: bool) -> Sele
             let v = int_attr(store, &fetched.object, sel.project);
             append_result(store, sel.result_mode, &mut report.values, v);
         }
-        store.unref(fetched.rid);
+        store.release(fetched);
     }
     report
 }
@@ -133,14 +133,14 @@ pub fn index_scan(
         if fetched.object.header.is_deleted()
             || !residual_pass(store, info.class, &fetched.object, sel)
         {
-            store.unref(fetched.rid);
+            store.release(fetched);
             continue;
         }
         report.selected += 1;
         store.charge_attr_access(info.class, sel.project);
         let v = int_attr(store, &fetched.object, sel.project);
         append_result(store, sel.result_mode, &mut report.values, v);
-        store.unref(fetched.rid);
+        store.release(fetched);
     }
     report
 }
@@ -178,14 +178,14 @@ pub fn sorted_index_scan(
         if fetched.object.header.is_deleted()
             || !residual_pass(store, info.class, &fetched.object, sel)
         {
-            store.unref(fetched.rid);
+            store.release(fetched);
             continue;
         }
         report.selected += 1;
         store.charge_attr_access(info.class, sel.project);
         let v = int_attr(store, &fetched.object, sel.project);
         append_result(store, sel.result_mode, &mut report.values, v);
-        store.unref(fetched.rid);
+        store.release(fetched);
     }
     report
 }

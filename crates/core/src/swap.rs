@@ -13,7 +13,7 @@
 //! fault, charged [`CpuEvent::SwapFault`](tq_pagestore::CpuEvent::SwapFault) (victim write-back + read) by
 //! the caller. A table within budget therefore never faults.
 
-use std::collections::HashSet;
+use tq_fasthash::FxHashSet;
 use tq_pagestore::{LruCache, PAGE_SIZE};
 
 /// Swap simulator for one operator-private memory region.
@@ -21,7 +21,7 @@ use tq_pagestore::{LruCache, PAGE_SIZE};
 pub struct SwapSim {
     table_pages: u64,
     resident: LruCache<u64>,
-    ever_touched: HashSet<u64>,
+    ever_touched: FxHashSet<u64>,
     faults: u64,
 }
 
@@ -33,7 +33,7 @@ impl SwapSim {
         Self {
             table_pages,
             resident: LruCache::new(budget_pages),
-            ever_touched: HashSet::new(),
+            ever_touched: FxHashSet::default(),
             faults: 0,
         }
     }

@@ -23,7 +23,7 @@
 //! pays only touches.
 
 use crate::rid::Rid;
-use std::collections::HashMap;
+use tq_fasthash::FxHashMap;
 use tq_pagestore::LruCache;
 
 /// Simulated size of one full object handle (paper §4.4: "the structure
@@ -72,7 +72,9 @@ impl HandleStats {
 /// The handle table: pin-counted live handles plus a delayed-free pool.
 #[derive(Clone)]
 pub struct HandleTable {
-    live: HashMap<Rid, u32>,
+    /// Pin counts by rid. Touched on every object access — FxHash, the
+    /// same reasoning as the LRU key maps.
+    live: FxHashMap<Rid, u32>,
     zombies: LruCache<Rid>,
     stats: HandleStats,
 }
@@ -88,7 +90,7 @@ impl HandleTable {
     /// `zombie_capacity` unpinned handles before real frees happen.
     pub fn new(zombie_capacity: usize) -> Self {
         Self {
-            live: HashMap::new(),
+            live: FxHashMap::default(),
             zombies: LruCache::new(zombie_capacity),
             stats: HandleStats::default(),
         }

@@ -153,13 +153,22 @@ fn put_rid(out: &mut Vec<u8>, rid: Rid) {
 /// Panics if `values` does not match the class's attribute list — a
 /// programming error, not a data error.
 pub fn encode(class_def: &ClassDef, header: &ObjectHeader, values: &[Value]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(header.encoded_len() + 64);
+    encode_into(class_def, header, values, &mut out);
+    out
+}
+
+/// [`encode`] into a caller-supplied buffer, which is cleared first.
+/// Insert/update loops that recycle one scratch buffer stay off the
+/// allocator entirely.
+pub fn encode_into(class_def: &ClassDef, header: &ObjectHeader, values: &[Value], out: &mut Vec<u8>) {
     assert_eq!(
         values.len(),
         class_def.attrs.len(),
         "value count must match schema for class {:?}",
         class_def.name
     );
-    let mut out = Vec::with_capacity(header.encoded_len() + 64);
+    out.clear();
     out.push(header.flags);
     out.extend_from_slice(&header.class.0.to_le_bytes());
     out.push(header.index_capacity);
@@ -179,13 +188,13 @@ pub fn encode(class_def: &ClassDef, header: &ObjectHeader, values: &[Value]) -> 
                 out.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
                 out.extend_from_slice(bytes);
             }
-            (AttrType::Ref(_), Value::Ref(r)) => put_rid(&mut out, *r),
+            (AttrType::Ref(_), Value::Ref(r)) => put_rid(out, *r),
             (AttrType::SetRef(_), Value::Set(SetValue::Inline(rids))) => {
                 out.push(0); // inline tag
                 assert!(rids.len() <= u16::MAX as usize, "inline set too large");
                 out.extend_from_slice(&(rids.len() as u16).to_le_bytes());
                 for r in rids {
-                    put_rid(&mut out, *r);
+                    put_rid(out, *r);
                 }
             }
             (
@@ -208,7 +217,6 @@ pub fn encode(class_def: &ClassDef, header: &ObjectHeader, values: &[Value]) -> 
             ),
         }
     }
-    out
 }
 
 /// Builds the 9-byte forwarding record left at a relocated object's old
@@ -267,6 +275,132 @@ impl<'a> Reader<'a> {
 /// Deserializes a record. Returns [`DecodeError::Forwarded`] when the
 /// record is a forwarding address.
 pub fn decode(class_def: &ClassDef, bytes: &[u8]) -> Result<Object, DecodeError> {
+    let mut out = Object {
+        header: ObjectHeader::new(ClassId(0), false),
+        values: Vec::new(),
+    };
+    decode_into(class_def, bytes, &mut out)?;
+    Ok(out)
+}
+
+fn set_slot(values: &mut Vec<Value>, i: usize, v: Value) {
+    match values.get_mut(i) {
+        Some(slot) => *slot = v,
+        None => values.push(v),
+    }
+}
+
+/// Deserializes a record into `out`, reusing its allocations: the
+/// value and index-id vectors, and — when the slot already holds the
+/// same variant — string and inline-set buffers. A scan loop that
+/// recycles one `Object` per record settles into zero heap traffic,
+/// which is what keeps paper-scale fetch loops off the allocator.
+///
+/// On any error (including [`DecodeError::Forwarded`]) `out` is left
+/// in an unspecified but valid state.
+pub fn decode_into(
+    class_def: &ClassDef,
+    bytes: &[u8],
+    out: &mut Object,
+) -> Result<(), DecodeError> {
+    let mut r = Reader { bytes, at: 0 };
+    let fl = r.u8()?;
+    if fl & flags::FORWARDER != 0 {
+        return Err(DecodeError::Forwarded(r.rid()?));
+    }
+    let class = ClassId(r.u16()?);
+    let capacity = r.u8()?;
+    let count = r.u8()?;
+    if count > capacity {
+        return Err(DecodeError::Corrupt("index count exceeds capacity"));
+    }
+    out.header.flags = fl;
+    out.header.class = class;
+    out.header.index_capacity = capacity;
+    out.header.index_ids.clear();
+    for i in 0..capacity {
+        let id = r.u16()?;
+        if i < count {
+            out.header.index_ids.push(id);
+        }
+    }
+    for (i, attr) in class_def.attrs.iter().enumerate() {
+        match attr.ty {
+            AttrType::Int => set_slot(&mut out.values, i, Value::Int(r.i32()?)),
+            AttrType::Char => set_slot(&mut out.values, i, Value::Char(r.u8()?)),
+            AttrType::Str => {
+                let len = r.u16()? as usize;
+                let s = std::str::from_utf8(r.take(len)?)
+                    .map_err(|_| DecodeError::Corrupt("invalid utf8"))?;
+                match out.values.get_mut(i) {
+                    Some(Value::Str(old)) => {
+                        old.clear();
+                        old.push_str(s);
+                    }
+                    slot => {
+                        let v = Value::Str(s.to_string());
+                        match slot {
+                            Some(slot) => *slot = v,
+                            None => out.values.push(v),
+                        }
+                    }
+                }
+            }
+            AttrType::Ref(_) => set_slot(&mut out.values, i, Value::Ref(r.rid()?)),
+            AttrType::SetRef(_) => match r.u8()? {
+                0 => {
+                    let n = r.u16()? as usize;
+                    match out.values.get_mut(i) {
+                        Some(Value::Set(SetValue::Inline(rids))) => {
+                            rids.clear();
+                            for _ in 0..n {
+                                rids.push(r.rid()?);
+                            }
+                        }
+                        slot => {
+                            let mut rids = Vec::with_capacity(n);
+                            for _ in 0..n {
+                                rids.push(r.rid()?);
+                            }
+                            let v = Value::Set(SetValue::Inline(rids));
+                            match slot {
+                                Some(slot) => *slot = v,
+                                None => out.values.push(v),
+                            }
+                        }
+                    }
+                }
+                1 => {
+                    let file = FileId(r.u16()? as u32);
+                    let first_page = r.u32()?;
+                    let count = r.u32()?;
+                    set_slot(
+                        &mut out.values,
+                        i,
+                        Value::Set(SetValue::Overflow {
+                            file,
+                            first_page,
+                            count,
+                        }),
+                    );
+                }
+                _ => return Err(DecodeError::Corrupt("bad set tag")),
+            },
+        }
+    }
+    out.values.truncate(class_def.attrs.len());
+    Ok(())
+}
+
+/// Decodes only the record header — no attribute values, no
+/// allocation beyond the index-id vector. Update paths that rewrite a
+/// record from fresh values need the header (flags, class, index
+/// membership) but not the old attributes; skipping the value decode
+/// keeps the 4M-object wiring pass off the allocator.
+///
+/// Returns [`DecodeError::Forwarded`] when the record is a forwarding
+/// address.
+pub fn decode_header(bytes: &[u8]) -> Result<ObjectHeader, DecodeError> {
     let mut r = Reader { bytes, at: 0 };
     let fl = r.u8()?;
     if fl & flags::FORWARDER != 0 {
@@ -285,53 +419,11 @@ pub fn decode(class_def: &ClassDef, bytes: &[u8]) -> Result<Object, DecodeError>
             index_ids.push(id);
         }
     }
-    let mut values = Vec::with_capacity(class_def.attrs.len());
-    for attr in &class_def.attrs {
-        let v = match attr.ty {
-            AttrType::Int => Value::Int(r.i32()?),
-            AttrType::Char => Value::Char(r.u8()?),
-            AttrType::Str => {
-                let len = r.u16()? as usize;
-                let bytes = r.take(len)?;
-                Value::Str(
-                    std::str::from_utf8(bytes)
-                        .map_err(|_| DecodeError::Corrupt("invalid utf8"))?
-                        .to_string(),
-                )
-            }
-            AttrType::Ref(_) => Value::Ref(r.rid()?),
-            AttrType::SetRef(_) => match r.u8()? {
-                0 => {
-                    let n = r.u16()? as usize;
-                    let mut rids = Vec::with_capacity(n);
-                    for _ in 0..n {
-                        rids.push(r.rid()?);
-                    }
-                    Value::Set(SetValue::Inline(rids))
-                }
-                1 => {
-                    let file = FileId(r.u16()? as u32);
-                    let first_page = r.u32()?;
-                    let count = r.u32()?;
-                    Value::Set(SetValue::Overflow {
-                        file,
-                        first_page,
-                        count,
-                    })
-                }
-                _ => return Err(DecodeError::Corrupt("bad set tag")),
-            },
-        };
-        values.push(v);
-    }
-    Ok(Object {
-        header: ObjectHeader {
-            flags: fl,
-            class,
-            index_capacity: capacity,
-            index_ids,
-        },
-        values,
+    Ok(ObjectHeader {
+        flags: fl,
+        class,
+        index_capacity: capacity,
+        index_ids,
     })
 }
 

@@ -26,7 +26,7 @@ use crate::ridlist::{self, RidRun, RidRunCursor, RIDS_PER_PAGE};
 use crate::schema::AttrType;
 use crate::schema::{AttrId, ClassId, Schema};
 use crate::value::{SetValue, Value};
-use std::collections::HashMap;
+use tq_fasthash::FxHashMap;
 use tq_pagestore::{CpuEvent, FileId, IoStats, PageId, SimClock, StorageStack, PAGE_SIZE};
 
 /// Default fill factor for data pages: the paper notes O2 "always
@@ -78,11 +78,23 @@ pub struct ObjectStore {
     stack: StorageStack,
     schema: Schema,
     handles: HandleTable,
-    collections: HashMap<String, CollectionInfo>,
+    collections: FxHashMap<String, CollectionInfo>,
     /// Current append target per file.
-    tails: HashMap<FileId, u32>,
+    tails: FxHashMap<FileId, u32>,
     fill_limit: usize,
+    /// Recycled [`Object`] shells for [`ObjectStore::fetch`] —
+    /// returning one via [`ObjectStore::release`] lets the next fetch
+    /// of a same-shaped object decode without heap allocation.
+    spare: Vec<Object>,
+    /// Reusable encode buffer for [`ObjectStore::insert`] and
+    /// [`ObjectStore::update`] — bulk loads encode millions of records
+    /// through one allocation.
+    scratch: Vec<u8>,
 }
+
+/// Recycled objects kept per store; scan loops hold at most a couple
+/// of fetches at a time.
+const OBJECT_POOL_CAP: usize = 16;
 
 impl ObjectStore {
     /// Builds a store over `stack` with the given schema.
@@ -91,9 +103,11 @@ impl ObjectStore {
             stack,
             schema,
             handles: HandleTable::default(),
-            collections: HashMap::new(),
-            tails: HashMap::new(),
+            collections: FxHashMap::default(),
+            tails: FxHashMap::default(),
             fill_limit: DEFAULT_FILL_LIMIT,
+            spare: Vec::new(),
+            scratch: Vec::new(),
         }
     }
 
@@ -143,8 +157,11 @@ impl ObjectStore {
         with_index_headroom: bool,
     ) -> Rid {
         let header = ObjectHeader::new(class, with_index_headroom);
-        let bytes = record::encode(self.schema.class(class), &header, values);
-        self.append_record(file, &bytes)
+        let mut bytes = std::mem::take(&mut self.scratch);
+        record::encode_into(self.schema.class(class), &header, values, &mut bytes);
+        let rid = self.append_record(file, &bytes);
+        self.scratch = bytes;
+        rid
     }
 
     /// Appends raw record bytes to `file`, opening a new page when the
@@ -190,11 +207,34 @@ impl ObjectStore {
     }
 
     /// Fetches an object, pinning its handle and charging the access.
-    pub fn fetch(&mut self, rid: Rid) -> Fetched {
-        let (canonical, bytes) = self.resolve(rid);
-        let class = record::peek_class(&bytes).expect("resolved record is an object");
-        let object = record::decode(self.schema.class(class), &bytes)
-            .unwrap_or_else(|e| panic!("corrupt record at {canonical:?}: {e:?}"));
+    ///
+    /// Decodes straight from the page image into a recycled [`Object`]
+    /// (see [`ObjectStore::release`]) — no intermediate byte copy, and
+    /// no allocation at all once the pool is warm.
+    pub fn fetch(&mut self, mut rid: Rid) -> Fetched {
+        let mut object = self.spare.pop().unwrap_or_else(|| Object {
+            header: ObjectHeader::new(ClassId(0), false),
+            values: Vec::new(),
+        });
+        let canonical = loop {
+            // `page` borrows `self.stack`; the schema and the decode
+            // target are disjoint, so no bytes leave the page.
+            let page = self.stack.read_page(rid.page);
+            let bytes = page
+                .read(rid.slot)
+                .unwrap_or_else(|| panic!("dangling rid {rid:?}"));
+            if record::is_forwarder(bytes) {
+                rid = match record::decode(self.schema.class(ClassId(0)), bytes) {
+                    Err(DecodeError::Forwarded(next)) => next,
+                    _ => unreachable!("is_forwarder guaranteed a forwarder"),
+                };
+                continue;
+            }
+            let class = record::peek_class(bytes).expect("resolved record is an object");
+            record::decode_into(self.schema.class(class), bytes, &mut object)
+                .unwrap_or_else(|e| panic!("corrupt record at {rid:?}: {e:?}"));
+            break rid;
+        };
         match self.handles.get(canonical) {
             GetOutcome::Allocated => self.stack.charge(CpuEvent::HandleAlloc, 1),
             GetOutcome::Touched | GetOutcome::Revived => {
@@ -204,6 +244,17 @@ impl ObjectStore {
         Fetched {
             rid: canonical,
             object,
+        }
+    }
+
+    /// Unpins the handle and recycles the object's allocations for the
+    /// next [`ObjectStore::fetch`]. Semantically identical to
+    /// `unref(f.rid)` followed by dropping `f` — scan and join loops
+    /// use this so a paper-scale pass stays off the allocator.
+    pub fn release(&mut self, f: Fetched) {
+        self.unref(f.rid);
+        if self.spare.len() < OBJECT_POOL_CAP {
+            self.spare.push(f.object);
         }
     }
 
@@ -244,26 +295,44 @@ impl ObjectStore {
     /// record no longer fits its page it is relocated to the end of its
     /// file and a forwarder is left behind.
     pub fn update(&mut self, rid: Rid, values: &[Value]) -> Rid {
-        let (canonical, bytes) = self.resolve(rid);
-        let class = record::peek_class(&bytes).expect("resolved record is an object");
-        let object = record::decode(self.schema.class(class), &bytes)
-            .unwrap_or_else(|e| panic!("corrupt record at {canonical:?}: {e:?}"));
-        let new_bytes = record::encode(self.schema.class(class), &object.header, values);
-        self.rewrite(canonical, new_bytes)
+        let (canonical, header) = self.resolve_header(rid);
+        let mut bytes = std::mem::take(&mut self.scratch);
+        record::encode_into(self.schema.class(header.class), &header, values, &mut bytes);
+        let final_rid = self.rewrite(canonical, &bytes);
+        self.scratch = bytes;
+        final_rid
+    }
+
+    /// Follows forwarders to the canonical record and decodes only its
+    /// header — no byte copy, no attribute decode. The update path
+    /// replaces every value anyway, so the old attributes are dead
+    /// weight.
+    fn resolve_header(&mut self, mut rid: Rid) -> (Rid, ObjectHeader) {
+        loop {
+            let page = self.stack.read_page(rid.page);
+            let bytes = page
+                .read(rid.slot)
+                .unwrap_or_else(|| panic!("dangling rid {rid:?}"));
+            match record::decode_header(bytes) {
+                Ok(header) => return (rid, header),
+                Err(DecodeError::Forwarded(next)) => rid = next,
+                Err(e) => panic!("corrupt record at {rid:?}: {e:?}"),
+            }
+        }
     }
 
     /// Writes `new_bytes` at `rid`, relocating on overflow. Returns the
     /// final rid.
-    fn rewrite(&mut self, rid: Rid, new_bytes: Vec<u8>) -> Rid {
+    fn rewrite(&mut self, rid: Rid, new_bytes: &[u8]) -> Rid {
         let updated = self
             .stack
-            .write_page(rid.page, |p| p.update(rid.slot, &new_bytes));
+            .write_page(rid.page, |p| p.update(rid.slot, new_bytes));
         if updated {
             return rid;
         }
         // Relocate: append, then leave a forwarder (always fits in
         // place of the old record, which was larger).
-        let new_rid = self.append_record(rid.page.file, &new_bytes);
+        let new_rid = self.append_record(rid.page.file, new_bytes);
         let fwd = record::encode_forwarder(new_rid);
         let ok = self
             .stack
@@ -284,7 +353,7 @@ impl ObjectStore {
             .unwrap_or_else(|e| panic!("corrupt record at {canonical:?}: {e:?}"));
         object.header.mark_deleted();
         let new_bytes = record::encode(self.schema.class(class), &object.header, &object.values);
-        let final_rid = self.rewrite(canonical, new_bytes);
+        let final_rid = self.rewrite(canonical, &new_bytes);
         debug_assert_eq!(final_rid, canonical, "flagging never grows the record");
         final_rid
     }
@@ -302,14 +371,14 @@ impl ObjectStore {
             // Fits the existing headroom: rewrite in place (same size).
             let new_bytes =
                 record::encode(self.schema.class(class), &object.header, &object.values);
-            let final_rid = self.rewrite(canonical, new_bytes);
+            let final_rid = self.rewrite(canonical, &new_bytes);
             debug_assert_eq!(final_rid, canonical);
             return (final_rid, false, false);
         }
         object.header.widen_index_area();
         assert!(object.header.add_index(index_id), "widened header has room");
         let new_bytes = record::encode(self.schema.class(class), &object.header, &object.values);
-        let final_rid = self.rewrite(canonical, new_bytes);
+        let final_rid = self.rewrite(canonical, &new_bytes);
         (final_rid, true, final_rid != canonical)
     }
 
@@ -386,12 +455,9 @@ impl ObjectStore {
     /// A cursor over a set attribute's members. Inline sets iterate in
     /// memory (the owning record is already pinned); overflow sets read
     /// their rid-run pages through the cache.
-    pub fn set_cursor(&self, set: &SetValue) -> SetCursor {
+    pub fn set_cursor<'a>(&self, set: &'a SetValue) -> SetCursor<'a> {
         match set {
-            SetValue::Inline(rids) => SetCursor::Inline {
-                rids: rids.clone(),
-                at: 0,
-            },
+            SetValue::Inline(rids) => SetCursor::Inline { rids, at: 0 },
             SetValue::Overflow {
                 file,
                 first_page,
@@ -473,11 +539,11 @@ impl ObjectStore {
 
 /// Cursor over a set attribute's members.
 #[derive(Clone, Debug)]
-pub enum SetCursor {
-    /// Inline set: members held in memory.
+pub enum SetCursor<'a> {
+    /// Inline set: members borrowed from the decoded object (no copy).
     Inline {
         /// The member rids.
-        rids: Vec<Rid>,
+        rids: &'a [Rid],
         /// Next index to return.
         at: usize,
     },
@@ -485,7 +551,7 @@ pub enum SetCursor {
     Overflow(RidRunCursor),
 }
 
-impl SetCursor {
+impl SetCursor<'_> {
     /// Next member rid.
     pub fn next(&mut self, stack: &mut StorageStack) -> Option<Rid> {
         match self {

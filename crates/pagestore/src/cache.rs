@@ -7,13 +7,22 @@
 //! victims — which is all the paper's counters (`CCMissrate`,
 //! `SCMissrate`, `CCPagefaults`, RPC and disk-read counts) depend on.
 //!
-//! Implementation: a slab of doubly-linked nodes plus a `HashMap` from
-//! key to slab index. `touch`, `insert` and eviction are all O(1).
+//! Implementation: a slab of doubly-linked nodes plus a hash map from
+//! key to slab index (keyed with the vendored
+//! [`FxHasher`](tq_fasthash::FxHasher) — the map is the hottest lookup
+//! in the whole simulator, touched twice per simulated page access).
+//! `touch`, `insert` and eviction are all O(1).
 
-use std::collections::HashMap;
 use std::hash::Hash;
+use tq_fasthash::{FxBuildHasher, FxHashMap};
 
 const NIL: usize = usize::MAX;
+
+/// Upper bound on *eager* allocation in [`LruCache::new`], in entries.
+/// A cache sized for a paper-scale client (millions of pages) must not
+/// pay its full footprint up front — the map and slab both start at
+/// most this large and grow on demand.
+const PREALLOC_CAP: usize = 1 << 20;
 
 #[derive(Clone)]
 struct Node<K> {
@@ -29,7 +38,7 @@ struct Node<K> {
 #[derive(Clone)]
 pub struct LruCache<K: Eq + Hash + Copy> {
     // (fields below; see Debug impl at the bottom of the file)
-    map: HashMap<K, usize>,
+    map: FxHashMap<K, usize>,
     slab: Vec<Node<K>>,
     free: Vec<usize>,
     head: usize, // most recently used
@@ -42,8 +51,11 @@ impl<K: Eq + Hash + Copy> LruCache<K> {
     /// is a legal degenerate cache that misses everything.
     pub fn new(capacity: usize) -> Self {
         Self {
-            map: HashMap::with_capacity(capacity),
-            slab: Vec::with_capacity(capacity.min(1 << 20)),
+            map: FxHashMap::with_capacity_and_hasher(
+                capacity.min(PREALLOC_CAP),
+                FxBuildHasher::default(),
+            ),
+            slab: Vec::with_capacity(capacity.min(PREALLOC_CAP)),
             free: Vec::new(),
             head: NIL,
             tail: NIL,

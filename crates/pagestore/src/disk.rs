@@ -7,9 +7,23 @@
 //! by the [`CostModel`](crate::cost::CostModel) when the
 //! [`StorageStack`](crate::stack::StorageStack) decides an access
 //! actually reaches the disk (i.e. misses both caches).
+//!
+//! ## Copy-on-write snapshots
+//!
+//! The figure harness builds one master database per figure and clones
+//! it per measurement cell. Pages are therefore held behind two levels
+//! of [`Arc`]: each file's page vector is an `Arc<Vec<Arc<SlottedPage>>>`.
+//! Cloning a [`Disk`] bumps one refcount per file — O(files), not
+//! O(database bytes) — and every mutable page access goes through
+//! [`Arc::make_mut`], so a clone pays for exactly the pages it
+//! dirties: the file's pointer vector once (8 bytes/page), then 4 KB
+//! per distinct page written. A cold read-only measurement copies
+//! nothing. Nothing simulated can observe the sharing; only host wall
+//! clock and RSS change.
 
 use crate::page::{PageId, SlottedPage};
 use std::fmt;
+use std::sync::Arc;
 
 /// Identifies one file on the disk.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -24,7 +38,22 @@ impl fmt::Debug for FileId {
 #[derive(Clone)]
 struct File {
     name: String,
-    pages: Vec<SlottedPage>,
+    /// Copy-on-write page storage (see the module docs): the outer
+    /// `Arc` makes cloning the file free, the inner ones make the
+    /// first write to each page pay for exactly that page.
+    pages: Arc<Vec<Arc<SlottedPage>>>,
+}
+
+impl File {
+    /// Mutable access to the page vector, unsharing it if needed.
+    fn pages_mut(&mut self) -> &mut Vec<Arc<SlottedPage>> {
+        Arc::make_mut(&mut self.pages)
+    }
+
+    /// Mutable access to one page, unsharing vector and page if needed.
+    fn page_mut(&mut self, page_no: u32) -> &mut SlottedPage {
+        Arc::make_mut(&mut Arc::make_mut(&mut self.pages)[page_no as usize])
+    }
 }
 
 /// An in-memory disk: an ordered set of named page files.
@@ -46,7 +75,7 @@ impl Disk {
         let id = FileId(self.files.len() as u32);
         self.files.push(File {
             name: name.into(),
-            pages: Vec::new(),
+            pages: Arc::new(Vec::new()),
         });
         id
     }
@@ -80,7 +109,7 @@ impl Disk {
     pub fn allocate_page(&mut self, file: FileId) -> PageId {
         let f = &mut self.files[file.0 as usize];
         let page_no = f.pages.len() as u32;
-        f.pages.push(SlottedPage::new());
+        f.pages_mut().push(Arc::new(SlottedPage::new()));
         PageId { file, page_no }
     }
 
@@ -90,10 +119,13 @@ impl Disk {
         &self.files[pid.file.0 as usize].pages[pid.page_no as usize]
     }
 
-    /// Physical write access. Counts one disk write.
-    pub(crate) fn write(&mut self, pid: PageId) -> &mut SlottedPage {
+    /// Counts one disk write *without* touching the page — the commit
+    /// and eviction write-back paths, whose mutations already happened
+    /// through [`Disk::peek_mut`]. Counting separately from the
+    /// mutable access stops a flush from needlessly unsharing
+    /// copy-on-write pages.
+    pub(crate) fn record_write(&mut self, _pid: PageId) {
         self.physical_writes += 1;
-        &mut self.files[pid.file.0 as usize].pages[pid.page_no as usize]
     }
 
     /// Access without counting — used by cache tiers once residency has
@@ -104,7 +136,7 @@ impl Disk {
 
     /// Mutable access without counting (see [`Disk::peek`]).
     pub(crate) fn peek_mut(&mut self, pid: PageId) -> &mut SlottedPage {
-        &mut self.files[pid.file.0 as usize].pages[pid.page_no as usize]
+        self.files[pid.file.0 as usize].page_mut(pid.page_no)
     }
 
     /// Drops all pages of `file` (spill/temporary files between runs).
@@ -113,8 +145,64 @@ impl Disk {
     pub(crate) fn truncate_file(&mut self, file: FileId) -> u32 {
         let f = &mut self.files[file.0 as usize];
         let n = f.pages.len() as u32;
-        f.pages.clear();
+        f.pages_mut().clear();
         n
+    }
+
+    // ------------------------------------------------------------------
+    // Copy-on-write introspection (tests, memory accounting)
+    // ------------------------------------------------------------------
+
+    /// True when `pid`'s backing bytes are physically shared with
+    /// `other` (same `Arc` allocation) — the copy-on-write invariant a
+    /// snapshot test spot-checks.
+    pub fn page_shared_with(&self, other: &Disk, pid: PageId) -> bool {
+        let (f, p) = (pid.file.0 as usize, pid.page_no as usize);
+        match (self.files.get(f), other.files.get(f)) {
+            (Some(a), Some(b)) => match (a.pages.get(p), b.pages.get(p)) {
+                (Some(pa), Some(pb)) => Arc::ptr_eq(pa, pb),
+                _ => false,
+            },
+            _ => false,
+        }
+    }
+
+    /// Number of pages whose bytes are physically shared with `other`,
+    /// comparing files positionally. An unmutated clone shares
+    /// everything: `shared_page_count(&clone) == total_pages()`.
+    pub fn shared_page_count(&self, other: &Disk) -> u64 {
+        self.files
+            .iter()
+            .zip(&other.files)
+            .map(|(a, b)| {
+                if Arc::ptr_eq(&a.pages, &b.pages) {
+                    a.pages.len() as u64
+                } else {
+                    a.pages
+                        .iter()
+                        .zip(b.pages.iter())
+                        .filter(|(pa, pb)| Arc::ptr_eq(pa, pb))
+                        .count() as u64
+                }
+            })
+            .sum()
+    }
+
+    /// Page bytes this disk holds that no other snapshot can share:
+    /// pages whose `Arc` refcount is 1 in a file whose pointer vector
+    /// is itself unshared (a shared vector shares every page it lists,
+    /// whatever the inner counts say). A fresh clone reports 0; the
+    /// count grows by one page per copy-on-write fault. (Refcounts are
+    /// read with relaxed ordering — exact only while no other thread is
+    /// concurrently cloning, which is how the tests use it.)
+    pub fn private_page_bytes(&self) -> u64 {
+        self.files
+            .iter()
+            .filter(|f| Arc::strong_count(&f.pages) == 1)
+            .flat_map(|f| f.pages.iter())
+            .filter(|p| Arc::strong_count(p) == 1)
+            .count() as u64
+            * crate::page::PAGE_SIZE as u64
     }
 
     /// Physical page reads performed so far.
@@ -174,7 +262,8 @@ mod tests {
         let f = d.create_file("x");
         let pid = d.allocate_page(f);
         assert_eq!(d.physical_reads(), 0);
-        d.write(pid).insert(b"abc", crate::page::PAGE_SIZE);
+        d.peek_mut(pid).insert(b"abc", crate::page::PAGE_SIZE);
+        d.record_write(pid);
         assert_eq!(d.physical_writes(), 1);
         assert_eq!(d.read(pid).read(0).unwrap(), b"abc");
         assert_eq!(d.physical_reads(), 1);

@@ -27,7 +27,7 @@ use crate::cache::LruCache;
 use crate::cost::{CostModel, CpuEvent, SimClock};
 use crate::disk::{Disk, FileId};
 use crate::page::{PageId, SlottedPage};
-use std::collections::HashSet;
+use tq_fasthash::FxHashSet;
 
 /// Capacities of the two cache tiers, in pages.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -135,7 +135,7 @@ pub struct StorageStack {
     disk: Disk,
     client: LruCache<PageId>,
     server: LruCache<PageId>,
-    dirty: HashSet<PageId>,
+    dirty: FxHashSet<PageId>,
     stats: IoStats,
     clock: SimClock,
     model: CostModel,
@@ -153,7 +153,7 @@ impl StorageStack {
             disk: Disk::new(),
             client: LruCache::new(config.client_pages),
             server: LruCache::new(config.server_pages),
-            dirty: HashSet::new(),
+            dirty: FxHashSet::default(),
             stats: IoStats::default(),
             clock: SimClock::new(),
             model,
@@ -207,9 +207,11 @@ impl StorageStack {
     fn admit_client(&mut self, pid: PageId) {
         if let Some(evicted) = self.client.insert(pid) {
             // Evicting a dirty page forces a write-back through the
-            // server to disk.
+            // server to disk. The page's bytes were already mutated in
+            // place, so only the write is recorded — materializing the
+            // page here would defeat copy-on-write sharing.
             if self.dirty.remove(&evicted) {
-                let _ = self.disk.write(evicted);
+                self.disk.record_write(evicted);
                 self.stats.pages_written += 1;
                 self.clock.charge_write(&self.model);
             }
@@ -268,7 +270,7 @@ impl StorageStack {
     pub fn commit(&mut self) {
         let n = self.dirty.len() as u64;
         for pid in self.dirty.iter() {
-            let _ = self.disk.write(*pid); // count the physical write
+            self.disk.record_write(*pid); // count the physical write
             self.clock.charge_write(&self.model);
         }
         self.stats.pages_written += n;

@@ -85,43 +85,105 @@ impl Database {
     }
 }
 
-fn pad16(s: String) -> String {
-    let mut s = s;
-    while s.len() < 16 {
-        s.push('.');
+/// Writes `{prefix}-{n}` padded with `.` to exactly 16 bytes into a
+/// recycled string. The build loops fill millions of these; writing in
+/// place keeps the whole pass off the allocator.
+fn pad16_into(out: &mut String, prefix: &str, n: i64) {
+    use std::fmt::Write;
+    out.clear();
+    let _ = write!(out, "{prefix}-{n}");
+    while out.len() < 16 {
+        out.push('.');
     }
-    s.truncate(16);
-    s
+    out.truncate(16);
 }
 
-fn provider_values(upin: i64, clients: SetValue) -> Vec<Value> {
-    vec![
-        Value::Str(pad16(format!("prov-{upin}"))),
-        Value::Int(upin as i32),
-        Value::Str(pad16(format!("addr-{upin}"))),
-        Value::Str(pad16(format!("spec-{}", upin % 40))),
-        Value::Str(pad16(format!("office-{}", upin % 500))),
-        Value::Set(clients),
-    ]
+fn str_slot(slot: &mut Value, prefix: &str, n: i64) {
+    match slot {
+        Value::Str(s) => pad16_into(s, prefix, n),
+        _ => unreachable!("template slot holds a string"),
+    }
 }
 
-fn patient_values(
-    mrn: i64,
-    age: i32,
-    sex: u8,
-    random_integer: i32,
-    num: i64,
-    pcp: Rid,
-) -> Vec<Value> {
-    vec![
-        Value::Str(pad16(format!("pat-{mrn}"))),
-        Value::Int(mrn as i32),
-        Value::Int(age),
-        Value::Char(sex),
-        Value::Int(random_integer),
-        Value::Int(num as i32),
-        Value::Ref(pcp),
-    ]
+/// Reusable attribute buffers for provider / patient records. One pair
+/// serves every insert and update of a build: the string (and, for
+/// Db2, inline-set) buffers are rewritten in place.
+struct ValueTemplates {
+    provider: Vec<Value>,
+    patient: Vec<Value>,
+}
+
+impl ValueTemplates {
+    fn new() -> Self {
+        Self {
+            provider: vec![
+                Value::Str(String::new()),
+                Value::Int(0),
+                Value::Str(String::new()),
+                Value::Str(String::new()),
+                Value::Str(String::new()),
+                Value::Set(SetValue::Inline(Vec::new())),
+            ],
+            patient: vec![
+                Value::Str(String::new()),
+                Value::Int(0),
+                Value::Int(0),
+                Value::Char(0),
+                Value::Int(0),
+                Value::Int(0),
+                Value::Ref(Rid::nil()),
+            ],
+        }
+    }
+
+    /// Fills the provider attributes except the clients set (slot 5).
+    fn fill_provider(&mut self, upin: i64) {
+        let v = &mut self.provider;
+        str_slot(&mut v[0], "prov", upin);
+        v[1] = Value::Int(upin as i32);
+        str_slot(&mut v[2], "addr", upin);
+        str_slot(&mut v[3], "spec", upin % 40);
+        str_slot(&mut v[4], "office", upin % 500);
+    }
+
+    /// Sets the provider clients slot to an inline set of `rids`,
+    /// recycling the template's buffer.
+    fn set_clients_inline(&mut self, rids: &[Rid]) {
+        match &mut self.provider[5] {
+            Value::Set(SetValue::Inline(v)) => {
+                v.clear();
+                v.extend_from_slice(rids);
+            }
+            slot => *slot = Value::Set(SetValue::Inline(rids.to_vec())),
+        }
+    }
+
+    /// Sets the provider clients slot to `nil` placeholders (same
+    /// encoded size as the final inline set, updated during wiring).
+    fn set_clients_placeholder(&mut self, fanout: usize) {
+        match &mut self.provider[5] {
+            Value::Set(SetValue::Inline(v)) => {
+                v.clear();
+                v.resize(fanout, Rid::nil());
+            }
+            slot => *slot = Value::Set(SetValue::Inline(vec![Rid::nil(); fanout])),
+        }
+    }
+
+    fn set_clients_overflow(&mut self, set: SetValue) {
+        self.provider[5] = Value::Set(set);
+    }
+
+    fn fill_patient(&mut self, mrn: i64, age: i32, sex: u8, random_integer: i32, num: i64, pcp: Rid) {
+        let v = &mut self.patient;
+        str_slot(&mut v[0], "pat", mrn);
+        v[1] = Value::Int(mrn as i32);
+        v[2] = Value::Int(age);
+        v[3] = Value::Char(sex);
+        v[4] = Value::Int(random_integer);
+        v[5] = Value::Int(num as i32);
+        v[6] = Value::Ref(pcp);
+    }
 }
 
 /// What gets created at one step of the creation plan. Payloads are
@@ -283,26 +345,27 @@ pub fn build_with_load_knobs(config: &BuildConfig, knobs: &LoadKnobs) -> Databas
     let mut patient_rids: Vec<Rid> = vec![Rid::nil(); n_count];
     let mut provider_order: Vec<Rid> = Vec::with_capacity(p_count);
     let mut patient_order: Vec<Rid> = Vec::with_capacity(n_count);
+    let mut templates = ValueTemplates::new();
     for item in &plan {
         match *item {
             PlanItem::Provider(i) => {
-                let placeholder = match config.shape {
+                templates.fill_provider(i as i64);
+                match config.shape {
                     // Same encoded size as the final value: updated in
                     // place during wiring.
-                    DbShape::Db1 => SetValue::Overflow {
+                    DbShape::Db1 => templates.set_clients_overflow(SetValue::Overflow {
                         file: overflow_file.unwrap(),
                         first_page: 0,
                         count: 0,
-                    },
+                    }),
                     DbShape::Db2 => {
-                        SetValue::Inline(vec![Rid::nil(); fanouts[i as usize] as usize])
+                        templates.set_clients_placeholder(fanouts[i as usize] as usize)
                     }
-                };
-                let values = provider_values(i as i64, placeholder);
+                }
                 let rid = store.insert(
                     provider_file,
                     derby.provider,
-                    &values,
+                    &templates.provider,
                     config.index_headroom,
                 );
                 provider_rids[i as usize] = rid;
@@ -312,9 +375,13 @@ pub fn build_with_load_knobs(config: &BuildConfig, knobs: &LoadKnobs) -> Databas
                 let j = j as usize;
                 let age = (j % 97) as i32;
                 let sex = if j.is_multiple_of(2) { b'F' } else { b'M' };
-                let values =
-                    patient_values(j as i64, age, sex, random_integers[j], nums[j], Rid::nil());
-                let rid = store.insert(patient_file, derby.patient, &values, config.index_headroom);
+                templates.fill_patient(j as i64, age, sex, random_integers[j], nums[j], Rid::nil());
+                let rid = store.insert(
+                    patient_file,
+                    derby.patient,
+                    &templates.patient,
+                    config.index_headroom,
+                );
                 patient_rids[j] = rid;
                 patient_order.push(rid);
             }
@@ -332,7 +399,7 @@ pub fn build_with_load_knobs(config: &BuildConfig, knobs: &LoadKnobs) -> Databas
         clients[prov as usize].push(patient_rids[j]);
         let age = (j % 97) as i32;
         let sex = if j % 2 == 0 { b'F' } else { b'M' };
-        let values = patient_values(
+        templates.fill_patient(
             j as i64,
             age,
             sex,
@@ -340,7 +407,7 @@ pub fn build_with_load_knobs(config: &BuildConfig, knobs: &LoadKnobs) -> Databas
             nums[j],
             provider_rids[prov as usize],
         );
-        let new_rid = store.update(patient_rids[j], &values);
+        let new_rid = store.update(patient_rids[j], &templates.patient);
         debug_assert_eq!(new_rid, patient_rids[j], "pcp update is same-size");
         ops_since_commit += 1;
         if ops_since_commit >= commit_every {
@@ -352,12 +419,15 @@ pub fn build_with_load_knobs(config: &BuildConfig, knobs: &LoadKnobs) -> Databas
         }
     }
     for i in 0..p_count {
-        let set = match config.shape {
-            DbShape::Db1 => store.write_overflow_set(overflow_file.unwrap(), &clients[i]),
-            DbShape::Db2 => SetValue::Inline(clients[i].clone()),
-        };
-        let values = provider_values(i as i64, set);
-        let new_rid = store.update(provider_rids[i], &values);
+        templates.fill_provider(i as i64);
+        match config.shape {
+            DbShape::Db1 => {
+                let set = store.write_overflow_set(overflow_file.unwrap(), &clients[i]);
+                templates.set_clients_overflow(set);
+            }
+            DbShape::Db2 => templates.set_clients_inline(&clients[i]),
+        }
+        let new_rid = store.update(provider_rids[i], &templates.provider);
         debug_assert_eq!(new_rid, provider_rids[i], "client-set update is same-size");
         ops_since_commit += 1;
         if ops_since_commit >= commit_every {
@@ -546,7 +616,7 @@ mod tests {
                 .as_set()
                 .unwrap()
                 .clone();
-            let mut members: SetCursor = db.store.set_cursor(&set);
+            let mut members: SetCursor<'_> = db.store.set_cursor(&set);
             while let Some(m) = members.next(db.store.stack_mut()) {
                 assert!(seen.insert(m), "patient in two client sets");
             }

@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Harness performance trajectory: times a fixed figure set and records
+# wall clock + peak RSS per run in BENCH_harness.json.
+#
+# The figure set is fig06 (selection) and fig11_14 (the join grid, the
+# paper's headline figure) at two scales:
+#
+#   * smoke scale (TQ_BENCH_SMOKE_SCALE, default 200) — seconds per run,
+#     catches gross regressions in CI;
+#   * paper scale (TQ_BENCH_PAPER_SCALE, default 1 = the paper's 1M/3M
+#     object bases) — the workload the copy-on-write snapshot work is
+#     aimed at.
+#
+# Each (figure, scale) pair runs at TQ_JOBS=1 and TQ_JOBS=<ncores>
+# (deduplicated on single-core machines). Figure *output* is
+# byte-identical at any job count — this script only measures the host
+# side: wall clock and peak RSS.
+#
+# Usage:  scripts/bench.sh [out.json]          (default: BENCH_harness.json)
+#   TQ_BENCH_SMOKE_SCALE=200 TQ_BENCH_PAPER_SCALE=1 scripts/bench.sh
+#   TQ_BENCH_SKIP_PAPER=1 scripts/bench.sh     (CI: smoke scale only)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_harness.json}"
+SMOKE_SCALE="${TQ_BENCH_SMOKE_SCALE:-200}"
+PAPER_SCALE="${TQ_BENCH_PAPER_SCALE:-1}"
+NCORES="$(nproc)"
+
+echo "== build (release) =="
+cargo build --release -p tq-bench
+
+# Runs one figure binary, polling /proc/<pid>/status for VmHWM (peak
+# RSS, monotonic) while it runs. Appends one JSON record to $RECORDS.
+RECORDS=""
+run_one() {
+    local name="$1" scale="$2" jobs="$3"
+    shift 3
+    echo "-- $name scale=$scale jobs=$jobs"
+    local t0 t1 pid hwm_kb=0 line
+    t0=$(date +%s%N)
+    TQ_SCALE="$scale" TQ_JOBS="$jobs" "$@" >/dev/null 2>&1 &
+    pid=$!
+    while kill -0 "$pid" 2>/dev/null; do
+        if line=$(grep VmHWM "/proc/$pid/status" 2>/dev/null); then
+            line=${line//[!0-9]/}
+            [ -n "$line" ] && [ "$line" -gt "$hwm_kb" ] && hwm_kb=$line
+        fi
+        sleep 0.1
+    done
+    wait "$pid"
+    t1=$(date +%s%N)
+    local wall_ms=$(( (t1 - t0) / 1000000 ))
+    echo "   wall=${wall_ms}ms peak_rss=${hwm_kb}kB"
+    RECORDS+="    {\"figure\": \"$name\", \"scale\": $scale, \"jobs\": $jobs,"
+    RECORDS+=" \"wall_ms\": $wall_ms, \"peak_rss_kb\": $hwm_kb},"$'\n'
+}
+
+JOBS_SET="1"
+[ "$NCORES" -gt 1 ] && JOBS_SET="1 $NCORES"
+
+SCALES="$SMOKE_SCALE"
+if [ "${TQ_BENCH_SKIP_PAPER:-0}" = "0" ]; then
+    SCALES="$SMOKE_SCALE $PAPER_SCALE"
+fi
+
+for scale in $SCALES; do
+    for jobs in $JOBS_SET; do
+        run_one fig06 "$scale" "$jobs" ./target/release/fig06_selection
+        run_one fig11_14 "$scale" "$jobs" \
+            ./target/release/fig11_14_joins --db db2 --org class
+    done
+done
+
+{
+    echo "{"
+    echo "  \"host_cores\": $NCORES,"
+    echo "  \"git_rev\": \"$(git rev-parse --short HEAD 2>/dev/null || echo unknown)\","
+    echo "  \"runs\": ["
+    printf '%s' "${RECORDS%,$'\n'}"
+    echo ""
+    echo "  ]"
+    echo "}"
+} > "$OUT"
+echo "wrote $OUT"

@@ -14,11 +14,21 @@ cargo build --release --workspace
 echo "== tests (workspace) =="
 cargo test --workspace -q
 
+echo "== copy-on-write snapshot tests (release) =="
+cargo test --release -q -p tq-pagestore --test prop_cow
+cargo test --release -q -p tq-bench --test cow_sharing
+
+echo "== determinism oracle at paper-relevant scale (release) =="
+cargo test --release -q -p tq-bench --test parallel_matches_serial -- --ignored
+
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== smoke figure (TQ_SCALE=200, TQ_JOBS=2) =="
+SMOKE_T0=$(date +%s%N)
 TQ_SCALE=200 TQ_JOBS=2 \
     cargo run --release -p tq-bench --bin fig11_14_joins -- --db db2 --org class
+SMOKE_T1=$(date +%s%N)
+echo "smoke figure wall clock: $(( (SMOKE_T1 - SMOKE_T0) / 1000000 )) ms"
 
 echo "verify: OK"

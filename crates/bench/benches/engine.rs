@@ -201,15 +201,18 @@ fn bench_joins() {
     // Wall time of a full cold join on a 1/2000-scale 1:3 database.
     let mut db = build_db(DbShape::Db2, Organization::ClassClustered, 2000);
     for algo in JoinAlgo::all() {
-        bench(&format!("join_wall_time_scale_1_2000/{}", algo.label()), || {
-            black_box(run_join_cell(
-                &mut db,
-                algo,
-                50,
-                50,
-                &JoinOptions::default(),
-            ));
-        });
+        bench(
+            &format!("join_wall_time_scale_1_2000/{}", algo.label()),
+            || {
+                black_box(run_join_cell(
+                    &mut db,
+                    algo,
+                    50,
+                    50,
+                    &JoinOptions::default(),
+                ));
+            },
+        );
     }
 }
 

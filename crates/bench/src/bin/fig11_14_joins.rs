@@ -36,4 +36,11 @@ fn main() {
     let fig = tq_bench::figures::joins::run_join_figure(shape, org, scale, jobs);
     println!("{}", tq_bench::figures::joins::print_join_figure(&fig));
     println!("{}", tq_statsdb::export::to_csv(fig.stats.all()));
+    // Opt-in per-operator view: a counter table per run (rows sum to
+    // the query-level Stat) plus the operator CSV export. Gated so the
+    // default figure output stays byte-identical.
+    if std::env::var_os("TQ_EXPLAIN").is_some() {
+        println!("{}", tq_bench::figures::joins::print_explain(&fig));
+        println!("{}", tq_statsdb::export::to_operator_csv(fig.stats.all()));
+    }
 }

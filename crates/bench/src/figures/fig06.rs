@@ -8,10 +8,10 @@
 //! 5%" — objects are accessed truly randomly, so pages are read more
 //! than once.
 
-use crate::harness::build_db;
+use crate::harness::{build_db, operator_rows};
 use crate::parallel::run_cells;
 use tq_query::spec::{CmpOp, ResultMode, Selection};
-use tq_query::{index_scan, seq_scan};
+use tq_query::{index_scan, seq_scan, ExecTrace};
 use tq_statsdb::{ExtentDesc, QueryDesc, Stat, StatsDb, SystemDesc};
 use tq_workload::{patient_attr, Database, DbShape, Organization};
 
@@ -57,7 +57,7 @@ fn selection(db: &Database, permille: u32) -> Selection {
     }
 }
 
-fn stat(db: &Database, algo: &str, permille: u32, secs: f64) -> Stat {
+fn stat(db: &Database, algo: &str, permille: u32, secs: f64, trace: &ExecTrace) -> Stat {
     Stat {
         numtest: 0,
         query: QueryDesc {
@@ -84,6 +84,7 @@ fn stat(db: &Database, algo: &str, permille: u32, secs: f64) -> Stat {
         sc2cc_read_pages: db.store.stats().sc2cc_read_pages,
         cc_miss_rate: db.store.stats().client_miss_rate(),
         sc_miss_rate: db.store.stats().server_miss_rate(),
+        operators: operator_rows(trace),
     }
 }
 
@@ -103,11 +104,11 @@ pub fn run(scale: u32, jobs: usize) -> Fig06 {
                 let (report_idx, index_secs) =
                     db.measure_cold(|db| index_scan(&mut db.store, &num_idx, &sel, false));
                 let index_pages = db.store.stats().d2sc_read_pages;
-                let index_stat = stat(&db, "IndexScan", permille, index_secs);
+                let index_stat = stat(&db, "IndexScan", permille, index_secs, &report_idx.trace);
                 let (report_seq, scan_secs) =
                     db.measure_cold(|db| seq_scan(&mut db.store, &sel, false));
                 let scan_pages = db.store.stats().d2sc_read_pages;
-                let scan_stat = stat(&db, "SeqScan", permille, scan_secs);
+                let scan_stat = stat(&db, "SeqScan", permille, scan_secs, &report_seq.trace);
                 assert_eq!(report_idx.selected, report_seq.selected);
                 let row = Row {
                     permille,

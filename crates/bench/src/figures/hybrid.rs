@@ -93,8 +93,13 @@ pub fn run(scale: u32, jobs: usize) -> HybridFigure {
                     "hybrid must not change answers"
                 );
                 let nl = run_join_cell(&mut db, JoinAlgo::Nl, pat, prov, &JoinOptions::default());
-                let nojoin =
-                    run_join_cell(&mut db, JoinAlgo::Nojoin, pat, prov, &JoinOptions::default());
+                let nojoin = run_join_cell(
+                    &mut db,
+                    JoinAlgo::Nojoin,
+                    pat,
+                    prov,
+                    &JoinOptions::default(),
+                );
                 Row {
                     label: format!("{} / {} ({pat},{prov})", shape.label(), org.label()),
                     algo,

@@ -64,7 +64,11 @@ pub fn run_join_figure_on(db: &Database, scale: u32, jobs: usize) -> JoinFigure 
     let mut stats = StatsDb::new();
     let cells: Vec<_> = CELLS
         .iter()
-        .flat_map(|&(pat, prov)| JoinAlgo::all().into_iter().map(move |algo| (pat, prov, algo)))
+        .flat_map(|&(pat, prov)| {
+            JoinAlgo::all()
+                .into_iter()
+                .map(move |algo| (pat, prov, algo))
+        })
         .map(|(pat, prov, algo)| {
             move || {
                 let mut db = db.clone();
@@ -91,6 +95,85 @@ pub fn run_join_figure_on(db: &Database, scale: u32, jobs: usize) -> JoinFigure 
         scale,
         stats,
     }
+}
+
+/// Renders the `TQ_EXPLAIN` view: one per-operator counter table per
+/// measured run, with the rows' field-wise sum and the query-level
+/// `Stat` line below it — by the executor's attribution invariant the
+/// two lines agree exactly.
+pub fn print_explain(fig: &JoinFigure) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for s in fig.stats.all() {
+        let pat = s.query.selectivity_on("Patient").unwrap_or(0);
+        let prov = s.query.selectivity_on("Provider").unwrap_or(0);
+        writeln!(
+            out,
+            "explain (pat {pat}, prov {prov}) {} [{}]:",
+            s.algo, s.cluster
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "  {:<30} {:>9} {:>9} {:>9} {:>10} {:>11} {:>10}",
+            "operator", "pages", "shipped", "c-miss", "h-gets", "cpu-ev", "secs"
+        )
+        .unwrap();
+        let (mut pages, mut shipped, mut miss, mut gets, mut ev) = (0u64, 0u64, 0u64, 0u64, 0u64);
+        let mut nanos = 0u64;
+        for op in &s.operators {
+            writeln!(
+                out,
+                "  {:<30} {:>9} {:>9} {:>9} {:>10} {:>11} {:>10.2}",
+                format!(
+                    "{:indent$}{}({})",
+                    "",
+                    op.op,
+                    op.label,
+                    indent = 2 * op.depth as usize
+                ),
+                op.d2sc_read_pages,
+                op.sc2cc_read_pages,
+                op.client_misses,
+                op.handle_gets,
+                op.cpu_events,
+                op.elapsed_secs(),
+            )
+            .unwrap();
+            pages += op.d2sc_read_pages;
+            shipped += op.sc2cc_read_pages;
+            miss += op.client_misses;
+            gets += op.handle_gets;
+            ev += op.cpu_events;
+            nanos += op.io_nanos + op.rpc_nanos + op.cpu_nanos + op.swap_nanos;
+        }
+        writeln!(
+            out,
+            "  {:<30} {:>9} {:>9} {:>9} {:>10} {:>11} {:>10.2}",
+            "sum(operators)",
+            pages,
+            shipped,
+            miss,
+            gets,
+            ev,
+            nanos as f64 / 1e9,
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "  {:<30} {:>9} {:>9} {:>9} {:>10} {:>11} {:>10.2}",
+            "query Stat",
+            s.d2sc_read_pages,
+            s.sc2cc_read_pages,
+            s.cc_pagefaults,
+            "",
+            "",
+            s.elapsed_time,
+        )
+        .unwrap();
+        out.push('\n');
+    }
+    out
 }
 
 /// Prints the figure in the paper's layout (ranked, with time ratios),

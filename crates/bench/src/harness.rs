@@ -2,8 +2,8 @@
 
 use tq_query::estimator::PhysicalProfile;
 use tq_query::join::{run_join, JoinContext, JoinOptions, JoinReport};
-use tq_query::{JoinAlgo, ResultMode, TreeJoinSpec};
-use tq_statsdb::{ExtentDesc, QueryDesc, Stat, SystemDesc};
+use tq_query::{ExecTrace, JoinAlgo, OpCounters, OpKind, ResultMode, TreeJoinSpec};
+use tq_statsdb::{ExtentDesc, OperatorStat, QueryDesc, Stat, SystemDesc};
 use tq_workload::{
     build, patient_attr, provider_attr, BuildConfig, Database, DbShape, Organization,
 };
@@ -144,21 +144,62 @@ pub fn run_join_cell(
     let spec = join_spec(db, pat_pct, prov_pct);
     let parent_index = db.idx_provider_upin.clone();
     let child_index = db.idx_patient_mrn.clone();
-    let (report, secs) = db.measure_cold(|db| {
+    // The cold protocol, spelled out (rather than `measure_cold`) so
+    // the end-of-query handle drain can be recorded on the trace: with
+    // the `Teardown` row the per-operator counters cover the *whole*
+    // measured window and sum exactly to the query-level `Stat`.
+    db.store.cold_restart();
+    db.store.reset_metrics();
+    let mut report = {
         let mut ctx = JoinContext {
             store: &mut db.store,
             parent_index: &parent_index,
             child_index: &child_index,
         };
         run_join(algo, &mut ctx, &spec, opts, false)
-    });
+    };
+    record_teardown(db, &mut report.trace);
     JoinCell {
         algo,
-        secs,
+        secs: db.store.clock().elapsed_secs(),
         results: report.results,
         io: db.store.stats(),
         report,
     }
+}
+
+/// Runs `end_of_query` and credits its counter delta to a `Teardown`
+/// root row of the trace (skipped when the drain charges nothing).
+fn record_teardown(db: &mut Database, trace: &mut ExecTrace) {
+    let before = OpCounters::snapshot(&db.store);
+    db.store.end_of_query();
+    let drain = OpCounters::snapshot(&db.store).delta_since(&before);
+    if !drain.is_zero() {
+        trace.push_root(OpKind::Teardown, "end_of_query", drain);
+    }
+}
+
+/// Flattens a trace into storable [`OperatorStat`] rows.
+pub fn operator_rows(trace: &ExecTrace) -> Vec<OperatorStat> {
+    trace
+        .ops
+        .iter()
+        .map(|op| OperatorStat {
+            op: op.kind.label().into(),
+            label: op.label.clone(),
+            depth: op.depth,
+            d2sc_read_pages: op.counters.io.d2sc_read_pages,
+            sc2cc_read_pages: op.counters.io.sc2cc_read_pages,
+            client_misses: op.counters.io.client_misses,
+            handle_gets: op.counters.handle_gets(),
+            handle_frees: op.counters.handle_frees,
+            cpu_events: op.counters.cpu_events,
+            io_nanos: op.counters.io_nanos,
+            rpc_nanos: op.counters.rpc_nanos,
+            cpu_nanos: op.counters.cpu_nanos,
+            swap_nanos: op.counters.swap_nanos,
+        })
+        .collect()
 }
 
 /// Runs a *warm* join measurement: one cold run primes the caches
@@ -180,7 +221,7 @@ pub fn run_join_cell_warm(
     let _ = run_join_cell(db, algo, pat_pct, prov_pct, opts);
     // Measure warm: reset metrics only, keep residency.
     db.store.reset_metrics();
-    let report = {
+    let mut report = {
         let mut ctx = JoinContext {
             store: &mut db.store,
             parent_index: &parent_index,
@@ -188,7 +229,7 @@ pub fn run_join_cell_warm(
         };
         run_join(algo, &mut ctx, &spec, opts, false)
     };
-    db.store.end_of_query();
+    record_teardown(db, &mut report.trace);
     JoinCell {
         algo,
         secs: db.store.clock().elapsed_secs(),
@@ -240,6 +281,7 @@ pub fn stat_record(db: &Database, cell: &JoinCell, pat_pct: u32, prov_pct: u32) 
         sc2cc_read_pages: cell.io.sc2cc_read_pages,
         cc_miss_rate: cell.io.client_miss_rate(),
         sc_miss_rate: cell.io.server_miss_rate(),
+        operators: operator_rows(&cell.report.trace),
     }
 }
 

@@ -107,7 +107,11 @@ mod tests {
                 })
                 .collect();
             let out = run_cells(jobs, workers);
-            assert_eq!(out, (0..17u64).map(|i| i * i).collect::<Vec<_>>(), "{workers} workers");
+            assert_eq!(
+                out,
+                (0..17u64).map(|i| i * i).collect::<Vec<_>>(),
+                "{workers} workers"
+            );
         }
     }
 
@@ -136,8 +140,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "inline panic")]
     fn inline_panics_propagate_too() {
-        let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> =
-            vec![Box::new(|| panic!("inline panic"))];
+        let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> = vec![Box::new(|| panic!("inline panic"))];
         let _ = run_cells(jobs, 1);
     }
 }

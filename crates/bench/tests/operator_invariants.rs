@@ -1,0 +1,116 @@
+//! The executor's attribution invariant, enforced end to end: for
+//! every join algorithm × physical organization at smoke scale, the
+//! per-operator counter rows of a measured run sum **exactly** — field
+//! for field, no rounding — to the query-level totals the harness
+//! stores in the Figure 3 `Stat` record.
+
+use tq_bench::harness::{build_db, join_spec, run_join_cell, stat_record};
+use tq_bench::JoinCell;
+use tq_query::join::{smj, JoinContext, JoinOptions};
+use tq_query::{JoinAlgo, OpKind};
+use tq_workload::{Database, DbShape, Organization};
+
+/// Asserts one measured cell's trace sums to its run-wide counters and
+/// that its `Stat` record's operator rows reproduce the query fields.
+fn check_cell(db: &Database, cell: &JoinCell, pat: u32, prov: u32, what: &str) {
+    let total = cell.report.trace.total();
+    // Field-for-field against the run's I/O counters (all 8 fields,
+    // including the cache hit/miss tallies the rates derive from).
+    assert_eq!(total.io, cell.io, "{what}: I/O counters must sum exactly");
+    // The simulated clock: the rows' nanoseconds are the elapsed time.
+    assert_eq!(
+        total.elapsed_secs(),
+        cell.secs,
+        "{what}: elapsed time must be fully attributed"
+    );
+    // Attribution is complete: nothing landed outside an operator.
+    assert!(
+        cell.report.trace.find(OpKind::Other).is_none(),
+        "{what}: no counters may land outside operator scopes"
+    );
+    // And the same invariant on the stored record.
+    let stat = stat_record(db, cell, pat, prov);
+    assert!(!stat.operators.is_empty(), "{what}: breakdown must export");
+    let d2sc: u64 = stat.operators.iter().map(|o| o.d2sc_read_pages).sum();
+    let sc2cc: u64 = stat.operators.iter().map(|o| o.sc2cc_read_pages).sum();
+    let misses: u64 = stat.operators.iter().map(|o| o.client_misses).sum();
+    let nanos: u64 = stat
+        .operators
+        .iter()
+        .map(|o| o.io_nanos + o.rpc_nanos + o.cpu_nanos + o.swap_nanos)
+        .sum();
+    assert_eq!(d2sc, stat.d2sc_read_pages, "{what}: d2sc_read_pages");
+    assert_eq!(sc2cc, stat.sc2cc_read_pages, "{what}: sc2cc_read_pages");
+    assert_eq!(sc2cc, stat.rpcs_number, "{what}: rpcs_number");
+    assert_eq!(misses, stat.cc_pagefaults, "{what}: cc_pagefaults");
+    assert_eq!(
+        nanos as f64 / 1e9,
+        stat.elapsed_time,
+        "{what}: elapsed_time"
+    );
+}
+
+#[test]
+fn every_algo_and_clustering_sums_to_the_query_stat() {
+    for (shape, scale) in [(DbShape::Db1, 200), (DbShape::Db2, 1000)] {
+        for org in [
+            Organization::ClassClustered,
+            Organization::Randomized,
+            Organization::Composition,
+        ] {
+            let master = build_db(shape, org, scale);
+            for algo in JoinAlgo::all() {
+                let mut db = master.clone();
+                let cell = run_join_cell(&mut db, algo, 10, 90, &JoinOptions::default());
+                let what = format!("{shape:?}/{org:?}/{}", algo.label());
+                check_cell(&db, &cell, 10, 90, &what);
+            }
+        }
+    }
+}
+
+#[test]
+fn swap_heavy_and_hybrid_cells_sum_to_the_query_stat() {
+    // (90,90) on DB2/class drives the hash tables past the operator
+    // budget: swap-fault nanoseconds must be attributed too.
+    let master = build_db(DbShape::Db2, Organization::ClassClustered, 1000);
+    for algo in [JoinAlgo::Phj, JoinAlgo::Chj] {
+        for hybrid in [false, true] {
+            let mut db = master.clone();
+            let opts = JoinOptions {
+                hybrid_hashing: hybrid,
+                ..Default::default()
+            };
+            let cell = run_join_cell(&mut db, algo, 90, 90, &opts);
+            let what = format!("{} hybrid={hybrid}", algo.label());
+            check_cell(&db, &cell, 90, 90, &what);
+        }
+    }
+}
+
+#[test]
+fn sort_merge_join_trace_sums_to_its_window() {
+    // SMJ is not dispatched by `run_join`; measure it directly and
+    // compare the trace against the whole post-reset window.
+    let mut db = build_db(DbShape::Db2, Organization::ClassClustered, 1000);
+    let spec = join_spec(&db, 90, 90);
+    let parent_index = db.idx_provider_upin.clone();
+    let child_index = db.idx_patient_mrn.clone();
+    db.store.cold_restart();
+    db.store.reset_metrics();
+    let report = {
+        let mut ctx = JoinContext {
+            store: &mut db.store,
+            parent_index: &parent_index,
+            child_index: &child_index,
+        };
+        smj::run(&mut ctx, &spec, &JoinOptions::default(), false)
+    };
+    assert!(report.results > 0);
+    let total = report.trace.total();
+    assert_eq!(total.io, db.store.stats());
+    assert_eq!(total.elapsed_secs(), db.store.clock().elapsed_secs());
+    assert!(report.trace.find(OpKind::Sort).is_some());
+    assert!(report.trace.find(OpKind::Merge).is_some());
+    assert!(report.trace.find(OpKind::Other).is_none());
+}

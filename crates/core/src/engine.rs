@@ -178,26 +178,28 @@ impl Engine {
             let Some(prid) = cursor.next(self.store.stack_mut()) else {
                 break;
             };
-            let parent = self.store.fetch(prid);
-            let set = parent.object.values[spec.parent_set]
-                .as_set()
-                .expect("parent set attribute")
-                .clone();
-            let parent_rid = parent.rid;
-            self.store.unref(parent_rid);
-            if let SetValue::Inline(rids) = &set {
-                if let Some(first) = rids.first() {
-                    sampled += 1;
-                    let same_file = first.page.file == parent_rid.page.file;
-                    let close = first.page.page_no.abs_diff(parent_rid.page.page_no) <= 2;
-                    if same_file && close {
-                        adjacent += 1;
-                    }
+            // `Some(first)` when the set is inline, `None` on overflow.
+            let sample = self.store.with_fetched(prid, |_store, parent| {
+                match parent.object().values[spec.parent_set]
+                    .as_set()
+                    .expect("parent set attribute")
+                {
+                    SetValue::Inline(rids) => Some((parent.rid(), rids.first().copied())),
+                    SetValue::Overflow { .. } => None,
                 }
-            } else {
+            });
+            let Some((parent_rid, first)) = sample else {
                 // Overflow sets (1:1000): members never sit with the
                 // parent.
                 return false;
+            };
+            if let Some(first) = first {
+                sampled += 1;
+                let same_file = first.page.file == parent_rid.page.file;
+                let close = first.page.page_no.abs_diff(parent_rid.page.page_no) <= 2;
+                if same_file && close {
+                    adjacent += 1;
+                }
             }
         }
         sampled > 0 && adjacent * 2 > sampled
@@ -225,19 +227,15 @@ impl Engine {
         let overflow_pages_per_parent = {
             let mut cursor = self.store.collection_cursor(&spec.parents);
             match cursor.next(self.store.stack_mut()) {
-                Some(prid) => {
-                    let parent = self.store.fetch(prid);
-                    let out = match parent.object.values[spec.parent_set].as_set() {
+                Some(prid) => self.store.with_fetched(prid, |store, parent| {
+                    match parent.object().values[spec.parent_set].as_set() {
                         Some(SetValue::Overflow { file, .. }) => {
-                            let pages = self.store.stack().disk().file_len(*file) as f64;
+                            let pages = store.stack().disk().file_len(*file) as f64;
                             pages / parents.run.count.max(1) as f64
                         }
                         _ => 0.0,
-                    };
-                    let rid = parent.rid;
-                    self.store.unref(rid);
-                    out
-                }
+                    }
+                }),
                 None => 0.0,
             }
         };

@@ -9,6 +9,7 @@
 //! memory budget. They are *adequate for choosing plans*, which is the
 //! paper's bar, not cycle-accurate.
 
+use crate::exec::OpKind;
 use crate::join::hash_table_bytes;
 use crate::spec::JoinAlgo;
 use tq_pagestore::CostModel;
@@ -57,6 +58,40 @@ pub struct CostEstimate {
     pub secs: f64,
     /// Estimated operator hash-table bytes (0 for navigation).
     pub table_bytes: u64,
+}
+
+/// One physical operator's share of a cost estimate — the same
+/// vocabulary ([`OpKind`] + side label) the executor's trace uses, so
+/// `explain` can print estimated and measured columns side by side.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OpEstimate {
+    /// Operator kind.
+    pub kind: OpKind,
+    /// Which side / stream the operator works on.
+    pub label: &'static str,
+    /// Estimated seconds attributed to this operator.
+    pub secs: f64,
+}
+
+/// A cost estimate with its per-operator decomposition.
+///
+/// `estimate.secs` is the planner's number, computed by the exact
+/// historical formula (bitwise-stable); `ops` re-expresses it one
+/// operator at a time. The rows sum to the total up to floating-point
+/// re-association only.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EstimateBreakdown {
+    /// Per-operator terms, in pipeline order.
+    pub ops: Vec<OpEstimate>,
+    /// The aggregate estimate (what the planner compares).
+    pub estimate: CostEstimate,
+}
+
+impl EstimateBreakdown {
+    /// Sum of the operator rows (≈ `estimate.secs`).
+    pub fn ops_total(&self) -> f64 {
+        self.ops.iter().map(|o| o.secs).sum()
+    }
 }
 
 fn secs(nanos: u64) -> f64 {
@@ -163,6 +198,22 @@ pub fn estimate_join(
     parent_sel: f64,
     child_sel: f64,
 ) -> CostEstimate {
+    estimate_join_breakdown(algo, profile, model, parent_sel, child_sel).estimate
+}
+
+/// Estimates one join algorithm's cost, decomposed into the operator
+/// pipeline the executor actually runs (see `exec::join_pipeline`).
+///
+/// The aggregate `estimate` folds the per-operator terms in the exact
+/// order the pre-decomposition estimator used, so planner decisions
+/// and printed figures are unchanged to the last bit.
+pub fn estimate_join_breakdown(
+    algo: JoinAlgo,
+    profile: &PhysicalProfile,
+    model: &CostModel,
+    parent_sel: f64,
+    child_sel: f64,
+) -> EstimateBreakdown {
     let p = profile;
     let e = Env {
         m: model,
@@ -187,7 +238,7 @@ pub fn estimate_join(
     let parent_leaves = e.seq_read(index_leaf_pages(sp));
     let child_leaves = e.seq_read(index_leaf_pages(sc));
 
-    let secs_total = match algo {
+    let (secs_total, ops) = match algo {
         JoinAlgo::Nl => {
             // Parents via their index (NL cannot sort: navigation).
             let io_parents = if p.parent_index_clustered {
@@ -208,11 +259,34 @@ pub fn estimate_join(
                     e.cache,
                 )) + e.rand_read(sp * p.overflow_pages_per_parent)
             };
-            let cpu = e.handle_scan(sp + child_accesses)
+            // Navigation CPU: handles on both sides, the set attribute,
+            // the child key test. Kept apart from the result build so
+            // the `SetNav` / `Emit` rows split the same way the
+            // executor's trace does; `cpu` folds them in the historical
+            // order.
+            let nav_cpu = e.handle_scan(sp + child_accesses)
                 + e.attr(sp) // set attribute
-                + child_accesses * secs(e.m.attr_get + e.m.compare)
-                + e.result_build(results);
-            parent_leaves + io_parents + io_children + cpu
+                + child_accesses * secs(e.m.attr_get + e.m.compare);
+            let emit_cpu = e.result_build(results);
+            let cpu = nav_cpu + emit_cpu;
+            let ops = vec![
+                OpEstimate {
+                    kind: OpKind::IndexRangeScan,
+                    label: "parents",
+                    secs: parent_leaves + io_parents,
+                },
+                OpEstimate {
+                    kind: OpKind::SetNav,
+                    label: "children",
+                    secs: io_children + nav_cpu,
+                },
+                OpEstimate {
+                    kind: OpKind::Emit,
+                    label: "result",
+                    secs: emit_cpu,
+                },
+            ];
+            (parent_leaves + io_parents + io_children + cpu, ops)
         }
         JoinAlgo::Nojoin => {
             let io_children = e.index_driven_scan(
@@ -236,20 +310,46 @@ pub fn estimate_join(
                 + e.attr(sc) // back reference
                 + sc * secs(e.m.attr_get + e.m.compare) // parent key test
                 + e.result_build(results);
-            child_leaves + io_children + io_parents + cpu
+            let ops = vec![
+                OpEstimate {
+                    kind: OpKind::IndexRangeScan,
+                    label: "children",
+                    // Leaf chain + rid sort + the data pass + child
+                    // handles, as the trace attributes them.
+                    secs: child_leaves + e.sort(sc) + io_children + e.handle_scan(sc),
+                },
+                OpEstimate {
+                    kind: OpKind::BackRefNav,
+                    label: "parents",
+                    secs: io_parents
+                        + e.handle_scan(distinct_parents)
+                        + (sc - distinct_parents).max(0.0)
+                            * secs(e.m.handle_touch + e.m.handle_unref)
+                        + e.attr(sc)
+                        + sc * secs(e.m.attr_get + e.m.compare),
+                },
+                OpEstimate {
+                    kind: OpKind::Emit,
+                    label: "result",
+                    secs: e.result_build(results),
+                },
+            ];
+            (child_leaves + io_children + io_parents + cpu, ops)
         }
         JoinAlgo::Phj | JoinAlgo::Chj => {
-            let io = e.index_driven_scan(
+            let io_parent_scan = e.index_driven_scan(
                 p.parent_index_clustered,
                 parent_sel,
                 sp,
                 p.parent_scan_pages as f64,
-            ) + e.index_driven_scan(
+            );
+            let io_child_scan = e.index_driven_scan(
                 p.child_index_clustered,
                 child_sel,
                 sc,
                 p.child_scan_pages as f64,
             );
+            let io = io_parent_scan + io_child_scan;
             let (inserts, probes) = if algo == JoinAlgo::Phj {
                 (sp, sc)
             } else {
@@ -262,12 +362,92 @@ pub fn estimate_join(
                 + inserts * secs(e.m.hash_insert)
                 + probes * secs(e.m.hash_probe)
                 + e.result_build(results);
-            parent_leaves + child_leaves + io + cpu + e.swap_cost(table_bytes, sp + sc)
+            // Per-side rows. The parent side reads one projected
+            // attribute; the child side reads its back reference and
+            // projection (2 per object). Swap faults follow the table
+            // touches: inserts on the build row, probes on the probe
+            // row.
+            let parent_scan_row = parent_leaves + e.sort(sp) + io_parent_scan;
+            let child_scan_row = child_leaves + e.sort(sc) + io_child_scan;
+            let parent_cpu = e.handle_scan(sp) + e.attr(sp);
+            let child_cpu = e.handle_scan(sc) + e.attr(2.0 * sc);
+            let ops = if algo == JoinAlgo::Phj {
+                vec![
+                    OpEstimate {
+                        kind: OpKind::IndexRangeScan,
+                        label: "parents",
+                        secs: parent_scan_row,
+                    },
+                    OpEstimate {
+                        kind: OpKind::HashBuild,
+                        label: "parents",
+                        secs: parent_cpu
+                            + inserts * secs(e.m.hash_insert)
+                            + e.swap_cost(table_bytes, inserts),
+                    },
+                    OpEstimate {
+                        kind: OpKind::IndexRangeScan,
+                        label: "children",
+                        secs: child_scan_row,
+                    },
+                    OpEstimate {
+                        kind: OpKind::HashProbe,
+                        label: "children",
+                        secs: child_cpu
+                            + probes * secs(e.m.hash_probe)
+                            + e.swap_cost(table_bytes, probes),
+                    },
+                    OpEstimate {
+                        kind: OpKind::Emit,
+                        label: "result",
+                        secs: e.result_build(results),
+                    },
+                ]
+            } else {
+                vec![
+                    OpEstimate {
+                        kind: OpKind::IndexRangeScan,
+                        label: "children",
+                        secs: child_scan_row,
+                    },
+                    OpEstimate {
+                        kind: OpKind::HashBuild,
+                        label: "children",
+                        secs: child_cpu
+                            + inserts * secs(e.m.hash_insert)
+                            + e.swap_cost(table_bytes, inserts),
+                    },
+                    OpEstimate {
+                        kind: OpKind::IndexRangeScan,
+                        label: "parents",
+                        secs: parent_scan_row,
+                    },
+                    OpEstimate {
+                        kind: OpKind::HashProbe,
+                        label: "parents",
+                        secs: parent_cpu
+                            + probes * secs(e.m.hash_probe)
+                            + e.swap_cost(table_bytes, probes),
+                    },
+                    OpEstimate {
+                        kind: OpKind::Emit,
+                        label: "result",
+                        secs: e.result_build(results),
+                    },
+                ]
+            };
+            (
+                parent_leaves + child_leaves + io + cpu + e.swap_cost(table_bytes, sp + sc),
+                ops,
+            )
         }
     };
-    CostEstimate {
-        secs: secs_total,
-        table_bytes,
+    EstimateBreakdown {
+        ops,
+        estimate: CostEstimate {
+            secs: secs_total,
+            table_bytes,
+        },
     }
 }
 
@@ -292,6 +472,22 @@ pub fn estimate_selection(
     model: &CostModel,
     sel: f64,
 ) -> f64 {
+    estimate_selection_breakdown(path, total, pages, cache_pages, model, sel)
+        .estimate
+        .secs
+}
+
+/// Estimates a selection, decomposed into the access path's operator
+/// pipeline. The aggregate folds exactly as [`estimate_selection`]
+/// always did; `table_bytes` is always 0 for selections.
+pub fn estimate_selection_breakdown(
+    path: SelectPath,
+    total: u64,
+    pages: u64,
+    cache_pages: u64,
+    model: &CostModel,
+    sel: f64,
+) -> EstimateBreakdown {
     let e = Env {
         m: model,
         cache: cache_pages as f64,
@@ -299,26 +495,78 @@ pub fn estimate_selection(
     let n = total as f64;
     let selected = sel * n;
     let result = selected * secs(model.result_append_persistent + model.attr_get);
-    match path {
+    let emit_row = OpEstimate {
+        kind: OpKind::Emit,
+        label: "result",
+        secs: result,
+    };
+    let (secs_total, ops) = match path {
         SelectPath::SeqScan => {
-            e.seq_read(pages as f64)
+            let scan = e.seq_read(pages as f64)
                 + e.handle_scan(n)
-                + n * secs(model.compare + model.attr_get)
-                + result
+                + n * secs(model.compare + model.attr_get);
+            (
+                scan + result,
+                vec![
+                    OpEstimate {
+                        kind: OpKind::SeqScan,
+                        label: "collection",
+                        secs: scan,
+                    },
+                    emit_row,
+                ],
+            )
         }
         SelectPath::IndexScan => {
-            e.seq_read(index_leaf_pages(selected))
+            let scan = e.seq_read(index_leaf_pages(selected))
                 + e.rand_read(random_reads(selected, pages as f64, e.cache))
-                + e.handle_scan(selected)
-                + result
+                + e.handle_scan(selected);
+            (
+                scan + result,
+                vec![
+                    OpEstimate {
+                        kind: OpKind::IndexRangeScan,
+                        label: "collection",
+                        secs: scan,
+                    },
+                    emit_row,
+                ],
+            )
         }
         SelectPath::SortedIndexScan => {
-            e.seq_read(index_leaf_pages(selected))
+            // Historical fold: leaves + data pass + sort + handles +
+            // result. The rows regroup the sort onto its own `Sort`
+            // node, matching the executor's trace.
+            let scan = e.seq_read(index_leaf_pages(selected))
                 + e.index_driven_scan(false, sel, selected, pages as f64)
                 + e.sort(selected)
-                + e.handle_scan(selected)
-                + result
+                + e.handle_scan(selected);
+            (
+                scan + result,
+                vec![
+                    OpEstimate {
+                        kind: OpKind::IndexRangeScan,
+                        label: "collection",
+                        secs: e.seq_read(index_leaf_pages(selected))
+                            + e.index_driven_scan(false, sel, selected, pages as f64)
+                            + e.handle_scan(selected),
+                    },
+                    OpEstimate {
+                        kind: OpKind::Sort,
+                        label: "rids",
+                        secs: e.sort(selected),
+                    },
+                    emit_row,
+                ],
+            )
         }
+    };
+    EstimateBreakdown {
+        ops,
+        estimate: CostEstimate {
+            secs: secs_total,
+            table_bytes: 0,
+        },
     }
 }
 
@@ -451,6 +699,81 @@ mod tests {
         let idx001 = estimate_selection(SelectPath::IndexScan, 2_000_000, 33_000, 8_192, &m, 0.001);
         let seq001 = estimate_selection(SelectPath::SeqScan, 2_000_000, 33_000, 8_192, &m, 0.001);
         assert!(idx001 < seq001);
+    }
+
+    #[test]
+    fn join_breakdown_rows_sum_to_the_estimate() {
+        let m = CostModel::sparc20();
+        for p in [
+            db1_class(),
+            db2_class(),
+            comp(db1_class()),
+            comp(db2_class()),
+        ] {
+            for algo in [JoinAlgo::Nl, JoinAlgo::Nojoin, JoinAlgo::Phj, JoinAlgo::Chj] {
+                for (sp, sc) in [(0.1, 0.1), (0.1, 0.9), (0.9, 0.1), (0.9, 0.9)] {
+                    let b = estimate_join_breakdown(algo, &p, &m, sp, sc);
+                    // The aggregate IS the historical formula.
+                    assert_eq!(b.estimate, estimate_join(algo, &p, &m, sp, sc));
+                    // The rows re-express it up to fp re-association.
+                    let total = b.ops_total();
+                    assert!(
+                        (total - b.estimate.secs).abs() <= 1e-9 * b.estimate.secs.max(1.0),
+                        "{algo:?} ({sp},{sc}): rows {total} vs estimate {}",
+                        b.estimate.secs
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn join_breakdown_speaks_the_executor_vocabulary() {
+        use crate::exec::join_pipeline;
+        let m = CostModel::sparc20();
+        let p = db1_class();
+        let spec = crate::spec::TreeJoinSpec {
+            parents: "parents".into(),
+            children: "children".into(),
+            parent_key: 0,
+            parent_set: 0,
+            child_key: 0,
+            child_parent: 0,
+            parent_project: 0,
+            child_project: 0,
+            parent_key_limit: 0,
+            child_key_limit: 0,
+            result_mode: crate::spec::ResultMode::Transient,
+        };
+        for algo in [JoinAlgo::Nl, JoinAlgo::Nojoin, JoinAlgo::Phj, JoinAlgo::Chj] {
+            let b = estimate_join_breakdown(algo, &p, &m, 0.5, 0.5);
+            let want = join_pipeline(algo, &spec);
+            let got: Vec<(OpKind, String)> = b
+                .ops
+                .iter()
+                .map(|o| (o.kind, o.label.to_string()))
+                .collect();
+            assert_eq!(got, want, "{algo:?} rows must mirror the executor pipeline");
+        }
+    }
+
+    #[test]
+    fn selection_breakdown_rows_sum_to_the_estimate() {
+        let m = CostModel::sparc20();
+        for path in [
+            SelectPath::SeqScan,
+            SelectPath::IndexScan,
+            SelectPath::SortedIndexScan,
+        ] {
+            for sel in [0.001, 0.1, 0.9] {
+                let b = estimate_selection_breakdown(path, 2_000_000, 33_000, 8_192, &m, sel);
+                let agg = estimate_selection(path, 2_000_000, 33_000, 8_192, &m, sel);
+                assert_eq!(b.estimate.secs, agg);
+                let total = b.ops_total();
+                assert!((total - agg).abs() <= 1e-9 * agg.max(1.0));
+                assert_eq!(b.ops.last().unwrap().kind, OpKind::Emit);
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,572 @@
+//! The physical-operator execution layer.
+//!
+//! Every access pattern the paper measures — index range scans,
+//! sequential scans, parent→child set navigation, child→parent
+//! back-reference navigation, hash build/probe, residual predicates,
+//! result construction — is a named operator here, and every join and
+//! selection is a composition of them driven through one
+//! [`ExecContext`]. The context does two jobs:
+//!
+//! 1. **Handle discipline.** Object fetches go through
+//!    [`ExecContext::with_object`], which pairs the fetch with its
+//!    release via an RAII [`ObjGuard`] — no operator can leak a pin,
+//!    including on deleted-object early returns.
+//! 2. **Counter attribution.** [`ExecContext::op`] opens a scope for
+//!    one operator node and snapshots the store's counters (pages,
+//!    RPCs, cache faults, handle traffic, CPU events, per-category
+//!    nanoseconds) at every scope boundary. Each delta is credited to
+//!    the *innermost* open scope, so the flattened per-operator rows
+//!    sum **exactly** — field for field — to the query totals. That
+//!    invariant is enforced by `crates/bench/tests/operator_invariants`.
+//!
+//! Scopes charge nothing themselves: wrapping existing executor code in
+//! `op()` changes neither the charge sequence nor any counter, which is
+//! how the refactor keeps figure output byte-identical.
+
+use crate::spec::{ResultMode, TreeJoinSpec};
+use std::fmt;
+use tq_index::BTreeIndex;
+use tq_objstore::{ObjGuard, Object, ObjectStore, Rid};
+use tq_pagestore::{CpuEvent, IoStats};
+
+/// The operator vocabulary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Drain an index range into `(key, rid)` pairs (leaf-chain I/O,
+    /// plus the rid sort when the §4.3 sorted-scan lesson is applied),
+    /// or fetch objects in index-key order (the naive index scan).
+    IndexRangeScan,
+    /// Fetch every object of a collection (or a rid-sorted prefix) in
+    /// physical order.
+    SeqScan,
+    /// Parent→child navigation through the set attribute.
+    SetNav,
+    /// Child→parent navigation through the back reference.
+    BackRefNav,
+    /// Build an operator hash table (fetch + insert + swap touches).
+    HashBuild,
+    /// Probe an operator hash table (fetch + probe + swap touches).
+    HashProbe,
+    /// Sort a gathered run (in memory or external with spill I/O).
+    Sort,
+    /// Merge rid-ordered runs (sort-merge join).
+    Merge,
+    /// Residual-predicate evaluation on pinned objects.
+    Residual,
+    /// Project attributes and append one result tuple.
+    Emit,
+    /// End-of-query handle drain (recorded by the measurement harness,
+    /// outside any operator).
+    Teardown,
+    /// Work charged outside every operator scope (should stay zero).
+    Other,
+}
+
+impl OpKind {
+    /// Stable display name.
+    pub fn label(&self) -> &'static str {
+        match self {
+            OpKind::IndexRangeScan => "IndexRangeScan",
+            OpKind::SeqScan => "SeqScan",
+            OpKind::SetNav => "SetNav",
+            OpKind::BackRefNav => "BackRefNav",
+            OpKind::HashBuild => "HashBuild",
+            OpKind::HashProbe => "HashProbe",
+            OpKind::Sort => "Sort",
+            OpKind::Merge => "Merge",
+            OpKind::Residual => "Residual",
+            OpKind::Emit => "Emit",
+            OpKind::Teardown => "Teardown",
+            OpKind::Other => "Other",
+        }
+    }
+
+    /// Parses a display name back (the statsdb CSV round trip).
+    pub fn parse(s: &str) -> Option<OpKind> {
+        Some(match s {
+            "IndexRangeScan" => OpKind::IndexRangeScan,
+            "SeqScan" => OpKind::SeqScan,
+            "SetNav" => OpKind::SetNav,
+            "BackRefNav" => OpKind::BackRefNav,
+            "HashBuild" => OpKind::HashBuild,
+            "HashProbe" => OpKind::HashProbe,
+            "Sort" => OpKind::Sort,
+            "Merge" => OpKind::Merge,
+            "Residual" => OpKind::Residual,
+            "Emit" => OpKind::Emit,
+            "Teardown" => OpKind::Teardown,
+            "Other" => OpKind::Other,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Counter deltas attributed to one operator node. Every field is an
+/// exactly summable `u64` (rates and high-water marks are derived,
+/// never stored), so per-operator rows add up to the query totals
+/// without rounding.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpCounters {
+    /// I/O counters (Figure 3's page/RPC/fault fields).
+    pub io: IoStats,
+    /// Fresh handle allocations.
+    pub handle_allocations: u64,
+    /// Re-pins of live handles.
+    pub handle_touches: u64,
+    /// Revivals from the delayed-free pool.
+    pub handle_revivals: u64,
+    /// Pin drops.
+    pub handle_unrefs: u64,
+    /// Handle teardowns.
+    pub handle_frees: u64,
+    /// CPU events charged (handle traffic, attribute gets, compares,
+    /// hashing, sorting, result appends, swap faults).
+    pub cpu_events: u64,
+    /// Simulated nanoseconds spent on disk I/O.
+    pub io_nanos: u64,
+    /// Simulated nanoseconds spent shipping pages client↔server.
+    pub rpc_nanos: u64,
+    /// Simulated nanoseconds of CPU work.
+    pub cpu_nanos: u64,
+    /// Simulated nanoseconds of operator-memory swap faults.
+    pub swap_nanos: u64,
+}
+
+impl OpCounters {
+    /// Absolute counter values right now — deltas between two
+    /// snapshots attribute to operators.
+    pub fn snapshot(store: &ObjectStore) -> Self {
+        let h = store.handle_stats();
+        let clock = store.clock();
+        Self {
+            io: store.stats(),
+            handle_allocations: h.allocations,
+            handle_touches: h.touches,
+            handle_revivals: h.revivals,
+            handle_unrefs: h.unrefs,
+            handle_frees: h.frees,
+            cpu_events: clock.cpu_events(),
+            io_nanos: clock.io_time(),
+            rpc_nanos: clock.rpc_time(),
+            cpu_nanos: clock.cpu_time(),
+            swap_nanos: clock.swap_time(),
+        }
+    }
+
+    /// Field-wise `self - earlier` (all fields are monotone counters).
+    pub fn delta_since(&self, earlier: &OpCounters) -> OpCounters {
+        OpCounters {
+            io: self.io.delta_since(&earlier.io),
+            handle_allocations: self.handle_allocations - earlier.handle_allocations,
+            handle_touches: self.handle_touches - earlier.handle_touches,
+            handle_revivals: self.handle_revivals - earlier.handle_revivals,
+            handle_unrefs: self.handle_unrefs - earlier.handle_unrefs,
+            handle_frees: self.handle_frees - earlier.handle_frees,
+            cpu_events: self.cpu_events - earlier.cpu_events,
+            io_nanos: self.io_nanos - earlier.io_nanos,
+            rpc_nanos: self.rpc_nanos - earlier.rpc_nanos,
+            cpu_nanos: self.cpu_nanos - earlier.cpu_nanos,
+            swap_nanos: self.swap_nanos - earlier.swap_nanos,
+        }
+    }
+
+    /// Field-wise accumulate.
+    pub fn add(&mut self, other: &OpCounters) {
+        self.io.d2sc_read_pages += other.io.d2sc_read_pages;
+        self.io.sc2cc_read_pages += other.io.sc2cc_read_pages;
+        self.io.client_hits += other.io.client_hits;
+        self.io.client_misses += other.io.client_misses;
+        self.io.server_hits += other.io.server_hits;
+        self.io.server_misses += other.io.server_misses;
+        self.io.pages_written += other.io.pages_written;
+        self.io.log_pages_written += other.io.log_pages_written;
+        self.handle_allocations += other.handle_allocations;
+        self.handle_touches += other.handle_touches;
+        self.handle_revivals += other.handle_revivals;
+        self.handle_unrefs += other.handle_unrefs;
+        self.handle_frees += other.handle_frees;
+        self.cpu_events += other.cpu_events;
+        self.io_nanos += other.io_nanos;
+        self.rpc_nanos += other.rpc_nanos;
+        self.cpu_nanos += other.cpu_nanos;
+        self.swap_nanos += other.swap_nanos;
+    }
+
+    /// All-zero?
+    pub fn is_zero(&self) -> bool {
+        *self == OpCounters::default()
+    }
+
+    /// Handle gets of any flavour (alloc + touch + revive).
+    pub fn handle_gets(&self) -> u64 {
+        self.handle_allocations + self.handle_touches + self.handle_revivals
+    }
+
+    /// Total simulated nanoseconds across the four categories.
+    pub fn elapsed_nanos(&self) -> u64 {
+        self.io_nanos + self.rpc_nanos + self.cpu_nanos + self.swap_nanos
+    }
+
+    /// Total simulated seconds.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.elapsed_nanos() as f64 / 1e9
+    }
+}
+
+/// One operator node of a finished trace, flattened pre-order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OpRecord {
+    /// Operator kind.
+    pub kind: OpKind,
+    /// Deterministic instance label (collection name, "result", …).
+    pub label: String,
+    /// Nesting depth (0 = pipeline root).
+    pub depth: u32,
+    /// Counters exclusively attributed to this node.
+    pub counters: OpCounters,
+}
+
+/// A finished per-operator attribution, pre-order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ExecTrace {
+    /// The operator rows.
+    pub ops: Vec<OpRecord>,
+}
+
+impl ExecTrace {
+    /// Field-wise sum over every row — equals the counter deltas of the
+    /// whole traced window.
+    pub fn total(&self) -> OpCounters {
+        let mut t = OpCounters::default();
+        for op in &self.ops {
+            t.add(&op.counters);
+        }
+        t
+    }
+
+    /// Appends a root-level row (the harness records the end-of-query
+    /// handle drain this way, so the trace covers the full measured
+    /// window).
+    pub fn push_root(&mut self, kind: OpKind, label: &str, counters: OpCounters) {
+        self.ops.push(OpRecord {
+            kind,
+            label: label.to_string(),
+            depth: 0,
+            counters,
+        });
+    }
+
+    /// First row of the given kind, if any (test convenience).
+    pub fn find(&self, kind: OpKind) -> Option<&OpRecord> {
+        self.ops.iter().find(|op| op.kind == kind)
+    }
+}
+
+struct Node {
+    kind: OpKind,
+    label: String,
+    parent: Option<usize>,
+    counters: OpCounters,
+}
+
+/// Drives a composition of operators over one store, attributing
+/// counter deltas to the innermost open operator scope.
+pub struct ExecContext<'a> {
+    /// The store every operator works through.
+    pub store: &'a mut ObjectStore,
+    nodes: Vec<Node>,
+    open: Vec<usize>,
+    last: OpCounters,
+    unattributed: OpCounters,
+}
+
+impl<'a> ExecContext<'a> {
+    /// Starts a trace: counters from here on are attributed.
+    pub fn new(store: &'a mut ObjectStore) -> Self {
+        let last = OpCounters::snapshot(store);
+        Self {
+            store,
+            nodes: Vec::new(),
+            open: Vec::new(),
+            last,
+            unattributed: OpCounters::default(),
+        }
+    }
+
+    fn take_delta(&mut self) -> OpCounters {
+        let now = OpCounters::snapshot(self.store);
+        let delta = now.delta_since(&self.last);
+        self.last = now;
+        delta
+    }
+
+    fn credit(&mut self, delta: OpCounters) {
+        match self.open.last() {
+            Some(&id) => self.nodes[id].counters.add(&delta),
+            None => self.unattributed.add(&delta),
+        }
+    }
+
+    /// Runs `f` inside an operator scope. Repeated scopes with the same
+    /// `(kind, label)` under the same parent accumulate into one node
+    /// (a per-tuple navigation scope is still one operator row).
+    pub fn op<R>(&mut self, kind: OpKind, label: &str, f: impl FnOnce(&mut Self) -> R) -> R {
+        let delta = self.take_delta();
+        self.credit(delta);
+        let parent = self.open.last().copied();
+        let id = self
+            .nodes
+            .iter()
+            .position(|n| n.parent == parent && n.kind == kind && n.label == label)
+            .unwrap_or_else(|| {
+                self.nodes.push(Node {
+                    kind,
+                    label: label.to_string(),
+                    parent,
+                    counters: OpCounters::default(),
+                });
+                self.nodes.len() - 1
+            });
+        self.open.push(id);
+        let out = f(self);
+        let delta = self.take_delta();
+        self.open.pop();
+        self.nodes[id].counters.add(&delta);
+        out
+    }
+
+    /// Fetches `rid` and runs `f` with the guarded object; the release
+    /// is structural, so early returns (deleted objects) cannot leak
+    /// the handle pin.
+    pub fn with_object<R>(&mut self, rid: Rid, f: impl FnOnce(&mut Self, &ObjGuard) -> R) -> R {
+        let guard = self.store.fetch_guard(rid);
+        let out = f(self, &guard);
+        self.store.release_guard(guard);
+        out
+    }
+
+    /// Closes the trace. Anything charged outside every scope surfaces
+    /// as an `Other` row (it should be zero; the invariant test counts
+    /// it either way).
+    pub fn finish(mut self) -> ExecTrace {
+        debug_assert!(self.open.is_empty(), "finish with open operator scopes");
+        let tail = self.take_delta();
+        self.unattributed.add(&tail);
+        let mut trace = ExecTrace::default();
+        flatten(&self.nodes, None, 0, &mut trace.ops);
+        if !self.unattributed.is_zero() {
+            trace.push_root(OpKind::Other, "unattributed", self.unattributed);
+        }
+        trace
+    }
+}
+
+fn flatten(nodes: &[Node], parent: Option<usize>, depth: u32, out: &mut Vec<OpRecord>) {
+    for (i, n) in nodes.iter().enumerate() {
+        if n.parent == parent {
+            out.push(OpRecord {
+                kind: n.kind,
+                label: n.label.clone(),
+                depth,
+                counters: n.counters,
+            });
+            flatten(nodes, Some(i), depth + 1, out);
+        }
+    }
+}
+
+/// Integer attribute accessor — keys and projections are Int by
+/// construction in the paper's Derby schemas. The one shared copy
+/// (selections and joins used to carry private duplicates).
+pub fn int_attr(obj: &Object, attr: usize) -> i64 {
+    obj.values[attr]
+        .as_int()
+        .expect("key/projection attributes must be Int") as i64
+}
+
+/// `IndexRangeScan`: drains `(key, rid)` pairs for keys `< hi_exclusive`
+/// from the index, optionally rid-sorting them (charging the sort
+/// compares) so the subsequent fetches run in physical order — the
+/// §4.3 sorted-scan lesson applied inside the joins.
+pub fn index_range_scan(
+    ctx: &mut ExecContext<'_>,
+    index: &BTreeIndex,
+    hi_exclusive: i64,
+    sort: bool,
+    label: &str,
+) -> Vec<(i64, Rid)> {
+    ctx.op(OpKind::IndexRangeScan, label, |ctx| {
+        let mut cursor = index.range(ctx.store.stack_mut(), i64::MIN + 1, hi_exclusive - 1);
+        let mut out: Vec<(i64, Rid)> = Vec::new();
+        while let Some(pair) = cursor.next(ctx.store.stack_mut()) {
+            out.push(pair);
+        }
+        if sort && out.len() > 1 {
+            let n = out.len() as f64;
+            ctx.store
+                .charge(CpuEvent::SortCompare, (n * n.log2()).ceil() as u64);
+            out.sort_unstable_by_key(|&(_, rid)| rid);
+        }
+        out
+    })
+}
+
+/// `Emit` charge for one result tuple under the spec's result mode.
+pub fn charge_result_append(store: &mut ObjectStore, mode: ResultMode) {
+    store.charge(
+        match mode {
+            ResultMode::Persistent => CpuEvent::ResultAppendPersistent,
+            ResultMode::Transient => CpuEvent::ResultAppendTransient,
+        },
+        1,
+    );
+}
+
+/// The operator pipeline a join algorithm runs, in execution order —
+/// the *specs* the estimator costs and the executor traces share. Kept
+/// next to the executor so the two cannot drift; the estimator's
+/// per-operator breakdown uses exactly these kinds, and a test pins
+/// each algorithm's measured trace to this vocabulary.
+pub fn join_pipeline(algo: crate::spec::JoinAlgo, spec: &TreeJoinSpec) -> Vec<(OpKind, String)> {
+    use crate::spec::JoinAlgo;
+    let parents = spec.parents.clone();
+    let children = spec.children.clone();
+    match algo {
+        JoinAlgo::Nl => vec![
+            (OpKind::IndexRangeScan, parents),
+            (OpKind::SetNav, children),
+            (OpKind::Emit, "result".to_string()),
+        ],
+        JoinAlgo::Nojoin => vec![
+            (OpKind::IndexRangeScan, children),
+            (OpKind::BackRefNav, parents),
+            (OpKind::Emit, "result".to_string()),
+        ],
+        JoinAlgo::Phj => vec![
+            (OpKind::IndexRangeScan, parents.clone()),
+            (OpKind::HashBuild, parents),
+            (OpKind::IndexRangeScan, children.clone()),
+            (OpKind::HashProbe, children),
+            (OpKind::Emit, "result".to_string()),
+        ],
+        JoinAlgo::Chj => vec![
+            (OpKind::IndexRangeScan, children.clone()),
+            (OpKind::HashBuild, children),
+            (OpKind::IndexRangeScan, parents.clone()),
+            (OpKind::HashProbe, parents),
+            (OpKind::Emit, "result".to_string()),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tq_objstore::{AttrType, Schema, Value};
+    use tq_pagestore::{CacheConfig, CostModel, StorageStack};
+
+    fn small_store(n: i64) -> (ObjectStore, Vec<Rid>) {
+        let mut schema = Schema::new();
+        let item = schema.add_class("Item", vec![("key", AttrType::Int)]);
+        let stack = StorageStack::new(CostModel::sparc20(), CacheConfig::default());
+        let mut store = ObjectStore::new(schema, stack);
+        let file = store.create_file("items");
+        let rids: Vec<Rid> = (0..n)
+            .map(|i| store.insert(file, item, &[Value::Int(i as i32)], true))
+            .collect();
+        store.cold_restart();
+        store.reset_metrics();
+        (store, rids)
+    }
+
+    #[test]
+    fn deltas_attribute_to_the_innermost_scope() {
+        let (mut store, rids) = small_store(10);
+        let mut ctx = ExecContext::new(&mut store);
+        ctx.op(OpKind::SeqScan, "Items", |ctx| {
+            for &rid in &rids[..4] {
+                ctx.with_object(rid, |_ctx, g| assert!(!g.is_deleted()));
+            }
+            ctx.op(OpKind::Emit, "result", |ctx| {
+                ctx.store.charge(CpuEvent::ResultAppendTransient, 1);
+            });
+        });
+        let trace = ctx.finish();
+        let scan = trace.find(OpKind::SeqScan).unwrap();
+        let emit = trace.find(OpKind::Emit).unwrap();
+        assert_eq!(scan.counters.handle_allocations, 4);
+        assert_eq!(scan.counters.handle_unrefs, 4);
+        assert_eq!(emit.counters.handle_allocations, 0, "emit fetched nothing");
+        assert_eq!(emit.counters.cpu_events, 1);
+        assert_eq!(emit.depth, 1, "emit nests under the scan");
+        assert!(trace.find(OpKind::Other).is_none(), "everything attributed");
+    }
+
+    #[test]
+    fn repeated_scopes_merge_into_one_node() {
+        let (mut store, rids) = small_store(6);
+        let mut ctx = ExecContext::new(&mut store);
+        for &rid in &rids {
+            ctx.op(OpKind::SetNav, "children", |ctx| {
+                ctx.with_object(rid, |_ctx, _g| ());
+            });
+        }
+        let trace = ctx.finish();
+        let navs: Vec<_> = trace
+            .ops
+            .iter()
+            .filter(|o| o.kind == OpKind::SetNav)
+            .collect();
+        assert_eq!(navs.len(), 1, "per-tuple scopes share one node");
+        assert_eq!(navs[0].counters.handle_gets(), 6);
+    }
+
+    #[test]
+    fn trace_total_equals_window_delta_exactly() {
+        let (mut store, rids) = small_store(50);
+        let before = OpCounters::snapshot(&store);
+        let mut ctx = ExecContext::new(&mut store);
+        ctx.op(OpKind::SeqScan, "Items", |ctx| {
+            for &rid in &rids {
+                ctx.with_object(rid, |ctx, g| {
+                    let _ = int_attr(g.object(), 0);
+                    ctx.store.charge(CpuEvent::AttrGet, 1);
+                });
+            }
+        });
+        // Charge something *outside* every scope: it must surface as
+        // Other, keeping the sum exact.
+        ctx.store.charge(CpuEvent::Compare, 3);
+        let trace = ctx.finish();
+        let after = OpCounters::snapshot(&store);
+        assert_eq!(trace.total(), after.delta_since(&before));
+        assert_eq!(trace.find(OpKind::Other).unwrap().counters.cpu_events, 3);
+    }
+
+    #[test]
+    fn opkind_labels_round_trip() {
+        for kind in [
+            OpKind::IndexRangeScan,
+            OpKind::SeqScan,
+            OpKind::SetNav,
+            OpKind::BackRefNav,
+            OpKind::HashBuild,
+            OpKind::HashProbe,
+            OpKind::Sort,
+            OpKind::Merge,
+            OpKind::Residual,
+            OpKind::Emit,
+            OpKind::Teardown,
+            OpKind::Other,
+        ] {
+            assert_eq!(OpKind::parse(kind.label()), Some(kind));
+        }
+        assert_eq!(OpKind::parse("NoSuchOp"), None);
+    }
+}

@@ -4,7 +4,17 @@
 //! sorted index scan into I/O and CPU terms. The simulated clock keeps
 //! those tallies; [`CostBreakdown`] snapshots them and
 //! [`CostBreakdown::diff`] prints where two plans' time went.
+//!
+//! [`render_trace`] extends the same analysis to the operator level:
+//! each row is one physical operator's *exclusive* share of the
+//! Figure 3 counters (pages, cache misses, handle traffic, CPU events)
+//! and of the four time categories, and the rows sum exactly to the
+//! query totals. [`render_estimate`] prints the estimator's matching
+//! per-operator decomposition, so predicted and measured time can be
+//! compared operator by operator.
 
+use crate::estimator::EstimateBreakdown;
+use crate::exec::{ExecTrace, OpCounters};
 use std::fmt;
 use tq_pagestore::SimClock;
 
@@ -63,6 +73,80 @@ impl fmt::Display for CostBreakdown {
     }
 }
 
+fn trace_row(out: &mut String, name: &str, c: &OpCounters) {
+    use fmt::Write;
+    let _ = writeln!(
+        out,
+        "{name:<34} {:>9} {:>9} {:>9} {:>10} {:>11} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
+        c.io.d2sc_read_pages,
+        c.io.sc2cc_read_pages,
+        c.io.client_misses,
+        c.handle_gets(),
+        c.cpu_events,
+        c.io_nanos as f64 / 1e9,
+        c.rpc_nanos as f64 / 1e9,
+        (c.cpu_nanos + c.swap_nanos) as f64 / 1e9,
+        c.elapsed_secs(),
+    );
+}
+
+/// Renders a measured [`ExecTrace`] as a per-operator counter table.
+///
+/// Columns: disk pages read, pages shipped to the client, client cache
+/// misses, handle gets, CPU events, then seconds by category. The
+/// `total` row is the field-wise sum of every operator row — by the
+/// executor's attribution invariant it equals the whole measured
+/// window.
+pub fn render_trace(trace: &ExecTrace) -> String {
+    let mut out = String::new();
+    use fmt::Write;
+    let _ = writeln!(
+        out,
+        "{:<34} {:>9} {:>9} {:>9} {:>10} {:>11} {:>9} {:>9} {:>9} {:>9}",
+        "operator",
+        "pages",
+        "shipped",
+        "c-miss",
+        "h-gets",
+        "cpu-ev",
+        "io s",
+        "rpc s",
+        "cpu s",
+        "sum s"
+    );
+    for op in &trace.ops {
+        let name = format!(
+            "{:indent$}{}({})",
+            "",
+            op.kind,
+            op.label,
+            indent = 2 * op.depth as usize
+        );
+        trace_row(&mut out, &name, &op.counters);
+    }
+    trace_row(&mut out, "total", &trace.total());
+    out
+}
+
+/// Renders the estimator's per-operator decomposition next to nothing
+/// but itself: operator, estimated seconds, and the aggregate the
+/// planner compared (the rows sum to it up to fp re-association).
+pub fn render_estimate(b: &EstimateBreakdown) -> String {
+    let mut out = String::new();
+    use fmt::Write;
+    let _ = writeln!(out, "{:<34} {:>10}", "operator", "est s");
+    for op in &b.ops {
+        let _ = writeln!(
+            out,
+            "{:<34} {:>10.2}",
+            format!("{}({})", op.kind, op.label),
+            op.secs
+        );
+    }
+    let _ = writeln!(out, "{:<34} {:>10.2}", "total", b.estimate.secs);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -82,6 +166,48 @@ mod tests {
         assert!(b.cpu_secs > 0.0);
         assert!((b.swap_secs - 0.04).abs() < 1e-9);
         assert!((b.total() - clock.elapsed_secs()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trace_table_rows_and_total_render() {
+        use crate::exec::OpKind;
+        let mut trace = ExecTrace::default();
+        let mut c = OpCounters::default();
+        c.io.d2sc_read_pages = 7;
+        c.cpu_events = 3;
+        c.io_nanos = 70_000_000;
+        trace.push_root(OpKind::SeqScan, "Patients", c);
+        trace.push_root(OpKind::Emit, "result", OpCounters::default());
+        let table = render_trace(&trace);
+        assert!(table.contains("SeqScan(Patients)"));
+        assert!(table.contains("Emit(result)"));
+        let total_line = table.lines().last().unwrap();
+        assert!(total_line.starts_with("total"));
+        assert!(total_line.contains("7"), "total row carries the page sum");
+    }
+
+    #[test]
+    fn estimate_table_renders_the_breakdown() {
+        use crate::estimator::estimate_join_breakdown;
+        use crate::estimator::PhysicalProfile;
+        use crate::spec::JoinAlgo;
+        let p = PhysicalProfile {
+            parents_total: 2_000,
+            children_total: 2_000_000,
+            parent_scan_pages: 70,
+            child_scan_pages: 33_000,
+            parent_index_clustered: true,
+            child_index_clustered: true,
+            composition: false,
+            mean_fanout: 1_000.0,
+            overflow_pages_per_parent: 2.0,
+            client_cache_pages: 8_192,
+        };
+        let b = estimate_join_breakdown(JoinAlgo::Phj, &p, &CostModel::sparc20(), 0.5, 0.5);
+        let table = render_estimate(&b);
+        assert!(table.contains("HashBuild(parents)"));
+        assert!(table.contains("HashProbe(children)"));
+        assert!(table.lines().last().unwrap().starts_with("total"));
     }
 
     #[test]

@@ -16,19 +16,26 @@
 //! (sized by parent cardinality) plus 8 bytes per selected child
 //! (Figure 10) — "too large in the 1:3 case whatever the selectivity on
 //! Patients is".
+//!
+//! Operator composition: `IndexRangeScan(children)` → `HashBuild`,
+//! then `IndexRangeScan(parents)` → `HashProbe` with `Emit` on hits.
 
 use super::{
-    emit, gather_index_rids, int_attr, rid_hash, JoinContext, JoinOptions, JoinReport,
-    TreeJoinSpec, CHJ_CHILD_ENTRY_BYTES, CHJ_PARENT_SLOT_BYTES, HANDLE_ENTRY_EXTRA_BYTES,
+    emit, rid_hash, JoinOptions, JoinReport, TreeJoinSpec, CHJ_CHILD_ENTRY_BYTES,
+    CHJ_PARENT_SLOT_BYTES, HANDLE_ENTRY_EXTRA_BYTES,
 };
+use crate::exec::{index_range_scan, int_attr, ExecContext, OpKind};
 use crate::spec::HashKeyMode;
 use crate::swap::SwapSim;
 use tq_fasthash::FxHashMap;
+use tq_index::BTreeIndex;
 use tq_objstore::Rid;
 use tq_pagestore::CpuEvent;
 
 pub(super) fn run(
-    ctx: &mut JoinContext<'_>,
+    ex: &mut ExecContext<'_>,
+    parent_index: &BTreeIndex,
+    child_index: &BTreeIndex,
     spec: &TreeJoinSpec,
     opts: &JoinOptions,
     collect: bool,
@@ -37,15 +44,15 @@ pub(super) fn run(
         pairs: collect.then(Vec::new),
         ..Default::default()
     };
-    let parent_class = ctx.store.collection(&spec.parents).class;
-    let child_class = ctx.store.collection(&spec.children).class;
-    let parents_total = ctx.store.collection(&spec.parents).run.count;
+    let parent_class = ex.store.collection(&spec.parents).class;
+    let child_class = ex.store.collection(&spec.children).class;
+    let parents_total = ex.store.collection(&spec.parents).run.count;
     let child_entry_bytes = CHJ_CHILD_ENTRY_BYTES
         + match opts.hash_key {
             HashKeyMode::Rid => 0,
             HashKeyMode::Handle => HANDLE_ENTRY_EXTRA_BYTES,
         };
-    let budget = ctx.store.stack().model().operator_memory_budget;
+    let budget = ex.store.stack().model().operator_memory_budget;
 
     // Build: parent slots are demand-allocated as children arrive
     // (the paper's Figure 10 sizes the directory pessimistically by
@@ -55,73 +62,81 @@ pub(super) fn run(
     let mut table: FxHashMap<Rid, Vec<i64>> = FxHashMap::default();
     let mut swap = SwapSim::new(0, budget);
     let mut inserted_children = 0u64;
-    let children = gather_index_rids(
-        ctx.store,
-        ctx.child_index,
+    let children = index_range_scan(
+        ex,
+        child_index,
         spec.child_key_limit,
         opts.sort_index_rids,
+        &spec.children,
     );
-    for (child_key, crid) in children {
-        let child = ctx.store.fetch(crid);
-        report.children_scanned += 1;
-        if child.object.header.is_deleted() {
-            ctx.store.release(child);
-            continue;
+    ex.op(OpKind::HashBuild, &spec.children, |ex| {
+        for (child_key, crid) in children {
+            ex.with_object(crid, |ex, child| {
+                report.children_scanned += 1;
+                if child.is_deleted() {
+                    return;
+                }
+                ex.store.charge_attr_access(child_class, spec.child_parent);
+                ex.store.charge_attr_access(child_class, spec.child_project);
+                let prid = child.object().values[spec.child_parent]
+                    .as_ref_rid()
+                    .expect("child parent reference");
+                table.entry(prid).or_default().push(child_key);
+                inserted_children += 1;
+                ex.store.charge(CpuEvent::HashInsert, 1);
+                if opts.hash_key == HashKeyMode::Handle {
+                    ex.store.charge(CpuEvent::HandleAlloc, 1);
+                }
+                swap.grow_to(
+                    CHJ_PARENT_SLOT_BYTES * table.len() as u64
+                        + inserted_children * child_entry_bytes,
+                );
+                if swap.touch(rid_hash(prid)) {
+                    ex.store.charge(CpuEvent::SwapFault, 1);
+                }
+            });
         }
-        ctx.store.charge_attr_access(child_class, spec.child_parent);
-        ctx.store
-            .charge_attr_access(child_class, spec.child_project);
-        let prid = child.object.values[spec.child_parent]
-            .as_ref_rid()
-            .expect("child parent reference");
-        table.entry(prid).or_default().push(child_key);
-        inserted_children += 1;
-        ctx.store.charge(CpuEvent::HashInsert, 1);
-        if opts.hash_key == HashKeyMode::Handle {
-            ctx.store.charge(CpuEvent::HandleAlloc, 1);
-        }
-        swap.grow_to(
-            CHJ_PARENT_SLOT_BYTES * table.len() as u64 + inserted_children * child_entry_bytes,
-        );
-        if swap.touch(rid_hash(prid)) {
-            ctx.store.charge(CpuEvent::SwapFault, 1);
-        }
-        ctx.store.release(child);
-    }
+    });
     report.hash_table_bytes =
         CHJ_PARENT_SLOT_BYTES * table.len() as u64 + inserted_children * child_entry_bytes;
 
     // Probe: scan selected parents sequentially.
-    let parents = gather_index_rids(
-        ctx.store,
-        ctx.parent_index,
+    let parents = index_range_scan(
+        ex,
+        parent_index,
         spec.parent_key_limit,
         opts.sort_index_rids,
+        &spec.parents,
     );
-    for (_pkey, prid) in parents {
-        let parent = ctx.store.fetch(prid);
-        report.parents_scanned += 1;
-        if parent.object.header.is_deleted() {
-            ctx.store.release(parent);
-            continue;
+    ex.op(OpKind::HashProbe, &spec.parents, |ex| {
+        for (_pkey, prid) in parents {
+            ex.with_object(prid, |ex, parent| {
+                report.parents_scanned += 1;
+                if parent.is_deleted() {
+                    return;
+                }
+                ex.store
+                    .charge_attr_access(parent_class, spec.parent_project);
+                let parent_key = int_attr(parent.object(), spec.parent_key);
+                ex.store.charge(CpuEvent::HashProbe, 1);
+                if swap.touch(rid_hash(parent.rid())) {
+                    ex.store.charge(CpuEvent::SwapFault, 1);
+                }
+                if let Some(child_keys) = table.get(&parent.rid()) {
+                    ex.op(OpKind::Emit, "result", |ex| {
+                        for &child_key in child_keys {
+                            emit(ex.store, spec, &mut report, parent_key, child_key);
+                        }
+                    });
+                }
+            });
         }
-        ctx.store
-            .charge_attr_access(parent_class, spec.parent_project);
-        let parent_key = int_attr(&parent.object, spec.parent_key);
-        ctx.store.charge(CpuEvent::HashProbe, 1);
-        if swap.touch(rid_hash(parent.rid)) {
-            ctx.store.charge(CpuEvent::SwapFault, 1);
-        }
-        if let Some(child_keys) = table.get(&parent.rid) {
-            for &child_key in child_keys {
-                emit(ctx.store, spec, &mut report, parent_key, child_key);
-            }
-        }
-        ctx.store.release(parent);
-    }
+    });
     report.swap_faults = swap.faults();
     if opts.hash_key == HashKeyMode::Handle {
-        ctx.store.charge(CpuEvent::HandleFree, inserted_children);
+        ex.op(OpKind::HashBuild, &spec.children, |ex| {
+            ex.store.charge(CpuEvent::HandleFree, inserted_children);
+        });
     }
     report
 }

@@ -14,14 +14,22 @@
 //! The implementation is shared by both hash joins:
 //! [`BuildSide::Parents`] gives hybrid-PHJ, [`BuildSide::Children`]
 //! hybrid-CHJ.
+//!
+//! Operator composition: the in-memory partition runs under the same
+//! `HashBuild`/`HashProbe` nodes as the plain joins; spilled-partition
+//! work (run writes, re-reads, pairwise joins) lands on `"spill"`
+//! labelled build/probe nodes, and releasing the spill space is a
+//! `Teardown`.
 
 use super::spill::{SpillRun, SpillWriter};
 use super::{
-    emit, gather_index_rids, rid_hash, JoinContext, JoinOptions, JoinReport, TreeJoinSpec,
-    CHJ_CHILD_ENTRY_BYTES, CHJ_PARENT_SLOT_BYTES, PHJ_ENTRY_BYTES,
+    emit, rid_hash, JoinOptions, JoinReport, TreeJoinSpec, CHJ_CHILD_ENTRY_BYTES,
+    CHJ_PARENT_SLOT_BYTES, PHJ_ENTRY_BYTES,
 };
+use crate::exec::{index_range_scan, ExecContext, OpKind};
 use tq_fasthash::FxHashMap;
-use tq_objstore::Rid;
+use tq_index::BTreeIndex;
+use tq_objstore::{ObjectStore, Rid};
 use tq_pagestore::CpuEvent;
 
 /// Which side the hash table is built on.
@@ -57,13 +65,13 @@ struct Spills {
     files: Vec<tq_pagestore::FileId>,
 }
 
-fn make_spills(ctx: &mut JoinContext<'_>, partitions: u32) -> Spills {
+fn make_spills(store: &mut ObjectStore, partitions: u32) -> Spills {
     let mut build = Vec::new();
     let mut probe = Vec::new();
     let mut files = Vec::new();
     for p in 1..partitions {
-        let bf = ctx.store.create_file(format!("spill.build.{p}"));
-        let pf = ctx.store.create_file(format!("spill.probe.{p}"));
+        let bf = store.create_file(format!("spill.build.{p}"));
+        let pf = store.create_file(format!("spill.probe.{p}"));
         build.push(SpillWriter::new(bf));
         probe.push(SpillWriter::new(pf));
         files.push(bf);
@@ -77,8 +85,11 @@ fn make_spills(ctx: &mut JoinContext<'_>, partitions: u32) -> Spills {
 }
 
 /// Runs the hybrid hash join.
+#[allow(clippy::too_many_arguments)]
 pub(super) fn run(
-    ctx: &mut JoinContext<'_>,
+    ex: &mut ExecContext<'_>,
+    parent_index: &BTreeIndex,
+    child_index: &BTreeIndex,
     spec: &TreeJoinSpec,
     opts: &JoinOptions,
     side: BuildSide,
@@ -88,25 +99,31 @@ pub(super) fn run(
         pairs: collect.then(Vec::new),
         ..Default::default()
     };
-    let parent_class = ctx.store.collection(&spec.parents).class;
-    let child_class = ctx.store.collection(&spec.children).class;
-    let budget = ctx.store.stack().model().operator_memory_budget;
+    let parent_class = ex.store.collection(&spec.parents).class;
+    let child_class = ex.store.collection(&spec.children).class;
+    let budget = ex.store.stack().model().operator_memory_budget;
+    let (build_label, probe_label) = match side {
+        BuildSide::Parents => (&spec.parents, &spec.children),
+        BuildSide::Children => (&spec.children, &spec.parents),
+    };
 
     // --- Build phase -------------------------------------------------
     // Gather the build side's (key, rid) stream and size the partitions
     // from its exact cardinality.
     let build_pairs = match side {
-        BuildSide::Parents => gather_index_rids(
-            ctx.store,
-            ctx.parent_index,
+        BuildSide::Parents => index_range_scan(
+            ex,
+            parent_index,
             spec.parent_key_limit,
             opts.sort_index_rids,
+            build_label,
         ),
-        BuildSide::Children => gather_index_rids(
-            ctx.store,
-            ctx.child_index,
+        BuildSide::Children => index_range_scan(
+            ex,
+            child_index,
             spec.child_key_limit,
             opts.sort_index_rids,
+            build_label,
         ),
     };
     let table_bytes = match side {
@@ -118,142 +135,171 @@ pub(super) fn run(
     };
     let partitions = partition_count(table_bytes, budget);
     report.partitions = partitions;
-    let mut spills = make_spills(ctx, partitions);
 
     // The in-memory (partition 0) table: join-rid -> payload keys.
     let mut mem: FxHashMap<Rid, Vec<i64>> = FxHashMap::default();
-    for (key, rid) in build_pairs {
-        // Fetch the build object (its projected attribute travels with
-        // the entry, as in the plain algorithms).
-        let fetched = ctx.store.fetch(rid);
-        if fetched.object.header.is_deleted() {
-            ctx.store.release(fetched);
-            continue;
-        }
-        match side {
-            BuildSide::Parents => {
-                report.parents_scanned += 1;
-                ctx.store
-                    .charge_attr_access(parent_class, spec.parent_project);
-                let p = partition_of(fetched.rid, partitions);
-                ctx.store.charge(CpuEvent::HashInsert, 1);
-                if p == 0 {
-                    mem.entry(fetched.rid).or_default().push(key);
-                } else {
-                    spills.build[p as usize - 1].push(ctx.store.stack_mut(), key, fetched.rid);
+    let mut spills = ex.op(OpKind::HashBuild, build_label, |ex| {
+        let mut spills = make_spills(ex.store, partitions);
+        for (key, rid) in build_pairs {
+            // Fetch the build object (its projected attribute travels
+            // with the entry, as in the plain algorithms).
+            ex.with_object(rid, |ex, fetched| {
+                if fetched.is_deleted() {
+                    return;
                 }
-            }
-            BuildSide::Children => {
-                report.children_scanned += 1;
-                ctx.store.charge_attr_access(child_class, spec.child_parent);
-                ctx.store
-                    .charge_attr_access(child_class, spec.child_project);
-                let prid = fetched.object.values[spec.child_parent]
-                    .as_ref_rid()
-                    .expect("child parent reference");
-                let p = partition_of(prid, partitions);
-                ctx.store.charge(CpuEvent::HashInsert, 1);
-                if p == 0 {
-                    mem.entry(prid).or_default().push(key);
-                } else {
-                    spills.build[p as usize - 1].push(ctx.store.stack_mut(), key, prid);
+                match side {
+                    BuildSide::Parents => {
+                        report.parents_scanned += 1;
+                        ex.store
+                            .charge_attr_access(parent_class, spec.parent_project);
+                        let p = partition_of(fetched.rid(), partitions);
+                        ex.store.charge(CpuEvent::HashInsert, 1);
+                        if p == 0 {
+                            mem.entry(fetched.rid()).or_default().push(key);
+                        } else {
+                            spills.build[p as usize - 1].push(
+                                ex.store.stack_mut(),
+                                key,
+                                fetched.rid(),
+                            );
+                        }
+                    }
+                    BuildSide::Children => {
+                        report.children_scanned += 1;
+                        ex.store.charge_attr_access(child_class, spec.child_parent);
+                        ex.store.charge_attr_access(child_class, spec.child_project);
+                        let prid = fetched.object().values[spec.child_parent]
+                            .as_ref_rid()
+                            .expect("child parent reference");
+                        let p = partition_of(prid, partitions);
+                        ex.store.charge(CpuEvent::HashInsert, 1);
+                        if p == 0 {
+                            mem.entry(prid).or_default().push(key);
+                        } else {
+                            spills.build[p as usize - 1].push(ex.store.stack_mut(), key, prid);
+                        }
+                    }
                 }
-            }
+            });
         }
-        ctx.store.release(fetched);
-    }
+        spills
+    });
 
     // --- Probe phase (streaming) --------------------------------------
     let probe_pairs = match side {
-        BuildSide::Parents => gather_index_rids(
-            ctx.store,
-            ctx.child_index,
+        BuildSide::Parents => index_range_scan(
+            ex,
+            child_index,
             spec.child_key_limit,
             opts.sort_index_rids,
+            probe_label,
         ),
-        BuildSide::Children => gather_index_rids(
-            ctx.store,
-            ctx.parent_index,
+        BuildSide::Children => index_range_scan(
+            ex,
+            parent_index,
             spec.parent_key_limit,
             opts.sort_index_rids,
+            probe_label,
         ),
     };
-    for (key, rid) in probe_pairs {
-        let fetched = ctx.store.fetch(rid);
-        if fetched.object.header.is_deleted() {
-            ctx.store.release(fetched);
-            continue;
-        }
-        let join_rid = match side {
-            BuildSide::Parents => {
-                report.children_scanned += 1;
-                ctx.store.charge_attr_access(child_class, spec.child_parent);
-                ctx.store
-                    .charge_attr_access(child_class, spec.child_project);
-                fetched.object.values[spec.child_parent]
-                    .as_ref_rid()
-                    .expect("child parent reference")
-            }
-            BuildSide::Children => {
-                report.parents_scanned += 1;
-                ctx.store
-                    .charge_attr_access(parent_class, spec.parent_project);
-                fetched.rid
-            }
-        };
-        let p = partition_of(join_rid, partitions);
-        if p == 0 {
-            ctx.store.charge(CpuEvent::HashProbe, 1);
-            if let Some(payloads) = mem.get(&join_rid) {
-                for &payload in payloads.iter() {
-                    match side {
-                        BuildSide::Parents => emit(ctx.store, spec, &mut report, payload, key),
-                        BuildSide::Children => emit(ctx.store, spec, &mut report, key, payload),
-                    }
+    ex.op(OpKind::HashProbe, probe_label, |ex| {
+        for (key, rid) in probe_pairs {
+            ex.with_object(rid, |ex, fetched| {
+                if fetched.is_deleted() {
+                    return;
                 }
-            }
-        } else {
-            spills.probe[p as usize - 1].push(ctx.store.stack_mut(), key, join_rid);
+                let join_rid = match side {
+                    BuildSide::Parents => {
+                        report.children_scanned += 1;
+                        ex.store.charge_attr_access(child_class, spec.child_parent);
+                        ex.store.charge_attr_access(child_class, spec.child_project);
+                        fetched.object().values[spec.child_parent]
+                            .as_ref_rid()
+                            .expect("child parent reference")
+                    }
+                    BuildSide::Children => {
+                        report.parents_scanned += 1;
+                        ex.store
+                            .charge_attr_access(parent_class, spec.parent_project);
+                        fetched.rid()
+                    }
+                };
+                let p = partition_of(join_rid, partitions);
+                if p == 0 {
+                    ex.store.charge(CpuEvent::HashProbe, 1);
+                    if let Some(payloads) = mem.get(&join_rid) {
+                        ex.op(OpKind::Emit, "result", |ex| {
+                            for &payload in payloads.iter() {
+                                match side {
+                                    BuildSide::Parents => {
+                                        emit(ex.store, spec, &mut report, payload, key)
+                                    }
+                                    BuildSide::Children => {
+                                        emit(ex.store, spec, &mut report, key, payload)
+                                    }
+                                }
+                            }
+                        });
+                    }
+                } else {
+                    spills.probe[p as usize - 1].push(ex.store.stack_mut(), key, join_rid);
+                }
+            });
         }
-        ctx.store.release(fetched);
-    }
+    });
     report.hash_table_bytes = table_bytes.min(budget);
     drop(mem);
 
     // --- Spilled partitions, pairwise ----------------------------------
-    let build_runs: Vec<SpillRun> = spills
-        .build
-        .drain(..)
-        .map(|w| w.finish(ctx.store.stack_mut()))
-        .collect();
-    let probe_runs: Vec<SpillRun> = spills
-        .probe
-        .drain(..)
-        .map(|w| w.finish(ctx.store.stack_mut()))
-        .collect();
+    let build_runs: Vec<SpillRun> = ex.op(OpKind::HashBuild, "spill", |ex| {
+        spills
+            .build
+            .drain(..)
+            .map(|w| w.finish(ex.store.stack_mut()))
+            .collect()
+    });
+    let probe_runs: Vec<SpillRun> = ex.op(OpKind::HashProbe, "spill", |ex| {
+        spills
+            .probe
+            .drain(..)
+            .map(|w| w.finish(ex.store.stack_mut()))
+            .collect()
+    });
     for (build_run, probe_run) in build_runs.iter().zip(&probe_runs) {
         report.spill_pages += (build_run.pages + probe_run.pages) as u64;
         let mut table: FxHashMap<Rid, Vec<i64>> = FxHashMap::default();
-        for (key, join_rid) in build_run.read_all(ctx.store.stack_mut()) {
-            ctx.store.charge(CpuEvent::HashInsert, 1);
-            table.entry(join_rid).or_default().push(key);
-        }
-        for (key, join_rid) in probe_run.read_all(ctx.store.stack_mut()) {
-            ctx.store.charge(CpuEvent::HashProbe, 1);
-            if let Some(payloads) = table.get(&join_rid) {
-                for &payload in payloads.iter() {
-                    match side {
-                        BuildSide::Parents => emit(ctx.store, spec, &mut report, payload, key),
-                        BuildSide::Children => emit(ctx.store, spec, &mut report, key, payload),
-                    }
+        ex.op(OpKind::HashBuild, "spill", |ex| {
+            for (key, join_rid) in build_run.read_all(ex.store.stack_mut()) {
+                ex.store.charge(CpuEvent::HashInsert, 1);
+                table.entry(join_rid).or_default().push(key);
+            }
+        });
+        ex.op(OpKind::HashProbe, "spill", |ex| {
+            for (key, join_rid) in probe_run.read_all(ex.store.stack_mut()) {
+                ex.store.charge(CpuEvent::HashProbe, 1);
+                if let Some(payloads) = table.get(&join_rid) {
+                    ex.op(OpKind::Emit, "result", |ex| {
+                        for &payload in payloads.iter() {
+                            match side {
+                                BuildSide::Parents => {
+                                    emit(ex.store, spec, &mut report, payload, key)
+                                }
+                                BuildSide::Children => {
+                                    emit(ex.store, spec, &mut report, key, payload)
+                                }
+                            }
+                        }
+                    });
                 }
             }
-        }
+        });
     }
 
     // Release the spill space.
-    for f in spills.files {
-        ctx.store.stack_mut().truncate_file(f);
-    }
+    ex.op(OpKind::Teardown, "spill", |ex| {
+        for f in spills.files {
+            ex.store.stack_mut().truncate_file(f);
+        }
+    });
     report
 }

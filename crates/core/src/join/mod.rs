@@ -34,6 +34,7 @@ mod phj;
 pub mod smj;
 pub mod spill;
 
+use crate::exec::{ExecContext, ExecTrace};
 use crate::spec::{HashKeyMode, JoinAlgo, ResultMode, TreeJoinSpec};
 use tq_index::BTreeIndex;
 use tq_objstore::{ObjectStore, Rid};
@@ -100,6 +101,9 @@ pub struct JoinReport {
     /// `(parent_key, child_key)` pairs, when collection was requested
     /// (tests only — paper-scale runs stream).
     pub pairs: Option<Vec<(i64, i64)>>,
+    /// Per-operator counter attribution (sums exactly to the counter
+    /// deltas of the join's execution window).
+    pub trace: ExecTrace,
 }
 
 /// Everything a join algorithm needs.
@@ -112,7 +116,10 @@ pub struct JoinContext<'a> {
     pub child_index: &'a BTreeIndex,
 }
 
-/// Dispatches to the chosen algorithm.
+/// Dispatches to the chosen algorithm. Every algorithm runs through an
+/// [`ExecContext`] built over the store: object accesses are
+/// guard-paired (no manual `fetch`/`release`) and every counter delta
+/// lands in the [`JoinReport::trace`] operator breakdown.
 pub fn run_join(
     algo: JoinAlgo,
     ctx: &mut JoinContext<'_>,
@@ -120,40 +127,47 @@ pub fn run_join(
     opts: &JoinOptions,
     collect: bool,
 ) -> JoinReport {
-    match algo {
-        JoinAlgo::Nl => nl::run(ctx, spec, collect),
-        JoinAlgo::Nojoin => nojoin::run(ctx, spec, opts, collect),
-        JoinAlgo::Phj if opts.hybrid_hashing => {
-            hybrid::run(ctx, spec, opts, hybrid::BuildSide::Parents, collect)
-        }
-        JoinAlgo::Chj if opts.hybrid_hashing => {
-            hybrid::run(ctx, spec, opts, hybrid::BuildSide::Children, collect)
-        }
-        JoinAlgo::Phj => phj::run(ctx, spec, opts, collect),
-        JoinAlgo::Chj => chj::run(ctx, spec, opts, collect),
-    }
-}
-
-/// Drains an index range into `(key, rid)` pairs, optionally sorting
-/// them by rid (charging the sort compares) so the subsequent fetches
-/// run in physical order.
-pub(crate) fn gather_index_rids(
-    store: &mut ObjectStore,
-    index: &BTreeIndex,
-    hi_exclusive: i64,
-    sort: bool,
-) -> Vec<(i64, Rid)> {
-    let mut cursor = index.range(store.stack_mut(), i64::MIN + 1, hi_exclusive - 1);
-    let mut out: Vec<(i64, Rid)> = Vec::new();
-    while let Some(pair) = cursor.next(store.stack_mut()) {
-        out.push(pair);
-    }
-    if sort && out.len() > 1 {
-        let n = out.len() as f64;
-        store.charge(CpuEvent::SortCompare, (n * n.log2()).ceil() as u64);
-        out.sort_unstable_by_key(|&(_, rid)| rid);
-    }
-    out
+    let mut ex = ExecContext::new(ctx.store);
+    let mut report = match algo {
+        JoinAlgo::Nl => nl::run(&mut ex, ctx.parent_index, spec, collect),
+        JoinAlgo::Nojoin => nojoin::run(&mut ex, ctx.child_index, spec, opts, collect),
+        JoinAlgo::Phj if opts.hybrid_hashing => hybrid::run(
+            &mut ex,
+            ctx.parent_index,
+            ctx.child_index,
+            spec,
+            opts,
+            hybrid::BuildSide::Parents,
+            collect,
+        ),
+        JoinAlgo::Chj if opts.hybrid_hashing => hybrid::run(
+            &mut ex,
+            ctx.parent_index,
+            ctx.child_index,
+            spec,
+            opts,
+            hybrid::BuildSide::Children,
+            collect,
+        ),
+        JoinAlgo::Phj => phj::run(
+            &mut ex,
+            ctx.parent_index,
+            ctx.child_index,
+            spec,
+            opts,
+            collect,
+        ),
+        JoinAlgo::Chj => chj::run(
+            &mut ex,
+            ctx.parent_index,
+            ctx.child_index,
+            spec,
+            opts,
+            collect,
+        ),
+    };
+    report.trace = ex.finish();
+    report
 }
 
 /// The paper's Figure 10 hash-table size *approximation*, in bytes.
@@ -209,13 +223,6 @@ pub(crate) fn emit(
     if let Some(pairs) = &mut report.pairs {
         pairs.push((parent_key, child_key));
     }
-}
-
-/// Integer attribute accessor (join keys are Int by construction).
-pub(crate) fn int_attr(obj: &tq_objstore::Object, attr: usize) -> i64 {
-    obj.values[attr]
-        .as_int()
-        .expect("join key attributes must be Int") as i64
 }
 
 #[cfg(test)]

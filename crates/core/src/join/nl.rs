@@ -12,54 +12,67 @@
 //! random I/O under class or random clustering, sequential under
 //! composition clustering. Large (overflow) client sets add their own
 //! rid-run page reads.
+//!
+//! Operator composition: `IndexRangeScan(parents)` driving a
+//! `SetNav(children)` per parent, with `Emit` on qualifying pairs.
 
-use super::{emit, int_attr, JoinContext, JoinReport, TreeJoinSpec};
+use super::{emit, JoinReport, TreeJoinSpec};
+use crate::exec::{int_attr, ExecContext, OpKind};
+use tq_index::BTreeIndex;
 use tq_pagestore::CpuEvent;
 
-pub(super) fn run(ctx: &mut JoinContext<'_>, spec: &TreeJoinSpec, collect: bool) -> JoinReport {
+pub(super) fn run(
+    ex: &mut ExecContext<'_>,
+    parent_index: &BTreeIndex,
+    spec: &TreeJoinSpec,
+    collect: bool,
+) -> JoinReport {
     let mut report = JoinReport {
         pairs: collect.then(Vec::new),
         ..Default::default()
     };
-    let parent_class = ctx.store.collection(&spec.parents).class;
-    let child_class = ctx.store.collection(&spec.children).class;
-    let mut parents = ctx.parent_index.range(
-        ctx.store.stack_mut(),
-        i64::MIN + 1,
-        spec.parent_key_limit - 1,
-    );
-    while let Some((parent_key, prid)) = parents.next(ctx.store.stack_mut()) {
-        let parent = ctx.store.fetch(prid);
-        report.parents_scanned += 1;
-        if parent.object.header.is_deleted() {
-            ctx.store.release(parent);
-            continue;
+    let parent_class = ex.store.collection(&spec.parents).class;
+    let child_class = ex.store.collection(&spec.children).class;
+    ex.op(OpKind::IndexRangeScan, &spec.parents, |ex| {
+        let mut parents = parent_index.range(
+            ex.store.stack_mut(),
+            i64::MIN + 1,
+            spec.parent_key_limit - 1,
+        );
+        while let Some((parent_key, prid)) = parents.next(ex.store.stack_mut()) {
+            ex.with_object(prid, |ex, parent| {
+                report.parents_scanned += 1;
+                if parent.is_deleted() {
+                    return;
+                }
+                ex.op(OpKind::SetNav, &spec.children, |ex| {
+                    ex.store.charge_attr_access(parent_class, spec.parent_set);
+                    let set = parent.object().values[spec.parent_set]
+                        .as_set()
+                        .expect("parent set attribute");
+                    let mut members = ex.store.set_cursor(set);
+                    while let Some(crid) = members.next(ex.store.stack_mut()) {
+                        ex.with_object(crid, |ex, child| {
+                            report.children_scanned += 1;
+                            if child.is_deleted() {
+                                return;
+                            }
+                            ex.store.charge_attr_access(child_class, spec.child_key);
+                            ex.store.charge(CpuEvent::Compare, 1);
+                            let child_key = int_attr(child.object(), spec.child_key);
+                            if child_key < spec.child_key_limit {
+                                ex.op(OpKind::Emit, "result", |ex| {
+                                    ex.store
+                                        .charge_attr_access(parent_class, spec.parent_project);
+                                    ex.store.charge_attr_access(child_class, spec.child_project);
+                                    emit(ex.store, spec, &mut report, parent_key, child_key);
+                                });
+                            }
+                        });
+                    }
+                });
+            });
         }
-        ctx.store.charge_attr_access(parent_class, spec.parent_set);
-        let set = parent.object.values[spec.parent_set]
-            .as_set()
-            .expect("parent set attribute");
-        let mut members = ctx.store.set_cursor(set);
-        while let Some(crid) = members.next(ctx.store.stack_mut()) {
-            let child = ctx.store.fetch(crid);
-            report.children_scanned += 1;
-            if child.object.header.is_deleted() {
-                ctx.store.release(child);
-                continue;
-            }
-            ctx.store.charge_attr_access(child_class, spec.child_key);
-            ctx.store.charge(CpuEvent::Compare, 1);
-            let child_key = int_attr(&child.object, spec.child_key);
-            if child_key < spec.child_key_limit {
-                ctx.store
-                    .charge_attr_access(parent_class, spec.parent_project);
-                ctx.store
-                    .charge_attr_access(child_class, spec.child_project);
-                emit(ctx.store, spec, &mut report, parent_key, child_key);
-            }
-            ctx.store.release(child);
-        }
-        ctx.store.release(parent);
-    }
+    });
     report
 }

@@ -12,14 +12,18 @@
 //! parent accesses are random under class/random clustering — but a
 //! hot parent's handle and page stay cached while its children stream
 //! by, which is what makes NOJOIN competitive in the 1:1000 database.
+//!
+//! Operator composition: `IndexRangeScan(children)` driving a
+//! `BackRefNav(parents)` per child, with `Emit` on qualifying pairs.
 
-use super::{
-    emit, gather_index_rids, int_attr, JoinContext, JoinOptions, JoinReport, TreeJoinSpec,
-};
+use super::{emit, JoinOptions, JoinReport, TreeJoinSpec};
+use crate::exec::{index_range_scan, int_attr, ExecContext, OpKind};
+use tq_index::BTreeIndex;
 use tq_pagestore::CpuEvent;
 
 pub(super) fn run(
-    ctx: &mut JoinContext<'_>,
+    ex: &mut ExecContext<'_>,
+    child_index: &BTreeIndex,
     spec: &TreeJoinSpec,
     opts: &JoinOptions,
     collect: bool,
@@ -28,44 +32,48 @@ pub(super) fn run(
         pairs: collect.then(Vec::new),
         ..Default::default()
     };
-    let parent_class = ctx.store.collection(&spec.parents).class;
-    let child_class = ctx.store.collection(&spec.children).class;
-    let children = gather_index_rids(
-        ctx.store,
-        ctx.child_index,
+    let parent_class = ex.store.collection(&spec.parents).class;
+    let child_class = ex.store.collection(&spec.children).class;
+    let children = index_range_scan(
+        ex,
+        child_index,
         spec.child_key_limit,
         opts.sort_index_rids,
+        &spec.children,
     );
-    for (child_key, crid) in children {
-        let child = ctx.store.fetch(crid);
-        report.children_scanned += 1;
-        if child.object.header.is_deleted() {
-            ctx.store.release(child);
-            continue;
+    // The fetch half of the child scan reopens the gather's node.
+    ex.op(OpKind::IndexRangeScan, &spec.children, |ex| {
+        for (child_key, crid) in children {
+            ex.with_object(crid, |ex, child| {
+                report.children_scanned += 1;
+                if child.is_deleted() {
+                    return;
+                }
+                ex.op(OpKind::BackRefNav, &spec.parents, |ex| {
+                    ex.store.charge_attr_access(child_class, spec.child_parent);
+                    let prid = child.object().values[spec.child_parent]
+                        .as_ref_rid()
+                        .expect("child parent reference");
+                    ex.with_object(prid, |ex, parent| {
+                        report.parents_scanned += 1;
+                        if parent.is_deleted() {
+                            return;
+                        }
+                        ex.store.charge_attr_access(parent_class, spec.parent_key);
+                        ex.store.charge(CpuEvent::Compare, 1);
+                        let parent_key = int_attr(parent.object(), spec.parent_key);
+                        if parent_key < spec.parent_key_limit {
+                            ex.op(OpKind::Emit, "result", |ex| {
+                                ex.store
+                                    .charge_attr_access(parent_class, spec.parent_project);
+                                ex.store.charge_attr_access(child_class, spec.child_project);
+                                emit(ex.store, spec, &mut report, parent_key, child_key);
+                            });
+                        }
+                    });
+                });
+            });
         }
-        ctx.store.charge_attr_access(child_class, spec.child_parent);
-        let prid = child.object.values[spec.child_parent]
-            .as_ref_rid()
-            .expect("child parent reference");
-        let parent = ctx.store.fetch(prid);
-        report.parents_scanned += 1;
-        if parent.object.header.is_deleted() {
-            ctx.store.release(parent);
-            ctx.store.release(child);
-            continue;
-        }
-        ctx.store.charge_attr_access(parent_class, spec.parent_key);
-        ctx.store.charge(CpuEvent::Compare, 1);
-        let parent_key = int_attr(&parent.object, spec.parent_key);
-        if parent_key < spec.parent_key_limit {
-            ctx.store
-                .charge_attr_access(parent_class, spec.parent_project);
-            ctx.store
-                .charge_attr_access(child_class, spec.child_project);
-            emit(ctx.store, spec, &mut report, parent_key, child_key);
-        }
-        ctx.store.release(parent);
-        ctx.store.release(child);
-    }
+    });
     report
 }

@@ -14,19 +14,26 @@
 //! selected". "Note that this algorithm requires more instructions
 //! than the previous ones": the hash insert/probe CPU is charged per
 //! element.
+//!
+//! Operator composition: `IndexRangeScan(parents)` → `HashBuild`,
+//! then `IndexRangeScan(children)` → `HashProbe` with `Emit` on hits.
 
 use super::{
-    emit, gather_index_rids, rid_hash, JoinContext, JoinOptions, JoinReport, TreeJoinSpec,
-    HANDLE_ENTRY_EXTRA_BYTES, PHJ_ENTRY_BYTES,
+    emit, rid_hash, JoinOptions, JoinReport, TreeJoinSpec, HANDLE_ENTRY_EXTRA_BYTES,
+    PHJ_ENTRY_BYTES,
 };
+use crate::exec::{index_range_scan, ExecContext, OpKind};
 use crate::spec::HashKeyMode;
 use crate::swap::SwapSim;
 use tq_fasthash::FxHashMap;
+use tq_index::BTreeIndex;
 use tq_objstore::Rid;
 use tq_pagestore::CpuEvent;
 
 pub(super) fn run(
-    ctx: &mut JoinContext<'_>,
+    ex: &mut ExecContext<'_>,
+    parent_index: &BTreeIndex,
+    child_index: &BTreeIndex,
     spec: &TreeJoinSpec,
     opts: &JoinOptions,
     collect: bool,
@@ -35,82 +42,89 @@ pub(super) fn run(
         pairs: collect.then(Vec::new),
         ..Default::default()
     };
-    let parent_class = ctx.store.collection(&spec.parents).class;
-    let child_class = ctx.store.collection(&spec.children).class;
+    let parent_class = ex.store.collection(&spec.parents).class;
+    let child_class = ex.store.collection(&spec.children).class;
     let entry_bytes = PHJ_ENTRY_BYTES
         + match opts.hash_key {
             HashKeyMode::Rid => 0,
             HashKeyMode::Handle => HANDLE_ENTRY_EXTRA_BYTES,
         };
-    let budget = ctx.store.stack().model().operator_memory_budget;
+    let budget = ex.store.stack().model().operator_memory_budget;
 
     // Build: hash selected parents by identifier, carrying the
     // information f(p, pa) needs (the projected attribute).
     let mut table: FxHashMap<Rid, i64> = FxHashMap::default();
     let mut swap = SwapSim::new(0, budget);
-    let parents = gather_index_rids(
-        ctx.store,
-        ctx.parent_index,
+    let parents = index_range_scan(
+        ex,
+        parent_index,
         spec.parent_key_limit,
         opts.sort_index_rids,
+        &spec.parents,
     );
-    for (parent_key, prid) in parents {
-        let parent = ctx.store.fetch(prid);
-        report.parents_scanned += 1;
-        if parent.object.header.is_deleted() {
-            ctx.store.release(parent);
-            continue;
+    ex.op(OpKind::HashBuild, &spec.parents, |ex| {
+        for (parent_key, prid) in parents {
+            ex.with_object(prid, |ex, parent| {
+                report.parents_scanned += 1;
+                if parent.is_deleted() {
+                    return;
+                }
+                ex.store
+                    .charge_attr_access(parent_class, spec.parent_project);
+                table.insert(parent.rid(), parent_key);
+                ex.store.charge(CpuEvent::HashInsert, 1);
+                if opts.hash_key == HashKeyMode::Handle {
+                    // The entry pins a full handle for the table's lifetime.
+                    ex.store.charge(CpuEvent::HandleAlloc, 1);
+                }
+                // The table grows; keep its simulated page count current.
+                swap.grow_to(table.len() as u64 * entry_bytes);
+                if swap.touch(rid_hash(parent.rid())) {
+                    ex.store.charge(CpuEvent::SwapFault, 1);
+                }
+            });
         }
-        ctx.store
-            .charge_attr_access(parent_class, spec.parent_project);
-        table.insert(parent.rid, parent_key);
-        ctx.store.charge(CpuEvent::HashInsert, 1);
-        if opts.hash_key == HashKeyMode::Handle {
-            // The entry pins a full handle for the table's lifetime.
-            ctx.store.charge(CpuEvent::HandleAlloc, 1);
-        }
-        // The table grows; keep its simulated page count current.
-        swap.grow_to(table.len() as u64 * entry_bytes);
-        if swap.touch(rid_hash(parent.rid)) {
-            ctx.store.charge(CpuEvent::SwapFault, 1);
-        }
-        ctx.store.release(parent);
-    }
+    });
     report.hash_table_bytes = table.len() as u64 * entry_bytes;
 
     // Probe: scan selected children sequentially, probe by parent rid.
-    let children = gather_index_rids(
-        ctx.store,
-        ctx.child_index,
+    let children = index_range_scan(
+        ex,
+        child_index,
         spec.child_key_limit,
         opts.sort_index_rids,
+        &spec.children,
     );
-    for (child_key, crid) in children {
-        let child = ctx.store.fetch(crid);
-        report.children_scanned += 1;
-        if child.object.header.is_deleted() {
-            ctx.store.release(child);
-            continue;
+    ex.op(OpKind::HashProbe, &spec.children, |ex| {
+        for (child_key, crid) in children {
+            ex.with_object(crid, |ex, child| {
+                report.children_scanned += 1;
+                if child.is_deleted() {
+                    return;
+                }
+                ex.store.charge_attr_access(child_class, spec.child_parent);
+                let prid = child.object().values[spec.child_parent]
+                    .as_ref_rid()
+                    .expect("child parent reference");
+                ex.store.charge(CpuEvent::HashProbe, 1);
+                if swap.touch(rid_hash(prid)) {
+                    ex.store.charge(CpuEvent::SwapFault, 1);
+                }
+                if let Some(&parent_key) = table.get(&prid) {
+                    ex.op(OpKind::Emit, "result", |ex| {
+                        ex.store.charge_attr_access(child_class, spec.child_project);
+                        emit(ex.store, spec, &mut report, parent_key, child_key);
+                    });
+                }
+            });
         }
-        ctx.store.charge_attr_access(child_class, spec.child_parent);
-        let prid = child.object.values[spec.child_parent]
-            .as_ref_rid()
-            .expect("child parent reference");
-        ctx.store.charge(CpuEvent::HashProbe, 1);
-        if swap.touch(rid_hash(prid)) {
-            ctx.store.charge(CpuEvent::SwapFault, 1);
-        }
-        if let Some(&parent_key) = table.get(&prid) {
-            ctx.store
-                .charge_attr_access(child_class, spec.child_project);
-            emit(ctx.store, spec, &mut report, parent_key, child_key);
-        }
-        ctx.store.release(child);
-    }
+    });
     report.swap_faults = swap.faults();
     if opts.hash_key == HashKeyMode::Handle {
-        // Tear the pinned table handles down.
-        ctx.store.charge(CpuEvent::HandleFree, table.len() as u64);
+        // Tear the pinned table handles down (the table's cost).
+        ex.op(OpKind::HashBuild, &spec.parents, |ex| {
+            ex.store.charge(CpuEvent::HandleFree, table.len() as u64);
+        });
     }
     report
 }

@@ -17,20 +17,25 @@
 //! No hash table, therefore no swap faults — but the child sort is
 //! pure overhead that hashing avoids, which is exactly why the authors
 //! dropped it.
+//!
+//! Operator composition: `IndexRangeScan` per side, `Sort(children)`
+//! (spills included), then `Merge` with `Emit` on matches.
 
 use super::spill::{SpillRun, SpillWriter};
-use super::{emit, gather_index_rids, JoinContext, JoinOptions, JoinReport, TreeJoinSpec};
-use tq_objstore::Rid;
+use super::{emit, JoinContext, JoinOptions, JoinReport, TreeJoinSpec};
+use crate::exec::{index_range_scan, ExecContext, OpKind};
+use tq_index::BTreeIndex;
+use tq_objstore::{ObjectStore, Rid};
 use tq_pagestore::CpuEvent;
 
 /// Bytes per in-memory sort entry (key + rid + sort overhead).
 const SORT_ENTRY_BYTES: u64 = 24;
 
 /// Charges an in-memory sort of `n` entries.
-fn charge_sort(ctx: &mut JoinContext<'_>, n: u64) {
+fn charge_sort(store: &mut ObjectStore, n: u64) {
     if n > 1 {
         let compares = (n as f64 * (n as f64).log2()).ceil() as u64;
-        ctx.store.charge(CpuEvent::SortCompare, compares);
+        store.charge(CpuEvent::SortCompare, compares);
     }
 }
 
@@ -39,13 +44,13 @@ fn charge_sort(ctx: &mut JoinContext<'_>, n: u64) {
 /// exceeds the operator memory budget. Returns the sorted pairs and
 /// the spill pages the external sort used.
 fn sort_by_rid_external(
-    ctx: &mut JoinContext<'_>,
+    store: &mut ObjectStore,
     mut pairs: Vec<(i64, Rid)>,
     budget: u64,
 ) -> (Vec<(i64, Rid)>, u64) {
     let bytes = pairs.len() as u64 * SORT_ENTRY_BYTES;
     if bytes <= budget {
-        charge_sort(ctx, pairs.len() as u64);
+        charge_sort(store, pairs.len() as u64);
         pairs.sort_unstable_by_key(|&(_, rid)| rid);
         return (pairs, 0);
     }
@@ -55,15 +60,15 @@ fn sort_by_rid_external(
     let mut runs: Vec<SpillRun> = Vec::new();
     let mut files = Vec::new();
     for (i, chunk) in pairs.chunks_mut(run_len).enumerate() {
-        charge_sort(ctx, chunk.len() as u64);
+        charge_sort(store, chunk.len() as u64);
         chunk.sort_unstable_by_key(|&(_, rid)| rid);
-        let file = ctx.store.create_file(format!("sort.run.{i}"));
+        let file = store.create_file(format!("sort.run.{i}"));
         files.push(file);
         let mut w = SpillWriter::new(file);
         for &(k, r) in chunk.iter() {
-            w.push(ctx.store.stack_mut(), k, r);
+            w.push(store.stack_mut(), k, r);
         }
-        let run = w.finish(ctx.store.stack_mut());
+        let run = w.finish(store.stack_mut());
         spill_pages += run.pages as u64;
         runs.push(run);
     }
@@ -71,16 +76,15 @@ fn sort_by_rid_external(
     // (n·log2 k compares).
     let k = runs.len().max(2) as f64;
     let n = pairs.len() as f64;
-    ctx.store
-        .charge(CpuEvent::SortCompare, (n * k.log2()).ceil() as u64);
+    store.charge(CpuEvent::SortCompare, (n * k.log2()).ceil() as u64);
     let mut all: Vec<(i64, Rid)> = Vec::with_capacity(pairs.len());
     for run in &runs {
         spill_pages += run.pages as u64;
-        all.extend(run.read_all(ctx.store.stack_mut()));
+        all.extend(run.read_all(store.stack_mut()));
     }
     all.sort_unstable_by_key(|&(_, rid)| rid); // the merge's result
     for f in files {
-        ctx.store.stack_mut().truncate_file(f);
+        store.stack_mut().truncate_file(f);
     }
     (all, spill_pages)
 }
@@ -92,80 +96,110 @@ pub fn run(
     opts: &JoinOptions,
     collect: bool,
 ) -> JoinReport {
+    let mut ex = ExecContext::new(ctx.store);
+    let mut report = run_exec(
+        &mut ex,
+        ctx.parent_index,
+        ctx.child_index,
+        spec,
+        opts,
+        collect,
+    );
+    report.trace = ex.finish();
+    report
+}
+
+fn run_exec(
+    ex: &mut ExecContext<'_>,
+    parent_index: &BTreeIndex,
+    child_index: &BTreeIndex,
+    spec: &TreeJoinSpec,
+    opts: &JoinOptions,
+    collect: bool,
+) -> JoinReport {
     let mut report = JoinReport {
         pairs: collect.then(Vec::new),
         ..Default::default()
     };
-    let parent_class = ctx.store.collection(&spec.parents).class;
-    let child_class = ctx.store.collection(&spec.children).class;
-    let budget = ctx.store.stack().model().operator_memory_budget;
+    let parent_class = ex.store.collection(&spec.parents).class;
+    let child_class = ex.store.collection(&spec.children).class;
+    let budget = ex.store.stack().model().operator_memory_budget;
 
     // Outer: selected parents in rid order, carrying (parent_key, rid).
-    let mut parents = gather_index_rids(ctx.store, ctx.parent_index, spec.parent_key_limit, true);
+    let mut parents =
+        index_range_scan(ex, parent_index, spec.parent_key_limit, true, &spec.parents);
     parents.sort_unstable_by_key(|&(_, rid)| rid); // no-op when presorted
     let mut parent_keys: Vec<(Rid, i64)> = Vec::with_capacity(parents.len());
-    for &(parent_key, prid) in &parents {
-        let parent = ctx.store.fetch(prid);
-        report.parents_scanned += 1;
-        if parent.object.header.is_deleted() {
-            ctx.store.release(parent);
-            continue;
+    ex.op(OpKind::IndexRangeScan, &spec.parents, |ex| {
+        for &(parent_key, prid) in &parents {
+            ex.with_object(prid, |ex, parent| {
+                report.parents_scanned += 1;
+                if parent.is_deleted() {
+                    return;
+                }
+                ex.store
+                    .charge_attr_access(parent_class, spec.parent_project);
+                parent_keys.push((parent.rid(), parent_key));
+            });
         }
-        ctx.store
-            .charge_attr_access(parent_class, spec.parent_project);
-        parent_keys.push((parent.rid, parent_key));
-        ctx.store.release(parent);
-    }
+    });
 
     // Inner: selected children as (child_key, parent rid) pairs.
-    let children = gather_index_rids(
-        ctx.store,
-        ctx.child_index,
+    let children = index_range_scan(
+        ex,
+        child_index,
         spec.child_key_limit,
         opts.sort_index_rids,
+        &spec.children,
     );
     let mut child_pairs: Vec<(i64, Rid)> = Vec::with_capacity(children.len());
-    for (child_key, crid) in children {
-        let child = ctx.store.fetch(crid);
-        report.children_scanned += 1;
-        if child.object.header.is_deleted() {
-            ctx.store.release(child);
-            continue;
+    ex.op(OpKind::IndexRangeScan, &spec.children, |ex| {
+        for (child_key, crid) in children {
+            ex.with_object(crid, |ex, child| {
+                report.children_scanned += 1;
+                if child.is_deleted() {
+                    return;
+                }
+                ex.store.charge_attr_access(child_class, spec.child_parent);
+                ex.store.charge_attr_access(child_class, spec.child_project);
+                let prid = child.object().values[spec.child_parent]
+                    .as_ref_rid()
+                    .expect("child parent reference");
+                child_pairs.push((child_key, prid));
+            });
         }
-        ctx.store.charge_attr_access(child_class, spec.child_parent);
-        ctx.store
-            .charge_attr_access(child_class, spec.child_project);
-        let prid = child.object.values[spec.child_parent]
-            .as_ref_rid()
-            .expect("child parent reference");
-        child_pairs.push((child_key, prid));
-        ctx.store.release(child);
-    }
-    let (sorted_children, spill_pages) = sort_by_rid_external(ctx, child_pairs, budget);
+    });
+    let (sorted_children, spill_pages) = ex.op(OpKind::Sort, &spec.children, |ex| {
+        sort_by_rid_external(ex.store, child_pairs, budget)
+    });
     report.spill_pages = spill_pages;
 
     // Merge on parent rid; both sides are rid-ordered.
-    let mut ci = 0;
-    for &(prid, parent_key) in &parent_keys {
-        while ci < sorted_children.len() && sorted_children[ci].1 < prid {
-            ctx.store.charge(CpuEvent::Compare, 1);
-            ci += 1;
+    ex.op(OpKind::Merge, "rid", |ex| {
+        let mut ci = 0;
+        for &(prid, parent_key) in &parent_keys {
+            while ci < sorted_children.len() && sorted_children[ci].1 < prid {
+                ex.store.charge(CpuEvent::Compare, 1);
+                ci += 1;
+            }
+            let mut cj = ci;
+            while cj < sorted_children.len() && sorted_children[cj].1 == prid {
+                ex.store.charge(CpuEvent::Compare, 1);
+                ex.op(OpKind::Emit, "result", |ex| {
+                    emit(
+                        ex.store,
+                        spec,
+                        &mut report,
+                        parent_key,
+                        sorted_children[cj].0,
+                    );
+                });
+                cj += 1;
+            }
+            // Do not advance ci past the run: duplicate parents cannot
+            // occur (rids are unique), so continue from cj.
+            ci = cj;
         }
-        let mut cj = ci;
-        while cj < sorted_children.len() && sorted_children[cj].1 == prid {
-            ctx.store.charge(CpuEvent::Compare, 1);
-            emit(
-                ctx.store,
-                spec,
-                &mut report,
-                parent_key,
-                sorted_children[cj].0,
-            );
-            cj += 1;
-        }
-        // Do not advance ci past the run: duplicate parents cannot
-        // occur (rids are unique), so continue from cj.
-        ci = cj;
-    }
+    });
     report
 }

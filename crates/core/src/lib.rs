@@ -6,6 +6,10 @@
 //! cost-based planner (the thing the authors set out to build), and a
 //! small OQL front end for the query fragment the paper exercises.
 //!
+//! * [`exec`] — the physical-operator execution layer: every access
+//!   pattern (scans, navigations, hash build/probe, …) is a named
+//!   operator driven through an [`exec::ExecContext`] that enforces
+//!   RAII handle pairing and attributes counter deltas per operator.
 //! * [`select`] — sequential scan, index scan, and the Figure 8
 //!   *sorted* index scan over a single collection.
 //! * [`join`] — NL, NOJOIN, PHJ and CHJ over a 1-N tree (§5.1),
@@ -19,6 +23,7 @@
 
 pub mod engine;
 pub mod estimator;
+pub mod exec;
 pub mod explain;
 pub mod join;
 pub mod maintenance;
@@ -29,6 +34,9 @@ pub mod spec;
 pub mod swap;
 
 pub use engine::{Engine, EngineError, QueryOutcome};
+pub use estimator::{EstimateBreakdown, OpEstimate};
+pub use exec::{ExecContext, ExecTrace, OpCounters, OpKind, OpRecord};
+pub use explain::{render_estimate, render_trace};
 pub use join::{hash_table_bytes, run_join, JoinContext, JoinOptions, JoinReport};
 pub use select::{index_scan, seq_scan, sorted_index_scan, SelectReport};
 pub use spec::{AttrPredicate, CmpOp, HashKeyMode, JoinAlgo, ResultMode, Selection, TreeJoinSpec};

@@ -56,23 +56,23 @@ pub fn update_with_indexes(
 ) -> MaintenanceReport {
     // Pin the old object: we need its header's index list and the old
     // key values.
-    let old = store.fetch(rid);
-    let old_rid = old.rid;
-    let member_ids = old.object.header.index_ids.clone();
-    let mut old_keys: Vec<(usize, i64)> = Vec::new(); // (registry slot, old key)
-    let mut skipped = 0u32;
-    for (slot, m) in indexes.iter().enumerate() {
-        if member_ids.contains(&m.index.id) {
-            store.charge_attr_access(old.object.header.class, m.key_attr);
-            let key = old.object.values[m.key_attr]
-                .as_int()
-                .expect("indexed attributes are Int") as i64;
-            old_keys.push((slot, key));
-        } else {
-            skipped += 1;
+    let (old_rid, old_keys, skipped) = store.with_fetched(rid, |store, old| {
+        let old_rid = old.rid();
+        let mut old_keys: Vec<(usize, i64)> = Vec::new(); // (registry slot, old key)
+        let mut skipped = 0u32;
+        for (slot, m) in indexes.iter().enumerate() {
+            if old.object().header.index_ids.contains(&m.index.id) {
+                store.charge_attr_access(old.object().header.class, m.key_attr);
+                let key = old.object().values[m.key_attr]
+                    .as_int()
+                    .expect("indexed attributes are Int") as i64;
+                old_keys.push((slot, key));
+            } else {
+                skipped += 1;
+            }
         }
-    }
-    store.unref(old_rid);
+        (old_rid, old_keys, skipped)
+    });
 
     // The update itself (may relocate).
     let new_rid = store.update(old_rid, new_values);
@@ -285,8 +285,7 @@ mod tests {
         // round trip works without a forwarder hop.
         let found = idx.lookup(store.stack_mut(), 0);
         assert_eq!(found, vec![report.rid]);
-        let fetched = store.fetch(found[0]);
-        assert_eq!(fetched.rid, report.rid);
-        store.unref(fetched.rid);
+        let fetched_rid = store.with_fetched(found[0], |_store, g| g.rid());
+        assert_eq!(fetched_rid, report.rid);
     }
 }

@@ -14,7 +14,13 @@
 //!   are only created for selected objects, and the I/O is
 //!   sequentialized — the paper's surprise winner at every selectivity
 //!   (Figure 7).
+//!
+//! Each scan is a composition of [`exec`](crate::exec) operators —
+//! `SeqScan`/`IndexRangeScan` driving optional `Residual` predicates,
+//! a `Sort` for the rid sort, and `Emit` per result — and returns the
+//! per-operator counter attribution in [`SelectReport::trace`].
 
+use crate::exec::{charge_result_append, int_attr, ExecContext, ExecTrace, OpKind};
 use crate::spec::{ResultMode, Selection};
 use tq_index::BTreeIndex;
 use tq_objstore::{ObjectStore, Rid};
@@ -32,6 +38,9 @@ pub struct SelectReport {
     pub rids_sorted: u64,
     /// Projected integer values, when collection was requested.
     pub values: Option<Vec<i64>>,
+    /// Per-operator counter attribution (sums exactly to the counter
+    /// deltas of the scan's execution window).
+    pub trace: ExecTrace,
 }
 
 fn append_result(
@@ -40,23 +49,10 @@ fn append_result(
     out: &mut Option<Vec<i64>>,
     value: i64,
 ) {
-    store.charge(
-        match mode {
-            ResultMode::Persistent => CpuEvent::ResultAppendPersistent,
-            ResultMode::Transient => CpuEvent::ResultAppendTransient,
-        },
-        1,
-    );
+    charge_result_append(store, mode);
     if let Some(v) = out {
         v.push(value);
     }
-}
-
-fn int_attr(store: &ObjectStore, obj: &tq_objstore::Object, attr: usize) -> i64 {
-    let _ = store;
-    obj.values[attr]
-        .as_int()
-        .expect("selection attributes must be Int") as i64
 }
 
 /// Evaluates the residual conjunction on a pinned object, charging one
@@ -71,11 +67,27 @@ fn residual_pass(
     for pred in &sel.residual {
         store.charge_attr_access(class, pred.attr);
         store.charge(CpuEvent::Compare, 1);
-        if !pred.eval(int_attr(store, obj, pred.attr)) {
+        if !pred.eval(int_attr(obj, pred.attr)) {
             return false;
         }
     }
     true
+}
+
+/// [`residual_pass`] under a `Residual` operator node — skipped
+/// entirely (no empty node) when the selection has no residuals.
+fn residual_op(
+    ex: &mut ExecContext<'_>,
+    class: tq_objstore::ClassId,
+    obj: &tq_objstore::Object,
+    sel: &Selection,
+) -> bool {
+    if sel.residual.is_empty() {
+        return true;
+    }
+    ex.op(OpKind::Residual, "residual", |ex| {
+        residual_pass(ex.store, class, obj, sel)
+    })
 }
 
 /// Figure 8 (left): full scan with per-object predicate evaluation.
@@ -86,25 +98,31 @@ pub fn seq_scan(store: &mut ObjectStore, sel: &Selection, collect: bool) -> Sele
         values: collect.then(Vec::new),
         ..Default::default()
     };
-    while let Some(rid) = cursor.next(store.stack_mut()) {
-        let fetched = store.fetch(rid);
-        report.scanned += 1;
-        if fetched.object.header.is_deleted() {
-            store.release(fetched);
-            continue;
+    let mut ex = ExecContext::new(store);
+    ex.op(OpKind::SeqScan, &sel.collection, |ex| {
+        while let Some(rid) = cursor.next(ex.store.stack_mut()) {
+            ex.with_object(rid, |ex, fetched| {
+                report.scanned += 1;
+                if fetched.is_deleted() {
+                    return;
+                }
+                ex.store.charge_attr_access(info.class, sel.attr);
+                ex.store.charge(CpuEvent::Compare, 1);
+                let key_val = int_attr(fetched.object(), sel.attr);
+                if sel.cmp.eval(key_val, sel.key)
+                    && residual_op(ex, info.class, fetched.object(), sel)
+                {
+                    report.selected += 1;
+                    ex.op(OpKind::Emit, "result", |ex| {
+                        ex.store.charge_attr_access(info.class, sel.project);
+                        let v = int_attr(fetched.object(), sel.project);
+                        append_result(ex.store, sel.result_mode, &mut report.values, v);
+                    });
+                }
+            });
         }
-        store.charge_attr_access(info.class, sel.attr);
-        store.charge(CpuEvent::Compare, 1);
-        let key_val = int_attr(store, &fetched.object, sel.attr);
-        if sel.cmp.eval(key_val, sel.key) && residual_pass(store, info.class, &fetched.object, sel)
-        {
-            report.selected += 1;
-            store.charge_attr_access(info.class, sel.project);
-            let v = int_attr(store, &fetched.object, sel.project);
-            append_result(store, sel.result_mode, &mut report.values, v);
-        }
-        store.release(fetched);
-    }
+    });
+    report.trace = ex.finish();
     report
 }
 
@@ -122,26 +140,29 @@ pub fn index_scan(
 ) -> SelectReport {
     let info = store.collection(&sel.collection);
     let (lo, hi) = index_bounds(sel);
-    let mut cursor = index.range(store.stack_mut(), lo, hi);
     let mut report = SelectReport {
         values: collect.then(Vec::new),
         ..Default::default()
     };
-    while let Some((_key, rid)) = cursor.next(store.stack_mut()) {
-        let fetched = store.fetch(rid);
-        report.scanned += 1;
-        if fetched.object.header.is_deleted()
-            || !residual_pass(store, info.class, &fetched.object, sel)
-        {
-            store.release(fetched);
-            continue;
+    let mut ex = ExecContext::new(store);
+    ex.op(OpKind::IndexRangeScan, &sel.collection, |ex| {
+        let mut cursor = index.range(ex.store.stack_mut(), lo, hi);
+        while let Some((_key, rid)) = cursor.next(ex.store.stack_mut()) {
+            ex.with_object(rid, |ex, fetched| {
+                report.scanned += 1;
+                if fetched.is_deleted() || !residual_op(ex, info.class, fetched.object(), sel) {
+                    return;
+                }
+                report.selected += 1;
+                ex.op(OpKind::Emit, "result", |ex| {
+                    ex.store.charge_attr_access(info.class, sel.project);
+                    let v = int_attr(fetched.object(), sel.project);
+                    append_result(ex.store, sel.result_mode, &mut report.values, v);
+                });
+            });
         }
-        report.selected += 1;
-        store.charge_attr_access(info.class, sel.project);
-        let v = int_attr(store, &fetched.object, sel.project);
-        append_result(store, sel.result_mode, &mut report.values, v);
-        store.release(fetched);
-    }
+    });
+    report.trace = ex.finish();
     report
 }
 
@@ -155,38 +176,45 @@ pub fn sorted_index_scan(
 ) -> SelectReport {
     let info = store.collection(&sel.collection);
     let (lo, hi) = index_bounds(sel);
-    let mut cursor = index.range(store.stack_mut(), lo, hi);
-    let mut rids: Vec<Rid> = Vec::new();
-    while let Some((_key, rid)) = cursor.next(store.stack_mut()) {
-        rids.push(rid);
-    }
-    // Sort table T on rids (n·log2 n charged compares).
-    let n = rids.len() as u64;
-    if n > 1 {
-        let compares = (n as f64 * (n as f64).log2()).ceil() as u64;
-        store.charge(CpuEvent::SortCompare, compares);
-    }
-    rids.sort_unstable();
     let mut report = SelectReport {
-        rids_sorted: n,
         values: collect.then(Vec::new),
         ..Default::default()
     };
-    for rid in rids {
-        let fetched = store.fetch(rid);
-        report.scanned += 1;
-        if fetched.object.header.is_deleted()
-            || !residual_pass(store, info.class, &fetched.object, sel)
-        {
-            store.release(fetched);
-            continue;
+    let mut ex = ExecContext::new(store);
+    let mut rids: Vec<Rid> = Vec::new();
+    ex.op(OpKind::IndexRangeScan, &sel.collection, |ex| {
+        let mut cursor = index.range(ex.store.stack_mut(), lo, hi);
+        while let Some((_key, rid)) = cursor.next(ex.store.stack_mut()) {
+            rids.push(rid);
         }
-        report.selected += 1;
-        store.charge_attr_access(info.class, sel.project);
-        let v = int_attr(store, &fetched.object, sel.project);
-        append_result(store, sel.result_mode, &mut report.values, v);
-        store.release(fetched);
-    }
+    });
+    // Sort table T on rids (n·log2 n charged compares).
+    let n = rids.len() as u64;
+    ex.op(OpKind::Sort, "rids", |ex| {
+        if n > 1 {
+            let compares = (n as f64 * (n as f64).log2()).ceil() as u64;
+            ex.store.charge(CpuEvent::SortCompare, compares);
+        }
+        rids.sort_unstable();
+    });
+    report.rids_sorted = n;
+    ex.op(OpKind::IndexRangeScan, &sel.collection, |ex| {
+        for rid in rids {
+            ex.with_object(rid, |ex, fetched| {
+                report.scanned += 1;
+                if fetched.is_deleted() || !residual_op(ex, info.class, fetched.object(), sel) {
+                    return;
+                }
+                report.selected += 1;
+                ex.op(OpKind::Emit, "result", |ex| {
+                    ex.store.charge_attr_access(info.class, sel.project);
+                    let v = int_attr(fetched.object(), sel.project);
+                    append_result(ex.store, sel.result_mode, &mut report.values, v);
+                });
+            });
+        }
+    });
+    report.trace = ex.finish();
     report
 }
 
@@ -372,5 +400,23 @@ mod tests {
         index_scan(&mut store, &key_idx, &s, false);
         let transient = store.clock().cpu_time();
         assert!(persistent > transient);
+    }
+
+    #[test]
+    fn scan_traces_attribute_every_counter() {
+        let (mut store, _, scat_idx) = make(600);
+        store.cold_restart();
+        store.reset_metrics();
+        let before = crate::exec::OpCounters::snapshot(&store);
+        let r = sorted_index_scan(&mut store, &scat_idx, &sel(2, CmpOp::Lt, 300), false);
+        let after = crate::exec::OpCounters::snapshot(&store);
+        assert_eq!(r.trace.total(), after.delta_since(&before));
+        assert!(r.trace.find(OpKind::IndexRangeScan).is_some());
+        assert!(r.trace.find(OpKind::Sort).is_some());
+        assert!(r.trace.find(OpKind::Emit).is_some());
+        assert!(
+            r.trace.find(OpKind::Other).is_none(),
+            "no unattributed work in a scan"
+        );
     }
 }

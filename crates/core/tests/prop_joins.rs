@@ -134,9 +134,7 @@ fn oracle(edges: &[(i64, i64)], k_parent: i64, k_child: i64) -> Vec<(i64, i64)> 
 fn joins_equal_oracle() {
     for case in 0..48u64 {
         let mut rng = SimRng::seed_from_u64(0x0A1C_1E00 + case);
-        let fanouts: Vec<u8> = (0..1 + rng.index(29))
-            .map(|_| rng.below(6) as u8)
-            .collect();
+        let fanouts: Vec<u8> = (0..1 + rng.index(29)).map(|_| rng.below(6) as u8).collect();
         let child_keys: Vec<i16> = (0..1 + rng.index(39))
             .map(|_| rng.range_i64(-20, 19) as i16)
             .collect();
@@ -194,9 +192,7 @@ fn joins_equal_oracle() {
 fn no_handle_leaks() {
     for case in 0..48u64 {
         let mut rng = SimRng::seed_from_u64(0x1EA6_0000 + case);
-        let fanouts: Vec<u8> = (0..1 + rng.index(14))
-            .map(|_| rng.below(5) as u8)
-            .collect();
+        let fanouts: Vec<u8> = (0..1 + rng.index(14)).map(|_| rng.below(5) as u8).collect();
         let k_child = rng.range_i64(0, 19);
         let mut t = build_tree(&fanouts, &[1, 5, 9, 13]);
         let s = spec(fanouts.len() as i64, k_child);

@@ -150,8 +150,14 @@ mod tests {
 
     #[test]
     fn byte_slices_hash_by_content() {
-        assert_eq!(hash_one(&b"hello world!"[..]), hash_one(&b"hello world!"[..]));
-        assert_ne!(hash_one(&b"hello world!"[..]), hash_one(&b"hello world?"[..]));
+        assert_eq!(
+            hash_one(&b"hello world!"[..]),
+            hash_one(&b"hello world!"[..])
+        );
+        assert_ne!(
+            hash_one(&b"hello world!"[..]),
+            hash_one(&b"hello world?"[..])
+        );
         // Exercise every tail length of the byte path: equal content
         // hashes equal, one flipped trailing byte does not.
         for n in 1..24usize {

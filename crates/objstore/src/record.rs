@@ -161,7 +161,12 @@ pub fn encode(class_def: &ClassDef, header: &ObjectHeader, values: &[Value]) -> 
 /// [`encode`] into a caller-supplied buffer, which is cleared first.
 /// Insert/update loops that recycle one scratch buffer stay off the
 /// allocator entirely.
-pub fn encode_into(class_def: &ClassDef, header: &ObjectHeader, values: &[Value], out: &mut Vec<u8>) {
+pub fn encode_into(
+    class_def: &ClassDef,
+    header: &ObjectHeader,
+    values: &[Value],
+    out: &mut Vec<u8>,
+) {
     assert_eq!(
         values.len(),
         class_def.attrs.len(),

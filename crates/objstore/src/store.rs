@@ -68,6 +68,53 @@ pub struct Fetched {
     pub object: Object,
 }
 
+/// An RAII fetch: a pinned handle that *must* go back through
+/// [`ObjectStore::release_guard`].
+///
+/// [`ObjectStore::fetch`]/[`ObjectStore::release`] rely on every call
+/// site remembering the release — including the easy-to-miss
+/// deleted-object `continue` paths. A guard makes the forgotten release
+/// impossible to ship: dropping one that was never released panics in
+/// debug builds (tests), so any leaked pin fails loudly instead of
+/// silently skewing the handle counters the paper's analysis rests on.
+/// Release builds let the drop pass (the handle leaks until
+/// `end_of_query`, exactly as a forgotten `release()` would have).
+#[derive(Debug)]
+pub struct ObjGuard {
+    rid: Rid,
+    /// `Some` while the pin is armed; taken by
+    /// [`ObjectStore::release_guard`].
+    object: Option<Object>,
+}
+
+impl ObjGuard {
+    /// The canonical rid (post-forwarding).
+    pub fn rid(&self) -> Rid {
+        self.rid
+    }
+
+    /// The decoded object.
+    pub fn object(&self) -> &Object {
+        self.object.as_ref().expect("guard already released")
+    }
+
+    /// Whether the object carries the logical-delete flag.
+    pub fn is_deleted(&self) -> bool {
+        self.object().header.is_deleted()
+    }
+}
+
+impl Drop for ObjGuard {
+    fn drop(&mut self) {
+        if self.object.is_some() && cfg!(debug_assertions) && !std::thread::panicking() {
+            panic!(
+                "ObjGuard for {:?} dropped without ObjectStore::release_guard: leaked handle pin",
+                self.rid
+            );
+        }
+    }
+}
+
 /// The object store.
 ///
 /// `Clone` duplicates the entire simulated client/server/disk state;
@@ -256,6 +303,35 @@ impl ObjectStore {
         if self.spare.len() < OBJECT_POOL_CAP {
             self.spare.push(f.object);
         }
+    }
+
+    /// Like [`ObjectStore::fetch`], but the pin comes back as an RAII
+    /// [`ObjGuard`]: forgetting [`ObjectStore::release_guard`] panics in
+    /// debug builds. Query operators fetch exclusively through this.
+    pub fn fetch_guard(&mut self, rid: Rid) -> ObjGuard {
+        let f = self.fetch(rid);
+        ObjGuard {
+            rid: f.rid,
+            object: Some(f.object),
+        }
+    }
+
+    /// Consumes a guard: unpins the handle and recycles the object
+    /// shell, exactly like [`ObjectStore::release`].
+    pub fn release_guard(&mut self, mut guard: ObjGuard) {
+        let object = guard.object.take().expect("guard already released");
+        let rid = guard.rid;
+        self.release(Fetched { rid, object });
+    }
+
+    /// Fetches `rid`, runs `f` with the guarded object, and releases —
+    /// the pairing lives in one place, so early returns (deleted
+    /// objects) cannot leak the pin.
+    pub fn with_fetched<R>(&mut self, rid: Rid, f: impl FnOnce(&mut Self, &ObjGuard) -> R) -> R {
+        let guard = self.fetch_guard(rid);
+        let out = f(self, &guard);
+        self.release_guard(guard);
+        out
     }
 
     /// Unpins a handle previously pinned by [`ObjectStore::fetch`].
@@ -604,6 +680,53 @@ mod tests {
         assert_eq!(fetched.object.values, item_values(7, "seven"));
         assert_eq!(fetched.object.header.class, item);
         store.unref(rid);
+    }
+
+    #[test]
+    fn guarded_fetch_round_trip_matches_fetch() {
+        let (mut store, item, file) = item_store();
+        let rid = store.insert(file, item, &item_values(7, "seven"), true);
+        store.cold_restart();
+        store.reset_metrics();
+        let g = store.fetch_guard(rid);
+        assert_eq!(g.rid(), rid);
+        assert!(!g.is_deleted());
+        assert_eq!(g.object().values, item_values(7, "seven"));
+        store.release_guard(g);
+        // Same charges as a fetch/unref pair.
+        let m = store.stack().model().clone();
+        assert_eq!(store.clock().cpu_time(), m.handle_alloc + m.handle_unref);
+        let h = store.handle_stats();
+        assert_eq!(h.allocations, 1);
+        assert_eq!(h.unrefs, 1);
+    }
+
+    #[test]
+    fn with_fetched_releases_on_early_return() {
+        let (mut store, item, file) = item_store();
+        let rid = store.insert(file, item, &item_values(1, "victim"), true);
+        store.mark_deleted(rid);
+        store.cold_restart();
+        store.reset_metrics();
+        let skipped = store.with_fetched(rid, |_store, g| {
+            if g.is_deleted() {
+                return true; // the easy-to-leak continue path
+            }
+            false
+        });
+        assert!(skipped);
+        let h = store.handle_stats();
+        assert_eq!(h.unrefs, 1, "early return still unpins");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "leaked handle pin")]
+    fn dropping_an_armed_guard_panics_in_debug() {
+        let (mut store, item, file) = item_store();
+        let rid = store.insert(file, item, &item_values(1, "a"), true);
+        let guard = store.fetch_guard(rid);
+        drop(guard); // never released: the leak check must fire
     }
 
     #[test]

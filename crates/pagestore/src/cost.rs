@@ -250,6 +250,7 @@ pub struct SimClock {
     rpc_time: Nanos,
     cpu_time: Nanos,
     swap_time: Nanos,
+    cpu_events: u64,
 }
 
 impl SimClock {
@@ -288,6 +289,14 @@ impl SimClock {
         self.swap_time
     }
 
+    /// Number of CPU events charged through [`SimClock::charge`]
+    /// (handle traffic, attribute gets, compares, hashing, sorting,
+    /// result appends, swap faults). Page reads/writes/RPCs are counted
+    /// by `IoStats`, not here. Per-operator breakdowns diff this.
+    pub fn cpu_events(&self) -> u64 {
+        self.cpu_events
+    }
+
     /// Charges a disk page read; `sequential` selects the streaming
     /// rate.
     pub fn charge_read(&mut self, model: &CostModel, sequential: bool) {
@@ -321,6 +330,7 @@ impl SimClock {
             self.cpu_time += cost;
         }
         self.elapsed += cost;
+        self.cpu_events += count;
     }
 
     /// Difference to an earlier snapshot of the same clock.
@@ -369,6 +379,20 @@ mod tests {
             c.elapsed(),
             c.io_time() + c.rpc_time() + c.cpu_time() + c.swap_time()
         );
+    }
+
+    #[test]
+    fn cpu_events_count_charges_not_io() {
+        let m = CostModel::sparc20();
+        let mut c = SimClock::new();
+        c.charge_read(&m, false);
+        c.charge_rpc(&m);
+        assert_eq!(c.cpu_events(), 0, "page traffic is not a CPU event");
+        c.charge(&m, CpuEvent::HandleAlloc, 3);
+        c.charge(&m, CpuEvent::SwapFault, 2);
+        assert_eq!(c.cpu_events(), 5);
+        c.reset();
+        assert_eq!(c.cpu_events(), 0);
     }
 
     #[test]

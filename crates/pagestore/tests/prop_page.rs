@@ -95,10 +95,7 @@ fn page_matches_model() {
             // Accounting: free bytes + live bytes + slot dir = capacity.
             let live_bytes: usize = model.values().map(Vec::len).sum();
             let dir = 4 * page.slot_count() as usize;
-            assert_eq!(
-                page.free_bytes() as usize + live_bytes + dir,
-                PAGE_SIZE - 6
-            );
+            assert_eq!(page.free_bytes() as usize + live_bytes + dir, PAGE_SIZE - 6);
         }
     }
 }

@@ -4,7 +4,7 @@
 //! create input files for data analysis softwares" (§3.3) and used YAT
 //! to convert O2 data to Gnuplot. These are those tools.
 
-use crate::model::Stat;
+use crate::model::{OperatorStat, Stat};
 use std::fmt::Write as _;
 
 /// Escapes one CSV field (quotes when needed).
@@ -56,6 +56,107 @@ pub fn to_csv<'a>(stats: impl IntoIterator<Item = &'a Stat>) -> String {
         .expect("writing to a String cannot fail");
     }
     out
+}
+
+/// Header of the per-operator CSV, shared by writer and parser.
+const OPERATOR_CSV_HEADER: &str = "numtest,algo,cluster,op,label,depth,d2sc_pages,\
+     sc2cc_pages,cc_misses,handle_gets,handle_frees,cpu_events,io_ns,rpc_ns,cpu_ns,swap_ns";
+
+/// Renders the per-operator breakdowns as their own CSV (one row per
+/// operator, keyed back to the experiment by `numtest`). Time columns
+/// are integer nanoseconds so the export round-trips exactly; records
+/// without a traced breakdown contribute no rows.
+pub fn to_operator_csv<'a>(stats: impl IntoIterator<Item = &'a Stat>) -> String {
+    let mut out = String::new();
+    out.push_str(OPERATOR_CSV_HEADER);
+    out.push('\n');
+    for s in stats {
+        for op in &s.operators {
+            writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                s.numtest,
+                csv_field(&s.algo),
+                csv_field(&s.cluster),
+                csv_field(&op.op),
+                csv_field(&op.label),
+                op.depth,
+                op.d2sc_read_pages,
+                op.sc2cc_read_pages,
+                op.client_misses,
+                op.handle_gets,
+                op.handle_frees,
+                op.cpu_events,
+                op.io_nanos,
+                op.rpc_nanos,
+                op.cpu_nanos,
+                op.swap_nanos,
+            )
+            .expect("writing to a String cannot fail");
+        }
+    }
+    out
+}
+
+/// Splits one CSV line into fields, undoing [`csv_field`] quoting.
+fn split_csv_line(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes && chars.peek() == Some(&'"') => {
+                cur.push('"');
+                chars.next();
+            }
+            '"' => in_quotes = !in_quotes,
+            ',' if !in_quotes => fields.push(std::mem::take(&mut cur)),
+            _ => cur.push(c),
+        }
+    }
+    fields.push(cur);
+    fields
+}
+
+/// Parses [`to_operator_csv`] output back into
+/// `(numtest, algo, cluster, row)` tuples. Returns `None` on a header
+/// mismatch or a malformed row — the translation tools are for our own
+/// exports, not arbitrary CSV.
+pub fn parse_operator_csv(csv: &str) -> Option<Vec<(u64, String, String, OperatorStat)>> {
+    let mut lines = csv.lines();
+    if lines.next()? != OPERATOR_CSV_HEADER {
+        return None;
+    }
+    let mut rows = Vec::new();
+    for line in lines {
+        let f = split_csv_line(line);
+        if f.len() != 16 {
+            return None;
+        }
+        let num = |i: usize| f[i].parse::<u64>().ok();
+        rows.push((
+            num(0)?,
+            f[1].clone(),
+            f[2].clone(),
+            OperatorStat {
+                op: f[3].clone(),
+                label: f[4].clone(),
+                depth: f[5].parse().ok()?,
+                d2sc_read_pages: num(6)?,
+                sc2cc_read_pages: num(7)?,
+                client_misses: num(8)?,
+                handle_gets: num(9)?,
+                handle_frees: num(10)?,
+                cpu_events: num(11)?,
+                io_nanos: num(12)?,
+                rpc_nanos: num(13)?,
+                cpu_nanos: num(14)?,
+                swap_nanos: num(15)?,
+            },
+        ));
+    }
+    Some(rows)
 }
 
 /// Renders a gnuplot `.dat` block per series: rows are
@@ -113,6 +214,38 @@ mod tests {
         s.query.text = "select f(p,pa) \"quoted\"".into();
         let csv = to_csv([&s]);
         assert!(csv.contains("\"select f(p,pa) \"\"quoted\"\"\""));
+    }
+
+    #[test]
+    fn operator_csv_round_trips_exactly() {
+        let mut db = StatsDb::new();
+        db.insert(sample_stat(0, "PHJ", 89.83));
+        let mut bare = sample_stat(0, "NL", 1.0);
+        bare.operators.clear(); // untraced runs contribute no rows
+        db.insert(bare);
+        let csv = to_operator_csv(db.all());
+        let rows = parse_operator_csv(&csv).expect("own export must parse");
+        let original: Vec<_> = db
+            .all()
+            .iter()
+            .flat_map(|s| {
+                s.operators
+                    .iter()
+                    .map(|op| (s.numtest, s.algo.clone(), s.cluster.clone(), op.clone()))
+            })
+            .collect();
+        assert_eq!(rows, original);
+        assert_eq!(rows.len(), 2, "only the traced record exports rows");
+        assert!(parse_operator_csv("bogus\n1,2,3").is_none());
+    }
+
+    #[test]
+    fn operator_csv_escapes_and_reparses_quoted_labels() {
+        let mut s = sample_stat(3, "PHJ", 1.0);
+        s.operators[0].label = "weird,\"label\"".into();
+        let csv = to_operator_csv([&s]);
+        let rows = parse_operator_csv(&csv).unwrap();
+        assert_eq!(rows[0].3.label, "weird,\"label\"");
     }
 
     #[test]

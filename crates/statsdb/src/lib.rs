@@ -18,4 +18,5 @@ pub mod export;
 pub mod model;
 
 pub use db::{Filter, GroupSummary, StatsDb};
-pub use model::{ExtentDesc, QueryDesc, Stat, SystemDesc};
+pub use export::{parse_operator_csv, to_operator_csv};
+pub use model::{ExtentDesc, OperatorStat, QueryDesc, Stat, SystemDesc};

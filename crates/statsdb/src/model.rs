@@ -66,6 +66,48 @@ impl SystemDesc {
     }
 }
 
+/// One physical operator's exclusive share of a query's counters —
+/// the executor trace row, flattened for storage alongside the
+/// whole-query [`Stat`]. Every field is an exactly summable counter
+/// (nanoseconds, not derived seconds), so the rows of one experiment
+/// add up to its query-level totals field for field.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct OperatorStat {
+    /// Operator kind display name (`"IndexRangeScan"`, `"HashBuild"`, …).
+    pub op: String,
+    /// Instance label (collection name, `"result"`, `"spill"`, …).
+    pub label: String,
+    /// Nesting depth in the operator tree (0 = pipeline root).
+    pub depth: u32,
+    /// Pages read from disk to the server cache.
+    pub d2sc_read_pages: u64,
+    /// Pages read from the server cache to the client cache.
+    pub sc2cc_read_pages: u64,
+    /// Client cache misses.
+    pub client_misses: u64,
+    /// Handle gets of any flavour (alloc + touch + revive).
+    pub handle_gets: u64,
+    /// Handle teardowns.
+    pub handle_frees: u64,
+    /// CPU events charged.
+    pub cpu_events: u64,
+    /// Simulated nanoseconds of disk I/O.
+    pub io_nanos: u64,
+    /// Simulated nanoseconds of client↔server page shipping.
+    pub rpc_nanos: u64,
+    /// Simulated nanoseconds of CPU work.
+    pub cpu_nanos: u64,
+    /// Simulated nanoseconds of operator-memory swap faults.
+    pub swap_nanos: u64,
+}
+
+impl OperatorStat {
+    /// Total simulated seconds attributed to this operator.
+    pub fn elapsed_secs(&self) -> f64 {
+        (self.io_nanos + self.rpc_nanos + self.cpu_nanos + self.swap_nanos) as f64 / 1e9
+    }
+}
+
 /// One experiment's record (paper `class Stat`).
 #[derive(Clone, Debug, PartialEq)]
 pub struct Stat {
@@ -98,6 +140,10 @@ pub struct Stat {
     pub cc_miss_rate: f64,
     /// Miss rate (percent) in the server cache.
     pub sc_miss_rate: f64,
+    /// Per-operator breakdown of the run (empty when the harness did
+    /// not trace operators). The rows' counters sum to the query-level
+    /// fields above.
+    pub operators: Vec<OperatorStat>,
 }
 
 impl Stat {
@@ -151,6 +197,38 @@ pub(crate) mod tests {
             sc2cc_read_pages: 456,
             cc_miss_rate: 12.5,
             sc_miss_rate: 99.0,
+            operators: vec![
+                OperatorStat {
+                    op: "IndexRangeScan".into(),
+                    label: "Providers".into(),
+                    depth: 0,
+                    d2sc_read_pages: 300,
+                    sc2cc_read_pages: 300,
+                    client_misses: 90,
+                    handle_gets: 1800,
+                    handle_frees: 1800,
+                    cpu_events: 5400,
+                    io_nanos: 3_000_000_000,
+                    rpc_nanos: 30_000_000,
+                    cpu_nanos: 54_000_000,
+                    swap_nanos: 0,
+                },
+                OperatorStat {
+                    op: "Emit".into(),
+                    label: "result".into(),
+                    depth: 1,
+                    d2sc_read_pages: 100,
+                    sc2cc_read_pages: 156,
+                    client_misses: 33,
+                    handle_gets: 200,
+                    handle_frees: 200,
+                    cpu_events: 600,
+                    io_nanos: 1_000_000_000,
+                    rpc_nanos: 15_600_000,
+                    cpu_nanos: 6_000_000,
+                    swap_nanos: 0,
+                },
+            ],
         }
     }
 

@@ -11,10 +11,10 @@ use crate::config::{BuildConfig, DbShape, Organization};
 use crate::derby::DerbySchema;
 #[cfg(test)]
 use crate::derby::{patient_attr, provider_attr};
-use tq_simrng::SimRng;
 use tq_index::BTreeIndex;
 use tq_objstore::{ObjectStore, Rid, SetValue, Value};
 use tq_pagestore::StorageStack;
+use tq_simrng::SimRng;
 
 /// Index id of the clustered `Provider.upin` index.
 pub const IDX_UPIN: u16 = 1;
@@ -174,7 +174,15 @@ impl ValueTemplates {
         self.provider[5] = Value::Set(set);
     }
 
-    fn fill_patient(&mut self, mrn: i64, age: i32, sex: u8, random_integer: i32, num: i64, pcp: Rid) {
+    fn fill_patient(
+        &mut self,
+        mrn: i64,
+        age: i32,
+        sex: u8,
+        random_integer: i32,
+        num: i64,
+        pcp: Rid,
+    ) {
         let v = &mut self.patient;
         str_slot(&mut v[0], "pat", mrn);
         v[1] = Value::Int(mrn as i32);
@@ -358,9 +366,7 @@ pub fn build_with_load_knobs(config: &BuildConfig, knobs: &LoadKnobs) -> Databas
                         first_page: 0,
                         count: 0,
                     }),
-                    DbShape::Db2 => {
-                        templates.set_clients_placeholder(fanouts[i as usize] as usize)
-                    }
+                    DbShape::Db2 => templates.set_clients_placeholder(fanouts[i as usize] as usize),
                 }
                 let rid = store.insert(
                     provider_file,

@@ -11,10 +11,33 @@
 //! ```
 
 use treequery::query::join::{run_join, JoinContext, JoinOptions};
-use treequery::query::{JoinAlgo, ResultMode, TreeJoinSpec};
+use treequery::query::{ExecTrace, JoinAlgo, ResultMode, TreeJoinSpec};
 use treequery::statsdb::export::{to_csv, to_gnuplot};
-use treequery::statsdb::{ExtentDesc, Filter, QueryDesc, Stat, StatsDb, SystemDesc};
+use treequery::statsdb::{ExtentDesc, Filter, OperatorStat, QueryDesc, Stat, StatsDb, SystemDesc};
 use treequery::workload::{build, patient_attr, provider_attr, BuildConfig, DbShape, Organization};
+
+/// The executor's per-operator trace, flattened into §3.3 rows.
+fn operator_rows(trace: &ExecTrace) -> Vec<OperatorStat> {
+    trace
+        .ops
+        .iter()
+        .map(|op| OperatorStat {
+            op: op.kind.to_string(),
+            label: op.label.clone(),
+            depth: op.depth,
+            d2sc_read_pages: op.counters.io.d2sc_read_pages,
+            sc2cc_read_pages: op.counters.io.sc2cc_read_pages,
+            client_misses: op.counters.io.client_misses,
+            handle_gets: op.counters.handle_gets(),
+            handle_frees: op.counters.handle_frees,
+            cpu_events: op.counters.cpu_events,
+            io_nanos: op.counters.io_nanos,
+            rpc_nanos: op.counters.rpc_nanos,
+            cpu_nanos: op.counters.cpu_nanos,
+            swap_nanos: op.counters.swap_nanos,
+        })
+        .collect()
+}
 
 fn main() {
     let mut stats = StatsDb::new();
@@ -39,7 +62,7 @@ fn main() {
                 let parent_index = db.idx_provider_upin.clone();
                 let child_index = db.idx_patient_mrn.clone();
                 let s = spec.clone();
-                let (_, secs) = db.measure_cold(move |db| {
+                let (report, secs) = db.measure_cold(move |db| {
                     let mut ctx = JoinContext {
                         store: &mut db.store,
                         parent_index: &parent_index,
@@ -72,6 +95,7 @@ fn main() {
                     sc2cc_read_pages: io.sc2cc_read_pages,
                     cc_miss_rate: io.client_miss_rate(),
                     sc_miss_rate: io.server_miss_rate(),
+                    operators: operator_rows(&report.trace),
                 });
             }
         }

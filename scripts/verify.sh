@@ -8,6 +8,18 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== formatting =="
+cargo fmt --check
+
+echo "== raw fetch/release gate (joins must use the executor layer) =="
+# Join modules compose ExecContext operators; pinning objects by hand
+# (store.fetch / store.release) would bypass the RAII guards and the
+# per-operator counter attribution.
+if grep -rnE '\.(fetch|release)\(' crates/core/src/join/; then
+    echo "error: raw fetch()/release() calls under crates/core/src/join/" >&2
+    exit 1
+fi
+
 echo "== build (release, workspace) =="
 cargo build --release --workspace
 

@@ -2,7 +2,14 @@
 //!
 //! `TQ_SCALE=n` divides the database size (default: paper scale).
 
+use tq_bench::env;
+
 fn main() {
+    env::maybe_print_help(
+        "Regenerates the paper's Figure 6 (selection I/O, index vs scan).",
+        "fig06_selection",
+        &[env::ENV_SCALE, env::ENV_JOBS],
+    );
     let (scale, jobs) = tq_bench::env_config_or_exit();
     let fig = tq_bench::figures::fig06::run(scale, jobs);
     println!("{}", tq_bench::figures::fig06::print(&fig));

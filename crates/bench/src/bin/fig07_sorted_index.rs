@@ -1,7 +1,15 @@
 //! Regenerates the paper's Figure 7 (sorted unclustered index vs no
 //! index) and the Figure 9 cost decomposition.
 
+use tq_bench::env;
+
 fn main() {
+    env::maybe_print_help(
+        "Regenerates the paper's Figure 7 (sorted unclustered index vs no \
+         index) and the Figure 9 cost decomposition.",
+        "fig07_sorted_index",
+        &[env::ENV_SCALE, env::ENV_JOBS],
+    );
     let (scale, jobs) = tq_bench::env_config_or_exit();
     let fig = tq_bench::figures::fig07::run(scale, jobs);
     println!("{}", tq_bench::figures::fig07::print(&fig));

@@ -1,7 +1,15 @@
 //! Regenerates the paper's Figure 10 (hash-table sizes). Pass
 //! `--measure` to also run the joins and report executor table sizes.
 
+use tq_bench::env;
+
 fn main() {
+    env::maybe_print_help(
+        "Regenerates the paper's Figure 10 (hash-table sizes).",
+        "fig10_hash_sizes [--measure]   (--measure also runs the joins and \
+         reports executor table sizes)",
+        &[env::ENV_SCALE, env::ENV_JOBS],
+    );
     let (scale, jobs) = tq_bench::env_config_or_exit();
     let measure = std::env::args().any(|a| a == "--measure");
     let fig = tq_bench::figures::fig10::run(scale, measure, jobs);

@@ -3,9 +3,16 @@
 //!
 //! Usage: fig11_14_joins [--db db1|db2] [--org class|random|comp]
 
+use tq_bench::env;
 use tq_workload::{DbShape, Organization};
 
 fn main() {
+    env::maybe_print_help(
+        "Regenerates one of the paper's join figures (11-14, or the \
+         random-organization tables summarized in Figure 15).",
+        "fig11_14_joins [--db db1|db2] [--org class|random|comp|assoc]",
+        &[env::ENV_SCALE, env::ENV_JOBS, env::ENV_EXPLAIN],
+    );
     let args: Vec<String> = std::env::args().collect();
     let arg = |name: &str, default: &str| -> String {
         args.iter()

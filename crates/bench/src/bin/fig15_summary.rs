@@ -1,7 +1,15 @@
 //! Regenerates the paper's Figure 15 (winning algorithms) — runs all
 //! six underlying join figures (3 organizations x 2 databases).
 
+use tq_bench::env;
+
 fn main() {
+    env::maybe_print_help(
+        "Regenerates the paper's Figure 15 (winning algorithms) by running \
+         all six underlying join figures (3 organizations x 2 databases).",
+        "fig15_summary",
+        &[env::ENV_SCALE, env::ENV_JOBS],
+    );
     let (scale, jobs) = tq_bench::env_config_or_exit();
     let fig = tq_bench::figures::fig15::run(scale, jobs);
     for f in &fig.figures {

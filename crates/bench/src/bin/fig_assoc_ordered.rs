@@ -1,7 +1,15 @@
 //! Extension experiment: the §5.3 association-ordered organization —
 //! the paper's prediction, tested.
 
+use tq_bench::env;
+
 fn main() {
+    env::maybe_print_help(
+        "Extension experiment: the paper's §5.3 association-ordered \
+         organization, tested. Runs at 1/10 scale or smaller.",
+        "fig_assoc_ordered",
+        &[env::ENV_SCALE, env::ENV_JOBS],
+    );
     let (scale, jobs) = tq_bench::env_config_or_exit();
     let fig = tq_bench::figures::assoc::run(scale.max(10), jobs);
     println!("{}", tq_bench::figures::assoc::print(&fig));

@@ -1,7 +1,16 @@
 //! The paper's original goal, realized: elicit the cost model from
 //! benchmark runs by regression (§2's plan with Yves Lechevallier).
 
+use tq_bench::env;
+
 fn main() {
+    env::maybe_print_help(
+        "Elicits the simulator's cost model back from benchmark runs by \
+         regression (the paper's §2 plan, realized). Runs at 1/50 scale or \
+         smaller.",
+        "fig_cost_model_fit",
+        &[env::ENV_SCALE],
+    );
     let (scale, _jobs) = tq_bench::env_config_or_exit();
     let scale = scale.max(50);
     let fit = tq_bench::analysis::run(scale);

@@ -1,7 +1,15 @@
 //! The section 4.4 ablation: the paper's proposed handle improvements,
 //! measured.
 
+use tq_bench::env;
+
 fn main() {
+    env::maybe_print_help(
+        "The paper's §4.4 ablation: its proposed handle-machinery \
+         improvements, measured one by one.",
+        "fig_handle_ablation",
+        &[env::ENV_SCALE, env::ENV_JOBS],
+    );
     let (scale, jobs) = tq_bench::env_config_or_exit();
     let a = tq_bench::figures::handles::run_ablation(scale, jobs);
     println!("{}", tq_bench::figures::handles::print_ablation(&a));

@@ -1,7 +1,16 @@
 //! Extension experiment: hybrid hashing on the paper's swap-bound
 //! cells (the untested fix the paper calls for in §5.1/§6).
 
+use tq_bench::env;
+
 fn main() {
+    env::maybe_print_help(
+        "Extension experiment: hybrid hashing on the paper's swap-bound \
+         cells (the untested fix §5.1/§6 call for). Runs at 1/10 scale or \
+         smaller.",
+        "fig_hybrid",
+        &[env::ENV_SCALE, env::ENV_JOBS],
+    );
     let (scale, jobs) = tq_bench::env_config_or_exit();
     let fig = tq_bench::figures::hybrid::run(scale.max(10), jobs);
     println!("{}", tq_bench::figures::hybrid::print(&fig));

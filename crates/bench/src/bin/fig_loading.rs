@@ -1,6 +1,14 @@
 //! Regenerates the section 3.2 loading experiment (12 hours -> 1).
 
+use tq_bench::env;
+
 fn main() {
+    env::maybe_print_help(
+        "Regenerates the paper's §3.2 loading experiment (the 12-hours-to-1 \
+         story). Runs at 1/10 scale or smaller.",
+        "fig_loading",
+        &[env::ENV_SCALE],
+    );
     let (scale, _jobs) = tq_bench::env_config_or_exit();
     let scale = scale.max(10);
     let fig = tq_bench::figures::loading::run(scale);

@@ -1,7 +1,15 @@
 //! Regenerates the section 4.1 experiment: hash tables keyed on Rids
 //! vs Handles.
 
+use tq_bench::env;
+
 fn main() {
+    env::maybe_print_help(
+        "Regenerates the paper's §4.1 experiment: hash tables keyed on Rids \
+         vs Handles.",
+        "fig_rid_vs_handle",
+        &[env::ENV_SCALE, env::ENV_JOBS],
+    );
     let (scale, jobs) = tq_bench::env_config_or_exit();
     let r = tq_bench::figures::handles::run_rid_vs_handle(scale, jobs);
     println!("{}", tq_bench::figures::handles::print_rid_vs_handle(&r));

@@ -1,7 +1,15 @@
 //! Extension experiment: cold vs warm executions (the paper ran only
 //! cold ones).
 
+use tq_bench::env;
+
 fn main() {
+    env::maybe_print_help(
+        "Extension experiment: cold vs warm executions (the paper ran only \
+         cold ones). Runs at 1/10 scale or smaller.",
+        "fig_warm",
+        &[env::ENV_SCALE, env::ENV_JOBS],
+    );
     let (scale, jobs) = tq_bench::env_config_or_exit();
     let fig = tq_bench::figures::warm::run(scale.max(10), jobs);
     println!("{}", tq_bench::figures::warm::print(&fig));

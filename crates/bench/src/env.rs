@@ -1,0 +1,143 @@
+//! Environment knobs shared by every binary, and the standard
+//! `--help` prologue.
+//!
+//! Every `TQ_*` variable any binary honours is parsed here (and
+//! documented in the README's environment table). A set-but-unparseable
+//! value is a hard error: silently falling back to a default would
+//! launch a run the user did not ask for. Errors are returned (not
+//! exited on) so library callers and tests stay testable; the binaries
+//! report them and exit 2.
+
+/// Reads the scale divisor from `TQ_SCALE` (default 1 = paper scale).
+pub fn scale_from_env() -> Result<u32, String> {
+    positive_from_env("TQ_SCALE", 1, "the figure scale divisor")
+}
+
+/// Reads the worker count from `TQ_JOBS`.
+///
+/// Defaults to the machine's available parallelism; `1` runs every
+/// cell inline on the main thread (the exact pre-parallel behaviour).
+/// Cells are deterministic either way — any value produces
+/// byte-identical figures. The load generator reuses it as the
+/// server's worker-pool size (the same "how many cores" knob).
+pub fn jobs_from_env() -> Result<usize, String> {
+    let default = std::thread::available_parallelism()
+        .map(|n| n.get() as u32)
+        .unwrap_or(1);
+    positive_from_env("TQ_JOBS", default, "the worker count").map(|n| n as usize)
+}
+
+/// Reads the closed-loop client count from `TQ_CONCURRENCY`
+/// (default 8) — loadgen only.
+pub fn concurrency_from_env() -> Result<u32, String> {
+    positive_from_env("TQ_CONCURRENCY", 8, "the closed-loop client count")
+}
+
+/// Reads the serving-run duration in wall-clock seconds from
+/// `TQ_DURATION` (default 2) — loadgen only.
+pub fn duration_secs_from_env() -> Result<u32, String> {
+    positive_from_env("TQ_DURATION", 2, "the serving run duration in seconds")
+}
+
+/// Reads the admission-queue depth from `TQ_QUEUE_DEPTH` (default 16)
+/// — loadgen only.
+pub fn queue_depth_from_env() -> Result<u32, String> {
+    positive_from_env("TQ_QUEUE_DEPTH", 16, "the admission queue depth")
+}
+
+/// Shared parser: a positive integer from `var`, or `default` when
+/// unset.
+pub fn positive_from_env(var: &str, default: u32, what: &str) -> Result<u32, String> {
+    match std::env::var(var) {
+        Err(_) => Ok(default),
+        Ok(raw) => match raw.parse::<u32>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(format!(
+                "{var} ({what}) must be a positive integer, got {raw:?}"
+            )),
+        },
+    }
+}
+
+/// `(variable, description)` rows for [`maybe_print_help`].
+pub type EnvDoc = (&'static str, &'static str);
+
+/// `TQ_SCALE` help row.
+pub const ENV_SCALE: EnvDoc = (
+    "TQ_SCALE",
+    "divide database sizes (and caches, keeping ratios) by n; default 1 = paper scale",
+);
+/// `TQ_JOBS` help row.
+pub const ENV_JOBS: EnvDoc = (
+    "TQ_JOBS",
+    "worker threads (figure cells / server workers); default: available cores",
+);
+/// `TQ_EXPLAIN` help row.
+pub const ENV_EXPLAIN: EnvDoc = (
+    "TQ_EXPLAIN",
+    "if set, also print per-operator counter tables and the operator CSV",
+);
+/// `TQ_CONCURRENCY` help row.
+pub const ENV_CONCURRENCY: EnvDoc = (
+    "TQ_CONCURRENCY",
+    "closed-loop client threads driving the server; default 8",
+);
+/// `TQ_DURATION` help row.
+pub const ENV_DURATION: EnvDoc = (
+    "TQ_DURATION",
+    "serving run duration in wall-clock seconds; default 2",
+);
+/// `TQ_QUEUE_DEPTH` help row.
+pub const ENV_QUEUE_DEPTH: EnvDoc = (
+    "TQ_QUEUE_DEPTH",
+    "admission-queue depth; arrivals beyond it are shed; default 16",
+);
+
+/// Standard `--help`/`-h` handling: when present in the arguments,
+/// prints the about text, usage line, and environment table, then
+/// exits 0. Binaries call this first.
+pub fn maybe_print_help(about: &str, usage: &str, env_vars: &[EnvDoc]) {
+    if !std::env::args().skip(1).any(|a| a == "--help" || a == "-h") {
+        return;
+    }
+    println!("{about}\n\nUsage: {usage}");
+    if !env_vars.is_empty() {
+        println!("\nEnvironment:");
+        for (var, what) in env_vars {
+            println!("  {var:<16} {what}");
+        }
+    }
+    std::process::exit(0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Env-var mutation is process-global: one test covers all parsers
+    // sequentially (the figure-env tests in parallel_matches_serial.rs
+    // cover TQ_SCALE/TQ_JOBS the same way).
+    #[test]
+    fn serving_knobs_parse_and_reject() {
+        for (var, parse, default) in [
+            (
+                "TQ_CONCURRENCY",
+                concurrency_from_env as fn() -> Result<u32, String>,
+                8,
+            ),
+            ("TQ_DURATION", duration_secs_from_env, 2),
+            ("TQ_QUEUE_DEPTH", queue_depth_from_env, 16),
+        ] {
+            std::env::remove_var(var);
+            assert_eq!(parse(), Ok(default));
+            std::env::set_var(var, "3");
+            assert_eq!(parse(), Ok(3));
+            std::env::set_var(var, "zero");
+            let err = parse().unwrap_err();
+            assert!(err.contains(var) && err.contains("positive integer"));
+            std::env::set_var(var, "0");
+            assert!(parse().is_err());
+            std::env::remove_var(var);
+        }
+    }
+}

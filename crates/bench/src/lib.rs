@@ -11,15 +11,17 @@
 //! ratios) by `n`; the default is paper scale.
 
 pub mod analysis;
+pub mod env;
 pub mod figures;
 pub mod harness;
 pub mod paper;
 pub mod parallel;
+pub mod serve;
 
-pub use harness::{
-    build_db, jobs_from_env, join_spec, physical_profile, run_join_cell, scale_from_env, JoinCell,
-};
+pub use env::{jobs_from_env, scale_from_env};
+pub use harness::{build_db, join_spec, physical_profile, run_join_cell, JoinCell};
 pub use parallel::run_cells;
+pub use serve::{run_serve, ServeConfig, ServeOutcome};
 
 /// Reads `TQ_SCALE` and `TQ_JOBS`, exiting with status 2 on a bad
 /// value — the standard prologue of every figure binary.

@@ -1,0 +1,179 @@
+//! The closed-loop serving experiment: N client threads drive the
+//! query service at a fixed concurrency for a fixed duration, each
+//! running open-session → query → … → close-session over the wire
+//! protocol, recording per-query wall-clock latency into a
+//! log-scaled histogram.
+//!
+//! "Closed loop" means each client issues its next query only when the
+//! previous one answers — offered load adapts to service capacity, so
+//! the interesting outputs are throughput, the latency percentiles,
+//! and (once concurrency outruns `workers + queue_depth`) the shed
+//! rate. The `loadgen` binary is a thin CLI over [`run_serve`]; the
+//! serving smoke test calls it directly.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tq_query::JoinAlgo;
+use tq_server::{
+    CacheMode, Client, QuerySpec, Response, Server, ServerConfig, ServerStatsSnapshot,
+};
+use tq_statsdb::{LatencyStat, LogHistogram};
+use tq_workload::Database;
+
+/// One serving run's shape.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Closed-loop client threads.
+    pub concurrency: u32,
+    /// Server worker threads.
+    pub workers: usize,
+    /// Admission-queue depth.
+    pub queue_depth: usize,
+    /// Wall-clock duration to drive load for.
+    pub duration: Duration,
+    /// Cache discipline of every session.
+    pub mode: CacheMode,
+    /// The join every client runs.
+    pub algo: JoinAlgo,
+    /// Patient-side selectivity (percent).
+    pub pat_pct: u32,
+    /// Provider-side selectivity (percent).
+    pub prov_pct: u32,
+    /// Per-query simulated-time deadline in nanoseconds (0 = none).
+    pub deadline_nanos: u64,
+}
+
+/// What a serving run produced.
+#[derive(Clone, Debug)]
+pub struct ServeOutcome {
+    /// The exportable latency summary.
+    pub stat: LatencyStat,
+    /// The server's own counters for the run.
+    pub server: ServerStatsSnapshot,
+    /// Handles still pinned at any session close (0 in a correct run).
+    pub leaked_handles: u64,
+}
+
+/// Per-client tally, merged into the run totals at join time.
+struct ClientTally {
+    hist: LogHistogram,
+    shed: u64,
+    deadline_exceeded: u64,
+    errors: u64,
+    leaked: u64,
+}
+
+/// Runs one closed-loop serving experiment over a base snapshot.
+pub fn run_serve(base: Database, cfg: &ServeConfig) -> ServeOutcome {
+    let server = Server::start(
+        base,
+        ServerConfig {
+            workers: cfg.workers,
+            queue_depth: cfg.queue_depth,
+        },
+    );
+    let stop = Arc::new(AtomicBool::new(false));
+    let started = Instant::now();
+    let clients: Vec<_> = (0..cfg.concurrency)
+        .map(|i| {
+            let conn = server.connect_in_proc();
+            let stop = Arc::clone(&stop);
+            let cfg = *cfg;
+            std::thread::Builder::new()
+                .name(format!("tq-client-{i}"))
+                .spawn(move || client_loop(conn, &stop, &cfg))
+                .expect("spawn client")
+        })
+        .collect();
+    std::thread::sleep(cfg.duration);
+    stop.store(true, Ordering::Relaxed);
+    let mut hist = LogHistogram::new();
+    let (mut shed, mut deadline_exceeded, mut errors, mut leaked) = (0, 0, 0, 0);
+    for client in clients {
+        let tally = client.join().expect("client thread");
+        hist.merge(&tally.hist);
+        shed += tally.shed;
+        deadline_exceeded += tally.deadline_exceeded;
+        errors += tally.errors;
+        leaked += tally.leaked;
+    }
+    // Clients have hung up; measure the actual driven window and fold
+    // the per-thread tallies into the exportable record.
+    let duration_nanos = started.elapsed().as_nanos() as u64;
+    let mode_label = match cfg.mode {
+        CacheMode::Cold => "cold",
+        CacheMode::Warm => "warm",
+    };
+    let stat = LatencyStat::from_histogram(
+        format!(
+            "{} pat={} prov={} {}",
+            cfg.algo.label(),
+            cfg.pat_pct,
+            cfg.prov_pct,
+            mode_label
+        ),
+        cfg.concurrency,
+        cfg.workers as u32,
+        cfg.queue_depth as u32,
+        duration_nanos,
+        &hist,
+        shed,
+        deadline_exceeded,
+        errors,
+    );
+    let server_stats = server.stats();
+    server.shutdown();
+    ServeOutcome {
+        stat,
+        server: server_stats,
+        leaked_handles: leaked,
+    }
+}
+
+fn client_loop(conn: tq_server::DuplexStream, stop: &AtomicBool, cfg: &ServeConfig) -> ClientTally {
+    let mut tally = ClientTally {
+        hist: LogHistogram::new(),
+        shed: 0,
+        deadline_exceeded: 0,
+        errors: 0,
+        leaked: 0,
+    };
+    let mut client = Client::new(conn);
+    let session = match client.open_session(cfg.mode) {
+        Ok(s) => s,
+        Err(_) => {
+            tally.errors += 1;
+            return tally;
+        }
+    };
+    while !stop.load(Ordering::Relaxed) {
+        let t0 = Instant::now();
+        match client.query(QuerySpec {
+            session,
+            algo: cfg.algo,
+            pat_pct: cfg.pat_pct,
+            prov_pct: cfg.prov_pct,
+            deadline_nanos: cfg.deadline_nanos,
+        }) {
+            Ok(Response::QueryOk { .. }) => tally.hist.record(t0.elapsed().as_nanos() as u64),
+            Ok(Response::Overloaded { .. }) => {
+                tally.shed += 1;
+                // Closed-loop retry: yield so shed arrivals don't spin
+                // the dispatcher while the queue stays full.
+                std::thread::yield_now();
+            }
+            Ok(Response::DeadlineExceeded { .. }) => tally.deadline_exceeded += 1,
+            Ok(_) | Err(_) => {
+                tally.errors += 1;
+                return tally;
+            }
+        }
+    }
+    match client.close_session(session) {
+        Ok((_drained, leaked)) => tally.leaked += leaked,
+        Err(_) => tally.errors += 1,
+    }
+    tally
+}

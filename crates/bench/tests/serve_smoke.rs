@@ -1,0 +1,54 @@
+//! Short closed-loop serving run: the loadgen path end to end, checked
+//! for forward progress, zero errors, zero leaked handles, and an exact
+//! latency-CSV round trip.
+
+use std::time::Duration;
+
+use tq_bench::{build_db, ServeConfig};
+use tq_query::JoinAlgo;
+use tq_server::CacheMode;
+use tq_statsdb::{parse_latency_csv, to_latency_csv};
+use tq_workload::{DbShape, Organization};
+
+#[test]
+fn closed_loop_serve_smoke() {
+    let base = build_db(DbShape::Db2, Organization::ClassClustered, 300);
+    let cfg = ServeConfig {
+        concurrency: 4,
+        workers: 2,
+        queue_depth: 4,
+        duration: Duration::from_millis(300),
+        mode: CacheMode::Warm,
+        algo: JoinAlgo::Chj,
+        pat_pct: 10,
+        prov_pct: 90,
+        deadline_nanos: 0,
+    };
+    let outcome = tq_bench::run_serve(base, &cfg);
+
+    assert!(outcome.stat.queries_ok > 0, "no queries completed");
+    assert_eq!(
+        outcome.stat.errors, 0,
+        "serving errors: {:?}",
+        outcome.server
+    );
+    assert_eq!(outcome.leaked_handles, 0, "sessions leaked handles");
+    assert_eq!(outcome.server.queries_failed, 0);
+    assert_eq!(
+        outcome.server.sessions_opened,
+        outcome.server.sessions_closed
+    );
+    assert_eq!(outcome.server.queries_ok, outcome.stat.queries_ok);
+
+    // Latency percentiles are ordered and bracketed by min/max.
+    let s = &outcome.stat;
+    assert!(s.min_nanos <= s.p50_nanos);
+    assert!(s.p50_nanos <= s.p95_nanos);
+    assert!(s.p95_nanos <= s.p99_nanos);
+    assert!(s.p99_nanos <= s.max_nanos);
+
+    // The CSV export is exact: all-integer fields, lossless round trip.
+    let csv = to_latency_csv(std::slice::from_ref(s));
+    let back = parse_latency_csv(&csv).expect("latency CSV re-parses");
+    assert_eq!(back, vec![s.clone()]);
+}

@@ -25,9 +25,85 @@
 
 use crate::spec::{ResultMode, TreeJoinSpec};
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use tq_index::BTreeIndex;
 use tq_objstore::{ObjGuard, Object, ObjectStore, Rid};
 use tq_pagestore::{CpuEvent, IoStats};
+
+/// Why a cancellation check fired.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CancelReason {
+    /// The query's simulated-time budget ran out.
+    Deadline {
+        /// The budget that was exceeded, in simulated nanoseconds.
+        deadline_nanos: u64,
+    },
+    /// [`CancelToken::cancel`] was called (client disconnect, server
+    /// shutdown).
+    External,
+}
+
+/// The panic payload thrown when a cancellation check fires.
+///
+/// Cooperative cancellation must abandon an operator pipeline from
+/// *inside* arbitrarily nested composition closures; unwinding is the
+/// only way out that needs no `Result` plumbing through every operator
+/// (and therefore cannot perturb the counter stream of uncancelled
+/// queries). Callers that opt in via [`ExecContext::set_cancel`] must
+/// wrap the query in `std::panic::catch_unwind` and downcast the
+/// payload to this type; [`ObjGuard`]s pinned in unwound frames skip
+/// their debug leak check while panicking, and the query's store clone
+/// is discarded wholesale by the session layer.
+#[derive(Clone, Copy, Debug)]
+pub struct Cancelled {
+    /// What fired.
+    pub reason: CancelReason,
+    /// Simulated nanoseconds the query had consumed when it was
+    /// stopped.
+    pub elapsed_nanos: u64,
+}
+
+/// Shared cancellation state for one query: an external flag plus an
+/// optional deadline on *simulated* time. Simulated-time deadlines are
+/// deterministic — the same query with the same budget is cancelled at
+/// exactly the same operator boundary on every run and every machine.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline_nanos: Option<u64>,
+}
+
+impl CancelToken {
+    /// A token that only cancels on [`CancelToken::cancel`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A token that additionally cancels once the query has consumed
+    /// `nanos` of simulated time.
+    pub fn with_deadline_nanos(nanos: u64) -> Self {
+        Self {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline_nanos: Some(nanos),
+        }
+    }
+
+    /// Requests cancellation from another thread.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Has [`CancelToken::cancel`] been called?
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+
+    /// The simulated-time budget, if any.
+    pub fn deadline_nanos(&self) -> Option<u64> {
+        self.deadline_nanos
+    }
+}
 
 /// The operator vocabulary.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -284,18 +360,52 @@ pub struct ExecContext<'a> {
     open: Vec<usize>,
     last: OpCounters,
     unattributed: OpCounters,
+    cancel: Option<CancelToken>,
+    start_nanos: u64,
 }
 
 impl<'a> ExecContext<'a> {
     /// Starts a trace: counters from here on are attributed.
     pub fn new(store: &'a mut ObjectStore) -> Self {
         let last = OpCounters::snapshot(store);
+        let start_nanos = store.clock().elapsed();
         Self {
             store,
             nodes: Vec::new(),
             open: Vec::new(),
             last,
             unattributed: OpCounters::default(),
+            cancel: None,
+            start_nanos,
+        }
+    }
+
+    /// Arms cooperative cancellation: every subsequent operator-scope
+    /// entry and object fetch checks `token` and unwinds with a
+    /// [`Cancelled`] payload when it fires. Without a token (the figure
+    /// harness path) the checks cost nothing and charge nothing.
+    pub fn set_cancel(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
+    }
+
+    /// The cancellation check, run at operator boundaries. Panics with
+    /// a [`Cancelled`] payload — see that type for why unwinding.
+    fn check_cancel(&self) {
+        let Some(token) = &self.cancel else { return };
+        let elapsed_nanos = self.store.clock().elapsed() - self.start_nanos;
+        if token.is_cancelled() {
+            std::panic::panic_any(Cancelled {
+                reason: CancelReason::External,
+                elapsed_nanos,
+            });
+        }
+        if let Some(deadline_nanos) = token.deadline_nanos {
+            if elapsed_nanos > deadline_nanos {
+                std::panic::panic_any(Cancelled {
+                    reason: CancelReason::Deadline { deadline_nanos },
+                    elapsed_nanos,
+                });
+            }
         }
     }
 
@@ -317,6 +427,7 @@ impl<'a> ExecContext<'a> {
     /// `(kind, label)` under the same parent accumulate into one node
     /// (a per-tuple navigation scope is still one operator row).
     pub fn op<R>(&mut self, kind: OpKind, label: &str, f: impl FnOnce(&mut Self) -> R) -> R {
+        self.check_cancel();
         let delta = self.take_delta();
         self.credit(delta);
         let parent = self.open.last().copied();
@@ -345,6 +456,7 @@ impl<'a> ExecContext<'a> {
     /// is structural, so early returns (deleted objects) cannot leak
     /// the handle pin.
     pub fn with_object<R>(&mut self, rid: Rid, f: impl FnOnce(&mut Self, &ObjGuard) -> R) -> R {
+        self.check_cancel();
         let guard = self.store.fetch_guard(rid);
         let out = f(self, &guard);
         self.store.release_guard(guard);
@@ -547,6 +659,78 @@ mod tests {
         let after = OpCounters::snapshot(&store);
         assert_eq!(trace.total(), after.delta_since(&before));
         assert_eq!(trace.find(OpKind::Other).unwrap().counters.cpu_events, 3);
+    }
+
+    #[test]
+    fn deadline_cancellation_unwinds_with_payload() {
+        let (mut store, rids) = small_store(50);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut ctx = ExecContext::new(&mut store);
+            // 1 ns of simulated budget: the first charged page access
+            // blows it, and the next boundary check fires.
+            ctx.set_cancel(CancelToken::with_deadline_nanos(1));
+            ctx.op(OpKind::SeqScan, "Items", |ctx| {
+                for &rid in &rids {
+                    ctx.with_object(rid, |_ctx, _g| ());
+                }
+            });
+            ctx.finish()
+        }));
+        let payload = result.expect_err("deadline must cancel the scan");
+        let cancelled = payload
+            .downcast_ref::<Cancelled>()
+            .expect("payload is exec::Cancelled");
+        assert_eq!(
+            cancelled.reason,
+            CancelReason::Deadline { deadline_nanos: 1 }
+        );
+        assert!(cancelled.elapsed_nanos > 1);
+    }
+
+    #[test]
+    fn external_cancellation_fires_at_the_next_boundary() {
+        let (mut store, rids) = small_store(4);
+        let token = CancelToken::new();
+        let remote = token.clone();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut ctx = ExecContext::new(&mut store);
+            ctx.set_cancel(token);
+            ctx.op(OpKind::SeqScan, "Items", |ctx| {
+                for (i, &rid) in rids.iter().enumerate() {
+                    if i == 2 {
+                        remote.cancel(); // what another thread would do
+                    }
+                    ctx.with_object(rid, |_ctx, _g| ());
+                }
+            });
+        }));
+        let payload = result.expect_err("cancel() must stop the scan");
+        let cancelled = payload.downcast_ref::<Cancelled>().unwrap();
+        assert_eq!(cancelled.reason, CancelReason::External);
+    }
+
+    #[test]
+    fn unarmed_context_charges_and_attributes_identically() {
+        // The same scan, with and without an (unfired) token: traces
+        // must be bitwise identical — cancellation support costs the
+        // figure harness nothing.
+        let run = |arm: bool| {
+            let (mut store, rids) = small_store(30);
+            let mut ctx = ExecContext::new(&mut store);
+            if arm {
+                ctx.set_cancel(CancelToken::with_deadline_nanos(u64::MAX));
+            }
+            ctx.op(OpKind::SeqScan, "Items", |ctx| {
+                for &rid in &rids {
+                    ctx.with_object(rid, |ctx, g| {
+                        let _ = int_attr(g.object(), 0);
+                        ctx.store.charge(CpuEvent::AttrGet, 1);
+                    });
+                }
+            });
+            ctx.finish()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -34,7 +34,7 @@ mod phj;
 pub mod smj;
 pub mod spill;
 
-use crate::exec::{ExecContext, ExecTrace};
+use crate::exec::{CancelToken, ExecContext, ExecTrace};
 use crate::spec::{HashKeyMode, JoinAlgo, ResultMode, TreeJoinSpec};
 use tq_index::BTreeIndex;
 use tq_objstore::{ObjectStore, Rid};
@@ -127,7 +127,27 @@ pub fn run_join(
     opts: &JoinOptions,
     collect: bool,
 ) -> JoinReport {
+    run_join_with(algo, ctx, spec, opts, collect, None)
+}
+
+/// [`run_join`] with cooperative cancellation: when `cancel` is set,
+/// operator boundaries check the token and abandon the pipeline by
+/// unwinding with a [`Cancelled`](crate::exec::Cancelled) payload
+/// (catch it with `std::panic::catch_unwind`; the store is then in an
+/// undefined cache/handle state and must be discarded). With `None`
+/// this is exactly `run_join` — no check, no charge, no drift.
+pub fn run_join_with(
+    algo: JoinAlgo,
+    ctx: &mut JoinContext<'_>,
+    spec: &TreeJoinSpec,
+    opts: &JoinOptions,
+    collect: bool,
+    cancel: Option<CancelToken>,
+) -> JoinReport {
     let mut ex = ExecContext::new(ctx.store);
+    if let Some(token) = cancel {
+        ex.set_cancel(token);
+    }
     let mut report = match algo {
         JoinAlgo::Nl => nl::run(&mut ex, ctx.parent_index, spec, collect),
         JoinAlgo::Nojoin => nojoin::run(&mut ex, ctx.child_index, spec, opts, collect),

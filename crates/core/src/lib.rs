@@ -35,9 +35,11 @@ pub mod swap;
 
 pub use engine::{Engine, EngineError, QueryOutcome};
 pub use estimator::{EstimateBreakdown, OpEstimate};
-pub use exec::{ExecContext, ExecTrace, OpCounters, OpKind, OpRecord};
+pub use exec::{
+    CancelReason, CancelToken, Cancelled, ExecContext, ExecTrace, OpCounters, OpKind, OpRecord,
+};
 pub use explain::{render_estimate, render_trace};
-pub use join::{hash_table_bytes, run_join, JoinContext, JoinOptions, JoinReport};
+pub use join::{hash_table_bytes, run_join, run_join_with, JoinContext, JoinOptions, JoinReport};
 pub use select::{index_scan, seq_scan, sorted_index_scan, SelectReport};
 pub use spec::{AttrPredicate, CmpOp, HashKeyMode, JoinAlgo, ResultMode, Selection, TreeJoinSpec};
 pub use swap::SwapSim;

@@ -600,6 +600,12 @@ impl ObjectStore {
         self.handles.stats()
     }
 
+    /// Handles currently pinned (live, not in the delayed-free pool).
+    /// Zero between queries unless an operator leaked a guard.
+    pub fn live_handles(&self) -> usize {
+        self.handles.live_count()
+    }
+
     /// Size of one encoded object of `class` with the given values —
     /// used by workload builders to compute placement.
     pub fn encoded_len(

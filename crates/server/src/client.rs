@@ -1,0 +1,98 @@
+//! Client-side protocol helper: a thin synchronous request/response
+//! wrapper over any `Read + Write` connection (TCP or in-process).
+
+use std::io::{Read, Write};
+
+use crate::proto::{
+    read_frame, write_frame, CacheMode, DecodeError, FrameError, QuerySpec, Request, Response,
+};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport/framing failure.
+    Frame(FrameError),
+    /// The server sent bytes that do not decode.
+    Decode(DecodeError),
+    /// The server answered `Error { msg }`.
+    Server(String),
+    /// The server answered with a response that does not fit the
+    /// request (protocol confusion).
+    Unexpected(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Frame(e) => write!(f, "transport: {e}"),
+            ClientError::Decode(e) => write!(f, "bad server payload: {e}"),
+            ClientError::Server(msg) => write!(f, "server error: {msg}"),
+            ClientError::Unexpected(what) => write!(f, "unexpected response to {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+impl From<DecodeError> for ClientError {
+    fn from(e: DecodeError) -> Self {
+        ClientError::Decode(e)
+    }
+}
+
+/// One protocol conversation over one connection.
+pub struct Client<S: Read + Write> {
+    conn: S,
+}
+
+impl<S: Read + Write> Client<S> {
+    /// Wraps a connected stream.
+    pub fn new(conn: S) -> Self {
+        Self { conn }
+    }
+
+    fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.conn, &req.encode())?;
+        Ok(Response::decode(&read_frame(&mut self.conn)?)?)
+    }
+
+    /// Opens a session; returns its id.
+    pub fn open_session(&mut self, mode: CacheMode) -> Result<u64, ClientError> {
+        match self.call(&Request::Hello { mode })? {
+            Response::SessionOpened { session } => Ok(session),
+            Response::Error { msg } => Err(ClientError::Server(msg)),
+            _ => Err(ClientError::Unexpected("Hello")),
+        }
+    }
+
+    /// Runs one query. The caller matches on the response: `QueryOk`,
+    /// `Overloaded`, and `DeadlineExceeded` are all ordinary outcomes
+    /// of a served query, not client errors.
+    pub fn query(&mut self, spec: QuerySpec) -> Result<Response, ClientError> {
+        match self.call(&Request::Query(spec))? {
+            resp @ (Response::QueryOk { .. }
+            | Response::Overloaded { .. }
+            | Response::DeadlineExceeded { .. }) => Ok(resp),
+            Response::Error { msg } => Err(ClientError::Server(msg)),
+            _ => Err(ClientError::Unexpected("Query")),
+        }
+    }
+
+    /// Closes a session; returns `(drained_handles, leaked_handles)`.
+    pub fn close_session(&mut self, session: u64) -> Result<(u64, u64), ClientError> {
+        match self.call(&Request::Close { session })? {
+            Response::SessionClosed {
+                drained_handles,
+                leaked_handles,
+            } => Ok((drained_handles, leaked_handles)),
+            Response::Error { msg } => Err(ClientError::Server(msg)),
+            _ => Err(ClientError::Unexpected("Close")),
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! The paper's measurement protocol, shared by the figure harness and
+//! the query service.
+//!
+//! Moved here from `tq-bench::harness` so the serving layer and the
+//! figure binaries execute queries through *one* code path: a served
+//! query produces a [`Stat`] byte-identical to the one the figure
+//! harness would record for the same run (the concurrency-equivalence
+//! test in `crates/server/tests/concurrency.rs` pins this). `tq-bench`
+//! re-exports everything under its old names.
+
+use tq_query::join::{run_join_with, JoinContext, JoinOptions, JoinReport};
+use tq_query::{CancelToken, ExecTrace, JoinAlgo, OpCounters, OpKind, ResultMode, TreeJoinSpec};
+use tq_statsdb::{ExtentDesc, OperatorStat, QueryDesc, Stat, SystemDesc};
+use tq_workload::{patient_attr, provider_attr, Database};
+
+/// The paper's §5 join at the given selectivities.
+pub fn join_spec(db: &Database, pat_pct: u32, prov_pct: u32) -> TreeJoinSpec {
+    TreeJoinSpec {
+        parents: "Providers".into(),
+        children: "Patients".into(),
+        parent_key: provider_attr::UPIN,
+        parent_set: provider_attr::CLIENTS,
+        child_key: patient_attr::MRN,
+        child_parent: patient_attr::PCP,
+        parent_project: provider_attr::NAME,
+        child_project: patient_attr::AGE,
+        parent_key_limit: db.provider_selectivity_key(prov_pct),
+        child_key_limit: db.patient_selectivity_key(pat_pct),
+        result_mode: ResultMode::Transient,
+    }
+}
+
+/// One measured join run.
+#[derive(Clone, Debug)]
+pub struct JoinCell {
+    /// The algorithm.
+    pub algo: JoinAlgo,
+    /// Simulated elapsed seconds (cold run).
+    pub secs: f64,
+    /// Result tuples.
+    pub results: u64,
+    /// Executor report.
+    pub report: JoinReport,
+    /// I/O counters for the run.
+    pub io: tq_pagestore::IoStats,
+}
+
+/// Runs one cold join measurement (the paper's protocol: server
+/// shutdown before every run).
+pub fn run_join_cell(
+    db: &mut Database,
+    algo: JoinAlgo,
+    pat_pct: u32,
+    prov_pct: u32,
+    opts: &JoinOptions,
+) -> JoinCell {
+    run_join_cell_with(db, algo, pat_pct, prov_pct, opts, None)
+}
+
+/// [`run_join_cell`] with cooperative cancellation. A fired token
+/// unwinds out of this call with an [`exec::Cancelled`] payload
+/// (`tq_query::Cancelled`); the database is then in an undefined
+/// cache/handle state and must be discarded — the session layer
+/// replaces it with a fresh snapshot clone.
+pub fn run_join_cell_with(
+    db: &mut Database,
+    algo: JoinAlgo,
+    pat_pct: u32,
+    prov_pct: u32,
+    opts: &JoinOptions,
+    cancel: Option<CancelToken>,
+) -> JoinCell {
+    // The cold protocol, spelled out (rather than `measure_cold`) so
+    // the end-of-query handle drain can be recorded on the trace: with
+    // the `Teardown` row the per-operator counters cover the *whole*
+    // measured window and sum exactly to the query-level `Stat`.
+    db.store.cold_restart();
+    measure_current(db, algo, pat_pct, prov_pct, opts, cancel)
+}
+
+/// Runs a *warm* join measurement: one cold run primes the caches
+/// (discarded), then the same join is measured again without a server
+/// restart. The paper measured everything cold; warm runs show how
+/// much of each algorithm's cost the caches can absorb (I/O) and how
+/// much they cannot (handle CPU — the §4 lesson).
+pub fn run_join_cell_warm(
+    db: &mut Database,
+    algo: JoinAlgo,
+    pat_pct: u32,
+    prov_pct: u32,
+    opts: &JoinOptions,
+) -> JoinCell {
+    // Prime.
+    let _ = run_join_cell(db, algo, pat_pct, prov_pct, opts);
+    // Measure warm: reset metrics only, keep residency.
+    measure_current(db, algo, pat_pct, prov_pct, opts, None)
+}
+
+/// Measures one join against the database's *current* cache state:
+/// metric reset, run, teardown row. Warm server sessions use this
+/// directly (their caches are primed by earlier queries on the same
+/// session, not by a discarded priming run).
+pub fn measure_current(
+    db: &mut Database,
+    algo: JoinAlgo,
+    pat_pct: u32,
+    prov_pct: u32,
+    opts: &JoinOptions,
+    cancel: Option<CancelToken>,
+) -> JoinCell {
+    let spec = join_spec(db, pat_pct, prov_pct);
+    let parent_index = db.idx_provider_upin.clone();
+    let child_index = db.idx_patient_mrn.clone();
+    db.store.reset_metrics();
+    let mut report = {
+        let mut ctx = JoinContext {
+            store: &mut db.store,
+            parent_index: &parent_index,
+            child_index: &child_index,
+        };
+        run_join_with(algo, &mut ctx, &spec, opts, false, cancel)
+    };
+    record_teardown(db, &mut report.trace);
+    JoinCell {
+        algo,
+        secs: db.store.clock().elapsed_secs(),
+        results: report.results,
+        io: db.store.stats(),
+        report,
+    }
+}
+
+/// Runs `end_of_query` and credits its counter delta to a `Teardown`
+/// root row of the trace (skipped when the drain charges nothing).
+fn record_teardown(db: &mut Database, trace: &mut ExecTrace) {
+    let before = OpCounters::snapshot(&db.store);
+    db.store.end_of_query();
+    let drain = OpCounters::snapshot(&db.store).delta_since(&before);
+    if !drain.is_zero() {
+        trace.push_root(OpKind::Teardown, "end_of_query", drain);
+    }
+}
+
+/// Flattens a trace into storable [`OperatorStat`] rows.
+pub fn operator_rows(trace: &ExecTrace) -> Vec<OperatorStat> {
+    trace
+        .ops
+        .iter()
+        .map(|op| OperatorStat {
+            op: op.kind.label().into(),
+            label: op.label.clone(),
+            depth: op.depth,
+            d2sc_read_pages: op.counters.io.d2sc_read_pages,
+            sc2cc_read_pages: op.counters.io.sc2cc_read_pages,
+            client_misses: op.counters.io.client_misses,
+            handle_gets: op.counters.handle_gets(),
+            handle_frees: op.counters.handle_frees,
+            cpu_events: op.counters.cpu_events,
+            io_nanos: op.counters.io_nanos,
+            rpc_nanos: op.counters.rpc_nanos,
+            cpu_nanos: op.counters.cpu_nanos,
+            swap_nanos: op.counters.swap_nanos,
+        })
+        .collect()
+}
+
+/// Converts a measured cell into a Figure 3 `Stat` record.
+pub fn stat_record(db: &Database, cell: &JoinCell, pat_pct: u32, prov_pct: u32) -> Stat {
+    let spec = join_spec(db, pat_pct, prov_pct);
+    Stat {
+        numtest: 0, // assigned by the StatsDb
+        query: QueryDesc {
+            cold: true,
+            projection_type: "[p.name, pa.age]".into(),
+            selectivities: vec![("Patient".into(), pat_pct), ("Provider".into(), prov_pct)],
+            text: format!(
+                "select [p.name, pa.age] from p in Providers, pa in p.clients \
+                 where pa.mrn < {} and p.upin < {}",
+                spec.child_key_limit, spec.parent_key_limit
+            ),
+        },
+        database: vec![
+            ExtentDesc {
+                classname: "Provider".into(),
+                size: db.provider_count,
+                associations: vec![("Patient".into(), db.config.shape.mean_fanout())],
+            },
+            ExtentDesc {
+                classname: "Patient".into(),
+                size: db.patient_count,
+                associations: vec![],
+            },
+        ],
+        cluster: db.config.organization.label().into(),
+        algo: cell.algo.label().into(),
+        system: SystemDesc {
+            server_cache_kb: (db.config.cache.server_pages * 4) as u64,
+            client_cache_kb: (db.config.cache.client_pages * 4) as u64,
+            same_workstation: true,
+        },
+        cc_pagefaults: cell.io.client_misses,
+        elapsed_time: cell.secs,
+        rpcs_number: cell.io.sc2cc_read_pages,
+        rpcs_total_mb: cell.io.rpc_total_bytes() as f64 / 1e6,
+        d2sc_read_pages: cell.io.d2sc_read_pages,
+        sc2cc_read_pages: cell.io.sc2cc_read_pages,
+        cc_miss_rate: cell.io.client_miss_rate(),
+        sc_miss_rate: cell.io.server_miss_rate(),
+        operators: operator_rows(&cell.report.trace),
+    }
+}

@@ -1,0 +1,670 @@
+//! The wire protocol: length-prefixed frames carrying a small
+//! request/response vocabulary.
+//!
+//! A frame is a little-endian `u32` payload length followed by the
+//! payload; payloads above [`MAX_FRAME`] are rejected *before* any
+//! allocation (a hostile or corrupt length cannot balloon memory).
+//! Payloads are tag-prefixed structs encoded with fixed-width
+//! little-endian integers and length-prefixed UTF-8 strings; floats
+//! travel as IEEE-754 bit patterns, so a decoded [`Stat`] is
+//! bit-for-bit the one that was encoded (the concurrency-equivalence
+//! test compares them with `==`).
+//!
+//! Decoding is total: any truncated, oversized, or malformed input
+//! returns a typed error, never a panic — pinned by the property tests
+//! in `crates/server/tests/proto_roundtrip.rs`.
+
+use std::io::{Read, Write};
+use tq_query::JoinAlgo;
+use tq_statsdb::{ExtentDesc, OperatorStat, QueryDesc, Stat, SystemDesc};
+
+/// Hard ceiling on one frame's payload (16 MiB). Far above any real
+/// message (a full per-operator `Stat` is a few KB), far below a
+/// memory-exhaustion vector.
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// Why a frame could not be read or written.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the connection cleanly between frames.
+    Closed,
+    /// The stream ended inside a header or payload.
+    Truncated,
+    /// The header announced a payload larger than [`MAX_FRAME`].
+    TooLarge(u64),
+    /// Transport error.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::Truncated => write!(f, "truncated frame"),
+            FrameError::TooLarge(n) => write!(f, "frame of {n} bytes exceeds {MAX_FRAME}"),
+            FrameError::Io(e) => write!(f, "frame i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Writes one frame (length prefix + payload).
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), FrameError> {
+    if payload.len() > MAX_FRAME {
+        return Err(FrameError::TooLarge(payload.len() as u64));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())
+        .and_then(|()| w.write_all(payload))
+        .and_then(|()| w.flush())
+        .map_err(FrameError::Io)
+}
+
+/// Reads one frame's payload. [`FrameError::Closed`] means the peer
+/// hung up *between* frames (the clean end of a conversation);
+/// [`FrameError::Truncated`] means it hung up mid-frame.
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, FrameError> {
+    let mut header = [0u8; 4];
+    match read_exact_or_eof(r, &mut header)? {
+        ReadOutcome::Eof => return Err(FrameError::Closed),
+        ReadOutcome::Partial => return Err(FrameError::Truncated),
+        ReadOutcome::Full => {}
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > MAX_FRAME {
+        return Err(FrameError::TooLarge(len as u64));
+    }
+    let mut payload = vec![0u8; len];
+    match read_exact_or_eof(r, &mut payload)? {
+        ReadOutcome::Full => Ok(payload),
+        ReadOutcome::Eof | ReadOutcome::Partial => Err(FrameError::Truncated),
+    }
+}
+
+enum ReadOutcome {
+    Full,
+    Eof,
+    Partial,
+}
+
+/// `read_exact` that distinguishes "no bytes at all" (clean EOF) from
+/// "some but not enough" (truncation).
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<ReadOutcome, FrameError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Ok(if filled == 0 {
+                    ReadOutcome::Eof
+                } else {
+                    ReadOutcome::Partial
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(ReadOutcome::Full)
+}
+
+/// Why a payload could not be decoded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The payload ended before a field did.
+    Truncated,
+    /// Unknown message tag.
+    BadTag(u8),
+    /// An enum discriminant out of range.
+    BadEnum(u8),
+    /// A string field was not UTF-8.
+    BadUtf8,
+    /// Bytes left over after a complete message.
+    TrailingBytes,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "truncated payload"),
+            DecodeError::BadTag(t) => write!(f, "unknown message tag {t}"),
+            DecodeError::BadEnum(v) => write!(f, "enum discriminant {v} out of range"),
+            DecodeError::BadUtf8 => write!(f, "string field is not UTF-8"),
+            DecodeError::TrailingBytes => write!(f, "trailing bytes after message"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Per-session cache discipline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheMode {
+    /// Every query runs the paper's cold protocol (server shutdown
+    /// before each run): results are position-independent and
+    /// byte-identical to the figure harness.
+    Cold,
+    /// Caches persist across the session's queries (a warm working
+    /// set, the production regime).
+    Warm,
+}
+
+/// One query request: the figure-grid vocabulary (algorithm ×
+/// selectivities), plus an optional deadline in simulated nanoseconds
+/// (`0` = none).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QuerySpec {
+    /// Session to run in.
+    pub session: u64,
+    /// Join algorithm.
+    pub algo: JoinAlgo,
+    /// Patient-side selectivity (percent).
+    pub pat_pct: u32,
+    /// Provider-side selectivity (percent).
+    pub prov_pct: u32,
+    /// Simulated-time budget in nanoseconds; `0` means unlimited.
+    pub deadline_nanos: u64,
+}
+
+/// Client → server messages.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Open a session (a snapshot-isolated view of the database).
+    Hello {
+        /// Cache discipline for the session.
+        mode: CacheMode,
+    },
+    /// Run one join query.
+    Query(QuerySpec),
+    /// Close a session, draining its handles.
+    Close {
+        /// Session to close.
+        session: u64,
+    },
+}
+
+/// Server → client messages.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Session opened.
+    SessionOpened {
+        /// Its id (unique per server).
+        session: u64,
+    },
+    /// Query finished: result cardinality plus the full Figure 3
+    /// record with the per-operator breakdown.
+    QueryOk {
+        /// Result tuples.
+        results: u64,
+        /// The measurement, exactly as the figure harness would have
+        /// recorded it.
+        stat: Box<Stat>,
+    },
+    /// Admission control shed the query: the queue was at its
+    /// configured depth. The typed `Overloaded` rejection.
+    Overloaded {
+        /// The depth the queue was at.
+        queue_depth: u32,
+    },
+    /// The query's simulated-time deadline fired; the query was
+    /// cancelled at an operator boundary and its working state
+    /// discarded.
+    DeadlineExceeded {
+        /// Simulated nanoseconds consumed when cancelled.
+        elapsed_nanos: u64,
+    },
+    /// Session closed.
+    SessionClosed {
+        /// Handles drained from the delayed-free pool at teardown.
+        drained_handles: u64,
+        /// Handles still pinned at teardown (0 unless an operator
+        /// leaked — the debug leak check would have caught it first).
+        leaked_handles: u64,
+    },
+    /// Anything else (unknown session, busy session, engine error).
+    Error {
+        /// Human-readable cause.
+        msg: String,
+    },
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(v as u8);
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn algo_code(algo: JoinAlgo) -> u8 {
+    match algo {
+        JoinAlgo::Nl => 0,
+        JoinAlgo::Nojoin => 1,
+        JoinAlgo::Phj => 2,
+        JoinAlgo::Chj => 3,
+    }
+}
+
+fn algo_from(code: u8) -> Result<JoinAlgo, DecodeError> {
+    Ok(match code {
+        0 => JoinAlgo::Nl,
+        1 => JoinAlgo::Nojoin,
+        2 => JoinAlgo::Phj,
+        3 => JoinAlgo::Chj,
+        other => return Err(DecodeError::BadEnum(other)),
+    })
+}
+
+fn put_operator(out: &mut Vec<u8>, op: &OperatorStat) {
+    put_str(out, &op.op);
+    put_str(out, &op.label);
+    put_u32(out, op.depth);
+    put_u64(out, op.d2sc_read_pages);
+    put_u64(out, op.sc2cc_read_pages);
+    put_u64(out, op.client_misses);
+    put_u64(out, op.handle_gets);
+    put_u64(out, op.handle_frees);
+    put_u64(out, op.cpu_events);
+    put_u64(out, op.io_nanos);
+    put_u64(out, op.rpc_nanos);
+    put_u64(out, op.cpu_nanos);
+    put_u64(out, op.swap_nanos);
+}
+
+fn put_stat(out: &mut Vec<u8>, s: &Stat) {
+    put_u64(out, s.numtest);
+    put_bool(out, s.query.cold);
+    put_str(out, &s.query.projection_type);
+    put_u32(out, s.query.selectivities.len() as u32);
+    for (extent, pct) in &s.query.selectivities {
+        put_str(out, extent);
+        put_u32(out, *pct);
+    }
+    put_str(out, &s.query.text);
+    put_u32(out, s.database.len() as u32);
+    for e in &s.database {
+        put_str(out, &e.classname);
+        put_u64(out, e.size);
+        put_u32(out, e.associations.len() as u32);
+        for (class, ratio) in &e.associations {
+            put_str(out, class);
+            put_u32(out, *ratio);
+        }
+    }
+    put_str(out, &s.cluster);
+    put_str(out, &s.algo);
+    put_u64(out, s.system.server_cache_kb);
+    put_u64(out, s.system.client_cache_kb);
+    put_bool(out, s.system.same_workstation);
+    put_u64(out, s.cc_pagefaults);
+    put_f64(out, s.elapsed_time);
+    put_u64(out, s.rpcs_number);
+    put_f64(out, s.rpcs_total_mb);
+    put_u64(out, s.d2sc_read_pages);
+    put_u64(out, s.sc2cc_read_pages);
+    put_f64(out, s.cc_miss_rate);
+    put_f64(out, s.sc_miss_rate);
+    put_u32(out, s.operators.len() as u32);
+    for op in &s.operators {
+        put_operator(out, op);
+    }
+}
+
+impl Request {
+    /// Encodes to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Hello { mode } => {
+                out.push(1);
+                out.push(match mode {
+                    CacheMode::Cold => 0,
+                    CacheMode::Warm => 1,
+                });
+            }
+            Request::Query(q) => {
+                out.push(2);
+                put_u64(&mut out, q.session);
+                out.push(algo_code(q.algo));
+                put_u32(&mut out, q.pat_pct);
+                put_u32(&mut out, q.prov_pct);
+                put_u64(&mut out, q.deadline_nanos);
+            }
+            Request::Close { session } => {
+                out.push(3);
+                put_u64(&mut out, *session);
+            }
+        }
+        out
+    }
+
+    /// Decodes a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Self, DecodeError> {
+        let mut c = Cursor::new(payload);
+        let req = match c.u8()? {
+            1 => Request::Hello {
+                mode: match c.u8()? {
+                    0 => CacheMode::Cold,
+                    1 => CacheMode::Warm,
+                    other => return Err(DecodeError::BadEnum(other)),
+                },
+            },
+            2 => Request::Query(QuerySpec {
+                session: c.u64()?,
+                algo: algo_from(c.u8()?)?,
+                pat_pct: c.u32()?,
+                prov_pct: c.u32()?,
+                deadline_nanos: c.u64()?,
+            }),
+            3 => Request::Close { session: c.u64()? },
+            other => return Err(DecodeError::BadTag(other)),
+        };
+        c.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encodes to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::SessionOpened { session } => {
+                out.push(128);
+                put_u64(&mut out, *session);
+            }
+            Response::QueryOk { results, stat } => {
+                out.push(129);
+                put_u64(&mut out, *results);
+                put_stat(&mut out, stat);
+            }
+            Response::Overloaded { queue_depth } => {
+                out.push(130);
+                put_u32(&mut out, *queue_depth);
+            }
+            Response::DeadlineExceeded { elapsed_nanos } => {
+                out.push(131);
+                put_u64(&mut out, *elapsed_nanos);
+            }
+            Response::SessionClosed {
+                drained_handles,
+                leaked_handles,
+            } => {
+                out.push(132);
+                put_u64(&mut out, *drained_handles);
+                put_u64(&mut out, *leaked_handles);
+            }
+            Response::Error { msg } => {
+                out.push(133);
+                put_str(&mut out, msg);
+            }
+        }
+        out
+    }
+
+    /// Decodes a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Self, DecodeError> {
+        let mut c = Cursor::new(payload);
+        let resp = match c.u8()? {
+            128 => Response::SessionOpened { session: c.u64()? },
+            129 => Response::QueryOk {
+                results: c.u64()?,
+                stat: Box::new(c.stat()?),
+            },
+            130 => Response::Overloaded {
+                queue_depth: c.u32()?,
+            },
+            131 => Response::DeadlineExceeded {
+                elapsed_nanos: c.u64()?,
+            },
+            132 => Response::SessionClosed {
+                drained_handles: c.u64()?,
+                leaked_handles: c.u64()?,
+            },
+            133 => Response::Error { msg: c.string()? },
+            other => return Err(DecodeError::BadTag(other)),
+        };
+        c.finish()?;
+        Ok(resp)
+    }
+}
+
+/// Bounds-checked sequential reader over a payload.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self.at.checked_add(n).ok_or(DecodeError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let s = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn boolean(&mut self) -> Result<bool, DecodeError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(DecodeError::BadEnum(other)),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, DecodeError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::BadUtf8)
+    }
+
+    fn operator(&mut self) -> Result<OperatorStat, DecodeError> {
+        Ok(OperatorStat {
+            op: self.string()?,
+            label: self.string()?,
+            depth: self.u32()?,
+            d2sc_read_pages: self.u64()?,
+            sc2cc_read_pages: self.u64()?,
+            client_misses: self.u64()?,
+            handle_gets: self.u64()?,
+            handle_frees: self.u64()?,
+            cpu_events: self.u64()?,
+            io_nanos: self.u64()?,
+            rpc_nanos: self.u64()?,
+            cpu_nanos: self.u64()?,
+            swap_nanos: self.u64()?,
+        })
+    }
+
+    fn stat(&mut self) -> Result<Stat, DecodeError> {
+        let numtest = self.u64()?;
+        let cold = self.boolean()?;
+        let projection_type = self.string()?;
+        let n_sel = self.u32()?;
+        let mut selectivities = Vec::new();
+        for _ in 0..n_sel {
+            let extent = self.string()?;
+            let pct = self.u32()?;
+            selectivities.push((extent, pct));
+        }
+        let text = self.string()?;
+        let n_ext = self.u32()?;
+        let mut database = Vec::new();
+        for _ in 0..n_ext {
+            let classname = self.string()?;
+            let size = self.u64()?;
+            let n_assoc = self.u32()?;
+            let mut associations = Vec::new();
+            for _ in 0..n_assoc {
+                let class = self.string()?;
+                let ratio = self.u32()?;
+                associations.push((class, ratio));
+            }
+            database.push(ExtentDesc {
+                classname,
+                size,
+                associations,
+            });
+        }
+        let cluster = self.string()?;
+        let algo = self.string()?;
+        let system = SystemDesc {
+            server_cache_kb: self.u64()?,
+            client_cache_kb: self.u64()?,
+            same_workstation: self.boolean()?,
+        };
+        let cc_pagefaults = self.u64()?;
+        let elapsed_time = self.f64()?;
+        let rpcs_number = self.u64()?;
+        let rpcs_total_mb = self.f64()?;
+        let d2sc_read_pages = self.u64()?;
+        let sc2cc_read_pages = self.u64()?;
+        let cc_miss_rate = self.f64()?;
+        let sc_miss_rate = self.f64()?;
+        let n_ops = self.u32()?;
+        let mut operators = Vec::new();
+        for _ in 0..n_ops {
+            operators.push(self.operator()?);
+        }
+        Ok(Stat {
+            numtest,
+            query: QueryDesc {
+                cold,
+                projection_type,
+                selectivities,
+                text,
+            },
+            database,
+            cluster,
+            algo,
+            system,
+            cc_pagefaults,
+            elapsed_time,
+            rpcs_number,
+            rpcs_total_mb,
+            d2sc_read_pages,
+            sc2cc_read_pages,
+            cc_miss_rate,
+            sc_miss_rate,
+            operators,
+        })
+    }
+
+    fn finish(&self) -> Result<(), DecodeError> {
+        if self.at == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(DecodeError::TrailingBytes)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_requests_round_trip() {
+        for req in [
+            Request::Hello {
+                mode: CacheMode::Cold,
+            },
+            Request::Hello {
+                mode: CacheMode::Warm,
+            },
+            Request::Query(QuerySpec {
+                session: 42,
+                algo: JoinAlgo::Chj,
+                pat_pct: 10,
+                prov_pct: 90,
+                deadline_nanos: 5_000_000_000,
+            }),
+            Request::Close { session: 7 },
+        ] {
+            assert_eq!(Request::decode(&req.encode()), Ok(req));
+        }
+    }
+
+    #[test]
+    fn bad_inputs_are_typed_errors() {
+        assert_eq!(Request::decode(&[]), Err(DecodeError::Truncated));
+        assert_eq!(Request::decode(&[99]), Err(DecodeError::BadTag(99)));
+        assert_eq!(Request::decode(&[1, 7]), Err(DecodeError::BadEnum(7)));
+        let mut ok = Request::Close { session: 1 }.encode();
+        ok.push(0);
+        assert_eq!(Request::decode(&ok), Err(DecodeError::TrailingBytes));
+        // Non-UTF-8 string in an Error response.
+        let mut bad = vec![133];
+        bad.extend_from_slice(&2u32.to_le_bytes());
+        bad.extend_from_slice(&[0xff, 0xfe]);
+        assert_eq!(Response::decode(&bad), Err(DecodeError::BadUtf8));
+    }
+
+    #[test]
+    fn frame_round_trip_and_limits() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap(), b"");
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Closed)));
+        // A forged oversized header is rejected without allocating.
+        let huge = (MAX_FRAME as u32 + 1).to_le_bytes();
+        assert!(matches!(
+            read_frame(&mut &huge[..]),
+            Err(FrameError::TooLarge(_))
+        ));
+        // Truncation inside the header and inside the payload.
+        assert!(matches!(
+            read_frame(&mut &[1u8, 0][..]),
+            Err(FrameError::Truncated)
+        ));
+        let mut partial = Vec::new();
+        write_frame(&mut partial, b"abcdef").unwrap();
+        partial.truncate(7);
+        assert!(matches!(
+            read_frame(&mut &partial[..]),
+            Err(FrameError::Truncated)
+        ));
+    }
+}

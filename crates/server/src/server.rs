@@ -1,0 +1,316 @@
+//! The query service: connection handling, request dispatch, and the
+//! worker-side query execution path.
+//!
+//! Layering (see DESIGN.md): connections speak the `proto` frame
+//! vocabulary; requests that run queries go through the `sched`
+//! admission queue to a worker; the worker checks the session's
+//! database out of the `session` table, runs the `measure` protocol on
+//! it (the *same* code path as the figure harness), and returns the
+//! full per-operator [`Stat`]. A fired deadline unwinds out of the
+//! engine with a [`Cancelled`] payload; the worker catches it, discards
+//! the now-undefined database clone, refills the session with a fresh
+//! snapshot, and reports `DeadlineExceeded` instead of hanging.
+
+use std::io::{Read, Write};
+use std::net::TcpListener;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, Once};
+use std::thread::JoinHandle;
+
+use tq_query::join::JoinOptions;
+use tq_query::{CancelToken, Cancelled};
+use tq_workload::Database;
+
+use crate::measure::{measure_current, run_join_cell_with, stat_record};
+use crate::proto::{read_frame, write_frame, CacheMode, FrameError, QuerySpec, Request, Response};
+use crate::sched::Scheduler;
+use crate::session::SessionManager;
+use crate::transport::{duplex_pair, DuplexStream};
+
+/// Service sizing.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Worker threads executing queries.
+    pub workers: usize,
+    /// Admission-queue depth; a query arriving at a full queue is shed.
+    pub queue_depth: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            queue_depth: 16,
+        }
+    }
+}
+
+#[derive(Default)]
+struct ServerStats {
+    sessions_opened: AtomicU64,
+    sessions_closed: AtomicU64,
+    queries_ok: AtomicU64,
+    queries_shed: AtomicU64,
+    queries_deadline_exceeded: AtomicU64,
+    queries_failed: AtomicU64,
+}
+
+/// A point-in-time copy of the service counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStatsSnapshot {
+    /// Sessions opened.
+    pub sessions_opened: u64,
+    /// Sessions closed.
+    pub sessions_closed: u64,
+    /// Queries completed.
+    pub queries_ok: u64,
+    /// Queries shed by admission control.
+    pub queries_shed: u64,
+    /// Queries cancelled by their deadline.
+    pub queries_deadline_exceeded: u64,
+    /// Queries answered with an error (unknown/busy session, …).
+    pub queries_failed: u64,
+}
+
+struct Inner {
+    sessions: SessionManager,
+    sched: Scheduler,
+    stats: ServerStats,
+}
+
+/// The query service. Owns the base snapshot, the session table, and
+/// the worker pool; hands out connections over TCP or in-process
+/// duplex streams (same protocol, same handler).
+pub struct Server {
+    inner: Arc<Inner>,
+    conn_threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Starts the service over a base database snapshot.
+    pub fn start(base: Database, config: ServerConfig) -> Self {
+        install_quiet_cancel_hook();
+        Self {
+            inner: Arc::new(Inner {
+                sessions: SessionManager::new(base),
+                sched: Scheduler::new(config.workers, config.queue_depth),
+                stats: ServerStats::default(),
+            }),
+            conn_threads: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Opens an in-process connection: returns the client end of a
+    /// duplex pair whose server end is handled by a dedicated thread.
+    /// Deterministic and socket-free — the transport tests and the
+    /// load generator use this.
+    pub fn connect_in_proc(&self) -> DuplexStream {
+        let (client, server_end) = duplex_pair();
+        let inner = Arc::clone(&self.inner);
+        let handle = std::thread::Builder::new()
+            .name("tq-conn".into())
+            .spawn(move || serve_conn(&inner, server_end))
+            .expect("spawn connection handler");
+        self.conn_threads.lock().unwrap().push(handle);
+        client
+    }
+
+    /// Serves the wire protocol on a bound TCP listener. The accept
+    /// loop runs on a detached thread for the life of the process;
+    /// each accepted connection gets its own handler thread.
+    pub fn listen(&self, listener: TcpListener) {
+        let inner = Arc::clone(&self.inner);
+        std::thread::Builder::new()
+            .name("tq-accept".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    let Ok(stream) = stream else { return };
+                    let inner = Arc::clone(&inner);
+                    let _ = std::thread::Builder::new()
+                        .name("tq-conn-tcp".into())
+                        .spawn(move || serve_conn(&inner, stream));
+                }
+            })
+            .expect("spawn acceptor");
+    }
+
+    /// Service counters.
+    pub fn stats(&self) -> ServerStatsSnapshot {
+        let s = &self.inner.stats;
+        ServerStatsSnapshot {
+            sessions_opened: s.sessions_opened.load(Ordering::Relaxed),
+            sessions_closed: s.sessions_closed.load(Ordering::Relaxed),
+            queries_ok: s.queries_ok.load(Ordering::Relaxed),
+            queries_shed: s.queries_shed.load(Ordering::Relaxed),
+            queries_deadline_exceeded: s.queries_deadline_exceeded.load(Ordering::Relaxed),
+            queries_failed: s.queries_failed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Currently open sessions.
+    pub fn open_sessions(&self) -> usize {
+        self.inner.sessions.open_count()
+    }
+
+    /// Drains the worker pool and joins the in-process connection
+    /// handlers. Callers must drop their client streams first — a
+    /// handler blocks until its peer hangs up.
+    pub fn shutdown(self) {
+        self.inner.sched.shutdown();
+        let mut threads = self.conn_threads.lock().unwrap();
+        for handle in threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One connection: a strict request→response loop over frames. Any
+/// framing error (including clean hang-up) ends the connection; a
+/// decodable-but-invalid request gets a `Response::Error` and the
+/// conversation continues.
+fn serve_conn<S: Read + Write>(inner: &Arc<Inner>, mut conn: S) {
+    loop {
+        let payload = match read_frame(&mut conn) {
+            Ok(p) => p,
+            Err(FrameError::Closed) => return,
+            Err(_) => return,
+        };
+        let resp = match Request::decode(&payload) {
+            Ok(req) => handle_request(inner, req),
+            Err(e) => Response::Error {
+                msg: format!("bad request: {e}"),
+            },
+        };
+        if write_frame(&mut conn, &resp.encode()).is_err() {
+            return;
+        }
+    }
+}
+
+fn handle_request(inner: &Arc<Inner>, req: Request) -> Response {
+    match req {
+        Request::Hello { mode } => {
+            let session = inner.sessions.create(mode);
+            inner.stats.sessions_opened.fetch_add(1, Ordering::Relaxed);
+            Response::SessionOpened { session }
+        }
+        Request::Query(spec) => dispatch_query(inner, spec),
+        Request::Close { session } => match inner.sessions.close(session) {
+            Ok(report) => {
+                inner.stats.sessions_closed.fetch_add(1, Ordering::Relaxed);
+                Response::SessionClosed {
+                    drained_handles: report.drained_handles,
+                    leaked_handles: report.leaked_handles,
+                }
+            }
+            Err(e) => {
+                inner.stats.queries_failed.fetch_add(1, Ordering::Relaxed);
+                Response::Error { msg: e.to_string() }
+            }
+        },
+    }
+}
+
+/// Admits the query to the worker pool and waits for its response.
+fn dispatch_query(inner: &Arc<Inner>, spec: QuerySpec) -> Response {
+    let (tx, rx) = mpsc::channel();
+    let job_inner = Arc::clone(inner);
+    let submitted = inner.sched.submit(Box::new(move || {
+        let resp = execute_query(&job_inner, spec);
+        let _ = tx.send(resp);
+    }));
+    if let Err(overloaded) = submitted {
+        inner.stats.queries_shed.fetch_add(1, Ordering::Relaxed);
+        return Response::Overloaded {
+            queue_depth: overloaded.queue_depth,
+        };
+    }
+    rx.recv().unwrap_or_else(|_| Response::Error {
+        msg: "worker dropped the query".into(),
+    })
+}
+
+/// Worker-side execution: session checkout, the measurement protocol,
+/// deadline handling, session restore.
+fn execute_query(inner: &Inner, spec: QuerySpec) -> Response {
+    let (mut db, mode) = match inner.sessions.take(spec.session) {
+        Ok(taken) => taken,
+        Err(e) => {
+            inner.stats.queries_failed.fetch_add(1, Ordering::Relaxed);
+            return Response::Error { msg: e.to_string() };
+        }
+    };
+    let cancel =
+        (spec.deadline_nanos > 0).then(|| CancelToken::with_deadline_nanos(spec.deadline_nanos));
+    let opts = JoinOptions::default();
+    let outcome = catch_unwind(AssertUnwindSafe(|| match mode {
+        // Cold sessions run the paper's protocol exactly as the figure
+        // harness does — one shared code path, so a served Stat is
+        // byte-identical to a harness Stat for the same cell.
+        CacheMode::Cold => run_join_cell_with(
+            &mut db,
+            spec.algo,
+            spec.pat_pct,
+            spec.prov_pct,
+            &opts,
+            cancel,
+        ),
+        // Warm sessions measure against whatever the session's earlier
+        // queries left resident.
+        CacheMode::Warm => measure_current(
+            &mut db,
+            spec.algo,
+            spec.pat_pct,
+            spec.prov_pct,
+            &opts,
+            cancel,
+        ),
+    }));
+    match outcome {
+        Ok(cell) => {
+            let mut stat = stat_record(&db, &cell, spec.pat_pct, spec.prov_pct);
+            stat.query.cold = mode == CacheMode::Cold;
+            inner.sessions.restore(spec.session, db);
+            inner.stats.queries_ok.fetch_add(1, Ordering::Relaxed);
+            Response::QueryOk {
+                results: cell.results,
+                stat: Box::new(stat),
+            }
+        }
+        Err(payload) => match payload.downcast::<Cancelled>() {
+            Ok(cancelled) => {
+                // The unwound database has half-built operator state in
+                // its caches and handle table: discard it and refill
+                // the session from the base snapshot.
+                drop(db);
+                inner.sessions.replace_fresh(spec.session);
+                inner
+                    .stats
+                    .queries_deadline_exceeded
+                    .fetch_add(1, Ordering::Relaxed);
+                Response::DeadlineExceeded {
+                    elapsed_nanos: cancelled.elapsed_nanos,
+                }
+            }
+            Err(other) => resume_unwind(other),
+        },
+    }
+}
+
+/// Keeps the default panic hook from printing a backtrace every time a
+/// deadline fires: `Cancelled` unwinds are control flow here, not
+/// crashes.
+/// Chains to the previous hook for every other payload. Installed once
+/// per process.
+fn install_quiet_cancel_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<Cancelled>().is_none() {
+                previous(info);
+            }
+        }));
+    });
+}

@@ -1,0 +1,100 @@
+//! In-process duplex transport.
+//!
+//! A [`DuplexStream`] pair behaves like the two ends of a connected
+//! socket — blocking `Read`/`Write` over a pair of in-memory channels —
+//! without touching the network stack. Tests and the load generator
+//! run the full wire protocol over it, deterministically and
+//! socket-free; the same server code serves `TcpStream`s unchanged
+//! (both are just `Read + Write`).
+
+use std::io::{Read, Write};
+use std::sync::mpsc::{channel, Receiver, Sender};
+
+/// One end of an in-process bidirectional byte stream.
+pub struct DuplexStream {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+    pending: Vec<u8>,
+    at: usize,
+}
+
+/// Creates a connected pair: bytes written to one end are read from
+/// the other. Dropping an end reads as EOF on its peer (a hung-up
+/// socket).
+pub fn duplex_pair() -> (DuplexStream, DuplexStream) {
+    let (a_tx, b_rx) = channel();
+    let (b_tx, a_rx) = channel();
+    let mk = |tx, rx| DuplexStream {
+        tx,
+        rx,
+        pending: Vec::new(),
+        at: 0,
+    };
+    (mk(a_tx, a_rx), mk(b_tx, b_rx))
+}
+
+impl Read for DuplexStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        while self.at == self.pending.len() {
+            match self.rx.recv() {
+                Ok(chunk) => {
+                    self.pending = chunk;
+                    self.at = 0;
+                }
+                // Peer dropped: clean EOF, like a closed socket.
+                Err(_) => return Ok(0),
+            }
+        }
+        let n = buf.len().min(self.pending.len() - self.at);
+        buf[..n].copy_from_slice(&self.pending[self.at..self.at + n]);
+        self.at += n;
+        Ok(n)
+    }
+}
+
+impl Write for DuplexStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.tx.send(buf.to_vec()).map_err(|_| {
+            std::io::Error::new(std::io::ErrorKind::BrokenPipe, "peer disconnected")
+        })?;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_cross_and_eof_on_drop() {
+        let (mut a, mut b) = duplex_pair();
+        a.write_all(b"ping").unwrap();
+        let mut buf = [0u8; 4];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+        b.write_all(b"pong").unwrap();
+        a.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"pong");
+        drop(a);
+        assert_eq!(b.read(&mut buf).unwrap(), 0);
+        assert!(b.write_all(b"x").is_err());
+    }
+
+    #[test]
+    fn short_reads_reassemble() {
+        let (mut a, mut b) = duplex_pair();
+        a.write_all(b"abc").unwrap();
+        a.write_all(b"defg").unwrap();
+        let mut out = Vec::new();
+        let mut one = [0u8; 2];
+        for _ in 0..4 {
+            let n = b.read(&mut one).unwrap();
+            out.extend_from_slice(&one[..n]);
+        }
+        assert_eq!(out, b"abcdefg");
+    }
+}

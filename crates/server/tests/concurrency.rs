@@ -1,0 +1,286 @@
+//! Concurrency stress tests: served queries must be *indistinguishable*
+//! from harness runs. K sessions running under contention produce
+//! `Stat`s equal field-for-field to a serial oracle, deadline-cancelled
+//! sessions recover to the same guarantee, and teardown leaks nothing.
+
+use std::sync::{Arc, Barrier};
+use std::thread;
+
+use tq_query::{JoinAlgo, JoinOptions};
+use tq_server::measure::{run_join_cell, stat_record};
+use tq_server::{CacheMode, Client, QuerySpec, Response, Server, ServerConfig};
+use tq_statsdb::Stat;
+use tq_workload::{build, BuildConfig, Database, DbShape, Organization};
+
+const SCALE: u32 = 1000;
+
+fn base_db() -> Database {
+    build(&BuildConfig::scaled(
+        DbShape::Db2,
+        Organization::ClassClustered,
+        SCALE,
+    ))
+}
+
+/// The cells the stress clients run: every algorithm, two selectivity
+/// points each.
+fn cells() -> Vec<(JoinAlgo, u32, u32)> {
+    let algos = [JoinAlgo::Nl, JoinAlgo::Nojoin, JoinAlgo::Phj, JoinAlgo::Chj];
+    let mut out = Vec::new();
+    for algo in algos {
+        out.push((algo, 10, 90));
+        out.push((algo, 100, 20));
+    }
+    out
+}
+
+/// What the figure harness would record for one cold cell.
+fn serial_oracle(base: &Database, algo: JoinAlgo, pat_pct: u32, prov_pct: u32) -> (u64, Stat) {
+    let mut db = base.clone();
+    let cell = run_join_cell(&mut db, algo, pat_pct, prov_pct, &JoinOptions::default());
+    (cell.results, stat_record(&db, &cell, pat_pct, prov_pct))
+}
+
+fn run_one(
+    server: &Server,
+    mode: CacheMode,
+    algo: JoinAlgo,
+    pat_pct: u32,
+    prov_pct: u32,
+) -> (u64, Stat, u64) {
+    let mut client = Client::new(server.connect_in_proc());
+    let session = client.open_session(mode).unwrap();
+    let resp = client
+        .query(QuerySpec {
+            session,
+            algo,
+            pat_pct,
+            prov_pct,
+            deadline_nanos: 0,
+        })
+        .unwrap();
+    let (results, stat) = match resp {
+        Response::QueryOk { results, stat } => (results, *stat),
+        other => panic!("expected QueryOk, got {other:?}"),
+    };
+    let (_drained, leaked) = client.close_session(session).unwrap();
+    (results, stat, leaked)
+}
+
+#[test]
+fn concurrent_cold_sessions_match_serial_oracle() {
+    let base = base_db();
+    let cells = cells();
+    let oracle: Vec<_> = cells
+        .iter()
+        .map(|&(algo, pat, prov)| serial_oracle(&base, algo, pat, prov))
+        .collect();
+
+    let server = Arc::new(Server::start(base, ServerConfig::default()));
+    let barrier = Arc::new(Barrier::new(cells.len()));
+    let handles: Vec<_> = cells
+        .iter()
+        .map(|&(algo, pat, prov)| {
+            let server = Arc::clone(&server);
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                barrier.wait();
+                run_one(&server, CacheMode::Cold, algo, pat, prov)
+            })
+        })
+        .collect();
+    let served: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    for (i, ((results, stat, leaked), (want_results, want_stat))) in
+        served.iter().zip(oracle.iter()).enumerate()
+    {
+        let (algo, pat, prov) = cells[i];
+        assert_eq!(leaked, &0, "cell {algo:?} {pat}/{prov} leaked handles");
+        assert_eq!(
+            results, want_results,
+            "cell {algo:?} {pat}/{prov} cardinality"
+        );
+        assert_eq!(stat, want_stat, "cell {algo:?} {pat}/{prov} Stat drifted");
+    }
+
+    assert_eq!(server.open_sessions(), 0, "sessions survived teardown");
+    let stats = server.stats();
+    assert_eq!(stats.queries_ok, cells.len() as u64);
+    assert_eq!(stats.queries_failed, 0);
+    assert_eq!(stats.sessions_opened, stats.sessions_closed);
+    Arc::try_unwrap(server).ok().unwrap().shutdown();
+}
+
+#[test]
+fn deadline_cancel_then_session_still_matches_oracle() {
+    let base = base_db();
+    let (want_results, want_stat) = serial_oracle(&base, JoinAlgo::Chj, 100, 90);
+
+    let server = Server::start(base, ServerConfig::default());
+    let mut client = Client::new(server.connect_in_proc());
+    let session = client.open_session(CacheMode::Cold).unwrap();
+
+    // 1ns of simulated time: the first operator tick fires the token.
+    let resp = client
+        .query(QuerySpec {
+            session,
+            algo: JoinAlgo::Chj,
+            pat_pct: 100,
+            prov_pct: 90,
+            deadline_nanos: 1,
+        })
+        .unwrap();
+    assert!(
+        matches!(resp, Response::DeadlineExceeded { .. }),
+        "expected DeadlineExceeded, got {resp:?}"
+    );
+
+    // The session was refilled from the base snapshot: the very next
+    // query must be indistinguishable from a fresh harness run.
+    let resp = client
+        .query(QuerySpec {
+            session,
+            algo: JoinAlgo::Chj,
+            pat_pct: 100,
+            prov_pct: 90,
+            deadline_nanos: 0,
+        })
+        .unwrap();
+    match resp {
+        Response::QueryOk { results, stat } => {
+            assert_eq!(results, want_results);
+            assert_eq!(*stat, want_stat, "post-cancel Stat drifted from oracle");
+        }
+        other => panic!("expected QueryOk after recovery, got {other:?}"),
+    }
+
+    let (_drained, leaked) = client.close_session(session).unwrap();
+    assert_eq!(leaked, 0, "cancelled session leaked handles");
+    let stats = server.stats();
+    assert_eq!(stats.queries_deadline_exceeded, 1);
+    assert_eq!(stats.queries_ok, 1);
+    // The handler thread exits on client hang-up; shutdown joins it.
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn warm_sessions_are_isolated_from_each_other() {
+    let base = base_db();
+    // Warm oracle: two queries on one private snapshot, the second
+    // measured against whatever the first left resident.
+    let want = {
+        let mut db = base.clone();
+        let opts = JoinOptions::default();
+        let _ = run_join_cell(&mut db, JoinAlgo::Chj, 10, 90, &opts);
+        let cell = tq_server::measure::measure_current(&mut db, JoinAlgo::Chj, 10, 90, &opts, None);
+        let mut stat = stat_record(&db, &cell, 10, 90);
+        stat.query.cold = false;
+        (cell.results, stat)
+    };
+
+    let server = Arc::new(Server::start(base, ServerConfig::default()));
+    // A noisy neighbour hammers its own warm session concurrently; it
+    // must not perturb the session under test.
+    let noisy = {
+        let server = Arc::clone(&server);
+        thread::spawn(move || {
+            for _ in 0..4 {
+                run_one(&server, CacheMode::Warm, JoinAlgo::Nl, 100, 20);
+            }
+        })
+    };
+
+    let mut client = Client::new(server.connect_in_proc());
+    let session = client.open_session(CacheMode::Warm).unwrap();
+    let spec = QuerySpec {
+        session,
+        algo: JoinAlgo::Chj,
+        pat_pct: 10,
+        prov_pct: 90,
+        deadline_nanos: 0,
+    };
+    // First query primes this session's caches (warm sessions skip the
+    // cold restart; the very first query runs against a cold clone).
+    let _ = client.query(spec).unwrap();
+    let resp = client.query(spec).unwrap();
+    match resp {
+        Response::QueryOk { results, stat } => {
+            assert_eq!(results, want.0);
+            assert_eq!(*stat, want.1, "warm Stat drifted under contention");
+        }
+        other => panic!("expected QueryOk, got {other:?}"),
+    }
+    let (_drained, leaked) = client.close_session(session).unwrap();
+    assert_eq!(leaked, 0);
+
+    noisy.join().unwrap();
+    assert_eq!(server.open_sessions(), 0);
+    drop(client);
+    Arc::try_unwrap(server).ok().unwrap().shutdown();
+}
+
+#[test]
+fn saturated_server_sheds_instead_of_queueing_unboundedly() {
+    let base = base_db();
+    let server = Arc::new(Server::start(
+        base,
+        ServerConfig {
+            workers: 1,
+            queue_depth: 1,
+        },
+    ));
+    let clients = 8;
+    let barrier = Arc::new(Barrier::new(clients));
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            let server = Arc::clone(&server);
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                let mut client = Client::new(server.connect_in_proc());
+                let session = client.open_session(CacheMode::Cold).unwrap();
+                barrier.wait();
+                let (mut ok, mut shed) = (0u64, 0u64);
+                for _ in 0..40 {
+                    let resp = client
+                        .query(QuerySpec {
+                            session,
+                            algo: JoinAlgo::Chj,
+                            pat_pct: 10,
+                            prov_pct: 90,
+                            deadline_nanos: 0,
+                        })
+                        .unwrap();
+                    match resp {
+                        Response::QueryOk { .. } => ok += 1,
+                        Response::Overloaded { queue_depth } => {
+                            assert_eq!(queue_depth, 1);
+                            shed += 1;
+                        }
+                        other => panic!("unexpected {other:?}"),
+                    }
+                }
+                let (_drained, leaked) = client.close_session(session).unwrap();
+                assert_eq!(leaked, 0);
+                (ok, shed)
+            })
+        })
+        .collect();
+    let (mut ok, mut shed) = (0u64, 0u64);
+    for h in handles {
+        let (o, s) = h.join().unwrap();
+        ok += o;
+        shed += s;
+    }
+    assert_eq!(ok + shed, clients as u64 * 40, "every query was answered");
+    assert!(ok > 0, "a saturated server must still make progress");
+    assert!(
+        shed > 0,
+        "8 closed-loop clients against 1 worker + depth-1 queue must shed"
+    );
+    let stats = server.stats();
+    assert_eq!(stats.queries_ok, ok);
+    assert_eq!(stats.queries_shed, shed);
+    assert_eq!(server.open_sessions(), 0);
+    Arc::try_unwrap(server).ok().unwrap().shutdown();
+}

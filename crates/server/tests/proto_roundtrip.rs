@@ -1,0 +1,272 @@
+//! Wire-protocol property tests: seeded-random messages round-trip
+//! bit-for-bit, and every malformed framing/payload input is a typed
+//! error, never a panic or a wrong decode.
+
+use tq_query::JoinAlgo;
+use tq_server::proto::{
+    read_frame, write_frame, CacheMode, DecodeError, FrameError, QuerySpec, Request, Response,
+    MAX_FRAME,
+};
+use tq_simrng::SimRng;
+use tq_statsdb::{ExtentDesc, OperatorStat, QueryDesc, Stat, SystemDesc};
+
+fn rng_string(rng: &mut SimRng) -> String {
+    // Mixed content: commas, quotes, multi-byte UTF-8, NULs.
+    let alphabet: Vec<char> = "abcXYZ 019,\"\n\u{0}é√🦀".chars().collect();
+    let len = rng.index(24);
+    (0..len)
+        .map(|_| alphabet[rng.index(alphabet.len())])
+        .collect()
+}
+
+fn rng_f64(rng: &mut SimRng) -> f64 {
+    // Arbitrary bit patterns, NaN included: the codec moves bits, not
+    // values, so NaN payload bits must survive too.
+    f64::from_bits(rng.next_u64())
+}
+
+fn rng_algo(rng: &mut SimRng) -> JoinAlgo {
+    [JoinAlgo::Nl, JoinAlgo::Nojoin, JoinAlgo::Phj, JoinAlgo::Chj][rng.index(4)]
+}
+
+fn rng_operator(rng: &mut SimRng) -> OperatorStat {
+    OperatorStat {
+        op: rng_string(rng),
+        label: rng_string(rng),
+        depth: rng.next_u32(),
+        d2sc_read_pages: rng.next_u64(),
+        sc2cc_read_pages: rng.next_u64(),
+        client_misses: rng.next_u64(),
+        handle_gets: rng.next_u64(),
+        handle_frees: rng.next_u64(),
+        cpu_events: rng.next_u64(),
+        io_nanos: rng.next_u64(),
+        rpc_nanos: rng.next_u64(),
+        cpu_nanos: rng.next_u64(),
+        swap_nanos: rng.next_u64(),
+    }
+}
+
+fn rng_stat(rng: &mut SimRng) -> Stat {
+    Stat {
+        numtest: rng.next_u64(),
+        query: QueryDesc {
+            cold: rng.bool(),
+            projection_type: rng_string(rng),
+            selectivities: (0..rng.index(4))
+                .map(|_| (rng_string(rng), rng.next_u32()))
+                .collect(),
+            text: rng_string(rng),
+        },
+        database: (0..rng.index(4))
+            .map(|_| ExtentDesc {
+                classname: rng_string(rng),
+                size: rng.next_u64(),
+                associations: (0..rng.index(3))
+                    .map(|_| (rng_string(rng), rng.next_u32()))
+                    .collect(),
+            })
+            .collect(),
+        cluster: rng_string(rng),
+        algo: rng_string(rng),
+        system: SystemDesc {
+            server_cache_kb: rng.next_u64(),
+            client_cache_kb: rng.next_u64(),
+            same_workstation: rng.bool(),
+        },
+        cc_pagefaults: rng.next_u64(),
+        elapsed_time: rng_f64(rng),
+        rpcs_number: rng.next_u64(),
+        rpcs_total_mb: rng_f64(rng),
+        d2sc_read_pages: rng.next_u64(),
+        sc2cc_read_pages: rng.next_u64(),
+        cc_miss_rate: rng_f64(rng),
+        sc_miss_rate: rng_f64(rng),
+        operators: (0..rng.index(5)).map(|_| rng_operator(rng)).collect(),
+    }
+}
+
+fn rng_request(rng: &mut SimRng) -> Request {
+    match rng.index(3) {
+        0 => Request::Hello {
+            mode: if rng.bool() {
+                CacheMode::Warm
+            } else {
+                CacheMode::Cold
+            },
+        },
+        1 => Request::Query(QuerySpec {
+            session: rng.next_u64(),
+            algo: rng_algo(rng),
+            pat_pct: rng.next_u32(),
+            prov_pct: rng.next_u32(),
+            deadline_nanos: rng.next_u64(),
+        }),
+        _ => Request::Close {
+            session: rng.next_u64(),
+        },
+    }
+}
+
+fn rng_response(rng: &mut SimRng) -> Response {
+    match rng.index(6) {
+        0 => Response::SessionOpened {
+            session: rng.next_u64(),
+        },
+        1 => Response::QueryOk {
+            results: rng.next_u64(),
+            stat: Box::new(rng_stat(rng)),
+        },
+        2 => Response::Overloaded {
+            queue_depth: rng.next_u32(),
+        },
+        3 => Response::DeadlineExceeded {
+            elapsed_nanos: rng.next_u64(),
+        },
+        4 => Response::SessionClosed {
+            drained_handles: rng.next_u64(),
+            leaked_handles: rng.next_u64(),
+        },
+        _ => Response::Error {
+            msg: rng_string(rng),
+        },
+    }
+}
+
+/// Bit-for-bit equality, treating f64 fields as bit patterns (plain
+/// `==` would make NaN unequal to itself).
+fn stat_bits_eq(a: &Stat, b: &Stat) -> bool {
+    let f = |x: f64| x.to_bits();
+    a.numtest == b.numtest
+        && a.query == b.query
+        && a.database == b.database
+        && a.cluster == b.cluster
+        && a.algo == b.algo
+        && a.system == b.system
+        && a.cc_pagefaults == b.cc_pagefaults
+        && f(a.elapsed_time) == f(b.elapsed_time)
+        && a.rpcs_number == b.rpcs_number
+        && f(a.rpcs_total_mb) == f(b.rpcs_total_mb)
+        && a.d2sc_read_pages == b.d2sc_read_pages
+        && a.sc2cc_read_pages == b.sc2cc_read_pages
+        && f(a.cc_miss_rate) == f(b.cc_miss_rate)
+        && f(a.sc_miss_rate) == f(b.sc_miss_rate)
+        && a.operators == b.operators
+}
+
+fn response_bits_eq(a: &Response, b: &Response) -> bool {
+    match (a, b) {
+        (
+            Response::QueryOk {
+                results: ra,
+                stat: sa,
+            },
+            Response::QueryOk {
+                results: rb,
+                stat: sb,
+            },
+        ) => ra == rb && stat_bits_eq(sa, sb),
+        _ => a == b,
+    }
+}
+
+#[test]
+fn requests_round_trip_over_frames() {
+    let mut rng = SimRng::seed_from_u64(0x7071);
+    for _ in 0..500 {
+        let req = rng_request(&mut rng);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &req.encode()).unwrap();
+        let payload = read_frame(&mut &wire[..]).unwrap();
+        assert_eq!(Request::decode(&payload).unwrap(), req);
+    }
+}
+
+#[test]
+fn responses_round_trip_over_frames() {
+    let mut rng = SimRng::seed_from_u64(0x7072);
+    for _ in 0..300 {
+        let resp = rng_response(&mut rng);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &resp.encode()).unwrap();
+        let payload = read_frame(&mut &wire[..]).unwrap();
+        let back = Response::decode(&payload).unwrap();
+        assert!(
+            response_bits_eq(&back, &resp),
+            "mismatch: {resp:?} vs {back:?}"
+        );
+    }
+}
+
+#[test]
+fn every_strict_payload_prefix_fails_to_decode() {
+    let mut rng = SimRng::seed_from_u64(0x7073);
+    for _ in 0..40 {
+        let resp = rng_response(&mut rng);
+        let payload = resp.encode();
+        for cut in 0..payload.len() {
+            let err =
+                Response::decode(&payload[..cut]).expect_err("a strict prefix must not decode");
+            assert!(
+                matches!(err, DecodeError::Truncated | DecodeError::BadUtf8),
+                "prefix of len {cut}: unexpected {err:?}"
+            );
+        }
+        let req = rng_request(&mut rng);
+        let payload = req.encode();
+        for cut in 0..payload.len() {
+            Request::decode(&payload[..cut]).expect_err("a strict prefix must not decode");
+        }
+    }
+}
+
+#[test]
+fn trailing_garbage_is_rejected() {
+    let mut rng = SimRng::seed_from_u64(0x7074);
+    for _ in 0..40 {
+        let mut payload = rng_response(&mut rng).encode();
+        payload.push(0);
+        assert_eq!(Response::decode(&payload), Err(DecodeError::TrailingBytes));
+    }
+}
+
+#[test]
+fn truncated_frames_and_oversized_headers_are_typed_errors() {
+    let mut wire = Vec::new();
+    write_frame(&mut wire, b"payload-bytes").unwrap();
+    // Every strict prefix of the frame is Truncated (or Closed for the
+    // empty prefix).
+    assert!(matches!(
+        read_frame(&mut &wire[..0]),
+        Err(FrameError::Closed)
+    ));
+    for cut in 1..wire.len() {
+        assert!(
+            matches!(read_frame(&mut &wire[..cut]), Err(FrameError::Truncated)),
+            "cut at {cut}"
+        );
+    }
+    // An oversized header is rejected before allocation.
+    let huge = ((MAX_FRAME + 1) as u32).to_le_bytes();
+    match read_frame(&mut &huge[..]) {
+        Err(FrameError::TooLarge(n)) => assert_eq!(n, (MAX_FRAME + 1) as u64),
+        other => panic!("expected TooLarge, got {other:?}"),
+    }
+    // Writing an oversized payload is refused up front.
+    let big = vec![0u8; MAX_FRAME + 1];
+    assert!(matches!(
+        write_frame(&mut Vec::new(), &big),
+        Err(FrameError::TooLarge(_))
+    ));
+}
+
+#[test]
+fn random_garbage_never_panics_the_decoder() {
+    let mut rng = SimRng::seed_from_u64(0x7075);
+    for _ in 0..2000 {
+        let mut junk = vec![0u8; rng.index(200)];
+        rng.fill_bytes(&mut junk);
+        let _ = Request::decode(&junk);
+        let _ = Response::decode(&junk);
+    }
+}

@@ -1,0 +1,437 @@
+//! Latency accounting for the serving experiment: a log-scaled
+//! histogram and the summary record the load generator exports.
+//!
+//! The histogram is HDR-style: values (nanoseconds) land in buckets
+//! that are linear within an octave and geometric across octaves —
+//! [`SUB_BUCKETS`] sub-buckets per power of two, so any recorded value
+//! is off by at most `1/SUB_BUCKETS` of itself (~3%) while the whole
+//! `u64` range fits in a couple of thousand counters. Percentiles come
+//! from bucket midpoints; min/max/mean are tracked exactly.
+//!
+//! [`LatencyStat`] deliberately stores only integers (nanoseconds and
+//! counts), so its CSV export round-trips *exactly* — the same
+//! discipline the per-operator CSV uses (`export.rs`).
+
+use std::fmt::Write as _;
+
+/// Sub-buckets per octave (power of two). 32 gives ≤3.2% relative
+/// error per recorded value.
+pub const SUB_BUCKETS: u64 = 32;
+const SUB_BITS: u32 = SUB_BUCKETS.trailing_zeros();
+const BUCKETS: usize = ((64 - SUB_BITS as usize) + 1) * SUB_BUCKETS as usize;
+
+/// Log-scaled histogram of nanosecond values.
+#[derive(Clone)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn bucket_of(v: u64) -> usize {
+    if v < SUB_BUCKETS {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let shift = msb - SUB_BITS;
+    ((shift as u64 * SUB_BUCKETS) + (v >> shift)) as usize
+}
+
+/// Midpoint of a bucket's value range (its representative value).
+fn bucket_mid(index: usize) -> u64 {
+    let index = index as u64;
+    if index < 2 * SUB_BUCKETS {
+        // Octaves 0..=SUB_BITS: buckets are single values / width 1.
+        return index;
+    }
+    let shift = index / SUB_BUCKETS - 1;
+    let s = index - shift * SUB_BUCKETS;
+    let low = s << shift;
+    low + (1u64 << shift) / 2
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one value (nanoseconds).
+    pub fn record(&mut self, nanos: u64) {
+        self.counts[bucket_of(nanos)] += 1;
+        self.total += 1;
+        self.sum += nanos as u128;
+        self.min = self.min.min(nanos);
+        self.max = self.max.max(nanos);
+    }
+
+    /// Values recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Smallest recorded value (0 if empty).
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact mean of recorded values (0 if empty).
+    pub fn mean(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            (self.sum / self.total as u128) as u64
+        }
+    }
+
+    /// Value at quantile `q` in `[0, 1]`: the midpoint of the bucket
+    /// holding the `ceil(q·count)`-th smallest recording, clamped to
+    /// the exact observed min/max. 0 if empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_mid(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds another histogram in (per-thread histograms merge into
+    /// one report).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// One serving run's summary: configuration, outcome counts, and the
+/// latency distribution of successful queries. All fields are integers
+/// so the CSV export round-trips exactly; derived rates are methods.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LatencyStat {
+    /// What ran (e.g. `"CHJ pat=10 prov=90 cold"`).
+    pub label: String,
+    /// Closed-loop client threads.
+    pub concurrency: u32,
+    /// Server worker threads.
+    pub workers: u32,
+    /// Admission-queue depth.
+    pub queue_depth: u32,
+    /// Wall-clock duration of the run, nanoseconds.
+    pub duration_nanos: u64,
+    /// Queries answered `QueryOk`.
+    pub queries_ok: u64,
+    /// Queries shed by admission control.
+    pub queries_shed: u64,
+    /// Queries cancelled by their deadline.
+    pub deadline_exceeded: u64,
+    /// Queries answered with a protocol/server error.
+    pub errors: u64,
+    /// Fastest successful query, nanoseconds.
+    pub min_nanos: u64,
+    /// Mean successful-query latency, nanoseconds.
+    pub mean_nanos: u64,
+    /// Median, nanoseconds.
+    pub p50_nanos: u64,
+    /// 95th percentile, nanoseconds.
+    pub p95_nanos: u64,
+    /// 99th percentile, nanoseconds.
+    pub p99_nanos: u64,
+    /// Slowest successful query, nanoseconds.
+    pub max_nanos: u64,
+}
+
+impl LatencyStat {
+    /// Builds the summary from a run's histogram and outcome counts.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_histogram(
+        label: impl Into<String>,
+        concurrency: u32,
+        workers: u32,
+        queue_depth: u32,
+        duration_nanos: u64,
+        hist: &LogHistogram,
+        queries_shed: u64,
+        deadline_exceeded: u64,
+        errors: u64,
+    ) -> Self {
+        Self {
+            label: label.into(),
+            concurrency,
+            workers,
+            queue_depth,
+            duration_nanos,
+            queries_ok: hist.count(),
+            queries_shed,
+            deadline_exceeded,
+            errors,
+            min_nanos: hist.min(),
+            mean_nanos: hist.mean(),
+            p50_nanos: hist.quantile(0.50),
+            p95_nanos: hist.quantile(0.95),
+            p99_nanos: hist.quantile(0.99),
+            max_nanos: hist.max(),
+        }
+    }
+
+    /// Completed queries per wall-clock second.
+    pub fn throughput_qps(&self) -> f64 {
+        if self.duration_nanos == 0 {
+            return 0.0;
+        }
+        self.queries_ok as f64 / (self.duration_nanos as f64 / 1e9)
+    }
+
+    /// Fraction of arrivals shed by admission control.
+    pub fn shed_rate(&self) -> f64 {
+        let arrivals = self.queries_ok + self.queries_shed + self.deadline_exceeded + self.errors;
+        if arrivals == 0 {
+            return 0.0;
+        }
+        self.queries_shed as f64 / arrivals as f64
+    }
+}
+
+/// Header of the latency CSV, shared by writer and parser.
+const LATENCY_CSV_HEADER: &str = "label,concurrency,workers,queue_depth,duration_ns,\
+     ok,shed,deadline_exceeded,errors,min_ns,mean_ns,p50_ns,p95_ns,p99_ns,max_ns";
+
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Renders latency summaries as CSV (integer nanoseconds throughout,
+/// so [`parse_latency_csv`] recovers them exactly).
+pub fn to_latency_csv<'a>(stats: impl IntoIterator<Item = &'a LatencyStat>) -> String {
+    let mut out = String::new();
+    out.push_str(LATENCY_CSV_HEADER);
+    out.push('\n');
+    for s in stats {
+        writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            csv_field(&s.label),
+            s.concurrency,
+            s.workers,
+            s.queue_depth,
+            s.duration_nanos,
+            s.queries_ok,
+            s.queries_shed,
+            s.deadline_exceeded,
+            s.errors,
+            s.min_nanos,
+            s.mean_nanos,
+            s.p50_nanos,
+            s.p95_nanos,
+            s.p99_nanos,
+            s.max_nanos,
+        )
+        .expect("writing to a String cannot fail");
+    }
+    out
+}
+
+fn split_csv_line(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes && chars.peek() == Some(&'"') => {
+                cur.push('"');
+                chars.next();
+            }
+            '"' => in_quotes = !in_quotes,
+            ',' if !in_quotes => fields.push(std::mem::take(&mut cur)),
+            _ => cur.push(c),
+        }
+    }
+    fields.push(cur);
+    fields
+}
+
+/// Parses [`to_latency_csv`] output back. Returns `None` on a header
+/// mismatch or malformed row — our own exports only, like the
+/// operator-CSV parser.
+pub fn parse_latency_csv(csv: &str) -> Option<Vec<LatencyStat>> {
+    let mut lines = csv.lines();
+    if lines.next()? != LATENCY_CSV_HEADER {
+        return None;
+    }
+    let mut rows = Vec::new();
+    for line in lines {
+        let f = split_csv_line(line);
+        if f.len() != 15 {
+            return None;
+        }
+        let num = |i: usize| f[i].parse::<u64>().ok();
+        rows.push(LatencyStat {
+            label: f[0].clone(),
+            concurrency: f[1].parse().ok()?,
+            workers: f[2].parse().ok()?,
+            queue_depth: f[3].parse().ok()?,
+            duration_nanos: num(4)?,
+            queries_ok: num(5)?,
+            queries_shed: num(6)?,
+            deadline_exceeded: num(7)?,
+            errors: num(8)?,
+            min_nanos: num(9)?,
+            mean_nanos: num(10)?,
+            p50_nanos: num(11)?,
+            p95_nanos: num(12)?,
+            p99_nanos: num(13)?,
+            max_nanos: num(14)?,
+        });
+    }
+    Some(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_contiguous_and_monotone() {
+        let mut prev = 0;
+        for v in (0..4096u64).chain([1 << 20, (1 << 20) + 1, u64::MAX / 2, u64::MAX]) {
+            let b = bucket_of(v);
+            assert!(b < BUCKETS, "bucket {b} out of range for {v}");
+            assert!(b >= prev || v < 4096, "non-monotone at {v}");
+            if v < 4096 {
+                prev = prev.max(b);
+            }
+        }
+        // Exact buckets below SUB_BUCKETS.
+        for v in 0..SUB_BUCKETS {
+            assert_eq!(bucket_mid(bucket_of(v)), v);
+        }
+    }
+
+    #[test]
+    fn quantiles_track_recorded_values_within_bucket_error() {
+        let mut h = LogHistogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v * 1000);
+        }
+        assert_eq!(h.count(), 10_000);
+        assert_eq!(h.min(), 1000);
+        assert_eq!(h.max(), 10_000_000);
+        for (q, expect) in [(0.5, 5_000_000.0), (0.95, 9_500_000.0), (0.99, 9_900_000.0)] {
+            let got = h.quantile(q) as f64;
+            let err = (got - expect).abs() / expect;
+            assert!(err < 0.04, "q{q}: got {got}, want ~{expect} (err {err:.3})");
+        }
+        // Mean is exact.
+        assert_eq!(h.mean(), 5_000_500);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0);
+        assert_eq!(h.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut both = LogHistogram::new();
+        for v in [3u64, 77, 1_000_000, 123_456_789] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [1u64, 500, 2_000_000_000] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), both.count());
+        assert_eq!(a.min(), both.min());
+        assert_eq!(a.max(), both.max());
+        assert_eq!(a.mean(), both.mean());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile(q), both.quantile(q));
+        }
+    }
+
+    #[test]
+    fn latency_csv_round_trips_exactly() {
+        let mut h = LogHistogram::new();
+        for v in [10_000u64, 20_000, 40_000, 80_000, 160_000] {
+            h.record(v);
+        }
+        let stats = vec![
+            LatencyStat::from_histogram(
+                "CHJ pat=10, prov=90",
+                8,
+                4,
+                16,
+                2_000_000_000,
+                &h,
+                3,
+                1,
+                0,
+            ),
+            LatencyStat::default(),
+        ];
+        let csv = to_latency_csv(&stats);
+        let parsed = parse_latency_csv(&csv).expect("own export must parse");
+        assert_eq!(parsed, stats);
+        // The quoted-comma label survived.
+        assert_eq!(parsed[0].label, "CHJ pat=10, prov=90");
+        // Derived rates behave.
+        assert!(parsed[0].throughput_qps() > 0.0);
+        assert!((parsed[0].shed_rate() - 3.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn foreign_csv_is_rejected() {
+        assert!(parse_latency_csv("nope\n1,2,3").is_none());
+        let mut csv = String::from(LATENCY_CSV_HEADER);
+        csv.push_str("\nonly,three,fields\n");
+        assert!(parse_latency_csv(&csv).is_none());
+    }
+}

@@ -16,6 +16,10 @@
 # byte-identical at any job count — this script only measures the host
 # side: wall clock and peak RSS.
 #
+# A closed-loop serving run (the tq-server load generator) is also
+# recorded, into BENCH_serve.json: throughput, latency percentiles,
+# and shed rate at TQ_CONCURRENCY=8 over <ncores> workers.
+#
 # Usage:  scripts/bench.sh [out.json]          (default: BENCH_harness.json)
 #   TQ_BENCH_SMOKE_SCALE=200 TQ_BENCH_PAPER_SCALE=1 scripts/bench.sh
 #   TQ_BENCH_SKIP_PAPER=1 scripts/bench.sh     (CI: smoke scale only)
@@ -71,6 +75,11 @@ for scale in $SCALES; do
             ./target/release/fig11_14_joins --db db2 --org class
     done
 done
+
+echo "== serving run (loadgen, TQ_CONCURRENCY=8, ${TQ_DURATION:-2}s) =="
+TQ_SCALE="$SMOKE_SCALE" TQ_JOBS="$NCORES" TQ_CONCURRENCY="${TQ_CONCURRENCY:-8}" \
+    TQ_DURATION="${TQ_DURATION:-2}" \
+    ./target/release/loadgen --json BENCH_serve.json
 
 {
     echo "{"

@@ -43,4 +43,17 @@ TQ_SCALE=200 TQ_JOBS=2 \
 SMOKE_T1=$(date +%s%N)
 echo "smoke figure wall clock: $(( (SMOKE_T1 - SMOKE_T0) / 1000000 )) ms"
 
+echo "== smoke serve (TQ_SCALE=200, TQ_CONCURRENCY=4, 2s) =="
+# loadgen itself exits non-zero on any serving error or leaked handle;
+# on top of that, check the latency CSV on stdout is well formed.
+SERVE_CSV=$(TQ_SCALE=200 TQ_JOBS=2 TQ_CONCURRENCY=4 TQ_DURATION=2 \
+    cargo run --release -p tq-bench --bin loadgen)
+echo "$SERVE_CSV"
+echo "$SERVE_CSV" | grep -q \
+    '^label,concurrency,workers,queue_depth,duration_ns,ok,shed,deadline_exceeded,errors,' \
+    || { echo "error: loadgen latency-CSV header missing" >&2; exit 1; }
+SERVE_ROWS=$(echo "$SERVE_CSV" | awk -F, '/^label,/{h=1;next} h && NF==15' | wc -l)
+[ "$SERVE_ROWS" -eq 1 ] \
+    || { echo "error: expected 1 well-formed latency-CSV row, got $SERVE_ROWS" >&2; exit 1; }
+
 echo "verify: OK"

@@ -30,6 +30,8 @@ fn main() {
             env::ENV_CONCURRENCY,
             env::ENV_DURATION,
             env::ENV_QUEUE_DEPTH,
+            env::ENV_WRITE_MIX,
+            env::ENV_WARMUP_MS,
         ],
     );
     let args: Vec<String> = std::env::args().collect();
@@ -89,22 +91,39 @@ fn main() {
     let concurrency = or_exit(env::concurrency_from_env());
     let duration_secs = or_exit(env::duration_secs_from_env());
     let queue_depth = or_exit(env::queue_depth_from_env());
+    let write_mix = or_exit(env::write_mix_from_env());
+    let duration = Duration::from_secs(duration_secs as u64);
+    let warmup = match env::warmup_ms_from_env() {
+        Ok(Some(ms)) => Duration::from_millis(ms),
+        Ok(None) => duration / 5,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
 
     let db = tq_bench::build_db(shape, org, scale);
     let cfg = ServeConfig {
         concurrency,
         workers: jobs,
         queue_depth: queue_depth as usize,
-        duration: Duration::from_secs(duration_secs as u64),
+        duration,
+        warmup,
         mode,
         algo,
         pat_pct,
         prov_pct,
         deadline_nanos,
+        write_mix,
     };
     eprintln!(
-        "serving: {} clients -> {} workers (queue depth {}), {}s...",
-        cfg.concurrency, cfg.workers, cfg.queue_depth, duration_secs
+        "serving: {} clients -> {} workers (queue depth {}), {}s ({}ms warmup, {}% writes)...",
+        cfg.concurrency,
+        cfg.workers,
+        cfg.queue_depth,
+        duration_secs,
+        warmup.as_millis(),
+        write_mix
     );
     let outcome = run_serve(db, &cfg);
     let s = &outcome.stat;
@@ -128,6 +147,14 @@ fn main() {
         s.errors,
         outcome.leaked_handles,
     );
+    if s.commits + s.aborts > 0 {
+        println!(
+            "writes: {} committed  {} aborted ({:.1}% abort rate)",
+            s.commits,
+            s.aborts,
+            s.abort_rate() * 100.0
+        );
+    }
     println!("{}", to_latency_csv([s]));
     if let Some(path) = args
         .iter()
@@ -159,7 +186,8 @@ fn json_record(outcome: &tq_bench::ServeOutcome, scale: u32, org: Organization) 
         "{{\n  \"label\": \"{}\",\n  \"organization\": \"{}\",\n  \"scale\": {},\n  \
          \"concurrency\": {},\n  \"workers\": {},\n  \"queue_depth\": {},\n  \
          \"duration_ns\": {},\n  \"queries_ok\": {},\n  \"queries_shed\": {},\n  \
-         \"deadline_exceeded\": {},\n  \"errors\": {},\n  \"leaked_handles\": {},\n  \
+         \"deadline_exceeded\": {},\n  \"errors\": {},\n  \"commits\": {},\n  \
+         \"aborts\": {},\n  \"abort_rate\": {:.3},\n  \"leaked_handles\": {},\n  \
          \"throughput_qps\": {:.3},\n  \"p50_ns\": {},\n  \"p95_ns\": {},\n  \
          \"p99_ns\": {},\n  \"max_ns\": {}\n}}\n",
         s.label,
@@ -173,6 +201,9 @@ fn json_record(outcome: &tq_bench::ServeOutcome, scale: u32, org: Organization) 
         s.queries_shed,
         s.deadline_exceeded,
         s.errors,
+        s.commits,
+        s.aborts,
+        s.abort_rate(),
         outcome.leaked_handles,
         s.throughput_qps(),
         s.p50_nanos,

@@ -40,9 +40,44 @@ pub fn duration_secs_from_env() -> Result<u32, String> {
 }
 
 /// Reads the admission-queue depth from `TQ_QUEUE_DEPTH` (default 16)
-/// — loadgen only.
+/// — loadgen only. `0` is a *meaningful* depth, not an error: it is
+/// the strictest admission policy (shed unless a worker is idle — see
+/// `tq_server::sched`), so this knob parses non-negative.
 pub fn queue_depth_from_env() -> Result<u32, String> {
-    positive_from_env("TQ_QUEUE_DEPTH", 16, "the admission queue depth")
+    non_negative_from_env("TQ_QUEUE_DEPTH", 16, "the admission queue depth")
+}
+
+/// Reads the write percentage for mixed workloads from `TQ_WRITE_MIX`
+/// (default 0 = read-only) — loadgen only. Each closed-loop client
+/// flips a seeded coin per iteration: with probability `n`% it runs a
+/// write transaction (update + commit) instead of a query.
+pub fn write_mix_from_env() -> Result<u32, String> {
+    let n = non_negative_from_env("TQ_WRITE_MIX", 0, "the write percentage")?;
+    if n > 100 {
+        return Err(format!(
+            "TQ_WRITE_MIX (the write percentage) must be in 0..=100, got {n}"
+        ));
+    }
+    Ok(n)
+}
+
+/// Reads the warmup window in wall-clock milliseconds from
+/// `TQ_WARMUP_MS` — loadgen only. `None` when unset (the load
+/// generator then defaults to a fifth of the run duration). Samples
+/// inside the warmup window are discarded: they measure cold caches
+/// and thread spin-up, not steady state, and counting them inflates
+/// early-run throughput.
+pub fn warmup_ms_from_env() -> Result<Option<u64>, String> {
+    match std::env::var("TQ_WARMUP_MS") {
+        Err(_) => Ok(None),
+        Ok(raw) => match raw.parse::<u64>() {
+            Ok(ms) => Ok(Some(ms)),
+            Err(_) => Err(format!(
+                "TQ_WARMUP_MS (the warmup window) must be a non-negative integer \
+                 of milliseconds, got {raw:?}"
+            )),
+        },
+    }
 }
 
 /// Shared parser: a positive integer from `var`, or `default` when
@@ -56,6 +91,17 @@ pub fn positive_from_env(var: &str, default: u32, what: &str) -> Result<u32, Str
                 "{var} ({what}) must be a positive integer, got {raw:?}"
             )),
         },
+    }
+}
+
+/// Shared parser: a non-negative integer from `var`, or `default` when
+/// unset (for knobs where 0 is a meaningful value, not a typo).
+pub fn non_negative_from_env(var: &str, default: u32, what: &str) -> Result<u32, String> {
+    match std::env::var(var) {
+        Err(_) => Ok(default),
+        Ok(raw) => raw
+            .parse::<u32>()
+            .map_err(|_| format!("{var} ({what}) must be a non-negative integer, got {raw:?}")),
     }
 }
 
@@ -90,7 +136,17 @@ pub const ENV_DURATION: EnvDoc = (
 /// `TQ_QUEUE_DEPTH` help row.
 pub const ENV_QUEUE_DEPTH: EnvDoc = (
     "TQ_QUEUE_DEPTH",
-    "admission-queue depth; arrivals beyond it are shed; default 16",
+    "admission-queue depth; arrivals beyond it are shed; 0 = shed unless a worker is idle; default 16",
+);
+/// `TQ_WRITE_MIX` help row.
+pub const ENV_WRITE_MIX: EnvDoc = (
+    "TQ_WRITE_MIX",
+    "percent of client iterations that run a write transaction (update+commit); default 0",
+);
+/// `TQ_WARMUP_MS` help row.
+pub const ENV_WARMUP_MS: EnvDoc = (
+    "TQ_WARMUP_MS",
+    "warmup window in ms, excluded from throughput/latency; default: duration/5",
 );
 
 /// Standard `--help`/`-h` handling: when present in the arguments,
@@ -126,7 +182,6 @@ mod tests {
                 8,
             ),
             ("TQ_DURATION", duration_secs_from_env, 2),
-            ("TQ_QUEUE_DEPTH", queue_depth_from_env, 16),
         ] {
             std::env::remove_var(var);
             assert_eq!(parse(), Ok(default));
@@ -139,5 +194,47 @@ mod tests {
             assert!(parse().is_err());
             std::env::remove_var(var);
         }
+
+        // TQ_QUEUE_DEPTH: 0 is the shed-unless-idle policy, a *valid*
+        // configuration — it must parse, not error or silently clamp.
+        std::env::remove_var("TQ_QUEUE_DEPTH");
+        assert_eq!(queue_depth_from_env(), Ok(16));
+        std::env::set_var("TQ_QUEUE_DEPTH", "0");
+        assert_eq!(queue_depth_from_env(), Ok(0), "depth 0 is shed-unless-idle");
+        std::env::set_var("TQ_QUEUE_DEPTH", "7");
+        assert_eq!(queue_depth_from_env(), Ok(7));
+        std::env::set_var("TQ_QUEUE_DEPTH", "-1");
+        assert!(queue_depth_from_env().is_err());
+        std::env::set_var("TQ_QUEUE_DEPTH", "deep");
+        let err = queue_depth_from_env().unwrap_err();
+        assert!(err.contains("TQ_QUEUE_DEPTH") && err.contains("non-negative"));
+        std::env::remove_var("TQ_QUEUE_DEPTH");
+
+        // TQ_WRITE_MIX: a percentage, 0 included, 100 the ceiling.
+        std::env::remove_var("TQ_WRITE_MIX");
+        assert_eq!(write_mix_from_env(), Ok(0));
+        std::env::set_var("TQ_WRITE_MIX", "0");
+        assert_eq!(write_mix_from_env(), Ok(0));
+        std::env::set_var("TQ_WRITE_MIX", "30");
+        assert_eq!(write_mix_from_env(), Ok(30));
+        std::env::set_var("TQ_WRITE_MIX", "100");
+        assert_eq!(write_mix_from_env(), Ok(100));
+        std::env::set_var("TQ_WRITE_MIX", "101");
+        assert!(write_mix_from_env().unwrap_err().contains("0..=100"));
+        std::env::set_var("TQ_WRITE_MIX", "many");
+        assert!(write_mix_from_env().is_err());
+        std::env::remove_var("TQ_WRITE_MIX");
+
+        // TQ_WARMUP_MS: unset means "derive from duration", 0 means
+        // "no warmup", any other integer is taken literally.
+        std::env::remove_var("TQ_WARMUP_MS");
+        assert_eq!(warmup_ms_from_env(), Ok(None));
+        std::env::set_var("TQ_WARMUP_MS", "0");
+        assert_eq!(warmup_ms_from_env(), Ok(Some(0)));
+        std::env::set_var("TQ_WARMUP_MS", "250");
+        assert_eq!(warmup_ms_from_env(), Ok(Some(250)));
+        std::env::set_var("TQ_WARMUP_MS", "soon");
+        assert!(warmup_ms_from_env().is_err());
+        std::env::remove_var("TQ_WARMUP_MS");
     }
 }

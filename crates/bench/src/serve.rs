@@ -10,6 +10,19 @@
 //! and (once concurrency outruns `workers + queue_depth`) the shed
 //! rate. The `loadgen` binary is a thin CLI over [`run_serve`]; the
 //! serving smoke test calls it directly.
+//!
+//! Two refinements over the naive loop:
+//!
+//! * **Warmup exclusion.** Samples taken inside the warmup window
+//!   measure thread spin-up and cold caches, not steady state; they are
+//!   discarded entirely, and the exported duration (the throughput
+//!   denominator) is the *measured* window only.
+//! * **Write mix.** With `write_mix > 0`, each client flips a seeded
+//!   coin per iteration: heads runs a write transaction (one update
+//!   statement + commit) instead of a query. A commit losing
+//!   first-committer-wins validation counts as an *abort* — a distinct
+//!   outcome column, never folded into ok or errors, so the abort rate
+//!   under contention is a first-class result.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -17,8 +30,9 @@ use std::time::{Duration, Instant};
 
 use tq_query::JoinAlgo;
 use tq_server::{
-    CacheMode, Client, QuerySpec, Response, Server, ServerConfig, ServerStatsSnapshot,
+    CacheMode, Client, QuerySpec, Response, Server, ServerConfig, ServerStatsSnapshot, UpdateTarget,
 };
+use tq_simrng::SimRng;
 use tq_statsdb::{LatencyStat, LogHistogram};
 use tq_workload::Database;
 
@@ -29,10 +43,13 @@ pub struct ServeConfig {
     pub concurrency: u32,
     /// Server worker threads.
     pub workers: usize,
-    /// Admission-queue depth.
+    /// Admission-queue depth (0 = shed unless a worker is idle).
     pub queue_depth: usize,
-    /// Wall-clock duration to drive load for.
+    /// Wall-clock duration to drive load for (warmup included).
     pub duration: Duration,
+    /// Leading window whose samples are discarded (spin-up, cold
+    /// caches). Clamped to `duration`.
+    pub warmup: Duration,
     /// Cache discipline of every session.
     pub mode: CacheMode,
     /// The join every client runs.
@@ -43,14 +60,18 @@ pub struct ServeConfig {
     pub prov_pct: u32,
     /// Per-query simulated-time deadline in nanoseconds (0 = none).
     pub deadline_nanos: u64,
+    /// Percent of iterations that run a write transaction
+    /// (update + commit) instead of a query; 0 = read-only.
+    pub write_mix: u32,
 }
 
 /// What a serving run produced.
 #[derive(Clone, Debug)]
 pub struct ServeOutcome {
-    /// The exportable latency summary.
+    /// The exportable latency summary (measured window only).
     pub stat: LatencyStat,
-    /// The server's own counters for the run.
+    /// The server's own counters for the run (warmup included — the
+    /// server doesn't know about the client-side window).
     pub server: ServerStatsSnapshot,
     /// Handles still pinned at any session close (0 in a correct run).
     pub leaked_handles: u64,
@@ -62,6 +83,8 @@ struct ClientTally {
     shed: u64,
     deadline_exceeded: u64,
     errors: u64,
+    commits: u64,
+    aborts: u64,
     leaked: u64,
 }
 
@@ -76,6 +99,8 @@ pub fn run_serve(base: Database, cfg: &ServeConfig) -> ServeOutcome {
     );
     let stop = Arc::new(AtomicBool::new(false));
     let started = Instant::now();
+    let warmup = cfg.warmup.min(cfg.duration);
+    let measure_from = started + warmup;
     let clients: Vec<_> = (0..cfg.concurrency)
         .map(|i| {
             let conn = server.connect_in_proc();
@@ -83,36 +108,46 @@ pub fn run_serve(base: Database, cfg: &ServeConfig) -> ServeOutcome {
             let cfg = *cfg;
             std::thread::Builder::new()
                 .name(format!("tq-client-{i}"))
-                .spawn(move || client_loop(conn, &stop, &cfg))
+                .spawn(move || client_loop(conn, &stop, &cfg, measure_from, i))
                 .expect("spawn client")
         })
         .collect();
     std::thread::sleep(cfg.duration);
     stop.store(true, Ordering::Relaxed);
     let mut hist = LogHistogram::new();
-    let (mut shed, mut deadline_exceeded, mut errors, mut leaked) = (0, 0, 0, 0);
+    let (mut shed, mut deadline_exceeded, mut errors) = (0, 0, 0);
+    let (mut commits, mut aborts, mut leaked) = (0, 0, 0);
     for client in clients {
         let tally = client.join().expect("client thread");
         hist.merge(&tally.hist);
         shed += tally.shed;
         deadline_exceeded += tally.deadline_exceeded;
         errors += tally.errors;
+        commits += tally.commits;
+        aborts += tally.aborts;
         leaked += tally.leaked;
     }
-    // Clients have hung up; measure the actual driven window and fold
-    // the per-thread tallies into the exportable record.
-    let duration_nanos = started.elapsed().as_nanos() as u64;
+    // Clients have hung up; export the *measured* window (warmup
+    // excluded) — it is the throughput denominator, and counting the
+    // discarded spin-up span would overstate capacity.
+    let duration_nanos = started.elapsed().saturating_sub(warmup).as_nanos() as u64;
     let mode_label = match cfg.mode {
         CacheMode::Cold => "cold",
         CacheMode::Warm => "warm",
     };
+    let write_label = if cfg.write_mix > 0 {
+        format!(" write={}%", cfg.write_mix)
+    } else {
+        String::new()
+    };
     let stat = LatencyStat::from_histogram(
         format!(
-            "{} pat={} prov={} {}",
+            "{} pat={} prov={} {}{}",
             cfg.algo.label(),
             cfg.pat_pct,
             cfg.prov_pct,
-            mode_label
+            mode_label,
+            write_label
         ),
         cfg.concurrency,
         cfg.workers as u32,
@@ -122,6 +157,8 @@ pub fn run_serve(base: Database, cfg: &ServeConfig) -> ServeOutcome {
         shed,
         deadline_exceeded,
         errors,
+        commits,
+        aborts,
     );
     let server_stats = server.stats();
     server.shutdown();
@@ -132,14 +169,25 @@ pub fn run_serve(base: Database, cfg: &ServeConfig) -> ServeOutcome {
     }
 }
 
-fn client_loop(conn: tq_server::DuplexStream, stop: &AtomicBool, cfg: &ServeConfig) -> ClientTally {
+fn client_loop(
+    conn: tq_server::DuplexStream,
+    stop: &AtomicBool,
+    cfg: &ServeConfig,
+    measure_from: Instant,
+    client_index: u32,
+) -> ClientTally {
     let mut tally = ClientTally {
         hist: LogHistogram::new(),
         shed: 0,
         deadline_exceeded: 0,
         errors: 0,
+        commits: 0,
+        aborts: 0,
         leaked: 0,
     };
+    // Seeded per client: the read/write coin sequence is reproducible
+    // for a given concurrency, independent of scheduling.
+    let mut rng = SimRng::seed_from_u64(0xC11E47 ^ u64::from(client_index));
     let mut client = Client::new(conn);
     let session = match client.open_session(cfg.mode) {
         Ok(s) => s,
@@ -149,31 +197,108 @@ fn client_loop(conn: tq_server::DuplexStream, stop: &AtomicBool, cfg: &ServeConf
         }
     };
     while !stop.load(Ordering::Relaxed) {
+        let write = (rng.index(100) as u32) < cfg.write_mix;
         let t0 = Instant::now();
-        match client.query(QuerySpec {
-            session,
-            algo: cfg.algo,
-            pat_pct: cfg.pat_pct,
-            prov_pct: cfg.prov_pct,
-            deadline_nanos: cfg.deadline_nanos,
-        }) {
-            Ok(Response::QueryOk { .. }) => tally.hist.record(t0.elapsed().as_nanos() as u64),
-            Ok(Response::Overloaded { .. }) => {
-                tally.shed += 1;
-                // Closed-loop retry: yield so shed arrivals don't spin
-                // the dispatcher while the queue stays full.
-                std::thread::yield_now();
-            }
-            Ok(Response::DeadlineExceeded { .. }) => tally.deadline_exceeded += 1,
-            Ok(_) | Err(_) => {
-                tally.errors += 1;
-                return tally;
+        // Warmup samples are discarded entirely: neither the histogram
+        // nor the outcome counters see them (errors excepted — an
+        // error is a correctness failure whenever it happens).
+        let measured = t0 >= measure_from;
+        if write {
+            write_transaction(&mut client, session, cfg, measured, t0, &mut tally);
+        } else {
+            match client.query(QuerySpec {
+                session,
+                algo: cfg.algo,
+                pat_pct: cfg.pat_pct,
+                prov_pct: cfg.prov_pct,
+                deadline_nanos: cfg.deadline_nanos,
+            }) {
+                Ok(Response::QueryOk { .. }) => {
+                    if measured {
+                        tally.hist.record(t0.elapsed().as_nanos() as u64);
+                    }
+                }
+                Ok(Response::Overloaded { .. }) => {
+                    if measured {
+                        tally.shed += 1;
+                    }
+                    // Closed-loop retry: yield so shed arrivals don't
+                    // spin the dispatcher while the queue stays full.
+                    std::thread::yield_now();
+                }
+                Ok(Response::DeadlineExceeded { .. }) => {
+                    if measured {
+                        tally.deadline_exceeded += 1;
+                    }
+                }
+                Ok(_) | Err(_) => {
+                    tally.errors += 1;
+                    return tally;
+                }
             }
         }
     }
     match client.close_session(session) {
-        Ok((_drained, leaked)) => tally.leaked += leaked,
+        Ok((_drained, leaked, _uncommitted)) => tally.leaked += leaked,
         Err(_) => tally.errors += 1,
     }
     tally
+}
+
+/// One write transaction: a Patients num-update plus a commit, measured
+/// as a single latency sample. The num attribute is not a join key, so
+/// committed writes never perturb the read queries' result sets —
+/// contention is real (overlapping page sets) but reads stay stable.
+fn write_transaction<S: std::io::Read + std::io::Write>(
+    client: &mut Client<S>,
+    session: u64,
+    cfg: &ServeConfig,
+    measured: bool,
+    t0: Instant,
+    tally: &mut ClientTally,
+) {
+    match client.update(
+        session,
+        UpdateTarget::Patients,
+        cfg.pat_pct,
+        1,
+        cfg.deadline_nanos,
+    ) {
+        Ok(Response::UpdateOk { .. }) => {}
+        Ok(Response::Overloaded { .. }) => {
+            if measured {
+                tally.shed += 1;
+            }
+            std::thread::yield_now();
+            return;
+        }
+        Ok(Response::DeadlineExceeded { .. }) => {
+            // The session was refilled from its base: nothing to
+            // commit or roll back.
+            if measured {
+                tally.deadline_exceeded += 1;
+            }
+            return;
+        }
+        Ok(_) | Err(_) => {
+            tally.errors += 1;
+            return;
+        }
+    }
+    match client.commit(session) {
+        Ok(Response::Committed { .. }) => {
+            if measured {
+                tally.commits += 1;
+                tally.hist.record(t0.elapsed().as_nanos() as u64);
+            }
+        }
+        Ok(Response::Aborted { .. }) => {
+            // Validation working as designed, not an error; the server
+            // already rolled the session back and re-pinned it.
+            if measured {
+                tally.aborts += 1;
+            }
+        }
+        Ok(_) | Err(_) => tally.errors += 1,
+    }
 }

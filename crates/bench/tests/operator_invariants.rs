@@ -8,7 +8,33 @@ use tq_bench::harness::{build_db, join_spec, run_join_cell, stat_record};
 use tq_bench::JoinCell;
 use tq_query::join::{smj, JoinContext, JoinOptions};
 use tq_query::{JoinAlgo, OpKind};
+use tq_server::measure::{measure_update_current, update_stat_record};
+use tq_server::UpdateTarget;
+use tq_statsdb::Stat;
 use tq_workload::{Database, DbShape, Organization};
+
+/// Asserts a stored `Stat`'s operator rows reproduce its query-level
+/// fields — the invariant that makes the per-operator CSV trustworthy.
+fn check_stat_rows(stat: &Stat, what: &str) {
+    assert!(!stat.operators.is_empty(), "{what}: breakdown must export");
+    let d2sc: u64 = stat.operators.iter().map(|o| o.d2sc_read_pages).sum();
+    let sc2cc: u64 = stat.operators.iter().map(|o| o.sc2cc_read_pages).sum();
+    let misses: u64 = stat.operators.iter().map(|o| o.client_misses).sum();
+    let nanos: u64 = stat
+        .operators
+        .iter()
+        .map(|o| o.io_nanos + o.rpc_nanos + o.cpu_nanos + o.swap_nanos)
+        .sum();
+    assert_eq!(d2sc, stat.d2sc_read_pages, "{what}: d2sc_read_pages");
+    assert_eq!(sc2cc, stat.sc2cc_read_pages, "{what}: sc2cc_read_pages");
+    assert_eq!(sc2cc, stat.rpcs_number, "{what}: rpcs_number");
+    assert_eq!(misses, stat.cc_pagefaults, "{what}: cc_pagefaults");
+    assert_eq!(
+        nanos as f64 / 1e9,
+        stat.elapsed_time,
+        "{what}: elapsed_time"
+    );
+}
 
 /// Asserts one measured cell's trace sums to its run-wide counters and
 /// that its `Stat` record's operator rows reproduce the query fields.
@@ -29,25 +55,7 @@ fn check_cell(db: &Database, cell: &JoinCell, pat: u32, prov: u32, what: &str) {
         "{what}: no counters may land outside operator scopes"
     );
     // And the same invariant on the stored record.
-    let stat = stat_record(db, cell, pat, prov);
-    assert!(!stat.operators.is_empty(), "{what}: breakdown must export");
-    let d2sc: u64 = stat.operators.iter().map(|o| o.d2sc_read_pages).sum();
-    let sc2cc: u64 = stat.operators.iter().map(|o| o.sc2cc_read_pages).sum();
-    let misses: u64 = stat.operators.iter().map(|o| o.client_misses).sum();
-    let nanos: u64 = stat
-        .operators
-        .iter()
-        .map(|o| o.io_nanos + o.rpc_nanos + o.cpu_nanos + o.swap_nanos)
-        .sum();
-    assert_eq!(d2sc, stat.d2sc_read_pages, "{what}: d2sc_read_pages");
-    assert_eq!(sc2cc, stat.sc2cc_read_pages, "{what}: sc2cc_read_pages");
-    assert_eq!(sc2cc, stat.rpcs_number, "{what}: rpcs_number");
-    assert_eq!(misses, stat.cc_pagefaults, "{what}: cc_pagefaults");
-    assert_eq!(
-        nanos as f64 / 1e9,
-        stat.elapsed_time,
-        "{what}: elapsed_time"
-    );
+    check_stat_rows(&stat_record(db, cell, pat, prov), what);
 }
 
 #[test]
@@ -113,4 +121,53 @@ fn sort_merge_join_trace_sums_to_its_window() {
     assert!(report.trace.find(OpKind::Sort).is_some());
     assert!(report.trace.find(OpKind::Merge).is_some());
     assert!(report.trace.find(OpKind::Other).is_none());
+}
+
+#[test]
+fn update_statements_sum_to_their_stat() {
+    // The same attribution invariant for write statements: the update
+    // executor's trace (IndexRangeScan feeding Update, plus the
+    // teardown drain) must account for every counter in its window,
+    // and the exported `Stat` (algo "UPDATE") must reproduce the sums.
+    for org in [
+        Organization::ClassClustered,
+        Organization::Randomized,
+        Organization::Composition,
+    ] {
+        let master = build_db(DbShape::Db2, org, 1000);
+        for (target, sel, delta) in [
+            (UpdateTarget::Patients, 10, 5),  // re-keys the num index
+            (UpdateTarget::Patients, 100, 0), // touch-update, full range
+            (UpdateTarget::Providers, 50, 0), // touch-update, other extent
+        ] {
+            let mut db = master.clone();
+            let cell = measure_update_current(&mut db, target, sel, delta, None);
+            let what = format!("{org:?}/{target:?} sel={sel} delta={delta}");
+            assert!(cell.outcome.updated > 0, "{what}: matched no rows");
+            assert_eq!(
+                cell.outcome.updated, cell.outcome.scanned,
+                "{what}: every scanned row is rewritten"
+            );
+
+            let total = cell.outcome.trace.total();
+            assert_eq!(total.io, cell.io, "{what}: I/O counters must sum exactly");
+            assert_eq!(
+                total.elapsed_secs(),
+                cell.secs,
+                "{what}: elapsed time must be fully attributed"
+            );
+            assert!(
+                cell.outcome.trace.find(OpKind::Other).is_none(),
+                "{what}: no counters may land outside operator scopes"
+            );
+            assert!(
+                cell.outcome.trace.find(OpKind::Update).is_some(),
+                "{what}: the statement's own operator row must exist"
+            );
+
+            let stat = update_stat_record(&db, &cell, sel, delta, true);
+            assert_eq!(stat.algo, "UPDATE");
+            check_stat_rows(&stat, &what);
+        }
+    }
 }

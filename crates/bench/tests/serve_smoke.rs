@@ -18,11 +18,15 @@ fn closed_loop_serve_smoke() {
         workers: 2,
         queue_depth: 4,
         duration: Duration::from_millis(300),
+        // No warmup: with every sample measured, the client tally must
+        // agree exactly with the server's own counters below.
+        warmup: Duration::ZERO,
         mode: CacheMode::Warm,
         algo: JoinAlgo::Chj,
         pat_pct: 10,
         prov_pct: 90,
         deadline_nanos: 0,
+        write_mix: 0,
     };
     let outcome = tq_bench::run_serve(base, &cfg);
 
@@ -48,6 +52,49 @@ fn closed_loop_serve_smoke() {
     assert!(s.p99_nanos <= s.max_nanos);
 
     // The CSV export is exact: all-integer fields, lossless round trip.
+    let csv = to_latency_csv(std::slice::from_ref(s));
+    let back = parse_latency_csv(&csv).expect("latency CSV re-parses");
+    assert_eq!(back, vec![s.clone()]);
+
+    // A read-only run reports a well-formed, empty write column.
+    assert_eq!(s.commits, 0);
+    assert_eq!(s.aborts, 0);
+    assert_eq!(s.abort_rate(), 0.0);
+}
+
+#[test]
+fn mixed_read_write_serve_smoke() {
+    let base = build_db(DbShape::Db2, Organization::ClassClustered, 300);
+    let cfg = ServeConfig {
+        concurrency: 4,
+        workers: 2,
+        queue_depth: 4,
+        duration: Duration::from_millis(400),
+        warmup: Duration::ZERO,
+        mode: CacheMode::Warm,
+        algo: JoinAlgo::Chj,
+        pat_pct: 10,
+        prov_pct: 90,
+        deadline_nanos: 0,
+        write_mix: 50,
+    };
+    let outcome = tq_bench::run_serve(base, &cfg);
+    let s = &outcome.stat;
+
+    assert_eq!(s.errors, 0, "serving errors: {:?}", outcome.server);
+    assert_eq!(outcome.leaked_handles, 0, "sessions leaked handles");
+    assert!(s.commits > 0, "no write transaction ever committed");
+    // Client-side commit/abort tallies agree with the server's (no
+    // warmup, so every sample was measured).
+    assert_eq!(s.commits, outcome.server.commits);
+    assert_eq!(s.aborts, outcome.server.commit_aborts);
+    // Every write that got through admission either committed or
+    // aborted; the abort rate is a proper fraction of the attempts.
+    assert!(s.abort_rate() >= 0.0 && s.abort_rate() < 1.0);
+    // Reads kept flowing alongside the writes.
+    assert!(s.queries_ok > 0, "mixed run starved its readers");
+    // The label names the mix; the CSV still round-trips exactly.
+    assert!(s.label.contains("write=50%"), "label: {:?}", s.label);
     let csv = to_latency_csv(std::slice::from_ref(s));
     let back = parse_latency_csv(&csv).expect("latency CSV re-parses");
     assert_eq!(back, vec![s.clone()]);

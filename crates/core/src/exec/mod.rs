@@ -131,6 +131,10 @@ pub enum OpKind {
     Residual,
     /// Project attributes and append one result tuple.
     Emit,
+    /// Rewrite fetched objects in place (or relocate them) and re-key
+    /// their header-listed indexes — the write half of an update
+    /// statement.
+    Update,
     /// End-of-query handle drain (recorded by the measurement harness,
     /// outside any operator).
     Teardown,
@@ -152,6 +156,7 @@ impl OpKind {
             OpKind::Merge => "Merge",
             OpKind::Residual => "Residual",
             OpKind::Emit => "Emit",
+            OpKind::Update => "Update",
             OpKind::Teardown => "Teardown",
             OpKind::Other => "Other",
         }
@@ -170,6 +175,7 @@ impl OpKind {
             "Merge" => OpKind::Merge,
             "Residual" => OpKind::Residual,
             "Emit" => OpKind::Emit,
+            "Update" => OpKind::Update,
             "Teardown" => OpKind::Teardown,
             "Other" => OpKind::Other,
             _ => return None,
@@ -746,6 +752,7 @@ mod tests {
             OpKind::Merge,
             OpKind::Residual,
             OpKind::Emit,
+            OpKind::Update,
             OpKind::Teardown,
             OpKind::Other,
         ] {

@@ -19,6 +19,9 @@
 //! * [`estimator`] / [`planner`] — analytic costs and plan choice.
 //! * [`maintenance`] — header-driven index maintenance on updates
 //!   (the §4.4 retiring-doctor scenario).
+//! * [`update`] — the range-predicated update statement the concurrent
+//!   service's mixed workloads run (scan + rewrite + index re-key,
+//!   fully operator-attributed).
 //! * [`oql`] — `select … from … where …` parsing and compilation.
 
 pub mod engine;
@@ -32,6 +35,7 @@ pub mod planner;
 pub mod select;
 pub mod spec;
 pub mod swap;
+pub mod update;
 
 pub use engine::{Engine, EngineError, QueryOutcome};
 pub use estimator::{EstimateBreakdown, OpEstimate};
@@ -43,6 +47,7 @@ pub use join::{hash_table_bytes, run_join, run_join_with, JoinContext, JoinOptio
 pub use select::{index_scan, seq_scan, sorted_index_scan, SelectReport};
 pub use spec::{AttrPredicate, CmpOp, HashKeyMode, JoinAlgo, ResultMode, Selection, TreeJoinSpec};
 pub use swap::SwapSim;
+pub use update::{run_update, UpdateOutcome, UpdateSpec};
 
 #[cfg(test)]
 mod thread_safety {

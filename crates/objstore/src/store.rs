@@ -564,6 +564,24 @@ impl ObjectStore {
 
     /// Flushes dirty pages (charging writes, and log writes when
     /// logging is enabled).
+    /// Adopts one file wholesale from `src` — pages (shared, see
+    /// [`StorageStack::adopt_file_from`]) plus this store's
+    /// file-level bookkeeping: the append tail. The MVCC merge path
+    /// uses this to splice a committed transaction's files into a
+    /// newer epoch; collection-level catalog entries are positional
+    /// (rid lists don't move on adoption) and need no fixup.
+    pub fn adopt_file_from(&mut self, src: &ObjectStore, file: FileId) {
+        self.stack.adopt_file_from(&src.stack, file);
+        match src.tails.get(&file) {
+            Some(&tail) => {
+                self.tails.insert(file, tail);
+            }
+            None => {
+                self.tails.remove(&file);
+            }
+        }
+    }
+
     pub fn commit(&mut self) {
         self.stack.commit();
     }

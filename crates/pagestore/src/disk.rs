@@ -36,12 +36,12 @@ impl fmt::Debug for FileId {
 }
 
 #[derive(Clone)]
-struct File {
-    name: String,
+pub(crate) struct File {
+    pub(crate) name: String,
     /// Copy-on-write page storage (see the module docs): the outer
     /// `Arc` makes cloning the file free, the inner ones make the
     /// first write to each page pay for exactly that page.
-    pages: Arc<Vec<Arc<SlottedPage>>>,
+    pub(crate) pages: Arc<Vec<Arc<SlottedPage>>>,
 }
 
 impl File {
@@ -59,7 +59,7 @@ impl File {
 /// An in-memory disk: an ordered set of named page files.
 #[derive(Clone, Default)]
 pub struct Disk {
-    files: Vec<File>,
+    pub(crate) files: Vec<File>,
     physical_reads: u64,
     physical_writes: u64,
 }
@@ -96,6 +96,11 @@ impl Disk {
     /// Number of pages currently allocated to `file`.
     pub fn file_len(&self, file: FileId) -> u32 {
         self.files[file.0 as usize].pages.len() as u32
+    }
+
+    /// Number of files on the disk.
+    pub fn file_count(&self) -> u32 {
+        self.files.len() as u32
     }
 
     /// Total pages across all files.

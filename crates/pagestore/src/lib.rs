@@ -28,18 +28,21 @@
 //! * [`cache`] — an O(1) LRU used for both cache tiers.
 //! * [`stack`] — the client→server→disk [`StorageStack`].
 //! * [`cost`] — simulated clock and calibrated cost constants.
+//! * [`writeset`] — copy-on-write diffing for MVCC epoch publication.
 
 pub mod cache;
 pub mod cost;
 pub mod disk;
 pub mod page;
 pub mod stack;
+pub mod writeset;
 
 pub use cache::LruCache;
 pub use cost::{CostModel, CpuEvent, SimClock};
 pub use disk::{Disk, FileId};
 pub use page::{PageId, SlotId, SlottedPage, PAGE_SIZE};
 pub use stack::{CacheConfig, IoStats, StorageStack};
+pub use writeset::{FileWrites, WriteSet};
 
 #[cfg(test)]
 mod thread_safety {

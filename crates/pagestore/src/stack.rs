@@ -325,6 +325,46 @@ impl StorageStack {
         self.clock.reset();
     }
 
+    /// Pages on which this stack's disk diverged from `base`'s — the
+    /// transaction write-set for MVCC commit validation. Callers
+    /// should [`StorageStack::commit`] first so the dirty list and the
+    /// copy-on-write state agree.
+    pub fn write_set_since(&self, base: &StorageStack) -> crate::writeset::WriteSet {
+        self.disk.write_set_since(&base.disk)
+    }
+
+    /// True when no page diverged from `base`'s disk and nothing is
+    /// dirty — a read-only session that can safely re-pin a newer
+    /// base epoch.
+    pub fn is_unchanged_since(&self, base: &StorageStack) -> bool {
+        self.dirty.is_empty() && self.disk.is_unchanged_since(&base.disk)
+    }
+
+    /// Adopts one file wholesale from `src` (see
+    /// [`Disk::adopt_file_from`]), purging any cached residency and
+    /// dirty marks this stack held for the file so a stale page can
+    /// never surface as a hit.
+    pub fn adopt_file_from(&mut self, src: &StorageStack, file: FileId) {
+        let before = if file.0 < self.disk.file_count() {
+            self.disk.file_len(file)
+        } else {
+            0
+        };
+        self.disk.adopt_file_from(&src.disk, file);
+        let span = before.max(self.disk.file_len(file));
+        for page_no in 0..span {
+            let pid = PageId { file, page_no };
+            self.client.remove(&pid);
+            self.server.remove(&pid);
+            self.dirty.remove(&pid);
+        }
+        if let Some(last) = self.last_disk_read {
+            if last.file == file {
+                self.last_disk_read = None;
+            }
+        }
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> IoStats {
         self.stats

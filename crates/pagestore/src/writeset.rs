@@ -1,0 +1,335 @@
+//! Write-set extraction for MVCC epoch publication.
+//!
+//! A server session runs over a copy-on-write clone of a base
+//! [`Disk`]: every page it dirties is unshared through
+//! `Arc::make_mut`, so "what did this transaction write?" falls out of
+//! pointer identity — a page whose `Arc` still aliases the base's is
+//! untouched, one that doesn't was written (or sits in a file the
+//! session created or grew). [`Disk::write_set_since`] walks the file
+//! table once and collects exactly those pages; commit validation and
+//! epoch merging are built on the result.
+//!
+//! Granularity note: conflicts are detected **per file**. A file is
+//! the unit the engine associates out-of-page metadata with (B-tree
+//! roots/heights, object-store append tails), so adopting a file
+//! wholesale into a newer epoch keeps that metadata consistent, while
+//! splicing individual pages from two writers into one file would
+//! not. One file holds one collection (or one index), which makes
+//! file-level conflicts the "overlapping page sets per collection"
+//! rule of the service contract.
+
+use crate::disk::{Disk, FileId};
+use std::sync::Arc;
+
+/// The pages one transaction dirtied in one file.
+#[derive(Clone, Debug)]
+pub struct FileWrites {
+    /// The file, identified positionally (file ids are stable across
+    /// clones of the same base).
+    pub file: FileId,
+    /// The file's name at extraction time (for diagnostics and typed
+    /// conflict reports).
+    pub name: String,
+    /// Page numbers whose bytes diverged from the base.
+    pub pages: Vec<u32>,
+    /// The file's length in the base disk (0 when the file did not
+    /// exist there).
+    pub base_len: u32,
+    /// The file's length in the writing disk.
+    pub len: u32,
+    /// True when the file did not exist in the base at all.
+    pub created: bool,
+}
+
+/// Everything one transaction wrote, relative to a base snapshot.
+#[derive(Clone, Debug, Default)]
+pub struct WriteSet {
+    files: Vec<FileWrites>,
+}
+
+impl WriteSet {
+    /// True when nothing was written (a read-only transaction).
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// The per-file write lists.
+    pub fn files(&self) -> &[FileWrites] {
+        &self.files
+    }
+
+    /// Total dirtied pages across all files.
+    pub fn page_count(&self) -> u64 {
+        self.files.iter().map(|f| f.pages.len() as u64).sum()
+    }
+
+    /// True when the transaction created files the base did not have
+    /// (e.g. it ran an operator that spills). Such a write-set can
+    /// only be published over its own base, never merged forward.
+    pub fn has_created_files(&self) -> bool {
+        self.files.iter().any(|f| f.created)
+    }
+
+    /// Whether `file` appears in this write-set.
+    pub fn touches(&self, file: FileId) -> bool {
+        self.files.iter().any(|f| f.file == file)
+    }
+
+    /// First file both write-sets touch, if any — the conflict witness
+    /// for first-committer-wins validation. Both lists are ordered by
+    /// file id, so this is a linear merge.
+    pub fn overlap_with(&self, other: &WriteSet) -> Option<&FileWrites> {
+        let (mut i, mut j) = (0, 0);
+        while i < self.files.len() && j < other.files.len() {
+            match self.files[i].file.cmp(&other.files[j].file) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return Some(&self.files[i]),
+            }
+        }
+        None
+    }
+}
+
+impl Disk {
+    /// Extracts the set of pages on which `self` diverged from `base`,
+    /// from which `self` was cloned. Files whose page vector still
+    /// aliases the base's are skipped in O(1); otherwise pages are
+    /// compared by `Arc` identity. Files beyond the base's file table
+    /// count as created — except empty ones, which are the footprint
+    /// of truncated spill files and carry no data to publish.
+    pub fn write_set_since(&self, base: &Disk) -> WriteSet {
+        let mut files = Vec::new();
+        for (i, f) in self.files.iter().enumerate() {
+            let id = FileId(i as u32);
+            let len = f.pages.len() as u32;
+            let Some(b) = base.files.get(i) else {
+                if len > 0 {
+                    files.push(FileWrites {
+                        file: id,
+                        name: f.name.clone(),
+                        pages: (0..len).collect(),
+                        base_len: 0,
+                        len,
+                        created: true,
+                    });
+                }
+                continue;
+            };
+            if Arc::ptr_eq(&f.pages, &b.pages) {
+                continue;
+            }
+            let mut pages: Vec<u32> = Vec::new();
+            for (n, p) in f.pages.iter().enumerate() {
+                match b.pages.get(n) {
+                    Some(bp) if Arc::ptr_eq(p, bp) => {}
+                    _ => pages.push(n as u32),
+                }
+            }
+            let base_len = b.pages.len() as u32;
+            // A same-length file whose every page still aliases the
+            // base is clean even though its vector was unshared (a
+            // spill file that grew and was truncated back leaves this
+            // footprint).
+            if pages.is_empty() && len == base_len {
+                continue;
+            }
+            files.push(FileWrites {
+                file: id,
+                name: f.name.clone(),
+                pages,
+                base_len,
+                len,
+                created: false,
+            });
+        }
+        WriteSet { files }
+    }
+
+    /// Cheap cleanliness check: true when no page of `self` diverged
+    /// from `base` — i.e. [`Disk::write_set_since`] would be empty.
+    /// A file-table truncation (fewer pages than the base) counts as a
+    /// change.
+    pub fn is_unchanged_since(&self, base: &Disk) -> bool {
+        for (i, f) in self.files.iter().enumerate() {
+            let Some(b) = base.files.get(i) else {
+                if !f.pages.is_empty() {
+                    return false;
+                }
+                continue;
+            };
+            if Arc::ptr_eq(&f.pages, &b.pages) {
+                continue;
+            }
+            if f.pages.len() != b.pages.len() {
+                return false;
+            }
+            if !f
+                .pages
+                .iter()
+                .zip(b.pages.iter())
+                .all(|(p, bp)| Arc::ptr_eq(p, bp))
+            {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Adopts one file wholesale from `src`: name and page vector (an
+    /// `Arc` clone — the pages stay shared with `src`). Missing slots
+    /// up to `file` are filled with empty files copied by name so ids
+    /// stay positional. The epoch-merge path uses this to splice a
+    /// committed transaction's files into a newer head.
+    pub fn adopt_file_from(&mut self, src: &Disk, file: FileId) {
+        let i = file.0 as usize;
+        while self.files.len() <= i {
+            let name = src
+                .files
+                .get(self.files.len())
+                .map(|f| f.name.clone())
+                .unwrap_or_default();
+            self.create_file(name);
+        }
+        self.files[i].name = src.files[i].name.clone();
+        self.files[i].pages = Arc::clone(&src.files[i].pages);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::{PageId, PAGE_SIZE};
+
+    fn disk_with(files: &[(&str, u32)]) -> Disk {
+        let mut d = Disk::new();
+        for (name, pages) in files {
+            let f = d.create_file(*name);
+            for i in 0..*pages {
+                let pid = d.allocate_page(f);
+                d.peek_mut(pid).insert(&[*pages as u8, i as u8], PAGE_SIZE);
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn clean_clone_has_empty_write_set() {
+        let base = disk_with(&[("a", 3), ("b", 2)]);
+        let clone = base.clone();
+        assert!(clone.write_set_since(&base).is_empty());
+        assert!(clone.is_unchanged_since(&base));
+    }
+
+    #[test]
+    fn dirtied_pages_are_collected_per_file() {
+        let base = disk_with(&[("a", 3), ("b", 2)]);
+        let mut clone = base.clone();
+        let f = clone.file_by_name("b").unwrap();
+        clone
+            .peek_mut(PageId {
+                file: f,
+                page_no: 1,
+            })
+            .insert(b"x", PAGE_SIZE);
+        let ws = clone.write_set_since(&base);
+        assert_eq!(ws.files().len(), 1);
+        assert_eq!(ws.files()[0].name, "b");
+        assert_eq!(ws.files()[0].pages, vec![1]);
+        assert_eq!(ws.page_count(), 1);
+        assert!(ws.touches(f));
+        assert!(!ws.has_created_files());
+        assert!(!clone.is_unchanged_since(&base));
+    }
+
+    #[test]
+    fn appended_pages_count_as_dirty() {
+        let base = disk_with(&[("a", 2)]);
+        let mut clone = base.clone();
+        let f = clone.file_by_name("a").unwrap();
+        clone.allocate_page(f);
+        let ws = clone.write_set_since(&base);
+        assert_eq!(ws.files()[0].pages, vec![2]);
+        assert_eq!((ws.files()[0].base_len, ws.files()[0].len), (2, 3));
+    }
+
+    #[test]
+    fn created_empty_file_is_ignored_nonempty_is_dirty() {
+        let base = disk_with(&[("a", 1)]);
+        let mut clone = base.clone();
+        let spill = clone.create_file("spill");
+        assert!(clone.write_set_since(&base).is_empty());
+        assert!(clone.is_unchanged_since(&base));
+        clone.allocate_page(spill);
+        let ws = clone.write_set_since(&base);
+        assert!(ws.has_created_files());
+        assert_eq!(ws.files()[0].name, "spill");
+        assert!(!clone.is_unchanged_since(&base));
+    }
+
+    #[test]
+    fn truncated_then_identical_spill_is_clean() {
+        let base = disk_with(&[("a", 1), ("spill", 0)]);
+        let mut clone = base.clone();
+        let spill = clone.file_by_name("spill").unwrap();
+        clone.allocate_page(spill);
+        clone.truncate_file(spill);
+        assert!(clone.write_set_since(&base).is_empty());
+        assert!(clone.is_unchanged_since(&base));
+    }
+
+    #[test]
+    fn overlap_is_detected_per_file() {
+        let base = disk_with(&[("a", 2), ("b", 2), ("c", 2)]);
+        let dirty = |name: &str, page: u32| {
+            let mut c = base.clone();
+            let f = c.file_by_name(name).unwrap();
+            c.peek_mut(PageId {
+                file: f,
+                page_no: page,
+            })
+            .insert(b"x", PAGE_SIZE);
+            c.write_set_since(&base)
+        };
+        let wa = dirty("a", 0);
+        let wb = dirty("b", 1);
+        let wb2 = dirty("b", 0);
+        assert!(wa.overlap_with(&wb).is_none());
+        // Same file, different pages: still a conflict (file granularity).
+        let hit = wb.overlap_with(&wb2).unwrap();
+        assert_eq!(hit.name, "b");
+    }
+
+    #[test]
+    fn adopt_file_shares_pages_with_source() {
+        let base = disk_with(&[("a", 2), ("b", 2)]);
+        let mut writer = base.clone();
+        let f = writer.file_by_name("b").unwrap();
+        writer
+            .peek_mut(PageId {
+                file: f,
+                page_no: 0,
+            })
+            .insert(b"committed", PAGE_SIZE);
+        let mut head = base.clone();
+        head.adopt_file_from(&writer, f);
+        let pid = PageId {
+            file: f,
+            page_no: 0,
+        };
+        assert!(head.page_shared_with(&writer, pid));
+        assert_eq!(
+            head.peek(pid).read(head.peek(pid).slot_count() - 1),
+            writer.peek(pid).read(writer.peek(pid).slot_count() - 1)
+        );
+        // Untouched file still shares with the original base.
+        let a = head.file_by_name("a").unwrap();
+        assert!(head.page_shared_with(
+            &base,
+            PageId {
+                file: a,
+                page_no: 0
+            }
+        ));
+    }
+}

@@ -5,6 +5,7 @@ use std::io::{Read, Write};
 
 use crate::proto::{
     read_frame, write_frame, CacheMode, DecodeError, FrameError, QuerySpec, Request, Response,
+    UpdateTarget,
 };
 
 /// Why a client call failed.
@@ -84,13 +85,61 @@ impl<S: Read + Write> Client<S> {
         }
     }
 
-    /// Closes a session; returns `(drained_handles, leaked_handles)`.
-    pub fn close_session(&mut self, session: u64) -> Result<(u64, u64), ClientError> {
+    /// Runs one update statement. Like [`Client::query`], `UpdateOk`,
+    /// `Overloaded`, and `DeadlineExceeded` are all ordinary outcomes.
+    pub fn update(
+        &mut self,
+        session: u64,
+        target: UpdateTarget,
+        sel_pct: u32,
+        delta: i32,
+        deadline_nanos: u64,
+    ) -> Result<Response, ClientError> {
+        match self.call(&Request::Update {
+            session,
+            target,
+            sel_pct,
+            delta,
+            deadline_nanos,
+        })? {
+            resp @ (Response::UpdateOk { .. }
+            | Response::Overloaded { .. }
+            | Response::DeadlineExceeded { .. }) => Ok(resp),
+            Response::Error { msg } => Err(ClientError::Server(msg)),
+            _ => Err(ClientError::Unexpected("Update")),
+        }
+    }
+
+    /// Commits the session's writes. `Committed` and `Aborted` are both
+    /// ordinary outcomes — an abort is the validation protocol working,
+    /// not a failure.
+    pub fn commit(&mut self, session: u64) -> Result<Response, ClientError> {
+        match self.call(&Request::Commit { session })? {
+            resp @ (Response::Committed { .. } | Response::Aborted { .. }) => Ok(resp),
+            Response::Error { msg } => Err(ClientError::Server(msg)),
+            _ => Err(ClientError::Unexpected("Commit")),
+        }
+    }
+
+    /// Discards the session's uncommitted writes; returns the number of
+    /// dirty pages thrown away.
+    pub fn abort(&mut self, session: u64) -> Result<u64, ClientError> {
+        match self.call(&Request::Abort { session })? {
+            Response::RolledBack { discarded_pages } => Ok(discarded_pages),
+            Response::Error { msg } => Err(ClientError::Server(msg)),
+            _ => Err(ClientError::Unexpected("Abort")),
+        }
+    }
+
+    /// Closes a session; returns `(drained_handles, leaked_handles,
+    /// uncommitted_pages)`.
+    pub fn close_session(&mut self, session: u64) -> Result<(u64, u64, u64), ClientError> {
         match self.call(&Request::Close { session })? {
             Response::SessionClosed {
                 drained_handles,
                 leaked_handles,
-            } => Ok((drained_handles, leaked_handles)),
+                uncommitted_pages,
+            } => Ok((drained_handles, leaked_handles, uncommitted_pages)),
             Response::Error { msg } => Err(ClientError::Server(msg)),
             _ => Err(ClientError::Unexpected("Close")),
         }

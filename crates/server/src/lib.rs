@@ -35,9 +35,9 @@ pub mod transport;
 pub use client::{Client, ClientError};
 pub use proto::{
     read_frame, write_frame, CacheMode, DecodeError, FrameError, QuerySpec, Request, Response,
-    MAX_FRAME,
+    UpdateTarget, MAX_FRAME,
 };
 pub use sched::{Overloaded, Scheduler};
 pub use server::{Server, ServerConfig, ServerStatsSnapshot};
-pub use session::{CloseReport, SessionError, SessionManager};
+pub use session::{CloseReport, CommitConflict, CommitOutcome, SessionError, SessionManager};
 pub use transport::{duplex_pair, DuplexStream};

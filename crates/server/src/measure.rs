@@ -9,9 +9,13 @@
 //! re-exports everything under its old names.
 
 use tq_query::join::{run_join_with, JoinContext, JoinOptions, JoinReport};
+use tq_query::maintenance::MaintainedIndex;
+use tq_query::update::{run_update, UpdateOutcome, UpdateSpec};
 use tq_query::{CancelToken, ExecTrace, JoinAlgo, OpCounters, OpKind, ResultMode, TreeJoinSpec};
 use tq_statsdb::{ExtentDesc, OperatorStat, QueryDesc, Stat, SystemDesc};
 use tq_workload::{patient_attr, provider_attr, Database};
+
+use crate::proto::UpdateTarget;
 
 /// The paper's §5 join at the given selectivities.
 pub fn join_spec(db: &Database, pat_pct: u32, prov_pct: u32) -> TreeJoinSpec {
@@ -127,6 +131,178 @@ pub fn measure_current(
         results: report.results,
         io: db.store.stats(),
         report,
+    }
+}
+
+/// One measured update statement.
+#[derive(Clone, Debug)]
+pub struct UpdateCell {
+    /// The statement that ran.
+    pub target: UpdateTarget,
+    /// Simulated elapsed seconds for the statement window.
+    pub secs: f64,
+    /// What the statement did, with its per-operator trace.
+    pub outcome: UpdateOutcome,
+    /// I/O counters for the window.
+    pub io: tq_pagestore::IoStats,
+}
+
+/// Key limit for an update target at a selectivity, through the same
+/// key-space arithmetic the join grid uses.
+fn update_key_limit(db: &Database, target: UpdateTarget, sel_pct: u32) -> i64 {
+    match target {
+        UpdateTarget::Patients => db.patient_selectivity_key(sel_pct),
+        UpdateTarget::Providers => db.provider_selectivity_key(sel_pct),
+    }
+}
+
+/// Measures one update statement against the database's *current*
+/// cache state (the session regime: earlier statements in the session
+/// leave their residency — and their uncommitted writes — in place).
+///
+/// The statement is `update C set a = a + Δ where key < K`: Patients
+/// adds to `num` (re-keying the num index), Providers adds to `upin`
+/// (re-keying the upin index; Δ = 0 is a touch-update that dirties only
+/// the data file). Index descriptor updates are written back into `db`
+/// so later statements scan through current roots.
+///
+/// Cancellation unwinds with a [`Cancelled`](tq_query::Cancelled)
+/// payload mid-statement; the half-updated database must then be
+/// discarded wholesale (the session layer replaces it with a fresh
+/// snapshot clone — uncommitted work is lost, which is the point).
+pub fn measure_update_current(
+    db: &mut Database,
+    target: UpdateTarget,
+    sel_pct: u32,
+    delta: i32,
+    cancel: Option<CancelToken>,
+) -> UpdateCell {
+    let key_limit = update_key_limit(db, target, sel_pct);
+    db.store.reset_metrics();
+    let mut outcome = match target {
+        UpdateTarget::Patients => {
+            let scan = db.idx_patient_mrn.clone();
+            let mut idx_mrn = db.idx_patient_mrn.clone();
+            let mut idx_num = db.idx_patient_num.clone();
+            let out = {
+                let mut reg = [
+                    MaintainedIndex {
+                        index: &mut idx_mrn,
+                        key_attr: patient_attr::MRN,
+                    },
+                    MaintainedIndex {
+                        index: &mut idx_num,
+                        key_attr: patient_attr::NUM,
+                    },
+                ];
+                run_update(
+                    &mut db.store,
+                    &scan,
+                    &mut reg,
+                    &UpdateSpec {
+                        collection: "Patients".into(),
+                        key_limit,
+                        set_attr: patient_attr::NUM,
+                        delta,
+                    },
+                    cancel,
+                )
+            };
+            db.idx_patient_mrn = idx_mrn;
+            db.idx_patient_num = idx_num;
+            out
+        }
+        UpdateTarget::Providers => {
+            let scan = db.idx_provider_upin.clone();
+            let mut idx_upin = db.idx_provider_upin.clone();
+            let out = {
+                let mut reg = [MaintainedIndex {
+                    index: &mut idx_upin,
+                    key_attr: provider_attr::UPIN,
+                }];
+                run_update(
+                    &mut db.store,
+                    &scan,
+                    &mut reg,
+                    &UpdateSpec {
+                        collection: "Providers".into(),
+                        key_limit,
+                        set_attr: provider_attr::UPIN,
+                        delta,
+                    },
+                    cancel,
+                )
+            };
+            db.idx_provider_upin = idx_upin;
+            out
+        }
+    };
+    record_teardown(db, &mut outcome.trace);
+    UpdateCell {
+        target,
+        secs: db.store.clock().elapsed_secs(),
+        io: db.store.stats(),
+        outcome,
+    }
+}
+
+/// Converts a measured update into a `Stat` record (algo `"UPDATE"`).
+/// Same shape as a query's record, so the StatsDb, the wire protocol,
+/// and the operator-attribution invariant all apply unchanged.
+pub fn update_stat_record(
+    db: &Database,
+    cell: &UpdateCell,
+    sel_pct: u32,
+    delta: i32,
+    cold: bool,
+) -> Stat {
+    let key_limit = update_key_limit(db, cell.target, sel_pct);
+    let (extent, text) = match cell.target {
+        UpdateTarget::Patients => (
+            "Patient",
+            format!("update Patients set num = num + {delta} where mrn < {key_limit}"),
+        ),
+        UpdateTarget::Providers => (
+            "Provider",
+            format!("update Providers set upin = upin + {delta} where upin < {key_limit}"),
+        ),
+    };
+    Stat {
+        numtest: 0, // assigned by the StatsDb
+        query: QueryDesc {
+            cold,
+            projection_type: "[]".into(),
+            selectivities: vec![(extent.into(), sel_pct)],
+            text,
+        },
+        database: vec![
+            ExtentDesc {
+                classname: "Provider".into(),
+                size: db.provider_count,
+                associations: vec![("Patient".into(), db.config.shape.mean_fanout())],
+            },
+            ExtentDesc {
+                classname: "Patient".into(),
+                size: db.patient_count,
+                associations: vec![],
+            },
+        ],
+        cluster: db.config.organization.label().into(),
+        algo: "UPDATE".into(),
+        system: SystemDesc {
+            server_cache_kb: (db.config.cache.server_pages * 4) as u64,
+            client_cache_kb: (db.config.cache.client_pages * 4) as u64,
+            same_workstation: true,
+        },
+        cc_pagefaults: cell.io.client_misses,
+        elapsed_time: cell.secs,
+        rpcs_number: cell.io.sc2cc_read_pages,
+        rpcs_total_mb: cell.io.rpc_total_bytes() as f64 / 1e6,
+        d2sc_read_pages: cell.io.d2sc_read_pages,
+        sc2cc_read_pages: cell.io.sc2cc_read_pages,
+        cc_miss_rate: cell.io.client_miss_rate(),
+        sc_miss_rate: cell.io.server_miss_rate(),
+        operators: operator_rows(&cell.outcome.trace),
     }
 }
 

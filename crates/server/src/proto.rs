@@ -149,6 +149,19 @@ pub enum CacheMode {
     Warm,
 }
 
+/// Which collection an update statement targets. The vocabulary is
+/// closed (like the figure grid's algorithm set) so the server never
+/// parses collection names off the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UpdateTarget {
+    /// `update Patients set num = num + Δ where mrn < K` — dirties the
+    /// Patients file and the num index.
+    Patients,
+    /// `update Providers set upin = upin + Δ where upin < K` — with
+    /// Δ = 0 a pure touch-update that dirties only the Providers file.
+    Providers,
+}
+
 /// One query request: the figure-grid vocabulary (algorithm ×
 /// selectivities), plus an optional deadline in simulated nanoseconds
 /// (`0` = none).
@@ -179,6 +192,33 @@ pub enum Request {
     /// Close a session, draining its handles.
     Close {
         /// Session to close.
+        session: u64,
+    },
+    /// Run one update statement against the session's private snapshot.
+    /// The writes stay session-local until [`Request::Commit`].
+    Update {
+        /// Session to run in.
+        session: u64,
+        /// Collection (and statement shape) to update.
+        target: UpdateTarget,
+        /// Fraction of the collection to touch (percent of keys).
+        sel_pct: u32,
+        /// Additive delta (0 = touch-update, no re-keying).
+        delta: i32,
+        /// Simulated-time budget in nanoseconds; `0` means unlimited.
+        deadline_nanos: u64,
+    },
+    /// Publish the session's uncommitted writes as a new base epoch
+    /// (first-committer-wins validation against epochs published since
+    /// the session's base).
+    Commit {
+        /// Session whose writes to publish.
+        session: u64,
+    },
+    /// Discard the session's uncommitted writes and re-pin it to the
+    /// newest published epoch.
+    Abort {
+        /// Session whose writes to discard.
         session: u64,
     },
 }
@@ -220,11 +260,43 @@ pub enum Response {
         /// Handles still pinned at teardown (0 unless an operator
         /// leaked — the debug leak check would have caught it first).
         leaked_handles: u64,
+        /// Dirty pages the session abandoned by closing without
+        /// committing (0 for read-only or cleanly committed sessions).
+        uncommitted_pages: u64,
     },
     /// Anything else (unknown session, busy session, engine error).
     Error {
         /// Human-readable cause.
         msg: String,
+    },
+    /// Update finished: rows rewritten plus the full per-operator
+    /// measurement, same shape as a query's.
+    UpdateOk {
+        /// Objects rewritten.
+        updated: u64,
+        /// The measurement, exactly as the figure harness records one.
+        stat: Box<Stat>,
+    },
+    /// Commit validated and published (or was a read-only no-op).
+    Committed {
+        /// The epoch number now visible to newly pinned sessions.
+        epoch: u64,
+        /// Pages the commit published (0 for a read-only commit).
+        pages: u64,
+    },
+    /// Commit validation failed: another session published an
+    /// overlapping write-set first. The session's writes are discarded
+    /// and it is re-pinned to the newest epoch.
+    Aborted {
+        /// A file both write-sets touched.
+        conflict_file: String,
+        /// The epoch whose publication won the race.
+        conflict_epoch: u64,
+    },
+    /// Abort completed: writes discarded, session re-pinned.
+    RolledBack {
+        /// Dirty pages that were thrown away.
+        discarded_pages: u64,
     },
 }
 
@@ -351,6 +423,31 @@ impl Request {
                 out.push(3);
                 put_u64(&mut out, *session);
             }
+            Request::Update {
+                session,
+                target,
+                sel_pct,
+                delta,
+                deadline_nanos,
+            } => {
+                out.push(4);
+                put_u64(&mut out, *session);
+                out.push(match target {
+                    UpdateTarget::Patients => 0,
+                    UpdateTarget::Providers => 1,
+                });
+                put_u32(&mut out, *sel_pct);
+                put_u32(&mut out, *delta as u32);
+                put_u64(&mut out, *deadline_nanos);
+            }
+            Request::Commit { session } => {
+                out.push(5);
+                put_u64(&mut out, *session);
+            }
+            Request::Abort { session } => {
+                out.push(6);
+                put_u64(&mut out, *session);
+            }
         }
         out
     }
@@ -374,6 +471,19 @@ impl Request {
                 deadline_nanos: c.u64()?,
             }),
             3 => Request::Close { session: c.u64()? },
+            4 => Request::Update {
+                session: c.u64()?,
+                target: match c.u8()? {
+                    0 => UpdateTarget::Patients,
+                    1 => UpdateTarget::Providers,
+                    other => return Err(DecodeError::BadEnum(other)),
+                },
+                sel_pct: c.u32()?,
+                delta: c.u32()? as i32,
+                deadline_nanos: c.u64()?,
+            },
+            5 => Request::Commit { session: c.u64()? },
+            6 => Request::Abort { session: c.u64()? },
             other => return Err(DecodeError::BadTag(other)),
         };
         c.finish()?;
@@ -406,14 +516,38 @@ impl Response {
             Response::SessionClosed {
                 drained_handles,
                 leaked_handles,
+                uncommitted_pages,
             } => {
                 out.push(132);
                 put_u64(&mut out, *drained_handles);
                 put_u64(&mut out, *leaked_handles);
+                put_u64(&mut out, *uncommitted_pages);
             }
             Response::Error { msg } => {
                 out.push(133);
                 put_str(&mut out, msg);
+            }
+            Response::UpdateOk { updated, stat } => {
+                out.push(134);
+                put_u64(&mut out, *updated);
+                put_stat(&mut out, stat);
+            }
+            Response::Committed { epoch, pages } => {
+                out.push(135);
+                put_u64(&mut out, *epoch);
+                put_u64(&mut out, *pages);
+            }
+            Response::Aborted {
+                conflict_file,
+                conflict_epoch,
+            } => {
+                out.push(136);
+                put_str(&mut out, conflict_file);
+                put_u64(&mut out, *conflict_epoch);
+            }
+            Response::RolledBack { discarded_pages } => {
+                out.push(137);
+                put_u64(&mut out, *discarded_pages);
             }
         }
         out
@@ -437,8 +571,24 @@ impl Response {
             132 => Response::SessionClosed {
                 drained_handles: c.u64()?,
                 leaked_handles: c.u64()?,
+                uncommitted_pages: c.u64()?,
             },
             133 => Response::Error { msg: c.string()? },
+            134 => Response::UpdateOk {
+                updated: c.u64()?,
+                stat: Box::new(c.stat()?),
+            },
+            135 => Response::Committed {
+                epoch: c.u64()?,
+                pages: c.u64()?,
+            },
+            136 => Response::Aborted {
+                conflict_file: c.string()?,
+                conflict_epoch: c.u64()?,
+            },
+            137 => Response::RolledBack {
+                discarded_pages: c.u64()?,
+            },
             other => return Err(DecodeError::BadTag(other)),
         };
         c.finish()?;
@@ -497,6 +647,19 @@ impl<'a> Cursor<'a> {
         String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::BadUtf8)
     }
 
+    /// Reads an element count and rejects it up front if even
+    /// `min_elem_bytes`-sized elements could not fit in the remaining
+    /// payload — a forged count fails here instead of spinning through
+    /// billions of per-element `Truncated` checks.
+    fn count(&mut self, min_elem_bytes: usize) -> Result<usize, DecodeError> {
+        let n = self.u32()? as usize;
+        let remaining = self.bytes.len() - self.at;
+        if n.saturating_mul(min_elem_bytes) > remaining {
+            return Err(DecodeError::Truncated);
+        }
+        Ok(n)
+    }
+
     fn operator(&mut self) -> Result<OperatorStat, DecodeError> {
         Ok(OperatorStat {
             op: self.string()?,
@@ -519,7 +682,7 @@ impl<'a> Cursor<'a> {
         let numtest = self.u64()?;
         let cold = self.boolean()?;
         let projection_type = self.string()?;
-        let n_sel = self.u32()?;
+        let n_sel = self.count(8)?;
         let mut selectivities = Vec::new();
         for _ in 0..n_sel {
             let extent = self.string()?;
@@ -527,12 +690,12 @@ impl<'a> Cursor<'a> {
             selectivities.push((extent, pct));
         }
         let text = self.string()?;
-        let n_ext = self.u32()?;
+        let n_ext = self.count(16)?;
         let mut database = Vec::new();
         for _ in 0..n_ext {
             let classname = self.string()?;
             let size = self.u64()?;
-            let n_assoc = self.u32()?;
+            let n_assoc = self.count(8)?;
             let mut associations = Vec::new();
             for _ in 0..n_assoc {
                 let class = self.string()?;
@@ -560,7 +723,7 @@ impl<'a> Cursor<'a> {
         let sc2cc_read_pages = self.u64()?;
         let cc_miss_rate = self.f64()?;
         let sc_miss_rate = self.f64()?;
-        let n_ops = self.u32()?;
+        let n_ops = self.count(92)?;
         let mut operators = Vec::new();
         for _ in 0..n_ops {
             operators.push(self.operator()?);

@@ -8,6 +8,18 @@
 //! queued work keeps a bounded wait. (A query's own runtime budget is
 //! separate: per-query deadlines, enforced cooperatively by
 //! `ExecContext`.)
+//!
+//! **Depth 0** is the strictest admission policy: *shed unless a worker
+//! is idle*. A job is admitted only when an already-waiting worker can
+//! pick it up immediately (nothing ever waits in the queue beyond the
+//! instant between `notify_one` and the worker waking); with every
+//! worker busy, arrivals shed. It is neither a panic nor a silent
+//! clamp to 1 — depth 1 would let one job queue behind busy workers.
+//!
+//! Admission decision and shed accounting happen under the same state
+//! lock: a shed is counted at the moment its rejection is decided, so
+//! racing submitters can neither double-count a shed nor sneak a job
+//! into a queue that was full when they were rejected.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -36,13 +48,18 @@ impl std::error::Error for Overloaded {}
 struct State {
     queue: VecDeque<Job>,
     shutdown: bool,
+    /// Workers currently parked in `available.wait` (not holding a job).
+    idle: usize,
+    /// Jobs shed by admission control. Kept inside the state lock so a
+    /// shed is counted exactly once, at the same instant its rejection
+    /// is decided.
+    shed: u64,
 }
 
 struct Inner {
     state: Mutex<State>,
     available: Condvar,
     depth: usize,
-    shed: AtomicU64,
     executed: AtomicU64,
 }
 
@@ -53,17 +70,19 @@ pub struct Scheduler {
 }
 
 impl Scheduler {
-    /// Starts `workers` worker threads behind a queue of at most
-    /// `queue_depth` waiting jobs (both floored at 1).
+    /// Starts `workers` worker threads (floored at 1) behind a queue of
+    /// at most `queue_depth` waiting jobs. Depth 0 means *shed unless a
+    /// worker is idle* (see the module docs).
     pub fn new(workers: usize, queue_depth: usize) -> Self {
         let inner = Arc::new(Inner {
             state: Mutex::new(State {
                 queue: VecDeque::new(),
                 shutdown: false,
+                idle: 0,
+                shed: 0,
             }),
             available: Condvar::new(),
-            depth: queue_depth.max(1),
-            shed: AtomicU64::new(0),
+            depth: queue_depth,
             executed: AtomicU64::new(0),
         });
         let handles = (0..workers.max(1))
@@ -81,12 +100,19 @@ impl Scheduler {
         }
     }
 
-    /// Admits a job, or sheds it if the queue is at depth.
+    /// Admits a job, or sheds it if the queue is at depth (for depth 0:
+    /// if no idle worker could take it immediately).
     pub fn submit(&self, job: Job) -> Result<(), Overloaded> {
         let mut state = self.inner.state.lock().unwrap();
-        if state.shutdown || state.queue.len() >= self.inner.depth {
-            drop(state);
-            self.inner.shed.fetch_add(1, Ordering::Relaxed);
+        let admit = !state.shutdown
+            && if self.inner.depth == 0 {
+                // Idle workers not yet claimed by an already-queued job.
+                state.queue.len() < state.idle
+            } else {
+                state.queue.len() < self.inner.depth
+            };
+        if !admit {
+            state.shed += 1;
             return Err(Overloaded {
                 queue_depth: self.inner.depth as u32,
             });
@@ -99,12 +125,18 @@ impl Scheduler {
 
     /// Jobs shed by admission control so far.
     pub fn shed_count(&self) -> u64 {
-        self.inner.shed.load(Ordering::Relaxed)
+        self.inner.state.lock().unwrap().shed
     }
 
     /// Jobs run to completion so far.
     pub fn executed_count(&self) -> u64 {
         self.inner.executed.load(Ordering::Relaxed)
+    }
+
+    /// Workers currently parked waiting for work (test observability;
+    /// exact only while no submit is in flight).
+    pub fn idle_workers(&self) -> usize {
+        self.inner.state.lock().unwrap().idle
     }
 
     /// Stops admission, lets the workers drain the queue, and joins
@@ -139,7 +171,9 @@ fn worker_loop(inner: &Inner) {
                 if state.shutdown {
                     return;
                 }
+                state.idle += 1;
                 state = inner.available.wait(state).unwrap();
+                state.idle -= 1;
             }
         };
         job();
@@ -151,6 +185,15 @@ fn worker_loop(inner: &Inner) {
 mod tests {
     use super::*;
     use std::sync::mpsc::channel;
+    use std::time::{Duration, Instant};
+
+    fn wait_for_idle(sched: &Scheduler, n: usize) {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while sched.idle_workers() < n {
+            assert!(Instant::now() < deadline, "workers never went idle");
+            std::thread::yield_now();
+        }
+    }
 
     #[test]
     fn runs_submitted_jobs() {
@@ -208,5 +251,78 @@ mod tests {
         assert_eq!(done.load(Ordering::Relaxed), 16);
         // Post-shutdown submission sheds.
         assert!(sched.submit(Box::new(|| {})).is_err());
+    }
+
+    #[test]
+    fn depth_zero_sheds_unless_a_worker_is_idle() {
+        let sched = Scheduler::new(2, 0);
+        wait_for_idle(&sched, 2);
+        // Two gated jobs occupy both workers.
+        let (started_tx, started_rx) = channel::<()>();
+        let (gate_tx, gate_rx) = channel::<()>();
+        let gate_rx = Arc::new(Mutex::new(gate_rx));
+        for _ in 0..2 {
+            let started = started_tx.clone();
+            let gate = Arc::clone(&gate_rx);
+            sched
+                .submit(Box::new(move || {
+                    started.send(()).unwrap();
+                    let _ = gate.lock().unwrap().recv();
+                }))
+                .expect("idle workers must admit at depth 0");
+        }
+        started_rx.recv().unwrap();
+        started_rx.recv().unwrap();
+        // Both workers busy, nobody idle: depth 0 sheds immediately.
+        let err = sched.submit(Box::new(|| {})).unwrap_err();
+        assert_eq!(err, Overloaded { queue_depth: 0 });
+        assert_eq!(sched.shed_count(), 1);
+        // Release the workers; once one is idle again, admission resumes.
+        gate_tx.send(()).unwrap();
+        gate_tx.send(()).unwrap();
+        wait_for_idle(&sched, 2);
+        sched.submit(Box::new(|| {})).expect("idle again: admit");
+        sched.shutdown();
+        assert_eq!(sched.executed_count(), 3);
+        assert_eq!(sched.shed_count(), 1);
+    }
+
+    #[test]
+    fn racing_submits_account_sheds_exactly_once_each() {
+        // One worker, blocked; queue of 1, pre-filled. Every further
+        // submit must shed, and admitted + shed must exactly equal the
+        // number of attempts — the check-then-count window is closed.
+        let sched = Arc::new(Scheduler::new(1, 1));
+        let (gate_tx, gate_rx) = channel::<()>();
+        sched
+            .submit(Box::new(move || {
+                let _ = gate_rx.recv();
+            }))
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        let admitted = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let sched = Arc::clone(&sched);
+                let admitted = Arc::clone(&admitted);
+                std::thread::spawn(move || {
+                    if sched.submit(Box::new(|| {})).is_ok() {
+                        admitted.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let ok = admitted.load(Ordering::Relaxed);
+        assert_eq!(
+            ok + sched.shed_count(),
+            8,
+            "every racing submit is either admitted or counted shed, once"
+        );
+        gate_tx.send(()).unwrap();
+        sched.shutdown();
+        assert_eq!(sched.executed_count(), 1 + ok);
     }
 }

@@ -22,10 +22,14 @@ use tq_query::join::JoinOptions;
 use tq_query::{CancelToken, Cancelled};
 use tq_workload::Database;
 
-use crate::measure::{measure_current, run_join_cell_with, stat_record};
-use crate::proto::{read_frame, write_frame, CacheMode, FrameError, QuerySpec, Request, Response};
+use crate::measure::{
+    measure_current, measure_update_current, run_join_cell_with, stat_record, update_stat_record,
+};
+use crate::proto::{
+    read_frame, write_frame, CacheMode, FrameError, QuerySpec, Request, Response, UpdateTarget,
+};
 use crate::sched::Scheduler;
-use crate::session::SessionManager;
+use crate::session::{CommitOutcome, SessionManager};
 use crate::transport::{duplex_pair, DuplexStream};
 
 /// Service sizing.
@@ -54,6 +58,10 @@ struct ServerStats {
     queries_shed: AtomicU64,
     queries_deadline_exceeded: AtomicU64,
     queries_failed: AtomicU64,
+    updates_ok: AtomicU64,
+    commits: AtomicU64,
+    commit_aborts: AtomicU64,
+    rollbacks: AtomicU64,
 }
 
 /// A point-in-time copy of the service counters.
@@ -71,6 +79,14 @@ pub struct ServerStatsSnapshot {
     pub queries_deadline_exceeded: u64,
     /// Queries answered with an error (unknown/busy session, …).
     pub queries_failed: u64,
+    /// Update statements completed.
+    pub updates_ok: u64,
+    /// Commits validated and published (including read-only re-pins).
+    pub commits: u64,
+    /// Commits aborted by first-committer-wins validation.
+    pub commit_aborts: u64,
+    /// Explicit aborts (client-requested rollbacks).
+    pub rollbacks: u64,
 }
 
 struct Inner {
@@ -145,7 +161,16 @@ impl Server {
             queries_shed: s.queries_shed.load(Ordering::Relaxed),
             queries_deadline_exceeded: s.queries_deadline_exceeded.load(Ordering::Relaxed),
             queries_failed: s.queries_failed.load(Ordering::Relaxed),
+            updates_ok: s.updates_ok.load(Ordering::Relaxed),
+            commits: s.commits.load(Ordering::Relaxed),
+            commit_aborts: s.commit_aborts.load(Ordering::Relaxed),
+            rollbacks: s.rollbacks.load(Ordering::Relaxed),
         }
+    }
+
+    /// The newest published epoch's number (0 until the first commit).
+    pub fn current_epoch(&self) -> u64 {
+        self.inner.sessions.current_epoch()
     }
 
     /// Currently open sessions.
@@ -202,7 +227,45 @@ fn handle_request(inner: &Arc<Inner>, req: Request) -> Response {
                 Response::SessionClosed {
                     drained_handles: report.drained_handles,
                     leaked_handles: report.leaked_handles,
+                    uncommitted_pages: report.uncommitted_pages,
                 }
+            }
+            Err(e) => {
+                inner.stats.queries_failed.fetch_add(1, Ordering::Relaxed);
+                Response::Error { msg: e.to_string() }
+            }
+        },
+        Request::Update {
+            session,
+            target,
+            sel_pct,
+            delta,
+            deadline_nanos,
+        } => dispatch_update(inner, session, target, sel_pct, delta, deadline_nanos),
+        // Commit and Abort are bookkeeping (a page-pointer diff and an
+        // Arc swap), not engine work: they run inline on the connection
+        // thread rather than competing with queries for workers.
+        Request::Commit { session } => match inner.sessions.commit(session) {
+            Ok(CommitOutcome::Committed { epoch, pages }) => {
+                inner.stats.commits.fetch_add(1, Ordering::Relaxed);
+                Response::Committed { epoch, pages }
+            }
+            Ok(CommitOutcome::Aborted { conflict }) => {
+                inner.stats.commit_aborts.fetch_add(1, Ordering::Relaxed);
+                Response::Aborted {
+                    conflict_file: conflict.file,
+                    conflict_epoch: conflict.epoch,
+                }
+            }
+            Err(e) => {
+                inner.stats.queries_failed.fetch_add(1, Ordering::Relaxed);
+                Response::Error { msg: e.to_string() }
+            }
+        },
+        Request::Abort { session } => match inner.sessions.abort(session) {
+            Ok(discarded_pages) => {
+                inner.stats.rollbacks.fetch_add(1, Ordering::Relaxed);
+                Response::RolledBack { discarded_pages }
             }
             Err(e) => {
                 inner.stats.queries_failed.fetch_add(1, Ordering::Relaxed);
@@ -229,6 +292,87 @@ fn dispatch_query(inner: &Arc<Inner>, spec: QuerySpec) -> Response {
     rx.recv().unwrap_or_else(|_| Response::Error {
         msg: "worker dropped the query".into(),
     })
+}
+
+/// Admits an update statement to the worker pool and waits for its
+/// response. Updates compete with queries for the same admission queue:
+/// overload sheds writes and reads alike.
+fn dispatch_update(
+    inner: &Arc<Inner>,
+    session: u64,
+    target: UpdateTarget,
+    sel_pct: u32,
+    delta: i32,
+    deadline_nanos: u64,
+) -> Response {
+    let (tx, rx) = mpsc::channel();
+    let job_inner = Arc::clone(inner);
+    let submitted = inner.sched.submit(Box::new(move || {
+        let resp = execute_update(&job_inner, session, target, sel_pct, delta, deadline_nanos);
+        let _ = tx.send(resp);
+    }));
+    if let Err(overloaded) = submitted {
+        inner.stats.queries_shed.fetch_add(1, Ordering::Relaxed);
+        return Response::Overloaded {
+            queue_depth: overloaded.queue_depth,
+        };
+    }
+    rx.recv().unwrap_or_else(|_| Response::Error {
+        msg: "worker dropped the update".into(),
+    })
+}
+
+/// Worker-side update execution. The statement runs against the
+/// session's private snapshot — its writes stay invisible to every
+/// other session until `Commit` publishes them. A fired deadline
+/// discards the half-updated clone and refills the session from its
+/// *base* epoch: uncommitted statements from earlier in the
+/// transaction are lost too, which is the atomicity contract.
+fn execute_update(
+    inner: &Inner,
+    session: u64,
+    target: UpdateTarget,
+    sel_pct: u32,
+    delta: i32,
+    deadline_nanos: u64,
+) -> Response {
+    let (mut db, mode) = match inner.sessions.take(session) {
+        Ok(taken) => taken,
+        Err(e) => {
+            inner.stats.queries_failed.fetch_add(1, Ordering::Relaxed);
+            return Response::Error { msg: e.to_string() };
+        }
+    };
+    let cancel = (deadline_nanos > 0).then(|| CancelToken::with_deadline_nanos(deadline_nanos));
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        measure_update_current(&mut db, target, sel_pct, delta, cancel)
+    }));
+    match outcome {
+        Ok(cell) => {
+            let stat = update_stat_record(&db, &cell, sel_pct, delta, mode == CacheMode::Cold);
+            let updated = cell.outcome.updated;
+            inner.sessions.restore(session, db);
+            inner.stats.updates_ok.fetch_add(1, Ordering::Relaxed);
+            Response::UpdateOk {
+                updated,
+                stat: Box::new(stat),
+            }
+        }
+        Err(payload) => match payload.downcast::<Cancelled>() {
+            Ok(cancelled) => {
+                drop(db);
+                inner.sessions.replace_fresh(session);
+                inner
+                    .stats
+                    .queries_deadline_exceeded
+                    .fetch_add(1, Ordering::Relaxed);
+                Response::DeadlineExceeded {
+                    elapsed_nanos: cancelled.elapsed_nanos,
+                }
+            }
+            Err(other) => resume_unwind(other),
+        },
+    }
 }
 
 /// Worker-side execution: session checkout, the measurement protocol,

@@ -1,23 +1,58 @@
-//! Snapshot-isolated sessions.
+//! Snapshot-isolated sessions over an MVCC epoch chain.
 //!
-//! Each session owns a copy-on-write [`Database`] clone taken from the
-//! server's base snapshot at `Hello` time: O(files) to create, zero
-//! pages copied until someone writes. Sessions therefore never observe
-//! each other — not through caches (each clone carries its own), not
-//! through handle tables, not through the simulated clock — which is
-//! what makes K concurrent sessions produce `Stat`s byte-identical to
-//! K serial runs (pinned by `tests/concurrency.rs`).
+//! Each session owns a copy-on-write [`Database`] clone pinned to a
+//! **base epoch** — an immutable published snapshot. Epoch 0 is the
+//! database the server started with; every successful [`Commit`]
+//! publishes a new epoch. Sessions never observe each other's
+//! uncommitted work — not through caches (each clone carries its own),
+//! not through handle tables, not through the simulated clock — which
+//! is what makes K concurrent sessions produce `Stat`s byte-identical
+//! to K serial runs (pinned by `tests/concurrency.rs`).
+//!
+//! ## The publication protocol
+//!
+//! A session's writes stay private in its clone until `Commit`:
+//!
+//! 1. The session's database is checked out (`Busy` excludes races
+//!    with its own queries), quiesced (handle drain + flush), and
+//!    diffed against its base epoch's disk — copy-on-write pointer
+//!    identity yields the **write-set** without tracking a single page
+//!    number during execution.
+//! 2. An empty write-set commits trivially: the session just re-pins
+//!    the newest epoch.
+//! 3. Otherwise the write-set is validated under the epoch lock
+//!    against every epoch published after the session's base —
+//!    **first committer wins**: any overlap (at file = collection
+//!    granularity; see `tq_pagestore::writeset` for why) aborts the
+//!    commit with a typed conflict naming the file and the winning
+//!    epoch, and the session is refilled from the newest epoch.
+//! 4. A valid write-set is published: if nothing intervened, the
+//!    session's own (normalized) clone becomes the new epoch's
+//!    database; if disjoint epochs intervened, a clone of the newest
+//!    head *adopts* the write-set's files (pages stay shared — the
+//!    merge is O(touched files), not O(pages)). The head pointer
+//!    swaps to the new epoch atomically under the lock.
+//!
+//! Warm sessions re-pin: a query checkout
+//! ([`SessionManager::take`]) that finds the session clean (no
+//! divergence from its base) and behind the head silently re-bases it
+//! onto the newest epoch, so committed writes become visible to
+//! long-lived read sessions on their next query without breaking any
+//! in-progress transaction's snapshot.
 //!
 //! A query *takes* the session's database out of the slot and returns
 //! it afterwards; a second query on the same session while the first
 //! runs gets a typed [`SessionError::Busy`] instead of racing. A
 //! cancelled query leaves its database in an undefined cache/handle
 //! state, so it is discarded and the slot refilled with a fresh clone
-//! of the base snapshot ([`SessionManager::replace_fresh`]).
+//! of the session's base epoch ([`SessionManager::replace_fresh`]) —
+//! which also discards any uncommitted writes the session had
+//! accumulated (a deadline mid-transaction aborts the transaction).
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use tq_pagestore::WriteSet;
 use tq_workload::Database;
 
 use crate::proto::CacheMode;
@@ -50,47 +85,158 @@ pub struct CloseReport {
     /// Handles still pinned after the drain (0 unless an operator
     /// leaked a guard).
     pub leaked_handles: u64,
+    /// Pages of uncommitted writes the close discarded (0 for a
+    /// session that committed or never wrote).
+    pub uncommitted_pages: u64,
+}
+
+/// The conflict that aborted a commit: the first overlapping file and
+/// the epoch whose earlier commit wins.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommitConflict {
+    /// Name of the contended file (collection or index).
+    pub file: String,
+    /// The already-published epoch it conflicts with.
+    pub epoch: u64,
+}
+
+/// What a commit did.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CommitOutcome {
+    /// The write-set was published (or was empty); the session is now
+    /// pinned to `epoch`.
+    Committed {
+        /// The epoch the session observes after the commit. A
+        /// non-empty write-set creates this epoch; an empty one
+        /// re-pins the newest existing epoch.
+        epoch: u64,
+        /// Pages the published write-set contained (0 for read-only).
+        pages: u64,
+    },
+    /// First-committer-wins validation failed; the session's writes
+    /// were discarded and it was re-pinned to the newest epoch.
+    Aborted {
+        /// What it conflicted with.
+        conflict: CommitConflict,
+    },
+}
+
+/// One published snapshot.
+pub struct Epoch {
+    number: u64,
+    db: Database,
+    write_set: WriteSet,
+}
+
+impl Epoch {
+    /// The epoch's position in the publication order (0 = the server's
+    /// starting snapshot).
+    pub fn number(&self) -> u64 {
+        self.number
+    }
+
+    /// The immutable database this epoch published.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The write-set whose publication created this epoch (empty for
+    /// epoch 0).
+    pub fn write_set(&self) -> &WriteSet {
+        &self.write_set
+    }
+}
+
+struct Chain {
+    head: Arc<Epoch>,
+    /// Every published epoch with `number >= 1`, in order — the
+    /// validation window for first-committer-wins. (Sessions hold
+    /// `Arc`s to their base epochs, so entries stay alive as long as
+    /// anyone could still validate against them; the list itself is
+    /// bounded by commits served, which the closed-loop harness keeps
+    /// in the thousands.)
+    published: Vec<Arc<Epoch>>,
 }
 
 struct Slot {
     mode: CacheMode,
     /// `None` while a query has the database checked out.
     db: Option<Box<Database>>,
+    /// The epoch this session's clone was taken from.
+    base: Arc<Epoch>,
 }
 
-/// The session table: id allocation, snapshot checkout, teardown.
+/// The session table: id allocation, snapshot checkout, the MVCC
+/// commit/abort/re-pin protocol, teardown.
 pub struct SessionManager {
-    base: Database,
+    epochs: Mutex<Chain>,
     slots: Mutex<HashMap<u64, Slot>>,
     next_id: AtomicU64,
 }
 
 impl SessionManager {
-    /// Wraps the base snapshot all sessions will clone from.
+    /// Wraps the starting snapshot as epoch 0.
     pub fn new(base: Database) -> Self {
+        let epoch0 = Arc::new(Epoch {
+            number: 0,
+            db: base,
+            write_set: WriteSet::default(),
+        });
         Self {
-            base,
+            epochs: Mutex::new(Chain {
+                head: epoch0,
+                published: Vec::new(),
+            }),
             slots: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(1),
         }
     }
 
-    /// Opens a session: clones the base snapshot into a fresh slot.
+    /// The newest published epoch.
+    fn head(&self) -> Arc<Epoch> {
+        Arc::clone(&self.epochs.lock().unwrap().head)
+    }
+
+    /// The newest epoch number (0 until the first commit).
+    pub fn current_epoch(&self) -> u64 {
+        self.epochs.lock().unwrap().head.number
+    }
+
+    /// Opens a session: clones the newest epoch into a fresh slot.
     pub fn create(&self, mode: CacheMode) -> u64 {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let db = Box::new(self.base.clone());
-        self.slots
-            .lock()
-            .unwrap()
-            .insert(id, Slot { mode, db: Some(db) });
+        let base = self.head();
+        let db = Box::new(base.db.clone());
+        self.slots.lock().unwrap().insert(
+            id,
+            Slot {
+                mode,
+                db: Some(db),
+                base,
+            },
+        );
         id
     }
 
-    /// Checks the session's database out for a query.
+    /// Checks the session's database out for a query. A clean session
+    /// (no uncommitted writes) pinned behind the newest epoch is
+    /// transparently re-pinned to it first — committed writes become
+    /// visible to warm sessions at their next query.
     pub fn take(&self, id: u64) -> Result<(Box<Database>, CacheMode), SessionError> {
         let mut slots = self.slots.lock().unwrap();
         let slot = slots.get_mut(&id).ok_or(SessionError::Unknown(id))?;
         let db = slot.db.take().ok_or(SessionError::Busy(id))?;
+        let head = self.head();
+        if head.number > slot.base.number
+            && db
+                .store
+                .stack()
+                .is_unchanged_since(slot.base.db.store.stack())
+        {
+            slot.base = Arc::clone(&head);
+            let fresh = Box::new(head.db.clone());
+            return Ok((fresh, slot.mode));
+        }
         Ok((db, slot.mode))
     }
 
@@ -104,26 +250,154 @@ impl SessionManager {
     }
 
     /// Refills a session whose checked-out database was discarded
-    /// (cancelled query) with a fresh clone of the base snapshot.
+    /// (cancelled query) with a fresh clone of its base epoch. Any
+    /// uncommitted writes the discarded clone carried die with it.
     pub fn replace_fresh(&self, id: u64) {
-        let db = Box::new(self.base.clone());
+        let mut slots = self.slots.lock().unwrap();
+        if let Some(slot) = slots.get_mut(&id) {
+            slot.db = Some(Box::new(slot.base.db.clone()));
+        }
+    }
+
+    /// Validates and publishes the session's writes (see the module
+    /// docs for the protocol). On success the session is re-pinned,
+    /// cold, to the epoch it just created (or, for a read-only
+    /// transaction, the newest epoch); on conflict its writes are
+    /// discarded and it is re-pinned to the newest epoch.
+    pub fn commit(&self, id: u64) -> Result<CommitOutcome, SessionError> {
+        let (mut db, base) = {
+            let mut slots = self.slots.lock().unwrap();
+            let slot = slots.get_mut(&id).ok_or(SessionError::Unknown(id))?;
+            let db = slot.db.take().ok_or(SessionError::Busy(id))?;
+            (db, Arc::clone(&slot.base))
+        };
+        // Quiesce outside every lock: drain handles, flush dirty pages
+        // so the copy-on-write state is the whole truth, zero the
+        // metrics so the published snapshot starts clean.
+        db.store.end_of_query();
+        db.store.cold_restart();
+        db.store.reset_metrics();
+        let ws = db.store.stack().write_set_since(base.db.store.stack());
+        if ws.is_empty() {
+            let head = self.head();
+            let number = head.number;
+            self.repin(id, head);
+            return Ok(CommitOutcome::Committed {
+                epoch: number,
+                pages: 0,
+            });
+        }
+        let pages = ws.page_count();
+        let published = {
+            let mut chain = self.epochs.lock().unwrap();
+            let conflict = chain
+                .published
+                .iter()
+                .rev()
+                .take_while(|e| e.number > base.number)
+                .find_map(|e| {
+                    ws.overlap_with(&e.write_set).map(|fw| CommitConflict {
+                        file: fw.name.clone(),
+                        epoch: e.number,
+                    })
+                })
+                .or_else(|| {
+                    // A write-set containing files the base never had
+                    // (an operator that spills mid-transaction) can be
+                    // published over its own base but not merged past
+                    // other commits: the intervening epoch may have
+                    // allocated the same file ids.
+                    (chain.head.number > base.number && ws.has_created_files()).then(|| {
+                        CommitConflict {
+                            file: ws
+                                .files()
+                                .iter()
+                                .find(|f| f.created)
+                                .map(|f| f.name.clone())
+                                .unwrap_or_default(),
+                            epoch: chain.head.number,
+                        }
+                    })
+                });
+            if let Some(conflict) = conflict {
+                drop(chain);
+                drop(db);
+                self.repin(id, self.head());
+                return Ok(CommitOutcome::Aborted { conflict });
+            }
+            let number = chain.head.number + 1;
+            let new_db = if chain.head.number == base.number {
+                // Fast path: nothing intervened — the session's own
+                // normalized clone is the new epoch's database.
+                *db
+            } else {
+                // Disjoint merge: newest head adopts the write-set's
+                // files (and their index descriptors) from the session.
+                let mut merged = chain.head.db.clone();
+                merged.absorb_write_set(&db, &ws);
+                merged
+            };
+            let epoch = Arc::new(Epoch {
+                number,
+                db: new_db,
+                write_set: ws,
+            });
+            chain.published.push(Arc::clone(&epoch));
+            chain.head = Arc::clone(&epoch);
+            epoch
+        };
+        let number = published.number;
+        self.repin(id, published);
+        Ok(CommitOutcome::Committed {
+            epoch: number,
+            pages,
+        })
+    }
+
+    /// Discards the session's uncommitted writes and re-pins it to the
+    /// newest epoch. Returns the number of discarded pages.
+    pub fn abort(&self, id: u64) -> Result<u64, SessionError> {
+        let (db, base) = {
+            let mut slots = self.slots.lock().unwrap();
+            let slot = slots.get_mut(&id).ok_or(SessionError::Unknown(id))?;
+            let db = slot.db.take().ok_or(SessionError::Busy(id))?;
+            (db, Arc::clone(&slot.base))
+        };
+        let discarded = db
+            .store
+            .stack()
+            .write_set_since(base.db.store.stack())
+            .page_count();
+        drop(db);
+        self.repin(id, self.head());
+        Ok(discarded)
+    }
+
+    /// Refills `id` with a fresh clone of `epoch` and pins it there.
+    fn repin(&self, id: u64, epoch: Arc<Epoch>) {
+        let db = Box::new(epoch.db.clone());
         let mut slots = self.slots.lock().unwrap();
         if let Some(slot) = slots.get_mut(&id) {
             slot.db = Some(db);
+            slot.base = epoch;
         }
     }
 
     /// Closes a session: drains its delayed-free handle pool and
-    /// reports what teardown found. Fails with [`SessionError::Busy`]
-    /// if a query still has the database checked out.
+    /// reports what teardown found — including uncommitted written
+    /// pages the close is about to discard, so write leaks are visible
+    /// to the load generator's accounting. Fails with
+    /// [`SessionError::Busy`] if a query still has the database
+    /// checked out.
     pub fn close(&self, id: u64) -> Result<CloseReport, SessionError> {
-        let mut db = {
+        let (mut db, base) = {
             let mut slots = self.slots.lock().unwrap();
             let slot = slots.get_mut(&id).ok_or(SessionError::Unknown(id))?;
             match slot.db.take() {
                 Some(db) => {
+                    let base = Arc::clone(&slot.base);
                     slots.remove(&id);
-                    db
+                    (db, base)
                 }
                 None => return Err(SessionError::Busy(id)),
             }
@@ -133,6 +407,11 @@ impl SessionManager {
         Ok(CloseReport {
             drained_handles: db.store.handle_stats().frees - frees_before,
             leaked_handles: db.store.live_handles() as u64,
+            uncommitted_pages: db
+                .store
+                .stack()
+                .write_set_since(base.db.store.stack())
+                .page_count(),
         })
     }
 
@@ -145,7 +424,9 @@ impl SessionManager {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tq_workload::{build, BuildConfig, DbShape, Organization};
+    use tq_query::maintenance::MaintainedIndex;
+    use tq_query::update::{run_update, UpdateSpec};
+    use tq_workload::{build, patient_attr, BuildConfig, DbShape, Organization};
 
     fn tiny_db() -> Database {
         // Scaled DB2: 1000x smaller than the paper's.
@@ -154,6 +435,42 @@ mod tests {
             Organization::ClassClustered,
             1000,
         ))
+    }
+
+    /// Runs `update Patients set num = num + delta where mrn < limit`
+    /// on a checked-out session database.
+    fn update_patients(db: &mut Database, limit: i64, delta: i32) -> u64 {
+        let scan = db.idx_patient_mrn.clone();
+        let mut idx_mrn = db.idx_patient_mrn.clone();
+        let mut idx_num = db.idx_patient_num.clone();
+        let out = {
+            let mut reg = [
+                MaintainedIndex {
+                    index: &mut idx_mrn,
+                    key_attr: patient_attr::MRN,
+                },
+                MaintainedIndex {
+                    index: &mut idx_num,
+                    key_attr: patient_attr::NUM,
+                },
+            ];
+            run_update(
+                &mut db.store,
+                &scan,
+                &mut reg,
+                &UpdateSpec {
+                    collection: "Patients".into(),
+                    key_limit: limit,
+                    set_attr: patient_attr::NUM,
+                    delta,
+                },
+                None,
+            )
+        };
+        db.idx_patient_mrn = idx_mrn;
+        db.idx_patient_num = idx_num;
+        db.store.end_of_query();
+        out.updated
     }
 
     #[test]
@@ -167,6 +484,7 @@ mod tests {
         mgr.restore(id, db);
         let report = mgr.close(id).unwrap();
         assert_eq!(report.leaked_handles, 0);
+        assert_eq!(report.uncommitted_pages, 0);
         assert_eq!(mgr.take(id).err(), Some(SessionError::Unknown(id)));
         assert_eq!(mgr.open_count(), 0);
     }
@@ -197,5 +515,131 @@ mod tests {
         assert_eq!(mgr.open_count(), 2);
         mgr.close(a).unwrap();
         mgr.close(b).unwrap();
+    }
+
+    /// `num` of the patient with `mrn == 0`.
+    fn num_of_first_patient(db: &mut Database) -> i64 {
+        let rids = db.idx_patient_mrn.lookup(db.store.stack_mut(), 0);
+        assert_eq!(rids.len(), 1);
+        let num = db.store.with_fetched(rids[0], |_store, g| {
+            g.object().values[patient_attr::NUM]
+                .as_int()
+                .expect("num is Int") as i64
+        });
+        db.store.end_of_query();
+        num
+    }
+
+    #[test]
+    fn commit_publishes_and_readers_repin() {
+        let mgr = SessionManager::new(tiny_db());
+        let writer = mgr.create(CacheMode::Warm);
+        let reader = mgr.create(CacheMode::Warm);
+        // Reader takes (and returns) its snapshot before the commit.
+        let (mut db_r, _) = mgr.take(reader).unwrap();
+        let before = num_of_first_patient(&mut db_r);
+        mgr.restore(reader, db_r);
+        // Writer updates and commits.
+        let (mut db_w, _) = mgr.take(writer).unwrap();
+        let limit = db_w.patient_selectivity_key(10);
+        assert!(update_patients(&mut db_w, limit, 7) > 0);
+        mgr.restore(writer, db_w);
+        match mgr.commit(writer).unwrap() {
+            CommitOutcome::Committed { epoch, pages } => {
+                assert_eq!(epoch, 1);
+                assert!(pages > 0);
+            }
+            other => panic!("expected commit, got {other:?}"),
+        }
+        assert_eq!(mgr.current_epoch(), 1);
+        // The reader's next checkout re-pins to epoch 1 and sees the
+        // committed num values.
+        let (mut db_r, _) = mgr.take(reader).unwrap();
+        assert_eq!(num_of_first_patient(&mut db_r), before + 7);
+        mgr.restore(reader, db_r);
+        mgr.close(reader).unwrap();
+        mgr.close(writer).unwrap();
+    }
+
+    #[test]
+    fn conflicting_commit_aborts_with_winner_named() {
+        let mgr = SessionManager::new(tiny_db());
+        let a = mgr.create(CacheMode::Warm);
+        let b = mgr.create(CacheMode::Warm);
+        let (mut db_a, _) = mgr.take(a).unwrap();
+        let (mut db_b, _) = mgr.take(b).unwrap();
+        let limit_a = db_a.patient_selectivity_key(10);
+        let limit_b = db_b.patient_selectivity_key(5);
+        update_patients(&mut db_a, limit_a, 1);
+        update_patients(&mut db_b, limit_b, 2);
+        mgr.restore(a, db_a);
+        mgr.restore(b, db_b);
+        assert!(matches!(
+            mgr.commit(a).unwrap(),
+            CommitOutcome::Committed { epoch: 1, .. }
+        ));
+        match mgr.commit(b).unwrap() {
+            CommitOutcome::Aborted { conflict } => {
+                assert_eq!(conflict.epoch, 1);
+                assert!(!conflict.file.is_empty());
+            }
+            other => panic!("expected abort, got {other:?}"),
+        }
+        // b was re-pinned to the winner's epoch; a fresh commit of a
+        // new write on b succeeds against epoch 1.
+        let (mut db_b, _) = mgr.take(b).unwrap();
+        let limit = db_b.patient_selectivity_key(3);
+        update_patients(&mut db_b, limit, 5);
+        mgr.restore(b, db_b);
+        assert!(matches!(
+            mgr.commit(b).unwrap(),
+            CommitOutcome::Committed { epoch: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn abort_discards_writes_and_repins() {
+        let mgr = SessionManager::new(tiny_db());
+        let id = mgr.create(CacheMode::Warm);
+        let (mut db, _) = mgr.take(id).unwrap();
+        let limit = db.patient_selectivity_key(10);
+        update_patients(&mut db, limit, 3);
+        mgr.restore(id, db);
+        let discarded = mgr.abort(id).unwrap();
+        assert!(discarded > 0, "the update dirtied pages");
+        // After the abort the session is clean again.
+        let report = mgr.close(id).unwrap();
+        assert_eq!(report.uncommitted_pages, 0);
+    }
+
+    #[test]
+    fn close_reports_uncommitted_pages() {
+        let mgr = SessionManager::new(tiny_db());
+        let id = mgr.create(CacheMode::Warm);
+        let (mut db, _) = mgr.take(id).unwrap();
+        let limit = db.patient_selectivity_key(10);
+        update_patients(&mut db, limit, 3);
+        db.store.cold_restart(); // flush so the CoW diff sees the writes
+        mgr.restore(id, db);
+        let report = mgr.close(id).unwrap();
+        assert!(report.uncommitted_pages > 0);
+    }
+
+    #[test]
+    fn empty_commit_repins_to_newest_epoch() {
+        let mgr = SessionManager::new(tiny_db());
+        let reader = mgr.create(CacheMode::Warm);
+        let writer = mgr.create(CacheMode::Warm);
+        let (mut db_w, _) = mgr.take(writer).unwrap();
+        let limit = db_w.patient_selectivity_key(10);
+        update_patients(&mut db_w, limit, 1);
+        mgr.restore(writer, db_w);
+        mgr.commit(writer).unwrap();
+        match mgr.commit(reader).unwrap() {
+            CommitOutcome::Committed { epoch, pages } => {
+                assert_eq!((epoch, pages), (1, 0));
+            }
+            other => panic!("expected trivial commit, got {other:?}"),
+        }
     }
 }

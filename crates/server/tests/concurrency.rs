@@ -8,7 +8,7 @@ use std::thread;
 
 use tq_query::{JoinAlgo, JoinOptions};
 use tq_server::measure::{run_join_cell, stat_record};
-use tq_server::{CacheMode, Client, QuerySpec, Response, Server, ServerConfig};
+use tq_server::{CacheMode, Client, QuerySpec, Response, Server, ServerConfig, UpdateTarget};
 use tq_statsdb::Stat;
 use tq_workload::{build, BuildConfig, Database, DbShape, Organization};
 
@@ -63,7 +63,7 @@ fn run_one(
         Response::QueryOk { results, stat } => (results, *stat),
         other => panic!("expected QueryOk, got {other:?}"),
     };
-    let (_drained, leaked) = client.close_session(session).unwrap();
+    let (_drained, leaked, _uncommitted) = client.close_session(session).unwrap();
     (results, stat, leaked)
 }
 
@@ -154,7 +154,7 @@ fn deadline_cancel_then_session_still_matches_oracle() {
         other => panic!("expected QueryOk after recovery, got {other:?}"),
     }
 
-    let (_drained, leaked) = client.close_session(session).unwrap();
+    let (_drained, leaked, _uncommitted) = client.close_session(session).unwrap();
     assert_eq!(leaked, 0, "cancelled session leaked handles");
     let stats = server.stats();
     assert_eq!(stats.queries_deadline_exceeded, 1);
@@ -211,7 +211,7 @@ fn warm_sessions_are_isolated_from_each_other() {
         }
         other => panic!("expected QueryOk, got {other:?}"),
     }
-    let (_drained, leaked) = client.close_session(session).unwrap();
+    let (_drained, leaked, _uncommitted) = client.close_session(session).unwrap();
     assert_eq!(leaked, 0);
 
     noisy.join().unwrap();
@@ -260,7 +260,7 @@ fn saturated_server_sheds_instead_of_queueing_unboundedly() {
                         other => panic!("unexpected {other:?}"),
                     }
                 }
-                let (_drained, leaked) = client.close_session(session).unwrap();
+                let (_drained, leaked, _uncommitted) = client.close_session(session).unwrap();
                 assert_eq!(leaked, 0);
                 (ok, shed)
             })
@@ -283,4 +283,290 @@ fn saturated_server_sheds_instead_of_queueing_unboundedly() {
     assert_eq!(stats.queries_shed, shed);
     assert_eq!(server.open_sessions(), 0);
     Arc::try_unwrap(server).ok().unwrap().shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Commit-path interleavings: the MVCC epoch protocol under real racing
+// threads, over the wire protocol (the session-level unit tests in
+// `src/session.rs` cover the same transitions sequentially).
+// ---------------------------------------------------------------------
+
+/// Runs `update Patients set num = num + 1 where mrn < K(sel)` on an
+/// open session and asserts it succeeded.
+fn update_patients(client: &mut Client<tq_server::DuplexStream>, session: u64, sel_pct: u32) {
+    match client
+        .update(session, UpdateTarget::Patients, sel_pct, 1, 0)
+        .unwrap()
+    {
+        Response::UpdateOk { updated, .. } => assert!(updated > 0, "update matched no rows"),
+        other => panic!("expected UpdateOk, got {other:?}"),
+    }
+}
+
+#[test]
+fn overlapping_commits_race_to_exactly_one_winner() {
+    let base = base_db();
+    // The loadgen write (`num += 1`) never touches a join key, so the
+    // read workload must stay byte-identical across committed epochs.
+    let (want_results, want_stat) = serial_oracle(&base, JoinAlgo::Chj, 10, 90);
+    let server = Arc::new(Server::start(base, ServerConfig::default()));
+
+    // A warm read session opened *before* any commit: it must re-pin
+    // to the winning epoch on its next query without being told.
+    let mut bystander = Client::new(server.connect_in_proc());
+    let bystander_session = bystander.open_session(CacheMode::Warm).unwrap();
+
+    // Two sessions buffer overlapping Patients write-sets, then race
+    // their commits through the barrier.
+    let barrier = Arc::new(Barrier::new(2));
+    let handles: Vec<_> = (0..2)
+        .map(|_| {
+            let server = Arc::clone(&server);
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                let mut client = Client::new(server.connect_in_proc());
+                let session = client.open_session(CacheMode::Warm).unwrap();
+                update_patients(&mut client, session, 10);
+                barrier.wait();
+                let first = client.commit(session).unwrap();
+                // First-committer-wins: the loser was re-pinned onto the
+                // winner's epoch, so an immediate retry must land.
+                let retry = match &first {
+                    Response::Aborted { .. } => {
+                        update_patients(&mut client, session, 10);
+                        Some(client.commit(session).unwrap())
+                    }
+                    _ => None,
+                };
+                let (_drained, leaked, uncommitted) = client.close_session(session).unwrap();
+                assert_eq!(leaked, 0);
+                assert_eq!(uncommitted, 0, "a committed session has nothing to discard");
+                (first, retry)
+            })
+        })
+        .collect();
+    let outcomes: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    // Exactly one Committed and one typed Aborted naming the winner.
+    let committed: Vec<_> = outcomes
+        .iter()
+        .filter_map(|(first, _)| match first {
+            Response::Committed { epoch, pages } => Some((*epoch, *pages)),
+            _ => None,
+        })
+        .collect();
+    let aborted: Vec<_> = outcomes
+        .iter()
+        .filter_map(|(first, _)| match first {
+            Response::Aborted {
+                conflict_file,
+                conflict_epoch,
+            } => Some((conflict_file.clone(), *conflict_epoch)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(committed.len(), 1, "exactly one commit wins: {outcomes:?}");
+    assert_eq!(aborted.len(), 1, "exactly one commit aborts: {outcomes:?}");
+    let (win_epoch, win_pages) = committed[0];
+    assert_eq!(win_epoch, 1, "the winner publishes the first epoch");
+    assert!(win_pages > 0, "an update write-set has pages");
+    let (conflict_file, conflict_epoch) = aborted[0].clone();
+    assert!(!conflict_file.is_empty(), "the conflict names its file");
+    assert_eq!(conflict_epoch, win_epoch, "the conflict names the winner");
+
+    // The loser's retry (now based on epoch 1) published epoch 2.
+    let retry = outcomes
+        .iter()
+        .find_map(|(_, retry)| retry.clone())
+        .expect("the aborted session retried");
+    match retry {
+        Response::Committed { epoch, pages } => {
+            assert_eq!(epoch, 2, "the retry commits on top of the winner");
+            assert!(pages > 0);
+        }
+        other => panic!("retry must commit cleanly, got {other:?}"),
+    }
+    assert_eq!(server.current_epoch(), 2);
+    let stats = server.stats();
+    assert_eq!(stats.commits, 2);
+    assert_eq!(stats.commit_aborts, 1);
+
+    // The idle warm session re-pins on its next query; its read-only
+    // commit then reports the newest epoch, proving it observes the
+    // published pages.
+    let resp = bystander
+        .query(QuerySpec {
+            session: bystander_session,
+            algo: JoinAlgo::Chj,
+            pat_pct: 10,
+            prov_pct: 90,
+            deadline_nanos: 0,
+        })
+        .unwrap();
+    assert!(matches!(resp, Response::QueryOk { .. }));
+    match bystander.commit(bystander_session).unwrap() {
+        Response::Committed { epoch, pages } => {
+            assert_eq!(epoch, 2, "warm session re-pinned to the newest epoch");
+            assert_eq!(pages, 0, "a read-only commit publishes nothing");
+        }
+        other => panic!("expected read-only Committed, got {other:?}"),
+    }
+    bystander.close_session(bystander_session).unwrap();
+    drop(bystander);
+
+    // num is not a join key and the rewrites are fixed-width in-place:
+    // a cold session over the committed state reproduces the base
+    // oracle's Stat byte for byte.
+    let (results, stat, leaked) = run_one(&server, CacheMode::Cold, JoinAlgo::Chj, 10, 90);
+    assert_eq!(leaked, 0);
+    assert_eq!(
+        results, want_results,
+        "committed writes changed a result set"
+    );
+    assert_eq!(stat, want_stat, "committed writes perturbed read Stats");
+
+    Arc::try_unwrap(server).ok().unwrap().shutdown();
+}
+
+#[test]
+fn disjoint_commits_both_publish() {
+    let base = base_db();
+    let server = Arc::new(Server::start(base, ServerConfig::default()));
+    let barrier = Arc::new(Barrier::new(2));
+    let handles: Vec<_> = [UpdateTarget::Patients, UpdateTarget::Providers]
+        .into_iter()
+        .map(|target| {
+            let server = Arc::clone(&server);
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                let mut client = Client::new(server.connect_in_proc());
+                let session = client.open_session(CacheMode::Warm).unwrap();
+                // Patients: num += 1 (dirties Patients + the num index).
+                // Providers: upin += 0, a touch-update that dirties only
+                // the Providers data file — disjoint from the other
+                // session's write-set.
+                let delta = match target {
+                    UpdateTarget::Patients => 1,
+                    UpdateTarget::Providers => 0,
+                };
+                match client.update(session, target, 10, delta, 0).unwrap() {
+                    Response::UpdateOk { updated, .. } => assert!(updated > 0),
+                    other => panic!("expected UpdateOk, got {other:?}"),
+                }
+                barrier.wait();
+                let resp = client.commit(session).unwrap();
+                let (_drained, leaked, uncommitted) = client.close_session(session).unwrap();
+                assert_eq!(leaked, 0);
+                assert_eq!(uncommitted, 0);
+                resp
+            })
+        })
+        .collect();
+    let outcomes: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    // Disjoint write-sets never conflict: both commits land, in either
+    // order, publishing epochs 1 and 2.
+    let mut epochs = Vec::new();
+    for resp in &outcomes {
+        match resp {
+            Response::Committed { epoch, pages } => {
+                assert!(*pages > 0);
+                epochs.push(*epoch);
+            }
+            other => panic!("disjoint commit must land, got {other:?}"),
+        }
+    }
+    epochs.sort_unstable();
+    assert_eq!(epochs, vec![1, 2]);
+    assert_eq!(server.current_epoch(), 2);
+    let stats = server.stats();
+    assert_eq!(stats.commits, 2);
+    assert_eq!(stats.commit_aborts, 0);
+    Arc::try_unwrap(server).ok().unwrap().shutdown();
+}
+
+#[test]
+fn commit_after_deadline_cancelled_update_is_read_only() {
+    let server = Server::start(base_db(), ServerConfig::default());
+    let mut client = Client::new(server.connect_in_proc());
+    let session = client.open_session(CacheMode::Warm).unwrap();
+
+    // 1ns of simulated time: the statement cancels mid-flight and the
+    // session is refilled from its base epoch — the half-applied
+    // transaction dies with the discarded clone.
+    let resp = client
+        .update(session, UpdateTarget::Patients, 100, 1, 1)
+        .unwrap();
+    assert!(
+        matches!(resp, Response::DeadlineExceeded { .. }),
+        "expected DeadlineExceeded, got {resp:?}"
+    );
+
+    // A commit racing in right after the cancellation finds a clean
+    // session: read-only re-pin, no epoch published.
+    match client.commit(session).unwrap() {
+        Response::Committed { epoch, pages } => {
+            assert_eq!(epoch, 0, "a cancelled transaction publishes nothing");
+            assert_eq!(pages, 0);
+        }
+        other => panic!("expected read-only Committed, got {other:?}"),
+    }
+    assert_eq!(server.current_epoch(), 0);
+
+    // The session is fully usable afterwards: the same statement,
+    // un-deadlined, buffers and commits normally.
+    update_patients(&mut client, session, 100);
+    match client.commit(session).unwrap() {
+        Response::Committed { epoch, pages } => {
+            assert_eq!(epoch, 1);
+            assert!(pages > 0);
+        }
+        other => panic!("expected Committed, got {other:?}"),
+    }
+    let (_drained, leaked, uncommitted) = client.close_session(session).unwrap();
+    assert_eq!(leaked, 0);
+    assert_eq!(uncommitted, 0);
+    let stats = server.stats();
+    assert_eq!(stats.queries_deadline_exceeded, 1);
+    assert_eq!(stats.commits, 2);
+    assert_eq!(stats.rollbacks, 0);
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn close_with_uncommitted_writes_reports_the_discarded_pages() {
+    let server = Server::start(base_db(), ServerConfig::default());
+    let mut client = Client::new(server.connect_in_proc());
+
+    let session = client.open_session(CacheMode::Warm).unwrap();
+    update_patients(&mut client, session, 10);
+    // Close without commit: the report counts the pages about to be
+    // thrown away, so the load generator can see write leaks.
+    let (_drained, leaked, uncommitted) = client.close_session(session).unwrap();
+    assert_eq!(leaked, 0);
+    assert!(uncommitted > 0, "buffered writes must be reported at close");
+    assert_eq!(
+        server.current_epoch(),
+        0,
+        "closing an uncommitted session publishes nothing"
+    );
+
+    // An explicit abort discards the same pages and closes clean.
+    let session = client.open_session(CacheMode::Warm).unwrap();
+    update_patients(&mut client, session, 10);
+    let discarded = client.abort(session).unwrap();
+    assert_eq!(
+        discarded, uncommitted,
+        "abort and close discard the same write-set"
+    );
+    let (_drained, leaked, after_abort) = client.close_session(session).unwrap();
+    assert_eq!(leaked, 0);
+    assert_eq!(after_abort, 0, "an aborted session has nothing left");
+    assert_eq!(server.current_epoch(), 0);
+    let stats = server.stats();
+    assert_eq!(stats.commits, 0);
+    assert_eq!(stats.rollbacks, 1);
+    drop(client);
+    server.shutdown();
 }

@@ -5,7 +5,7 @@
 use tq_query::JoinAlgo;
 use tq_server::proto::{
     read_frame, write_frame, CacheMode, DecodeError, FrameError, QuerySpec, Request, Response,
-    MAX_FRAME,
+    UpdateTarget, MAX_FRAME,
 };
 use tq_simrng::SimRng;
 use tq_statsdb::{ExtentDesc, OperatorStat, QueryDesc, Stat, SystemDesc};
@@ -87,7 +87,7 @@ fn rng_stat(rng: &mut SimRng) -> Stat {
 }
 
 fn rng_request(rng: &mut SimRng) -> Request {
-    match rng.index(3) {
+    match rng.index(6) {
         0 => Request::Hello {
             mode: if rng.bool() {
                 CacheMode::Warm
@@ -102,6 +102,23 @@ fn rng_request(rng: &mut SimRng) -> Request {
             prov_pct: rng.next_u32(),
             deadline_nanos: rng.next_u64(),
         }),
+        2 => Request::Update {
+            session: rng.next_u64(),
+            target: if rng.bool() {
+                UpdateTarget::Patients
+            } else {
+                UpdateTarget::Providers
+            },
+            sel_pct: rng.next_u32(),
+            delta: rng.next_u32() as i32,
+            deadline_nanos: rng.next_u64(),
+        },
+        3 => Request::Commit {
+            session: rng.next_u64(),
+        },
+        4 => Request::Abort {
+            session: rng.next_u64(),
+        },
         _ => Request::Close {
             session: rng.next_u64(),
         },
@@ -109,7 +126,7 @@ fn rng_request(rng: &mut SimRng) -> Request {
 }
 
 fn rng_response(rng: &mut SimRng) -> Response {
-    match rng.index(6) {
+    match rng.index(10) {
         0 => Response::SessionOpened {
             session: rng.next_u64(),
         },
@@ -126,6 +143,22 @@ fn rng_response(rng: &mut SimRng) -> Response {
         4 => Response::SessionClosed {
             drained_handles: rng.next_u64(),
             leaked_handles: rng.next_u64(),
+            uncommitted_pages: rng.next_u64(),
+        },
+        5 => Response::UpdateOk {
+            updated: rng.next_u64(),
+            stat: Box::new(rng_stat(rng)),
+        },
+        6 => Response::Committed {
+            epoch: rng.next_u64(),
+            pages: rng.next_u64(),
+        },
+        7 => Response::Aborted {
+            conflict_file: rng_string(rng),
+            conflict_epoch: rng.next_u64(),
+        },
+        8 => Response::RolledBack {
+            discarded_pages: rng.next_u64(),
         },
         _ => Response::Error {
             msg: rng_string(rng),
@@ -166,6 +199,16 @@ fn response_bits_eq(a: &Response, b: &Response) -> bool {
                 stat: sb,
             },
         ) => ra == rb && stat_bits_eq(sa, sb),
+        (
+            Response::UpdateOk {
+                updated: ua,
+                stat: sa,
+            },
+            Response::UpdateOk {
+                updated: ub,
+                stat: sb,
+            },
+        ) => ua == ub && stat_bits_eq(sa, sb),
         _ => a == b,
     }
 }
@@ -258,6 +301,69 @@ fn truncated_frames_and_oversized_headers_are_typed_errors() {
         write_frame(&mut Vec::new(), &big),
         Err(FrameError::TooLarge(_))
     ));
+}
+
+#[test]
+fn adversarial_length_prefixes_never_balloon_memory() {
+    // A peer controls the 4-byte frame header. Whatever it claims, the
+    // reader must reject anything above MAX_FRAME *before* allocating,
+    // and treat in-range claims with missing bytes as truncation.
+    let mut rng = SimRng::seed_from_u64(0x7076);
+    for _ in 0..2000 {
+        let claimed = rng.next_u32();
+        let mut wire = claimed.to_le_bytes().to_vec();
+        // A few real bytes, far fewer than claimed for large claims.
+        let supplied = rng.index(64);
+        wire.extend(std::iter::repeat_n(0xAB, supplied));
+        match read_frame(&mut &wire[..]) {
+            Ok(payload) => assert!(payload.len() as u32 == claimed && payload.len() <= supplied),
+            Err(FrameError::TooLarge(n)) => {
+                assert_eq!(n, claimed as u64);
+                assert!(claimed as usize > MAX_FRAME);
+            }
+            Err(FrameError::Truncated) => assert!((claimed as usize) > supplied),
+            other => panic!("unexpected {other:?} for claimed={claimed}"),
+        }
+    }
+}
+
+#[test]
+fn forged_element_counts_fail_before_looping() {
+    // A QueryOk whose operator count claims u32::MAX rows but carries
+    // none: the decoder must reject the count against the remaining
+    // payload instead of iterating four billion times.
+    let ok = Response::QueryOk {
+        results: 1,
+        stat: Box::new(rng_stat(&mut SimRng::seed_from_u64(0x7077))),
+    };
+    let good = ok.encode();
+    // Walk every u32-aligned position and overwrite it with a huge
+    // value: whatever field it lands on (count, string length, or plain
+    // integer), decoding must stay a cheap typed error or a valid
+    // decode — never a hang or panic. The TrailingBytes case covers a
+    // forged count *shrinking* under a value field's bytes.
+    for at in (1..good.len().saturating_sub(4)).step_by(4) {
+        let mut forged = good.clone();
+        forged[at..at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let _ = Response::decode(&forged);
+        let mut forged_small = good.clone();
+        forged_small[at..at + 4].copy_from_slice(&0xFFFF_u32.to_le_bytes());
+        let _ = Response::decode(&forged_small);
+    }
+    // The targeted case: tag + results + a Stat prefix ending in a
+    // forged selectivity count.
+    let mut crafted = vec![129u8];
+    crafted.extend_from_slice(&1u64.to_le_bytes()); // results
+    crafted.extend_from_slice(&0u64.to_le_bytes()); // numtest
+    crafted.push(1); // cold
+    crafted.extend_from_slice(&0u32.to_le_bytes()); // projection_type ""
+    crafted.extend_from_slice(&u32::MAX.to_le_bytes()); // selectivity count
+    let start = std::time::Instant::now();
+    assert_eq!(Response::decode(&crafted), Err(DecodeError::Truncated));
+    assert!(
+        start.elapsed() < std::time::Duration::from_millis(100),
+        "forged count must be rejected up front, not element by element"
+    );
 }
 
 #[test]

@@ -107,12 +107,21 @@ impl LogHistogram {
         }
     }
 
-    /// Value at quantile `q` in `[0, 1]`: the midpoint of the bucket
-    /// holding the `ceil(q·count)`-th smallest recording, clamped to
-    /// the exact observed min/max. 0 if empty.
+    /// Value at quantile `q`: the midpoint of the bucket holding the
+    /// `ceil(q·count)`-th smallest recording, clamped to the exact
+    /// observed min/max. The boundaries are exact, not bucket
+    /// approximations: `q ≤ 0` is the recorded minimum and `q ≥ 1` the
+    /// recorded maximum (out-of-range `q` clamps rather than panics;
+    /// NaN falls through to the minimum). 0 if empty.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.total == 0 {
             return 0;
+        }
+        if q.is_nan() || q <= 0.0 {
+            return self.min();
+        }
+        if q >= 1.0 {
+            return self.max();
         }
         let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
         let mut seen = 0;
@@ -161,6 +170,10 @@ pub struct LatencyStat {
     pub deadline_exceeded: u64,
     /// Queries answered with a protocol/server error.
     pub errors: u64,
+    /// Write transactions committed (mixed-workload runs; 0 otherwise).
+    pub commits: u64,
+    /// Write transactions aborted by commit validation.
+    pub aborts: u64,
     /// Fastest successful query, nanoseconds.
     pub min_nanos: u64,
     /// Mean successful-query latency, nanoseconds.
@@ -188,6 +201,8 @@ impl LatencyStat {
         queries_shed: u64,
         deadline_exceeded: u64,
         errors: u64,
+        commits: u64,
+        aborts: u64,
     ) -> Self {
         Self {
             label: label.into(),
@@ -199,6 +214,8 @@ impl LatencyStat {
             queries_shed,
             deadline_exceeded,
             errors,
+            commits,
+            aborts,
             min_nanos: hist.min(),
             mean_nanos: hist.mean(),
             p50_nanos: hist.quantile(0.50),
@@ -224,11 +241,22 @@ impl LatencyStat {
         }
         self.queries_shed as f64 / arrivals as f64
     }
+
+    /// Fraction of write transactions that lost commit validation
+    /// (aborts / attempts). 0.0 for read-only runs.
+    pub fn abort_rate(&self) -> f64 {
+        let attempts = self.commits + self.aborts;
+        if attempts == 0 {
+            return 0.0;
+        }
+        self.aborts as f64 / attempts as f64
+    }
 }
 
 /// Header of the latency CSV, shared by writer and parser.
 const LATENCY_CSV_HEADER: &str = "label,concurrency,workers,queue_depth,duration_ns,\
-     ok,shed,deadline_exceeded,errors,min_ns,mean_ns,p50_ns,p95_ns,p99_ns,max_ns";
+     ok,shed,deadline_exceeded,errors,commits,aborts,\
+     min_ns,mean_ns,p50_ns,p95_ns,p99_ns,max_ns";
 
 fn csv_field(s: &str) -> String {
     if s.contains([',', '"', '\n']) {
@@ -247,7 +275,7 @@ pub fn to_latency_csv<'a>(stats: impl IntoIterator<Item = &'a LatencyStat>) -> S
     for s in stats {
         writeln!(
             out,
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             csv_field(&s.label),
             s.concurrency,
             s.workers,
@@ -257,6 +285,8 @@ pub fn to_latency_csv<'a>(stats: impl IntoIterator<Item = &'a LatencyStat>) -> S
             s.queries_shed,
             s.deadline_exceeded,
             s.errors,
+            s.commits,
+            s.aborts,
             s.min_nanos,
             s.mean_nanos,
             s.p50_nanos,
@@ -300,7 +330,7 @@ pub fn parse_latency_csv(csv: &str) -> Option<Vec<LatencyStat>> {
     let mut rows = Vec::new();
     for line in lines {
         let f = split_csv_line(line);
-        if f.len() != 15 {
+        if f.len() != 17 {
             return None;
         }
         let num = |i: usize| f[i].parse::<u64>().ok();
@@ -314,12 +344,14 @@ pub fn parse_latency_csv(csv: &str) -> Option<Vec<LatencyStat>> {
             queries_shed: num(6)?,
             deadline_exceeded: num(7)?,
             errors: num(8)?,
-            min_nanos: num(9)?,
-            mean_nanos: num(10)?,
-            p50_nanos: num(11)?,
-            p95_nanos: num(12)?,
-            p99_nanos: num(13)?,
-            max_nanos: num(14)?,
+            commits: num(9)?,
+            aborts: num(10)?,
+            min_nanos: num(11)?,
+            mean_nanos: num(12)?,
+            p50_nanos: num(13)?,
+            p95_nanos: num(14)?,
+            p99_nanos: num(15)?,
+            max_nanos: num(16)?,
         });
     }
     Some(rows)
@@ -372,6 +404,37 @@ mod tests {
         assert_eq!(h.max(), 0);
         assert_eq!(h.mean(), 0);
         assert_eq!(h.quantile(0.99), 0);
+        // Boundary quantiles of an empty histogram are 0 too — not
+        // u64::MAX leaking out of the untouched `min` field.
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 0);
+    }
+
+    #[test]
+    fn boundary_quantiles_are_exact_extremes() {
+        // Regression: q=0 used to return the first occupied bucket's
+        // midpoint (above the true minimum once values outgrow the
+        // exact sub-bucket range) and q=1 the last bucket's clamped
+        // midpoint. Both must be the *recorded* extremes, exactly.
+        let mut h = LogHistogram::new();
+        for v in [1_000_003u64, 5_500_017, 9_999_991] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 1_000_003);
+        assert_eq!(h.quantile(1.0), 9_999_991);
+        // Out-of-range q clamps instead of panicking or indexing wild.
+        assert_eq!(h.quantile(-3.5), 1_000_003);
+        assert_eq!(h.quantile(7.0), 9_999_991);
+        assert_eq!(h.quantile(f64::NAN), 1_000_003);
+        // Interior quantiles still sit within the recorded range.
+        let q50 = h.quantile(0.5);
+        assert!((1_000_003..=9_999_991).contains(&q50));
+        // A single-value histogram answers that value at every q.
+        let mut one = LogHistogram::new();
+        one.record(123_456_789);
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(one.quantile(q), 123_456_789, "q={q}");
+        }
     }
 
     #[test]
@@ -414,6 +477,8 @@ mod tests {
                 3,
                 1,
                 0,
+                12,
+                4,
             ),
             LatencyStat::default(),
         ];
@@ -425,6 +490,8 @@ mod tests {
         // Derived rates behave.
         assert!(parsed[0].throughput_qps() > 0.0);
         assert!((parsed[0].shed_rate() - 3.0 / 9.0).abs() < 1e-12);
+        assert!((parsed[0].abort_rate() - 4.0 / 16.0).abs() < 1e-12);
+        assert_eq!(parsed[1].abort_rate(), 0.0, "read-only runs report 0");
     }
 
     #[test]

@@ -73,6 +73,30 @@ impl Database {
         (self.patient_count as i64 * pct as i64) / 100
     }
 
+    /// Splices a committed transaction's write-set into this database:
+    /// every touched file is adopted wholesale from `src` (pages stay
+    /// shared — see `ObjectStore::adopt_file_from`), and the B-tree
+    /// descriptors whose node file was rewritten come along with it,
+    /// since root/height/entry-count live in the descriptor rather
+    /// than on a page. The MVCC epoch-merge path calls this with
+    /// `self` = a clone of the newest epoch and `src` = the committing
+    /// session's database, after validating that `ws` is disjoint from
+    /// every epoch published since the session's base.
+    pub fn absorb_write_set(&mut self, src: &Database, ws: &tq_pagestore::WriteSet) {
+        for fw in ws.files() {
+            self.store.adopt_file_from(&src.store, fw.file);
+        }
+        if ws.touches(src.idx_provider_upin.file) {
+            self.idx_provider_upin = src.idx_provider_upin.clone();
+        }
+        if ws.touches(src.idx_patient_mrn.file) {
+            self.idx_patient_mrn = src.idx_patient_mrn.clone();
+        }
+        if ws.touches(src.idx_patient_num.file) {
+            self.idx_patient_num = src.idx_patient_num.clone();
+        }
+    }
+
     /// Convenience: run a closure between a cold restart + metric reset
     /// and an end-of-query handle drain; returns elapsed simulated
     /// seconds (the paper's measurement protocol).

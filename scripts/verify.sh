@@ -52,8 +52,24 @@ echo "$SERVE_CSV"
 echo "$SERVE_CSV" | grep -q \
     '^label,concurrency,workers,queue_depth,duration_ns,ok,shed,deadline_exceeded,errors,' \
     || { echo "error: loadgen latency-CSV header missing" >&2; exit 1; }
-SERVE_ROWS=$(echo "$SERVE_CSV" | awk -F, '/^label,/{h=1;next} h && NF==15' | wc -l)
+SERVE_ROWS=$(echo "$SERVE_CSV" | awk -F, '/^label,/{h=1;next} h && NF==17' | wc -l)
 [ "$SERVE_ROWS" -eq 1 ] \
     || { echo "error: expected 1 well-formed latency-CSV row, got $SERVE_ROWS" >&2; exit 1; }
+echo "$SERVE_CSV" | awk -F, '/^label,/{h=1;next} h { exit !($10 == 0 && $11 == 0) }' \
+    || { echo "error: read-only serve reported commits/aborts" >&2; exit 1; }
+
+echo "== smoke serve, mixed writes (TQ_WRITE_MIX=30) =="
+# Same loadgen gate under a 30% write mix: still zero errors and zero
+# leaked handles (loadgen exits non-zero otherwise), at least one
+# commit actually published, and the abort column well formed (aborts
+# never exceed commit attempts; both land in their own CSV columns).
+MIX_CSV=$(TQ_SCALE=200 TQ_JOBS=2 TQ_CONCURRENCY=4 TQ_DURATION=2 TQ_WRITE_MIX=30 \
+    cargo run --release -p tq-bench --bin loadgen)
+echo "$MIX_CSV"
+MIX_ROWS=$(echo "$MIX_CSV" | awk -F, '/^label,/{h=1;next} h && NF==17' | wc -l)
+[ "$MIX_ROWS" -eq 1 ] \
+    || { echo "error: expected 1 well-formed mixed latency-CSV row, got $MIX_ROWS" >&2; exit 1; }
+echo "$MIX_CSV" | awk -F, '/^label,/{h=1;next} h { exit !($9 == 0 && $10 > 0 && $11 >= 0) }' \
+    || { echo "error: mixed serve must commit writes without errors" >&2; exit 1; }
 
 echo "verify: OK"

@@ -197,6 +197,56 @@ fn bench_swap_and_spill() {
     });
 }
 
+fn bench_batching() {
+    use tq_objstore::ObjBatch;
+    use tq_query::exec::{set_default_batch_size, DEFAULT_BATCH_SIZE};
+
+    // The same rid stream through the scalar fetch/unref loop and
+    // through the pooled batch arena — the per-call overhead the
+    // batch protocol amortizes.
+    let mut db = build_db(DbShape::Db2, Organization::ClassClustered, 2000);
+    let rids: Vec<Rid> = {
+        let mut cursor = db.store.collection_cursor("Patients");
+        let mut out = Vec::new();
+        while let Some(r) = cursor.next(db.store.stack_mut()) {
+            out.push(r);
+        }
+        out
+    };
+    bench("batch/fetch_unref_scalar_loop", || {
+        for &rid in &rids {
+            let f = db.store.fetch(rid);
+            black_box(f.object.header.is_deleted());
+            db.store.unref(rid);
+        }
+    });
+    let mut arena = ObjBatch::default();
+    bench("batch/fetch_batch_1024", || {
+        for chunk in rids.chunks(1024) {
+            db.store.fetch_batch(chunk, &mut arena);
+            black_box(arena.len());
+            db.store.release_batch(&mut arena);
+        }
+    });
+
+    // A full PHJ cell — build + probe + emit — on the scalar path vs
+    // the batched pipeline (probe-side gather fetches and deferred
+    // emits are where the time goes).
+    for (name, b) in [("scalar", 1), ("batched", DEFAULT_BATCH_SIZE)] {
+        set_default_batch_size(b);
+        bench(&format!("batch/phj_hash_probe_cell_{name}"), || {
+            black_box(run_join_cell(
+                &mut db,
+                JoinAlgo::Phj,
+                50,
+                50,
+                &JoinOptions::default(),
+            ));
+        });
+    }
+    set_default_batch_size(DEFAULT_BATCH_SIZE);
+}
+
 fn bench_joins() {
     // Wall time of a full cold join on a 1/2000-scale 1:3 database.
     let mut db = build_db(DbShape::Db2, Organization::ClassClustered, 2000);
@@ -229,6 +279,7 @@ fn main() {
     bench_btree();
     bench_oql();
     bench_swap_and_spill();
+    bench_batching();
     bench_joins();
     bench_database_build();
 }

@@ -11,7 +11,12 @@ fn main() {
         "Regenerates one of the paper's join figures (11-14, or the \
          random-organization tables summarized in Figure 15).",
         "fig11_14_joins [--db db1|db2] [--org class|random|comp|assoc]",
-        &[env::ENV_SCALE, env::ENV_JOBS, env::ENV_EXPLAIN],
+        &[
+            env::ENV_SCALE,
+            env::ENV_JOBS,
+            env::ENV_BATCH,
+            env::ENV_EXPLAIN,
+        ],
     );
     let args: Vec<String> = std::env::args().collect();
     let arg = |name: &str, default: &str| -> String {

@@ -32,6 +32,7 @@ fn main() {
             env::ENV_QUEUE_DEPTH,
             env::ENV_WRITE_MIX,
             env::ENV_WARMUP_MS,
+            env::ENV_BATCH,
         ],
     );
     let args: Vec<String> = std::env::args().collect();

@@ -27,6 +27,23 @@ pub fn jobs_from_env() -> Result<usize, String> {
     positive_from_env("TQ_JOBS", default, "the worker count").map(|n| n as usize)
 }
 
+/// Reads the executor batch size from `TQ_BATCH` (default
+/// [`tq_query::exec::DEFAULT_BATCH_SIZE`]).
+///
+/// `1` runs the legacy scalar path (one operator scope per tuple) —
+/// kept for differential testing. Any value produces byte-identical
+/// figures and `Stat`s; batching only amortizes the executor's own
+/// bookkeeping (counter snapshots, cancellation checks, handle-table
+/// round trips), never the simulated cost model.
+pub fn batch_from_env() -> Result<usize, String> {
+    positive_from_env(
+        "TQ_BATCH",
+        tq_query::exec::DEFAULT_BATCH_SIZE as u32,
+        "the executor batch size",
+    )
+    .map(|n| n as usize)
+}
+
 /// Reads the closed-loop client count from `TQ_CONCURRENCY`
 /// (default 8) — loadgen only.
 pub fn concurrency_from_env() -> Result<u32, String> {
@@ -122,6 +139,11 @@ pub const ENV_JOBS: EnvDoc = (
 pub const ENV_EXPLAIN: EnvDoc = (
     "TQ_EXPLAIN",
     "if set, also print per-operator counter tables and the operator CSV",
+);
+/// `TQ_BATCH` help row.
+pub const ENV_BATCH: EnvDoc = (
+    "TQ_BATCH",
+    "executor batch size; 1 = scalar path; output is identical either way; default 1024",
 );
 /// `TQ_CONCURRENCY` help row.
 pub const ENV_CONCURRENCY: EnvDoc = (
@@ -224,6 +246,22 @@ mod tests {
         std::env::set_var("TQ_WRITE_MIX", "many");
         assert!(write_mix_from_env().is_err());
         std::env::remove_var("TQ_WRITE_MIX");
+
+        // TQ_BATCH: unset means the compiled default, 1 is the scalar
+        // path (valid), 0 and garbage are rejected — a silently
+        // clamped batch size would hide a typo'd perf experiment.
+        std::env::remove_var("TQ_BATCH");
+        assert_eq!(batch_from_env(), Ok(tq_query::exec::DEFAULT_BATCH_SIZE));
+        std::env::set_var("TQ_BATCH", "1");
+        assert_eq!(batch_from_env(), Ok(1), "1 selects the scalar path");
+        std::env::set_var("TQ_BATCH", "7");
+        assert_eq!(batch_from_env(), Ok(7));
+        std::env::set_var("TQ_BATCH", "0");
+        assert!(batch_from_env().is_err());
+        std::env::set_var("TQ_BATCH", "huge");
+        let err = batch_from_env().unwrap_err();
+        assert!(err.contains("TQ_BATCH") && err.contains("positive integer"));
+        std::env::remove_var("TQ_BATCH");
 
         // TQ_WARMUP_MS: unset means "derive from duration", 0 means
         // "no warmup", any other integer is taken literally.

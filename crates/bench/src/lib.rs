@@ -23,8 +23,12 @@ pub use harness::{build_db, join_spec, physical_profile, run_join_cell, JoinCell
 pub use parallel::run_cells;
 pub use serve::{run_serve, ServeConfig, ServeOutcome};
 
-/// Reads `TQ_SCALE` and `TQ_JOBS`, exiting with status 2 on a bad
-/// value — the standard prologue of every figure binary.
+/// Reads `TQ_SCALE`, `TQ_JOBS`, and `TQ_BATCH`, exiting with status 2
+/// on a bad value — the standard prologue of every figure binary. The
+/// batch size is installed process-wide
+/// ([`tq_query::exec::set_default_batch_size`]) so every
+/// `ExecContext` the run creates — including ones on worker threads —
+/// picks it up.
 pub fn env_config_or_exit() -> (u32, usize) {
     let scale = scale_from_env().unwrap_or_else(|e| {
         eprintln!("{e}");
@@ -34,5 +38,10 @@ pub fn env_config_or_exit() -> (u32, usize) {
         eprintln!("{e}");
         std::process::exit(2);
     });
+    let batch = env::batch_from_env().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    tq_query::exec::set_default_batch_size(batch);
     (scale, jobs)
 }

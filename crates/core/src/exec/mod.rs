@@ -25,11 +25,44 @@
 
 use crate::spec::{ResultMode, TreeJoinSpec};
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use tq_index::BTreeIndex;
-use tq_objstore::{ObjGuard, Object, ObjectStore, Rid};
+use tq_objstore::{ObjBatch, ObjGuard, Object, ObjectStore, Rid};
 use tq_pagestore::{CpuEvent, IoStats};
+
+/// Default executor batch size when `TQ_BATCH` is unset: large enough
+/// to amortize the per-scope snapshot pair over a thousand objects,
+/// small enough that the pending-emit scratch stays cache-resident.
+pub const DEFAULT_BATCH_SIZE: usize = 1024;
+
+/// Process-wide default for [`ExecContext::batch_size`], set once at
+/// startup from `TQ_BATCH` (binaries route through
+/// `tq_bench::env_config_or_exit`). Relaxed ordering suffices: worker
+/// threads are spawned after the knob is set, and any interleaving is
+/// counter-invisible anyway (batched and scalar execution are
+/// bitwise-identical by contract).
+static DEFAULT_BATCH: AtomicUsize = AtomicUsize::new(DEFAULT_BATCH_SIZE);
+
+/// Sets the process-wide default batch size (clamped to ≥ 1; 1 is the
+/// legacy one-object-at-a-time path).
+pub fn set_default_batch_size(n: usize) {
+    DEFAULT_BATCH.store(n.max(1), Ordering::Relaxed);
+}
+
+/// The process-wide default batch size new contexts start with.
+pub fn default_batch_size() -> usize {
+    DEFAULT_BATCH.load(Ordering::Relaxed)
+}
+
+/// Reusable rid scratch for chunked fan-out (set members, index-scan
+/// pairs); lives in the [`ExecContext`] arena so a query allocates it
+/// once across all its operators.
+pub type RidBatch = Vec<Rid>;
+
+/// Reusable `(left key, right key)` scratch for deferred `Emit`
+/// flushes. Selections use the first slot only.
+pub type ValueBatch = Vec<(i64, i64)>;
 
 /// Why a cancellation check fired.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -344,9 +377,29 @@ impl ExecTrace {
         });
     }
 
-    /// First row of the given kind, if any (test convenience).
+    /// First row of the given kind, if any (test convenience). Prefer
+    /// [`ExecTrace::find_all`] for pipelines where a kind can appear
+    /// more than once (hybrid hash runs two `HashBuild`s, selections
+    /// two `IndexRangeScan`s) — this returns only the first.
     pub fn find(&self, kind: OpKind) -> Option<&OpRecord> {
         self.ops.iter().find(|op| op.kind == kind)
+    }
+
+    /// Every row of the given kind, in pre-order. Pipelines with
+    /// repeated operator kinds have one row per `(parent, label)`
+    /// instance; summing over all of them gives the kind's true total
+    /// where `find` would silently report just the first.
+    pub fn find_all(&self, kind: OpKind) -> Vec<&OpRecord> {
+        self.ops.iter().filter(|op| op.kind == kind).collect()
+    }
+
+    /// Field-wise counter sum over every row of the given kind.
+    pub fn total_of(&self, kind: OpKind) -> OpCounters {
+        let mut t = OpCounters::default();
+        for op in self.find_all(kind) {
+            t.add(&op.counters);
+        }
+        t
     }
 }
 
@@ -368,6 +421,13 @@ pub struct ExecContext<'a> {
     unattributed: OpCounters,
     cancel: Option<CancelToken>,
     start_nanos: u64,
+    /// Objects fetched per [`ExecContext::with_batch`] call; 1 is the
+    /// legacy one-at-a-time path.
+    batch_size: usize,
+    /// Scratch arena, reused across every operator of the query.
+    obj_batch: ObjBatch,
+    rid_scratch: RidBatch,
+    val_scratch: ValueBatch,
 }
 
 impl<'a> ExecContext<'a> {
@@ -383,7 +443,50 @@ impl<'a> ExecContext<'a> {
             unattributed: OpCounters::default(),
             cancel: None,
             start_nanos,
+            batch_size: default_batch_size(),
+            obj_batch: ObjBatch::default(),
+            rid_scratch: RidBatch::new(),
+            val_scratch: ValueBatch::new(),
         }
+    }
+
+    /// The batch size operators should chunk by (≥ 1).
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Overrides the batch size for this context (differential tests
+    /// pin scalar vs batched execution without touching the process
+    /// default). Clamped to ≥ 1.
+    pub fn set_batch_size(&mut self, n: usize) {
+        self.batch_size = n.max(1);
+    }
+
+    /// Takes the rid scratch buffer (empty). Return it with
+    /// [`ExecContext::put_rid_batch`] so the next operator reuses the
+    /// allocation.
+    pub fn take_rid_batch(&mut self) -> RidBatch {
+        let mut b = std::mem::take(&mut self.rid_scratch);
+        b.clear();
+        b
+    }
+
+    /// Returns the rid scratch buffer to the arena.
+    pub fn put_rid_batch(&mut self, b: RidBatch) {
+        self.rid_scratch = b;
+    }
+
+    /// Takes the value scratch buffer (empty); pair of
+    /// [`ExecContext::put_val_batch`].
+    pub fn take_val_batch(&mut self) -> ValueBatch {
+        let mut b = std::mem::take(&mut self.val_scratch);
+        b.clear();
+        b
+    }
+
+    /// Returns the value scratch buffer to the arena.
+    pub fn put_val_batch(&mut self, b: ValueBatch) {
+        self.val_scratch = b;
     }
 
     /// Arms cooperative cancellation: every subsequent operator-scope
@@ -433,10 +536,43 @@ impl<'a> ExecContext<'a> {
     /// `(kind, label)` under the same parent accumulate into one node
     /// (a per-tuple navigation scope is still one operator row).
     pub fn op<R>(&mut self, kind: OpKind, label: &str, f: impl FnOnce(&mut Self) -> R) -> R {
+        let parent = self.open.last().copied();
+        self.op_inner(parent, kind, label, f)
+    }
+
+    /// Like [`ExecContext::op`], but the node's parent is given
+    /// explicitly instead of taken from the innermost open scope.
+    /// Batched pipelines use this to flush deferred `Emit`s *after*
+    /// their driving scope has closed while still merging into the
+    /// node the scalar path's nested scopes created — the flattened
+    /// trace is identical. `parent` must come from
+    /// [`ExecContext::current_node`] inside the intended scope.
+    pub fn op_batch<R>(
+        &mut self,
+        parent: Option<usize>,
+        kind: OpKind,
+        label: &str,
+        f: impl FnOnce(&mut Self) -> R,
+    ) -> R {
+        self.op_inner(parent, kind, label, f)
+    }
+
+    /// The innermost open node's id, for later [`ExecContext::op_batch`]
+    /// re-entry. `None` outside every scope.
+    pub fn current_node(&self) -> Option<usize> {
+        self.open.last().copied()
+    }
+
+    fn op_inner<R>(
+        &mut self,
+        parent: Option<usize>,
+        kind: OpKind,
+        label: &str,
+        f: impl FnOnce(&mut Self) -> R,
+    ) -> R {
         self.check_cancel();
         let delta = self.take_delta();
         self.credit(delta);
-        let parent = self.open.last().copied();
         let id = self
             .nodes
             .iter()
@@ -466,6 +602,22 @@ impl<'a> ExecContext<'a> {
         let guard = self.store.fetch_guard(rid);
         let out = f(self, &guard);
         self.store.release_guard(guard);
+        out
+    }
+
+    /// Fetches a batch of distinct rids and runs `f` over the armed
+    /// [`ObjBatch`]; every entry is released (in fetch order) on the
+    /// way out. One cancellation check covers the whole batch — the
+    /// per-object charge sequence is untouched (see
+    /// [`tq_objstore::ObjectStore::fetch_batch`]), so counters are
+    /// bitwise-identical to a `with_object` loop over the same rids.
+    pub fn with_batch<R>(&mut self, rids: &[Rid], f: impl FnOnce(&mut Self, &ObjBatch) -> R) -> R {
+        self.check_cancel();
+        let mut batch = std::mem::take(&mut self.obj_batch);
+        self.store.fetch_batch(rids, &mut batch);
+        let out = f(self, &batch);
+        self.store.release_batch(&mut batch);
+        self.obj_batch = batch;
         out
     }
 
@@ -737,6 +889,86 @@ mod tests {
             ctx.finish()
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn find_all_sees_rows_that_find_shadows() {
+        let (mut store, rids) = small_store(8);
+        let mut ctx = ExecContext::new(&mut store);
+        // Two same-kind scopes with different labels — two rows, the
+        // shape hybrid hashing produces (HashBuild on the collection,
+        // HashBuild on "spill").
+        ctx.op(OpKind::HashBuild, "Items", |ctx| {
+            for &rid in &rids[..5] {
+                ctx.with_object(rid, |_ctx, _g| ());
+            }
+        });
+        ctx.op(OpKind::HashBuild, "spill", |ctx| {
+            for &rid in &rids[5..] {
+                ctx.with_object(rid, |_ctx, _g| ());
+            }
+        });
+        let trace = ctx.finish();
+        let rows = trace.find_all(OpKind::HashBuild);
+        assert_eq!(rows.len(), 2, "one row per (parent, kind, label)");
+        // `find` silently reports just the first row; the kind's true
+        // total needs both.
+        assert_eq!(
+            trace
+                .find(OpKind::HashBuild)
+                .unwrap()
+                .counters
+                .handle_gets(),
+            5
+        );
+        assert_eq!(trace.total_of(OpKind::HashBuild).handle_gets(), 8);
+    }
+
+    #[test]
+    fn batched_fetch_and_deferred_emit_trace_identically() {
+        // The batch protocol is an execution detail: one with_batch +
+        // one flushed Emit scope must produce the same trace as the
+        // per-tuple loop with a nested Emit per result.
+        let scalar = {
+            let (mut store, rids) = small_store(40);
+            let mut ctx = ExecContext::new(&mut store);
+            ctx.op(OpKind::SeqScan, "Items", |ctx| {
+                for &rid in &rids {
+                    ctx.with_object(rid, |ctx, g| {
+                        let _ = int_attr(g.object(), 0);
+                        ctx.store.charge(CpuEvent::Compare, 1);
+                        ctx.op(OpKind::Emit, "result", |ctx| {
+                            ctx.store.charge(CpuEvent::ResultAppendTransient, 1);
+                        });
+                    });
+                }
+            });
+            ctx.finish()
+        };
+        let batched = {
+            let (mut store, rids) = small_store(40);
+            let mut ctx = ExecContext::new(&mut store);
+            ctx.set_batch_size(16);
+            ctx.op(OpKind::SeqScan, "Items", |ctx| {
+                let mut pending = 0u64;
+                for chunk in rids.chunks(16) {
+                    ctx.with_batch(chunk, |ctx, objs| {
+                        for i in 0..objs.len() {
+                            let _ = int_attr(objs.object(i), 0);
+                            ctx.store.charge(CpuEvent::Compare, 1);
+                            pending += 1;
+                        }
+                    });
+                    let emit_parent = ctx.current_node();
+                    ctx.op_batch(emit_parent, OpKind::Emit, "result", |ctx| {
+                        ctx.store.charge(CpuEvent::ResultAppendTransient, pending);
+                    });
+                    pending = 0;
+                }
+            });
+            ctx.finish()
+        };
+        assert_eq!(scalar, batched);
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //! then `IndexRangeScan(parents)` → `HashProbe` with `Emit` on hits.
 
 use super::{
-    emit, rid_hash, JoinOptions, JoinReport, TreeJoinSpec, CHJ_CHILD_ENTRY_BYTES,
+    emit, flush_emits, rid_hash, JoinOptions, JoinReport, TreeJoinSpec, CHJ_CHILD_ENTRY_BYTES,
     CHJ_PARENT_SLOT_BYTES, HANDLE_ENTRY_EXTRA_BYTES,
 };
 use crate::exec::{index_range_scan, int_attr, ExecContext, OpKind};
@@ -69,32 +69,69 @@ pub(super) fn run(
         opts.sort_index_rids,
         &spec.children,
     );
+    let batch = ex.batch_size();
     ex.op(OpKind::HashBuild, &spec.children, |ex| {
-        for (child_key, crid) in children {
-            ex.with_object(crid, |ex, child| {
-                report.children_scanned += 1;
-                if child.is_deleted() {
-                    return;
-                }
-                ex.store.charge_attr_access(child_class, spec.child_parent);
-                ex.store.charge_attr_access(child_class, spec.child_project);
-                let prid = child.object().values[spec.child_parent]
-                    .as_ref_rid()
-                    .expect("child parent reference");
-                table.entry(prid).or_default().push(child_key);
-                inserted_children += 1;
-                ex.store.charge(CpuEvent::HashInsert, 1);
-                if opts.hash_key == HashKeyMode::Handle {
-                    ex.store.charge(CpuEvent::HandleAlloc, 1);
-                }
-                swap.grow_to(
-                    CHJ_PARENT_SLOT_BYTES * table.len() as u64
-                        + inserted_children * child_entry_bytes,
-                );
-                if swap.touch(rid_hash(prid)) {
-                    ex.store.charge(CpuEvent::SwapFault, 1);
-                }
-            });
+        if batch <= 1 {
+            for &(child_key, crid) in &children {
+                ex.with_object(crid, |ex, child| {
+                    report.children_scanned += 1;
+                    if child.is_deleted() {
+                        return;
+                    }
+                    ex.store.charge_attr_access(child_class, spec.child_parent);
+                    ex.store.charge_attr_access(child_class, spec.child_project);
+                    let prid = child.object().values[spec.child_parent]
+                        .as_ref_rid()
+                        .expect("child parent reference");
+                    table.entry(prid).or_default().push(child_key);
+                    inserted_children += 1;
+                    ex.store.charge(CpuEvent::HashInsert, 1);
+                    if opts.hash_key == HashKeyMode::Handle {
+                        ex.store.charge(CpuEvent::HandleAlloc, 1);
+                    }
+                    swap.grow_to(
+                        CHJ_PARENT_SLOT_BYTES * table.len() as u64
+                            + inserted_children * child_entry_bytes,
+                    );
+                    if swap.touch(rid_hash(prid)) {
+                        ex.store.charge(CpuEvent::SwapFault, 1);
+                    }
+                });
+            }
+        } else {
+            let mut rids = ex.take_rid_batch();
+            for chunk in children.chunks(batch) {
+                rids.clear();
+                rids.extend(chunk.iter().map(|&(_, r)| r));
+                ex.with_batch(&rids, |ex, objs| {
+                    for (i, &(child_key, _)) in chunk.iter().enumerate() {
+                        let child = objs.object(i);
+                        report.children_scanned += 1;
+                        if child.header.is_deleted() {
+                            continue;
+                        }
+                        ex.store.charge_attr_access(child_class, spec.child_parent);
+                        ex.store.charge_attr_access(child_class, spec.child_project);
+                        let prid = child.values[spec.child_parent]
+                            .as_ref_rid()
+                            .expect("child parent reference");
+                        table.entry(prid).or_default().push(child_key);
+                        inserted_children += 1;
+                        ex.store.charge(CpuEvent::HashInsert, 1);
+                        if opts.hash_key == HashKeyMode::Handle {
+                            ex.store.charge(CpuEvent::HandleAlloc, 1);
+                        }
+                        swap.grow_to(
+                            CHJ_PARENT_SLOT_BYTES * table.len() as u64
+                                + inserted_children * child_entry_bytes,
+                        );
+                        if swap.touch(rid_hash(prid)) {
+                            ex.store.charge(CpuEvent::SwapFault, 1);
+                        }
+                    }
+                });
+            }
+            ex.put_rid_batch(rids);
         }
     });
     report.hash_table_bytes =
@@ -109,27 +146,65 @@ pub(super) fn run(
         &spec.parents,
     );
     ex.op(OpKind::HashProbe, &spec.parents, |ex| {
-        for (_pkey, prid) in parents {
-            ex.with_object(prid, |ex, parent| {
-                report.parents_scanned += 1;
-                if parent.is_deleted() {
-                    return;
-                }
-                ex.store
-                    .charge_attr_access(parent_class, spec.parent_project);
-                let parent_key = int_attr(parent.object(), spec.parent_key);
-                ex.store.charge(CpuEvent::HashProbe, 1);
-                if swap.touch(rid_hash(parent.rid())) {
-                    ex.store.charge(CpuEvent::SwapFault, 1);
-                }
-                if let Some(child_keys) = table.get(&parent.rid()) {
-                    ex.op(OpKind::Emit, "result", |ex| {
-                        for &child_key in child_keys {
-                            emit(ex.store, spec, &mut report, parent_key, child_key);
+        if batch <= 1 {
+            for (_pkey, prid) in parents {
+                ex.with_object(prid, |ex, parent| {
+                    report.parents_scanned += 1;
+                    if parent.is_deleted() {
+                        return;
+                    }
+                    ex.store
+                        .charge_attr_access(parent_class, spec.parent_project);
+                    let parent_key = int_attr(parent.object(), spec.parent_key);
+                    ex.store.charge(CpuEvent::HashProbe, 1);
+                    if swap.touch(rid_hash(parent.rid())) {
+                        ex.store.charge(CpuEvent::SwapFault, 1);
+                    }
+                    if let Some(child_keys) = table.get(&parent.rid()) {
+                        ex.op(OpKind::Emit, "result", |ex| {
+                            for &child_key in child_keys {
+                                emit(ex.store, spec, &mut report, parent_key, child_key);
+                            }
+                        });
+                    }
+                });
+            }
+        } else {
+            let mut rids = ex.take_rid_batch();
+            let mut pending = ex.take_val_batch();
+            for chunk in parents.chunks(batch) {
+                rids.clear();
+                rids.extend(chunk.iter().map(|&(_, r)| r));
+                ex.with_batch(&rids, |ex, objs| {
+                    for i in 0..objs.len() {
+                        let (prid, parent) = objs.get(i);
+                        report.parents_scanned += 1;
+                        if parent.header.is_deleted() {
+                            continue;
                         }
-                    });
+                        ex.store
+                            .charge_attr_access(parent_class, spec.parent_project);
+                        let parent_key = int_attr(parent, spec.parent_key);
+                        ex.store.charge(CpuEvent::HashProbe, 1);
+                        if swap.touch(rid_hash(prid)) {
+                            ex.store.charge(CpuEvent::SwapFault, 1);
+                        }
+                        if let Some(child_keys) = table.get(&prid) {
+                            for &child_key in child_keys {
+                                pending.push((parent_key, child_key));
+                            }
+                        }
+                    }
+                });
+                if pending.len() >= batch {
+                    let at = ex.current_node();
+                    flush_emits(ex, at, &mut pending, &[], spec, &mut report);
                 }
-            });
+            }
+            let at = ex.current_node();
+            flush_emits(ex, at, &mut pending, &[], spec, &mut report);
+            ex.put_rid_batch(rids);
+            ex.put_val_batch(pending);
         }
     });
     report.swap_faults = swap.faults();

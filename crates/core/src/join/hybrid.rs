@@ -23,7 +23,7 @@
 
 use super::spill::{SpillRun, SpillWriter};
 use super::{
-    emit, rid_hash, JoinOptions, JoinReport, TreeJoinSpec, CHJ_CHILD_ENTRY_BYTES,
+    emit, flush_emits, rid_hash, JoinOptions, JoinReport, TreeJoinSpec, CHJ_CHILD_ENTRY_BYTES,
     CHJ_PARENT_SLOT_BYTES, PHJ_ENTRY_BYTES,
 };
 use crate::exec::{index_range_scan, ExecContext, OpKind};
@@ -137,50 +137,111 @@ pub(super) fn run(
     report.partitions = partitions;
 
     // The in-memory (partition 0) table: join-rid -> payload keys.
+    let batch = ex.batch_size();
     let mut mem: FxHashMap<Rid, Vec<i64>> = FxHashMap::default();
     let mut spills = ex.op(OpKind::HashBuild, build_label, |ex| {
         let mut spills = make_spills(ex.store, partitions);
-        for (key, rid) in build_pairs {
-            // Fetch the build object (its projected attribute travels
-            // with the entry, as in the plain algorithms).
-            ex.with_object(rid, |ex, fetched| {
-                if fetched.is_deleted() {
-                    return;
-                }
-                match side {
-                    BuildSide::Parents => {
-                        report.parents_scanned += 1;
-                        ex.store
-                            .charge_attr_access(parent_class, spec.parent_project);
-                        let p = partition_of(fetched.rid(), partitions);
-                        ex.store.charge(CpuEvent::HashInsert, 1);
-                        if p == 0 {
-                            mem.entry(fetched.rid()).or_default().push(key);
-                        } else {
-                            spills.build[p as usize - 1].push(
-                                ex.store.stack_mut(),
-                                key,
-                                fetched.rid(),
-                            );
+        // Sequence identity: when partitions spill, every row may write
+        // a spill page between object fetches — that interleave of
+        // writes and reads is the algorithm's measured cache behaviour,
+        // so the fetch loop stays scalar. Only a spill-free build
+        // (partition 0 holds everything) is a pure gather-then-fetch
+        // stream that batching cannot perturb.
+        if batch <= 1 || partitions > 1 {
+            for &(key, rid) in &build_pairs {
+                // Fetch the build object (its projected attribute travels
+                // with the entry, as in the plain algorithms).
+                ex.with_object(rid, |ex, fetched| {
+                    if fetched.is_deleted() {
+                        return;
+                    }
+                    match side {
+                        BuildSide::Parents => {
+                            report.parents_scanned += 1;
+                            ex.store
+                                .charge_attr_access(parent_class, spec.parent_project);
+                            let p = partition_of(fetched.rid(), partitions);
+                            ex.store.charge(CpuEvent::HashInsert, 1);
+                            if p == 0 {
+                                mem.entry(fetched.rid()).or_default().push(key);
+                            } else {
+                                spills.build[p as usize - 1].push(
+                                    ex.store.stack_mut(),
+                                    key,
+                                    fetched.rid(),
+                                );
+                            }
+                        }
+                        BuildSide::Children => {
+                            report.children_scanned += 1;
+                            ex.store.charge_attr_access(child_class, spec.child_parent);
+                            ex.store.charge_attr_access(child_class, spec.child_project);
+                            let prid = fetched.object().values[spec.child_parent]
+                                .as_ref_rid()
+                                .expect("child parent reference");
+                            let p = partition_of(prid, partitions);
+                            ex.store.charge(CpuEvent::HashInsert, 1);
+                            if p == 0 {
+                                mem.entry(prid).or_default().push(key);
+                            } else {
+                                spills.build[p as usize - 1].push(ex.store.stack_mut(), key, prid);
+                            }
                         }
                     }
-                    BuildSide::Children => {
-                        report.children_scanned += 1;
-                        ex.store.charge_attr_access(child_class, spec.child_parent);
-                        ex.store.charge_attr_access(child_class, spec.child_project);
-                        let prid = fetched.object().values[spec.child_parent]
-                            .as_ref_rid()
-                            .expect("child parent reference");
-                        let p = partition_of(prid, partitions);
-                        ex.store.charge(CpuEvent::HashInsert, 1);
-                        if p == 0 {
-                            mem.entry(prid).or_default().push(key);
-                        } else {
-                            spills.build[p as usize - 1].push(ex.store.stack_mut(), key, prid);
+                });
+            }
+        } else {
+            let mut rids = ex.take_rid_batch();
+            for chunk in build_pairs.chunks(batch) {
+                rids.clear();
+                rids.extend(chunk.iter().map(|&(_, r)| r));
+                ex.with_batch(&rids, |ex, objs| {
+                    for (i, &(key, _)) in chunk.iter().enumerate() {
+                        let (rid, fetched) = objs.get(i);
+                        if fetched.header.is_deleted() {
+                            continue;
+                        }
+                        match side {
+                            BuildSide::Parents => {
+                                report.parents_scanned += 1;
+                                ex.store
+                                    .charge_attr_access(parent_class, spec.parent_project);
+                                let p = partition_of(rid, partitions);
+                                ex.store.charge(CpuEvent::HashInsert, 1);
+                                if p == 0 {
+                                    mem.entry(rid).or_default().push(key);
+                                } else {
+                                    spills.build[p as usize - 1].push(
+                                        ex.store.stack_mut(),
+                                        key,
+                                        rid,
+                                    );
+                                }
+                            }
+                            BuildSide::Children => {
+                                report.children_scanned += 1;
+                                ex.store.charge_attr_access(child_class, spec.child_parent);
+                                ex.store.charge_attr_access(child_class, spec.child_project);
+                                let prid = fetched.values[spec.child_parent]
+                                    .as_ref_rid()
+                                    .expect("child parent reference");
+                                let p = partition_of(prid, partitions);
+                                ex.store.charge(CpuEvent::HashInsert, 1);
+                                if p == 0 {
+                                    mem.entry(prid).or_default().push(key);
+                                } else {
+                                    spills.build[p as usize - 1].push(
+                                        ex.store.stack_mut(),
+                                        key,
+                                        prid,
+                                    );
+                                }
+                            }
                         }
                     }
-                }
-            });
+                });
+            }
+            ex.put_rid_batch(rids);
         }
         spills
     });
@@ -203,48 +264,154 @@ pub(super) fn run(
         ),
     };
     ex.op(OpKind::HashProbe, probe_label, |ex| {
-        for (key, rid) in probe_pairs {
-            ex.with_object(rid, |ex, fetched| {
-                if fetched.is_deleted() {
-                    return;
-                }
-                let join_rid = match side {
-                    BuildSide::Parents => {
-                        report.children_scanned += 1;
-                        ex.store.charge_attr_access(child_class, spec.child_parent);
-                        ex.store.charge_attr_access(child_class, spec.child_project);
-                        fetched.object().values[spec.child_parent]
-                            .as_ref_rid()
-                            .expect("child parent reference")
+        if batch > 1 && partitions > 1 {
+            // Spilling probe: rows interleave spill-page writes with
+            // object fetches, so the fetch loop stays in scalar order
+            // (same doctrine as the build). The emits are page-pure —
+            // deferring them through `flush_emits` is the only batching
+            // this phase admits.
+            let mut pending = ex.take_val_batch();
+            for &(key, rid) in &probe_pairs {
+                ex.with_object(rid, |ex, fetched| {
+                    if fetched.is_deleted() {
+                        return;
                     }
-                    BuildSide::Children => {
-                        report.parents_scanned += 1;
-                        ex.store
-                            .charge_attr_access(parent_class, spec.parent_project);
-                        fetched.rid()
-                    }
-                };
-                let p = partition_of(join_rid, partitions);
-                if p == 0 {
-                    ex.store.charge(CpuEvent::HashProbe, 1);
-                    if let Some(payloads) = mem.get(&join_rid) {
-                        ex.op(OpKind::Emit, "result", |ex| {
+                    let join_rid = match side {
+                        BuildSide::Parents => {
+                            report.children_scanned += 1;
+                            ex.store.charge_attr_access(child_class, spec.child_parent);
+                            ex.store.charge_attr_access(child_class, spec.child_project);
+                            fetched.object().values[spec.child_parent]
+                                .as_ref_rid()
+                                .expect("child parent reference")
+                        }
+                        BuildSide::Children => {
+                            report.parents_scanned += 1;
+                            ex.store
+                                .charge_attr_access(parent_class, spec.parent_project);
+                            fetched.rid()
+                        }
+                    };
+                    let p = partition_of(join_rid, partitions);
+                    if p == 0 {
+                        ex.store.charge(CpuEvent::HashProbe, 1);
+                        if let Some(payloads) = mem.get(&join_rid) {
                             for &payload in payloads.iter() {
                                 match side {
-                                    BuildSide::Parents => {
-                                        emit(ex.store, spec, &mut report, payload, key)
+                                    BuildSide::Parents => pending.push((payload, key)),
+                                    BuildSide::Children => pending.push((key, payload)),
+                                }
+                            }
+                        }
+                    } else {
+                        spills.probe[p as usize - 1].push(ex.store.stack_mut(), key, join_rid);
+                    }
+                });
+                if pending.len() >= batch {
+                    let at = ex.current_node();
+                    flush_emits(ex, at, &mut pending, &[], spec, &mut report);
+                }
+            }
+            let at = ex.current_node();
+            flush_emits(ex, at, &mut pending, &[], spec, &mut report);
+            ex.put_val_batch(pending);
+        } else if batch <= 1 {
+            for &(key, rid) in &probe_pairs {
+                ex.with_object(rid, |ex, fetched| {
+                    if fetched.is_deleted() {
+                        return;
+                    }
+                    let join_rid = match side {
+                        BuildSide::Parents => {
+                            report.children_scanned += 1;
+                            ex.store.charge_attr_access(child_class, spec.child_parent);
+                            ex.store.charge_attr_access(child_class, spec.child_project);
+                            fetched.object().values[spec.child_parent]
+                                .as_ref_rid()
+                                .expect("child parent reference")
+                        }
+                        BuildSide::Children => {
+                            report.parents_scanned += 1;
+                            ex.store
+                                .charge_attr_access(parent_class, spec.parent_project);
+                            fetched.rid()
+                        }
+                    };
+                    let p = partition_of(join_rid, partitions);
+                    if p == 0 {
+                        ex.store.charge(CpuEvent::HashProbe, 1);
+                        if let Some(payloads) = mem.get(&join_rid) {
+                            ex.op(OpKind::Emit, "result", |ex| {
+                                for &payload in payloads.iter() {
+                                    match side {
+                                        BuildSide::Parents => {
+                                            emit(ex.store, spec, &mut report, payload, key)
+                                        }
+                                        BuildSide::Children => {
+                                            emit(ex.store, spec, &mut report, key, payload)
+                                        }
                                     }
-                                    BuildSide::Children => {
-                                        emit(ex.store, spec, &mut report, key, payload)
+                                }
+                            });
+                        }
+                    } else {
+                        spills.probe[p as usize - 1].push(ex.store.stack_mut(), key, join_rid);
+                    }
+                });
+            }
+        } else {
+            let mut rids = ex.take_rid_batch();
+            let mut pending = ex.take_val_batch();
+            for chunk in probe_pairs.chunks(batch) {
+                rids.clear();
+                rids.extend(chunk.iter().map(|&(_, r)| r));
+                ex.with_batch(&rids, |ex, objs| {
+                    for (i, &(key, _)) in chunk.iter().enumerate() {
+                        let (rid, fetched) = objs.get(i);
+                        if fetched.header.is_deleted() {
+                            continue;
+                        }
+                        let join_rid = match side {
+                            BuildSide::Parents => {
+                                report.children_scanned += 1;
+                                ex.store.charge_attr_access(child_class, spec.child_parent);
+                                ex.store.charge_attr_access(child_class, spec.child_project);
+                                fetched.values[spec.child_parent]
+                                    .as_ref_rid()
+                                    .expect("child parent reference")
+                            }
+                            BuildSide::Children => {
+                                report.parents_scanned += 1;
+                                ex.store
+                                    .charge_attr_access(parent_class, spec.parent_project);
+                                rid
+                            }
+                        };
+                        let p = partition_of(join_rid, partitions);
+                        if p == 0 {
+                            ex.store.charge(CpuEvent::HashProbe, 1);
+                            if let Some(payloads) = mem.get(&join_rid) {
+                                for &payload in payloads.iter() {
+                                    match side {
+                                        BuildSide::Parents => pending.push((payload, key)),
+                                        BuildSide::Children => pending.push((key, payload)),
                                     }
                                 }
                             }
-                        });
+                        } else {
+                            spills.probe[p as usize - 1].push(ex.store.stack_mut(), key, join_rid);
+                        }
                     }
-                } else {
-                    spills.probe[p as usize - 1].push(ex.store.stack_mut(), key, join_rid);
+                });
+                if pending.len() >= batch {
+                    let at = ex.current_node();
+                    flush_emits(ex, at, &mut pending, &[], spec, &mut report);
                 }
-            });
+            }
+            let at = ex.current_node();
+            flush_emits(ex, at, &mut pending, &[], spec, &mut report);
+            ex.put_rid_batch(rids);
+            ex.put_val_batch(pending);
         }
     });
     report.hash_table_bytes = table_bytes.min(budget);
@@ -275,22 +442,44 @@ pub(super) fn run(
             }
         });
         ex.op(OpKind::HashProbe, "spill", |ex| {
-            for (key, join_rid) in probe_run.read_all(ex.store.stack_mut()) {
-                ex.store.charge(CpuEvent::HashProbe, 1);
-                if let Some(payloads) = table.get(&join_rid) {
-                    ex.op(OpKind::Emit, "result", |ex| {
-                        for &payload in payloads.iter() {
-                            match side {
-                                BuildSide::Parents => {
-                                    emit(ex.store, spec, &mut report, payload, key)
-                                }
-                                BuildSide::Children => {
-                                    emit(ex.store, spec, &mut report, key, payload)
+            if batch <= 1 {
+                for (key, join_rid) in probe_run.read_all(ex.store.stack_mut()) {
+                    ex.store.charge(CpuEvent::HashProbe, 1);
+                    if let Some(payloads) = table.get(&join_rid) {
+                        ex.op(OpKind::Emit, "result", |ex| {
+                            for &payload in payloads.iter() {
+                                match side {
+                                    BuildSide::Parents => {
+                                        emit(ex.store, spec, &mut report, payload, key)
+                                    }
+                                    BuildSide::Children => {
+                                        emit(ex.store, spec, &mut report, key, payload)
+                                    }
                                 }
                             }
-                        }
-                    });
+                        });
+                    }
                 }
+            } else {
+                let mut pending = ex.take_val_batch();
+                for (key, join_rid) in probe_run.read_all(ex.store.stack_mut()) {
+                    ex.store.charge(CpuEvent::HashProbe, 1);
+                    if let Some(payloads) = table.get(&join_rid) {
+                        for &payload in payloads.iter() {
+                            match side {
+                                BuildSide::Parents => pending.push((payload, key)),
+                                BuildSide::Children => pending.push((key, payload)),
+                            }
+                        }
+                    }
+                    if pending.len() >= batch {
+                        let at = ex.current_node();
+                        flush_emits(ex, at, &mut pending, &[], spec, &mut report);
+                    }
+                }
+                let at = ex.current_node();
+                flush_emits(ex, at, &mut pending, &[], spec, &mut report);
+                ex.put_val_batch(pending);
             }
         });
     }

@@ -34,10 +34,10 @@ mod phj;
 pub mod smj;
 pub mod spill;
 
-use crate::exec::{CancelToken, ExecContext, ExecTrace};
+use crate::exec::{CancelToken, ExecContext, ExecTrace, OpKind, ValueBatch};
 use crate::spec::{HashKeyMode, JoinAlgo, ResultMode, TreeJoinSpec};
 use tq_index::BTreeIndex;
-use tq_objstore::{ObjectStore, Rid};
+use tq_objstore::{AttrId, ClassId, ObjectStore, Rid};
 use tq_pagestore::CpuEvent;
 
 /// Bytes per PHJ hash-table entry: `(providerid, provider information)`
@@ -243,6 +243,35 @@ pub(crate) fn emit(
     if let Some(pairs) = &mut report.pairs {
         pairs.push((parent_key, child_key));
     }
+}
+
+/// Flushes a batch of deferred result emissions under one `Emit` scope
+/// rooted at `emit_parent` (the node the scalar path's per-match nested
+/// scopes merge into — capture it with
+/// [`ExecContext::current_node`] inside that scope). Per pair, replays
+/// exactly the scalar `Emit` body: `attr_charges` attribute accesses,
+/// then the result append. No-op on an empty batch, so no spurious
+/// `Emit` node appears for joins that matched nothing.
+pub(crate) fn flush_emits(
+    ex: &mut ExecContext<'_>,
+    emit_parent: Option<usize>,
+    pending: &mut ValueBatch,
+    attr_charges: &[(ClassId, AttrId)],
+    spec: &TreeJoinSpec,
+    report: &mut JoinReport,
+) {
+    if pending.is_empty() {
+        return;
+    }
+    ex.op_batch(emit_parent, OpKind::Emit, "result", |ex| {
+        for &(parent_key, child_key) in pending.iter() {
+            for &(class, attr) in attr_charges {
+                ex.store.charge_attr_access(class, attr);
+            }
+            emit(ex.store, spec, report, parent_key, child_key);
+        }
+    });
+    pending.clear();
 }
 
 #[cfg(test)]

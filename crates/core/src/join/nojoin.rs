@@ -16,7 +16,7 @@
 //! Operator composition: `IndexRangeScan(children)` driving a
 //! `BackRefNav(parents)` per child, with `Emit` on qualifying pairs.
 
-use super::{emit, JoinOptions, JoinReport, TreeJoinSpec};
+use super::{emit, flush_emits, JoinOptions, JoinReport, TreeJoinSpec};
 use crate::exec::{index_range_scan, int_attr, ExecContext, OpKind};
 use tq_index::BTreeIndex;
 use tq_pagestore::CpuEvent;
@@ -42,37 +42,85 @@ pub(super) fn run(
         &spec.children,
     );
     // The fetch half of the child scan reopens the gather's node.
+    //
+    // Child and parent fetches interleave (and a hot parent's rid
+    // repeats, fan-out times) — that interleave IS the algorithm's
+    // cache behaviour, so the fetches stay one-at-a-time at any batch
+    // size; only the Emit scopes are deferred and flushed in batches.
+    let batch = ex.batch_size();
     ex.op(OpKind::IndexRangeScan, &spec.children, |ex| {
-        for (child_key, crid) in children {
-            ex.with_object(crid, |ex, child| {
-                report.children_scanned += 1;
-                if child.is_deleted() {
-                    return;
-                }
-                ex.op(OpKind::BackRefNav, &spec.parents, |ex| {
-                    ex.store.charge_attr_access(child_class, spec.child_parent);
-                    let prid = child.object().values[spec.child_parent]
-                        .as_ref_rid()
-                        .expect("child parent reference");
-                    ex.with_object(prid, |ex, parent| {
-                        report.parents_scanned += 1;
-                        if parent.is_deleted() {
-                            return;
-                        }
-                        ex.store.charge_attr_access(parent_class, spec.parent_key);
-                        ex.store.charge(CpuEvent::Compare, 1);
-                        let parent_key = int_attr(parent.object(), spec.parent_key);
-                        if parent_key < spec.parent_key_limit {
-                            ex.op(OpKind::Emit, "result", |ex| {
-                                ex.store
-                                    .charge_attr_access(parent_class, spec.parent_project);
-                                ex.store.charge_attr_access(child_class, spec.child_project);
-                                emit(ex.store, spec, &mut report, parent_key, child_key);
-                            });
+        if batch <= 1 {
+            for (child_key, crid) in children {
+                ex.with_object(crid, |ex, child| {
+                    report.children_scanned += 1;
+                    if child.is_deleted() {
+                        return;
+                    }
+                    ex.op(OpKind::BackRefNav, &spec.parents, |ex| {
+                        ex.store.charge_attr_access(child_class, spec.child_parent);
+                        let prid = child.object().values[spec.child_parent]
+                            .as_ref_rid()
+                            .expect("child parent reference");
+                        ex.with_object(prid, |ex, parent| {
+                            report.parents_scanned += 1;
+                            if parent.is_deleted() {
+                                return;
+                            }
+                            ex.store.charge_attr_access(parent_class, spec.parent_key);
+                            ex.store.charge(CpuEvent::Compare, 1);
+                            let parent_key = int_attr(parent.object(), spec.parent_key);
+                            if parent_key < spec.parent_key_limit {
+                                ex.op(OpKind::Emit, "result", |ex| {
+                                    ex.store
+                                        .charge_attr_access(parent_class, spec.parent_project);
+                                    ex.store.charge_attr_access(child_class, spec.child_project);
+                                    emit(ex.store, spec, &mut report, parent_key, child_key);
+                                });
+                            }
+                        });
+                    });
+                });
+            }
+        } else {
+            let emit_charges = [
+                (parent_class, spec.parent_project),
+                (child_class, spec.child_project),
+            ];
+            let mut pending = ex.take_val_batch();
+            let mut nav_node = None;
+            for (child_key, crid) in children {
+                ex.with_object(crid, |ex, child| {
+                    report.children_scanned += 1;
+                    if child.is_deleted() {
+                        return;
+                    }
+                    ex.op(OpKind::BackRefNav, &spec.parents, |ex| {
+                        nav_node = ex.current_node();
+                        ex.store.charge_attr_access(child_class, spec.child_parent);
+                        let prid = child.object().values[spec.child_parent]
+                            .as_ref_rid()
+                            .expect("child parent reference");
+                        ex.with_object(prid, |ex, parent| {
+                            report.parents_scanned += 1;
+                            if parent.is_deleted() {
+                                return;
+                            }
+                            ex.store.charge_attr_access(parent_class, spec.parent_key);
+                            ex.store.charge(CpuEvent::Compare, 1);
+                            let parent_key = int_attr(parent.object(), spec.parent_key);
+                            if parent_key < spec.parent_key_limit {
+                                pending.push((parent_key, child_key));
+                            }
+                        });
+                        if pending.len() >= batch {
+                            let at = ex.current_node();
+                            flush_emits(ex, at, &mut pending, &emit_charges, spec, &mut report);
                         }
                     });
                 });
-            });
+            }
+            flush_emits(ex, nav_node, &mut pending, &emit_charges, spec, &mut report);
+            ex.put_val_batch(pending);
         }
     });
     report

@@ -19,7 +19,7 @@
 //! then `IndexRangeScan(children)` → `HashProbe` with `Emit` on hits.
 
 use super::{
-    emit, rid_hash, JoinOptions, JoinReport, TreeJoinSpec, HANDLE_ENTRY_EXTRA_BYTES,
+    emit, flush_emits, rid_hash, JoinOptions, JoinReport, TreeJoinSpec, HANDLE_ENTRY_EXTRA_BYTES,
     PHJ_ENTRY_BYTES,
 };
 use crate::exec::{index_range_scan, ExecContext, OpKind};
@@ -62,27 +62,57 @@ pub(super) fn run(
         opts.sort_index_rids,
         &spec.parents,
     );
+    let batch = ex.batch_size();
     ex.op(OpKind::HashBuild, &spec.parents, |ex| {
-        for (parent_key, prid) in parents {
-            ex.with_object(prid, |ex, parent| {
-                report.parents_scanned += 1;
-                if parent.is_deleted() {
-                    return;
-                }
-                ex.store
-                    .charge_attr_access(parent_class, spec.parent_project);
-                table.insert(parent.rid(), parent_key);
-                ex.store.charge(CpuEvent::HashInsert, 1);
-                if opts.hash_key == HashKeyMode::Handle {
-                    // The entry pins a full handle for the table's lifetime.
-                    ex.store.charge(CpuEvent::HandleAlloc, 1);
-                }
-                // The table grows; keep its simulated page count current.
-                swap.grow_to(table.len() as u64 * entry_bytes);
-                if swap.touch(rid_hash(parent.rid())) {
-                    ex.store.charge(CpuEvent::SwapFault, 1);
-                }
-            });
+        if batch <= 1 {
+            for &(parent_key, prid) in &parents {
+                ex.with_object(prid, |ex, parent| {
+                    report.parents_scanned += 1;
+                    if parent.is_deleted() {
+                        return;
+                    }
+                    ex.store
+                        .charge_attr_access(parent_class, spec.parent_project);
+                    table.insert(parent.rid(), parent_key);
+                    ex.store.charge(CpuEvent::HashInsert, 1);
+                    if opts.hash_key == HashKeyMode::Handle {
+                        // The entry pins a full handle for the table's lifetime.
+                        ex.store.charge(CpuEvent::HandleAlloc, 1);
+                    }
+                    // The table grows; keep its simulated page count current.
+                    swap.grow_to(table.len() as u64 * entry_bytes);
+                    if swap.touch(rid_hash(parent.rid())) {
+                        ex.store.charge(CpuEvent::SwapFault, 1);
+                    }
+                });
+            }
+        } else {
+            let mut rids = ex.take_rid_batch();
+            for chunk in parents.chunks(batch) {
+                rids.clear();
+                rids.extend(chunk.iter().map(|&(_, r)| r));
+                ex.with_batch(&rids, |ex, objs| {
+                    for (i, &(parent_key, _)) in chunk.iter().enumerate() {
+                        let (prid, parent) = objs.get(i);
+                        report.parents_scanned += 1;
+                        if parent.header.is_deleted() {
+                            continue;
+                        }
+                        ex.store
+                            .charge_attr_access(parent_class, spec.parent_project);
+                        table.insert(prid, parent_key);
+                        ex.store.charge(CpuEvent::HashInsert, 1);
+                        if opts.hash_key == HashKeyMode::Handle {
+                            ex.store.charge(CpuEvent::HandleAlloc, 1);
+                        }
+                        swap.grow_to(table.len() as u64 * entry_bytes);
+                        if swap.touch(rid_hash(prid)) {
+                            ex.store.charge(CpuEvent::SwapFault, 1);
+                        }
+                    }
+                });
+            }
+            ex.put_rid_batch(rids);
         }
     });
     report.hash_table_bytes = table.len() as u64 * entry_bytes;
@@ -96,27 +126,65 @@ pub(super) fn run(
         &spec.children,
     );
     ex.op(OpKind::HashProbe, &spec.children, |ex| {
-        for (child_key, crid) in children {
-            ex.with_object(crid, |ex, child| {
-                report.children_scanned += 1;
-                if child.is_deleted() {
-                    return;
+        if batch <= 1 {
+            for (child_key, crid) in children {
+                ex.with_object(crid, |ex, child| {
+                    report.children_scanned += 1;
+                    if child.is_deleted() {
+                        return;
+                    }
+                    ex.store.charge_attr_access(child_class, spec.child_parent);
+                    let prid = child.object().values[spec.child_parent]
+                        .as_ref_rid()
+                        .expect("child parent reference");
+                    ex.store.charge(CpuEvent::HashProbe, 1);
+                    if swap.touch(rid_hash(prid)) {
+                        ex.store.charge(CpuEvent::SwapFault, 1);
+                    }
+                    if let Some(&parent_key) = table.get(&prid) {
+                        ex.op(OpKind::Emit, "result", |ex| {
+                            ex.store.charge_attr_access(child_class, spec.child_project);
+                            emit(ex.store, spec, &mut report, parent_key, child_key);
+                        });
+                    }
+                });
+            }
+        } else {
+            let mut rids = ex.take_rid_batch();
+            let mut pending = ex.take_val_batch();
+            let emit_charges = [(child_class, spec.child_project)];
+            for chunk in children.chunks(batch) {
+                rids.clear();
+                rids.extend(chunk.iter().map(|&(_, r)| r));
+                ex.with_batch(&rids, |ex, objs| {
+                    for (i, &(child_key, _)) in chunk.iter().enumerate() {
+                        let child = objs.object(i);
+                        report.children_scanned += 1;
+                        if child.header.is_deleted() {
+                            continue;
+                        }
+                        ex.store.charge_attr_access(child_class, spec.child_parent);
+                        let prid = child.values[spec.child_parent]
+                            .as_ref_rid()
+                            .expect("child parent reference");
+                        ex.store.charge(CpuEvent::HashProbe, 1);
+                        if swap.touch(rid_hash(prid)) {
+                            ex.store.charge(CpuEvent::SwapFault, 1);
+                        }
+                        if let Some(&parent_key) = table.get(&prid) {
+                            pending.push((parent_key, child_key));
+                        }
+                    }
+                });
+                if pending.len() >= batch {
+                    let at = ex.current_node();
+                    flush_emits(ex, at, &mut pending, &emit_charges, spec, &mut report);
                 }
-                ex.store.charge_attr_access(child_class, spec.child_parent);
-                let prid = child.object().values[spec.child_parent]
-                    .as_ref_rid()
-                    .expect("child parent reference");
-                ex.store.charge(CpuEvent::HashProbe, 1);
-                if swap.touch(rid_hash(prid)) {
-                    ex.store.charge(CpuEvent::SwapFault, 1);
-                }
-                if let Some(&parent_key) = table.get(&prid) {
-                    ex.op(OpKind::Emit, "result", |ex| {
-                        ex.store.charge_attr_access(child_class, spec.child_project);
-                        emit(ex.store, spec, &mut report, parent_key, child_key);
-                    });
-                }
-            });
+            }
+            let at = ex.current_node();
+            flush_emits(ex, at, &mut pending, &emit_charges, spec, &mut report);
+            ex.put_rid_batch(rids);
+            ex.put_val_batch(pending);
         }
     });
     report.swap_faults = swap.faults();

@@ -90,6 +90,29 @@ fn residual_op(
     })
 }
 
+/// Flushes deferred projected values through one `Emit` scope — the
+/// batched scans' counterpart of the per-result nested `Emit`. The
+/// per-value project charge and result append land on the same merged
+/// `Emit` node the scalar path produces, so totals are identical.
+fn flush_select_emits(
+    ex: &mut ExecContext<'_>,
+    class: tq_objstore::ClassId,
+    sel: &Selection,
+    pending: &mut Vec<(i64, i64)>,
+    out: &mut Option<Vec<i64>>,
+) {
+    if pending.is_empty() {
+        return;
+    }
+    ex.op(OpKind::Emit, "result", |ex| {
+        for &(v, _) in pending.iter() {
+            ex.store.charge_attr_access(class, sel.project);
+            append_result(ex.store, sel.result_mode, out, v);
+        }
+    });
+    pending.clear();
+}
+
 /// Figure 8 (left): full scan with per-object predicate evaluation.
 pub fn seq_scan(store: &mut ObjectStore, sel: &Selection, collect: bool) -> SelectReport {
     let info = store.collection(&sel.collection);
@@ -99,27 +122,60 @@ pub fn seq_scan(store: &mut ObjectStore, sel: &Selection, collect: bool) -> Sele
         ..Default::default()
     };
     let mut ex = ExecContext::new(store);
+    let batch = ex.batch_size();
     ex.op(OpKind::SeqScan, &sel.collection, |ex| {
-        while let Some(rid) = cursor.next(ex.store.stack_mut()) {
-            ex.with_object(rid, |ex, fetched| {
-                report.scanned += 1;
-                if fetched.is_deleted() {
-                    return;
+        if batch <= 1 {
+            while let Some(rid) = cursor.next(ex.store.stack_mut()) {
+                ex.with_object(rid, |ex, fetched| {
+                    report.scanned += 1;
+                    if fetched.is_deleted() {
+                        return;
+                    }
+                    ex.store.charge_attr_access(info.class, sel.attr);
+                    ex.store.charge(CpuEvent::Compare, 1);
+                    let key_val = int_attr(fetched.object(), sel.attr);
+                    if sel.cmp.eval(key_val, sel.key)
+                        && residual_op(ex, info.class, fetched.object(), sel)
+                    {
+                        report.selected += 1;
+                        ex.op(OpKind::Emit, "result", |ex| {
+                            ex.store.charge_attr_access(info.class, sel.project);
+                            let v = int_attr(fetched.object(), sel.project);
+                            append_result(ex.store, sel.result_mode, &mut report.values, v);
+                        });
+                    }
+                });
+            }
+        } else {
+            // The open scan's rid-run page reads interleave with the
+            // object fetches — that interleave is measured physical
+            // behaviour (reordering it perturbs cache recency), so
+            // fetches stay one-at-a-time at any batch size; only the
+            // per-result Emit scopes are deferred and flushed in
+            // batches.
+            let mut pending = ex.take_val_batch();
+            while let Some(rid) = cursor.next(ex.store.stack_mut()) {
+                ex.with_object(rid, |ex, fetched| {
+                    report.scanned += 1;
+                    if fetched.is_deleted() {
+                        return;
+                    }
+                    ex.store.charge_attr_access(info.class, sel.attr);
+                    ex.store.charge(CpuEvent::Compare, 1);
+                    let key_val = int_attr(fetched.object(), sel.attr);
+                    if sel.cmp.eval(key_val, sel.key)
+                        && residual_op(ex, info.class, fetched.object(), sel)
+                    {
+                        report.selected += 1;
+                        pending.push((int_attr(fetched.object(), sel.project), 0));
+                    }
+                });
+                if pending.len() >= batch {
+                    flush_select_emits(ex, info.class, sel, &mut pending, &mut report.values);
                 }
-                ex.store.charge_attr_access(info.class, sel.attr);
-                ex.store.charge(CpuEvent::Compare, 1);
-                let key_val = int_attr(fetched.object(), sel.attr);
-                if sel.cmp.eval(key_val, sel.key)
-                    && residual_op(ex, info.class, fetched.object(), sel)
-                {
-                    report.selected += 1;
-                    ex.op(OpKind::Emit, "result", |ex| {
-                        ex.store.charge_attr_access(info.class, sel.project);
-                        let v = int_attr(fetched.object(), sel.project);
-                        append_result(ex.store, sel.result_mode, &mut report.values, v);
-                    });
-                }
-            });
+            }
+            flush_select_emits(ex, info.class, sel, &mut pending, &mut report.values);
+            ex.put_val_batch(pending);
         }
     });
     report.trace = ex.finish();
@@ -145,21 +201,44 @@ pub fn index_scan(
         ..Default::default()
     };
     let mut ex = ExecContext::new(store);
+    let batch = ex.batch_size();
     ex.op(OpKind::IndexRangeScan, &sel.collection, |ex| {
         let mut cursor = index.range(ex.store.stack_mut(), lo, hi);
-        while let Some((_key, rid)) = cursor.next(ex.store.stack_mut()) {
-            ex.with_object(rid, |ex, fetched| {
-                report.scanned += 1;
-                if fetched.is_deleted() || !residual_op(ex, info.class, fetched.object(), sel) {
-                    return;
-                }
-                report.selected += 1;
-                ex.op(OpKind::Emit, "result", |ex| {
-                    ex.store.charge_attr_access(info.class, sel.project);
-                    let v = int_attr(fetched.object(), sel.project);
-                    append_result(ex.store, sel.result_mode, &mut report.values, v);
+        if batch <= 1 {
+            while let Some((_key, rid)) = cursor.next(ex.store.stack_mut()) {
+                ex.with_object(rid, |ex, fetched| {
+                    report.scanned += 1;
+                    if fetched.is_deleted() || !residual_op(ex, info.class, fetched.object(), sel) {
+                        return;
+                    }
+                    report.selected += 1;
+                    ex.op(OpKind::Emit, "result", |ex| {
+                        ex.store.charge_attr_access(info.class, sel.project);
+                        let v = int_attr(fetched.object(), sel.project);
+                        append_result(ex.store, sel.result_mode, &mut report.values, v);
+                    });
                 });
-            });
+            }
+        } else {
+            // The naive scan's index-leaf/object-page interleave IS
+            // what Figure 6 measures, so fetches stay one-at-a-time at
+            // any batch size; only the Emit scopes are batched.
+            let mut pending = ex.take_val_batch();
+            while let Some((_key, rid)) = cursor.next(ex.store.stack_mut()) {
+                ex.with_object(rid, |ex, fetched| {
+                    report.scanned += 1;
+                    if fetched.is_deleted() || !residual_op(ex, info.class, fetched.object(), sel) {
+                        return;
+                    }
+                    report.selected += 1;
+                    pending.push((int_attr(fetched.object(), sel.project), 0));
+                });
+                if pending.len() >= batch {
+                    flush_select_emits(ex, info.class, sel, &mut pending, &mut report.values);
+                }
+            }
+            flush_select_emits(ex, info.class, sel, &mut pending, &mut report.values);
+            ex.put_val_batch(pending);
         }
     });
     report.trace = ex.finish();
@@ -198,20 +277,44 @@ pub fn sorted_index_scan(
         rids.sort_unstable();
     });
     report.rids_sorted = n;
+    let batch = ex.batch_size();
     ex.op(OpKind::IndexRangeScan, &sel.collection, |ex| {
-        for rid in rids {
-            ex.with_object(rid, |ex, fetched| {
-                report.scanned += 1;
-                if fetched.is_deleted() || !residual_op(ex, info.class, fetched.object(), sel) {
-                    return;
-                }
-                report.selected += 1;
-                ex.op(OpKind::Emit, "result", |ex| {
-                    ex.store.charge_attr_access(info.class, sel.project);
-                    let v = int_attr(fetched.object(), sel.project);
-                    append_result(ex.store, sel.result_mode, &mut report.values, v);
+        if batch <= 1 {
+            for &rid in &rids {
+                ex.with_object(rid, |ex, fetched| {
+                    report.scanned += 1;
+                    if fetched.is_deleted() || !residual_op(ex, info.class, fetched.object(), sel) {
+                        return;
+                    }
+                    report.selected += 1;
+                    ex.op(OpKind::Emit, "result", |ex| {
+                        ex.store.charge_attr_access(info.class, sel.project);
+                        let v = int_attr(fetched.object(), sel.project);
+                        append_result(ex.store, sel.result_mode, &mut report.values, v);
+                    });
                 });
-            });
+            }
+        } else {
+            let mut pending = ex.take_val_batch();
+            for chunk in rids.chunks(batch) {
+                ex.with_batch(chunk, |ex, objs| {
+                    for i in 0..objs.len() {
+                        let fetched = objs.object(i);
+                        report.scanned += 1;
+                        if fetched.header.is_deleted() || !residual_op(ex, info.class, fetched, sel)
+                        {
+                            continue;
+                        }
+                        report.selected += 1;
+                        pending.push((int_attr(fetched, sel.project), 0));
+                    }
+                });
+                if pending.len() >= batch {
+                    flush_select_emits(ex, info.class, sel, &mut pending, &mut report.values);
+                }
+            }
+            flush_select_emits(ex, info.class, sel, &mut pending, &mut report.values);
+            ex.put_val_batch(pending);
         }
     });
     report.trace = ex.finish();

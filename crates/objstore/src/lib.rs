@@ -35,7 +35,8 @@ pub use rid::{Rid, RID_BYTES};
 pub use ridlist::{RidRun, RidRunCursor, RIDS_PER_PAGE};
 pub use schema::{Attr, AttrId, AttrType, ClassDef, ClassId, Schema};
 pub use store::{
-    CollectionInfo, Fetched, ObjGuard, ObjectStore, SetCursor, WideningReport, DEFAULT_FILL_LIMIT,
+    CollectionInfo, Fetched, ObjBatch, ObjGuard, ObjectStore, SetCursor, WideningReport,
+    DEFAULT_FILL_LIMIT,
 };
 pub use value::{SetValue, Value};
 

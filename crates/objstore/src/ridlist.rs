@@ -117,6 +117,33 @@ impl RidRunCursor {
         Some(rid)
     }
 
+    /// Drains up to `max` rids into `out`, never crossing a run-page
+    /// boundary. Each rid still goes through [`RidRunCursor::next`], so
+    /// per-call cache counters (hits included) and read counts are
+    /// unchanged; what changes is recency *order* — the chunk's run-page
+    /// touches happen back-to-back instead of interleaved with whatever
+    /// the caller does per rid. Batched executors therefore only chunk
+    /// streams whose per-rid work touches no pages before the drain
+    /// completes (or none at all, like inline sets); pipelines that
+    /// fetch objects between run-page reads keep the one-at-a-time
+    /// loop so cache eviction order is preserved exactly. Appends
+    /// nothing at end of run.
+    pub fn next_chunk(&mut self, stack: &mut StorageStack, max: usize, out: &mut Vec<Rid>) {
+        if max == 0 || self.next_index >= self.run.count {
+            return;
+        }
+        let page = self.next_index / RIDS_PER_PAGE as u64;
+        let mut taken = 0;
+        while taken < max
+            && self.next_index < self.run.count
+            && self.next_index / RIDS_PER_PAGE as u64 == page
+        {
+            let rid = self.next(stack).expect("index checked in bounds");
+            out.push(rid);
+            taken += 1;
+        }
+    }
+
     /// Collects every remaining rid (convenience for small runs/tests).
     pub fn collect_all(mut self, stack: &mut StorageStack) -> Vec<Rid> {
         let mut out = Vec::with_capacity(self.remaining() as usize);

@@ -115,6 +115,49 @@ impl Drop for ObjGuard {
     }
 }
 
+/// A reusable arena of decoded objects for [`ObjectStore::fetch_batch`].
+///
+/// Holds one recycled [`Object`] shell per slot; shells persist across
+/// batches (and across queries, when the caller keeps the arena), so a
+/// warm batch loop never allocates. Between a `fetch_batch` and its
+/// `release_batch` the arena is *armed*: `len()` objects are pinned and
+/// readable through [`ObjBatch::get`].
+#[derive(Debug, Default)]
+pub struct ObjBatch {
+    /// Canonical (post-forwarding) rids of the armed entries.
+    rids: Vec<Rid>,
+    /// Shell pool; the first `rids.len()` hold armed objects, the rest
+    /// are spares from earlier, larger batches.
+    shells: Vec<Object>,
+}
+
+impl ObjBatch {
+    /// Armed entries.
+    pub fn len(&self) -> usize {
+        self.rids.len()
+    }
+
+    /// True when nothing is armed.
+    pub fn is_empty(&self) -> bool {
+        self.rids.is_empty()
+    }
+
+    /// Canonical rid of entry `i`.
+    pub fn rid(&self, i: usize) -> Rid {
+        self.rids[i]
+    }
+
+    /// Decoded object of entry `i`.
+    pub fn object(&self, i: usize) -> &Object {
+        &self.shells[i]
+    }
+
+    /// `(canonical rid, object)` of entry `i`.
+    pub fn get(&self, i: usize) -> (Rid, &Object) {
+        (self.rids[i], &self.shells[i])
+    }
+}
+
 /// The object store.
 ///
 /// `Clone` duplicates the entire simulated client/server/disk state;
@@ -332,6 +375,82 @@ impl ObjectStore {
         let out = f(self, &guard);
         self.release_guard(guard);
         out
+    }
+
+    /// Fetches a batch of **distinct** objects into `out`, decoding
+    /// each off its page exactly as [`ObjectStore::fetch`] would:
+    /// per-rid page reads (forwarder hops included), then the handle
+    /// get and its charge, in input order. Input order is preserved
+    /// deliberately — LRU recency is order-sensitive, and batching is
+    /// an execution detail that must not move a single counter.
+    ///
+    /// The rids (after forwarding) must be pairwise distinct: a
+    /// duplicate would find its own still-pinned handle (`Touched`
+    /// where a fetch/release loop sees `Revived`) and skew the handle
+    /// counters. Every batched executor stream satisfies this by
+    /// construction; debug builds verify it.
+    pub fn fetch_batch(&mut self, rids: &[Rid], out: &mut ObjBatch) {
+        debug_assert!(out.is_empty(), "fetch_batch into an armed ObjBatch");
+        out.rids.clear();
+        for (i, &rid) in rids.iter().enumerate() {
+            if out.shells.len() <= i {
+                out.shells.push(self.spare.pop().unwrap_or_else(|| Object {
+                    header: ObjectHeader::new(ClassId(0), false),
+                    values: Vec::new(),
+                }));
+            }
+            let canonical = {
+                let mut rid = rid;
+                loop {
+                    let page = self.stack.read_page(rid.page);
+                    let bytes = page
+                        .read(rid.slot)
+                        .unwrap_or_else(|| panic!("dangling rid {rid:?}"));
+                    if record::is_forwarder(bytes) {
+                        rid = match record::decode(self.schema.class(ClassId(0)), bytes) {
+                            Err(DecodeError::Forwarded(next)) => next,
+                            _ => unreachable!("is_forwarder guaranteed a forwarder"),
+                        };
+                        continue;
+                    }
+                    let class = record::peek_class(bytes).expect("resolved record is an object");
+                    record::decode_into(self.schema.class(class), bytes, &mut out.shells[i])
+                        .unwrap_or_else(|e| panic!("corrupt record at {rid:?}: {e:?}"));
+                    break rid;
+                }
+            };
+            match self.handles.get(canonical) {
+                GetOutcome::Allocated => self.stack.charge(CpuEvent::HandleAlloc, 1),
+                GetOutcome::Touched | GetOutcome::Revived => {
+                    self.stack.charge(CpuEvent::HandleTouch, 1)
+                }
+            }
+            out.rids.push(canonical);
+        }
+        #[cfg(debug_assertions)]
+        {
+            let mut seen: std::collections::HashSet<Rid> = std::collections::HashSet::new();
+            for &r in &out.rids {
+                assert!(
+                    seen.insert(r),
+                    "fetch_batch requires distinct rids, got {r:?} twice"
+                );
+            }
+        }
+    }
+
+    /// Unpins every entry of an armed batch, in fetch order — the same
+    /// unref sequence (and the same `HandleUnref`/`HandleFree` charges)
+    /// a fetch/release loop produces, just deferred to the end of the
+    /// batch. With distinct rids the zombie pool sees the identical
+    /// push order, so later revivals and evictions are unchanged. The
+    /// shells stay in the arena for the next batch.
+    pub fn release_batch(&mut self, batch: &mut ObjBatch) {
+        for i in 0..batch.rids.len() {
+            let rid = batch.rids[i];
+            self.unref(rid);
+        }
+        batch.rids.clear();
     }
 
     /// Unpins a handle previously pinned by [`ObjectStore::fetch`].
@@ -671,6 +790,32 @@ impl SetCursor<'_> {
             SetCursor::Overflow(c) => c.remaining(),
         }
     }
+
+    /// True for inline sets — the members live in the decoded owning
+    /// record, so draining them touches no pages. A batched caller can
+    /// chunk an inline set's fan-out freely: the page-access sequence
+    /// is the member fetches alone, identical to a one-at-a-time loop.
+    /// Overflow sets interleave rid-run page reads with the member
+    /// fetches; reordering those would perturb cache recency.
+    pub fn is_inline(&self) -> bool {
+        matches!(self, SetCursor::Inline { .. })
+    }
+
+    /// Drains up to `max` member rids into `out`. Inline sets drain
+    /// from memory (no I/O, any chunk size); overflow sets delegate to
+    /// [`RidRunCursor::next_chunk`], which stops at rid-run page
+    /// boundaries so a batched caller keeps the scalar page-access
+    /// interleave. Appends nothing when the set is exhausted.
+    pub fn next_chunk(&mut self, stack: &mut StorageStack, max: usize, out: &mut Vec<Rid>) {
+        match self {
+            SetCursor::Inline { rids, at } => {
+                let end = (*at + max).min(rids.len());
+                out.extend_from_slice(&rids[*at..end]);
+                *at = end;
+            }
+            SetCursor::Overflow(c) => c.next_chunk(stack, max, out),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1006,5 +1151,72 @@ mod tests {
         let report = store.register_index_on_collection("Items", 1);
         assert_eq!(report.widened, 0);
         assert_eq!(report.relocated, 0);
+    }
+
+    #[test]
+    fn fetch_batch_charges_exactly_like_a_fetch_loop() {
+        // Two identical stores, same rid stream: a fetch/unref loop on
+        // one, fetch_batch/release_batch on the other. Every observable
+        // counter must match — batching is an execution detail.
+        let build = || {
+            let (mut store, item, file) = item_store();
+            let rids: Vec<Rid> = (0..250)
+                .map(|i| store.insert(file, item, &item_values(i, "payload"), true))
+                .collect();
+            store.cold_restart();
+            store.reset_metrics();
+            (store, rids)
+        };
+        let (mut a, rids_a) = build();
+        for &rid in &rids_a {
+            // Immediate release — the strictest comparison: the batch
+            // defers releases to the chunk end, and for a duplicate-free
+            // stream that deferral must be counter-invisible.
+            let f = a.fetch(rid);
+            assert!(!f.object.header.is_deleted());
+            a.unref(rid);
+        }
+        let (mut b, rids_b) = build();
+        assert_eq!(rids_a, rids_b);
+        let mut batch = ObjBatch::default();
+        for chunk in rids_b.chunks(64) {
+            b.fetch_batch(chunk, &mut batch);
+            assert_eq!(batch.len(), chunk.len());
+            for (i, &want) in chunk.iter().enumerate() {
+                let (rid, obj) = batch.get(i);
+                assert_eq!(rid, want);
+                assert!(!obj.header.is_deleted());
+            }
+            b.release_batch(&mut batch);
+            assert!(batch.is_empty());
+        }
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.handle_stats(), b.handle_stats());
+        assert_eq!(a.clock().io_time(), b.clock().io_time());
+        assert_eq!(a.clock().cpu_time(), b.clock().cpu_time());
+    }
+
+    #[test]
+    fn fetch_batch_follows_forwarders_to_canonical_rids() {
+        let (mut store, item, file) = item_store();
+        store.set_fill_limit(PAGE_SIZE);
+        let rids: Vec<Rid> = (0..300)
+            .map(|i| store.insert(file, item, &item_values(i, "0123456789abcdef"), false))
+            .collect();
+        store.create_collection("Items", item, &rids);
+        // Widening without headroom relocates objects behind forwarders.
+        let report = store.register_index_on_collection("Items", 1);
+        assert!(report.relocated > 0, "need forwarded objects to test");
+        store.end_of_query();
+        let mut batch = ObjBatch::default();
+        store.fetch_batch(&rids[..50], &mut batch);
+        for (i, &orig) in rids[..50].iter().enumerate() {
+            let (canonical, obj) = batch.get(i);
+            let scalar = store.fetch(orig);
+            assert_eq!(canonical, scalar.rid, "same canonical rid as fetch");
+            assert_eq!(obj.values, scalar.object.values);
+            store.unref(scalar.rid);
+        }
+        store.release_batch(&mut batch);
     }
 }

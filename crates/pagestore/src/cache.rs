@@ -111,6 +111,14 @@ impl<K: Eq + Hash + Copy> LruCache<K> {
 
     /// Marks `key` as most recently used. Returns `true` on hit.
     pub fn touch(&mut self, key: K) -> bool {
+        // Sequential scans touch the same page dozens of times in a row
+        // (and rid-run cursors touch theirs once per rid); when the key
+        // is already at the MRU position the map probe — the hottest
+        // lookup in the simulator — can be skipped outright. Hit/miss
+        // outcome and recency order are unchanged.
+        if self.head != NIL && self.slab[self.head].key == key {
+            return true;
+        }
         let Some(&idx) = self.map.get(&key) else {
             return false;
         };

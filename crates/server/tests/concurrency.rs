@@ -112,6 +112,58 @@ fn concurrent_cold_sessions_match_serial_oracle() {
 }
 
 #[test]
+fn served_stats_are_byte_identical_across_batch_sizes() {
+    use tq_query::exec::{set_default_batch_size, DEFAULT_BATCH_SIZE};
+    let base = base_db();
+    let cells = cells();
+
+    // The oracle runs on the scalar path; every batched serving run
+    // must reproduce its `Stat`s bit for bit. (The knob is process
+    // global, but that is exactly the property under test: no thread
+    // in this binary can legally observe a difference.)
+    set_default_batch_size(1);
+    let oracle: Vec<_> = cells
+        .iter()
+        .map(|&(algo, pat, prov)| serial_oracle(&base, algo, pat, prov))
+        .collect();
+
+    for batch in [7, DEFAULT_BATCH_SIZE] {
+        set_default_batch_size(batch);
+        let server = Arc::new(Server::start(base.clone(), ServerConfig::default()));
+        let barrier = Arc::new(Barrier::new(cells.len()));
+        let handles: Vec<_> = cells
+            .iter()
+            .map(|&(algo, pat, prov)| {
+                let server = Arc::clone(&server);
+                let barrier = Arc::clone(&barrier);
+                thread::spawn(move || {
+                    barrier.wait();
+                    run_one(&server, CacheMode::Cold, algo, pat, prov)
+                })
+            })
+            .collect();
+        let served: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for (i, ((results, stat, leaked), (want_results, want_stat))) in
+            served.iter().zip(oracle.iter()).enumerate()
+        {
+            let (algo, pat, prov) = cells[i];
+            assert_eq!(leaked, &0, "TQ_BATCH={batch} {algo:?} {pat}/{prov} leaked");
+            assert_eq!(
+                results, want_results,
+                "TQ_BATCH={batch} {algo:?} {pat}/{prov} cardinality"
+            );
+            assert_eq!(
+                stat, want_stat,
+                "TQ_BATCH={batch} {algo:?} {pat}/{prov}: served Stat \
+                 must be byte-identical to the scalar oracle"
+            );
+        }
+        Arc::try_unwrap(server).ok().unwrap().shutdown();
+    }
+    set_default_batch_size(DEFAULT_BATCH_SIZE);
+}
+
+#[test]
 fn deadline_cancel_then_session_still_matches_oracle() {
     let base = base_db();
     let (want_results, want_stat) = serial_oracle(&base, JoinAlgo::Chj, 100, 90);

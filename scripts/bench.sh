@@ -23,13 +23,23 @@
 # Usage:  scripts/bench.sh [out.json]          (default: BENCH_harness.json)
 #   TQ_BENCH_SMOKE_SCALE=200 TQ_BENCH_PAPER_SCALE=1 scripts/bench.sh
 #   TQ_BENCH_SKIP_PAPER=1 scripts/bench.sh     (CI: smoke scale only)
+#   TQ_BATCH=1 scripts/bench.sh                (time the scalar path)
+#   scripts/bench.sh --micro                   (operator-level microbenches
+#                                               only; no JSON emitted)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "--micro" ]; then
+    exec cargo bench -p tq-bench
+fi
 
 OUT="${1:-BENCH_harness.json}"
 SMOKE_SCALE="${TQ_BENCH_SMOKE_SCALE:-200}"
 PAPER_SCALE="${TQ_BENCH_PAPER_SCALE:-1}"
 NCORES="$(nproc)"
+# The executor batch size the figure runs use (and record): the env
+# override if set, else the engine default.
+BATCH="${TQ_BATCH:-1024}"
 
 echo "== build (release) =="
 cargo build --release -p tq-bench
@@ -43,7 +53,7 @@ run_one() {
     echo "-- $name scale=$scale jobs=$jobs"
     local t0 t1 pid hwm_kb=0 line
     t0=$(date +%s%N)
-    TQ_SCALE="$scale" TQ_JOBS="$jobs" "$@" >/dev/null 2>&1 &
+    TQ_SCALE="$scale" TQ_JOBS="$jobs" TQ_BATCH="$BATCH" "$@" >/dev/null 2>&1 &
     pid=$!
     while kill -0 "$pid" 2>/dev/null; do
         if line=$(grep VmHWM "/proc/$pid/status" 2>/dev/null); then
@@ -57,7 +67,7 @@ run_one() {
     local wall_ms=$(( (t1 - t0) / 1000000 ))
     echo "   wall=${wall_ms}ms peak_rss=${hwm_kb}kB"
     RECORDS+="    {\"figure\": \"$name\", \"scale\": $scale, \"jobs\": $jobs,"
-    RECORDS+=" \"wall_ms\": $wall_ms, \"peak_rss_kb\": $hwm_kb},"$'\n'
+    RECORDS+=" \"batch\": $BATCH, \"wall_ms\": $wall_ms, \"peak_rss_kb\": $hwm_kb},"$'\n'
 }
 
 JOBS_SET="1"
@@ -77,13 +87,15 @@ for scale in $SCALES; do
 done
 
 echo "== serving run (loadgen, TQ_CONCURRENCY=8, ${TQ_DURATION:-2}s) =="
-TQ_SCALE="$SMOKE_SCALE" TQ_JOBS="$NCORES" TQ_CONCURRENCY="${TQ_CONCURRENCY:-8}" \
+TQ_SCALE="$SMOKE_SCALE" TQ_JOBS="$NCORES" TQ_BATCH="$BATCH" \
+    TQ_CONCURRENCY="${TQ_CONCURRENCY:-8}" \
     TQ_DURATION="${TQ_DURATION:-2}" \
     ./target/release/loadgen --json BENCH_serve.json
 
 {
     echo "{"
     echo "  \"host_cores\": $NCORES,"
+    echo "  \"batch\": $BATCH,"
     echo "  \"git_rev\": \"$(git rev-parse --short HEAD 2>/dev/null || echo unknown)\","
     echo "  \"runs\": ["
     printf '%s' "${RECORDS%,$'\n'}"

@@ -72,4 +72,40 @@ MIX_ROWS=$(echo "$MIX_CSV" | awk -F, '/^label,/{h=1;next} h && NF==17' | wc -l)
 echo "$MIX_CSV" | awk -F, '/^label,/{h=1;next} h { exit !($9 == 0 && $10 > 0 && $11 >= 0) }' \
     || { echo "error: mixed serve must commit writes without errors" >&2; exit 1; }
 
+echo "== perf gate: paper-scale fig11_14 vs committed trajectory =="
+# Wall clock of the paper's headline figure must stay within 15% of the
+# best committed BENCH_*.json record (figure=fig11_14, paper scale,
+# TQ_JOBS=1). Skippable on hosts that are legitimately slower than the
+# recording machine: TQ_SKIP_PERF_GATE=1.
+if [ "${TQ_SKIP_PERF_GATE:-0}" = "1" ]; then
+    echo "skipped (TQ_SKIP_PERF_GATE=1)"
+else
+    BASE_MS=$(grep -h '"figure": "fig11_14"' BENCH_*.json 2>/dev/null \
+        | grep '"scale": 1,' | grep '"jobs": 1,' \
+        | sed -E 's/.*"wall_ms": ([0-9]+).*/\1/' | sort -n | head -1)
+    if [ -z "${BASE_MS:-}" ]; then
+        echo "no committed paper-scale fig11_14 record; nothing to gate"
+    else
+        # Best of two runs: shared hosts jitter far more than the 15%
+        # band, and a transient slow neighbour is not a regression.
+        CUR_MS=""
+        for _ in 1 2; do
+            PERF_T0=$(date +%s%N)
+            TQ_SCALE=1 TQ_JOBS=1 \
+                ./target/release/fig11_14_joins --db db2 --org class >/dev/null
+            PERF_T1=$(date +%s%N)
+            MS=$(( (PERF_T1 - PERF_T0) / 1000000 ))
+            [ -z "$CUR_MS" ] || [ "$MS" -lt "$CUR_MS" ] && CUR_MS=$MS
+        done
+        LIMIT_MS=$(( BASE_MS * 115 / 100 ))
+        echo "paper fig11_14: ${CUR_MS} ms (best committed ${BASE_MS} ms," \
+             "limit ${LIMIT_MS} ms)"
+        if [ "$CUR_MS" -gt "$LIMIT_MS" ]; then
+            echo "error: paper-scale fig11_14 regressed >15% over the" \
+                 "committed trajectory (TQ_SKIP_PERF_GATE=1 to bypass)" >&2
+            exit 1
+        fi
+    fi
+fi
+
 echo "verify: OK"

@@ -1,0 +1,62 @@
+//! Plan-quality figure: the three N-way chain ordering policies
+//! (estimate | simpli | syntactic) measured side by side.
+//!
+//! Usage: fig_multiway [--db db1|db2] [--org class|random|comp|assoc]
+
+use tq_bench::env;
+use tq_workload::{DbShape, Organization};
+
+fn main() {
+    env::maybe_print_help(
+        "Plan-quality figure: the estimator-driven, Simpli-Squared \
+         (size-only), and syntactic chain-ordering policies measured \
+         side by side on depth-3 and depth-4 binding chains.",
+        "fig_multiway [--db db1|db2] [--org class|random|comp|assoc]",
+        &[
+            env::ENV_SCALE,
+            env::ENV_JOBS,
+            env::ENV_BATCH,
+            env::ENV_PLANNER,
+            env::ENV_EXPLAIN,
+        ],
+    );
+    let args: Vec<String> = std::env::args().collect();
+    let arg = |name: &str, default: &str| -> String {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    };
+    let shape = match arg("--db", "db2").as_str() {
+        "db1" => DbShape::Db1,
+        "db2" => DbShape::Db2,
+        other => {
+            eprintln!("unknown --db {other:?} (use db1|db2)");
+            std::process::exit(2);
+        }
+    };
+    let org = match arg("--org", "class").as_str() {
+        "class" => Organization::ClassClustered,
+        "random" => Organization::Randomized,
+        "comp" | "composition" => Organization::Composition,
+        "assoc" | "assoc-ordered" => Organization::AssociationOrdered,
+        other => {
+            eprintln!("unknown --org {other:?} (use class|random|comp|assoc)");
+            std::process::exit(2);
+        }
+    };
+    let policy = env::planner_from_env().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let (scale, jobs) = tq_bench::env_config_or_exit();
+    let fig = tq_bench::figures::multiway::run(shape, org, scale, jobs, policy);
+    println!("{}", tq_bench::figures::multiway::print(&fig));
+    println!("{}", tq_statsdb::export::to_csv(fig.stats.all()));
+    // Opt-in per-operator view, same gate as every figure binary.
+    if std::env::var_os("TQ_EXPLAIN").is_some() {
+        println!("{}", tq_bench::figures::joins::explain_tables(&fig.stats));
+        println!("{}", tq_statsdb::export::to_operator_csv(fig.stats.all()));
+    }
+}

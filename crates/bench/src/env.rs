@@ -97,6 +97,23 @@ pub fn warmup_ms_from_env() -> Result<Option<u64>, String> {
     }
 }
 
+/// Reads the chain-ordering policy filter from `TQ_PLANNER` —
+/// `fig_multiway` only. `None` when unset (the figure then runs all
+/// three policies side by side); `estimate`, `simpli`, or `syntactic`
+/// selects one. Anything else is a hard error, same as every knob.
+pub fn planner_from_env() -> Result<Option<tq_query::PlannerPolicy>, String> {
+    match std::env::var("TQ_PLANNER") {
+        Err(_) => Ok(None),
+        Ok(raw) => match tq_query::PlannerPolicy::parse(&raw) {
+            Some(policy) => Ok(Some(policy)),
+            None => Err(format!(
+                "TQ_PLANNER (the chain-ordering policy) must be one of \
+                 estimate, simpli, syntactic; got {raw:?}"
+            )),
+        },
+    }
+}
+
 /// Shared parser: a positive integer from `var`, or `default` when
 /// unset.
 pub fn positive_from_env(var: &str, default: u32, what: &str) -> Result<u32, String> {
@@ -169,6 +186,11 @@ pub const ENV_WRITE_MIX: EnvDoc = (
 pub const ENV_WARMUP_MS: EnvDoc = (
     "TQ_WARMUP_MS",
     "warmup window in ms, excluded from throughput/latency; default: duration/5",
+);
+/// `TQ_PLANNER` help row.
+pub const ENV_PLANNER: EnvDoc = (
+    "TQ_PLANNER",
+    "chain-ordering policy: estimate | simpli | syntactic; default: run all three",
 );
 
 /// Standard `--help`/`-h` handling: when present in the arguments,
@@ -274,5 +296,23 @@ mod tests {
         std::env::set_var("TQ_WARMUP_MS", "soon");
         assert!(warmup_ms_from_env().is_err());
         std::env::remove_var("TQ_WARMUP_MS");
+
+        // TQ_PLANNER: unset means "all three policies", an exact label
+        // selects one, anything else (including case variants) errors.
+        std::env::remove_var("TQ_PLANNER");
+        assert_eq!(planner_from_env(), Ok(None));
+        for policy in tq_query::PlannerPolicy::all() {
+            std::env::set_var("TQ_PLANNER", policy.label());
+            assert_eq!(planner_from_env(), Ok(Some(policy)));
+        }
+        for bad in ["greedy", "Estimate", "SIMPLI", ""] {
+            std::env::set_var("TQ_PLANNER", bad);
+            let err = planner_from_env().unwrap_err();
+            assert!(
+                err.contains("TQ_PLANNER") && err.contains("syntactic"),
+                "{err}"
+            );
+        }
+        std::env::remove_var("TQ_PLANNER");
     }
 }

@@ -102,9 +102,15 @@ pub fn run_join_figure_on(db: &Database, scale: u32, jobs: usize) -> JoinFigure 
 /// `Stat` line below it — by the executor's attribution invariant the
 /// two lines agree exactly.
 pub fn print_explain(fig: &JoinFigure) -> String {
+    explain_tables(&fig.stats)
+}
+
+/// The per-operator counter tables for any stats database — shared by
+/// the join figures and the multiway plan-quality figure.
+pub fn explain_tables(stats: &StatsDb) -> String {
     use std::fmt::Write;
     let mut out = String::new();
-    for s in fig.stats.all() {
+    for s in stats.all() {
         let pat = s.query.selectivity_on("Patient").unwrap_or(0);
         let prov = s.query.selectivity_on("Provider").unwrap_or(0);
         writeln!(

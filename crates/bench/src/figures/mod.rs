@@ -9,4 +9,5 @@ pub mod handles;
 pub mod hybrid;
 pub mod joins;
 pub mod loading;
+pub mod multiway;
 pub mod warm;

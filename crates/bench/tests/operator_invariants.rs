@@ -7,8 +7,12 @@
 use tq_bench::harness::{build_db, join_spec, run_join_cell, stat_record};
 use tq_bench::JoinCell;
 use tq_query::join::{smj, JoinContext, JoinOptions};
-use tq_query::{JoinAlgo, OpKind};
-use tq_server::measure::{measure_update_current, update_stat_record};
+use tq_query::plan::chain_pipeline;
+use tq_query::{JoinAlgo, OpKind, PlannerPolicy};
+use tq_server::measure::{
+    chain_stat_record, compile_chain_spec, measure_update_current, run_chain_cell,
+    update_stat_record,
+};
 use tq_server::UpdateTarget;
 use tq_statsdb::Stat;
 use tq_workload::{Database, DbShape, Organization};
@@ -121,6 +125,76 @@ fn sort_merge_join_trace_sums_to_its_window() {
     assert!(report.trace.find(OpKind::Sort).is_some());
     assert!(report.trace.find(OpKind::Merge).is_some());
     assert!(report.trace.find(OpKind::Other).is_none());
+}
+
+#[test]
+fn multiway_chains_sum_to_the_query_stat_at_any_batch() {
+    // The N-way pipeline under the same microscope: for every policy at
+    // depths 3 and 4, each join step's trace rows — plus the Teardown
+    // drain — sum exactly to the query-level Stat, and the whole Stat
+    // is byte-identical between the scalar path (batch 1) and the
+    // batched default.
+    let master = build_db(DbShape::Db2, Organization::ClassClustered, 1000);
+    let mut per_batch: Vec<Vec<Stat>> = Vec::new();
+    for batch in [1usize, 1024] {
+        tq_query::exec::set_default_batch_size(batch);
+        let mut stats = Vec::new();
+        for policy in PlannerPolicy::all() {
+            for depth in [3u32, 4] {
+                let mut db = master.clone();
+                let cell = run_chain_cell(&mut db, depth, 30, 60, policy, None).unwrap();
+                let what = format!("depth {depth} {policy:?} batch {batch}");
+                assert!(cell.results > 0, "{what}: selected nothing");
+
+                let total = cell.report.trace.total();
+                assert_eq!(total.io, cell.io, "{what}: I/O counters must sum exactly");
+                assert_eq!(
+                    total.elapsed_secs(),
+                    cell.secs,
+                    "{what}: elapsed time must be fully attributed"
+                );
+                assert!(
+                    cell.report.trace.find(OpKind::Other).is_none(),
+                    "{what}: no counters may land outside operator scopes"
+                );
+                assert!(
+                    cell.report.trace.find(OpKind::Teardown).is_some(),
+                    "{what}: the end-of-query drain must have its own row"
+                );
+
+                // The trace rows are exactly the plan's pipeline — one
+                // row per join step's operators — plus the teardown.
+                // The executor merges a re-entered (kind, label) scope
+                // into its first row (a parent-ward hash step re-probes
+                // the step it extends), so the expectation keeps first
+                // occurrences only.
+                let spec = compile_chain_spec(&db, depth, 30, 60).unwrap();
+                let mut want = chain_pipeline(&spec, &cell.choice.plan);
+                let mut seen = std::collections::HashSet::new();
+                want.retain(|row| seen.insert(row.clone()));
+                let got: Vec<(OpKind, String)> = cell
+                    .report
+                    .trace
+                    .ops
+                    .iter()
+                    .filter(|op| op.kind != OpKind::Teardown)
+                    .map(|op| (op.kind, op.label.clone()))
+                    .collect();
+                assert_eq!(got, want, "{what}: trace rows are the plan's pipeline");
+
+                let stat = chain_stat_record(&db, &cell, depth, 30, 60);
+                assert!(stat.algo.starts_with("CHAIN-"), "{}", stat.algo);
+                check_stat_rows(&stat, &what);
+                stats.push(stat);
+            }
+        }
+        per_batch.push(stats);
+    }
+    tq_query::exec::set_default_batch_size(tq_query::exec::DEFAULT_BATCH_SIZE);
+    assert_eq!(
+        per_batch[0], per_batch[1],
+        "chain Stats must be byte-identical at batch 1 and 1024"
+    );
 }
 
 #[test]

@@ -16,11 +16,13 @@
 //! original goal; this is the simplest answer that makes the paper's
 //! plan choices correctly.
 
-use crate::estimator::PhysicalProfile;
-use crate::estimator::SelectPath;
-use crate::join::{run_join, JoinContext, JoinOptions, JoinReport};
+use crate::estimator::{ChainFacts, PhysicalProfile, SelectPath};
+use crate::join::{run_chain, run_join, ChainReport, JoinContext, JoinOptions, JoinReport};
 use crate::oql::{compile_str, CompileError, CompiledQuery};
-use crate::planner::{choose_join, choose_selection, Strategy};
+use crate::plan::ChainSpec;
+use crate::planner::{
+    choose_join, choose_selection, plan_chain, ChainChoice, PlannerPolicy, Strategy,
+};
 use crate::select::{index_scan, seq_scan, sorted_index_scan, SelectReport};
 use crate::spec::{JoinAlgo, Selection, TreeJoinSpec};
 use std::fmt;
@@ -84,6 +86,19 @@ pub enum QueryOutcome {
         /// Simulated seconds the execution took.
         secs: f64,
     },
+    /// An N-way binding chain ran.
+    Chain {
+        /// The compiled chain (kept for explain rendering).
+        spec: ChainSpec,
+        /// Policy that picked the plan.
+        policy: PlannerPolicy,
+        /// The chosen plan with its estimated cost.
+        choice: ChainChoice,
+        /// Executor report.
+        report: ChainReport,
+        /// Simulated seconds the execution took.
+        secs: f64,
+    },
 }
 
 impl QueryOutcome {
@@ -92,13 +107,16 @@ impl QueryOutcome {
         match self {
             QueryOutcome::Selection { report, .. } => report.selected,
             QueryOutcome::Join { report, .. } => report.results,
+            QueryOutcome::Chain { report, .. } => report.results,
         }
     }
 
     /// Simulated seconds.
     pub fn secs(&self) -> f64 {
         match self {
-            QueryOutcome::Selection { secs, .. } | QueryOutcome::Join { secs, .. } => *secs,
+            QueryOutcome::Selection { secs, .. }
+            | QueryOutcome::Join { secs, .. }
+            | QueryOutcome::Chain { secs, .. } => *secs,
         }
     }
 }
@@ -109,6 +127,9 @@ pub struct Engine {
     indexes: Vec<EngineIndex>,
     /// Join options used for every join execution.
     pub join_options: JoinOptions,
+    /// Ordering policy for N-way binding chains (the `TQ_PLANNER`
+    /// knob; 2-way tree joins keep using `Strategy`).
+    pub chain_policy: PlannerPolicy,
 }
 
 impl Engine {
@@ -118,6 +139,7 @@ impl Engine {
             store,
             indexes: Vec::new(),
             join_options: JoinOptions::default(),
+            chain_policy: PlannerPolicy::Estimate,
         }
     }
 
@@ -260,7 +282,42 @@ impl Engine {
         match compiled {
             CompiledQuery::Selection(sel) => self.run_selection(sel, strategy),
             CompiledQuery::TreeJoin(spec) => self.run_join_query(spec, strategy),
+            CompiledQuery::Chain(spec) => self.run_chain_query(spec),
         }
+    }
+
+    fn run_chain_query(&mut self, spec: ChainSpec) -> Result<QueryOutcome, EngineError> {
+        let facts = ChainFacts::derive(&self.store, &spec, |class, attr| {
+            self.find_index(class, attr).map(|e| e.index.clustered)
+        });
+        let model = self.store.stack().model().clone();
+        let policy = self.chain_policy;
+        let choice = plan_chain(policy, &spec, &facts, &model);
+        // Per-step index clone on each primary predicate attribute,
+        // in the shape the executor takes.
+        let indexes: Vec<Option<tq_index::BTreeIndex>> = spec
+            .steps
+            .iter()
+            .map(|s| {
+                let class = self.store.collection(&s.collection).class;
+                s.preds
+                    .first()
+                    .and_then(|p| self.find_index(class, p.attr))
+                    .map(|e| e.index.clone())
+            })
+            .collect();
+        self.store.cold_restart();
+        self.store.reset_metrics();
+        let report = run_chain(&mut self.store, &spec, &choice.plan, &indexes, false, None);
+        self.store.end_of_query();
+        let secs = self.store.clock().elapsed_secs();
+        Ok(QueryOutcome::Chain {
+            spec,
+            policy,
+            choice,
+            report,
+            secs,
+        })
     }
 
     fn run_selection(

@@ -10,8 +10,11 @@
 //! paper's bar, not cycle-accurate.
 
 use crate::exec::OpKind;
+use crate::join::chain::CHAIN_ENTRY_BYTES;
 use crate::join::hash_table_bytes;
-use crate::spec::JoinAlgo;
+use crate::plan::{ChainSpec, LogicalPlan, RootAccess, StepAlgo};
+use crate::spec::{CmpOp, JoinAlgo, ResultMode};
+use tq_objstore::{AttrId, ClassId, ObjectStore};
 use tq_pagestore::CostModel;
 
 /// Physical facts the estimator needs about one 1-N tree.
@@ -63,12 +66,13 @@ pub struct CostEstimate {
 /// One physical operator's share of a cost estimate — the same
 /// vocabulary ([`OpKind`] + side label) the executor's trace uses, so
 /// `explain` can print estimated and measured columns side by side.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct OpEstimate {
+    /// Which side / stream the operator works on (a fixed side name
+    /// for 2-way joins, a `var:Collection` step label for chains).
+    pub label: String,
     /// Operator kind.
     pub kind: OpKind,
-    /// Which side / stream the operator works on.
-    pub label: &'static str,
     /// Estimated seconds attributed to this operator.
     pub secs: f64,
 }
@@ -272,17 +276,17 @@ pub fn estimate_join_breakdown(
             let ops = vec![
                 OpEstimate {
                     kind: OpKind::IndexRangeScan,
-                    label: "parents",
+                    label: "parents".into(),
                     secs: parent_leaves + io_parents,
                 },
                 OpEstimate {
                     kind: OpKind::SetNav,
-                    label: "children",
+                    label: "children".into(),
                     secs: io_children + nav_cpu,
                 },
                 OpEstimate {
                     kind: OpKind::Emit,
-                    label: "result",
+                    label: "result".into(),
                     secs: emit_cpu,
                 },
             ];
@@ -313,14 +317,14 @@ pub fn estimate_join_breakdown(
             let ops = vec![
                 OpEstimate {
                     kind: OpKind::IndexRangeScan,
-                    label: "children",
+                    label: "children".into(),
                     // Leaf chain + rid sort + the data pass + child
                     // handles, as the trace attributes them.
                     secs: child_leaves + e.sort(sc) + io_children + e.handle_scan(sc),
                 },
                 OpEstimate {
                     kind: OpKind::BackRefNav,
-                    label: "parents",
+                    label: "parents".into(),
                     secs: io_parents
                         + e.handle_scan(distinct_parents)
                         + (sc - distinct_parents).max(0.0)
@@ -330,7 +334,7 @@ pub fn estimate_join_breakdown(
                 },
                 OpEstimate {
                     kind: OpKind::Emit,
-                    label: "result",
+                    label: "result".into(),
                     secs: e.result_build(results),
                 },
             ];
@@ -375,31 +379,31 @@ pub fn estimate_join_breakdown(
                 vec![
                     OpEstimate {
                         kind: OpKind::IndexRangeScan,
-                        label: "parents",
+                        label: "parents".into(),
                         secs: parent_scan_row,
                     },
                     OpEstimate {
                         kind: OpKind::HashBuild,
-                        label: "parents",
+                        label: "parents".into(),
                         secs: parent_cpu
                             + inserts * secs(e.m.hash_insert)
                             + e.swap_cost(table_bytes, inserts),
                     },
                     OpEstimate {
                         kind: OpKind::IndexRangeScan,
-                        label: "children",
+                        label: "children".into(),
                         secs: child_scan_row,
                     },
                     OpEstimate {
                         kind: OpKind::HashProbe,
-                        label: "children",
+                        label: "children".into(),
                         secs: child_cpu
                             + probes * secs(e.m.hash_probe)
                             + e.swap_cost(table_bytes, probes),
                     },
                     OpEstimate {
                         kind: OpKind::Emit,
-                        label: "result",
+                        label: "result".into(),
                         secs: e.result_build(results),
                     },
                 ]
@@ -407,31 +411,31 @@ pub fn estimate_join_breakdown(
                 vec![
                     OpEstimate {
                         kind: OpKind::IndexRangeScan,
-                        label: "children",
+                        label: "children".into(),
                         secs: child_scan_row,
                     },
                     OpEstimate {
                         kind: OpKind::HashBuild,
-                        label: "children",
+                        label: "children".into(),
                         secs: child_cpu
                             + inserts * secs(e.m.hash_insert)
                             + e.swap_cost(table_bytes, inserts),
                     },
                     OpEstimate {
                         kind: OpKind::IndexRangeScan,
-                        label: "parents",
+                        label: "parents".into(),
                         secs: parent_scan_row,
                     },
                     OpEstimate {
                         kind: OpKind::HashProbe,
-                        label: "parents",
+                        label: "parents".into(),
                         secs: parent_cpu
                             + probes * secs(e.m.hash_probe)
                             + e.swap_cost(table_bytes, probes),
                     },
                     OpEstimate {
                         kind: OpKind::Emit,
-                        label: "result",
+                        label: "result".into(),
                         secs: e.result_build(results),
                     },
                 ]
@@ -497,7 +501,7 @@ pub fn estimate_selection_breakdown(
     let result = selected * secs(model.result_append_persistent + model.attr_get);
     let emit_row = OpEstimate {
         kind: OpKind::Emit,
-        label: "result",
+        label: "result".into(),
         secs: result,
     };
     let (secs_total, ops) = match path {
@@ -510,7 +514,7 @@ pub fn estimate_selection_breakdown(
                 vec![
                     OpEstimate {
                         kind: OpKind::SeqScan,
-                        label: "collection",
+                        label: "collection".into(),
                         secs: scan,
                     },
                     emit_row,
@@ -526,7 +530,7 @@ pub fn estimate_selection_breakdown(
                 vec![
                     OpEstimate {
                         kind: OpKind::IndexRangeScan,
-                        label: "collection",
+                        label: "collection".into(),
                         secs: scan,
                     },
                     emit_row,
@@ -546,14 +550,14 @@ pub fn estimate_selection_breakdown(
                 vec![
                     OpEstimate {
                         kind: OpKind::IndexRangeScan,
-                        label: "collection",
+                        label: "collection".into(),
                         secs: e.seq_read(index_leaf_pages(selected))
                             + e.index_driven_scan(false, sel, selected, pages as f64)
                             + e.handle_scan(selected),
                     },
                     OpEstimate {
                         kind: OpKind::Sort,
-                        label: "rids",
+                        label: "rids".into(),
                         secs: e.sort(selected),
                     },
                     emit_row,
@@ -566,6 +570,313 @@ pub fn estimate_selection_breakdown(
         estimate: CostEstimate {
             secs: secs_total,
             table_bytes: 0,
+        },
+    }
+}
+
+/// Fraction of a collection an `attr cmp key` predicate keeps, under
+/// the uniform `0..count` integer-key assumption the paper's Derby
+/// databases follow (`upin`/`mrn` are creation ranks).
+pub fn uniform_selectivity(cmp: CmpOp, key: i64, count: u64) -> f64 {
+    if count == 0 {
+        return 0.0;
+    }
+    let (lo, hi) = cmp.index_range(key, 0, count as i64 - 1);
+    let kept = (hi - lo + 1).clamp(0, count as i64);
+    kept as f64 / count as f64
+}
+
+/// Physical facts about one chain step's extent.
+#[derive(Clone, Copy, Debug)]
+pub struct ChainStepFacts {
+    /// Extent cardinality.
+    pub total: u64,
+    /// Pages a full pass over the extent touches.
+    pub scan_pages: u64,
+    /// Selectivity of the primary (first) predicate; 1.0 with none.
+    pub primary_selectivity: f64,
+    /// Combined selectivity of all the step's predicates.
+    pub selectivity: f64,
+    /// Is there an index on the primary predicate's attribute?
+    pub has_index: bool,
+    /// Is that index clustered?
+    pub index_clustered: bool,
+}
+
+/// Everything the chain estimator and planner need about a
+/// [`ChainSpec`]'s physical world — derived mechanically from the
+/// catalog, like [`PhysicalProfile`].
+#[derive(Clone, Debug)]
+pub struct ChainFacts {
+    /// Per-step facts, in chain order.
+    pub steps: Vec<ChainStepFacts>,
+    /// Client cache capacity in pages.
+    pub client_cache_pages: u64,
+}
+
+impl ChainFacts {
+    /// Derives the facts from the catalog. `index_info(class, attr)`
+    /// reports `Some(clustered)` when an index on that attribute
+    /// exists (the engine answers from its registry; the measurement
+    /// harness from the workload's fixed index set).
+    pub fn derive(
+        store: &ObjectStore,
+        spec: &ChainSpec,
+        index_info: impl Fn(ClassId, AttrId) -> Option<bool>,
+    ) -> Self {
+        let steps = spec
+            .steps
+            .iter()
+            .map(|s| {
+                let info = store.collection(&s.collection);
+                let total = info.run.count;
+                let selectivity = s
+                    .preds
+                    .iter()
+                    .map(|p| uniform_selectivity(p.cmp, p.key, total))
+                    .product();
+                let primary_selectivity = s
+                    .preds
+                    .first()
+                    .map(|p| uniform_selectivity(p.cmp, p.key, total))
+                    .unwrap_or(1.0);
+                let idx = s.preds.first().and_then(|p| index_info(info.class, p.attr));
+                ChainStepFacts {
+                    total,
+                    scan_pages: info.data_pages,
+                    primary_selectivity,
+                    selectivity,
+                    has_index: idx.is_some(),
+                    index_clustered: idx.unwrap_or(false),
+                }
+            })
+            .collect();
+        Self {
+            steps,
+            client_cache_pages: store.stack().config().client_pages as u64,
+        }
+    }
+
+    /// Per-step index availability, in the shape
+    /// [`enumerate_plans`](crate::plan::enumerate_plans) takes.
+    pub fn has_index(&self) -> Vec<bool> {
+        self.steps.iter().map(|s| s.has_index).collect()
+    }
+}
+
+/// One step-extent scan's estimated pieces.
+struct StepScan {
+    /// The gather op (index leaves + rid sort; ~0 for a rid-run walk).
+    gather: f64,
+    /// The fetch-and-filter pass (data I/O, handles, predicate CPU).
+    fetch: f64,
+    /// Rows surviving all the step's predicates.
+    out_rows: f64,
+}
+
+fn scan_step(e: &Env<'_>, f: &ChainStepFacts, access: RootAccess, npreds: usize) -> StepScan {
+    let total = f.total as f64;
+    let pages = f.scan_pages as f64;
+    match access {
+        RootAccess::Index => {
+            let fetched = f.primary_selectivity * total;
+            let residual = npreds.saturating_sub(1) as f64;
+            StepScan {
+                gather: e.seq_read(index_leaf_pages(fetched)) + e.sort(fetched),
+                fetch: e.index_driven_scan(
+                    f.index_clustered,
+                    f.primary_selectivity,
+                    fetched,
+                    pages,
+                ) + e.handle_scan(fetched)
+                    + fetched * residual * secs(e.m.attr_get + e.m.compare),
+                out_rows: f.selectivity * total,
+            }
+        }
+        RootAccess::Scan => StepScan {
+            gather: 0.0,
+            fetch: e.seq_read(pages)
+                + e.handle_scan(total)
+                + total * npreds as f64 * secs(e.m.attr_get + e.m.compare),
+            out_rows: f.selectivity * total,
+        },
+    }
+}
+
+/// Estimates one [`LogicalPlan`]'s cost over a chain (aggregate only).
+pub fn estimate_chain(
+    spec: &ChainSpec,
+    plan: &LogicalPlan,
+    facts: &ChainFacts,
+    model: &CostModel,
+) -> CostEstimate {
+    estimate_chain_breakdown(spec, plan, facts, model).estimate
+}
+
+/// Estimates one [`LogicalPlan`]'s cost, decomposed into exactly the
+/// `(OpKind, label)` rows [`chain_pipeline`](crate::plan::chain_pipeline)
+/// says the executor emits. The formulas mirror the chain executor's
+/// mechanics stage by stage — materialized frontier re-fetches
+/// included — and are adequate for *ordering* plans, the paper's bar.
+pub fn estimate_chain_breakdown(
+    spec: &ChainSpec,
+    plan: &LogicalPlan,
+    facts: &ChainFacts,
+    model: &CostModel,
+) -> EstimateBreakdown {
+    let e = Env {
+        m: model,
+        cache: facts.client_cache_pages as f64,
+    };
+    let proj_slots =
+        |step: usize| spec.projection.iter().filter(|&&(s, _)| s == step).count() as f64;
+    let mut ops: Vec<OpEstimate> = Vec::new();
+    let mut table_bytes_max = 0u64;
+
+    // Root: gather + fetch merge into one access-op row.
+    let root = plan.root;
+    let rf = &facts.steps[root];
+    let root_scan = scan_step(&e, rf, plan.root_access, spec.steps[root].preds.len());
+    let root_kind = match plan.root_access {
+        RootAccess::Index => OpKind::IndexRangeScan,
+        RootAccess::Scan => OpKind::SeqScan,
+    };
+    ops.push(OpEstimate {
+        kind: root_kind,
+        label: spec.steps[root].label(),
+        secs: root_scan.gather + root_scan.fetch + e.attr(root_scan.out_rows * proj_slots(root)),
+    });
+    let mut rows = root_scan.out_rows;
+
+    for stage in &plan.stages {
+        let (t, from) = (stage.step, stage.from);
+        let edge = spec.edge_between(from, t);
+        let child_ward = edge.child == t;
+        let tf = &facts.steps[t];
+        let ff = &facts.steps[from];
+        let npreds = spec.steps[t].preds.len();
+        let pred_cpu = |count: f64| count * npreds as f64 * secs(e.m.attr_get + e.m.compare);
+        let fanout =
+            facts.steps[edge.child].total as f64 / facts.steps[edge.parent].total.max(1) as f64;
+        // Re-fetching the bound frontier object (nav and hash-probe
+        // stages pay this per row).
+        let refetch = |n: f64| {
+            e.rand_read(random_reads(n, ff.scan_pages as f64, e.cache))
+                + e.handle_scan(n)
+                + e.attr(n)
+        };
+        match stage.algo {
+            StepAlgo::Nav if child_ward => {
+                let accesses = rows * fanout;
+                let out_rows = accesses * tf.selectivity;
+                let secs_nav = refetch(rows)
+                    + e.rand_read(random_reads(accesses, tf.scan_pages as f64, e.cache))
+                    + e.handle_scan(accesses)
+                    + pred_cpu(accesses)
+                    + e.attr(out_rows * proj_slots(t));
+                ops.push(OpEstimate {
+                    kind: OpKind::SetNav,
+                    label: spec.steps[t].label(),
+                    secs: secs_nav,
+                });
+                rows = out_rows;
+            }
+            StepAlgo::Nav => {
+                let out_rows = rows * tf.selectivity;
+                let secs_nav = refetch(rows)
+                    + e.rand_read(random_reads(rows, tf.scan_pages as f64, e.cache))
+                    + e.handle_scan(rows)
+                    + pred_cpu(rows)
+                    + e.attr(out_rows * proj_slots(t));
+                ops.push(OpEstimate {
+                    kind: OpKind::BackRefNav,
+                    label: spec.steps[t].label(),
+                    secs: secs_nav,
+                });
+                rows = out_rows;
+            }
+            StepAlgo::Hash if child_ward => {
+                // Build over the bound rows, scan + probe the children.
+                let table_bytes = (rows as u64).max(1) * CHAIN_ENTRY_BYTES;
+                table_bytes_max = table_bytes_max.max(table_bytes);
+                ops.push(OpEstimate {
+                    kind: OpKind::HashBuild,
+                    label: spec.steps[from].label(),
+                    secs: rows * secs(e.m.hash_insert) + e.swap_cost(table_bytes, rows),
+                });
+                let scan = scan_step(&e, tf, stage.access, npreds);
+                let scan_kind = match stage.access {
+                    RootAccess::Index => OpKind::IndexRangeScan,
+                    RootAccess::Scan => OpKind::SeqScan,
+                };
+                ops.push(OpEstimate {
+                    kind: scan_kind,
+                    label: spec.steps[t].label(),
+                    secs: scan.gather,
+                });
+                let out_rows = rows * fanout * tf.selectivity;
+                ops.push(OpEstimate {
+                    kind: OpKind::HashProbe,
+                    label: spec.steps[t].label(),
+                    secs: scan.fetch
+                        + e.attr(scan.out_rows) // back references
+                        + scan.out_rows * secs(e.m.hash_probe)
+                        + e.swap_cost(table_bytes, scan.out_rows)
+                        + e.attr(out_rows * proj_slots(t)),
+                });
+                rows = out_rows;
+            }
+            StepAlgo::Hash => {
+                // Scan + build the parents, probe with the bound rows.
+                let scan = scan_step(&e, tf, stage.access, npreds);
+                let inserts = scan.out_rows;
+                let table_bytes = (inserts as u64).max(1) * CHAIN_ENTRY_BYTES;
+                table_bytes_max = table_bytes_max.max(table_bytes);
+                let scan_kind = match stage.access {
+                    RootAccess::Index => OpKind::IndexRangeScan,
+                    RootAccess::Scan => OpKind::SeqScan,
+                };
+                ops.push(OpEstimate {
+                    kind: scan_kind,
+                    label: spec.steps[t].label(),
+                    secs: scan.gather,
+                });
+                ops.push(OpEstimate {
+                    kind: OpKind::HashBuild,
+                    label: spec.steps[t].label(),
+                    secs: scan.fetch
+                        + e.attr(inserts * proj_slots(t))
+                        + inserts * secs(e.m.hash_insert)
+                        + e.swap_cost(table_bytes, inserts),
+                });
+                let out_rows = rows * tf.selectivity;
+                ops.push(OpEstimate {
+                    kind: OpKind::HashProbe,
+                    label: spec.steps[from].label(),
+                    secs: refetch(rows)
+                        + rows * secs(e.m.hash_probe)
+                        + e.swap_cost(table_bytes, rows),
+                });
+                rows = out_rows;
+            }
+        }
+    }
+
+    let append = match spec.result_mode {
+        ResultMode::Persistent => model.result_append_persistent,
+        ResultMode::Transient => model.result_append_transient,
+    };
+    ops.push(OpEstimate {
+        kind: OpKind::Emit,
+        label: "result".into(),
+        secs: rows * secs(append),
+    });
+    let total = ops.iter().map(|o| o.secs).sum();
+    EstimateBreakdown {
+        ops,
+        estimate: CostEstimate {
+            secs: total,
+            table_bytes: table_bytes_max,
         },
     }
 }

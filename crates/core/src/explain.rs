@@ -15,6 +15,8 @@
 
 use crate::estimator::EstimateBreakdown;
 use crate::exec::{ExecTrace, OpCounters};
+use crate::plan::{ChainSpec, LogicalPlan};
+use crate::planner::PlannerPolicy;
 use std::fmt;
 use tq_pagestore::SimClock;
 
@@ -147,6 +149,22 @@ pub fn render_estimate(b: &EstimateBreakdown) -> String {
     out
 }
 
+/// Renders a chain plan choice as a one-line header:
+/// `plan[simpli] est 12.34s: x:Providers[index] -> SetNav y:Patients`.
+pub fn render_chain_plan(
+    spec: &ChainSpec,
+    plan: &LogicalPlan,
+    policy: PlannerPolicy,
+    estimated_secs: f64,
+) -> String {
+    format!(
+        "plan[{}] est {:.2}s: {}",
+        policy.label(),
+        estimated_secs,
+        plan.describe(spec)
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -208,6 +226,125 @@ mod tests {
         assert!(table.contains("HashBuild(parents)"));
         assert!(table.contains("HashProbe(children)"));
         assert!(table.lines().last().unwrap().starts_with("total"));
+    }
+
+    #[test]
+    fn chain_estimate_rows_match_the_pipeline_vocabulary() {
+        use crate::estimator::{estimate_chain_breakdown, ChainFacts, ChainStepFacts};
+        use crate::plan::{
+            chain_pipeline, enumerate_plans, ChainEdge, ChainStep, RootAccess, StepAlgo,
+        };
+        use crate::spec::{AttrPredicate, CmpOp, ResultMode};
+        use tq_objstore::ClassId;
+        let spec = ChainSpec {
+            steps: vec![
+                ChainStep {
+                    var: "x".into(),
+                    collection: "Providers".into(),
+                    class: ClassId(0),
+                    preds: vec![AttrPredicate {
+                        attr: 1,
+                        cmp: CmpOp::Lt,
+                        key: 100,
+                    }],
+                },
+                ChainStep {
+                    var: "y".into(),
+                    collection: "Patients".into(),
+                    class: ClassId(1),
+                    preds: vec![AttrPredicate {
+                        attr: 1,
+                        cmp: CmpOp::Lt,
+                        key: 1_000,
+                    }],
+                },
+                ChainStep {
+                    var: "z".into(),
+                    collection: "Providers".into(),
+                    class: ClassId(0),
+                    preds: vec![],
+                },
+            ],
+            edges: vec![
+                ChainEdge {
+                    parent: 0,
+                    child: 1,
+                    set_attr: Some(2),
+                    ref_attr: Some(4),
+                },
+                ChainEdge {
+                    parent: 2,
+                    child: 1,
+                    set_attr: Some(2),
+                    ref_attr: Some(4),
+                },
+            ],
+            projection: vec![(2, 1)],
+            result_mode: ResultMode::Transient,
+        };
+        let facts = ChainFacts {
+            steps: vec![
+                ChainStepFacts {
+                    total: 2_000,
+                    scan_pages: 70,
+                    primary_selectivity: 0.05,
+                    selectivity: 0.05,
+                    has_index: true,
+                    index_clustered: true,
+                },
+                ChainStepFacts {
+                    total: 6_000,
+                    scan_pages: 120,
+                    primary_selectivity: 0.17,
+                    selectivity: 0.17,
+                    has_index: true,
+                    index_clustered: true,
+                },
+                ChainStepFacts {
+                    total: 2_000,
+                    scan_pages: 70,
+                    primary_selectivity: 1.0,
+                    selectivity: 1.0,
+                    has_index: false,
+                    index_clustered: false,
+                },
+            ],
+            client_cache_pages: 8_192,
+        };
+        let m = CostModel::sparc20();
+        // Every enumerable plan's estimate decomposes into exactly the
+        // rows chain_pipeline says the executor will emit.
+        let plans = enumerate_plans(&spec, &facts.has_index());
+        assert!(plans.len() > 4);
+        for plan in &plans {
+            let b = estimate_chain_breakdown(&spec, plan, &facts, &m);
+            let want = chain_pipeline(&spec, plan);
+            let got: Vec<(crate::exec::OpKind, String)> =
+                b.ops.iter().map(|o| (o.kind, o.label.clone())).collect();
+            assert_eq!(got, want, "{}", plan.describe(&spec));
+            let table = render_estimate(&b);
+            assert!(table.lines().last().unwrap().starts_with("total"));
+        }
+        let hashy = plans
+            .iter()
+            .find(|p| p.stages.iter().any(|s| s.algo == StepAlgo::Hash))
+            .unwrap();
+        let header = render_chain_plan(&spec, hashy, PlannerPolicy::Simpli, 3.5);
+        assert!(header.starts_with("plan[simpli] est 3.50s: "), "{header}");
+        assert!(header.contains("hash("), "{header}");
+        let nav = plans
+            .iter()
+            .find(|p| {
+                p.root == 0
+                    && p.root_access == RootAccess::Index
+                    && p.stages.iter().all(|s| s.algo == StepAlgo::Nav)
+            })
+            .unwrap();
+        let header = render_chain_plan(&spec, nav, PlannerPolicy::Syntactic, 0.1);
+        assert!(
+            header.contains("x:Providers[index] -> SetNav y:Patients -> BackRefNav z:Providers"),
+            "{header}"
+        );
     }
 
     #[test]

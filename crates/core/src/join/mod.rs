@@ -26,6 +26,7 @@
 //! [`SwapSim`](crate::swap::SwapSim) — the Figure 12 inversion where
 //! navigation wins back at 90/90 selectivity on the 1:3 database.
 
+pub mod chain;
 mod chj;
 pub mod hybrid;
 mod nl;
@@ -33,6 +34,8 @@ mod nojoin;
 mod phj;
 pub mod smj;
 pub mod spill;
+
+pub use chain::{run_chain, ChainReport};
 
 use crate::exec::{CancelToken, ExecContext, ExecTrace, OpKind, ValueBatch};
 use crate::spec::{HashKeyMode, JoinAlgo, ResultMode, TreeJoinSpec};

@@ -16,7 +16,11 @@
 //!   including the Figure 10 hash-table sizing and the swap behaviour
 //!   that inverts Figure 12's 90/90 cell.
 //! * [`swap`] — the operator-memory paging simulation.
-//! * [`estimator`] / [`planner`] — analytic costs and plan choice.
+//! * [`plan`] — the logical plan IR for N-way binding chains, with
+//!   connected-order and physical-plan enumeration.
+//! * [`estimator`] / [`planner`] — analytic costs and plan choice,
+//!   including the three chain-ordering policies (estimator-driven,
+//!   Simpli-Squared size-only, syntactic).
 //! * [`maintenance`] — header-driven index maintenance on updates
 //!   (the §4.4 retiring-doctor scenario).
 //! * [`update`] — the range-predicated update statement the concurrent
@@ -31,6 +35,7 @@ pub mod explain;
 pub mod join;
 pub mod maintenance;
 pub mod oql;
+pub mod plan;
 pub mod planner;
 pub mod select;
 pub mod spec;
@@ -38,12 +43,17 @@ pub mod swap;
 pub mod update;
 
 pub use engine::{Engine, EngineError, QueryOutcome};
-pub use estimator::{EstimateBreakdown, OpEstimate};
+pub use estimator::{ChainFacts, EstimateBreakdown, OpEstimate};
 pub use exec::{
     CancelReason, CancelToken, Cancelled, ExecContext, ExecTrace, OpCounters, OpKind, OpRecord,
 };
-pub use explain::{render_estimate, render_trace};
-pub use join::{hash_table_bytes, run_join, run_join_with, JoinContext, JoinOptions, JoinReport};
+pub use explain::{render_chain_plan, render_estimate, render_trace};
+pub use join::{
+    hash_table_bytes, run_chain, run_join, run_join_with, ChainReport, JoinContext, JoinOptions,
+    JoinReport,
+};
+pub use plan::{chain_pipeline, ChainSpec, LogicalPlan, RootAccess, StepAlgo};
+pub use planner::{plan_chain, ChainChoice, PlannerPolicy};
 pub use select::{index_scan, seq_scan, sorted_index_scan, SelectReport};
 pub use spec::{AttrPredicate, CmpOp, HashKeyMode, JoinAlgo, ResultMode, Selection, TreeJoinSpec};
 pub use swap::SwapSim;

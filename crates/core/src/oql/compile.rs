@@ -2,7 +2,8 @@
 
 use super::ast::{Query, Source};
 use super::parser::{parse, ParseError};
-use crate::spec::{CmpOp, ResultMode, Selection, TreeJoinSpec};
+use crate::plan::{ChainEdge, ChainSpec, ChainStep};
+use crate::spec::{AttrPredicate, CmpOp, ResultMode, Selection, TreeJoinSpec};
 use std::fmt;
 use tq_objstore::{AttrId, AttrType, ClassId, ObjectStore};
 
@@ -11,8 +12,10 @@ use tq_objstore::{AttrId, AttrType, ClassId, ObjectStore};
 pub enum CompiledQuery {
     /// Single-collection selection.
     Selection(Selection),
-    /// 1-N tree join.
+    /// 1-N tree join (the paper's exact two-binding shape).
     TreeJoin(TreeJoinSpec),
+    /// General N-way binding chain.
+    Chain(ChainSpec),
 }
 
 /// Compilation errors.
@@ -78,13 +81,21 @@ fn collection_of_class(store: &ObjectStore, class: ClassId) -> Option<String> {
 }
 
 /// Compiles a parsed query against the store's schema and catalog.
+///
+/// One binding is a selection. Two bindings first try the paper's
+/// exact tree-join shape (so the measured 2-way figures keep their
+/// [`TreeJoinSpec`] path bit for bit); any other shape — reference
+/// bindings, mixed operators, deeper chains — lowers to a
+/// [`ChainSpec`] for the N-way planner.
 pub fn compile(store: &ObjectStore, query: &Query) -> Result<CompiledQuery, CompileError> {
     match query.bindings.len() {
         1 => compile_selection(store, query),
-        2 => compile_join(store, query),
-        n => Err(CompileError::Unsupported(format!(
-            "{n} range bindings (1 or 2 supported)"
-        ))),
+        2 => match compile_join(store, query) {
+            Ok(q) => Ok(q),
+            Err(CompileError::Unsupported(_)) => compile_chain(store, query),
+            Err(e) => Err(e),
+        },
+        _ => compile_chain(store, query),
     }
 }
 
@@ -258,6 +269,181 @@ fn compile_join(store: &ObjectStore, query: &Query) -> Result<CompiledQuery, Com
     }))
 }
 
+/// Lowers an N-binding chain (`x in Providers, y in x.clients, z in
+/// y.primary_care_provider, …`) to a [`ChainSpec`].
+///
+/// Rules, each with its own precise error:
+/// * the first binding names a collection, every later one a path over
+///   the *immediately preceding* variable (an unbound path variable is
+///   [`CompileError::UnknownVar`]; a bound-but-not-previous one is
+///   unsupported — the fragment's joins form a path, not a DAG);
+/// * the path attribute must be a set of objects (`SetRef`, previous
+///   variable is the parent) or an object reference (`Ref`, new
+///   variable is the parent) — anything else is rejected by name;
+/// * predicate and projection attributes must be integers (projected
+///   values are collected as `i64`).
+fn compile_chain(store: &ObjectStore, query: &Query) -> Result<CompiledQuery, CompileError> {
+    let mut steps: Vec<ChainStep> = Vec::with_capacity(query.bindings.len());
+    let mut edges: Vec<ChainEdge> = Vec::new();
+    let step_of_var = |steps: &[ChainStep], var: &str| -> Option<usize> {
+        steps.iter().position(|s| s.var == var)
+    };
+    for (i, b) in query.bindings.iter().enumerate() {
+        if step_of_var(&steps, &b.var).is_some() {
+            return Err(CompileError::Unsupported(format!(
+                "variable `{}` is bound twice",
+                b.var
+            )));
+        }
+        let (collection, class) = match &b.source {
+            Source::Collection(name) => {
+                if i != 0 {
+                    return Err(CompileError::Unsupported(format!(
+                        "binding `{}` must range over an attribute path of the previous \
+                         variable (only the first binding names a collection)",
+                        b.var
+                    )));
+                }
+                let info = store
+                    .try_collection(name)
+                    .ok_or_else(|| CompileError::UnknownCollection(name.clone()))?;
+                (name.clone(), info.class)
+            }
+            Source::Path(path) => {
+                if i == 0 {
+                    return Err(CompileError::Unsupported(
+                        "the first binding must range over a named collection".into(),
+                    ));
+                }
+                let Some(prev) = step_of_var(&steps, &path.var) else {
+                    return Err(CompileError::UnknownVar(path.var.clone()));
+                };
+                if prev != i - 1 {
+                    return Err(CompileError::Unsupported(format!(
+                        "binding `{}` must draw from the immediately preceding \
+                         variable `{}`, not `{}`",
+                        b.var,
+                        steps[i - 1].var,
+                        path.var
+                    )));
+                }
+                let prev_class = steps[prev].class;
+                let attr = resolve_attr(store, prev_class, &path.attr)?;
+                match store.schema().class(prev_class).attrs[attr].ty {
+                    AttrType::SetRef(child_class) => {
+                        // Previous step is the 1 side; this one the N.
+                        let ref_attr = back_ref(store, child_class, prev_class);
+                        edges.push(ChainEdge {
+                            parent: prev,
+                            child: i,
+                            set_attr: Some(attr),
+                            ref_attr,
+                        });
+                        (named_collection(store, child_class)?, child_class)
+                    }
+                    AttrType::Ref(parent_class) => {
+                        // This step is the 1 side; the previous the N.
+                        let set_attr = set_ref(store, parent_class, prev_class);
+                        edges.push(ChainEdge {
+                            parent: i,
+                            child: prev,
+                            set_attr,
+                            ref_attr: Some(attr),
+                        });
+                        (named_collection(store, parent_class)?, parent_class)
+                    }
+                    _ => {
+                        return Err(CompileError::Unsupported(format!(
+                            "`{}.{}` is neither a set of objects nor an object reference",
+                            path.var, path.attr
+                        )));
+                    }
+                }
+            }
+        };
+        steps.push(ChainStep {
+            var: b.var.clone(),
+            collection,
+            class,
+            preds: Vec::new(),
+        });
+    }
+
+    for pred in &query.predicates {
+        let Some(step) = step_of_var(&steps, &pred.path.var) else {
+            return Err(CompileError::UnknownVar(pred.path.var.clone()));
+        };
+        let class = steps[step].class;
+        let attr = resolve_attr(store, class, &pred.path.attr)?;
+        if store.schema().class(class).attrs[attr].ty != AttrType::Int {
+            return Err(CompileError::Unsupported(format!(
+                "predicate attribute `{}` must be an integer",
+                pred.path.attr
+            )));
+        }
+        steps[step].preds.push(AttrPredicate {
+            attr,
+            cmp: pred.op,
+            key: pred.value,
+        });
+    }
+
+    let mut projection = Vec::with_capacity(query.projection.len());
+    for proj in &query.projection {
+        let Some(step) = step_of_var(&steps, &proj.var) else {
+            return Err(CompileError::UnknownVar(proj.var.clone()));
+        };
+        let class = steps[step].class;
+        let attr = resolve_attr(store, class, &proj.attr)?;
+        if store.schema().class(class).attrs[attr].ty != AttrType::Int {
+            return Err(CompileError::Unsupported(format!(
+                "chain projection `{}.{}` must be an integer attribute",
+                proj.var, proj.attr
+            )));
+        }
+        projection.push((step, attr));
+    }
+
+    Ok(CompiledQuery::Chain(ChainSpec {
+        steps,
+        edges,
+        projection,
+        result_mode: ResultMode::Transient,
+    }))
+}
+
+/// The collection named in the catalog for `class`, or a precise error.
+fn named_collection(store: &ObjectStore, class: ClassId) -> Result<String, CompileError> {
+    collection_of_class(store, class).ok_or_else(|| {
+        CompileError::Unsupported(format!(
+            "no named collection holds class `{}`",
+            store.schema().class(class).name
+        ))
+    })
+}
+
+/// `child_class`'s back reference to `parent_class`, if the schema has
+/// one.
+fn back_ref(store: &ObjectStore, child_class: ClassId, parent_class: ClassId) -> Option<AttrId> {
+    store
+        .schema()
+        .class(child_class)
+        .attrs
+        .iter()
+        .position(|a| a.ty == AttrType::Ref(parent_class))
+}
+
+/// `parent_class`'s set attribute over `child_class`, if the schema
+/// has one.
+fn set_ref(store: &ObjectStore, parent_class: ClassId, child_class: ClassId) -> Option<AttrId> {
+    store
+        .schema()
+        .class(parent_class)
+        .attrs
+        .iter()
+        .position(|a| a.ty == AttrType::SetRef(child_class))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -392,15 +578,174 @@ mod tests {
                 "select pa.name from pa in Patients where pa.name < 1",
                 "must be an integer",
             ),
+            // `>=` pushes this off the TreeJoin shape onto the chain
+            // path, which then objects to the non-integer projection.
             (
                 "select [p.name, pa.age] from p in Providers, pa in p.clients \
                  where pa.mrn < 1 and p.upin >= 1",
-                "must use `<`",
+                "must be an integer attribute",
             ),
             (
                 "select [p.name, pa.age] from p in Providers, pa in q.clients \
                  where pa.mrn < 1 and p.upin < 1",
                 "unbound variable",
+            ),
+        ];
+        for (text, needle) in cases {
+            let err = compile_str(&store, text).unwrap_err().to_string();
+            assert!(err.contains(needle), "{text}: {err}");
+        }
+    }
+
+    #[test]
+    fn non_tree_join_two_way_shapes_now_compile_as_chains() {
+        // `>=` was a hard "unsupported" before the chain path existed;
+        // with integer projections it now compiles.
+        let store = derby_store();
+        let q = compile_str(
+            &store,
+            "select pa.age from p in Providers, pa in p.clients \
+             where pa.mrn < 1000 and p.upin >= 1",
+        )
+        .unwrap();
+        assert!(matches!(q, CompiledQuery::Chain(_)));
+    }
+
+    #[test]
+    fn compiles_the_depth3_chain() {
+        let store = derby_store();
+        let q = compile_str(
+            &store,
+            "select z.upin from x in Providers, y in x.clients, \
+             z in y.primary_care_provider where x.upin < 10 and y.mrn < 1000",
+        )
+        .unwrap();
+        let CompiledQuery::Chain(c) = q else {
+            panic!("expected chain");
+        };
+        assert_eq!(c.steps.len(), 3);
+        assert_eq!(c.steps[0].collection, "Providers");
+        assert_eq!(c.steps[1].collection, "Patients");
+        assert_eq!(c.steps[2].collection, "Providers");
+        // clients is Provider attr 2, primary_care_provider Patient
+        // attr 4 in this test schema; both edges carry both attrs.
+        assert_eq!(
+            c.edges[0],
+            crate::plan::ChainEdge {
+                parent: 0,
+                child: 1,
+                set_attr: Some(2),
+                ref_attr: Some(4),
+            }
+        );
+        assert_eq!(
+            c.edges[1],
+            crate::plan::ChainEdge {
+                parent: 2,
+                child: 1,
+                set_attr: Some(2),
+                ref_attr: Some(4),
+            }
+        );
+        assert_eq!(c.steps[0].preds.len(), 1);
+        assert_eq!(c.steps[1].preds.len(), 1);
+        assert!(c.steps[2].preds.is_empty());
+        // upin is Provider attr 1.
+        assert_eq!(c.projection, vec![(2, 1)]);
+    }
+
+    #[test]
+    fn two_binding_ref_chain_compiles_as_chain_not_tree_join() {
+        let store = derby_store();
+        let q = compile_str(
+            &store,
+            "select z.upin from y in Patients, z in y.primary_care_provider \
+             where y.mrn < 1000",
+        )
+        .unwrap();
+        let CompiledQuery::Chain(c) = q else {
+            panic!("expected chain");
+        };
+        assert_eq!(c.steps.len(), 2);
+        assert_eq!(c.edges[0].parent, 1);
+        assert_eq!(c.edges[0].child, 0);
+    }
+
+    #[test]
+    fn legacy_two_way_shape_still_lowers_to_tree_join() {
+        // Byte-identity guard: the measured figures' exact query shape
+        // must keep taking the TreeJoinSpec path, not the chain path.
+        let store = derby_store();
+        let q = compile_str(
+            &store,
+            "select [p.name, pa.age] from p in Providers, pa in p.clients \
+             where pa.mrn < 1000 and p.upin < 10",
+        )
+        .unwrap();
+        assert!(matches!(q, CompiledQuery::TreeJoin(_)));
+    }
+
+    #[test]
+    fn chain_errors_are_precise_at_any_depth() {
+        let store = derby_store();
+        let cases = [
+            (
+                // Unbound variable in the middle of the chain.
+                "select z.upin from x in Providers, y in q.clients, \
+                 z in y.primary_care_provider where x.upin < 10",
+                "unbound variable `q`",
+            ),
+            (
+                // Non-set, non-ref source at depth 2.
+                "select y.mrn from x in Providers, y in x.upin where y.mrn < 1",
+                "neither a set of objects nor an object reference",
+            ),
+            (
+                // Non-set, non-ref source at depth 3.
+                "select z.num from x in Providers, y in x.clients, z in y.num \
+                 where x.upin < 10",
+                "neither a set of objects nor an object reference",
+            ),
+            (
+                // Unknown attribute deep in the chain.
+                "select z.upin from x in Providers, y in x.clients, \
+                 z in y.shadow where x.upin < 10",
+                "no attribute `shadow`",
+            ),
+            (
+                // Forward reference: z drawn from a later variable.
+                "select z.upin from x in Providers, z in y.primary_care_provider, \
+                 y in x.clients where x.upin < 10",
+                "unbound variable `y`",
+            ),
+            (
+                // Chains bind consecutive variables, not arbitrary DAGs.
+                "select w.mrn from x in Providers, y in x.clients, \
+                 z in y.primary_care_provider, w in x.clients where x.upin < 10",
+                "immediately preceding",
+            ),
+            (
+                // Re-binding a variable.
+                "select y.mrn from x in Providers, y in x.clients, \
+                 y in x.clients where x.upin < 10",
+                "bound twice",
+            ),
+            (
+                // Predicate on a variable nobody bound.
+                "select z.upin from x in Providers, y in x.clients, \
+                 z in y.primary_care_provider where v.upin < 10",
+                "unbound variable `v`",
+            ),
+            (
+                // Non-integer chain projection.
+                "select z.name from x in Providers, y in x.clients, \
+                 z in y.primary_care_provider where x.upin < 10",
+                "must be an integer attribute",
+            ),
+            (
+                // Later binding naming a collection.
+                "select y.mrn from x in Providers, y in Patients where x.upin < 10",
+                "only the first binding names a collection",
             ),
         ];
         for (text, needle) in cases {

@@ -1,0 +1,588 @@
+//! Logical plan IR for N-way binding chains.
+//!
+//! The paper's OQL fragment binds a chain of range variables — each
+//! after the first drawn from a set attribute (`y in x.clients`) or an
+//! object reference (`z in y.primary_care_provider`) of the previous
+//! one. [`ChainSpec`] is the compiled, name-resolved form of such a
+//! query: one [`ChainStep`] per binding, one [`ChainEdge`] per
+//! consecutive pair, normalized so the edge always knows which side is
+//! the 1 (parent) and which the N (child) regardless of which way the
+//! binding traversed it.
+//!
+//! A [`LogicalPlan`] is one executable strategy over a chain: a root
+//! step with its access path, then one [`JoinStage`] per remaining
+//! step. Because the join graph is a path, a plan's bound set is always
+//! a contiguous interval of steps, so every valid order starts
+//! somewhere and repeatedly extends the interval left or right —
+//! [`enumerate_orders`] lists exactly those orders, and
+//! [`enumerate_plans`] crosses them with the legal algorithm and access
+//! choices per stage.
+//!
+//! [`chain_pipeline`] is the shared vocabulary oracle: the exact
+//! `(OpKind, label)` rows a plan's execution emits, used by the
+//! executor, the estimator and the tests that pin them together.
+
+use crate::exec::OpKind;
+use crate::spec::{AttrPredicate, ResultMode};
+use tq_objstore::{AttrId, ClassId};
+
+/// One range binding: a variable over a collection, with the
+/// conjunctive predicates that mention it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChainStep {
+    /// The range variable (`x`).
+    pub var: String,
+    /// The named collection the variable's class populates.
+    pub collection: String,
+    /// Resolved class.
+    pub class: ClassId,
+    /// Predicates on this step, in query order. The first one is the
+    /// "primary" predicate — the one an index range scan can serve;
+    /// the rest are residuals.
+    pub preds: Vec<AttrPredicate>,
+}
+
+impl ChainStep {
+    /// Trace label for this step: `var:Collection` (distinct even when
+    /// the same collection is bound twice).
+    pub fn label(&self) -> String {
+        format!("{}:{}", self.var, self.collection)
+    }
+}
+
+/// The 1-N relationship between steps `i` and `i+1`, normalized to
+/// parent/child roles. At least one of the attributes is present (the
+/// one the binding traversed); the complementary one is filled in when
+/// the schema has it, which is what gives the planner freedom to run
+/// the join in either direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChainEdge {
+    /// Step index of the 1 side.
+    pub parent: usize,
+    /// Step index of the N side.
+    pub child: usize,
+    /// Parent's set attribute containing the children, if any.
+    pub set_attr: Option<AttrId>,
+    /// Child's back reference to its parent, if any.
+    pub ref_attr: Option<AttrId>,
+}
+
+/// A compiled binding chain: what the query *means*, before any
+/// ordering or algorithm decision.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChainSpec {
+    /// One step per binding, in query order.
+    pub steps: Vec<ChainStep>,
+    /// `edges[i]` relates steps `i` and `i+1`.
+    pub edges: Vec<ChainEdge>,
+    /// Projected `(step, attr)` slots, in select-list order. Chain
+    /// projections are integer attributes (the collected values).
+    pub projection: Vec<(usize, AttrId)>,
+    /// How result tuples are appended.
+    pub result_mode: ResultMode,
+}
+
+impl ChainSpec {
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when the chain has no steps (never produced by compile).
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The edge between adjacent steps `a` and `b`.
+    pub fn edge_between(&self, a: usize, b: usize) -> &ChainEdge {
+        debug_assert!(a.abs_diff(b) == 1);
+        &self.edges[a.min(b)]
+    }
+}
+
+/// How a step's extent is reached when it is scanned (the root, or the
+/// scan side of a hash stage).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RootAccess {
+    /// Range scan of the index on the step's primary predicate.
+    Index,
+    /// Full sequential scan, all predicates tested per object.
+    Scan,
+}
+
+impl RootAccess {
+    /// Short label for plan rendering.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RootAccess::Index => "index",
+            RootAccess::Scan => "scan",
+        }
+    }
+}
+
+/// Join algorithm for one stage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepAlgo {
+    /// Navigate from each bound row: `SetNav` when the new step is the
+    /// child side, `BackRefNav` when it is the parent side.
+    Nav,
+    /// Scan the new step's extent and hash-join it against the bound
+    /// rows on the child's back reference.
+    Hash,
+}
+
+impl StepAlgo {
+    /// Short label for plan rendering.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StepAlgo::Nav => "nav",
+            StepAlgo::Hash => "hash",
+        }
+    }
+}
+
+/// One join stage: bind `step` by joining it to the already-bound
+/// neighbour `from`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JoinStage {
+    /// The step this stage binds.
+    pub step: usize,
+    /// The adjacent, already-bound step it joins through.
+    pub from: usize,
+    /// Algorithm.
+    pub algo: StepAlgo,
+    /// How the new step's extent is scanned (hash stages only; Nav
+    /// reaches objects through the edge attribute).
+    pub access: RootAccess,
+}
+
+/// One executable strategy for a [`ChainSpec`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LogicalPlan {
+    /// The step bound first.
+    pub root: usize,
+    /// Its access path.
+    pub root_access: RootAccess,
+    /// The remaining steps, in bind order.
+    pub stages: Vec<JoinStage>,
+}
+
+impl LogicalPlan {
+    /// Step indices in bind order (root first).
+    pub fn order(&self) -> Vec<usize> {
+        let mut o = Vec::with_capacity(self.stages.len() + 1);
+        o.push(self.root);
+        o.extend(self.stages.iter().map(|s| s.step));
+        o
+    }
+
+    /// One-line plan description:
+    /// `x:Providers[index] -> SetNav y:Patients -> hash(z:Providers[scan])`.
+    pub fn describe(&self, spec: &ChainSpec) -> String {
+        let mut out = format!(
+            "{}[{}]",
+            spec.steps[self.root].label(),
+            self.root_access.label()
+        );
+        for st in &self.stages {
+            let label = spec.steps[st.step].label();
+            match st.algo {
+                StepAlgo::Nav => {
+                    let kind = if nav_is_setnav(spec, st) {
+                        "SetNav"
+                    } else {
+                        "BackRefNav"
+                    };
+                    out.push_str(&format!(" -> {kind} {label}"));
+                }
+                StepAlgo::Hash => {
+                    out.push_str(&format!(" -> hash({label}[{}])", st.access.label()));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// True when stage `st` navigates parent→child through the set
+/// attribute (the new step is the edge's child).
+pub fn nav_is_setnav(spec: &ChainSpec, st: &JoinStage) -> bool {
+    spec.edge_between(st.from, st.step).child == st.step
+}
+
+/// The trace rows executing `plan` over `spec` produces, in order —
+/// the shared `(OpKind, label)` vocabulary between the executor, the
+/// estimator and `explain`.
+pub fn chain_pipeline(spec: &ChainSpec, plan: &LogicalPlan) -> Vec<(OpKind, String)> {
+    let mut rows = Vec::new();
+    let scan_kind = |access: RootAccess| match access {
+        RootAccess::Index => OpKind::IndexRangeScan,
+        RootAccess::Scan => OpKind::SeqScan,
+    };
+    rows.push((scan_kind(plan.root_access), spec.steps[plan.root].label()));
+    for st in &plan.stages {
+        let new = spec.steps[st.step].label();
+        let from = spec.steps[st.from].label();
+        let child_ward = spec.edge_between(st.from, st.step).child == st.step;
+        match st.algo {
+            StepAlgo::Nav => {
+                let kind = if child_ward {
+                    OpKind::SetNav
+                } else {
+                    OpKind::BackRefNav
+                };
+                rows.push((kind, new));
+            }
+            StepAlgo::Hash if child_ward => {
+                // Build on the bound (parent) rows, scan and probe the
+                // new child extent.
+                rows.push((OpKind::HashBuild, from));
+                rows.push((scan_kind(st.access), new.clone()));
+                rows.push((OpKind::HashProbe, new));
+            }
+            StepAlgo::Hash => {
+                // Scan and build the new parent extent, probe with the
+                // bound child rows' back references.
+                rows.push((scan_kind(st.access), new.clone()));
+                rows.push((OpKind::HashBuild, new));
+                rows.push((OpKind::HashProbe, from));
+            }
+        }
+    }
+    rows.push((OpKind::Emit, "result".into()));
+    rows
+}
+
+/// All connected bind orders over an `n`-step path: pick a start, then
+/// repeatedly extend the bound interval by one step on either end.
+/// Returns each order as a step-index sequence; there are `2^(n-1)`
+/// of them.
+pub fn enumerate_orders(n: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    for start in 0..n {
+        extend_order(&mut vec![start], start, start, n, &mut out);
+    }
+    out
+}
+
+fn extend_order(
+    prefix: &mut Vec<usize>,
+    lo: usize,
+    hi: usize,
+    n: usize,
+    out: &mut Vec<Vec<usize>>,
+) {
+    if prefix.len() == n {
+        out.push(prefix.clone());
+        return;
+    }
+    if lo > 0 {
+        prefix.push(lo - 1);
+        extend_order(prefix, lo - 1, hi, n, out);
+        prefix.pop();
+    }
+    if hi + 1 < n {
+        prefix.push(hi + 1);
+        extend_order(prefix, lo, hi + 1, n, out);
+        prefix.pop();
+    }
+}
+
+/// The legal `(algo, access)` choices for binding `step` from its
+/// bound neighbour `from`: navigation needs the edge attribute in the
+/// travel direction, hashing always needs the child's back reference,
+/// and an index access needs an index on the step's primary predicate.
+pub fn stage_options(
+    spec: &ChainSpec,
+    has_index: &[bool],
+    from: usize,
+    step: usize,
+) -> Vec<(StepAlgo, RootAccess)> {
+    let edge = spec.edge_between(from, step);
+    let child_ward = edge.child == step;
+    let mut opts = Vec::new();
+    let nav_ok = if child_ward {
+        edge.set_attr.is_some()
+    } else {
+        edge.ref_attr.is_some()
+    };
+    if nav_ok {
+        // Access is meaningless for Nav; pin it so plan equality works.
+        opts.push((StepAlgo::Nav, RootAccess::Scan));
+    }
+    if edge.ref_attr.is_some() {
+        if has_index[step] && !spec.steps[step].preds.is_empty() {
+            opts.push((StepAlgo::Hash, RootAccess::Index));
+        }
+        opts.push((StepAlgo::Hash, RootAccess::Scan));
+    }
+    opts
+}
+
+/// Root access choices for `step`.
+pub fn root_options(spec: &ChainSpec, has_index: &[bool], step: usize) -> Vec<RootAccess> {
+    let mut opts = Vec::new();
+    if has_index[step] && !spec.steps[step].preds.is_empty() {
+        opts.push(RootAccess::Index);
+    }
+    opts.push(RootAccess::Scan);
+    opts
+}
+
+/// Every valid [`LogicalPlan`] for `spec`, given which steps have an
+/// index on their primary predicate. Deterministic order (orders, then
+/// root access, then per-stage choices, depth first).
+pub fn enumerate_plans(spec: &ChainSpec, has_index: &[bool]) -> Vec<LogicalPlan> {
+    let n = spec.len();
+    let mut plans = Vec::new();
+    for order in enumerate_orders(n) {
+        let root = order[0];
+        // Each later step joins through its unique bound neighbour.
+        let stage_steps: Vec<(usize, usize)> = order[1..]
+            .iter()
+            .enumerate()
+            .map(|(i, &step)| {
+                let bound = &order[..=i];
+                let from = if step > 0 && bound.contains(&(step - 1)) {
+                    step - 1
+                } else {
+                    step + 1
+                };
+                (step, from)
+            })
+            .collect();
+        for root_access in root_options(spec, has_index, root) {
+            let mut partial = Vec::new();
+            cross_stages(
+                spec,
+                has_index,
+                &stage_steps,
+                root,
+                root_access,
+                &mut partial,
+                &mut plans,
+            );
+        }
+    }
+    plans
+}
+
+fn cross_stages(
+    spec: &ChainSpec,
+    has_index: &[bool],
+    stage_steps: &[(usize, usize)],
+    root: usize,
+    root_access: RootAccess,
+    partial: &mut Vec<JoinStage>,
+    plans: &mut Vec<LogicalPlan>,
+) {
+    if partial.len() == stage_steps.len() {
+        plans.push(LogicalPlan {
+            root,
+            root_access,
+            stages: partial.clone(),
+        });
+        return;
+    }
+    let (step, from) = stage_steps[partial.len()];
+    for (algo, access) in stage_options(spec, has_index, from, step) {
+        partial.push(JoinStage {
+            step,
+            from,
+            algo,
+            access,
+        });
+        cross_stages(
+            spec,
+            has_index,
+            stage_steps,
+            root,
+            root_access,
+            partial,
+            plans,
+        );
+        partial.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::CmpOp;
+
+    fn pred(attr: AttrId) -> AttrPredicate {
+        AttrPredicate {
+            attr,
+            cmp: CmpOp::Lt,
+            key: 10,
+        }
+    }
+
+    /// Providers(x) —1:N→ Patients(y) —N:1→ Providers(z).
+    fn chain3() -> ChainSpec {
+        ChainSpec {
+            steps: vec![
+                ChainStep {
+                    var: "x".into(),
+                    collection: "Providers".into(),
+                    class: ClassId(0),
+                    preds: vec![pred(1)],
+                },
+                ChainStep {
+                    var: "y".into(),
+                    collection: "Patients".into(),
+                    class: ClassId(1),
+                    preds: vec![pred(1)],
+                },
+                ChainStep {
+                    var: "z".into(),
+                    collection: "Providers".into(),
+                    class: ClassId(0),
+                    preds: vec![],
+                },
+            ],
+            edges: vec![
+                ChainEdge {
+                    parent: 0,
+                    child: 1,
+                    set_attr: Some(5),
+                    ref_attr: Some(6),
+                },
+                ChainEdge {
+                    parent: 2,
+                    child: 1,
+                    set_attr: Some(5),
+                    ref_attr: Some(6),
+                },
+            ],
+            projection: vec![(2, 1)],
+            result_mode: ResultMode::Transient,
+        }
+    }
+
+    #[test]
+    fn orders_are_contiguous_intervals() {
+        let orders = enumerate_orders(3);
+        assert_eq!(orders.len(), 4);
+        for o in &orders {
+            let mut seen = vec![o[0]];
+            for w in o.windows(2) {
+                let lo = *seen.iter().min().unwrap();
+                let hi = *seen.iter().max().unwrap();
+                assert!(
+                    w[1] + 1 == lo || w[1] == hi + 1,
+                    "{o:?} extends non-contiguously"
+                );
+                seen.push(w[1]);
+            }
+        }
+        assert_eq!(enumerate_orders(1), vec![vec![0]]);
+        assert_eq!(enumerate_orders(4).len(), 8);
+    }
+
+    #[test]
+    fn pipeline_speaks_the_operator_vocabulary() {
+        let spec = chain3();
+        let plan = LogicalPlan {
+            root: 0,
+            root_access: RootAccess::Index,
+            stages: vec![
+                JoinStage {
+                    step: 1,
+                    from: 0,
+                    algo: StepAlgo::Nav,
+                    access: RootAccess::Scan,
+                },
+                JoinStage {
+                    step: 2,
+                    from: 1,
+                    algo: StepAlgo::Nav,
+                    access: RootAccess::Scan,
+                },
+            ],
+        };
+        let rows = chain_pipeline(&spec, &plan);
+        assert_eq!(
+            rows,
+            vec![
+                (OpKind::IndexRangeScan, "x:Providers".to_string()),
+                (OpKind::SetNav, "y:Patients".to_string()),
+                (OpKind::BackRefNav, "z:Providers".to_string()),
+                (OpKind::Emit, "result".to_string()),
+            ]
+        );
+        let hash_plan = LogicalPlan {
+            root: 1,
+            root_access: RootAccess::Index,
+            stages: vec![
+                JoinStage {
+                    step: 0,
+                    from: 1,
+                    algo: StepAlgo::Hash,
+                    access: RootAccess::Index,
+                },
+                JoinStage {
+                    step: 2,
+                    from: 1,
+                    algo: StepAlgo::Hash,
+                    access: RootAccess::Scan,
+                },
+            ],
+        };
+        let rows = chain_pipeline(&spec, &hash_plan);
+        assert_eq!(
+            rows,
+            vec![
+                (OpKind::IndexRangeScan, "y:Patients".to_string()),
+                (OpKind::IndexRangeScan, "x:Providers".to_string()),
+                (OpKind::HashBuild, "x:Providers".to_string()),
+                (OpKind::HashProbe, "y:Patients".to_string()),
+                (OpKind::SeqScan, "z:Providers".to_string()),
+                (OpKind::HashBuild, "z:Providers".to_string()),
+                (OpKind::HashProbe, "y:Patients".to_string()),
+                (OpKind::Emit, "result".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn enumeration_respects_attribute_availability() {
+        let mut spec = chain3();
+        // Drop the second edge's back reference: step 2 can only be
+        // reached by BackRefNav... no — ref_attr is the back ref ON the
+        // child (step 1). Without it, binding step 2 from step 1 can
+        // neither hash nor BackRefNav; only SetNav from 2 to 1 works,
+        // so every plan must bind 2 before 1 or reach 2... none can:
+        // orders are connected, so 2 is bound from 1 or binds 1 from 2.
+        spec.edges[1].ref_attr = None;
+        let has_index = vec![true, true, false];
+        let plans = enumerate_plans(&spec, &has_index);
+        assert!(!plans.is_empty());
+        for p in &plans {
+            // Step 2 must appear before step 1 in the order, or... the
+            // only legal transition binding 2 is none (no nav attr from
+            // 1→2? SetNav 2→1 binds 1 FROM 2). So 2 is always a root
+            // or bound via set_attr nav from... edge(1,2): parent=2,
+            // child=1. Binding 2 from 1 = parent-ward: needs ref_attr
+            // (hash) — gone — or BackRefNav — needs ref_attr — gone.
+            // So 2 is always the root.
+            assert_eq!(p.root, 2, "{p:?}");
+        }
+        // And without preds, step 2 roots as a scan only.
+        assert!(plans.iter().all(|p| p.root_access == RootAccess::Scan));
+    }
+
+    #[test]
+    fn describe_names_steps_and_algorithms() {
+        let spec = chain3();
+        let plans = enumerate_plans(&spec, &[true, true, false]);
+        let all_nav = plans
+            .iter()
+            .find(|p| p.root == 0 && p.stages.iter().all(|s| s.algo == StepAlgo::Nav))
+            .unwrap();
+        let d = all_nav.describe(&spec);
+        assert!(d.contains("x:Providers"), "{d}");
+        assert!(d.contains("SetNav y:Patients"), "{d}");
+        assert!(d.contains("BackRefNav z:Providers"), "{d}");
+    }
+}

@@ -7,8 +7,23 @@
 //! [`Strategy::Heuristic`] encodes that navigation-first mindset;
 //! [`Strategy::CostBased`] runs the [`estimator`](crate::estimator)
 //! over every candidate and takes the argmin.
+//!
+//! N-way chains choose their join order through a [`PlannerPolicy`]:
+//! * [`PlannerPolicy::Syntactic`] — the query's own binding order, all
+//!   navigation (what a naive OQL evaluator does);
+//! * [`PlannerPolicy::Simpli`] — Simpli-Squared (arXiv 2111.00163):
+//!   order by collection size alone, no cardinality estimates, hash
+//!   joins wherever the schema allows;
+//! * [`PlannerPolicy::Estimate`] — enumerate every connected order ×
+//!   per-stage algorithm × access path and take the estimator argmin.
 
-use crate::estimator::{estimate_join, estimate_selection, PhysicalProfile, SelectPath};
+use crate::estimator::{
+    estimate_chain, estimate_join, estimate_selection, ChainFacts, PhysicalProfile, SelectPath,
+};
+use crate::plan::{
+    enumerate_plans, root_options, stage_options, ChainSpec, JoinStage, LogicalPlan, RootAccess,
+    StepAlgo,
+};
 use crate::spec::JoinAlgo;
 use tq_pagestore::CostModel;
 
@@ -119,9 +134,173 @@ pub fn choose_selection(
     }
 }
 
+/// Chain join-ordering policy — the `TQ_PLANNER` knob.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlannerPolicy {
+    /// Enumerate every connected order × per-stage algorithm × access
+    /// path and take the estimator argmin.
+    Estimate,
+    /// Simpli-Squared: join order from extent sizes alone — start at
+    /// the smallest collection and greedily extend the bound interval
+    /// toward the smaller frontier — hash joins wherever the schema
+    /// allows. No cardinality estimate is ever consulted.
+    Simpli,
+    /// The query's own binding order, navigating every edge: what a
+    /// naive OQL evaluator does.
+    Syntactic,
+}
+
+impl PlannerPolicy {
+    /// The knob value naming this policy.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PlannerPolicy::Estimate => "estimate",
+            PlannerPolicy::Simpli => "simpli",
+            PlannerPolicy::Syntactic => "syntactic",
+        }
+    }
+
+    /// Parses a knob value (exact, lowercase).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "estimate" => Some(PlannerPolicy::Estimate),
+            "simpli" => Some(PlannerPolicy::Simpli),
+            "syntactic" => Some(PlannerPolicy::Syntactic),
+            _ => None,
+        }
+    }
+
+    /// Every policy, in figure order.
+    pub fn all() -> [PlannerPolicy; 3] {
+        [
+            PlannerPolicy::Estimate,
+            PlannerPolicy::Simpli,
+            PlannerPolicy::Syntactic,
+        ]
+    }
+}
+
+/// A chain plan choice with its (estimated) cost in seconds. The
+/// non-estimator policies are costed too, so the plan-quality figure
+/// can show what each policy believed it was buying.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChainChoice {
+    /// Chosen plan.
+    pub plan: LogicalPlan,
+    /// Estimated seconds.
+    pub estimated_secs: f64,
+}
+
+/// Chooses a [`LogicalPlan`] for a binding chain under `policy`.
+pub fn plan_chain(
+    policy: PlannerPolicy,
+    spec: &ChainSpec,
+    facts: &ChainFacts,
+    model: &CostModel,
+) -> ChainChoice {
+    let has_index = facts.has_index();
+    let plan = match policy {
+        PlannerPolicy::Syntactic => syntactic_plan(spec, &has_index),
+        PlannerPolicy::Simpli => simpli_plan(spec, facts, &has_index),
+        PlannerPolicy::Estimate => {
+            // Ties break to the first enumerated candidate, so the
+            // choice is deterministic.
+            return enumerate_plans(spec, &has_index)
+                .into_iter()
+                .map(|plan| {
+                    let estimated_secs = estimate_chain(spec, &plan, facts, model).secs;
+                    ChainChoice {
+                        plan,
+                        estimated_secs,
+                    }
+                })
+                .min_by(|a, b| a.estimated_secs.total_cmp(&b.estimated_secs))
+                .expect("the all-nav binding-order plan is always legal");
+        }
+    };
+    let estimated_secs = estimate_chain(spec, &plan, facts, model).secs;
+    ChainChoice {
+        plan,
+        estimated_secs,
+    }
+}
+
+/// Binding order, all navigation. Always legal: every edge carries at
+/// least the attribute the query traversed it by.
+fn syntactic_plan(spec: &ChainSpec, has_index: &[bool]) -> LogicalPlan {
+    LogicalPlan {
+        root: 0,
+        root_access: root_options(spec, has_index, 0)[0],
+        stages: (1..spec.len())
+            .map(|step| JoinStage {
+                step,
+                from: step - 1,
+                algo: StepAlgo::Nav,
+                access: RootAccess::Scan,
+            })
+            .collect(),
+    }
+}
+
+/// Size-only greedy order: smallest extent roots (tie → lower step
+/// index), then the smaller bindable frontier extends the interval.
+/// Stages prefer hash over navigation, and an index access over a
+/// scan. If greed dead-ends on a one-way edge, fall back to the
+/// always-legal syntactic plan.
+fn simpli_plan(spec: &ChainSpec, facts: &ChainFacts, has_index: &[bool]) -> LogicalPlan {
+    let n = spec.len();
+    let size = |i: usize| facts.steps[i].total;
+    let root = (0..n)
+        .min_by_key(|&i| (size(i), i))
+        .expect("non-empty chain");
+    let (mut lo, mut hi) = (root, root);
+    let mut stages = Vec::with_capacity(n - 1);
+    while stages.len() + 1 < n {
+        let mut frontier: Vec<(usize, usize)> = Vec::new(); // (step, from)
+        if lo > 0 {
+            frontier.push((lo - 1, lo));
+        }
+        if hi + 1 < n {
+            frontier.push((hi + 1, hi));
+        }
+        let choice = frontier
+            .into_iter()
+            .filter_map(|(step, from)| {
+                let opts = stage_options(spec, has_index, from, step);
+                // Hash options precede Nav in preference; stage_options
+                // lists the index-access hash first when it exists.
+                opts.iter()
+                    .copied()
+                    .find(|&(algo, _)| algo == StepAlgo::Hash)
+                    .or_else(|| opts.first().copied())
+                    .map(|(algo, access)| JoinStage {
+                        step,
+                        from,
+                        algo,
+                        access,
+                    })
+            })
+            .min_by_key(|st| (size(st.step), st.step));
+        let Some(stage) = choice else {
+            return syntactic_plan(spec, has_index);
+        };
+        lo = lo.min(stage.step);
+        hi = hi.max(stage.step);
+        stages.push(stage);
+    }
+    LogicalPlan {
+        root,
+        root_access: root_options(spec, has_index, root)[0],
+        stages,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::plan::{ChainEdge, ChainStep};
+    use crate::spec::{AttrPredicate, CmpOp, ResultMode};
+    use tq_objstore::ClassId;
 
     fn profile() -> PhysicalProfile {
         PhysicalProfile {
@@ -203,5 +382,164 @@ mod tests {
         assert_eq!(h.path, SelectPath::SeqScan);
         let c = choose_selection(Strategy::CostBased, 2_000_000, 33_000, 8_192, &m, 0.9, true);
         assert!(c.estimated_secs < h.estimated_secs);
+    }
+
+    fn pred(attr: usize, key: i64) -> AttrPredicate {
+        AttrPredicate {
+            attr,
+            cmp: CmpOp::Lt,
+            key,
+        }
+    }
+
+    /// Providers(x) —1:N→ Patients(y) —N:1→ Providers(z), both edges
+    /// traversable in both directions.
+    fn chain3() -> ChainSpec {
+        ChainSpec {
+            steps: vec![
+                ChainStep {
+                    var: "x".into(),
+                    collection: "Providers".into(),
+                    class: ClassId(0),
+                    preds: vec![pred(1, 100)],
+                },
+                ChainStep {
+                    var: "y".into(),
+                    collection: "Patients".into(),
+                    class: ClassId(1),
+                    preds: vec![pred(1, 1_000)],
+                },
+                ChainStep {
+                    var: "z".into(),
+                    collection: "Providers".into(),
+                    class: ClassId(0),
+                    preds: vec![],
+                },
+            ],
+            edges: vec![
+                ChainEdge {
+                    parent: 0,
+                    child: 1,
+                    set_attr: Some(2),
+                    ref_attr: Some(4),
+                },
+                ChainEdge {
+                    parent: 2,
+                    child: 1,
+                    set_attr: Some(2),
+                    ref_attr: Some(4),
+                },
+            ],
+            projection: vec![(2, 1)],
+            result_mode: ResultMode::Transient,
+        }
+    }
+
+    fn chain_facts(totals: [u64; 3]) -> ChainFacts {
+        use crate::estimator::ChainStepFacts;
+        ChainFacts {
+            steps: totals
+                .iter()
+                .enumerate()
+                .map(|(i, &total)| ChainStepFacts {
+                    total,
+                    scan_pages: (total / 30).max(1),
+                    primary_selectivity: if i < 2 { 0.1 } else { 1.0 },
+                    selectivity: if i < 2 { 0.1 } else { 1.0 },
+                    has_index: i < 2,
+                    index_clustered: true,
+                })
+                .collect(),
+            client_cache_pages: 8_192,
+        }
+    }
+
+    #[test]
+    fn policy_labels_round_trip() {
+        for p in PlannerPolicy::all() {
+            assert_eq!(PlannerPolicy::parse(p.label()), Some(p));
+        }
+        assert_eq!(PlannerPolicy::parse("bogus"), None);
+        assert_eq!(PlannerPolicy::parse("Estimate"), None, "exact match only");
+    }
+
+    #[test]
+    fn syntactic_follows_the_binding_order() {
+        let spec = chain3();
+        let m = CostModel::sparc20();
+        let c = plan_chain(
+            PlannerPolicy::Syntactic,
+            &spec,
+            &chain_facts([10_000, 30_000, 10_000]),
+            &m,
+        );
+        assert_eq!(c.plan.order(), vec![0, 1, 2]);
+        assert!(c.plan.stages.iter().all(|s| s.algo == StepAlgo::Nav));
+        // The root still takes its index: even O2 used one when handed it.
+        assert_eq!(c.plan.root_access, RootAccess::Index);
+        assert!(c.estimated_secs > 0.0);
+    }
+
+    #[test]
+    fn simpli_orders_by_size_alone_and_hashes() {
+        let spec = chain3();
+        let m = CostModel::sparc20();
+        // z's extent is smallest: size-only ordering roots there even
+        // though z has no predicate at all.
+        let c = plan_chain(
+            PlannerPolicy::Simpli,
+            &spec,
+            &chain_facts([10_000, 30_000, 5_000]),
+            &m,
+        );
+        assert_eq!(c.plan.order(), vec![2, 1, 0]);
+        assert!(c.plan.stages.iter().all(|s| s.algo == StepAlgo::Hash));
+        // Equal sizes tie toward the lower step index.
+        let c = plan_chain(
+            PlannerPolicy::Simpli,
+            &spec,
+            &chain_facts([10_000, 30_000, 10_000]),
+            &m,
+        );
+        assert_eq!(c.plan.root, 0);
+    }
+
+    #[test]
+    fn simpli_falls_back_to_navigation_on_one_way_edges() {
+        let mut spec = chain3();
+        // Each edge only carries the attribute the query traversed it
+        // by: x→y through the set, y→z through the reference.
+        spec.edges[0].ref_attr = None;
+        spec.edges[1].set_attr = None;
+        let m = CostModel::sparc20();
+        let c = plan_chain(
+            PlannerPolicy::Simpli,
+            &spec,
+            &chain_facts([10_000, 30_000, 5_000]),
+            &m,
+        );
+        // Greed roots at z (smallest) and hashes y against it, but
+        // then binding x from y needs a back reference edge 0–1 does
+        // not have: the dead-end falls back to the syntactic plan.
+        assert_eq!(c.plan.order(), vec![0, 1, 2]);
+        assert!(c.plan.stages.iter().all(|s| s.algo == StepAlgo::Nav));
+    }
+
+    #[test]
+    fn estimate_policy_never_loses_to_the_fixed_policies() {
+        let spec = chain3();
+        let m = CostModel::sparc20();
+        for totals in [
+            [10_000, 30_000, 10_000],
+            [500, 1_500, 500],
+            [200_000, 600_000, 200_000],
+        ] {
+            let facts = chain_facts(totals);
+            let e = plan_chain(PlannerPolicy::Estimate, &spec, &facts, &m);
+            let s = plan_chain(PlannerPolicy::Simpli, &spec, &facts, &m);
+            let y = plan_chain(PlannerPolicy::Syntactic, &spec, &facts, &m);
+            assert!(e.estimated_secs <= s.estimated_secs, "{totals:?}");
+            assert!(e.estimated_secs <= y.estimated_secs, "{totals:?}");
+        }
     }
 }

@@ -4,8 +4,8 @@
 use std::io::{Read, Write};
 
 use crate::proto::{
-    read_frame, write_frame, CacheMode, DecodeError, FrameError, QuerySpec, Request, Response,
-    UpdateTarget,
+    read_frame, write_frame, CacheMode, ChainQuerySpec, DecodeError, FrameError, QuerySpec,
+    Request, Response, UpdateTarget,
 };
 
 /// Why a client call failed.
@@ -82,6 +82,18 @@ impl<S: Read + Write> Client<S> {
             | Response::DeadlineExceeded { .. }) => Ok(resp),
             Response::Error { msg } => Err(ClientError::Server(msg)),
             _ => Err(ClientError::Unexpected("Query")),
+        }
+    }
+
+    /// Runs one N-way chain query. Same outcome vocabulary as
+    /// [`Client::query`] — a served chain answers `QueryOk`.
+    pub fn chain(&mut self, spec: ChainQuerySpec) -> Result<Response, ClientError> {
+        match self.call(&Request::Chain(spec))? {
+            resp @ (Response::QueryOk { .. }
+            | Response::Overloaded { .. }
+            | Response::DeadlineExceeded { .. }) => Ok(resp),
+            Response::Error { msg } => Err(ClientError::Server(msg)),
+            _ => Err(ClientError::Unexpected("Chain")),
         }
     }
 

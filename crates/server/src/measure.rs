@@ -8,12 +8,21 @@
 //! test in `crates/server/tests/concurrency.rs` pins this). `tq-bench`
 //! re-exports everything under its old names.
 
+use tq_index::BTreeIndex;
+use tq_objstore::ClassId;
 use tq_query::join::{run_join_with, JoinContext, JoinOptions, JoinReport};
 use tq_query::maintenance::MaintainedIndex;
+use tq_query::oql::{compile_str, CompiledQuery};
 use tq_query::update::{run_update, UpdateOutcome, UpdateSpec};
-use tq_query::{CancelToken, ExecTrace, JoinAlgo, OpCounters, OpKind, ResultMode, TreeJoinSpec};
+use tq_query::{
+    plan_chain, run_chain, CancelToken, ChainChoice, ChainFacts, ChainReport, ChainSpec, ExecTrace,
+    JoinAlgo, OpCounters, OpKind, PlannerPolicy, ResultMode, TreeJoinSpec,
+};
 use tq_statsdb::{ExtentDesc, OperatorStat, QueryDesc, Stat, SystemDesc};
-use tq_workload::{patient_attr, provider_attr, Database};
+use tq_workload::{
+    chain3_query_text, chain4_query_text, patient_attr, provider_attr, ref_chain_query_text,
+    Database,
+};
 
 use crate::proto::UpdateTarget;
 
@@ -131,6 +140,183 @@ pub fn measure_current(
         results: report.results,
         io: db.store.stats(),
         report,
+    }
+}
+
+/// OQL text for a served chain depth, or `None` for a depth outside
+/// the closed vocabulary (2 = reference chain, 3 and 4 = the cycle
+/// chains). Depth 2 has no provider predicate, so `prov_pct` is
+/// ignored there.
+pub fn chain_query_text(db: &Database, depth: u32, pat_pct: u32, prov_pct: u32) -> Option<String> {
+    Some(match depth {
+        2 => ref_chain_query_text(db, pat_pct),
+        3 => chain3_query_text(db, pat_pct, prov_pct),
+        4 => chain4_query_text(db, pat_pct, prov_pct),
+        _ => return None,
+    })
+}
+
+/// The workload's fixed index set, by (class, attribute) — the same
+/// three indexes every figure uses.
+fn chain_index(db: &Database, class: ClassId, attr: usize) -> Option<&BTreeIndex> {
+    if class == db.derby.provider && attr == provider_attr::UPIN {
+        Some(&db.idx_provider_upin)
+    } else if class == db.derby.patient && attr == patient_attr::MRN {
+        Some(&db.idx_patient_mrn)
+    } else if class == db.derby.patient && attr == patient_attr::NUM {
+        Some(&db.idx_patient_num)
+    } else {
+        None
+    }
+}
+
+/// One measured N-way chain run.
+#[derive(Clone, Debug)]
+pub struct ChainCell {
+    /// The ordering policy that planned it.
+    pub policy: PlannerPolicy,
+    /// The plan the policy chose, with its cost estimate.
+    pub choice: ChainChoice,
+    /// Simulated elapsed seconds for the measured window.
+    pub secs: f64,
+    /// Result tuples.
+    pub results: u64,
+    /// Executor report.
+    pub report: ChainReport,
+    /// I/O counters for the run.
+    pub io: tq_pagestore::IoStats,
+}
+
+/// Compiles a served chain depth to its [`ChainSpec`]. Fails on depths
+/// outside the vocabulary or texts that don't compile to a chain — the
+/// dispatch-time validation the wire protocol defers.
+pub fn compile_chain_spec(
+    db: &Database,
+    depth: u32,
+    pat_pct: u32,
+    prov_pct: u32,
+) -> Result<ChainSpec, String> {
+    let text = chain_query_text(db, depth, pat_pct, prov_pct)
+        .ok_or_else(|| format!("unsupported chain depth {depth} (expected 2, 3, or 4)"))?;
+    match compile_str(&db.store, &text) {
+        Ok(CompiledQuery::Chain(spec)) => Ok(spec),
+        Ok(other) => Err(format!("`{text}` compiled to {other:?}, not a chain")),
+        Err(e) => Err(format!("chain compile error: {e}")),
+    }
+}
+
+/// Compiles and runs one *cold* chain measurement (the paper's
+/// protocol: server shutdown before the run).
+pub fn run_chain_cell(
+    db: &mut Database,
+    depth: u32,
+    pat_pct: u32,
+    prov_pct: u32,
+    policy: PlannerPolicy,
+    cancel: Option<CancelToken>,
+) -> Result<ChainCell, String> {
+    let spec = compile_chain_spec(db, depth, pat_pct, prov_pct)?;
+    db.store.cold_restart();
+    Ok(measure_chain_current(db, &spec, policy, cancel))
+}
+
+/// Measures one chain against the database's *current* cache state:
+/// facts, plan, metric reset, run, teardown row — the chain
+/// counterpart of [`measure_current`]. Cancellation unwinds with a
+/// [`Cancelled`](tq_query::Cancelled) payload, after which the
+/// database must be discarded (see [`run_join_cell_with`]).
+pub fn measure_chain_current(
+    db: &mut Database,
+    spec: &ChainSpec,
+    policy: PlannerPolicy,
+    cancel: Option<CancelToken>,
+) -> ChainCell {
+    let facts = ChainFacts::derive(&db.store, spec, |class, attr| {
+        chain_index(db, class, attr).map(|i| i.clustered)
+    });
+    let model = db.store.stack().model().clone();
+    let choice = plan_chain(policy, spec, &facts, &model);
+    let indexes: Vec<Option<BTreeIndex>> = spec
+        .steps
+        .iter()
+        .map(|s| {
+            let class = db.store.collection(&s.collection).class;
+            s.preds
+                .first()
+                .and_then(|p| chain_index(db, class, p.attr))
+                .cloned()
+        })
+        .collect();
+    db.store.reset_metrics();
+    let mut report = run_chain(&mut db.store, spec, &choice.plan, &indexes, false, cancel);
+    record_teardown(db, &mut report.trace);
+    ChainCell {
+        policy,
+        choice,
+        secs: db.store.clock().elapsed_secs(),
+        results: report.results,
+        io: db.store.stats(),
+        report,
+    }
+}
+
+/// Converts a measured chain cell into a `Stat` record (algo
+/// `"CHAIN-<POLICY>"`). Same shape as a join's record, so the StatsDb,
+/// the wire protocol, and the operator-attribution invariant all apply
+/// unchanged.
+pub fn chain_stat_record(
+    db: &Database,
+    cell: &ChainCell,
+    depth: u32,
+    pat_pct: u32,
+    prov_pct: u32,
+) -> Stat {
+    let text = chain_query_text(db, depth, pat_pct, prov_pct).expect("measured depth is served");
+    let projection_type = match depth {
+        2 => "p.upin",
+        3 => "z.upin",
+        _ => "w.num",
+    };
+    let mut selectivities = vec![("Patient".into(), pat_pct)];
+    if depth >= 3 {
+        selectivities.push(("Provider".into(), prov_pct));
+    }
+    Stat {
+        numtest: 0, // assigned by the StatsDb
+        query: QueryDesc {
+            cold: true,
+            projection_type: projection_type.into(),
+            selectivities,
+            text,
+        },
+        database: vec![
+            ExtentDesc {
+                classname: "Provider".into(),
+                size: db.provider_count,
+                associations: vec![("Patient".into(), db.config.shape.mean_fanout())],
+            },
+            ExtentDesc {
+                classname: "Patient".into(),
+                size: db.patient_count,
+                associations: vec![],
+            },
+        ],
+        cluster: db.config.organization.label().into(),
+        algo: format!("CHAIN-{}", cell.policy.label().to_ascii_uppercase()),
+        system: SystemDesc {
+            server_cache_kb: (db.config.cache.server_pages * 4) as u64,
+            client_cache_kb: (db.config.cache.client_pages * 4) as u64,
+            same_workstation: true,
+        },
+        cc_pagefaults: cell.io.client_misses,
+        elapsed_time: cell.secs,
+        rpcs_number: cell.io.sc2cc_read_pages,
+        rpcs_total_mb: cell.io.rpc_total_bytes() as f64 / 1e6,
+        d2sc_read_pages: cell.io.d2sc_read_pages,
+        sc2cc_read_pages: cell.io.sc2cc_read_pages,
+        cc_miss_rate: cell.io.client_miss_rate(),
+        sc_miss_rate: cell.io.server_miss_rate(),
+        operators: operator_rows(&cell.report.trace),
     }
 }
 

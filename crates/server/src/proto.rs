@@ -15,7 +15,7 @@
 //! in `crates/server/tests/proto_roundtrip.rs`.
 
 use std::io::{Read, Write};
-use tq_query::JoinAlgo;
+use tq_query::{JoinAlgo, PlannerPolicy};
 use tq_statsdb::{ExtentDesc, OperatorStat, QueryDesc, Stat, SystemDesc};
 
 /// Hard ceiling on one frame's payload (16 MiB). Far above any real
@@ -179,6 +179,26 @@ pub struct QuerySpec {
     pub deadline_nanos: u64,
 }
 
+/// One N-way chain-query request: a depth from the closed chain
+/// vocabulary (the server never parses OQL off the wire), the grid
+/// selectivities, and the planner policy to order the joins with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChainQuerySpec {
+    /// Session to run in.
+    pub session: u64,
+    /// Binding count: 2 (reference chain), 3, or 4. Validated at
+    /// dispatch, not decode — other depths get a typed `Error`.
+    pub depth: u32,
+    /// Patient-side selectivity (percent).
+    pub pat_pct: u32,
+    /// Provider-side selectivity (percent).
+    pub prov_pct: u32,
+    /// Join-ordering policy.
+    pub policy: PlannerPolicy,
+    /// Simulated-time budget in nanoseconds; `0` means unlimited.
+    pub deadline_nanos: u64,
+}
+
 /// Client → server messages.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
@@ -221,6 +241,9 @@ pub enum Request {
         /// Session whose writes to discard.
         session: u64,
     },
+    /// Run one N-way binding-chain query. Answered with the same
+    /// [`Response::QueryOk`] shape as a 2-way join.
+    Chain(ChainQuerySpec),
 }
 
 /// Server → client messages.
@@ -344,6 +367,23 @@ fn algo_from(code: u8) -> Result<JoinAlgo, DecodeError> {
     })
 }
 
+fn policy_code(policy: PlannerPolicy) -> u8 {
+    match policy {
+        PlannerPolicy::Estimate => 0,
+        PlannerPolicy::Simpli => 1,
+        PlannerPolicy::Syntactic => 2,
+    }
+}
+
+fn policy_from(code: u8) -> Result<PlannerPolicy, DecodeError> {
+    Ok(match code {
+        0 => PlannerPolicy::Estimate,
+        1 => PlannerPolicy::Simpli,
+        2 => PlannerPolicy::Syntactic,
+        other => return Err(DecodeError::BadEnum(other)),
+    })
+}
+
 fn put_operator(out: &mut Vec<u8>, op: &OperatorStat) {
     put_str(out, &op.op);
     put_str(out, &op.label);
@@ -448,6 +488,15 @@ impl Request {
                 out.push(6);
                 put_u64(&mut out, *session);
             }
+            Request::Chain(q) => {
+                out.push(7);
+                put_u64(&mut out, q.session);
+                put_u32(&mut out, q.depth);
+                put_u32(&mut out, q.pat_pct);
+                put_u32(&mut out, q.prov_pct);
+                out.push(policy_code(q.policy));
+                put_u64(&mut out, q.deadline_nanos);
+            }
         }
         out
     }
@@ -484,6 +533,14 @@ impl Request {
             },
             5 => Request::Commit { session: c.u64()? },
             6 => Request::Abort { session: c.u64()? },
+            7 => Request::Chain(ChainQuerySpec {
+                session: c.u64()?,
+                depth: c.u32()?,
+                pat_pct: c.u32()?,
+                prov_pct: c.u32()?,
+                policy: policy_from(c.u8()?)?,
+                deadline_nanos: c.u64()?,
+            }),
             other => return Err(DecodeError::BadTag(other)),
         };
         c.finish()?;
@@ -785,6 +842,17 @@ mod tests {
         ] {
             assert_eq!(Request::decode(&req.encode()), Ok(req));
         }
+        for policy in PlannerPolicy::all() {
+            let req = Request::Chain(ChainQuerySpec {
+                session: 9,
+                depth: 3,
+                pat_pct: 30,
+                prov_pct: 60,
+                policy,
+                deadline_nanos: 0,
+            });
+            assert_eq!(Request::decode(&req.encode()), Ok(req));
+        }
     }
 
     #[test]
@@ -795,6 +863,22 @@ mod tests {
         let mut ok = Request::Close { session: 1 }.encode();
         ok.push(0);
         assert_eq!(Request::decode(&ok), Err(DecodeError::TrailingBytes));
+        // An out-of-range planner-policy discriminant in a Chain request.
+        let mut chain = Request::Chain(ChainQuerySpec {
+            session: 1,
+            depth: 3,
+            pat_pct: 10,
+            prov_pct: 10,
+            policy: PlannerPolicy::Estimate,
+            deadline_nanos: 0,
+        })
+        .encode();
+        assert_eq!(chain[1 + 8 + 4 + 4 + 4], 0, "policy byte moved");
+        chain[1 + 8 + 4 + 4 + 4] = 9;
+        assert_eq!(Request::decode(&chain), Err(DecodeError::BadEnum(9)));
+        chain[1 + 8 + 4 + 4 + 4] = 0;
+        chain.truncate(chain.len() - 1);
+        assert_eq!(Request::decode(&chain), Err(DecodeError::Truncated));
         // Non-UTF-8 string in an Error response.
         let mut bad = vec![133];
         bad.extend_from_slice(&2u32.to_le_bytes());

@@ -23,10 +23,12 @@ use tq_query::{CancelToken, Cancelled};
 use tq_workload::Database;
 
 use crate::measure::{
-    measure_current, measure_update_current, run_join_cell_with, stat_record, update_stat_record,
+    chain_stat_record, compile_chain_spec, measure_chain_current, measure_current,
+    measure_update_current, run_join_cell_with, stat_record, update_stat_record,
 };
 use crate::proto::{
-    read_frame, write_frame, CacheMode, FrameError, QuerySpec, Request, Response, UpdateTarget,
+    read_frame, write_frame, CacheMode, ChainQuerySpec, FrameError, QuerySpec, Request, Response,
+    UpdateTarget,
 };
 use crate::sched::Scheduler;
 use crate::session::{CommitOutcome, SessionManager};
@@ -221,6 +223,7 @@ fn handle_request(inner: &Arc<Inner>, req: Request) -> Response {
             Response::SessionOpened { session }
         }
         Request::Query(spec) => dispatch_query(inner, spec),
+        Request::Chain(spec) => dispatch_chain(inner, spec),
         Request::Close { session } => match inner.sessions.close(session) {
             Ok(report) => {
                 inner.stats.sessions_closed.fetch_add(1, Ordering::Relaxed);
@@ -281,6 +284,27 @@ fn dispatch_query(inner: &Arc<Inner>, spec: QuerySpec) -> Response {
     let job_inner = Arc::clone(inner);
     let submitted = inner.sched.submit(Box::new(move || {
         let resp = execute_query(&job_inner, spec);
+        let _ = tx.send(resp);
+    }));
+    if let Err(overloaded) = submitted {
+        inner.stats.queries_shed.fetch_add(1, Ordering::Relaxed);
+        return Response::Overloaded {
+            queue_depth: overloaded.queue_depth,
+        };
+    }
+    rx.recv().unwrap_or_else(|_| Response::Error {
+        msg: "worker dropped the query".into(),
+    })
+}
+
+/// Admits an N-way chain query to the worker pool and waits for its
+/// response. Chains share the join queries' admission queue, workers,
+/// and shed path.
+fn dispatch_chain(inner: &Arc<Inner>, spec: ChainQuerySpec) -> Response {
+    let (tx, rx) = mpsc::channel();
+    let job_inner = Arc::clone(inner);
+    let submitted = inner.sched.submit(Box::new(move || {
+        let resp = execute_chain(&job_inner, spec);
         let _ = tx.send(resp);
     }));
     if let Err(overloaded) = submitted {
@@ -427,6 +451,61 @@ fn execute_query(inner: &Inner, spec: QuerySpec) -> Response {
                 // The unwound database has half-built operator state in
                 // its caches and handle table: discard it and refill
                 // the session from the base snapshot.
+                drop(db);
+                inner.sessions.replace_fresh(spec.session);
+                inner
+                    .stats
+                    .queries_deadline_exceeded
+                    .fetch_add(1, Ordering::Relaxed);
+                Response::DeadlineExceeded {
+                    elapsed_nanos: cancelled.elapsed_nanos,
+                }
+            }
+            Err(other) => resume_unwind(other),
+        },
+    }
+}
+
+/// Worker-side chain execution: the [`execute_query`] shape with
+/// compile-time validation up front — a bad depth restores the session
+/// untouched and answers with a typed `Error`.
+fn execute_chain(inner: &Inner, spec: ChainQuerySpec) -> Response {
+    let (mut db, mode) = match inner.sessions.take(spec.session) {
+        Ok(taken) => taken,
+        Err(e) => {
+            inner.stats.queries_failed.fetch_add(1, Ordering::Relaxed);
+            return Response::Error { msg: e.to_string() };
+        }
+    };
+    let chain = match compile_chain_spec(&db, spec.depth, spec.pat_pct, spec.prov_pct) {
+        Ok(chain) => chain,
+        Err(msg) => {
+            inner.sessions.restore(spec.session, db);
+            inner.stats.queries_failed.fetch_add(1, Ordering::Relaxed);
+            return Response::Error { msg };
+        }
+    };
+    let cancel =
+        (spec.deadline_nanos > 0).then(|| CancelToken::with_deadline_nanos(spec.deadline_nanos));
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        if mode == CacheMode::Cold {
+            db.store.cold_restart();
+        }
+        measure_chain_current(&mut db, &chain, spec.policy, cancel)
+    }));
+    match outcome {
+        Ok(cell) => {
+            let mut stat = chain_stat_record(&db, &cell, spec.depth, spec.pat_pct, spec.prov_pct);
+            stat.query.cold = mode == CacheMode::Cold;
+            inner.sessions.restore(spec.session, db);
+            inner.stats.queries_ok.fetch_add(1, Ordering::Relaxed);
+            Response::QueryOk {
+                results: cell.results,
+                stat: Box::new(stat),
+            }
+        }
+        Err(payload) => match payload.downcast::<Cancelled>() {
+            Ok(cancelled) => {
                 drop(db);
                 inner.sessions.replace_fresh(spec.session);
                 inner

@@ -6,9 +6,11 @@
 use std::sync::{Arc, Barrier};
 use std::thread;
 
-use tq_query::{JoinAlgo, JoinOptions};
-use tq_server::measure::{run_join_cell, stat_record};
-use tq_server::{CacheMode, Client, QuerySpec, Response, Server, ServerConfig, UpdateTarget};
+use tq_query::{JoinAlgo, JoinOptions, PlannerPolicy};
+use tq_server::measure::{chain_stat_record, run_chain_cell, run_join_cell, stat_record};
+use tq_server::{
+    CacheMode, ChainQuerySpec, Client, QuerySpec, Response, Server, ServerConfig, UpdateTarget,
+};
 use tq_statsdb::Stat;
 use tq_workload::{build, BuildConfig, Database, DbShape, Organization};
 
@@ -619,6 +621,90 @@ fn close_with_uncommitted_writes_reports_the_discarded_pages() {
     let stats = server.stats();
     assert_eq!(stats.commits, 0);
     assert_eq!(stats.rollbacks, 1);
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn served_chains_match_the_serial_oracle_for_every_policy() {
+    let base = base_db();
+    // Serial oracles: one cold chain cell per (depth, policy) through
+    // the same measure code path the server uses.
+    let mut oracles = Vec::new();
+    for depth in [2u32, 3, 4] {
+        for policy in PlannerPolicy::all() {
+            let mut db = base.clone();
+            let cell = run_chain_cell(&mut db, depth, 30, 60, policy, None).unwrap();
+            oracles.push((
+                depth,
+                policy,
+                cell.results,
+                chain_stat_record(&db, &cell, depth, 30, 60),
+            ));
+        }
+    }
+    let server = Server::start(base, ServerConfig::default());
+    let mut client = Client::new(server.connect_in_proc());
+    for (depth, policy, want_results, want_stat) in &oracles {
+        let session = client.open_session(CacheMode::Cold).unwrap();
+        let resp = client
+            .chain(ChainQuerySpec {
+                session,
+                depth: *depth,
+                pat_pct: 30,
+                prov_pct: 60,
+                policy: *policy,
+                deadline_nanos: 0,
+            })
+            .unwrap();
+        let (results, stat) = match resp {
+            Response::QueryOk { results, stat } => (results, *stat),
+            other => panic!("expected QueryOk, got {other:?}"),
+        };
+        assert_eq!(results, *want_results, "depth {depth} {policy:?}");
+        assert_eq!(stat, *want_stat, "depth {depth} {policy:?}");
+        let (_drained, leaked, _uncommitted) = client.close_session(session).unwrap();
+        assert_eq!(leaked, 0);
+    }
+    // All three policies agree on the result count at each depth.
+    for depth in [2u32, 3, 4] {
+        let counts: Vec<u64> = oracles
+            .iter()
+            .filter(|(d, ..)| d == &depth)
+            .map(|&(_, _, r, _)| r)
+            .collect();
+        assert!(
+            counts.windows(2).all(|w| w[0] == w[1]),
+            "depth {depth}: {counts:?}"
+        );
+    }
+    // A depth outside the served vocabulary is a typed error, and the
+    // session survives to run a valid chain afterwards.
+    let session = client.open_session(CacheMode::Cold).unwrap();
+    let err = client.chain(ChainQuerySpec {
+        session,
+        depth: 9,
+        pat_pct: 30,
+        prov_pct: 60,
+        policy: PlannerPolicy::Estimate,
+        deadline_nanos: 0,
+    });
+    assert!(
+        matches!(err, Err(tq_server::ClientError::Server(ref msg)) if msg.contains("depth 9")),
+        "{err:?}"
+    );
+    let ok = client
+        .chain(ChainQuerySpec {
+            session,
+            depth: 3,
+            pat_pct: 30,
+            prov_pct: 60,
+            policy: PlannerPolicy::Simpli,
+            deadline_nanos: 0,
+        })
+        .unwrap();
+    assert!(matches!(ok, Response::QueryOk { .. }));
+    client.close_session(session).unwrap();
     drop(client);
     server.shutdown();
 }

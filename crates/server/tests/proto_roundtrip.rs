@@ -2,10 +2,10 @@
 //! bit-for-bit, and every malformed framing/payload input is a typed
 //! error, never a panic or a wrong decode.
 
-use tq_query::JoinAlgo;
+use tq_query::{JoinAlgo, PlannerPolicy};
 use tq_server::proto::{
-    read_frame, write_frame, CacheMode, DecodeError, FrameError, QuerySpec, Request, Response,
-    UpdateTarget, MAX_FRAME,
+    read_frame, write_frame, CacheMode, ChainQuerySpec, DecodeError, FrameError, QuerySpec,
+    Request, Response, UpdateTarget, MAX_FRAME,
 };
 use tq_simrng::SimRng;
 use tq_statsdb::{ExtentDesc, OperatorStat, QueryDesc, Stat, SystemDesc};
@@ -87,7 +87,7 @@ fn rng_stat(rng: &mut SimRng) -> Stat {
 }
 
 fn rng_request(rng: &mut SimRng) -> Request {
-    match rng.index(6) {
+    match rng.index(7) {
         0 => Request::Hello {
             mode: if rng.bool() {
                 CacheMode::Warm
@@ -119,6 +119,18 @@ fn rng_request(rng: &mut SimRng) -> Request {
         4 => Request::Abort {
             session: rng.next_u64(),
         },
+        5 => Request::Chain(ChainQuerySpec {
+            session: rng.next_u64(),
+            depth: rng.next_u32(),
+            pat_pct: rng.next_u32(),
+            prov_pct: rng.next_u32(),
+            policy: [
+                PlannerPolicy::Estimate,
+                PlannerPolicy::Simpli,
+                PlannerPolicy::Syntactic,
+            ][rng.index(3)],
+            deadline_nanos: rng.next_u64(),
+        }),
         _ => Request::Close {
             session: rng.next_u64(),
         },

@@ -1,0 +1,101 @@
+//! OQL texts for the paper's queries over the Derby schema.
+//!
+//! The figure harness and the query service have always *hand-built*
+//! their `TreeJoinSpec`s (the paper's §5 join); these builders render
+//! the same queries as OQL so the engine's compile→plan→execute path
+//! can be exercised against them, and add the N-way binding chains the
+//! Provider↔Patient reference cycle makes possible: `clients` walks
+//! 1→N, `primary_care_provider` walks back N→1, so chains of any depth
+//! alternate the two classes.
+//!
+//! Key limits come from the same selectivity arithmetic as
+//! [`Database::patient_selectivity_key`] /
+//! [`Database::provider_selectivity_key`], so a chain's predicates
+//! select exactly the rows the 2-way grid's cells do.
+
+use crate::builder::Database;
+
+/// The paper's §5 join as OQL (compiles to a `TreeJoin`).
+pub fn join_query_text(db: &Database, pat_pct: u32, prov_pct: u32) -> String {
+    format!(
+        "select [p.name, pa.age] from p in Providers, pa in p.clients \
+         where pa.mrn < {} and p.upin < {}",
+        db.patient_selectivity_key(pat_pct),
+        db.provider_selectivity_key(prov_pct)
+    )
+}
+
+/// The depth-3 chain through the reference cycle: providers, their
+/// patients, and those patients' primary-care providers (compiles to
+/// a `Chain`). Since the builder makes every patient's
+/// `primary_care_provider` the provider whose `clients` set holds it,
+/// `z` re-finds `x` and the result count equals the 2-way join's at
+/// the same selectivities — which is what makes the plan-quality
+/// figure's policies comparable on results.
+pub fn chain3_query_text(db: &Database, pat_pct: u32, prov_pct: u32) -> String {
+    format!(
+        "select z.upin from x in Providers, y in x.clients, \
+         z in y.primary_care_provider \
+         where x.upin < {} and y.mrn < {}",
+        db.provider_selectivity_key(prov_pct),
+        db.patient_selectivity_key(pat_pct)
+    )
+}
+
+/// The depth-4 chain: one more `clients` hop off the re-found
+/// provider. Every qualifying patient of a qualifying provider fans
+/// back out to *all* of that provider's patients.
+pub fn chain4_query_text(db: &Database, pat_pct: u32, prov_pct: u32) -> String {
+    format!(
+        "select w.num from x in Providers, y in x.clients, \
+         z in y.primary_care_provider, w in z.clients \
+         where x.upin < {} and y.mrn < {}",
+        db.provider_selectivity_key(prov_pct),
+        db.patient_selectivity_key(pat_pct)
+    )
+}
+
+/// A two-binding chain through the *reference* (not the set): patients
+/// and their primary-care provider. Not a `TreeJoin` shape — the first
+/// binding is the child side — so it exercises the chain fallback at
+/// depth 2.
+pub fn ref_chain_query_text(db: &Database, pat_pct: u32) -> String {
+    format!(
+        "select p.upin from pa in Patients, p in pa.primary_care_provider \
+         where pa.mrn < {}",
+        db.patient_selectivity_key(pat_pct)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    // Compilation of these texts to the expected query shapes
+    // (TreeJoin vs. Chain, step counts) is pinned by
+    // `tq-query/tests/multiway_equivalence.rs` — the dependency points
+    // that way.
+    use super::*;
+    use crate::{build, BuildConfig, DbShape, Organization};
+
+    #[test]
+    fn key_limits_follow_the_selectivity_arithmetic() {
+        let db = build(&BuildConfig::scaled(
+            DbShape::Db1,
+            Organization::ClassClustered,
+            200,
+        ));
+        let pat = db.patient_selectivity_key(10);
+        let prov = db.provider_selectivity_key(50);
+        let join = join_query_text(&db, 10, 50);
+        assert!(join.contains(&format!("pa.mrn < {pat}")), "{join}");
+        assert!(join.contains(&format!("p.upin < {prov}")), "{join}");
+        let c3 = chain3_query_text(&db, 10, 50);
+        assert!(c3.contains("z in y.primary_care_provider"), "{c3}");
+        assert!(c3.contains(&format!("x.upin < {prov}")), "{c3}");
+        assert!(c3.contains(&format!("y.mrn < {pat}")), "{c3}");
+        let c4 = chain4_query_text(&db, 10, 50);
+        assert!(c4.contains("w in z.clients"), "{c4}");
+        let r = ref_chain_query_text(&db, 10);
+        assert!(r.contains("pa in Patients"), "{r}");
+        assert!(r.contains(&format!("pa.mrn < {pat}")), "{r}");
+    }
+}

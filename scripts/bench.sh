@@ -2,8 +2,9 @@
 # Harness performance trajectory: times a fixed figure set and records
 # wall clock + peak RSS per run in BENCH_harness.json.
 #
-# The figure set is fig06 (selection) and fig11_14 (the join grid, the
-# paper's headline figure) at two scales:
+# The figure set is fig06 (selection), fig11_14 (the join grid, the
+# paper's headline figure), and fig_multiway (N-way chain plan
+# quality) at two scales:
 #
 #   * smoke scale (TQ_BENCH_SMOKE_SCALE, default 200) — seconds per run,
 #     catches gross regressions in CI;
@@ -83,6 +84,8 @@ for scale in $SCALES; do
         run_one fig06 "$scale" "$jobs" ./target/release/fig06_selection
         run_one fig11_14 "$scale" "$jobs" \
             ./target/release/fig11_14_joins --db db2 --org class
+        run_one fig_multiway "$scale" "$jobs" \
+            ./target/release/fig_multiway --db db2 --org class
     done
 done
 

@@ -43,6 +43,37 @@ TQ_SCALE=200 TQ_JOBS=2 \
 SMOKE_T1=$(date +%s%N)
 echo "smoke figure wall clock: $(( (SMOKE_T1 - SMOKE_T0) / 1000000 )) ms"
 
+echo "== smoke multiway (TQ_SCALE=200, TQ_JOBS=2, all planner policies) =="
+# The plan-quality figure under each ordering policy: all three must
+# return the same result counts per (depth, cell) — order changes time,
+# never answers. An invalid TQ_PLANNER must exit 2 (env-knob contract).
+MW_REF=""
+for P in estimate simpli syntactic; do
+    MW_OUT=$(TQ_SCALE=200 TQ_JOBS=2 TQ_PLANNER="$P" \
+        ./target/release/fig_multiway --db db2 --org class)
+    MW_COUNTS=$(echo "$MW_OUT" | grep -o 'results=[0-9]*' || true)
+    [ -n "$MW_COUNTS" ] \
+        || { echo "error: fig_multiway ($P) printed no result counts" >&2; exit 1; }
+    if [ -z "$MW_REF" ]; then
+        MW_REF="$MW_COUNTS"
+        echo "fig_multiway result counts ($P): $(echo "$MW_COUNTS" | tr '\n' ' ')"
+    elif [ "$MW_COUNTS" != "$MW_REF" ]; then
+        echo "error: fig_multiway ($P) result counts diverge from estimate's" >&2
+        exit 1
+    else
+        echo "fig_multiway result counts ($P): agree"
+    fi
+done
+if TQ_PLANNER=greedy ./target/release/fig_multiway --db db2 --org class \
+    >/dev/null 2>&1; then
+    echo "error: invalid TQ_PLANNER must be rejected" >&2
+    exit 1
+elif [ $? -ne 2 ]; then
+    echo "error: invalid TQ_PLANNER must exit 2" >&2
+    exit 1
+fi
+echo "invalid TQ_PLANNER rejected with exit 2"
+
 echo "== smoke serve (TQ_SCALE=200, TQ_CONCURRENCY=4, 2s) =="
 # loadgen itself exits non-zero on any serving error or leaked handle;
 # on top of that, check the latency CSV on stdout is well formed.

@@ -33,6 +33,7 @@ fn main() {
             env::ENV_WRITE_MIX,
             env::ENV_WARMUP_MS,
             env::ENV_BATCH,
+            env::ENV_SHARDS,
         ],
     );
     let args: Vec<String> = std::env::args().collect();
@@ -93,6 +94,7 @@ fn main() {
     let duration_secs = or_exit(env::duration_secs_from_env());
     let queue_depth = or_exit(env::queue_depth_from_env());
     let write_mix = or_exit(env::write_mix_from_env());
+    let shards = or_exit(env::shards_from_env());
     let duration = Duration::from_secs(duration_secs as u64);
     let warmup = match env::warmup_ms_from_env() {
         Ok(Some(ms)) => Duration::from_millis(ms),
@@ -108,6 +110,7 @@ fn main() {
         concurrency,
         workers: jobs,
         queue_depth: queue_depth as usize,
+        shards,
         duration,
         warmup,
         mode,
@@ -117,10 +120,16 @@ fn main() {
         deadline_nanos,
         write_mix,
     };
+    let shard_note = if shards > 1 {
+        format!(" across {shards} shards")
+    } else {
+        String::new()
+    };
     eprintln!(
-        "serving: {} clients -> {} workers (queue depth {}), {}s ({}ms warmup, {}% writes)...",
+        "serving: {} clients -> {} workers{} (queue depth {}), {}s ({}ms warmup, {}% writes)...",
         cfg.concurrency,
         cfg.workers,
+        shard_note,
         cfg.queue_depth,
         duration_secs,
         warmup.as_millis(),
@@ -148,6 +157,14 @@ fn main() {
         s.errors,
         outcome.leaked_handles,
     );
+    if shards > 1 {
+        println!(
+            "sharding: {} shards | shed at router edge {}  shed at shard queues {}",
+            shards,
+            s.shed_router,
+            s.queries_shed - s.shed_router,
+        );
+    }
     if s.commits + s.aborts > 0 {
         println!(
             "writes: {} committed  {} aborted ({:.1}% abort rate)",
@@ -162,7 +179,7 @@ fn main() {
         .position(|a| a == "--json")
         .and_then(|i| args.get(i + 1))
     {
-        std::fs::write(path, json_record(&outcome, scale, org)).unwrap_or_else(|e| {
+        std::fs::write(path, json_record(&outcome, scale, org, shards)).unwrap_or_else(|e| {
             eprintln!("cannot write {path}: {e}");
             std::process::exit(1);
         });
@@ -181,12 +198,19 @@ fn exit_usage(msg: &str) -> ! {
 /// One flat JSON record for `BENCH_serve.json` (hand-rolled: the only
 /// string field is a label we format ourselves, so no escaping is
 /// needed).
-fn json_record(outcome: &tq_bench::ServeOutcome, scale: u32, org: Organization) -> String {
+fn json_record(
+    outcome: &tq_bench::ServeOutcome,
+    scale: u32,
+    org: Organization,
+    shards: u32,
+) -> String {
     let s = &outcome.stat;
     format!(
         "{{\n  \"label\": \"{}\",\n  \"organization\": \"{}\",\n  \"scale\": {},\n  \
          \"concurrency\": {},\n  \"workers\": {},\n  \"queue_depth\": {},\n  \
+         \"shards\": {},\n  \
          \"duration_ns\": {},\n  \"queries_ok\": {},\n  \"queries_shed\": {},\n  \
+         \"queries_shed_router\": {},\n  \
          \"deadline_exceeded\": {},\n  \"errors\": {},\n  \"commits\": {},\n  \
          \"aborts\": {},\n  \"abort_rate\": {:.3},\n  \"leaked_handles\": {},\n  \
          \"throughput_qps\": {:.3},\n  \"p50_ns\": {},\n  \"p95_ns\": {},\n  \
@@ -197,9 +221,11 @@ fn json_record(outcome: &tq_bench::ServeOutcome, scale: u32, org: Organization) 
         s.concurrency,
         s.workers,
         s.queue_depth,
+        shards,
         s.duration_nanos,
         s.queries_ok,
         s.queries_shed,
+        s.shed_router,
         s.deadline_exceeded,
         s.errors,
         s.commits,

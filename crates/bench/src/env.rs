@@ -64,6 +64,16 @@ pub fn queue_depth_from_env() -> Result<u32, String> {
     non_negative_from_env("TQ_QUEUE_DEPTH", 16, "the admission queue depth")
 }
 
+/// Reads the engine-shard count from `TQ_SHARDS` (default 1 =
+/// unsharded, the exact single-server path) — loadgen only. `n > 1`
+/// partitions the database by Rid hash across `n` engine shards and
+/// serves through the scatter-gather router; workers are split across
+/// shards (`max(1, TQ_JOBS / n)` each) so shard counts compete for
+/// the same core budget.
+pub fn shards_from_env() -> Result<u32, String> {
+    positive_from_env("TQ_SHARDS", 1, "the engine shard count")
+}
+
 /// Reads the write percentage for mixed workloads from `TQ_WRITE_MIX`
 /// (default 0 = read-only) — loadgen only. Each closed-loop client
 /// flips a seeded coin per iteration: with probability `n`% it runs a
@@ -177,6 +187,11 @@ pub const ENV_QUEUE_DEPTH: EnvDoc = (
     "TQ_QUEUE_DEPTH",
     "admission-queue depth; arrivals beyond it are shed; 0 = shed unless a worker is idle; default 16",
 );
+/// `TQ_SHARDS` help row.
+pub const ENV_SHARDS: EnvDoc = (
+    "TQ_SHARDS",
+    "engine shards behind a scatter-gather router; 1 = unsharded single server; default 1",
+);
 /// `TQ_WRITE_MIX` help row.
 pub const ENV_WRITE_MIX: EnvDoc = (
     "TQ_WRITE_MIX",
@@ -226,6 +241,7 @@ mod tests {
                 8,
             ),
             ("TQ_DURATION", duration_secs_from_env, 2),
+            ("TQ_SHARDS", shards_from_env, 1),
         ] {
             std::env::remove_var(var);
             assert_eq!(parse(), Ok(default));

@@ -77,6 +77,7 @@ fn stat(db: &Database, algo: &str, permille: u32, secs: f64, trace: &ExecTrace) 
         algo: algo.into(),
         system: SystemDesc::paper_default(),
         cc_pagefaults: db.store.stats().client_misses,
+        cc_lookups: db.store.stats().client_hits + db.store.stats().client_misses,
         elapsed_time: secs,
         rpcs_number: db.store.stats().sc2cc_read_pages,
         rpcs_total_mb: db.store.stats().rpc_total_bytes() as f64 / 1e6,

@@ -29,8 +29,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use tq_query::JoinAlgo;
+use tq_router::{Router, RouterConfig, RouterStatsSnapshot};
 use tq_server::{
-    CacheMode, Client, QuerySpec, Response, Server, ServerConfig, ServerStatsSnapshot, UpdateTarget,
+    CacheMode, Client, QuerySpec, Response, Server, ServerConfig, ServerStatsSnapshot,
+    UpdateTarget, SHARD_SELF,
 };
 use tq_simrng::SimRng;
 use tq_statsdb::{LatencyStat, LogHistogram};
@@ -41,10 +43,16 @@ use tq_workload::Database;
 pub struct ServeConfig {
     /// Closed-loop client threads.
     pub concurrency: u32,
-    /// Server worker threads.
+    /// Server worker threads (split across shards when `shards > 1`).
     pub workers: usize,
     /// Admission-queue depth (0 = shed unless a worker is idle).
     pub queue_depth: usize,
+    /// Engine shards. 1 serves the single-server path unchanged;
+    /// `n > 1` partitions the database by Rid hash and serves through
+    /// the scatter-gather router, giving each shard
+    /// `max(1, workers / n)` workers so shard counts compete for the
+    /// same core budget.
+    pub shards: u32,
     /// Wall-clock duration to drive load for (warmup included).
     pub duration: Duration,
     /// Leading window whose samples are discarded (spin-up, cold
@@ -70,9 +78,12 @@ pub struct ServeConfig {
 pub struct ServeOutcome {
     /// The exportable latency summary (measured window only).
     pub stat: LatencyStat,
-    /// The server's own counters for the run (warmup included — the
-    /// server doesn't know about the client-side window).
+    /// The engine's own counters for the run (warmup included — the
+    /// server doesn't know about the client-side window). Summed
+    /// across shards in a sharded run.
     pub server: ServerStatsSnapshot,
+    /// The router's counters (sharded runs only).
+    pub router: Option<RouterStatsSnapshot>,
     /// Handles still pinned at any session close (0 in a correct run).
     pub leaked_handles: u64,
 }
@@ -81,6 +92,7 @@ pub struct ServeOutcome {
 struct ClientTally {
     hist: LogHistogram,
     shed: u64,
+    shed_router: u64,
     deadline_exceeded: u64,
     errors: u64,
     commits: u64,
@@ -88,22 +100,93 @@ struct ClientTally {
     leaked: u64,
 }
 
+/// What the clients connect to: one server, or a router over shards.
+/// Either way the conversation is the same wire protocol over the
+/// same in-process duplex streams.
+enum Front {
+    Single(Server),
+    Sharded(Router),
+}
+
+impl Front {
+    fn connect(&self) -> tq_server::DuplexStream {
+        match self {
+            Front::Single(server) => server.connect_in_proc(),
+            Front::Sharded(router) => router.connect_in_proc(),
+        }
+    }
+
+    fn server_stats(&self) -> ServerStatsSnapshot {
+        match self {
+            Front::Single(server) => server.stats(),
+            Front::Sharded(router) => {
+                let mut sum = ServerStatsSnapshot::default();
+                for shard in router.shards() {
+                    let s = shard.stats();
+                    sum.sessions_opened += s.sessions_opened;
+                    sum.sessions_closed += s.sessions_closed;
+                    sum.queries_ok += s.queries_ok;
+                    sum.queries_shed += s.queries_shed;
+                    sum.queries_deadline_exceeded += s.queries_deadline_exceeded;
+                    sum.queries_failed += s.queries_failed;
+                    sum.updates_ok += s.updates_ok;
+                    sum.commits += s.commits;
+                    sum.commit_aborts += s.commit_aborts;
+                    sum.rollbacks += s.rollbacks;
+                }
+                sum
+            }
+        }
+    }
+
+    fn router_stats(&self) -> Option<RouterStatsSnapshot> {
+        match self {
+            Front::Single(_) => None,
+            Front::Sharded(router) => Some(router.stats()),
+        }
+    }
+
+    fn shutdown(self) {
+        match self {
+            Front::Single(server) => server.shutdown(),
+            Front::Sharded(router) => router.shutdown(),
+        }
+    }
+}
+
 /// Runs one closed-loop serving experiment over a base snapshot.
 pub fn run_serve(base: Database, cfg: &ServeConfig) -> ServeOutcome {
-    let server = Server::start(
-        base,
-        ServerConfig {
-            workers: cfg.workers,
-            queue_depth: cfg.queue_depth,
-        },
-    );
+    let front = if cfg.shards > 1 {
+        let router = Router::start_partitioned(
+            &base,
+            cfg.shards,
+            RouterConfig {
+                workers_per_shard: (cfg.workers / cfg.shards as usize).max(1),
+                queue_depth: cfg.queue_depth,
+                // The router's edge admits what a single server of the
+                // same sizing would have in flight: workers running
+                // plus a queue's worth waiting.
+                max_inflight: cfg.workers + cfg.queue_depth,
+            },
+        );
+        drop(base);
+        Front::Sharded(router)
+    } else {
+        Front::Single(Server::start(
+            base,
+            ServerConfig {
+                workers: cfg.workers,
+                queue_depth: cfg.queue_depth,
+            },
+        ))
+    };
     let stop = Arc::new(AtomicBool::new(false));
     let started = Instant::now();
     let warmup = cfg.warmup.min(cfg.duration);
     let measure_from = started + warmup;
     let clients: Vec<_> = (0..cfg.concurrency)
         .map(|i| {
-            let conn = server.connect_in_proc();
+            let conn = front.connect();
             let stop = Arc::clone(&stop);
             let cfg = *cfg;
             std::thread::Builder::new()
@@ -115,12 +198,13 @@ pub fn run_serve(base: Database, cfg: &ServeConfig) -> ServeOutcome {
     std::thread::sleep(cfg.duration);
     stop.store(true, Ordering::Relaxed);
     let mut hist = LogHistogram::new();
-    let (mut shed, mut deadline_exceeded, mut errors) = (0, 0, 0);
+    let (mut shed, mut shed_router, mut deadline_exceeded, mut errors) = (0, 0, 0, 0);
     let (mut commits, mut aborts, mut leaked) = (0, 0, 0);
     for client in clients {
         let tally = client.join().expect("client thread");
         hist.merge(&tally.hist);
         shed += tally.shed;
+        shed_router += tally.shed_router;
         deadline_exceeded += tally.deadline_exceeded;
         errors += tally.errors;
         commits += tally.commits;
@@ -140,14 +224,20 @@ pub fn run_serve(base: Database, cfg: &ServeConfig) -> ServeOutcome {
     } else {
         String::new()
     };
+    let shard_label = if cfg.shards > 1 {
+        format!(" shards={}", cfg.shards)
+    } else {
+        String::new()
+    };
     let stat = LatencyStat::from_histogram(
         format!(
-            "{} pat={} prov={} {}{}",
+            "{} pat={} prov={} {}{}{}",
             cfg.algo.label(),
             cfg.pat_pct,
             cfg.prov_pct,
             mode_label,
-            write_label
+            write_label,
+            shard_label
         ),
         cfg.concurrency,
         cfg.workers as u32,
@@ -155,16 +245,19 @@ pub fn run_serve(base: Database, cfg: &ServeConfig) -> ServeOutcome {
         duration_nanos,
         &hist,
         shed,
+        shed_router,
         deadline_exceeded,
         errors,
         commits,
         aborts,
     );
-    let server_stats = server.stats();
-    server.shutdown();
+    let server_stats = front.server_stats();
+    let router_stats = front.router_stats();
+    front.shutdown();
     ServeOutcome {
         stat,
         server: server_stats,
+        router: router_stats,
         leaked_handles: leaked,
     }
 }
@@ -179,12 +272,17 @@ fn client_loop(
     let mut tally = ClientTally {
         hist: LogHistogram::new(),
         shed: 0,
+        shed_router: 0,
         deadline_exceeded: 0,
         errors: 0,
         commits: 0,
         aborts: 0,
         leaked: 0,
     };
+    // Behind a router, `Overloaded { shard: SHARD_SELF }` is the
+    // router's own edge shedding; any concrete index is a shard queue.
+    // Talking to a single server directly, SHARD_SELF *is* the shard.
+    let routed = cfg.shards > 1;
     // Seeded per client: the read/write coin sequence is reproducible
     // for a given concurrency, independent of scheduling.
     let mut rng = SimRng::seed_from_u64(0xC11E47 ^ u64::from(client_index));
@@ -204,7 +302,7 @@ fn client_loop(
         // error is a correctness failure whenever it happens).
         let measured = t0 >= measure_from;
         if write {
-            write_transaction(&mut client, session, cfg, measured, t0, &mut tally);
+            write_transaction(&mut client, session, cfg, measured, t0, routed, &mut tally);
         } else {
             match client.query(QuerySpec {
                 session,
@@ -218,9 +316,12 @@ fn client_loop(
                         tally.hist.record(t0.elapsed().as_nanos() as u64);
                     }
                 }
-                Ok(Response::Overloaded { .. }) => {
+                Ok(Response::Overloaded { shard, .. }) => {
                     if measured {
                         tally.shed += 1;
+                        if routed && shard == SHARD_SELF {
+                            tally.shed_router += 1;
+                        }
                     }
                     // Closed-loop retry: yield so shed arrivals don't
                     // spin the dispatcher while the queue stays full.
@@ -255,6 +356,7 @@ fn write_transaction<S: std::io::Read + std::io::Write>(
     cfg: &ServeConfig,
     measured: bool,
     t0: Instant,
+    routed: bool,
     tally: &mut ClientTally,
 ) {
     match client.update(
@@ -265,9 +367,12 @@ fn write_transaction<S: std::io::Read + std::io::Write>(
         cfg.deadline_nanos,
     ) {
         Ok(Response::UpdateOk { .. }) => {}
-        Ok(Response::Overloaded { .. }) => {
+        Ok(Response::Overloaded { shard, .. }) => {
             if measured {
                 tally.shed += 1;
+                if routed && shard == SHARD_SELF {
+                    tally.shed_router += 1;
+                }
             }
             std::thread::yield_now();
             return;
@@ -292,9 +397,10 @@ fn write_transaction<S: std::io::Read + std::io::Write>(
                 tally.hist.record(t0.elapsed().as_nanos() as u64);
             }
         }
-        Ok(Response::Aborted { .. }) => {
-            // Validation working as designed, not an error; the server
-            // already rolled the session back and re-pinned it.
+        Ok(Response::Aborted { .. }) | Ok(Response::ShardsAborted { .. }) => {
+            // Validation working as designed, not an error; the engine
+            // already rolled the session back and re-pinned it. Behind
+            // a router the abort arrives typed per shard.
             if measured {
                 tally.aborts += 1;
             }

@@ -1,0 +1,39 @@
+//! # tq-router — scatter-gather serving over engine shards
+//!
+//! The serving layer's scale-out axis. A [`Router`] fronts N engine
+//! shards — each a full `tq-server` instance with its own `Database`,
+//! session table, worker pool, and MVCC epoch chain — holding the
+//! provider trees whose base-build rids hash to it (see
+//! `tq_workload::partition_database`). The router speaks the existing
+//! length-prefixed wire protocol on **both** sides: clients cannot
+//! tell a router from a single server, and shards cannot tell a
+//! router from an ordinary client.
+//!
+//! Per client request the router fans out to every shard (Rid-hash
+//! placement plus range predicates mean any query or update can touch
+//! any shard), then gathers the replies in shard order and merges
+//! them:
+//!
+//! * query/chain results add up; per-operator `Stat` records merge by
+//!   exact field-wise integer summation (`tq_statsdb::merge_stats`,
+//!   the oracle the differential tests pin);
+//! * commits validate per shard — all-committed merges to one
+//!   `Committed { epoch: max, pages: sum }`, any first-committer-wins
+//!   loss becomes a typed `ShardsAborted` naming winners and losers;
+//! * a shard that cannot be reached (or dies mid-reply) degrades the
+//!   link and fails the request with a typed `ShardUnavailable` — the
+//!   router never returns a partial answer and never hangs, because
+//!   the gather phase drains every outstanding reply even after a
+//!   failure (each link stays in request/response lockstep).
+//!
+//! Admission control exists at both layers: each shard sheds at its
+//! own queue (`Overloaded { shard: i }` after the router rewrites the
+//! shard's `SHARD_SELF`), and the router sheds at its own edge
+//! (`Overloaded { shard: SHARD_SELF }`) when `max_inflight` gated
+//! requests are already running — the load generator tells the two
+//! apart in its CSV.
+
+mod merge;
+mod router;
+
+pub use router::{Router, RouterConfig, RouterStatsSnapshot, ShardEndpoint};

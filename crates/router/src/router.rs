@@ -1,0 +1,481 @@
+//! The router proper: shard endpoints, per-connection scatter-gather,
+//! session fan-out, and the router-edge admission gate.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use tq_server::proto::{read_frame, write_frame, Request, Response, SHARD_SELF};
+use tq_server::{DuplexStream, Server, ServerConfig};
+use tq_workload::{partition_database, Database};
+
+use crate::merge;
+
+/// Where one engine shard lives.
+pub enum ShardEndpoint {
+    /// A shard in this process, reached over deterministic in-process
+    /// duplex streams (the default; the load generator uses this).
+    Local(Arc<Server>),
+    /// A shard reachable over TCP. The failure tests use this: killing
+    /// the remote end exercises the `ShardUnavailable` path.
+    Tcp(SocketAddr),
+}
+
+/// Router sizing.
+#[derive(Clone, Copy, Debug)]
+pub struct RouterConfig {
+    /// Worker threads per shard (when the router starts the shards
+    /// itself). A fair comparison against an unsharded server with J
+    /// workers uses `max(1, J / shards)` here.
+    pub workers_per_shard: usize,
+    /// Per-shard admission-queue depth.
+    pub queue_depth: usize,
+    /// Router-edge admission: at most this many gated requests
+    /// (queries, chains, scatters, updates) run at once; the next one
+    /// is shed with `Overloaded { shard: SHARD_SELF }` before any
+    /// shard sees it.
+    pub max_inflight: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            workers_per_shard: 4,
+            queue_depth: 16,
+            max_inflight: 64,
+        }
+    }
+}
+
+#[derive(Default)]
+struct RouterStats {
+    routed: AtomicU64,
+    shed_router: AtomicU64,
+    shard_unavailable: AtomicU64,
+}
+
+/// A point-in-time copy of the router counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RouterStatsSnapshot {
+    /// Gated requests admitted and fanned out.
+    pub routed: u64,
+    /// Requests shed at the router's own admission edge (never reached
+    /// a shard).
+    pub shed_router: u64,
+    /// Requests failed because a shard was unreachable.
+    pub shard_unavailable: u64,
+}
+
+struct RouterInner {
+    endpoints: Vec<ShardEndpoint>,
+    /// Router session → per-shard sessions, in shard order. Global
+    /// across connections, like the shard servers' own session tables.
+    sessions: Mutex<HashMap<u64, Vec<u64>>>,
+    next_session: AtomicU64,
+    inflight: AtomicUsize,
+    max_inflight: usize,
+    stats: RouterStats,
+}
+
+/// The scatter-gather front end. Speaks the `tq-server` wire protocol
+/// to clients; holds one connection per shard per client connection.
+pub struct Router {
+    inner: Arc<RouterInner>,
+    shards: Vec<Arc<Server>>,
+    conn_threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Router {
+    /// Starts one in-process engine shard per database and a router in
+    /// front of them. The caller chooses the partitioning (usually
+    /// `tq_workload::partition_database`).
+    pub fn start(shard_bases: Vec<Database>, config: RouterConfig) -> Self {
+        assert!(!shard_bases.is_empty(), "a router needs at least one shard");
+        let shards: Vec<Arc<Server>> = shard_bases
+            .into_iter()
+            .map(|base| {
+                Arc::new(Server::start(
+                    base,
+                    ServerConfig {
+                        workers: config.workers_per_shard.max(1),
+                        queue_depth: config.queue_depth,
+                    },
+                ))
+            })
+            .collect();
+        let endpoints = shards
+            .iter()
+            .map(|s| ShardEndpoint::Local(Arc::clone(s)))
+            .collect();
+        let mut router = Self::start_with_endpoints(endpoints, config);
+        router.shards = shards;
+        router
+    }
+
+    /// Partitions `base` by Rid hash and starts a `shards`-way router
+    /// over the pieces.
+    pub fn start_partitioned(base: &Database, shards: u32, config: RouterConfig) -> Self {
+        Self::start(partition_database(base, shards), config)
+    }
+
+    /// Starts a router over externally managed shards (local handles
+    /// or TCP addresses). Unreachable TCP shards degrade to
+    /// `ShardUnavailable` per request rather than failing startup.
+    pub fn start_with_endpoints(endpoints: Vec<ShardEndpoint>, config: RouterConfig) -> Self {
+        assert!(!endpoints.is_empty(), "a router needs at least one shard");
+        Self {
+            inner: Arc::new(RouterInner {
+                endpoints,
+                sessions: Mutex::new(HashMap::new()),
+                next_session: AtomicU64::new(1),
+                inflight: AtomicUsize::new(0),
+                max_inflight: config.max_inflight.max(1),
+                stats: RouterStats::default(),
+            }),
+            shards: Vec::new(),
+            conn_threads: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Opens an in-process client connection, exactly like
+    /// [`Server::connect_in_proc`] — clients cannot tell the two
+    /// apart.
+    pub fn connect_in_proc(&self) -> DuplexStream {
+        let (client, router_end) = tq_server::duplex_pair();
+        let inner = Arc::clone(&self.inner);
+        let handle = std::thread::Builder::new()
+            .name("tq-route".into())
+            .spawn(move || route_conn(&inner, router_end))
+            .expect("spawn router connection handler");
+        self.conn_threads.lock().unwrap().push(handle);
+        client
+    }
+
+    /// Serves the wire protocol on a bound TCP listener, one handler
+    /// thread per accepted connection.
+    pub fn listen(&self, listener: TcpListener) {
+        let inner = Arc::clone(&self.inner);
+        std::thread::Builder::new()
+            .name("tq-route-accept".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    let Ok(stream) = stream else { return };
+                    let inner = Arc::clone(&inner);
+                    let _ = std::thread::Builder::new()
+                        .name("tq-route-tcp".into())
+                        .spawn(move || route_conn(&inner, stream));
+                }
+            })
+            .expect("spawn router acceptor");
+    }
+
+    /// The in-process engine shards (empty when the router was started
+    /// over external endpoints).
+    pub fn shards(&self) -> &[Arc<Server>] {
+        &self.shards
+    }
+
+    /// Router counters.
+    pub fn stats(&self) -> RouterStatsSnapshot {
+        let s = &self.inner.stats;
+        RouterStatsSnapshot {
+            routed: s.routed.load(Ordering::Relaxed),
+            shed_router: s.shed_router.load(Ordering::Relaxed),
+            shard_unavailable: s.shard_unavailable.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Joins the connection handlers, then shuts the in-process shards
+    /// down. Callers must drop their client streams first.
+    pub fn shutdown(self) {
+        let mut threads = self.conn_threads.lock().unwrap();
+        for handle in threads.drain(..) {
+            let _ = handle.join();
+        }
+        drop(threads);
+        // The handlers held the only other references to the inner
+        // state (and through it, the Local endpoints): once they are
+        // joined, the shard servers can be unwrapped and drained.
+        drop(self.inner);
+        for shard in self.shards {
+            if let Ok(server) = Arc::try_unwrap(shard) {
+                server.shutdown();
+            }
+        }
+    }
+}
+
+/// One shard connection within one client connection. `Down` is
+/// sticky: once a link fails, every later request on this client
+/// connection reports that shard unavailable rather than guessing at
+/// the peer's framing state.
+enum Link {
+    Up(Box<dyn Channel>),
+    Down(String),
+}
+
+trait Channel: Read + Write + Send {}
+impl<T: Read + Write + Send> Channel for T {}
+
+fn open_link(endpoint: &ShardEndpoint) -> Link {
+    match endpoint {
+        ShardEndpoint::Local(server) => Link::Up(Box::new(server.connect_in_proc())),
+        ShardEndpoint::Tcp(addr) => match TcpStream::connect(addr) {
+            Ok(stream) => Link::Up(Box::new(stream)),
+            Err(e) => Link::Down(format!("connect failed: {e}")),
+        },
+    }
+}
+
+/// One client connection: the same strict request→response loop as a
+/// shard's `serve_conn`, with fan-out in the middle.
+fn route_conn<S: Read + Write>(inner: &Arc<RouterInner>, mut client: S) {
+    let mut links: Vec<Link> = inner.endpoints.iter().map(open_link).collect();
+    loop {
+        let payload = match read_frame(&mut client) {
+            Ok(p) => p,
+            Err(_) => return,
+        };
+        let resp = match Request::decode(&payload) {
+            Ok(req) => handle_request(inner, &mut links, req),
+            Err(e) => Response::Error {
+                msg: format!("bad request: {e}"),
+            },
+        };
+        if matches!(resp, Response::ShardUnavailable { .. }) {
+            inner
+                .stats
+                .shard_unavailable
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        if write_frame(&mut client, &resp.encode()).is_err() {
+            return;
+        }
+    }
+}
+
+/// Writes the per-shard requests to every live link, then reads the
+/// replies back in shard order. The two phases are what makes this a
+/// scatter-gather rather than N sequential round trips: every shard
+/// is working while the router waits on the first reply. A failed
+/// link is marked `Down` and reported — but the gather keeps draining
+/// the other links so each one stays in request/response lockstep.
+fn fan_out(links: &mut [Link], reqs: &[Request]) -> merge::Gathered {
+    debug_assert_eq!(links.len(), reqs.len());
+    let mut wrote = vec![false; links.len()];
+    for i in 0..links.len() {
+        if let Link::Up(conn) = &mut links[i] {
+            match write_frame(conn, &reqs[i].encode()) {
+                Ok(()) => wrote[i] = true,
+                Err(e) => links[i] = Link::Down(format!("write failed: {e}")),
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(links.len());
+    for i in 0..links.len() {
+        if !wrote[i] {
+            let detail = match &links[i] {
+                Link::Down(d) => d.clone(),
+                Link::Up(_) => unreachable!("every live link was written"),
+            };
+            out.push(Err(detail));
+            continue;
+        }
+        let Link::Up(conn) = &mut links[i] else {
+            unreachable!("wrote[i] implies the link was up");
+        };
+        let reply = read_frame(conn)
+            .map_err(|e| format!("read failed: {e}"))
+            .and_then(|payload| {
+                Response::decode(&payload).map_err(|e| format!("bad shard payload: {e}"))
+            });
+        match reply {
+            Ok(resp) => out.push(Ok(resp)),
+            Err(detail) => {
+                links[i] = Link::Down(detail.clone());
+                out.push(Err(detail));
+            }
+        }
+    }
+    out
+}
+
+/// RAII slot in the router-edge admission gate.
+struct Gate<'a> {
+    inflight: &'a AtomicUsize,
+}
+
+impl<'a> Gate<'a> {
+    fn try_enter(inner: &'a RouterInner) -> Option<Self> {
+        if inner.inflight.fetch_add(1, Ordering::SeqCst) >= inner.max_inflight {
+            inner.inflight.fetch_sub(1, Ordering::SeqCst);
+            None
+        } else {
+            Some(Gate {
+                inflight: &inner.inflight,
+            })
+        }
+    }
+}
+
+impl Drop for Gate<'_> {
+    fn drop(&mut self) {
+        self.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn shard_sessions(inner: &RouterInner, session: u64) -> Option<Vec<u64>> {
+    inner.sessions.lock().unwrap().get(&session).cloned()
+}
+
+fn unknown_session(session: u64) -> Response {
+    Response::Error {
+        msg: format!("unknown session {session}"),
+    }
+}
+
+fn handle_request(inner: &RouterInner, links: &mut [Link], req: Request) -> Response {
+    match req {
+        Request::Hello { mode } => {
+            let reqs = vec![Request::Hello { mode }; links.len()];
+            let parts = fan_out(links, &reqs);
+            if let Some(fail) = merge::failures(&parts) {
+                return fail;
+            }
+            let mut per_shard = Vec::with_capacity(parts.len());
+            for (i, p) in parts.iter().enumerate() {
+                match p {
+                    Ok(Response::SessionOpened { session }) => per_shard.push(*session),
+                    Ok(other) => return merge::out_of_protocol(i, other),
+                    Err(_) => unreachable!("unavailability already handled"),
+                }
+            }
+            let session = inner.next_session.fetch_add(1, Ordering::Relaxed);
+            inner.sessions.lock().unwrap().insert(session, per_shard);
+            Response::SessionOpened { session }
+        }
+        Request::Query(spec) => gathered_query(inner, links, spec, false),
+        // A router never forwards Scatter itself (a shard would answer
+        // with a nested single-partial ScatterOk): it fans out plain
+        // queries and builds the partial list from the gather.
+        Request::Scatter(spec) => gathered_query(inner, links, spec, true),
+        Request::Chain(spec) => {
+            let Some(sessions) = shard_sessions(inner, spec.session) else {
+                return unknown_session(spec.session);
+            };
+            let Some(_gate) = admit(inner) else {
+                return router_shed(inner);
+            };
+            let reqs: Vec<Request> = sessions
+                .iter()
+                .map(|&s| {
+                    let mut q = spec;
+                    q.session = s;
+                    Request::Chain(q)
+                })
+                .collect();
+            merge::merge_query(&fan_out(links, &reqs), false)
+        }
+        Request::Update {
+            session,
+            target,
+            sel_pct,
+            delta,
+            deadline_nanos,
+        } => {
+            let Some(sessions) = shard_sessions(inner, session) else {
+                return unknown_session(session);
+            };
+            let Some(_gate) = admit(inner) else {
+                return router_shed(inner);
+            };
+            let reqs: Vec<Request> = sessions
+                .iter()
+                .map(|&s| Request::Update {
+                    session: s,
+                    target,
+                    sel_pct,
+                    delta,
+                    deadline_nanos,
+                })
+                .collect();
+            merge::merge_update(&fan_out(links, &reqs))
+        }
+        Request::Commit { session } => {
+            let Some(sessions) = shard_sessions(inner, session) else {
+                return unknown_session(session);
+            };
+            let reqs: Vec<Request> = sessions
+                .iter()
+                .map(|&s| Request::Commit { session: s })
+                .collect();
+            merge::merge_commit(&fan_out(links, &reqs))
+        }
+        Request::Abort { session } => {
+            let Some(sessions) = shard_sessions(inner, session) else {
+                return unknown_session(session);
+            };
+            let reqs: Vec<Request> = sessions
+                .iter()
+                .map(|&s| Request::Abort { session: s })
+                .collect();
+            merge::merge_abort(&fan_out(links, &reqs))
+        }
+        Request::Close { session } => {
+            let Some(sessions) = shard_sessions(inner, session) else {
+                return unknown_session(session);
+            };
+            let reqs: Vec<Request> = sessions
+                .iter()
+                .map(|&s| Request::Close { session: s })
+                .collect();
+            let resp = merge::merge_close(&fan_out(links, &reqs));
+            // The mapping is gone either way: a half-closed session is
+            // unusable, and keeping it would leak map entries.
+            inner.sessions.lock().unwrap().remove(&session);
+            resp
+        }
+    }
+}
+
+fn gathered_query(
+    inner: &RouterInner,
+    links: &mut [Link],
+    spec: tq_server::QuerySpec,
+    scatter: bool,
+) -> Response {
+    let Some(sessions) = shard_sessions(inner, spec.session) else {
+        return unknown_session(spec.session);
+    };
+    let Some(_gate) = admit(inner) else {
+        return router_shed(inner);
+    };
+    let reqs: Vec<Request> = sessions
+        .iter()
+        .map(|&s| {
+            let mut q = spec;
+            q.session = s;
+            Request::Query(q)
+        })
+        .collect();
+    merge::merge_query(&fan_out(links, &reqs), scatter)
+}
+
+fn admit(inner: &RouterInner) -> Option<Gate<'_>> {
+    let gate = Gate::try_enter(inner);
+    if gate.is_some() {
+        inner.stats.routed.fetch_add(1, Ordering::Relaxed);
+    }
+    gate
+}
+
+fn router_shed(inner: &RouterInner) -> Response {
+    inner.stats.shed_router.fetch_add(1, Ordering::Relaxed);
+    Response::Overloaded {
+        queue_depth: inner.max_inflight as u32,
+        shard: SHARD_SELF,
+    }
+}

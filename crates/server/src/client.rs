@@ -73,15 +73,31 @@ impl<S: Read + Write> Client<S> {
     }
 
     /// Runs one query. The caller matches on the response: `QueryOk`,
-    /// `Overloaded`, and `DeadlineExceeded` are all ordinary outcomes
-    /// of a served query, not client errors.
+    /// `Overloaded`, `DeadlineExceeded`, and (behind a router)
+    /// `ShardUnavailable` are all ordinary outcomes of a served query,
+    /// not client errors.
     pub fn query(&mut self, spec: QuerySpec) -> Result<Response, ClientError> {
         match self.call(&Request::Query(spec))? {
             resp @ (Response::QueryOk { .. }
             | Response::Overloaded { .. }
-            | Response::DeadlineExceeded { .. }) => Ok(resp),
+            | Response::DeadlineExceeded { .. }
+            | Response::ShardUnavailable { .. }) => Ok(resp),
             Response::Error { msg } => Err(ClientError::Server(msg)),
             _ => Err(ClientError::Unexpected("Query")),
+        }
+    }
+
+    /// Runs one query with per-shard partials in the reply. A plain
+    /// server answers with a single self-partial; a router answers
+    /// with one partial per engine shard plus the merged totals.
+    pub fn scatter(&mut self, spec: QuerySpec) -> Result<Response, ClientError> {
+        match self.call(&Request::Scatter(spec))? {
+            resp @ (Response::ScatterOk { .. }
+            | Response::Overloaded { .. }
+            | Response::DeadlineExceeded { .. }
+            | Response::ShardUnavailable { .. }) => Ok(resp),
+            Response::Error { msg } => Err(ClientError::Server(msg)),
+            _ => Err(ClientError::Unexpected("Scatter")),
         }
     }
 
@@ -91,7 +107,8 @@ impl<S: Read + Write> Client<S> {
         match self.call(&Request::Chain(spec))? {
             resp @ (Response::QueryOk { .. }
             | Response::Overloaded { .. }
-            | Response::DeadlineExceeded { .. }) => Ok(resp),
+            | Response::DeadlineExceeded { .. }
+            | Response::ShardUnavailable { .. }) => Ok(resp),
             Response::Error { msg } => Err(ClientError::Server(msg)),
             _ => Err(ClientError::Unexpected("Chain")),
         }
@@ -116,18 +133,22 @@ impl<S: Read + Write> Client<S> {
         })? {
             resp @ (Response::UpdateOk { .. }
             | Response::Overloaded { .. }
-            | Response::DeadlineExceeded { .. }) => Ok(resp),
+            | Response::DeadlineExceeded { .. }
+            | Response::ShardUnavailable { .. }) => Ok(resp),
             Response::Error { msg } => Err(ClientError::Server(msg)),
             _ => Err(ClientError::Unexpected("Update")),
         }
     }
 
-    /// Commits the session's writes. `Committed` and `Aborted` are both
-    /// ordinary outcomes — an abort is the validation protocol working,
-    /// not a failure.
+    /// Commits the session's writes. `Committed`, `Aborted`, and
+    /// (behind a router) `ShardsAborted` are all ordinary outcomes —
+    /// an abort is the validation protocol working, not a failure.
     pub fn commit(&mut self, session: u64) -> Result<Response, ClientError> {
         match self.call(&Request::Commit { session })? {
-            resp @ (Response::Committed { .. } | Response::Aborted { .. }) => Ok(resp),
+            resp @ (Response::Committed { .. }
+            | Response::Aborted { .. }
+            | Response::ShardsAborted { .. }
+            | Response::ShardUnavailable { .. }) => Ok(resp),
             Response::Error { msg } => Err(ClientError::Server(msg)),
             _ => Err(ClientError::Unexpected("Commit")),
         }

@@ -34,8 +34,8 @@ pub mod transport;
 
 pub use client::{Client, ClientError};
 pub use proto::{
-    read_frame, write_frame, CacheMode, ChainQuerySpec, DecodeError, FrameError, QuerySpec,
-    Request, Response, UpdateTarget, MAX_FRAME,
+    read_frame, write_frame, CacheMode, ChainQuerySpec, DecodeError, FrameError, PartialStat,
+    QuerySpec, Request, Response, ShardAbort, UpdateTarget, MAX_FRAME, SHARD_SELF,
 };
 pub use sched::{Overloaded, Scheduler};
 pub use server::{Server, ServerConfig, ServerStatsSnapshot};

@@ -309,6 +309,7 @@ pub fn chain_stat_record(
             same_workstation: true,
         },
         cc_pagefaults: cell.io.client_misses,
+        cc_lookups: cell.io.client_hits + cell.io.client_misses,
         elapsed_time: cell.secs,
         rpcs_number: cell.io.sc2cc_read_pages,
         rpcs_total_mb: cell.io.rpc_total_bytes() as f64 / 1e6,
@@ -481,6 +482,7 @@ pub fn update_stat_record(
             same_workstation: true,
         },
         cc_pagefaults: cell.io.client_misses,
+        cc_lookups: cell.io.client_hits + cell.io.client_misses,
         elapsed_time: cell.secs,
         rpcs_number: cell.io.sc2cc_read_pages,
         rpcs_total_mb: cell.io.rpc_total_bytes() as f64 / 1e6,
@@ -561,6 +563,7 @@ pub fn stat_record(db: &Database, cell: &JoinCell, pat_pct: u32, prov_pct: u32) 
             same_workstation: true,
         },
         cc_pagefaults: cell.io.client_misses,
+        cc_lookups: cell.io.client_hits + cell.io.client_misses,
         elapsed_time: cell.secs,
         rpcs_number: cell.io.sc2cc_read_pages,
         rpcs_total_mb: cell.io.rpc_total_bytes() as f64 / 1e6,

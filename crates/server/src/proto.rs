@@ -23,6 +23,12 @@ use tq_statsdb::{ExtentDesc, OperatorStat, QueryDesc, Stat, SystemDesc};
 /// memory-exhaustion vector.
 pub const MAX_FRAME: usize = 16 << 20;
 
+/// Shard index meaning "the admission edge of the process you are
+/// talking to" in [`Response::Overloaded`]. A plain engine shard
+/// always answers with this; only a router, relaying a downstream
+/// shard's rejection, fills in a real shard index.
+pub const SHARD_SELF: u32 = u32::MAX;
+
 /// Why a frame could not be read or written.
 #[derive(Debug)]
 pub enum FrameError {
@@ -244,6 +250,36 @@ pub enum Request {
     /// Run one N-way binding-chain query. Answered with the same
     /// [`Response::QueryOk`] shape as a 2-way join.
     Chain(ChainQuerySpec),
+    /// Run one join query *and* report the per-shard partials behind
+    /// the merged answer. A plain engine shard answers with a
+    /// single-partial [`Response::ScatterOk`] (its own cell, shard
+    /// [`SHARD_SELF`]); a router fans the query to every shard and
+    /// returns one partial per shard plus the merged totals.
+    Scatter(QuerySpec),
+}
+
+/// One shard's contribution to a scattered query: the cell the shard
+/// measured locally, exactly as its own figure harness would have.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PartialStat {
+    /// Shard index (or [`SHARD_SELF`] when a plain server answers).
+    pub shard: u32,
+    /// Result tuples this shard produced.
+    pub results: u64,
+    /// The shard-local measurement.
+    pub stat: Stat,
+}
+
+/// One shard's first-committer-wins rejection inside a multi-shard
+/// commit.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardAbort {
+    /// Shard whose validation failed.
+    pub shard: u32,
+    /// A file both write-sets touched on that shard.
+    pub conflict_file: String,
+    /// The epoch whose publication won the race there.
+    pub conflict_epoch: u64,
 }
 
 /// Server → client messages.
@@ -268,6 +304,10 @@ pub enum Response {
     Overloaded {
         /// The depth the queue was at.
         queue_depth: u32,
+        /// Where the shed happened: [`SHARD_SELF`] at the edge of the
+        /// answering process itself; a real index when a router is
+        /// relaying a downstream engine shard's rejection.
+        shard: u32,
     },
     /// The query's simulated-time deadline fired; the query was
     /// cancelled at an operator boundary and its working state
@@ -320,6 +360,39 @@ pub enum Response {
     RolledBack {
         /// Dirty pages that were thrown away.
         discarded_pages: u64,
+    },
+    /// A scattered query finished: the merged answer plus the
+    /// per-shard partials it was merged from. `results` and `stat`
+    /// are exactly what [`Response::QueryOk`] would carry; the
+    /// partials are the audit trail (`stat` must equal
+    /// `merge_stats(partials)` — the differential tests pin it).
+    ScatterOk {
+        /// Merged result tuples (sum of the partials').
+        results: u64,
+        /// The merged measurement.
+        stat: Box<Stat>,
+        /// One entry per shard that answered, in shard order.
+        partials: Vec<PartialStat>,
+    },
+    /// A shard could not be reached (or died mid-reply). The router
+    /// refuses to return a partial answer: the whole request fails
+    /// with this typed error instead of a silent undercount.
+    ShardUnavailable {
+        /// The unreachable shard.
+        shard: u32,
+        /// Transport-level cause, human-readable.
+        detail: String,
+    },
+    /// A multi-shard commit did not validate everywhere: at least one
+    /// shard's first-committer-wins check failed. Shards that had
+    /// already validated published their epochs (listed in
+    /// `committed`); the losing shards' writes are discarded and their
+    /// sessions re-pinned, like a single-shard [`Response::Aborted`].
+    ShardsAborted {
+        /// Shards whose local validation succeeded and published.
+        committed: Vec<u32>,
+        /// One entry per shard whose validation failed.
+        aborts: Vec<ShardAbort>,
     },
 }
 
@@ -426,6 +499,7 @@ fn put_stat(out: &mut Vec<u8>, s: &Stat) {
     put_u64(out, s.system.client_cache_kb);
     put_bool(out, s.system.same_workstation);
     put_u64(out, s.cc_pagefaults);
+    put_u64(out, s.cc_lookups);
     put_f64(out, s.elapsed_time);
     put_u64(out, s.rpcs_number);
     put_f64(out, s.rpcs_total_mb);
@@ -497,6 +571,14 @@ impl Request {
                 out.push(policy_code(q.policy));
                 put_u64(&mut out, q.deadline_nanos);
             }
+            Request::Scatter(q) => {
+                out.push(8);
+                put_u64(&mut out, q.session);
+                out.push(algo_code(q.algo));
+                put_u32(&mut out, q.pat_pct);
+                put_u32(&mut out, q.prov_pct);
+                put_u64(&mut out, q.deadline_nanos);
+            }
         }
         out
     }
@@ -541,6 +623,13 @@ impl Request {
                 policy: policy_from(c.u8()?)?,
                 deadline_nanos: c.u64()?,
             }),
+            8 => Request::Scatter(QuerySpec {
+                session: c.u64()?,
+                algo: algo_from(c.u8()?)?,
+                pat_pct: c.u32()?,
+                prov_pct: c.u32()?,
+                deadline_nanos: c.u64()?,
+            }),
             other => return Err(DecodeError::BadTag(other)),
         };
         c.finish()?;
@@ -562,9 +651,10 @@ impl Response {
                 put_u64(&mut out, *results);
                 put_stat(&mut out, stat);
             }
-            Response::Overloaded { queue_depth } => {
+            Response::Overloaded { queue_depth, shard } => {
                 out.push(130);
                 put_u32(&mut out, *queue_depth);
+                put_u32(&mut out, *shard);
             }
             Response::DeadlineExceeded { elapsed_nanos } => {
                 out.push(131);
@@ -606,6 +696,39 @@ impl Response {
                 out.push(137);
                 put_u64(&mut out, *discarded_pages);
             }
+            Response::ScatterOk {
+                results,
+                stat,
+                partials,
+            } => {
+                out.push(138);
+                put_u64(&mut out, *results);
+                put_stat(&mut out, stat);
+                put_u32(&mut out, partials.len() as u32);
+                for p in partials {
+                    put_u32(&mut out, p.shard);
+                    put_u64(&mut out, p.results);
+                    put_stat(&mut out, &p.stat);
+                }
+            }
+            Response::ShardUnavailable { shard, detail } => {
+                out.push(139);
+                put_u32(&mut out, *shard);
+                put_str(&mut out, detail);
+            }
+            Response::ShardsAborted { committed, aborts } => {
+                out.push(140);
+                put_u32(&mut out, committed.len() as u32);
+                for s in committed {
+                    put_u32(&mut out, *s);
+                }
+                put_u32(&mut out, aborts.len() as u32);
+                for a in aborts {
+                    put_u32(&mut out, a.shard);
+                    put_str(&mut out, &a.conflict_file);
+                    put_u64(&mut out, a.conflict_epoch);
+                }
+            }
         }
         out
     }
@@ -621,6 +744,7 @@ impl Response {
             },
             130 => Response::Overloaded {
                 queue_depth: c.u32()?,
+                shard: c.u32()?,
             },
             131 => Response::DeadlineExceeded {
                 elapsed_nanos: c.u64()?,
@@ -646,6 +770,48 @@ impl Response {
             137 => Response::RolledBack {
                 discarded_pages: c.u64()?,
             },
+            138 => {
+                let results = c.u64()?;
+                let stat = Box::new(c.stat()?);
+                // A partial is at least shard + results + a minimal
+                // Stat (~126 bytes of fixed-width fields): 100 is a
+                // safe floor for the forged-count guard.
+                let n = c.count(100)?;
+                let mut partials = Vec::new();
+                for _ in 0..n {
+                    partials.push(PartialStat {
+                        shard: c.u32()?,
+                        results: c.u64()?,
+                        stat: c.stat()?,
+                    });
+                }
+                Response::ScatterOk {
+                    results,
+                    stat,
+                    partials,
+                }
+            }
+            139 => Response::ShardUnavailable {
+                shard: c.u32()?,
+                detail: c.string()?,
+            },
+            140 => {
+                let n_committed = c.count(4)?;
+                let mut committed = Vec::new();
+                for _ in 0..n_committed {
+                    committed.push(c.u32()?);
+                }
+                let n_aborts = c.count(16)?;
+                let mut aborts = Vec::new();
+                for _ in 0..n_aborts {
+                    aborts.push(ShardAbort {
+                        shard: c.u32()?,
+                        conflict_file: c.string()?,
+                        conflict_epoch: c.u64()?,
+                    });
+                }
+                Response::ShardsAborted { committed, aborts }
+            }
             other => return Err(DecodeError::BadTag(other)),
         };
         c.finish()?;
@@ -773,6 +939,7 @@ impl<'a> Cursor<'a> {
             same_workstation: self.boolean()?,
         };
         let cc_pagefaults = self.u64()?;
+        let cc_lookups = self.u64()?;
         let elapsed_time = self.f64()?;
         let rpcs_number = self.u64()?;
         let rpcs_total_mb = self.f64()?;
@@ -798,6 +965,7 @@ impl<'a> Cursor<'a> {
             algo,
             system,
             cc_pagefaults,
+            cc_lookups,
             elapsed_time,
             rpcs_number,
             rpcs_total_mb,

@@ -27,8 +27,8 @@ use crate::measure::{
     measure_update_current, run_join_cell_with, stat_record, update_stat_record,
 };
 use crate::proto::{
-    read_frame, write_frame, CacheMode, ChainQuerySpec, FrameError, QuerySpec, Request, Response,
-    UpdateTarget,
+    read_frame, write_frame, CacheMode, ChainQuerySpec, FrameError, PartialStat, QuerySpec,
+    Request, Response, UpdateTarget, SHARD_SELF,
 };
 use crate::sched::Scheduler;
 use crate::session::{CommitOutcome, SessionManager};
@@ -224,6 +224,22 @@ fn handle_request(inner: &Arc<Inner>, req: Request) -> Response {
         }
         Request::Query(spec) => dispatch_query(inner, spec),
         Request::Chain(spec) => dispatch_chain(inner, spec),
+        // A plain engine shard *is* the whole database from its own
+        // point of view: a scattered query runs the ordinary query path
+        // and reports itself as the single partial. A router overrides
+        // this by fanning out before any shard sees the request.
+        Request::Scatter(spec) => match dispatch_query(inner, spec) {
+            Response::QueryOk { results, stat } => Response::ScatterOk {
+                results,
+                partials: vec![PartialStat {
+                    shard: SHARD_SELF,
+                    results,
+                    stat: (*stat).clone(),
+                }],
+                stat,
+            },
+            other => other,
+        },
         Request::Close { session } => match inner.sessions.close(session) {
             Ok(report) => {
                 inner.stats.sessions_closed.fetch_add(1, Ordering::Relaxed);
@@ -290,6 +306,7 @@ fn dispatch_query(inner: &Arc<Inner>, spec: QuerySpec) -> Response {
         inner.stats.queries_shed.fetch_add(1, Ordering::Relaxed);
         return Response::Overloaded {
             queue_depth: overloaded.queue_depth,
+            shard: SHARD_SELF,
         };
     }
     rx.recv().unwrap_or_else(|_| Response::Error {
@@ -311,6 +328,7 @@ fn dispatch_chain(inner: &Arc<Inner>, spec: ChainQuerySpec) -> Response {
         inner.stats.queries_shed.fetch_add(1, Ordering::Relaxed);
         return Response::Overloaded {
             queue_depth: overloaded.queue_depth,
+            shard: SHARD_SELF,
         };
     }
     rx.recv().unwrap_or_else(|_| Response::Error {
@@ -339,6 +357,7 @@ fn dispatch_update(
         inner.stats.queries_shed.fetch_add(1, Ordering::Relaxed);
         return Response::Overloaded {
             queue_depth: overloaded.queue_depth,
+            shard: SHARD_SELF,
         };
     }
     rx.recv().unwrap_or_else(|_| Response::Error {

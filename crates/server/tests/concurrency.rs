@@ -307,8 +307,9 @@ fn saturated_server_sheds_instead_of_queueing_unboundedly() {
                         .unwrap();
                     match resp {
                         Response::QueryOk { .. } => ok += 1,
-                        Response::Overloaded { queue_depth } => {
+                        Response::Overloaded { queue_depth, shard } => {
                             assert_eq!(queue_depth, 1);
+                            assert_eq!(shard, tq_server::SHARD_SELF);
                             shed += 1;
                         }
                         other => panic!("unexpected {other:?}"),

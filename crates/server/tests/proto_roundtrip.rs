@@ -4,8 +4,8 @@
 
 use tq_query::{JoinAlgo, PlannerPolicy};
 use tq_server::proto::{
-    read_frame, write_frame, CacheMode, ChainQuerySpec, DecodeError, FrameError, QuerySpec,
-    Request, Response, UpdateTarget, MAX_FRAME,
+    read_frame, write_frame, CacheMode, ChainQuerySpec, DecodeError, FrameError, PartialStat,
+    QuerySpec, Request, Response, ShardAbort, UpdateTarget, MAX_FRAME,
 };
 use tq_simrng::SimRng;
 use tq_statsdb::{ExtentDesc, OperatorStat, QueryDesc, Stat, SystemDesc};
@@ -75,6 +75,7 @@ fn rng_stat(rng: &mut SimRng) -> Stat {
             same_workstation: rng.bool(),
         },
         cc_pagefaults: rng.next_u64(),
+        cc_lookups: rng.next_u64(),
         elapsed_time: rng_f64(rng),
         rpcs_number: rng.next_u64(),
         rpcs_total_mb: rng_f64(rng),
@@ -87,7 +88,7 @@ fn rng_stat(rng: &mut SimRng) -> Stat {
 }
 
 fn rng_request(rng: &mut SimRng) -> Request {
-    match rng.index(7) {
+    match rng.index(8) {
         0 => Request::Hello {
             mode: if rng.bool() {
                 CacheMode::Warm
@@ -131,6 +132,13 @@ fn rng_request(rng: &mut SimRng) -> Request {
             ][rng.index(3)],
             deadline_nanos: rng.next_u64(),
         }),
+        6 => Request::Scatter(QuerySpec {
+            session: rng.next_u64(),
+            algo: rng_algo(rng),
+            pat_pct: rng.next_u32(),
+            prov_pct: rng.next_u32(),
+            deadline_nanos: rng.next_u64(),
+        }),
         _ => Request::Close {
             session: rng.next_u64(),
         },
@@ -138,7 +146,7 @@ fn rng_request(rng: &mut SimRng) -> Request {
 }
 
 fn rng_response(rng: &mut SimRng) -> Response {
-    match rng.index(10) {
+    match rng.index(13) {
         0 => Response::SessionOpened {
             session: rng.next_u64(),
         },
@@ -148,6 +156,7 @@ fn rng_response(rng: &mut SimRng) -> Response {
         },
         2 => Response::Overloaded {
             queue_depth: rng.next_u32(),
+            shard: rng.next_u32(),
         },
         3 => Response::DeadlineExceeded {
             elapsed_nanos: rng.next_u64(),
@@ -172,6 +181,31 @@ fn rng_response(rng: &mut SimRng) -> Response {
         8 => Response::RolledBack {
             discarded_pages: rng.next_u64(),
         },
+        9 => Response::ScatterOk {
+            results: rng.next_u64(),
+            stat: Box::new(rng_stat(rng)),
+            partials: (0..rng.index(4))
+                .map(|_| PartialStat {
+                    shard: rng.next_u32(),
+                    results: rng.next_u64(),
+                    stat: rng_stat(rng),
+                })
+                .collect(),
+        },
+        10 => Response::ShardUnavailable {
+            shard: rng.next_u32(),
+            detail: rng_string(rng),
+        },
+        11 => Response::ShardsAborted {
+            committed: (0..rng.index(5)).map(|_| rng.next_u32()).collect(),
+            aborts: (0..rng.index(4))
+                .map(|_| ShardAbort {
+                    shard: rng.next_u32(),
+                    conflict_file: rng_string(rng),
+                    conflict_epoch: rng.next_u64(),
+                })
+                .collect(),
+        },
         _ => Response::Error {
             msg: rng_string(rng),
         },
@@ -189,6 +223,7 @@ fn stat_bits_eq(a: &Stat, b: &Stat) -> bool {
         && a.algo == b.algo
         && a.system == b.system
         && a.cc_pagefaults == b.cc_pagefaults
+        && a.cc_lookups == b.cc_lookups
         && f(a.elapsed_time) == f(b.elapsed_time)
         && a.rpcs_number == b.rpcs_number
         && f(a.rpcs_total_mb) == f(b.rpcs_total_mb)
@@ -221,6 +256,25 @@ fn response_bits_eq(a: &Response, b: &Response) -> bool {
                 stat: sb,
             },
         ) => ua == ub && stat_bits_eq(sa, sb),
+        (
+            Response::ScatterOk {
+                results: ra,
+                stat: sa,
+                partials: pa,
+            },
+            Response::ScatterOk {
+                results: rb,
+                stat: sb,
+                partials: pb,
+            },
+        ) => {
+            ra == rb
+                && stat_bits_eq(sa, sb)
+                && pa.len() == pb.len()
+                && pa.iter().zip(pb).all(|(x, y)| {
+                    x.shard == y.shard && x.results == y.results && stat_bits_eq(&x.stat, &y.stat)
+                })
+        }
         _ => a == b,
     }
 }

@@ -164,8 +164,13 @@ pub struct LatencyStat {
     pub duration_nanos: u64,
     /// Queries answered `QueryOk`.
     pub queries_ok: u64,
-    /// Queries shed by admission control.
+    /// Queries shed by admission control — all targets combined.
     pub queries_shed: u64,
+    /// Of [`LatencyStat::queries_shed`], the queries shed at the
+    /// scatter-gather *router's* admission edge rather than by an
+    /// engine shard. Always 0 for unsharded runs; the shard-level
+    /// count is `queries_shed - shed_router`.
+    pub shed_router: u64,
     /// Queries cancelled by their deadline.
     pub deadline_exceeded: u64,
     /// Queries answered with a protocol/server error.
@@ -199,6 +204,7 @@ impl LatencyStat {
         duration_nanos: u64,
         hist: &LogHistogram,
         queries_shed: u64,
+        shed_router: u64,
         deadline_exceeded: u64,
         errors: u64,
         commits: u64,
@@ -212,6 +218,7 @@ impl LatencyStat {
             duration_nanos,
             queries_ok: hist.count(),
             queries_shed,
+            shed_router,
             deadline_exceeded,
             errors,
             commits,
@@ -251,11 +258,73 @@ impl LatencyStat {
         }
         self.aborts as f64 / attempts as f64
     }
+
+    /// Queries shed by an engine shard's admission edge (the total
+    /// minus the router-edge sheds).
+    pub fn shed_shard(&self) -> u64 {
+        self.queries_shed - self.shed_router
+    }
+
+    /// Folds another run's summary into this one — the aggregation
+    /// that combines per-shard (or per-instance) serving summaries
+    /// into a single fleet-level row. All-integer, so the merged
+    /// record still round-trips the CSV exactly.
+    ///
+    /// Semantics, field by field:
+    /// * outcome counters (`ok`, `shed`, `shed_router`, deadline,
+    ///   errors, commits, aborts) and the client/worker totals
+    ///   (`concurrency`, `workers`) sum exactly;
+    /// * `queue_depth` keeps the per-instance maximum — it bounds one
+    ///   admission queue, it is not an additive resource;
+    /// * `duration_nanos` keeps the maximum: merged instances ran
+    ///   concurrently, so wall clock is the slowest part's;
+    /// * `min`/`max` latencies merge exactly;
+    /// * `mean_nanos` is the count-weighted integer mean (computed in
+    ///   u128; each fold loses at most the sub-nanosecond division
+    ///   remainder, so a chain of k folds is within k ns of the mean
+    ///   over all samples);
+    /// * percentiles take the **maximum** of the parts: the union's
+    ///   true q-quantile can never exceed the largest per-part
+    ///   q-quantile (each part already has ⌈q·nᵢ⌉ samples at or below
+    ///   its own quantile), so up to the histogram's bucket
+    ///   resolution (≤3.2% per value) this is a conservative upper
+    ///   bound — the right direction to err for latency SLOs.
+    pub fn merge(&mut self, other: &LatencyStat) {
+        let (n_self, n_other) = (self.queries_ok, other.queries_ok);
+        let n = n_self + n_other;
+        if n > 0 {
+            let weighted = self.mean_nanos as u128 * n_self as u128
+                + other.mean_nanos as u128 * n_other as u128;
+            self.mean_nanos = (weighted / n as u128) as u64;
+        }
+        if n_other > 0 {
+            self.min_nanos = if n_self == 0 {
+                other.min_nanos
+            } else {
+                self.min_nanos.min(other.min_nanos)
+            };
+            self.max_nanos = self.max_nanos.max(other.max_nanos);
+            self.p50_nanos = self.p50_nanos.max(other.p50_nanos);
+            self.p95_nanos = self.p95_nanos.max(other.p95_nanos);
+            self.p99_nanos = self.p99_nanos.max(other.p99_nanos);
+        }
+        self.concurrency += other.concurrency;
+        self.workers += other.workers;
+        self.queue_depth = self.queue_depth.max(other.queue_depth);
+        self.duration_nanos = self.duration_nanos.max(other.duration_nanos);
+        self.queries_ok = n;
+        self.queries_shed += other.queries_shed;
+        self.shed_router += other.shed_router;
+        self.deadline_exceeded += other.deadline_exceeded;
+        self.errors += other.errors;
+        self.commits += other.commits;
+        self.aborts += other.aborts;
+    }
 }
 
 /// Header of the latency CSV, shared by writer and parser.
 const LATENCY_CSV_HEADER: &str = "label,concurrency,workers,queue_depth,duration_ns,\
-     ok,shed,deadline_exceeded,errors,commits,aborts,\
+     ok,shed,shed_router,deadline_exceeded,errors,commits,aborts,\
      min_ns,mean_ns,p50_ns,p95_ns,p99_ns,max_ns";
 
 fn csv_field(s: &str) -> String {
@@ -275,7 +344,7 @@ pub fn to_latency_csv<'a>(stats: impl IntoIterator<Item = &'a LatencyStat>) -> S
     for s in stats {
         writeln!(
             out,
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             csv_field(&s.label),
             s.concurrency,
             s.workers,
@@ -283,6 +352,7 @@ pub fn to_latency_csv<'a>(stats: impl IntoIterator<Item = &'a LatencyStat>) -> S
             s.duration_nanos,
             s.queries_ok,
             s.queries_shed,
+            s.shed_router,
             s.deadline_exceeded,
             s.errors,
             s.commits,
@@ -330,7 +400,7 @@ pub fn parse_latency_csv(csv: &str) -> Option<Vec<LatencyStat>> {
     let mut rows = Vec::new();
     for line in lines {
         let f = split_csv_line(line);
-        if f.len() != 17 {
+        if f.len() != 18 {
             return None;
         }
         let num = |i: usize| f[i].parse::<u64>().ok();
@@ -342,16 +412,17 @@ pub fn parse_latency_csv(csv: &str) -> Option<Vec<LatencyStat>> {
             duration_nanos: num(4)?,
             queries_ok: num(5)?,
             queries_shed: num(6)?,
-            deadline_exceeded: num(7)?,
-            errors: num(8)?,
-            commits: num(9)?,
-            aborts: num(10)?,
-            min_nanos: num(11)?,
-            mean_nanos: num(12)?,
-            p50_nanos: num(13)?,
-            p95_nanos: num(14)?,
-            p99_nanos: num(15)?,
-            max_nanos: num(16)?,
+            shed_router: num(7)?,
+            deadline_exceeded: num(8)?,
+            errors: num(9)?,
+            commits: num(10)?,
+            aborts: num(11)?,
+            min_nanos: num(12)?,
+            mean_nanos: num(13)?,
+            p50_nanos: num(14)?,
+            p95_nanos: num(15)?,
+            p99_nanos: num(16)?,
+            max_nanos: num(17)?,
         });
     }
     Some(rows)
@@ -476,6 +547,7 @@ mod tests {
                 &h,
                 3,
                 1,
+                1,
                 0,
                 12,
                 4,
@@ -500,5 +572,138 @@ mod tests {
         let mut csv = String::from(LATENCY_CSV_HEADER);
         csv.push_str("\nonly,three,fields\n");
         assert!(parse_latency_csv(&csv).is_none());
+        // A pre-shed_router 17-field row is foreign now.
+        let mut old = String::from(LATENCY_CSV_HEADER);
+        old.push_str("\nx,1,1,1,1,1,1,1,1,1,1,1,1,1,1,1,1\n");
+        assert!(parse_latency_csv(&old).is_none());
+    }
+
+    fn stat_of(label: &str, values: &[u64], shed: u64, shed_router: u64) -> LatencyStat {
+        let mut h = LogHistogram::new();
+        for &v in values {
+            h.record(v);
+        }
+        LatencyStat::from_histogram(
+            label,
+            4,
+            2,
+            8,
+            1_000_000_000,
+            &h,
+            shed,
+            shed_router,
+            2,
+            1,
+            5,
+            3,
+        )
+    }
+
+    #[test]
+    fn merge_sums_counts_and_bounds_percentiles() {
+        let mut a = stat_of("a", &[1_000, 2_000, 4_000], 3, 1);
+        let b = stat_of("b", &[8_000, 16_000], 2, 2);
+        a.merge(&b);
+        assert_eq!(a.queries_ok, 5);
+        assert_eq!(a.queries_shed, 5);
+        assert_eq!(a.shed_router, 3);
+        assert_eq!(a.shed_shard(), 2);
+        assert_eq!(a.deadline_exceeded, 4);
+        assert_eq!(a.errors, 2);
+        assert_eq!(a.commits, 10);
+        assert_eq!(a.aborts, 6);
+        assert_eq!(a.concurrency, 8);
+        assert_eq!(a.workers, 4);
+        assert_eq!(a.queue_depth, 8);
+        assert_eq!(a.duration_nanos, 1_000_000_000);
+        assert_eq!(a.min_nanos, 1_000);
+        assert_eq!(a.max_nanos, 16_000);
+        // Weighted mean: (2333*3 + 12000*2) / 5.
+        assert_eq!(a.mean_nanos, (2333 * 3 + 12000 * 2) / 5);
+        // Merged stat still round-trips the CSV exactly.
+        let csv = to_latency_csv([&a]);
+        assert_eq!(parse_latency_csv(&csv).unwrap(), vec![a]);
+    }
+
+    #[test]
+    fn merge_with_empty_keeps_latencies() {
+        let mut empty = stat_of("e", &[], 0, 0);
+        let a = stat_of("a", &[5_000, 9_000], 1, 0);
+        empty.merge(&a);
+        assert_eq!(empty.min_nanos, a.min_nanos);
+        assert_eq!(empty.max_nanos, a.max_nanos);
+        assert_eq!(empty.mean_nanos, a.mean_nanos);
+        assert_eq!(empty.p99_nanos, a.p99_nanos);
+        let mut b = stat_of("b", &[5_000, 9_000], 1, 0);
+        b.merge(&stat_of("e", &[], 0, 0));
+        assert_eq!(b.p50_nanos, a.p50_nanos);
+        assert_eq!(b.min_nanos, a.min_nanos);
+    }
+
+    #[test]
+    fn merge_tracks_combined_recording_within_bounds() {
+        // Property: merging per-part summaries tracks the summary of
+        // the combined recording — counts/min/max exactly, the mean
+        // within one ns per fold (integer rounding), percentiles
+        // bounded by [combined percentile, combined max].
+        let mut rng = tq_simrng::SimRng::seed_from_u64(0x5EED_1A7E);
+        for _ in 0..40 {
+            let parts = 2 + rng.index(4);
+            let mut combined = LogHistogram::new();
+            let mut merged: Option<LatencyStat> = None;
+            let mut totals = (0u64, 0u64); // (shed, shed_router)
+            for _ in 0..parts {
+                let n = rng.index(200);
+                let mut h = LogHistogram::new();
+                for _ in 0..n {
+                    let v = 1 + (rng.next_u64() % 10_000_000);
+                    h.record(v);
+                    combined.record(v);
+                }
+                let shed_router = rng.index(5) as u64;
+                let shed = shed_router + rng.index(5) as u64;
+                totals.0 += shed;
+                totals.1 += shed_router;
+                let s = LatencyStat::from_histogram(
+                    "part",
+                    1,
+                    1,
+                    8,
+                    1_000,
+                    &h,
+                    shed,
+                    shed_router,
+                    0,
+                    0,
+                    0,
+                    0,
+                );
+                match merged.as_mut() {
+                    Some(m) => m.merge(&s),
+                    None => merged = Some(s),
+                }
+            }
+            let m = merged.unwrap();
+            assert_eq!(m.queries_ok, combined.count());
+            assert_eq!(m.min_nanos, combined.min());
+            assert_eq!(m.max_nanos, combined.max());
+            assert_eq!(m.queries_shed, totals.0);
+            assert_eq!(m.shed_router, totals.1);
+            assert!(m.mean_nanos.abs_diff(combined.mean()) <= parts as u64);
+            for (q, got) in [
+                (0.50, m.p50_nanos),
+                (0.95, m.p95_nanos),
+                (0.99, m.p99_nanos),
+            ] {
+                // Lower bound holds up to bucket resolution (two
+                // sub-buckets of slack); the upper bound is exact.
+                let lo = combined.quantile(q) as f64 * (1.0 - 2.0 / SUB_BUCKETS as f64);
+                assert!(got as f64 >= lo, "q{q} below combined quantile");
+                assert!(got <= combined.max(), "q{q} above combined max");
+            }
+            // All-integer: the merged row survives the CSV exactly.
+            let csv = to_latency_csv([&m]);
+            assert_eq!(parse_latency_csv(&csv).unwrap(), vec![m]);
+        }
     }
 }

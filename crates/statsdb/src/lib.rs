@@ -16,9 +16,11 @@
 pub mod db;
 pub mod export;
 pub mod latency;
+pub mod merge;
 pub mod model;
 
 pub use db::{Filter, GroupSummary, StatsDb};
 pub use export::{parse_operator_csv, to_operator_csv};
 pub use latency::{parse_latency_csv, to_latency_csv, LatencyStat, LogHistogram};
+pub use merge::merge_stats;
 pub use model::{ExtentDesc, OperatorStat, QueryDesc, Stat, SystemDesc};

@@ -1,0 +1,228 @@
+//! Merging partial [`Stat`]s from N engine shards into one record.
+//!
+//! The scatter-gather router (`tq-router`) fans one query out to every
+//! shard and gets back one `Stat` per shard. Because every counter in
+//! the schema is an exactly summable integer (the same discipline the
+//! per-operator rows follow), the merged record is *defined* — not
+//! estimated — by field-wise summation:
+//!
+//! * extent sizes sum by classname (each shard reports its local
+//!   cardinality, so the merged extent is the logical collection);
+//! * integer I/O / fault / RPC counters sum;
+//! * simulated seconds and RPC megabytes sum in shard order
+//!   (aggregate machine-work, not wall-clock — shards run in
+//!   parallel);
+//! * per-operator rows merge by `(op, label, depth)` key in first-seen
+//!   order, counters summing — so the PR 3 attribution invariant
+//!   (rows sum to the query-level totals, field for field) commutes
+//!   with the merge;
+//! * miss rates are *recomputed* from the summed integers rather than
+//!   averaged: `cc_miss_rate = cc_pagefaults / cc_lookups` and
+//!   `sc_miss_rate = d2sc_read_pages / cc_pagefaults`, exactly the
+//!   expressions the storage stack uses (every client-cache fault
+//!   performs one server-cache lookup, and every server-cache miss
+//!   reads one page from disk, so the denominators travel in the
+//!   record already). A single-part merge is therefore a byte-for-byte
+//!   identity.
+//!
+//! Descriptive fields (`numtest`, query, cluster, algo, system) are
+//! taken from the first part: every shard ran the same logical
+//! experiment, so they agree by construction.
+
+use crate::model::{OperatorStat, Stat};
+
+/// Percent helper, bit-identical to the storage stack's: `0.0` when
+/// the denominator is zero, else `part * 100.0 / whole` in f64.
+fn percent(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 * 100.0 / whole as f64
+    }
+}
+
+/// Folds `row`'s counters into `into` (same `(op, label, depth)` key).
+fn add_operator(into: &mut OperatorStat, row: &OperatorStat) {
+    into.d2sc_read_pages += row.d2sc_read_pages;
+    into.sc2cc_read_pages += row.sc2cc_read_pages;
+    into.client_misses += row.client_misses;
+    into.handle_gets += row.handle_gets;
+    into.handle_frees += row.handle_frees;
+    into.cpu_events += row.cpu_events;
+    into.io_nanos += row.io_nanos;
+    into.rpc_nanos += row.rpc_nanos;
+    into.cpu_nanos += row.cpu_nanos;
+    into.swap_nanos += row.swap_nanos;
+}
+
+/// Merges per-shard partial records into the record of the logical
+/// (unsharded) experiment. Returns `None` for an empty input.
+///
+/// Deterministic: the result depends only on the parts and their
+/// order, and merging is associative — merging prefix-merges of the
+/// parts yields the same record as one flat merge (integer sums are
+/// associative; the two f64 fields sum left-to-right either way).
+pub fn merge_stats<'a>(parts: impl IntoIterator<Item = &'a Stat>) -> Option<Stat> {
+    let mut it = parts.into_iter();
+    let mut out = it.next()?.clone();
+    for p in it {
+        for e in &p.database {
+            match out.database.iter_mut().find(|o| o.classname == e.classname) {
+                Some(o) => o.size += e.size,
+                None => out.database.push(e.clone()),
+            }
+        }
+        out.cc_pagefaults += p.cc_pagefaults;
+        out.cc_lookups += p.cc_lookups;
+        out.elapsed_time += p.elapsed_time;
+        out.rpcs_number += p.rpcs_number;
+        out.rpcs_total_mb += p.rpcs_total_mb;
+        out.d2sc_read_pages += p.d2sc_read_pages;
+        out.sc2cc_read_pages += p.sc2cc_read_pages;
+        for row in &p.operators {
+            match out
+                .operators
+                .iter_mut()
+                .find(|o| o.op == row.op && o.label == row.label && o.depth == row.depth)
+            {
+                Some(o) => add_operator(o, row),
+                None => out.operators.push(row.clone()),
+            }
+        }
+    }
+    out.cc_miss_rate = percent(out.cc_pagefaults, out.cc_lookups);
+    out.sc_miss_rate = percent(out.d2sc_read_pages, out.cc_pagefaults);
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::tests::sample_stat;
+    use tq_simrng::SimRng;
+
+    /// A stat whose rates satisfy the storage-stack invariants, so a
+    /// single-part merge is a full identity.
+    fn consistent_stat(numtest: u64, seedling: u64) -> Stat {
+        let mut s = sample_stat(numtest, "PHJ", 10.0);
+        s.cc_pagefaults = 100 + seedling;
+        s.cc_lookups = 1000 + 3 * seedling;
+        s.d2sc_read_pages = 40 + seedling / 2;
+        s.cc_miss_rate = percent(s.cc_pagefaults, s.cc_lookups);
+        s.sc_miss_rate = percent(s.d2sc_read_pages, s.cc_pagefaults);
+        s
+    }
+
+    #[test]
+    fn empty_input_merges_to_none() {
+        assert!(merge_stats([]).is_none());
+    }
+
+    #[test]
+    fn single_part_is_identity() {
+        let s = consistent_stat(7, 5);
+        let merged = merge_stats([&s]).unwrap();
+        assert_eq!(merged, s);
+    }
+
+    #[test]
+    fn counters_and_extents_sum_rates_recompute() {
+        let a = consistent_stat(1, 0);
+        let mut b = consistent_stat(1, 8);
+        b.database[0].size = 500; // shard with fewer providers
+        let merged = merge_stats([&a, &b]).unwrap();
+        assert_eq!(merged.cc_pagefaults, a.cc_pagefaults + b.cc_pagefaults);
+        assert_eq!(merged.cc_lookups, a.cc_lookups + b.cc_lookups);
+        assert_eq!(merged.rpcs_number, a.rpcs_number + b.rpcs_number);
+        assert_eq!(
+            merged.d2sc_read_pages,
+            a.d2sc_read_pages + b.d2sc_read_pages
+        );
+        assert_eq!(
+            merged.sc2cc_read_pages,
+            a.sc2cc_read_pages + b.sc2cc_read_pages
+        );
+        assert_eq!(merged.elapsed_time, a.elapsed_time + b.elapsed_time);
+        assert_eq!(merged.database[0].size, a.database[0].size + 500);
+        assert_eq!(merged.database[1].size, 2 * a.database[1].size);
+        assert_eq!(
+            merged.cc_miss_rate,
+            percent(merged.cc_pagefaults, merged.cc_lookups)
+        );
+        assert_eq!(
+            merged.sc_miss_rate,
+            percent(merged.d2sc_read_pages, merged.cc_pagefaults)
+        );
+        // Descriptive fields come from the first part.
+        assert_eq!(merged.query, a.query);
+        assert_eq!(merged.algo, a.algo);
+    }
+
+    #[test]
+    fn operator_rows_merge_by_key_in_first_seen_order() {
+        let mut a = consistent_stat(1, 0);
+        let mut b = consistent_stat(1, 1);
+        // b has one shared row (same key), one extra row, and lists
+        // them in a different order.
+        b.operators.reverse();
+        b.operators.push(OperatorStat {
+            op: "Spill".into(),
+            label: "spill".into(),
+            depth: 2,
+            cpu_events: 9,
+            ..OperatorStat::default()
+        });
+        a.operators[0].cpu_events = 11;
+        let merged = merge_stats([&a, &b]).unwrap();
+        assert_eq!(merged.operators.len(), 3);
+        // First-seen order: a's rows first, then b's novel row.
+        assert_eq!(merged.operators[0].op, a.operators[0].op);
+        assert_eq!(
+            merged.operators[0].cpu_events,
+            11 + b.operators[1].cpu_events
+        );
+        assert_eq!(merged.operators[2].op, "Spill");
+        assert_eq!(merged.operators[2].cpu_events, 9);
+    }
+
+    #[test]
+    fn attribution_invariant_commutes_with_merge() {
+        // If each part's rows sum to its query totals, the merged rows
+        // sum to the merged totals (spot-checked on shared counters).
+        let parts: Vec<Stat> = (0..4).map(|i| consistent_stat(1, i * 3)).collect();
+        let merged = merge_stats(parts.iter()).unwrap();
+        let row_d2sc: u64 = merged.operators.iter().map(|o| o.d2sc_read_pages).sum();
+        let part_rows_d2sc: u64 = parts
+            .iter()
+            .flat_map(|p| p.operators.iter())
+            .map(|o| o.d2sc_read_pages)
+            .sum();
+        assert_eq!(row_d2sc, part_rows_d2sc);
+        let total_sc2cc: u64 = parts.iter().map(|p| p.sc2cc_read_pages).sum();
+        assert_eq!(merged.sc2cc_read_pages, total_sc2cc);
+    }
+
+    #[test]
+    fn merge_is_associative_on_random_parts() {
+        let mut rng = SimRng::seed_from_u64(0x5EED_933A);
+        for _ in 0..50 {
+            let n = 2 + rng.index(5);
+            let parts: Vec<Stat> = (0..n)
+                .map(|i| {
+                    let mut s = consistent_stat(1, rng.index(1000) as u64);
+                    s.database[0].size = 1 + rng.index(5000) as u64;
+                    s.operators[0].cpu_events = rng.index(1 << 20) as u64;
+                    if i % 2 == 1 {
+                        s.operators.reverse();
+                    }
+                    s
+                })
+                .collect();
+            let flat = merge_stats(parts.iter()).unwrap();
+            let split = 1 + rng.index(n - 1);
+            let left = merge_stats(parts[..split].iter()).unwrap();
+            let staged = merge_stats(std::iter::once(&left).chain(parts[split..].iter()));
+            assert_eq!(flat, staged.unwrap());
+        }
+    }
+}

@@ -125,6 +125,11 @@ pub struct Stat {
     pub system: SystemDesc,
     /// Number of page faults in the client cache.
     pub cc_pagefaults: u64,
+    /// Number of lookups in the client cache (hits + faults) — the
+    /// denominator of [`Stat::cc_miss_rate`], carried as an integer so
+    /// partial records from engine shards merge with *exact* rate
+    /// recomputation (see [`crate::merge_stats`]).
+    pub cc_lookups: u64,
     /// Elapsed time between the beginning and the end of the query, in
     /// seconds.
     pub elapsed_time: f64,
@@ -190,6 +195,7 @@ pub(crate) mod tests {
             algo: algo.into(),
             system: SystemDesc::paper_default(),
             cc_pagefaults: 123,
+            cc_lookups: 984,
             elapsed_time: elapsed,
             rpcs_number: 456,
             rpcs_total_mb: 1.78,

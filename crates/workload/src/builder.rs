@@ -41,10 +41,20 @@ pub struct Database {
     pub load_stats: Option<tq_pagestore::IoStats>,
     /// Simulated seconds the load took.
     pub load_clock_secs: f64,
-    /// Number of providers.
+    /// Number of providers stored *here* (the local shard's share when
+    /// the database is a partition; the whole extent otherwise).
     pub provider_count: u64,
-    /// Number of patients.
+    /// Number of patients stored here (see [`Database::provider_count`]).
     pub patient_count: u64,
+    /// Number of providers in the *logical* database — equal to
+    /// `provider_count` for an unsharded build; the full pre-partition
+    /// count on a shard. Selectivity keys derive from the logical
+    /// counts so every shard (and the unsharded engine) agrees on key
+    /// thresholds and query text.
+    pub logical_provider_count: u64,
+    /// Number of patients in the logical database (see
+    /// [`Database::logical_provider_count`]).
+    pub logical_patient_count: u64,
     /// Clustered index on `Provider.upin`.
     pub idx_provider_upin: BTreeIndex,
     /// Clustered index on `Patient.mrn`.
@@ -56,21 +66,23 @@ pub struct Database {
 
 impl Database {
     /// The `mrn` threshold selecting `pct`% of patients
-    /// (`mrn < key`).
+    /// (`mrn < key`). Logical-count based: identical on every shard
+    /// of a partitioned database.
     pub fn patient_selectivity_key(&self, pct: u32) -> i64 {
-        (self.patient_count as i64 * pct as i64) / 100
+        (self.logical_patient_count as i64 * pct as i64) / 100
     }
 
     /// The `upin` threshold selecting `pct`% of providers
-    /// (`upin < key`).
+    /// (`upin < key`). Logical-count based, like
+    /// [`Database::patient_selectivity_key`].
     pub fn provider_selectivity_key(&self, pct: u32) -> i64 {
-        (self.provider_count as i64 * pct as i64) / 100
+        (self.logical_provider_count as i64 * pct as i64) / 100
     }
 
     /// The `num` threshold selecting `pct`% of patients (`num < key`;
-    /// `num` is uniform in `0 .. patient_count`).
+    /// `num` is uniform in `0 .. logical_patient_count`).
     pub fn num_selectivity_key(&self, pct: u32) -> i64 {
-        (self.patient_count as i64 * pct as i64) / 100
+        (self.logical_patient_count as i64 * pct as i64) / 100
     }
 
     /// Splices a committed transaction's write-set into this database:
@@ -251,6 +263,15 @@ impl Default for LoadKnobs {
     }
 }
 
+/// Restricts a build to the objects one shard owns (see
+/// `partition::partition_database`). Ownership is per provider *tree*:
+/// a shard owning provider `i` owns every patient assigned to `i`, so
+/// no association ever crosses a shard boundary.
+pub(crate) struct PartitionFilter {
+    /// `own_provider[i]` — does this shard own provider (upin) `i`?
+    pub own_provider: Vec<bool>,
+}
+
 /// Builds a database per `config`. Deterministic for a given seed.
 /// Loads in the paper's tuned mode: transactions off, one commit at
 /// the end.
@@ -260,6 +281,24 @@ pub fn build(config: &BuildConfig) -> Database {
 
 /// Builds a database with explicit §3.2 loading knobs.
 pub fn build_with_load_knobs(config: &BuildConfig, knobs: &LoadKnobs) -> Database {
+    build_filtered(config, knobs, None)
+}
+
+/// The build recipe, optionally restricted to one shard's objects.
+///
+/// The filtered build replays the *exact* unsharded recipe — every RNG
+/// draw (fan-outs, assignment shuffle, plan shuffle, patient
+/// attributes) happens at full size in the same order — and only then
+/// skips the creation, wiring, collection and index entries of objects
+/// the shard does not own. Relative placement order among owned
+/// objects is therefore identical to their order in the unsharded
+/// database, for every organization, and a filter that owns everything
+/// reproduces the unsharded build byte for byte.
+pub(crate) fn build_filtered(
+    config: &BuildConfig,
+    knobs: &LoadKnobs,
+    filter: Option<&PartitionFilter>,
+) -> Database {
     let transaction_off = knobs.transaction_off;
     let commit_every = knobs.commit_every;
     let derby = DerbySchema::new();
@@ -345,6 +384,19 @@ pub fn build_with_load_knobs(config: &BuildConfig, knobs: &LoadKnobs) -> Databas
         }
     };
 
+    // A shard keeps only the objects it owns. The plan was built (and,
+    // for Randomized, shuffled) at full size above, so the surviving
+    // items keep their unsharded relative placement order.
+    let own_provider = |i: u32| filter.is_none_or(|f| f.own_provider[i as usize]);
+    let own_patient = |j: u32| own_provider(assignment[j as usize]);
+    let plan: Vec<PlanItem> = plan
+        .into_iter()
+        .filter(|item| match *item {
+            PlanItem::Provider(i) => own_provider(i),
+            PlanItem::Patient(j) => own_patient(j),
+        })
+        .collect();
+
     // Files.
     let (provider_file, patient_file) = match config.organization {
         Organization::ClassClustered | Organization::AssociationOrdered => {
@@ -426,6 +478,9 @@ pub fn build_with_load_knobs(config: &BuildConfig, knobs: &LoadKnobs) -> Databas
     // Wire the association: patients' pcp, then providers' client sets.
     let mut clients: Vec<Vec<Rid>> = vec![Vec::new(); p_count];
     for (j, &prov) in assignment.iter().enumerate() {
+        if !own_provider(prov) {
+            continue;
+        }
         clients[prov as usize].push(patient_rids[j]);
         let age = (j % 97) as i32;
         let sex = if j % 2 == 0 { b'F' } else { b'M' };
@@ -449,6 +504,9 @@ pub fn build_with_load_knobs(config: &BuildConfig, knobs: &LoadKnobs) -> Databas
         }
     }
     for i in 0..p_count {
+        if !own_provider(i as u32) {
+            continue;
+        }
         templates.fill_provider(i as i64);
         match config.shape {
             DbShape::Db1 => {
@@ -495,9 +553,12 @@ pub fn build_with_load_knobs(config: &BuildConfig, knobs: &LoadKnobs) -> Databas
 
     // Indexes, built after load (the paper's recommended order —
     // headroom was already reserved at creation when asked).
+    // On a shard, unowned logical ids were never created (their rids
+    // stayed nil) and contribute no index entries.
     let upin_entries: Vec<(i64, Rid)> = provider_rids
         .iter()
         .enumerate()
+        .filter(|(_, r)| !r.is_nil())
         .map(|(i, &r)| (i as i64, r))
         .collect();
     let upin_clustered = config.organization != Organization::Randomized;
@@ -511,6 +572,7 @@ pub fn build_with_load_knobs(config: &BuildConfig, knobs: &LoadKnobs) -> Databas
     let mrn_entries: Vec<(i64, Rid)> = patient_rids
         .iter()
         .enumerate()
+        .filter(|(_, r)| !r.is_nil())
         .map(|(j, &r)| (j as i64, r))
         .collect();
     let mrn_clustered = config.organization == Organization::ClassClustered;
@@ -524,6 +586,7 @@ pub fn build_with_load_knobs(config: &BuildConfig, knobs: &LoadKnobs) -> Databas
     let mut num_entries: Vec<(i64, Rid)> = nums
         .iter()
         .zip(&patient_rids)
+        .filter(|&(_, r)| !r.is_nil())
         .map(|(&n, &r)| (n, r))
         .collect();
     num_entries.sort_unstable_by_key(|&(k, _)| k);
@@ -556,8 +619,10 @@ pub fn build_with_load_knobs(config: &BuildConfig, knobs: &LoadKnobs) -> Databas
         config: config.clone(),
         load_stats: Some(load_stats),
         load_clock_secs,
-        provider_count: p_count as u64,
-        patient_count: n_count as u64,
+        provider_count: provider_order.len() as u64,
+        patient_count: patient_order.len() as u64,
+        logical_provider_count: p_count as u64,
+        logical_patient_count: n_count as u64,
         idx_provider_upin,
         idx_patient_mrn,
         idx_patient_num,

@@ -35,12 +35,14 @@ pub mod builder;
 pub mod config;
 pub mod derby;
 pub mod loading;
+pub mod partition;
 pub mod queries;
 
 pub use builder::{build, Database};
 pub use config::{BuildConfig, DbShape, Organization};
 pub use derby::{patient_attr, provider_attr, DerbySchema};
 pub use loading::{load_experiment, IndexTiming, LoadOptions, LoadReport};
+pub use partition::{partition_database, shard_of_rid};
 pub use queries::{chain3_query_text, chain4_query_text, join_query_text, ref_chain_query_text};
 
 #[cfg(test)]

@@ -1,0 +1,184 @@
+//! Rid-hash partitioning of a built database across N engine shards.
+//!
+//! The unit of distribution is the provider *tree*: a shard owning a
+//! provider owns every patient assigned to it, so the `pcp` reference
+//! and the `clients` set never cross a shard boundary and every join
+//! the workload runs is shard-local. Ownership itself is a hash of the
+//! provider's physical rid **in the base (unsharded) build** — genuine
+//! Rid-hash placement, not round-robin — so it is deterministic for a
+//! given base and shard count, and any client can recompute it.
+//!
+//! Shards are built by re-running the deterministic loading recipe
+//! with a [`PartitionFilter`] (see `builder::build_filtered`): every
+//! RNG draw happens at full size in the unsharded order, then objects
+//! the shard does not own are skipped. Consequences the router's merge
+//! oracle relies on:
+//!
+//! * shard extents partition the logical extents — local
+//!   `provider_count` / `patient_count` sum exactly to the base's;
+//! * `logical_*` counts (and therefore selectivity keys and query
+//!   text) are identical on every shard and equal to the base's;
+//! * a 1-way partition reproduces the base build byte for byte.
+
+use crate::builder::{build_filtered, Database, LoadKnobs, PartitionFilter};
+use tq_objstore::Rid;
+
+/// The shard (of `shards`) owning objects placed at `rid`.
+///
+/// Hashes the rid's stable byte encoding, so the mapping is a pure
+/// function of (rid, shards). FxHash has no finalizer — its low bits
+/// are barely mixed (HashMap only consumes the high bits) — so the
+/// high half is folded down before the modulus.
+pub fn shard_of_rid(rid: Rid, shards: u32) -> u32 {
+    let h = tq_fasthash::hash_one(&rid.encode()[..]);
+    ((h ^ (h >> 32)) % shards as u64) as u32
+}
+
+/// Splits `base` into `shards` databases, each holding the provider
+/// trees whose base-build rid hashes to it. `shards` must be ≥ 1.
+pub fn partition_database(base: &Database, shards: u32) -> Vec<Database> {
+    assert!(shards >= 1, "shard count must be >= 1");
+    // Ownership comes from the base build's physical provider rids:
+    // scan the upin index (logical id -> rid) on a clone so the base's
+    // caches and counters stay untouched.
+    let mut probe = base.clone();
+    let entries = probe
+        .idx_provider_upin
+        .scan_all(probe.store.stack_mut())
+        .collect_all(probe.store.stack_mut());
+    let p_count = base.logical_provider_count as usize;
+    assert_eq!(entries.len(), p_count, "upin index covers every provider");
+    let mut own: Vec<Vec<bool>> = vec![vec![false; p_count]; shards as usize];
+    for &(upin, rid) in &entries {
+        let s = shard_of_rid(rid, shards) as usize;
+        own[s][upin as usize] = true;
+    }
+    own.into_iter()
+        .map(|own_provider| {
+            build_filtered(
+                &base.config,
+                &LoadKnobs::default(),
+                Some(&PartitionFilter { own_provider }),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build;
+    use crate::config::{BuildConfig, DbShape, Organization};
+    use crate::derby::{patient_attr, provider_attr};
+
+    fn base(org: Organization) -> Database {
+        build(&BuildConfig::scaled(DbShape::Db2, org, 1000))
+    }
+
+    /// The (mrn -> upin) association map of one database.
+    fn association(db: &mut Database) -> Vec<(i32, i32)> {
+        let mut cursor = db.store.collection_cursor("Patients");
+        let mut assoc = Vec::new();
+        while let Some(rid) = cursor.next(db.store.stack_mut()) {
+            let pat = db.store.fetch(rid);
+            let mrn = pat.object.values[patient_attr::MRN].as_int().unwrap();
+            let pcp = pat.object.values[patient_attr::PCP].as_ref_rid().unwrap();
+            assert!(!pcp.is_nil(), "patient must point at a local provider");
+            let prov = db.store.fetch(pcp);
+            let upin = prov.object.values[provider_attr::UPIN].as_int().unwrap();
+            assoc.push((mrn, upin));
+            db.store.unref(prov.rid);
+            db.store.unref(pat.rid);
+        }
+        assoc
+    }
+
+    #[test]
+    fn one_way_partition_reproduces_the_base_build() {
+        for org in [Organization::ClassClustered, Organization::Randomized] {
+            let b = base(org);
+            let mut shards = partition_database(&b, 1);
+            assert_eq!(shards.len(), 1);
+            let s = shards.pop().unwrap();
+            assert_eq!(s.provider_count, b.provider_count);
+            assert_eq!(s.patient_count, b.patient_count);
+            assert_eq!(s.logical_provider_count, b.logical_provider_count);
+            assert_eq!(
+                s.store.stack().disk().total_pages(),
+                b.store.stack().disk().total_pages(),
+                "1-way partition must be byte-identical ({org:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn shards_partition_the_logical_database() {
+        for org in Organization::all() {
+            let mut b = base(org);
+            let mut shards = partition_database(&b, 4);
+            let mut providers = 0;
+            let mut patients = 0;
+            let mut union: Vec<(i32, i32)> = Vec::new();
+            for s in &mut shards {
+                providers += s.provider_count;
+                patients += s.patient_count;
+                assert_eq!(s.logical_provider_count, b.provider_count);
+                assert_eq!(s.logical_patient_count, b.patient_count);
+                union.extend(association(s));
+            }
+            assert_eq!(providers, b.provider_count, "{org:?}");
+            assert_eq!(patients, b.patient_count, "{org:?}");
+            // Each patient appears on exactly one shard, wired to the
+            // same provider as in the base database.
+            union.sort_unstable();
+            let mut expect = association(&mut b);
+            expect.sort_unstable();
+            assert_eq!(union, expect, "{org:?}");
+        }
+    }
+
+    #[test]
+    fn shard_choice_follows_the_base_rid_hash() {
+        let b = base(Organization::ClassClustered);
+        let mut probe = b.clone();
+        let entries = probe
+            .idx_provider_upin
+            .scan_all(probe.store.stack_mut())
+            .collect_all(probe.store.stack_mut());
+        let shards = partition_database(&b, 2);
+        let mut probe0 = shards[0].clone();
+        let owned0: Vec<i64> = probe0
+            .idx_provider_upin
+            .scan_all(probe0.store.stack_mut())
+            .collect_all(probe0.store.stack_mut())
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        let expect0: Vec<i64> = entries
+            .iter()
+            .filter(|&&(_, rid)| shard_of_rid(rid, 2) == 0)
+            .map(|&(k, _)| k)
+            .collect();
+        assert_eq!(owned0, expect0);
+        assert!(!owned0.is_empty(), "hash should spread providers");
+        assert_ne!(owned0.len() as u64, b.provider_count);
+    }
+
+    #[test]
+    fn selectivity_keys_are_shard_invariant() {
+        let b = base(Organization::ClassClustered);
+        for s in partition_database(&b, 3) {
+            for pct in [1, 10, 50, 90] {
+                assert_eq!(
+                    s.patient_selectivity_key(pct),
+                    b.patient_selectivity_key(pct)
+                );
+                assert_eq!(
+                    s.provider_selectivity_key(pct),
+                    b.provider_selectivity_key(pct)
+                );
+                assert_eq!(s.num_selectivity_key(pct), b.num_selectivity_key(pct));
+            }
+        }
+    }
+}

@@ -88,6 +88,7 @@ fn main() {
                     algo: algo.label().into(),
                     system: SystemDesc::paper_default(),
                     cc_pagefaults: io.client_misses,
+                    cc_lookups: io.client_hits + io.client_misses,
                     elapsed_time: secs,
                     rpcs_number: io.sc2cc_read_pages,
                     rpcs_total_mb: io.rpc_total_bytes() as f64 / 1e6,

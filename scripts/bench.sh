@@ -95,6 +95,29 @@ TQ_SCALE="$SMOKE_SCALE" TQ_JOBS="$NCORES" TQ_BATCH="$BATCH" \
     TQ_DURATION="${TQ_DURATION:-2}" \
     ./target/release/loadgen --json BENCH_serve.json
 
+echo "== sharded serving runs (TQ_SHARDS=1,2,4) -> BENCH_sharded.json =="
+# The same closed loop over the scatter-gather router at 1, 2, and 4
+# engine shards (total worker budget fixed at <ncores>): BENCH_sharded.json
+# is a JSON array of the per-shard-count loadgen records, the read-path
+# scaling curve over BENCH_serve.json's single-node baseline.
+SHARD_RECORDS=""
+for S in 1 2 4; do
+    TQ_SCALE="$SMOKE_SCALE" TQ_JOBS="$NCORES" TQ_BATCH="$BATCH" \
+        TQ_CONCURRENCY="${TQ_CONCURRENCY:-8}" \
+        TQ_DURATION="${TQ_DURATION:-2}" \
+        TQ_SHARDS="$S" \
+        ./target/release/loadgen --json BENCH_sharded_run.json
+    SHARD_RECORDS+="$(cat BENCH_sharded_run.json),"$'\n'
+done
+rm -f BENCH_sharded_run.json
+{
+    echo "["
+    printf '%s' "${SHARD_RECORDS%,$'\n'}"
+    echo ""
+    echo "]"
+} > BENCH_sharded.json
+echo "wrote BENCH_sharded.json"
+
 {
     echo "{"
     echo "  \"host_cores\": $NCORES,"

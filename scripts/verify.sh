@@ -81,13 +81,17 @@ SERVE_CSV=$(TQ_SCALE=200 TQ_JOBS=2 TQ_CONCURRENCY=4 TQ_DURATION=2 \
     cargo run --release -p tq-bench --bin loadgen)
 echo "$SERVE_CSV"
 echo "$SERVE_CSV" | grep -q \
-    '^label,concurrency,workers,queue_depth,duration_ns,ok,shed,deadline_exceeded,errors,' \
+    '^label,concurrency,workers,queue_depth,duration_ns,ok,shed,shed_router,deadline_exceeded,errors,' \
     || { echo "error: loadgen latency-CSV header missing" >&2; exit 1; }
-SERVE_ROWS=$(echo "$SERVE_CSV" | awk -F, '/^label,/{h=1;next} h && NF==17' | wc -l)
+SERVE_ROWS=$(echo "$SERVE_CSV" | awk -F, '/^label,/{h=1;next} h && NF==18' | wc -l)
 [ "$SERVE_ROWS" -eq 1 ] \
     || { echo "error: expected 1 well-formed latency-CSV row, got $SERVE_ROWS" >&2; exit 1; }
-echo "$SERVE_CSV" | awk -F, '/^label,/{h=1;next} h { exit !($10 == 0 && $11 == 0) }' \
+echo "$SERVE_CSV" | awk -F, '/^label,/{h=1;next} h { exit !($11 == 0 && $12 == 0) }' \
     || { echo "error: read-only serve reported commits/aborts" >&2; exit 1; }
+# Unsharded runs shed only at the (single) server's queue: the
+# router-edge column must be zero.
+echo "$SERVE_CSV" | awk -F, '/^label,/{h=1;next} h { exit !($8 == 0) }' \
+    || { echo "error: unsharded serve reported router-edge sheds" >&2; exit 1; }
 
 echo "== smoke serve, mixed writes (TQ_WRITE_MIX=30) =="
 # Same loadgen gate under a 30% write mix: still zero errors and zero
@@ -97,11 +101,40 @@ echo "== smoke serve, mixed writes (TQ_WRITE_MIX=30) =="
 MIX_CSV=$(TQ_SCALE=200 TQ_JOBS=2 TQ_CONCURRENCY=4 TQ_DURATION=2 TQ_WRITE_MIX=30 \
     cargo run --release -p tq-bench --bin loadgen)
 echo "$MIX_CSV"
-MIX_ROWS=$(echo "$MIX_CSV" | awk -F, '/^label,/{h=1;next} h && NF==17' | wc -l)
+MIX_ROWS=$(echo "$MIX_CSV" | awk -F, '/^label,/{h=1;next} h && NF==18' | wc -l)
 [ "$MIX_ROWS" -eq 1 ] \
     || { echo "error: expected 1 well-formed mixed latency-CSV row, got $MIX_ROWS" >&2; exit 1; }
-echo "$MIX_CSV" | awk -F, '/^label,/{h=1;next} h { exit !($9 == 0 && $10 > 0 && $11 >= 0) }' \
+echo "$MIX_CSV" | awk -F, '/^label,/{h=1;next} h { exit !($10 == 0 && $11 > 0 && $12 >= 0) }' \
     || { echo "error: mixed serve must commit writes without errors" >&2; exit 1; }
+
+echo "== smoke serve, sharded (TQ_SHARDS=2) =="
+# Two engine shards behind the scatter-gather router, same closed loop:
+# zero errors and zero leaked handles (loadgen exits non-zero
+# otherwise), a well-formed 18-column row, and shed accounting that
+# distinguishes the router edge from the shard queues (router-edge
+# sheds are a subset of the total). An invalid TQ_SHARDS must exit 2.
+SHARD_CSV=$(TQ_SCALE=200 TQ_JOBS=2 TQ_CONCURRENCY=4 TQ_DURATION=2 TQ_SHARDS=2 \
+    cargo run --release -p tq-bench --bin loadgen)
+echo "$SHARD_CSV"
+SHARD_ROWS=$(echo "$SHARD_CSV" | awk -F, '/^label,/{h=1;next} h && NF==18' | wc -l)
+[ "$SHARD_ROWS" -eq 1 ] \
+    || { echo "error: expected 1 well-formed sharded latency-CSV row, got $SHARD_ROWS" >&2; exit 1; }
+echo "$SHARD_CSV" | awk -F, '/^label,/{h=1;next} h { exit !($8 <= $7 && $10 == 0) }' \
+    || { echo "error: sharded serve errored or mis-attributed sheds" >&2; exit 1; }
+if TQ_SHARDS=banana ./target/release/loadgen >/dev/null 2>&1; then
+    echo "error: invalid TQ_SHARDS must be rejected" >&2
+    exit 1
+elif [ $? -ne 2 ]; then
+    echo "error: invalid TQ_SHARDS must exit 2" >&2
+    exit 1
+fi
+echo "invalid TQ_SHARDS rejected with exit 2"
+
+echo "== sharded differential oracle (release) =="
+# Sharded results byte-identical to the unsharded engine for every
+# join algorithm × clustering at 1/2/4 shards, and the router's merged
+# Stats exactly merge_stats over the per-shard truth.
+cargo test --release -q -p tq-router --test sharded_equivalence
 
 echo "== perf gate: paper-scale fig11_14 vs committed trajectory =="
 # Wall clock of the paper's headline figure must stay within 15% of the

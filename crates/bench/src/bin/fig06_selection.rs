@@ -8,7 +8,12 @@ fn main() {
     env::maybe_print_help(
         "Regenerates the paper's Figure 6 (selection I/O, index vs scan).",
         "fig06_selection",
-        &[env::ENV_SCALE, env::ENV_JOBS, env::ENV_BATCH],
+        &[
+            env::ENV_SCALE,
+            env::ENV_JOBS,
+            env::ENV_BATCH,
+            env::ENV_PARALLEL,
+        ],
     );
     let (scale, jobs) = tq_bench::env_config_or_exit();
     let fig = tq_bench::figures::fig06::run(scale, jobs);

@@ -8,7 +8,12 @@ fn main() {
         "Regenerates the paper's Figure 7 (sorted unclustered index vs no \
          index) and the Figure 9 cost decomposition.",
         "fig07_sorted_index",
-        &[env::ENV_SCALE, env::ENV_JOBS, env::ENV_BATCH],
+        &[
+            env::ENV_SCALE,
+            env::ENV_JOBS,
+            env::ENV_BATCH,
+            env::ENV_PARALLEL,
+        ],
     );
     let (scale, jobs) = tq_bench::env_config_or_exit();
     let fig = tq_bench::figures::fig07::run(scale, jobs);

@@ -8,7 +8,12 @@ fn main() {
         "Regenerates the paper's Figure 10 (hash-table sizes).",
         "fig10_hash_sizes [--measure]   (--measure also runs the joins and \
          reports executor table sizes)",
-        &[env::ENV_SCALE, env::ENV_JOBS, env::ENV_BATCH],
+        &[
+            env::ENV_SCALE,
+            env::ENV_JOBS,
+            env::ENV_BATCH,
+            env::ENV_PARALLEL,
+        ],
     );
     let (scale, jobs) = tq_bench::env_config_or_exit();
     let measure = std::env::args().any(|a| a == "--measure");

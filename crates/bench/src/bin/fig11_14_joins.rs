@@ -15,6 +15,7 @@ fn main() {
             env::ENV_SCALE,
             env::ENV_JOBS,
             env::ENV_BATCH,
+            env::ENV_PARALLEL,
             env::ENV_EXPLAIN,
         ],
     );

@@ -8,7 +8,12 @@ fn main() {
         "Regenerates the paper's Figure 15 (winning algorithms) by running \
          all six underlying join figures (3 organizations x 2 databases).",
         "fig15_summary",
-        &[env::ENV_SCALE, env::ENV_JOBS, env::ENV_BATCH],
+        &[
+            env::ENV_SCALE,
+            env::ENV_JOBS,
+            env::ENV_BATCH,
+            env::ENV_PARALLEL,
+        ],
     );
     let (scale, jobs) = tq_bench::env_config_or_exit();
     let fig = tq_bench::figures::fig15::run(scale, jobs);

@@ -8,7 +8,12 @@ fn main() {
         "Extension experiment: the paper's §5.3 association-ordered \
          organization, tested. Runs at 1/10 scale or smaller.",
         "fig_assoc_ordered",
-        &[env::ENV_SCALE, env::ENV_JOBS, env::ENV_BATCH],
+        &[
+            env::ENV_SCALE,
+            env::ENV_JOBS,
+            env::ENV_BATCH,
+            env::ENV_PARALLEL,
+        ],
     );
     let (scale, jobs) = tq_bench::env_config_or_exit();
     let fig = tq_bench::figures::assoc::run(scale.max(10), jobs);

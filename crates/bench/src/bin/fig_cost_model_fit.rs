@@ -9,7 +9,7 @@ fn main() {
          regression (the paper's §2 plan, realized). Runs at 1/50 scale or \
          smaller.",
         "fig_cost_model_fit",
-        &[env::ENV_SCALE, env::ENV_BATCH],
+        &[env::ENV_SCALE, env::ENV_BATCH, env::ENV_PARALLEL],
     );
     let (scale, _jobs) = tq_bench::env_config_or_exit();
     let scale = scale.max(50);

@@ -8,7 +8,12 @@ fn main() {
         "The paper's §4.4 ablation: its proposed handle-machinery \
          improvements, measured one by one.",
         "fig_handle_ablation",
-        &[env::ENV_SCALE, env::ENV_JOBS, env::ENV_BATCH],
+        &[
+            env::ENV_SCALE,
+            env::ENV_JOBS,
+            env::ENV_BATCH,
+            env::ENV_PARALLEL,
+        ],
     );
     let (scale, jobs) = tq_bench::env_config_or_exit();
     let a = tq_bench::figures::handles::run_ablation(scale, jobs);

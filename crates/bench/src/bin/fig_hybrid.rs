@@ -9,7 +9,12 @@ fn main() {
          cells (the untested fix §5.1/§6 call for). Runs at 1/10 scale or \
          smaller.",
         "fig_hybrid",
-        &[env::ENV_SCALE, env::ENV_JOBS, env::ENV_BATCH],
+        &[
+            env::ENV_SCALE,
+            env::ENV_JOBS,
+            env::ENV_BATCH,
+            env::ENV_PARALLEL,
+        ],
     );
     let (scale, jobs) = tq_bench::env_config_or_exit();
     let fig = tq_bench::figures::hybrid::run(scale.max(10), jobs);

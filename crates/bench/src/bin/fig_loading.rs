@@ -7,7 +7,7 @@ fn main() {
         "Regenerates the paper's §3.2 loading experiment (the 12-hours-to-1 \
          story). Runs at 1/10 scale or smaller.",
         "fig_loading",
-        &[env::ENV_SCALE, env::ENV_BATCH],
+        &[env::ENV_SCALE, env::ENV_BATCH, env::ENV_PARALLEL],
     );
     let (scale, _jobs) = tq_bench::env_config_or_exit();
     let scale = scale.max(10);

@@ -8,7 +8,12 @@ fn main() {
         "Regenerates the paper's §4.1 experiment: hash tables keyed on Rids \
          vs Handles.",
         "fig_rid_vs_handle",
-        &[env::ENV_SCALE, env::ENV_JOBS, env::ENV_BATCH],
+        &[
+            env::ENV_SCALE,
+            env::ENV_JOBS,
+            env::ENV_BATCH,
+            env::ENV_PARALLEL,
+        ],
     );
     let (scale, jobs) = tq_bench::env_config_or_exit();
     let r = tq_bench::figures::handles::run_rid_vs_handle(scale, jobs);

@@ -8,7 +8,12 @@ fn main() {
         "Extension experiment: cold vs warm executions (the paper ran only \
          cold ones). Runs at 1/10 scale or smaller.",
         "fig_warm",
-        &[env::ENV_SCALE, env::ENV_JOBS, env::ENV_BATCH],
+        &[
+            env::ENV_SCALE,
+            env::ENV_JOBS,
+            env::ENV_BATCH,
+            env::ENV_PARALLEL,
+        ],
     );
     let (scale, jobs) = tq_bench::env_config_or_exit();
     let fig = tq_bench::figures::warm::run(scale.max(10), jobs);

@@ -34,6 +34,7 @@ fn main() {
             env::ENV_WARMUP_MS,
             env::ENV_BATCH,
             env::ENV_SHARDS,
+            env::ENV_PARALLEL,
         ],
     );
     let args: Vec<String> = std::env::args().collect();
@@ -95,6 +96,10 @@ fn main() {
     let queue_depth = or_exit(env::queue_depth_from_env());
     let write_mix = or_exit(env::write_mix_from_env());
     let shards = or_exit(env::shards_from_env());
+    let parallel = env::parallel_from_env().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
     let duration = Duration::from_secs(duration_secs as u64);
     let warmup = match env::warmup_ms_from_env() {
         Ok(Some(ms)) => Duration::from_millis(ms),
@@ -119,6 +124,7 @@ fn main() {
         prov_pct,
         deadline_nanos,
         write_mix,
+        parallel,
     };
     let shard_note = if shards > 1 {
         format!(" across {shards} shards")
@@ -135,7 +141,12 @@ fn main() {
         warmup.as_millis(),
         write_mix
     );
+    let cpu_ms_before = tq_bench::process_cpu_ms();
     let outcome = run_serve(db, &cfg);
+    let cpu_ms = match (cpu_ms_before, tq_bench::process_cpu_ms()) {
+        (Some(before), Some(after)) => Some(after - before),
+        _ => None,
+    };
     let s = &outcome.stat;
     println!(
         "ran {} ({} x{}, scale 1/{})",
@@ -179,7 +190,11 @@ fn main() {
         .position(|a| a == "--json")
         .and_then(|i| args.get(i + 1))
     {
-        std::fs::write(path, json_record(&outcome, scale, org, shards)).unwrap_or_else(|e| {
+        std::fs::write(
+            path,
+            json_record(&outcome, scale, org, shards, parallel, cpu_ms),
+        )
+        .unwrap_or_else(|e| {
             eprintln!("cannot write {path}: {e}");
             std::process::exit(1);
         });
@@ -203,12 +218,14 @@ fn json_record(
     scale: u32,
     org: Organization,
     shards: u32,
+    parallel: usize,
+    cpu_ms: Option<u64>,
 ) -> String {
     let s = &outcome.stat;
     format!(
         "{{\n  \"label\": \"{}\",\n  \"organization\": \"{}\",\n  \"scale\": {},\n  \
          \"concurrency\": {},\n  \"workers\": {},\n  \"queue_depth\": {},\n  \
-         \"shards\": {},\n  \
+         \"shards\": {},\n  \"parallel\": {},\n  \"cpu_ms\": {},\n  \
          \"duration_ns\": {},\n  \"queries_ok\": {},\n  \"queries_shed\": {},\n  \
          \"queries_shed_router\": {},\n  \
          \"deadline_exceeded\": {},\n  \"errors\": {},\n  \"commits\": {},\n  \
@@ -222,6 +239,8 @@ fn json_record(
         s.workers,
         s.queue_depth,
         shards,
+        parallel,
+        cpu_ms.map_or("null".to_string(), |ms| ms.to_string()),
         s.duration_nanos,
         s.queries_ok,
         s.queries_shed,

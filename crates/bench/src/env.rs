@@ -44,6 +44,22 @@ pub fn batch_from_env() -> Result<usize, String> {
     .map(|n| n as usize)
 }
 
+/// Reads the morsel-parallel degree from `TQ_PARALLEL` (default 1 =
+/// the exact serial execution path).
+///
+/// `n > 1` splits each query's driving access path into contiguous
+/// batch-aligned morsels executed on `n` scoped worker threads, each
+/// against a private store clone (the in-process analogue of the
+/// router's per-shard caches). Result counts, descriptions, per-row
+/// handle fetches, and Emit rows are byte-identical at any degree;
+/// cache hit/miss splits and swap faults may differ (private caches
+/// see different interleaves) — `1` is byte-identical, full stop.
+/// The load generator forwards it to the server (or every shard),
+/// which budgets `workers × parallel` against the host's cores.
+pub fn parallel_from_env() -> Result<usize, String> {
+    positive_from_env("TQ_PARALLEL", 1, "the morsel-parallel degree").map(|n| n as usize)
+}
+
 /// Reads the closed-loop client count from `TQ_CONCURRENCY`
 /// (default 8) — loadgen only.
 pub fn concurrency_from_env() -> Result<u32, String> {
@@ -171,6 +187,11 @@ pub const ENV_EXPLAIN: EnvDoc = (
 pub const ENV_BATCH: EnvDoc = (
     "TQ_BATCH",
     "executor batch size; 1 = scalar path; output is identical either way; default 1024",
+);
+/// `TQ_PARALLEL` help row.
+pub const ENV_PARALLEL: EnvDoc = (
+    "TQ_PARALLEL",
+    "morsel-parallel degree per query; 1 = exact serial path (byte-identical output); default 1",
 );
 /// `TQ_CONCURRENCY` help row.
 pub const ENV_CONCURRENCY: EnvDoc = (
@@ -300,6 +321,23 @@ mod tests {
         let err = batch_from_env().unwrap_err();
         assert!(err.contains("TQ_BATCH") && err.contains("positive integer"));
         std::env::remove_var("TQ_BATCH");
+
+        // TQ_PARALLEL: unset means serial (degree 1), 1 is explicit
+        // serial, 0 and garbage are rejected — the binaries exit 2 on
+        // the error rather than silently running a serial experiment
+        // labelled parallel.
+        std::env::remove_var("TQ_PARALLEL");
+        assert_eq!(parallel_from_env(), Ok(1));
+        std::env::set_var("TQ_PARALLEL", "1");
+        assert_eq!(parallel_from_env(), Ok(1), "1 is the exact serial path");
+        std::env::set_var("TQ_PARALLEL", "4");
+        assert_eq!(parallel_from_env(), Ok(4));
+        std::env::set_var("TQ_PARALLEL", "0");
+        assert!(parallel_from_env().is_err());
+        std::env::set_var("TQ_PARALLEL", "banana");
+        let err = parallel_from_env().unwrap_err();
+        assert!(err.contains("TQ_PARALLEL") && err.contains("positive integer"));
+        std::env::remove_var("TQ_PARALLEL");
 
         // TQ_WARMUP_MS: unset means "derive from duration", 0 means
         // "no warmup", any other integer is taken literally.

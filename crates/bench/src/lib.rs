@@ -23,12 +23,14 @@ pub use harness::{build_db, join_spec, physical_profile, run_join_cell, JoinCell
 pub use parallel::run_cells;
 pub use serve::{run_serve, ServeConfig, ServeOutcome};
 
-/// Reads `TQ_SCALE`, `TQ_JOBS`, and `TQ_BATCH`, exiting with status 2
-/// on a bad value — the standard prologue of every figure binary. The
-/// batch size is installed process-wide
-/// ([`tq_query::exec::set_default_batch_size`]) so every
-/// `ExecContext` the run creates — including ones on worker threads —
-/// picks it up.
+/// Reads `TQ_SCALE`, `TQ_JOBS`, `TQ_BATCH`, and `TQ_PARALLEL`,
+/// exiting with status 2 on a bad value — the standard prologue of
+/// every figure binary. The batch size and the morsel-parallel degree
+/// are installed process-wide
+/// ([`tq_query::exec::set_default_batch_size`] /
+/// [`tq_query::exec::set_default_parallel_degree`]) so every
+/// measurement the run makes — including ones on worker threads —
+/// picks them up.
 pub fn env_config_or_exit() -> (u32, usize) {
     let scale = scale_from_env().unwrap_or_else(|e| {
         eprintln!("{e}");
@@ -43,5 +45,31 @@ pub fn env_config_or_exit() -> (u32, usize) {
         std::process::exit(2);
     });
     tq_query::exec::set_default_batch_size(batch);
+    let parallel = env::parallel_from_env().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    tq_query::exec::set_default_parallel_degree(parallel);
     (scale, jobs)
+}
+
+/// CPU time (user + system) this process has consumed so far, in
+/// milliseconds — the perf-gate's currency: wall clock on a shared
+/// 1-core CI host measures the neighbours, CPU time measures us.
+/// Linux-only (`/proc/self/stat` utime+stime, in clock ticks of 10ms —
+/// `sysconf(_SC_CLK_TCK)` is 100 on every Linux the gate runs on);
+/// `None` elsewhere, and callers fall back to wall clock.
+pub fn process_cpu_ms() -> Option<u64> {
+    if !cfg!(target_os = "linux") {
+        return None;
+    }
+    let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+    // Field 2 (comm) may contain spaces; fields after the closing
+    // paren are whitespace-split, with utime and stime at (0-indexed)
+    // positions 11 and 12.
+    let after = &stat[stat.rfind(')')? + 1..];
+    let fields: Vec<&str> = after.split_whitespace().collect();
+    let utime: u64 = fields.get(11)?.parse().ok()?;
+    let stime: u64 = fields.get(12)?.parse().ok()?;
+    Some((utime + stime) * 1000 / 100)
 }

@@ -71,6 +71,11 @@ pub struct ServeConfig {
     /// Percent of iterations that run a write transaction
     /// (update + commit) instead of a query; 0 = read-only.
     pub write_mix: u32,
+    /// Morsel-parallel degree for every served join query
+    /// (`TQ_PARALLEL`); forwarded to the server (or to every shard),
+    /// whose worker pool is budgeted so `workers × parallel` stays
+    /// within the host's cores.
+    pub parallel: usize,
 }
 
 /// What a serving run produced.
@@ -167,6 +172,7 @@ pub fn run_serve(base: Database, cfg: &ServeConfig) -> ServeOutcome {
                 // same sizing would have in flight: workers running
                 // plus a queue's worth waiting.
                 max_inflight: cfg.workers + cfg.queue_depth,
+                parallel: cfg.parallel,
             },
         );
         drop(base);
@@ -177,6 +183,7 @@ pub fn run_serve(base: Database, cfg: &ServeConfig) -> ServeOutcome {
             ServerConfig {
                 workers: cfg.workers,
                 queue_depth: cfg.queue_depth,
+                parallel: cfg.parallel,
             },
         ))
     };

@@ -4,7 +4,7 @@
 //! for field, no rounding — to the query-level totals the harness
 //! stores in the Figure 3 `Stat` record.
 
-use tq_bench::harness::{build_db, join_spec, run_join_cell, stat_record};
+use tq_bench::harness::{build_db, join_spec, run_join_cell, run_join_cell_parallel, stat_record};
 use tq_bench::JoinCell;
 use tq_query::join::{smj, JoinContext, JoinOptions};
 use tq_query::plan::chain_pipeline;
@@ -75,6 +75,41 @@ fn every_algo_and_clustering_sums_to_the_query_stat() {
                 let mut db = master.clone();
                 let cell = run_join_cell(&mut db, algo, 10, 90, &JoinOptions::default());
                 let what = format!("{shape:?}/{org:?}/{}", algo.label());
+                check_cell(&db, &cell, 10, 90, &what);
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_merged_traces_sum_to_the_query_stat() {
+    // The morsel-parallel path under the same microscope: the merged
+    // trace (coordinator prefix + every worker's partial + suffix)
+    // must account for every counter in the run's combined window —
+    // coordinator store *plus* worker store deltas — with nothing in
+    // an `Other` row, at every degree, for every algorithm ×
+    // clustering. Degree 1 short-circuits to the serial path, so it
+    // doubles as the there-is-no-hidden-fork check.
+    for org in [
+        Organization::ClassClustered,
+        Organization::Randomized,
+        Organization::Composition,
+    ] {
+        let master = build_db(DbShape::Db2, org, 1000);
+        for algo in JoinAlgo::all() {
+            for degree in [1usize, 2, 4] {
+                let mut db = master.clone();
+                let cell = run_join_cell_parallel(
+                    &mut db,
+                    algo,
+                    10,
+                    90,
+                    &JoinOptions::default(),
+                    None,
+                    degree,
+                )
+                .expect("no worker panics in a healthy run");
+                let what = format!("{org:?}/{} degree {degree}", algo.label());
                 check_cell(&db, &cell, 10, 90, &what);
             }
         }

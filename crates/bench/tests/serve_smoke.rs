@@ -28,6 +28,7 @@ fn closed_loop_serve_smoke() {
         prov_pct: 90,
         deadline_nanos: 0,
         write_mix: 0,
+        parallel: 1,
     };
     let outcome = tq_bench::run_serve(base, &cfg);
 
@@ -79,6 +80,7 @@ fn mixed_read_write_serve_smoke() {
         prov_pct: 90,
         deadline_nanos: 0,
         write_mix: 50,
+        parallel: 1,
     };
     let outcome = tq_bench::run_serve(base, &cfg);
     let s = &outcome.stat;
@@ -118,6 +120,7 @@ fn sharded_serve_smoke() {
         prov_pct: 90,
         deadline_nanos: 0,
         write_mix: 20,
+        parallel: 1,
     };
     let outcome = tq_bench::run_serve(base, &cfg);
     let s = &outcome.stat;

@@ -55,6 +55,25 @@ pub fn default_batch_size() -> usize {
     DEFAULT_BATCH.load(Ordering::Relaxed)
 }
 
+/// Process-wide intra-query parallel degree, set once at startup from
+/// `TQ_PARALLEL` (binaries route through `tq_bench::env_config_or_exit`).
+/// `1` — the default — is the exact serial path: the measurement layer
+/// short-circuits to the unpartitioned executor, so serial output stays
+/// byte-identical. `n > 1` partitions each join's driving access path
+/// into morsels executed on `n` scoped worker threads (see
+/// [`crate::join::parallel`]).
+static DEFAULT_PARALLEL: AtomicUsize = AtomicUsize::new(1);
+
+/// Sets the process-wide intra-query parallel degree (clamped to ≥ 1).
+pub fn set_default_parallel_degree(n: usize) {
+    DEFAULT_PARALLEL.store(n.max(1), Ordering::Relaxed);
+}
+
+/// The process-wide intra-query parallel degree.
+pub fn default_parallel_degree() -> usize {
+    DEFAULT_PARALLEL.load(Ordering::Relaxed)
+}
+
 /// Reusable rid scratch for chunked fan-out (set members, index-scan
 /// pairs); lives in the [`ExecContext`] arena so a query allocates it
 /// once across all its operators.
@@ -495,6 +514,17 @@ impl<'a> ExecContext<'a> {
     /// harness path) the checks cost nothing and charge nothing.
     pub fn set_cancel(&mut self, token: CancelToken) {
         self.cancel = Some(token);
+    }
+
+    /// Rebases the deadline origin to `nanos` on the *context's own*
+    /// simulated clock. A morsel worker runs on a cloned store whose
+    /// clock kept ticking through the coordinator's shared prefix
+    /// (index scan, hash build); rebasing to the query's original
+    /// start makes the worker's `Cancelled::elapsed_nanos` — and its
+    /// deadline checks — measure from query start, exactly as the
+    /// serial path would.
+    pub fn rebase_start_nanos(&mut self, nanos: u64) {
+        self.start_nanos = nanos;
     }
 
     /// The cancellation check, run at operator boundaries. Panics with

@@ -29,8 +29,23 @@ use crate::spec::HashKeyMode;
 use crate::swap::SwapSim;
 use tq_fasthash::FxHashMap;
 use tq_index::BTreeIndex;
-use tq_objstore::Rid;
+use tq_objstore::{ClassId, Rid};
 use tq_pagestore::CpuEvent;
+
+/// Bytes per child entry under the given key mode.
+pub(super) fn child_entry_bytes(opts: &JoinOptions) -> u64 {
+    CHJ_CHILD_ENTRY_BYTES
+        + match opts.hash_key {
+            HashKeyMode::Rid => 0,
+            HashKeyMode::Handle => HANDLE_ENTRY_EXTRA_BYTES,
+        }
+}
+
+/// Directory + entry bytes for a table of `parents` slots holding
+/// `children` entries.
+pub(super) fn table_bytes(opts: &JoinOptions, parents: u64, children: u64) -> u64 {
+    CHJ_PARENT_SLOT_BYTES * parents + children * child_entry_bytes(opts)
+}
 
 pub(super) fn run(
     ex: &mut ExecContext<'_>,
@@ -45,13 +60,7 @@ pub(super) fn run(
         ..Default::default()
     };
     let parent_class = ex.store.collection(&spec.parents).class;
-    let child_class = ex.store.collection(&spec.children).class;
     let parents_total = ex.store.collection(&spec.parents).run.count;
-    let child_entry_bytes = CHJ_CHILD_ENTRY_BYTES
-        + match opts.hash_key {
-            HashKeyMode::Rid => 0,
-            HashKeyMode::Handle => HANDLE_ENTRY_EXTRA_BYTES,
-        };
     let budget = ex.store.stack().model().operator_memory_budget;
 
     // Build: parent slots are demand-allocated as children arrive
@@ -69,10 +78,66 @@ pub(super) fn run(
         opts.sort_index_rids,
         &spec.children,
     );
+    build_children(
+        ex,
+        spec,
+        opts,
+        &children,
+        &mut table,
+        &mut swap,
+        &mut inserted_children,
+        &mut report,
+    );
+    report.hash_table_bytes = table_bytes(opts, table.len() as u64, inserted_children);
+
+    // Probe: scan selected parents sequentially.
+    let parents = index_range_scan(
+        ex,
+        parent_index,
+        spec.parent_key_limit,
+        opts.sort_index_rids,
+        &spec.parents,
+    );
+    probe_parents(
+        ex,
+        spec,
+        parent_class,
+        &parents,
+        &table,
+        &mut swap,
+        &mut report,
+    );
+    report.swap_faults = swap.faults();
+    if opts.hash_key == HashKeyMode::Handle {
+        free_table_handles(ex, spec, inserted_children);
+    }
+    report
+}
+
+/// The build half: fetch each selected child and file its key under
+/// its parent's slot, growing and touching the swap simulation per
+/// entry. Opens the `HashBuild(children)` scope. Factored out of
+/// [`run`] so the morsel workers of [`super::parallel`] build partial
+/// tables over contiguous chunks of the child list with the identical
+/// charge sequence; concatenating the partial slot vectors in worker
+/// order reproduces the serial per-parent child order exactly.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn build_children(
+    ex: &mut ExecContext<'_>,
+    spec: &TreeJoinSpec,
+    opts: &JoinOptions,
+    children: &[(i64, Rid)],
+    table: &mut FxHashMap<Rid, Vec<i64>>,
+    swap: &mut SwapSim,
+    inserted_children: &mut u64,
+    report: &mut JoinReport,
+) {
+    let child_class = ex.store.collection(&spec.children).class;
+    let child_entry_bytes = child_entry_bytes(opts);
     let batch = ex.batch_size();
     ex.op(OpKind::HashBuild, &spec.children, |ex| {
         if batch <= 1 {
-            for &(child_key, crid) in &children {
+            for &(child_key, crid) in children {
                 ex.with_object(crid, |ex, child| {
                     report.children_scanned += 1;
                     if child.is_deleted() {
@@ -84,14 +149,14 @@ pub(super) fn run(
                         .as_ref_rid()
                         .expect("child parent reference");
                     table.entry(prid).or_default().push(child_key);
-                    inserted_children += 1;
+                    *inserted_children += 1;
                     ex.store.charge(CpuEvent::HashInsert, 1);
                     if opts.hash_key == HashKeyMode::Handle {
                         ex.store.charge(CpuEvent::HandleAlloc, 1);
                     }
                     swap.grow_to(
                         CHJ_PARENT_SLOT_BYTES * table.len() as u64
-                            + inserted_children * child_entry_bytes,
+                            + *inserted_children * child_entry_bytes,
                     );
                     if swap.touch(rid_hash(prid)) {
                         ex.store.charge(CpuEvent::SwapFault, 1);
@@ -116,14 +181,14 @@ pub(super) fn run(
                             .as_ref_rid()
                             .expect("child parent reference");
                         table.entry(prid).or_default().push(child_key);
-                        inserted_children += 1;
+                        *inserted_children += 1;
                         ex.store.charge(CpuEvent::HashInsert, 1);
                         if opts.hash_key == HashKeyMode::Handle {
                             ex.store.charge(CpuEvent::HandleAlloc, 1);
                         }
                         swap.grow_to(
                             CHJ_PARENT_SLOT_BYTES * table.len() as u64
-                                + inserted_children * child_entry_bytes,
+                                + *inserted_children * child_entry_bytes,
                         );
                         if swap.touch(rid_hash(prid)) {
                             ex.store.charge(CpuEvent::SwapFault, 1);
@@ -134,20 +199,24 @@ pub(super) fn run(
             ex.put_rid_batch(rids);
         }
     });
-    report.hash_table_bytes =
-        CHJ_PARENT_SLOT_BYTES * table.len() as u64 + inserted_children * child_entry_bytes;
+}
 
-    // Probe: scan selected parents sequentially.
-    let parents = index_range_scan(
-        ex,
-        parent_index,
-        spec.parent_key_limit,
-        opts.sort_index_rids,
-        &spec.parents,
-    );
+/// The probe half: fetch each selected parent sequentially, look its
+/// slot up in the (read-only) table, and emit every filed child key.
+/// Opens the `HashProbe(parents)` scope.
+pub(super) fn probe_parents(
+    ex: &mut ExecContext<'_>,
+    spec: &TreeJoinSpec,
+    parent_class: ClassId,
+    parents: &[(i64, Rid)],
+    table: &FxHashMap<Rid, Vec<i64>>,
+    swap: &mut SwapSim,
+    report: &mut JoinReport,
+) {
+    let batch = ex.batch_size();
     ex.op(OpKind::HashProbe, &spec.parents, |ex| {
         if batch <= 1 {
-            for (_pkey, prid) in parents {
+            for &(_pkey, prid) in parents {
                 ex.with_object(prid, |ex, parent| {
                     report.parents_scanned += 1;
                     if parent.is_deleted() {
@@ -163,7 +232,7 @@ pub(super) fn run(
                     if let Some(child_keys) = table.get(&parent.rid()) {
                         ex.op(OpKind::Emit, "result", |ex| {
                             for &child_key in child_keys {
-                                emit(ex.store, spec, &mut report, parent_key, child_key);
+                                emit(ex.store, spec, report, parent_key, child_key);
                             }
                         });
                     }
@@ -198,20 +267,21 @@ pub(super) fn run(
                 });
                 if pending.len() >= batch {
                     let at = ex.current_node();
-                    flush_emits(ex, at, &mut pending, &[], spec, &mut report);
+                    flush_emits(ex, at, &mut pending, &[], spec, report);
                 }
             }
             let at = ex.current_node();
-            flush_emits(ex, at, &mut pending, &[], spec, &mut report);
+            flush_emits(ex, at, &mut pending, &[], spec, report);
             ex.put_rid_batch(rids);
             ex.put_val_batch(pending);
         }
     });
-    report.swap_faults = swap.faults();
-    if opts.hash_key == HashKeyMode::Handle {
-        ex.op(OpKind::HashBuild, &spec.children, |ex| {
-            ex.store.charge(CpuEvent::HandleFree, inserted_children);
-        });
-    }
-    report
+}
+
+/// Tear the pinned table handles down — Handle key mode only.
+/// Re-enters the `HashBuild(children)` node.
+pub(super) fn free_table_handles(ex: &mut ExecContext<'_>, spec: &TreeJoinSpec, entries: u64) {
+    ex.op(OpKind::HashBuild, &spec.children, |ex| {
+        ex.store.charge(CpuEvent::HandleFree, entries);
+    });
 }

@@ -31,6 +31,7 @@ mod chj;
 pub mod hybrid;
 mod nl;
 mod nojoin;
+pub mod parallel;
 mod phj;
 pub mod smj;
 pub mod spill;

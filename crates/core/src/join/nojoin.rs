@@ -19,6 +19,7 @@
 use super::{emit, flush_emits, JoinOptions, JoinReport, TreeJoinSpec};
 use crate::exec::{index_range_scan, int_attr, ExecContext, OpKind};
 use tq_index::BTreeIndex;
+use tq_objstore::{ClassId, Rid};
 use tq_pagestore::CpuEvent;
 
 pub(super) fn run(
@@ -41,16 +42,34 @@ pub(super) fn run(
         opts.sort_index_rids,
         &spec.children,
     );
-    // The fetch half of the child scan reopens the gather's node.
-    //
-    // Child and parent fetches interleave (and a hot parent's rid
-    // repeats, fan-out times) — that interleave IS the algorithm's
-    // cache behaviour, so the fetches stay one-at-a-time at any batch
-    // size; only the Emit scopes are deferred and flushed in batches.
+    scan_children(ex, spec, parent_class, child_class, &children, &mut report);
+    report
+}
+
+/// The fetch half of the child scan: navigate each `(child_key, crid)`
+/// to its parent, test, and emit. Reopens the gather's
+/// `IndexRangeScan(children)` node (same kind/label/parent), so the
+/// per-operator row covers gather + fetch exactly as before the split.
+/// Factored out of [`run`] so the morsel workers of
+/// [`super::parallel`] run the identical charge sequence over a
+/// contiguous chunk of the drained child list.
+///
+/// Child and parent fetches interleave (and a hot parent's rid
+/// repeats, fan-out times) — that interleave IS the algorithm's
+/// cache behaviour, so the fetches stay one-at-a-time at any batch
+/// size; only the Emit scopes are deferred and flushed in batches.
+pub(super) fn scan_children(
+    ex: &mut ExecContext<'_>,
+    spec: &TreeJoinSpec,
+    parent_class: ClassId,
+    child_class: ClassId,
+    children: &[(i64, Rid)],
+    report: &mut JoinReport,
+) {
     let batch = ex.batch_size();
     ex.op(OpKind::IndexRangeScan, &spec.children, |ex| {
         if batch <= 1 {
-            for (child_key, crid) in children {
+            for &(child_key, crid) in children {
                 ex.with_object(crid, |ex, child| {
                     report.children_scanned += 1;
                     if child.is_deleted() {
@@ -74,7 +93,7 @@ pub(super) fn run(
                                     ex.store
                                         .charge_attr_access(parent_class, spec.parent_project);
                                     ex.store.charge_attr_access(child_class, spec.child_project);
-                                    emit(ex.store, spec, &mut report, parent_key, child_key);
+                                    emit(ex.store, spec, report, parent_key, child_key);
                                 });
                             }
                         });
@@ -88,7 +107,7 @@ pub(super) fn run(
             ];
             let mut pending = ex.take_val_batch();
             let mut nav_node = None;
-            for (child_key, crid) in children {
+            for &(child_key, crid) in children {
                 ex.with_object(crid, |ex, child| {
                     report.children_scanned += 1;
                     if child.is_deleted() {
@@ -114,14 +133,13 @@ pub(super) fn run(
                         });
                         if pending.len() >= batch {
                             let at = ex.current_node();
-                            flush_emits(ex, at, &mut pending, &emit_charges, spec, &mut report);
+                            flush_emits(ex, at, &mut pending, &emit_charges, spec, report);
                         }
                     });
                 });
             }
-            flush_emits(ex, nav_node, &mut pending, &emit_charges, spec, &mut report);
+            flush_emits(ex, nav_node, &mut pending, &emit_charges, spec, report);
             ex.put_val_batch(pending);
         }
     });
-    report
 }

@@ -27,8 +27,17 @@ use crate::spec::HashKeyMode;
 use crate::swap::SwapSim;
 use tq_fasthash::FxHashMap;
 use tq_index::BTreeIndex;
-use tq_objstore::Rid;
+use tq_objstore::{ClassId, Rid};
 use tq_pagestore::CpuEvent;
+
+/// Bytes per table entry under the given key mode.
+pub(super) fn entry_bytes(opts: &JoinOptions) -> u64 {
+    PHJ_ENTRY_BYTES
+        + match opts.hash_key {
+            HashKeyMode::Rid => 0,
+            HashKeyMode::Handle => HANDLE_ENTRY_EXTRA_BYTES,
+        }
+}
 
 pub(super) fn run(
     ex: &mut ExecContext<'_>,
@@ -42,13 +51,7 @@ pub(super) fn run(
         pairs: collect.then(Vec::new),
         ..Default::default()
     };
-    let parent_class = ex.store.collection(&spec.parents).class;
     let child_class = ex.store.collection(&spec.children).class;
-    let entry_bytes = PHJ_ENTRY_BYTES
-        + match opts.hash_key {
-            HashKeyMode::Rid => 0,
-            HashKeyMode::Handle => HANDLE_ENTRY_EXTRA_BYTES,
-        };
     let budget = ex.store.stack().model().operator_memory_budget;
 
     // Build: hash selected parents by identifier, carrying the
@@ -62,10 +65,51 @@ pub(super) fn run(
         opts.sort_index_rids,
         &spec.parents,
     );
+    build_parents(ex, spec, opts, &parents, &mut table, &mut swap, &mut report);
+    report.hash_table_bytes = table.len() as u64 * entry_bytes(opts);
+
+    // Probe: scan selected children sequentially, probe by parent rid.
+    let children = index_range_scan(
+        ex,
+        child_index,
+        spec.child_key_limit,
+        opts.sort_index_rids,
+        &spec.children,
+    );
+    probe_children(
+        ex,
+        spec,
+        child_class,
+        &children,
+        &table,
+        &mut swap,
+        &mut report,
+    );
+    report.swap_faults = swap.faults();
+    if opts.hash_key == HashKeyMode::Handle {
+        free_table_handles(ex, spec, table.len() as u64);
+    }
+    report
+}
+
+/// The build half: fetch each selected parent and insert it into the
+/// shared table, growing and touching the swap simulation per entry.
+/// Call after the parent gather; opens the `HashBuild(parents)` scope.
+pub(super) fn build_parents(
+    ex: &mut ExecContext<'_>,
+    spec: &TreeJoinSpec,
+    opts: &JoinOptions,
+    parents: &[(i64, Rid)],
+    table: &mut FxHashMap<Rid, i64>,
+    swap: &mut SwapSim,
+    report: &mut JoinReport,
+) {
+    let parent_class = ex.store.collection(&spec.parents).class;
+    let entry_bytes = entry_bytes(opts);
     let batch = ex.batch_size();
     ex.op(OpKind::HashBuild, &spec.parents, |ex| {
         if batch <= 1 {
-            for &(parent_key, prid) in &parents {
+            for &(parent_key, prid) in parents {
                 ex.with_object(prid, |ex, parent| {
                     report.parents_scanned += 1;
                     if parent.is_deleted() {
@@ -115,19 +159,27 @@ pub(super) fn run(
             ex.put_rid_batch(rids);
         }
     });
-    report.hash_table_bytes = table.len() as u64 * entry_bytes;
+}
 
-    // Probe: scan selected children sequentially, probe by parent rid.
-    let children = index_range_scan(
-        ex,
-        child_index,
-        spec.child_key_limit,
-        opts.sort_index_rids,
-        &spec.children,
-    );
+/// The probe half: fetch each selected child, probe the (read-only)
+/// table by parent rid, and emit hits. Opens the
+/// `HashProbe(children)` scope. Factored out of [`run`] so the morsel
+/// workers of [`super::parallel`] probe contiguous chunks of the child
+/// list against the shared table with the identical charge sequence
+/// (each worker touches its own clone of the post-build `swap`).
+pub(super) fn probe_children(
+    ex: &mut ExecContext<'_>,
+    spec: &TreeJoinSpec,
+    child_class: ClassId,
+    children: &[(i64, Rid)],
+    table: &FxHashMap<Rid, i64>,
+    swap: &mut SwapSim,
+    report: &mut JoinReport,
+) {
+    let batch = ex.batch_size();
     ex.op(OpKind::HashProbe, &spec.children, |ex| {
         if batch <= 1 {
-            for (child_key, crid) in children {
+            for &(child_key, crid) in children {
                 ex.with_object(crid, |ex, child| {
                     report.children_scanned += 1;
                     if child.is_deleted() {
@@ -144,7 +196,7 @@ pub(super) fn run(
                     if let Some(&parent_key) = table.get(&prid) {
                         ex.op(OpKind::Emit, "result", |ex| {
                             ex.store.charge_attr_access(child_class, spec.child_project);
-                            emit(ex.store, spec, &mut report, parent_key, child_key);
+                            emit(ex.store, spec, report, parent_key, child_key);
                         });
                     }
                 });
@@ -178,21 +230,21 @@ pub(super) fn run(
                 });
                 if pending.len() >= batch {
                     let at = ex.current_node();
-                    flush_emits(ex, at, &mut pending, &emit_charges, spec, &mut report);
+                    flush_emits(ex, at, &mut pending, &emit_charges, spec, report);
                 }
             }
             let at = ex.current_node();
-            flush_emits(ex, at, &mut pending, &emit_charges, spec, &mut report);
+            flush_emits(ex, at, &mut pending, &emit_charges, spec, report);
             ex.put_rid_batch(rids);
             ex.put_val_batch(pending);
         }
     });
-    report.swap_faults = swap.faults();
-    if opts.hash_key == HashKeyMode::Handle {
-        // Tear the pinned table handles down (the table's cost).
-        ex.op(OpKind::HashBuild, &spec.parents, |ex| {
-            ex.store.charge(CpuEvent::HandleFree, table.len() as u64);
-        });
-    }
-    report
+}
+
+/// Tear the pinned table handles down (the table's cost) — Handle key
+/// mode only. Re-enters the `HashBuild(parents)` node.
+pub(super) fn free_table_handles(ex: &mut ExecContext<'_>, spec: &TreeJoinSpec, entries: u64) {
+    ex.op(OpKind::HashBuild, &spec.parents, |ex| {
+        ex.store.charge(CpuEvent::HandleFree, entries);
+    });
 }

@@ -48,6 +48,7 @@ pub use exec::{
     CancelReason, CancelToken, Cancelled, ExecContext, ExecTrace, OpCounters, OpKind, OpRecord,
 };
 pub use explain::{render_chain_plan, render_estimate, render_trace};
+pub use join::parallel::{run_join_parallel, MorselPanic, ParallelRun};
 pub use join::{
     hash_table_bytes, run_chain, run_join, run_join_with, ChainReport, JoinContext, JoinOptions,
     JoinReport,
@@ -73,5 +74,19 @@ mod thread_safety {
         assert_sync::<Engine>();
         assert_send::<JoinReport>();
         assert_send::<SelectReport>();
+    }
+
+    /// The morsel machinery's contracts: the token is shared across
+    /// worker threads, the typed panic crosses the join boundary, and
+    /// a completed run moves back to the coordinator.
+    #[test]
+    fn parallel_types_are_send_and_sync() {
+        fn assert_send<T: Send>() {}
+        fn assert_sync<T: Sync>() {}
+        assert_send::<CancelToken>();
+        assert_sync::<CancelToken>();
+        assert_send::<MorselPanic>();
+        assert_sync::<MorselPanic>();
+        assert_send::<ParallelRun>();
     }
 }

@@ -17,7 +17,7 @@ use tq_fasthash::FxHashSet;
 use tq_pagestore::{LruCache, PAGE_SIZE};
 
 /// Swap simulator for one operator-private memory region.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SwapSim {
     table_pages: u64,
     resident: LruCache<u64>,

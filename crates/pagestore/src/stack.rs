@@ -101,6 +101,19 @@ impl IoStats {
         self.sc2cc_read_pages * crate::page::PAGE_SIZE as u64
     }
 
+    /// Component-wise sum — folds another window (e.g. a morsel
+    /// worker's [`delta_since`](Self::delta_since)) into this one.
+    pub fn accumulate(&mut self, other: &IoStats) {
+        self.d2sc_read_pages += other.d2sc_read_pages;
+        self.sc2cc_read_pages += other.sc2cc_read_pages;
+        self.client_hits += other.client_hits;
+        self.client_misses += other.client_misses;
+        self.server_hits += other.server_hits;
+        self.server_misses += other.server_misses;
+        self.pages_written += other.pages_written;
+        self.log_pages_written += other.log_pages_written;
+    }
+
     /// Component-wise difference (`self` must be the later snapshot).
     pub fn delta_since(&self, earlier: &IoStats) -> IoStats {
         IoStats {

@@ -38,6 +38,11 @@ pub struct RouterConfig {
     /// is shed with `Overloaded { shard: SHARD_SELF }` before any
     /// shard sees it.
     pub max_inflight: usize,
+    /// Morsel-parallel degree forwarded to every shard server
+    /// (`TQ_PARALLEL`): intra-query parallelism composes with the
+    /// inter-shard kind — each shard's slice of a scattered query
+    /// fans out to this many morsel workers.
+    pub parallel: usize,
 }
 
 impl Default for RouterConfig {
@@ -46,6 +51,7 @@ impl Default for RouterConfig {
             workers_per_shard: 4,
             queue_depth: 16,
             max_inflight: 64,
+            parallel: 1,
         }
     }
 }
@@ -102,6 +108,7 @@ impl Router {
                     ServerConfig {
                         workers: config.workers_per_shard.max(1),
                         queue_depth: config.queue_depth,
+                        parallel: config.parallel.max(1),
                     },
                 ))
             })

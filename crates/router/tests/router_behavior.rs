@@ -226,6 +226,7 @@ fn router_edge_sheds_before_the_shards() {
             // Deep shard queues: any shed in this test is the router's.
             queue_depth: 64,
             max_inflight: 1,
+            parallel: 1,
         },
     ));
 

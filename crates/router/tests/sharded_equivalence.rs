@@ -53,6 +53,7 @@ fn router_config() -> RouterConfig {
         workers_per_shard: 1,
         queue_depth: 16,
         max_inflight: 16,
+        parallel: 1,
     }
 }
 

@@ -10,7 +10,8 @@
 
 use tq_index::BTreeIndex;
 use tq_objstore::ClassId;
-use tq_query::join::{run_join_with, JoinContext, JoinOptions, JoinReport};
+use tq_query::join::parallel::{run_join_parallel, MorselPanic, ParallelRun};
+use tq_query::join::{JoinContext, JoinOptions, JoinReport};
 use tq_query::maintenance::MaintainedIndex;
 use tq_query::oql::{compile_str, CompiledQuery};
 use tq_query::update::{run_update, UpdateOutcome, UpdateSpec};
@@ -121,26 +122,82 @@ pub fn measure_current(
     opts: &JoinOptions,
     cancel: Option<CancelToken>,
 ) -> JoinCell {
+    let degree = tq_query::exec::default_parallel_degree();
+    match measure_current_parallel(db, algo, pat_pct, prov_pct, opts, cancel, degree) {
+        Ok(cell) => cell,
+        // Callers of the serial-shaped API get the panic the worker
+        // raised, re-thrown as a typed payload — the session layer
+        // catches it exactly where it catches `Cancelled`.
+        Err(p) => std::panic::panic_any(p),
+    }
+}
+
+/// [`measure_current`] at an explicit morsel-parallel degree.
+///
+/// At `degree <= 1` this IS the serial measurement — same code path,
+/// byte-identical `JoinCell`. At higher degrees the join runs morsel-
+/// parallel and the cell's window covers coordinator *and* workers:
+/// `io` adds every worker's counter delta and `secs` adds their
+/// simulated-clock deltas (total simulated work, the cost-model
+/// analogue of CPU time — wall-clock speedup is this total divided by
+/// the critical path). The trace-sums-to-cell invariant stays exact.
+///
+/// A worker panic surfaces as `Err(MorselPanic)` after every worker
+/// joined; the database's caches are then stale but its handle table
+/// is clean (worker clones died with their pins), so callers may
+/// discard or keep the database — the service discards, like a
+/// cancellation.
+pub fn measure_current_parallel(
+    db: &mut Database,
+    algo: JoinAlgo,
+    pat_pct: u32,
+    prov_pct: u32,
+    opts: &JoinOptions,
+    cancel: Option<CancelToken>,
+    degree: usize,
+) -> Result<JoinCell, MorselPanic> {
     let spec = join_spec(db, pat_pct, prov_pct);
     let parent_index = db.idx_provider_upin.clone();
     let child_index = db.idx_patient_mrn.clone();
     db.store.reset_metrics();
-    let mut report = {
+    let ParallelRun {
+        mut report,
+        workers_io,
+        workers_nanos,
+        workers_teardown,
+    } = {
         let mut ctx = JoinContext {
             store: &mut db.store,
             parent_index: &parent_index,
             child_index: &child_index,
         };
-        run_join_with(algo, &mut ctx, &spec, opts, false, cancel)
+        run_join_parallel(algo, &mut ctx, &spec, opts, false, cancel, degree)?
     };
-    record_teardown(db, &mut report.trace);
-    JoinCell {
+    record_teardown_with(db, &mut report.trace, &workers_teardown);
+    let mut io = db.store.stats();
+    io.accumulate(&workers_io);
+    Ok(JoinCell {
         algo,
-        secs: db.store.clock().elapsed_secs(),
+        secs: (db.store.clock().elapsed() + workers_nanos) as f64 / 1e9,
         results: report.results,
-        io: db.store.stats(),
+        io,
         report,
-    }
+    })
+}
+
+/// [`run_join_cell_with`] at an explicit morsel-parallel degree: the
+/// cold protocol (server shutdown first), then a parallel measurement.
+pub fn run_join_cell_parallel(
+    db: &mut Database,
+    algo: JoinAlgo,
+    pat_pct: u32,
+    prov_pct: u32,
+    opts: &JoinOptions,
+    cancel: Option<CancelToken>,
+    degree: usize,
+) -> Result<JoinCell, MorselPanic> {
+    db.store.cold_restart();
+    measure_current_parallel(db, algo, pat_pct, prov_pct, opts, cancel, degree)
 }
 
 /// OQL text for a served chain depth, or `None` for a depth outside
@@ -497,9 +554,18 @@ pub fn update_stat_record(
 /// Runs `end_of_query` and credits its counter delta to a `Teardown`
 /// root row of the trace (skipped when the drain charges nothing).
 fn record_teardown(db: &mut Database, trace: &mut ExecTrace) {
+    record_teardown_with(db, trace, &OpCounters::default());
+}
+
+/// [`record_teardown`] plus counters already drained elsewhere — the
+/// morsel workers' own end-of-query drains, charged on their clones
+/// inside their measured windows. One trailing `Teardown` row carries
+/// the whole query's deferred-free cost at any parallel degree.
+fn record_teardown_with(db: &mut Database, trace: &mut ExecTrace, carried: &OpCounters) {
     let before = OpCounters::snapshot(&db.store);
     db.store.end_of_query();
-    let drain = OpCounters::snapshot(&db.store).delta_since(&before);
+    let mut drain = OpCounters::snapshot(&db.store).delta_since(&before);
+    drain.add(carried);
     if !drain.is_zero() {
         trace.push_root(OpKind::Teardown, "end_of_query", drain);
     }

@@ -23,8 +23,8 @@ use tq_query::{CancelToken, Cancelled};
 use tq_workload::Database;
 
 use crate::measure::{
-    chain_stat_record, compile_chain_spec, measure_chain_current, measure_current,
-    measure_update_current, run_join_cell_with, stat_record, update_stat_record,
+    chain_stat_record, compile_chain_spec, measure_chain_current, measure_current_parallel,
+    measure_update_current, run_join_cell_parallel, stat_record, update_stat_record,
 };
 use crate::proto::{
     read_frame, write_frame, CacheMode, ChainQuerySpec, FrameError, PartialStat, QuerySpec,
@@ -41,6 +41,12 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Admission-queue depth; a query arriving at a full queue is shed.
     pub queue_depth: usize,
+    /// Morsel-parallel degree for each served join query (`TQ_PARALLEL`).
+    /// At 1 (the default) queries run the exact serial path. Above 1,
+    /// each in-flight query occupies up to `parallel` OS threads, so
+    /// [`Server::start`] budgets the worker pool down to keep
+    /// `workers × parallel` within the host's cores (floor one worker).
+    pub parallel: usize,
 }
 
 impl Default for ServerConfig {
@@ -48,6 +54,7 @@ impl Default for ServerConfig {
         Self {
             workers: 4,
             queue_depth: 16,
+            parallel: 1,
         }
     }
 }
@@ -95,6 +102,8 @@ struct Inner {
     sessions: SessionManager,
     sched: Scheduler,
     stats: ServerStats,
+    /// Morsel-parallel degree applied to every served join query.
+    parallel: usize,
 }
 
 /// The query service. Owns the base snapshot, the session table, and
@@ -107,13 +116,30 @@ pub struct Server {
 
 impl Server {
     /// Starts the service over a base database snapshot.
+    ///
+    /// With `config.parallel > 1` the worker pool is budgeted so that
+    /// `workers × parallel` does not oversubscribe the host's cores
+    /// (each in-flight query fans out to `parallel` morsel threads),
+    /// with a floor of one worker. At `parallel == 1` the pool is
+    /// sized by `config.workers` alone — serial queries spend their
+    /// time in the simulated engine, not on distinct cores.
     pub fn start(base: Database, config: ServerConfig) -> Self {
         install_quiet_cancel_hook();
+        let parallel = config.parallel.max(1);
+        let workers = if parallel > 1 {
+            let cores = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            config.workers.min((cores / parallel).max(1))
+        } else {
+            config.workers
+        };
         Self {
             inner: Arc::new(Inner {
                 sessions: SessionManager::new(base),
-                sched: Scheduler::new(config.workers, config.queue_depth),
+                sched: Scheduler::new(workers, config.queue_depth),
                 stats: ServerStats::default(),
+                parallel,
             }),
             conn_threads: Mutex::new(Vec::new()),
         }
@@ -431,31 +457,35 @@ fn execute_query(inner: &Inner, spec: QuerySpec) -> Response {
     let cancel =
         (spec.deadline_nanos > 0).then(|| CancelToken::with_deadline_nanos(spec.deadline_nanos));
     let opts = JoinOptions::default();
+    let degree = inner.parallel;
     let outcome = catch_unwind(AssertUnwindSafe(|| match mode {
         // Cold sessions run the paper's protocol exactly as the figure
         // harness does — one shared code path, so a served Stat is
-        // byte-identical to a harness Stat for the same cell.
-        CacheMode::Cold => run_join_cell_with(
+        // byte-identical to a harness Stat for the same cell. At
+        // degree 1 the parallel entry point IS the serial one.
+        CacheMode::Cold => run_join_cell_parallel(
             &mut db,
             spec.algo,
             spec.pat_pct,
             spec.prov_pct,
             &opts,
             cancel,
+            degree,
         ),
         // Warm sessions measure against whatever the session's earlier
         // queries left resident.
-        CacheMode::Warm => measure_current(
+        CacheMode::Warm => measure_current_parallel(
             &mut db,
             spec.algo,
             spec.pat_pct,
             spec.prov_pct,
             &opts,
             cancel,
+            degree,
         ),
     }));
     match outcome {
-        Ok(cell) => {
+        Ok(Ok(cell)) => {
             let mut stat = stat_record(&db, &cell, spec.pat_pct, spec.prov_pct);
             stat.query.cold = mode == CacheMode::Cold;
             inner.sessions.restore(spec.session, db);
@@ -463,6 +493,18 @@ fn execute_query(inner: &Inner, spec: QuerySpec) -> Response {
             Response::QueryOk {
                 results: cell.results,
                 stat: Box::new(stat),
+            }
+        }
+        Ok(Err(panic)) => {
+            // A morsel worker died. Every worker was joined and its
+            // store clone dropped, so nothing leaked — but the query's
+            // measurement window is garbage. Discard the database like
+            // a cancellation and answer with the typed error.
+            drop(db);
+            inner.sessions.replace_fresh(spec.session);
+            inner.stats.queries_failed.fetch_add(1, Ordering::Relaxed);
+            Response::Error {
+                msg: panic.to_string(),
             }
         }
         Err(payload) => match payload.downcast::<Cancelled>() {

@@ -282,6 +282,7 @@ fn saturated_server_sheds_instead_of_queueing_unboundedly() {
         ServerConfig {
             workers: 1,
             queue_depth: 1,
+            parallel: 1,
         },
     ));
     let clients = 8;

@@ -118,6 +118,40 @@ rm -f BENCH_sharded_run.json
 } > BENCH_sharded.json
 echo "wrote BENCH_sharded.json"
 
+echo "== intra-query parallel scaling (degrees 1/2/4) -> BENCH_parallel.json =="
+# fig_parallel times every join algorithm morsel-parallel at degrees
+# 1/2/4 — CPU and wall clock, min of 3 interleaved rounds — and the
+# record keeps host_cores so a single-core host's flat (or inverted)
+# curve reads as physics, not regression. Two served closed loops at
+# low concurrency ride along, serial vs degree-4 queries: on multi-core
+# hosts the degree-4 run shows the p99 win for heavy joins.
+PAR_SCALE="$SMOKE_SCALE"
+[ "${TQ_BENCH_SKIP_PAPER:-0}" = "0" ] && PAR_SCALE="$PAPER_SCALE"
+TQ_SCALE="$PAR_SCALE" TQ_BATCH="$BATCH" \
+    ./target/release/fig_parallel --json BENCH_parallel_fig.json
+PAR_SERVE=""
+for D in 1 4; do
+    TQ_SCALE="$SMOKE_SCALE" TQ_JOBS="$NCORES" TQ_BATCH="$BATCH" \
+        TQ_CONCURRENCY=2 TQ_DURATION="${TQ_DURATION:-2}" TQ_PARALLEL="$D" \
+        ./target/release/loadgen --json BENCH_parallel_run.json
+    PAR_SERVE+="$(cat BENCH_parallel_run.json),"$'\n'
+done
+rm -f BENCH_parallel_run.json
+{
+    echo "{"
+    echo "  \"git_rev\": \"$(git rev-parse --short HEAD 2>/dev/null || echo unknown)\","
+    echo "  \"batch\": $BATCH,"
+    printf '  "intra_query": '
+    sed '$ s/}$/},/' BENCH_parallel_fig.json
+    echo "  \"served\": ["
+    printf '%s' "${PAR_SERVE%,$'\n'}"
+    echo ""
+    echo "  ]"
+    echo "}"
+} > BENCH_parallel.json
+rm -f BENCH_parallel_fig.json
+echo "wrote BENCH_parallel.json"
+
 {
     echo "{"
     echo "  \"host_cores\": $NCORES,"
